@@ -1,0 +1,1 @@
+bench/common.ml: Array List Printf Qcr_arch Qcr_baselines Qcr_circuit Qcr_core Qcr_graph Qcr_util Qcr_workloads

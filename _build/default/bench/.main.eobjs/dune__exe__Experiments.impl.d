@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Common List Printf Qcr_arch Qcr_baselines Qcr_circuit Qcr_core Qcr_graph Qcr_sim Qcr_solver Qcr_util Qcr_workloads Unix

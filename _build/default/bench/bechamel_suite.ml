@@ -1,0 +1,97 @@
+(* Bechamel micro-benchmark suite: one Test.make per reproduced table or
+   figure, each timing a representative (small) slice of the experiment so
+   the whole suite stays fast while still tracking compiler performance
+   regressions per experiment. *)
+
+module Arch = Qcr_arch.Arch
+module Generate = Qcr_graph.Generate
+module Graph = Qcr_graph.Graph
+module Mapping = Qcr_circuit.Mapping
+module Program = Qcr_circuit.Program
+module Pipeline = Qcr_core.Pipeline
+module Suite = Qcr_workloads.Suite
+module Hamiltonian = Qcr_workloads.Hamiltonian
+module Prng = Qcr_util.Prng
+open Bechamel
+open Toolkit
+
+let instance n density = List.hd (Suite.random_instances ~cases:1 ~n ~density ())
+
+let compile_test name kind n density compiler =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let inst = instance n density in
+         let program = Suite.program_of inst in
+         let arch = Arch.smallest_for kind n in
+         ignore (compiler arch program)))
+
+let tests () =
+  [
+    (* Fig 17: the three arms *)
+    compile_test "fig17/greedy-hh64" Arch.Heavy_hex 64 0.3 (fun a p ->
+        Pipeline.compile_greedy a p);
+    compile_test "fig17/solver-hh64" Arch.Heavy_hex 64 0.3 (fun a p ->
+        Pipeline.compile_ata a p);
+    compile_test "fig17/ours-hh64" Arch.Heavy_hex 64 0.3 (fun a p -> Pipeline.compile a p);
+    (* Figs 20-21: heavy-hex vs baselines *)
+    compile_test "fig20_21/ours-hh64" Arch.Heavy_hex 64 0.5 (fun a p -> Pipeline.compile a p);
+    compile_test "fig20_21/qaim-hh64" Arch.Heavy_hex 64 0.5 (fun a p ->
+        Qcr_baselines.Qaim_like.compile a p);
+    (* Figs 22-23: Sycamore *)
+    compile_test "fig22_23/ours-syc64" Arch.Sycamore 64 0.3 (fun a p -> Pipeline.compile a p);
+    compile_test "fig22_23/pauli-syc64" Arch.Sycamore 64 0.3 (fun a p ->
+        Qcr_baselines.Paulihedral_like.compile a p);
+    (* Table 1: 2QAN arm *)
+    compile_test "tab1/2qan-hh64" Arch.Heavy_hex 64 0.3 (fun a p ->
+        Qcr_baselines.Twoqan_like.compile ~anneal_moves:3000 a p);
+    (* Table 2 slice: a denser instance *)
+    compile_test "tab2/ours-hh128" Arch.Heavy_hex 128 0.5 (fun a p -> Pipeline.compile a p);
+    (* Table 3: a 2-local Trotter step *)
+    Test.make ~name:"tab3/ours-ising64"
+      (Staged.stage (fun () ->
+           let arch = Arch.smallest_for Arch.Heavy_hex 64 in
+           ignore (Pipeline.compile arch (Hamiltonian.trotter_step (Hamiltonian.nnn_1d_ising 64)))));
+    (* Table 4: the optimal solver on a tiny instance *)
+    Test.make ~name:"tab4/astar-line5"
+      (Staged.stage (fun () ->
+           let problem = Graph.complete 5 in
+           let coupling = Generate.path 5 in
+           let init = Mapping.identity ~logical:5 ~physical:5 in
+           ignore (Qcr_solver.Astar.solve ~problem ~coupling ~init ())));
+    (* Figs 24-25 / TVD: one QAOA energy evaluation *)
+    Test.make ~name:"fig24_25/qaoa-eval-10q"
+      (Staged.stage (fun () ->
+           let graph = Generate.erdos_renyi (Prng.create 41) ~n:10 ~density:0.3 in
+           let arch = Arch.mumbai_like () in
+           let program = Program.make graph (Program.Qaoa_maxcut { gamma = 0.4; beta = 0.35 }) in
+           let r = Pipeline.compile arch program in
+           ignore
+             (Qcr_sim.Qaoa.evaluate ~graph ~compiled:r.Pipeline.circuit ~final:r.Pipeline.final ())));
+    (* Fig 26: the compile-time curve's smallest point *)
+    compile_test "fig26/ours-hh128" Arch.Heavy_hex 128 0.3 (fun a p -> Pipeline.compile a p);
+  ]
+
+let run () =
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 200) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw =
+    List.map
+      (fun test -> (Test.Elt.name (List.hd (Test.elements test)), Benchmark.all cfg instances test))
+      (List.map (fun t -> t) (tests ()))
+  in
+  Printf.printf "\n=== Bechamel timing suite (one Test per table/figure) ===\n";
+  Printf.printf "%-26s %14s\n" "benchmark" "time/run";
+  List.iter
+    (fun (name, results) ->
+      Hashtbl.iter
+        (fun _ result ->
+          let analyzed =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+              Instance.monotonic_clock result
+          in
+          match Analyze.OLS.estimates analyzed with
+          | Some [ est ] -> Printf.printf "%-26s %11.3f ms\n" name (est /. 1e6)
+          | _ -> Printf.printf "%-26s %14s\n" name "n/a")
+        results)
+    raw

@@ -1,0 +1,77 @@
+(* Shared infrastructure for the benchmark harness: compiler arms,
+   instance averaging, and table helpers. *)
+
+module Arch = Qcr_arch.Arch
+module Graph = Qcr_graph.Graph
+module Program = Qcr_circuit.Program
+module Pipeline = Qcr_core.Pipeline
+module Suite = Qcr_workloads.Suite
+module Stats = Qcr_util.Stats
+module Tablefmt = Qcr_util.Tablefmt
+
+type scale = Quick | Default | Full
+
+let scale_cases scale ~at_n =
+  match scale with
+  | Quick -> 1
+  | Full -> 10
+  | Default -> if at_n >= 1024 then 1 else if at_n >= 256 then 2 else 3
+
+type arm = {
+  arm_name : string;
+  compile : Arch.t -> Program.t -> Pipeline.result;
+}
+
+let ours = { arm_name = "Ours"; compile = (fun a p -> Pipeline.compile a p) }
+
+let greedy_arm = { arm_name = "greedy"; compile = (fun a p -> Pipeline.compile_greedy a p) }
+
+let ata_arm = { arm_name = "solver"; compile = (fun a p -> Pipeline.compile_ata a p) }
+
+let qaim = { arm_name = "QAIM_IC"; compile = (fun a p -> Qcr_baselines.Qaim_like.compile a p) }
+
+let paulihedral =
+  { arm_name = "Paulihedral"; compile = (fun a p -> Qcr_baselines.Paulihedral_like.compile a p) }
+
+let twoqan =
+  { arm_name = "2QAN"; compile = (fun a p -> Qcr_baselines.Twoqan_like.compile a p) }
+
+type point = {
+  mean_depth : float;
+  mean_cx : float;
+  mean_seconds : float;
+}
+
+(* Average an arm over a list of problem instances on the smallest fitting
+   device of [kind]. *)
+let measure arm kind instances =
+  let depths, cxs, secs =
+    List.fold_left
+      (fun (ds, cs, ts) inst ->
+        let program = Suite.program_of inst in
+        let arch = Arch.smallest_for kind (Graph.vertex_count inst.Suite.graph) in
+        let r = arm.compile arch program in
+        ( float_of_int r.Pipeline.depth :: ds,
+          float_of_int r.Pipeline.cx :: cs,
+          r.Pipeline.compile_seconds :: ts ))
+      ([], [], []) instances
+  in
+  {
+    mean_depth = Stats.mean (Array.of_list depths);
+    mean_cx = Stats.mean (Array.of_list cxs);
+    mean_seconds = Stats.mean (Array.of_list secs);
+  }
+
+let kind_label = function
+  | Arch.Heavy_hex -> "Heavy-hex"
+  | Arch.Sycamore -> "Sycamore"
+  | Arch.Grid -> "2D-grid"
+  | Arch.Grid3d -> "3D-grid"
+  | Arch.Hexagon -> "Hexagon"
+  | Arch.Line -> "Line"
+  | Arch.Custom -> "Custom"
+
+let heading title =
+  Printf.printf "\n=== %s ===\n" title
+
+let cell_mean x = Printf.sprintf "%.0f" x

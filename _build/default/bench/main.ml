@@ -1,0 +1,72 @@
+(* Benchmark harness entry point: regenerates every table and figure of
+   the paper's evaluation (see DESIGN.md's per-experiment index).
+
+     dune exec bench/main.exe                 # everything, default scale
+     dune exec bench/main.exe -- fig17        # one experiment
+     dune exec bench/main.exe -- all --quick  # fast smoke run
+     dune exec bench/main.exe -- all --full   # paper-scale instance counts *)
+
+open Cmdliner
+
+let experiments =
+  [
+    ("fig17", Experiments.fig17);
+    ("fig20-21", Experiments.fig20_21);
+    ("fig22-23", Experiments.fig22_23);
+    ("tab1", Experiments.tab1);
+    ("tab2", Experiments.tab2);
+    ("tab3", Experiments.tab3);
+    ("tab4", Experiments.tab4);
+    ("fig24", Experiments.fig24);
+    ("fig25", Experiments.fig25);
+    ("tvd", Experiments.tvd);
+    ("fig26", Experiments.fig26);
+    ("ablation", Experiments.ablation);
+  ]
+
+let scale_term =
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Smoke-test sizes.") in
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale instance counts (slow).") in
+  let combine quick full =
+    if quick then Common.Quick else if full then Common.Full else Common.Default
+  in
+  Term.(const combine $ quick $ full)
+
+let run_experiment name scale =
+  match List.assoc_opt name experiments with
+  | Some f ->
+      let t0 = Unix.gettimeofday () in
+      f scale;
+      Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+  | None -> Printf.eprintf "unknown experiment %S\n" name
+
+let run_all scale ~with_bechamel =
+  List.iter (fun (name, _) -> run_experiment name scale) experiments;
+  if with_bechamel then Bechamel_suite.run ()
+
+let all_cmd =
+  let bechamel_flag =
+    Arg.(value & flag & info [ "no-bechamel" ] ~doc:"Skip the bechamel timing suite.")
+  in
+  let run scale no_bechamel = run_all scale ~with_bechamel:(not no_bechamel) in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment.")
+    Term.(const run $ scale_term $ bechamel_flag)
+
+let single_cmds =
+  List.map
+    (fun (exp_name, _) ->
+      let runner = run_experiment exp_name in
+      Cmd.v
+        (Cmd.info exp_name ~doc:(Printf.sprintf "Reproduce %s." exp_name))
+        Term.(const runner $ scale_term))
+    experiments
+
+let bechamel_cmd =
+  Cmd.v
+    (Cmd.info "bechamel" ~doc:"Run only the bechamel timing suite.")
+    Term.(const (fun () -> Bechamel_suite.run ()) $ const ())
+
+let () =
+  let default = Term.(const (fun scale -> run_all scale ~with_bechamel:true) $ scale_term) in
+  let info = Cmd.info "qcr-bench" ~doc:"Reproduce the paper's tables and figures." in
+  exit (Cmd.eval (Cmd.group ~default info (all_cmd :: bechamel_cmd :: single_cmds)))

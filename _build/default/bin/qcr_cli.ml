@@ -1,0 +1,160 @@
+(* Command-line front end.
+
+   qcr_cli compile --arch heavyhex --n 64 --density 0.3 [--qasm out.qasm]
+   qcr_cli ata     --arch sycamore --n 256
+   qcr_cli solve   --line 5
+   qcr_cli qaoa    --n 10 --rounds 20 *)
+
+open Cmdliner
+module Arch = Qcr_arch.Arch
+module Noise = Qcr_arch.Noise
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Program = Qcr_circuit.Program
+module Qasm = Qcr_circuit.Qasm
+module Mapping = Qcr_circuit.Mapping
+module Schedule = Qcr_swapnet.Schedule
+module Ata = Qcr_swapnet.Ata
+module Pipeline = Qcr_core.Pipeline
+module Prng = Qcr_util.Prng
+
+let arch_kind_of_string = function
+  | "line" -> Ok Arch.Line
+  | "grid" -> Ok Arch.Grid
+  | "sycamore" -> Ok Arch.Sycamore
+  | "grid3d" -> Ok Arch.Grid3d
+  | "heavyhex" | "heavy-hex" -> Ok Arch.Heavy_hex
+  | "hexagon" -> Ok Arch.Hexagon
+  | s -> Error (Printf.sprintf "unknown architecture %S" s)
+
+let arch_conv =
+  let parse s =
+    match arch_kind_of_string s with Ok k -> Ok k | Error e -> Error (`Msg e)
+  in
+  let print fmt k =
+    Format.pp_print_string fmt
+      (match k with
+      | Arch.Line -> "line"
+      | Arch.Grid -> "grid"
+      | Arch.Grid3d -> "grid3d"
+      | Arch.Sycamore -> "sycamore"
+      | Arch.Heavy_hex -> "heavyhex"
+      | Arch.Hexagon -> "hexagon"
+      | Arch.Custom -> "custom")
+  in
+  Arg.conv (parse, print)
+
+let arch_arg =
+  Arg.(value & opt arch_conv Arch.Heavy_hex & info [ "arch" ] ~docv:"ARCH"
+         ~doc:"Target architecture: line, grid, sycamore, heavyhex, hexagon.")
+
+let n_arg =
+  Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Problem-graph vertex count.")
+
+let density_arg =
+  Arg.(value & opt float 0.3 & info [ "density" ] ~docv:"D" ~doc:"Problem-graph density.")
+
+let seed_arg = Arg.(value & opt int 2023 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let compile_cmd =
+  let qasm_arg =
+    Arg.(value & opt (some string) None & info [ "qasm" ] ~docv:"FILE"
+           ~doc:"Write the compiled circuit as OpenQASM 2.0.")
+  in
+  let noisy_arg =
+    Arg.(value & flag & info [ "noise" ] ~doc:"Use a sampled calibration noise model.")
+  in
+  let run kind n density seed qasm noisy =
+    let rng = Prng.create seed in
+    let graph = Generate.erdos_renyi rng ~n ~density in
+    let program = Program.make graph (Program.Qaoa_maxcut { gamma = 0.4; beta = 0.35 }) in
+    let arch = Arch.smallest_for kind n in
+    let noise = if noisy then Some (Noise.sampled arch) else None in
+    let r = Pipeline.compile ?noise arch program in
+    Printf.printf "arch=%s qubits=%d | problem n=%d m=%d\n" (Arch.name arch)
+      (Arch.qubit_count arch) n (Graph.edge_count graph);
+    Printf.printf "depth=%d cx=%d swaps=%d compile=%.3fs strategy=%s\n" r.Pipeline.depth
+      r.Pipeline.cx r.Pipeline.swap_count r.Pipeline.compile_seconds
+      (match r.Pipeline.strategy with
+      | Pipeline.Pure_greedy -> "greedy"
+      | Pipeline.Pure_ata -> "ata"
+      | Pipeline.Hybrid c -> Printf.sprintf "hybrid@%d" c);
+    if noisy then Printf.printf "estimated success probability: %.4f\n" (exp r.Pipeline.log_fidelity);
+    Option.iter
+      (fun file ->
+        Qasm.write_file file r.Pipeline.circuit;
+        Printf.printf "wrote %s\n" file)
+      qasm
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a random QAOA instance.")
+    Term.(const run $ arch_arg $ n_arg $ density_arg $ seed_arg $ qasm_arg $ noisy_arg)
+
+let ata_cmd =
+  let show_arg =
+    Arg.(value & flag & info [ "show" ] ~doc:"Draw the schedule (one row per qubit, g = interaction, x = swap).")
+  in
+  let run kind n show =
+    let arch = Arch.smallest_for kind n in
+    let sched = Ata.schedule arch in
+    let qubits = Arch.qubit_count arch in
+    let missing = Schedule.uncovered_pairs ~n:qubits sched in
+    Printf.printf "arch=%s qubits=%d cycles=%d swaps=%d touches=%d uncovered-pairs=%d\n"
+      (Arch.name arch) qubits (Schedule.cycle_count sched) (Schedule.swap_count sched)
+      (Schedule.touch_count sched) (List.length missing);
+    if show then print_string (Qcr_swapnet.Render.schedule ~n:qubits sched)
+  in
+  Cmd.v
+    (Cmd.info "ata" ~doc:"Print the structured all-to-all schedule statistics.")
+    Term.(const run $ arch_arg $ n_arg $ show_arg)
+
+let solve_cmd =
+  let line_arg =
+    Arg.(value & opt int 4 & info [ "line" ] ~docv:"N" ~doc:"Clique size on an N-qubit line.")
+  in
+  let run n =
+    let problem = Graph.complete n in
+    let coupling = Generate.path n in
+    let init = Mapping.identity ~logical:n ~physical:n in
+    match Qcr_solver.Astar.solve ~problem ~coupling ~init () with
+    | None -> print_endline "no solution found"
+    | Some o ->
+        Printf.printf "line-%d clique: optimal depth=%d swaps=%d (expanded %d states)\n" n
+          o.Qcr_solver.Astar.depth o.Qcr_solver.Astar.swap_total o.Qcr_solver.Astar.expanded;
+        List.iteri
+          (fun i cycle ->
+            let show = function
+              | Qcr_solver.Astar.Do_gate (u, v) -> Printf.sprintf "g(%d,%d)" u v
+              | Qcr_solver.Astar.Do_swap (p, q) -> Printf.sprintf "s(%d,%d)" p q
+            in
+            Printf.printf "  cycle %2d: %s\n" (i + 1) (String.concat " " (List.map show cycle)))
+          o.Qcr_solver.Astar.cycles
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Run the depth-optimal A* solver on a small clique instance.")
+    Term.(const run $ line_arg)
+
+let qaoa_cmd =
+  let rounds_arg =
+    Arg.(value & opt int 20 & info [ "rounds" ] ~docv:"R" ~doc:"Optimizer rounds.")
+  in
+  let run n density seed rounds =
+    let rng = Prng.create seed in
+    let graph = Generate.erdos_renyi rng ~n ~density in
+    let arch = Arch.mumbai_like () in
+    let noise = Noise.sampled ~seed:9 arch in
+    let compile p =
+      let r = Pipeline.compile ~noise arch p in
+      (r.Pipeline.circuit, r.Pipeline.final)
+    in
+    let d = Qcr_sim.Qaoa.run_driver ~rounds ~noise ~graph ~compile () in
+    Array.iteri (fun i e -> Printf.printf "round %2d: %.4f\n" (i + 1) e) d.Qcr_sim.Qaoa.energies;
+    Printf.printf "best energy %.4f (max cut = %d)\n" d.Qcr_sim.Qaoa.best_energy
+      d.Qcr_sim.Qaoa.optimum_cut
+  in
+  Cmd.v
+    (Cmd.info "qaoa" ~doc:"Run the end-to-end QAOA loop on the Mumbai-like device.")
+    Term.(const run $ n_arg $ density_arg $ seed_arg $ rounds_arg)
+
+let () =
+  let info = Cmd.info "qcr_cli" ~doc:"Regular-architecture quantum compiler tools." in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; ata_cmd; solve_cmd; qaoa_cmd ]))

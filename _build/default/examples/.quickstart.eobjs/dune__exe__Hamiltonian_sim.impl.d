@@ -1,0 +1,1 @@
+examples/hamiltonian_sim.ml: Printf Qcr_arch Qcr_baselines Qcr_core Qcr_util Qcr_workloads

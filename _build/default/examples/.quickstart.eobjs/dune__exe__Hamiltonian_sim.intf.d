@@ -1,0 +1,1 @@
+examples/hamiltonian_sim.mli:

@@ -1,0 +1,1 @@
+examples/maxcut_qaoa.ml: Array Printf Qcr_arch Qcr_baselines Qcr_circuit Qcr_core Qcr_graph Qcr_sim Qcr_util

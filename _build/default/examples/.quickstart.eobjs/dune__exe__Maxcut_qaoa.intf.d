@@ -1,0 +1,1 @@
+examples/maxcut_qaoa.mli:

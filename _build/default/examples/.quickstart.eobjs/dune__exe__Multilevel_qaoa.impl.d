@@ -1,0 +1,1 @@
+examples/multilevel_qaoa.ml: Array List Printf Qcr_arch Qcr_circuit Qcr_core Qcr_graph Qcr_sim Qcr_util

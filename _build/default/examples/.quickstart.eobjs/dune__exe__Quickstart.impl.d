@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename Printf Qcr_arch Qcr_circuit Qcr_core Qcr_graph Qcr_util

@@ -1,0 +1,1 @@
+examples/scaling.ml: List Printf Qcr_arch Qcr_circuit Qcr_core Qcr_swapnet Qcr_util Qcr_workloads

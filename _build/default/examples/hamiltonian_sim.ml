@@ -1,0 +1,35 @@
+(* 2-local Hamiltonian simulation (paper §7.5, Table 3): compile one
+   Trotter step of the NNN 1D-Ising, 2D-XY and 3D-Heisenberg interaction
+   graphs on a 64-qubit heavy-hex device, ours vs the 2QAN-like baseline.
+
+   Run with:  dune exec examples/hamiltonian_sim.exe *)
+
+module Arch = Qcr_arch.Arch
+module Hamiltonian = Qcr_workloads.Hamiltonian
+module Pipeline = Qcr_core.Pipeline
+module Twoqan = Qcr_baselines.Twoqan_like
+module Tablefmt = Qcr_util.Tablefmt
+
+let () =
+  let arch = Arch.smallest_for Arch.Heavy_hex 64 in
+  Printf.printf "2-local Hamiltonian Trotter steps on %s\n\n" (Arch.name arch);
+  let table =
+    Tablefmt.create [ "benchmark"; "ours depth"; "2QAN depth"; "ours CX"; "2QAN CX" ]
+  in
+  let run name graph =
+    let program = Hamiltonian.trotter_step graph in
+    let ours = Pipeline.compile arch program in
+    let twoqan = Twoqan.compile ~anneal_moves:20000 arch program in
+    Tablefmt.add_row table
+      [
+        name;
+        string_of_int ours.Pipeline.depth;
+        string_of_int twoqan.Pipeline.depth;
+        string_of_int ours.Pipeline.cx;
+        string_of_int twoqan.Pipeline.cx;
+      ]
+  in
+  run "1D-Ising (NNN, 64)" (Hamiltonian.nnn_1d_ising 64);
+  run "2D-XY (NNN, 8x8)" (Hamiltonian.nnn_2d_xy ~rows:8 ~cols:8);
+  run "3D-Heisenberg (NNN, 4^3)" (Hamiltonian.nnn_3d_heisenberg ~dim:4);
+  Tablefmt.print table

@@ -1,0 +1,1 @@
+lib/arch/arch.ml: Array Hashtbl List Printf Qcr_graph

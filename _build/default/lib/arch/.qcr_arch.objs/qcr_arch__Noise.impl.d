@@ -1,0 +1,1 @@
+lib/arch/noise.ml: Arch Array Hashtbl Qcr_graph Qcr_util

@@ -1,0 +1,1 @@
+lib/arch/noise.mli: Arch

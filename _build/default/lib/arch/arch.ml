@@ -1,0 +1,410 @@
+module Graph = Qcr_graph.Graph
+module Paths = Qcr_graph.Paths
+
+type kind =
+  | Line
+  | Grid
+  | Grid3d
+  | Sycamore
+  | Heavy_hex
+  | Hexagon
+  | Custom
+
+type t = {
+  kind : kind;
+  name : string;
+  graph : Graph.t;
+  units : int array array;
+  pair_paths : int array array; (* pair_paths.(i) joins units i and i+1 *)
+  long_path : int array;
+  off_path : int array;
+  coords : (float * float) array;
+  mutable dists : Paths.distances option;
+}
+
+let kind t = t.kind
+
+let name t = t.name
+
+let graph t = t.graph
+
+let qubit_count t = Graph.vertex_count t.graph
+
+let distances t =
+  match t.dists with
+  | Some d -> d
+  | None ->
+      let d = Paths.all_pairs t.graph in
+      t.dists <- Some d;
+      d
+
+let distance t u v = Paths.distance (distances t) u v
+
+let coupled t u v = Graph.has_edge t.graph u v
+
+let units t = t.units
+
+let pair_path t i =
+  if i >= 0 && i < Array.length t.pair_paths then Some t.pair_paths.(i) else None
+
+let long_path t = t.long_path
+
+let off_path t = t.off_path
+
+let coords t = t.coords
+
+let make ~kind ~name ~graph ~units ~pair_paths ~long_path ~off_path ~coords =
+  { kind; name; graph; units; pair_paths; long_path; off_path; coords; dists = None }
+
+(* ------------------------------------------------------------------ *)
+(* Line *)
+
+let line n =
+  let graph = Qcr_graph.Generate.path n in
+  let all = Array.init n (fun i -> i) in
+  make ~kind:Line
+    ~name:(Printf.sprintf "line-%d" n)
+    ~graph ~units:[| all |] ~pair_paths:[||] ~long_path:all ~off_path:[||]
+    ~coords:(Array.init n (fun i -> (0.0, float_of_int i)))
+
+(* ------------------------------------------------------------------ *)
+(* 2D grid: qubit (r, c) = r * cols + c, full horizontal+vertical edges. *)
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Arch.grid: empty";
+  let id r c = (r * cols) + c in
+  let graph = Graph.create (rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then Graph.add_edge graph (id r c) (id r (c + 1));
+      if r + 1 < rows then Graph.add_edge graph (id r c) (id (r + 1) c)
+    done
+  done;
+  let units = Array.init rows (fun r -> Array.init cols (fun c -> id r c)) in
+  (* Pair path over rows r, r+1: row r left-to-right then row r+1
+     right-to-left; consecutive elements are coupled (one vertical hop at
+     the right edge). *)
+  let pair_paths =
+    Array.init (max 0 (rows - 1)) (fun r ->
+        Array.init (2 * cols) (fun i ->
+            if i < cols then id r i else id (r + 1) ((2 * cols) - 1 - i)))
+  in
+  (* Global boustrophedon Hamiltonian path. *)
+  let long_path =
+    Array.init (rows * cols) (fun i ->
+        let r = i / cols and j = i mod cols in
+        let c = if r mod 2 = 0 then j else cols - 1 - j in
+        id r c)
+  in
+  make ~kind:Grid
+    ~name:(Printf.sprintf "grid-%dx%d" rows cols)
+    ~graph ~units ~pair_paths ~long_path ~off_path:[||]
+    ~coords:
+      (Array.init (rows * cols) (fun i ->
+           (float_of_int (i / cols), float_of_int (i mod cols))))
+
+(* ------------------------------------------------------------------ *)
+(* 3D grid (Fig 13): planes along x are the units; a pair path snakes
+   through plane x (boustrophedon over its y-rows), hops to plane x+1 at
+   the ending coordinate, and snakes back in reverse, giving a Hamiltonian
+   slab path whose reversal exchanges the two planes. *)
+
+let grid3d ~nx ~ny ~nz =
+  if nx < 1 || ny < 1 || nz < 1 then invalid_arg "Arch.grid3d: empty";
+  let id x y z = (((x * ny) + y) * nz) + z in
+  let n = nx * ny * nz in
+  let graph = Graph.create n in
+  for x = 0 to nx - 1 do
+    for y = 0 to ny - 1 do
+      for z = 0 to nz - 1 do
+        if x + 1 < nx then Graph.add_edge graph (id x y z) (id (x + 1) y z);
+        if y + 1 < ny then Graph.add_edge graph (id x y z) (id x (y + 1) z);
+        if z + 1 < nz then Graph.add_edge graph (id x y z) (id x y (z + 1))
+      done
+    done
+  done;
+  (* boustrophedon order through one plane: y rows alternate z direction *)
+  let plane_snake x =
+    Array.init (ny * nz) (fun i ->
+        let y = i / nz and j = i mod nz in
+        let z = if y mod 2 = 0 then j else nz - 1 - j in
+        id x y z)
+  in
+  let units = Array.init nx plane_snake in
+  let pair_paths =
+    Array.init (max 0 (nx - 1)) (fun x ->
+        let a = plane_snake x and b = plane_snake (x + 1) in
+        let k = ny * nz in
+        (* plane x in snake order, then plane x+1 in reverse snake order;
+           the plane hop happens at equal (y, z), a valid x-edge *)
+        Array.init (2 * k) (fun i -> if i < k then a.(i) else b.((2 * k) - 1 - i)))
+  in
+  let long_path =
+    (* global boustrophedon: planes traversed alternately forward/back *)
+    Array.init n (fun i ->
+        let x = i / (ny * nz) and j = i mod (ny * nz) in
+        let snake = plane_snake x in
+        if x mod 2 = 0 then snake.(j) else snake.((ny * nz) - 1 - j))
+  in
+  make ~kind:Grid3d
+    ~name:(Printf.sprintf "grid3d-%dx%dx%d" nx ny nz)
+    ~graph ~units ~pair_paths ~long_path ~off_path:[||]
+    ~coords:
+      (Array.init n (fun i ->
+           let x = i / (ny * nz) and rest = i mod (ny * nz) in
+           (float_of_int ((x * ny) + (rest / nz)), float_of_int (rest mod nz))))
+
+(* ------------------------------------------------------------------ *)
+(* Google Sycamore: rotated square lattice.  Row r couples vertically to
+   row r+1 at the same column, and diagonally to column c+1 (even r) or
+   c-1 (odd r).  There are no intra-row couplings, which is what makes the
+   2xUnit problem interesting (paper Fig 10). *)
+
+let sycamore ~rows ~cols =
+  if rows < 2 || cols < 1 then invalid_arg "Arch.sycamore: too small";
+  let id r c = (r * cols) + c in
+  let graph = Graph.create (rows * cols) in
+  for r = 0 to rows - 2 do
+    for c = 0 to cols - 1 do
+      Graph.add_edge graph (id r c) (id (r + 1) c);
+      if r mod 2 = 0 then begin
+        if c + 1 < cols then Graph.add_edge graph (id r c) (id (r + 1) (c + 1))
+      end
+      else if c - 1 >= 0 then Graph.add_edge graph (id r c) (id (r + 1) (c - 1))
+    done
+  done;
+  let units = Array.init rows (fun r -> Array.init cols (fun c -> id r c)) in
+  (* Pair path (zig-zag through the vertical and diagonal couplings).
+     Even r: B0 A0 B1 A1 ... (A = row r, B = row r+1) using A_c-B_c and
+     A_c-B_(c+1).  Odd r: A0 B0 A1 B1 ... using A_c-B_c and A_(c+1)-B_c. *)
+  let pair_paths =
+    Array.init (rows - 1) (fun r ->
+        Array.init (2 * cols) (fun i ->
+            let c = i / 2 in
+            if r mod 2 = 0 then begin
+              if i mod 2 = 0 then id (r + 1) c else id r c
+            end
+            else if i mod 2 = 0 then id r c
+            else id (r + 1) c))
+  in
+  (* No global Hamiltonian path is constructed for Sycamore; the ATA
+     schedule uses the two-level unit scheme, so [long_path] is only a
+     diagnostic heuristic here. *)
+  let long_path = Array.of_list (Paths.longest_path_heuristic graph) in
+  make ~kind:Sycamore
+    ~name:(Printf.sprintf "sycamore-%dx%d" rows cols)
+    ~graph ~units ~pair_paths ~long_path ~off_path:[||]
+    ~coords:
+      (Array.init (rows * cols) (fun i ->
+           let r = i / cols and c = i mod cols in
+           (float_of_int r, float_of_int c +. if r mod 2 = 0 then 0.0 else 0.5)))
+
+(* ------------------------------------------------------------------ *)
+(* IBM heavy-hex: horizontal rows of length L joined by bridge qubits.
+   Gap g (between rows g and g+1) carries bridges at columns 0, 4, 8, ...
+   when g is even and 2, 6, 10, ... when g is odd.  With L = 4m+3 the even
+   gaps reach column 0 and the odd gaps reach column L-1, so the snake of
+   §5.1 Fig 16 descends at alternating ends; every other bridge is an
+   off-path node. *)
+
+let heavy_hex ~rows ~row_len =
+  if rows < 1 || row_len < 1 then invalid_arg "Arch.heavy_hex: empty";
+  let bridge_cols g =
+    let offset = if g mod 2 = 0 then 0 else 2 in
+    let rec collect c acc = if c >= row_len then List.rev acc else collect (c + 4) (c :: acc) in
+    collect offset []
+  in
+  let bridges =
+    List.concat
+      (List.init (max 0 (rows - 1)) (fun g -> List.map (fun c -> (g, c)) (bridge_cols g)))
+  in
+  let n_row_qubits = rows * row_len in
+  let n = n_row_qubits + List.length bridges in
+  let id r c = (r * row_len) + c in
+  let graph = Graph.create n in
+  for r = 0 to rows - 1 do
+    for c = 0 to row_len - 2 do
+      Graph.add_edge graph (id r c) (id r (c + 1))
+    done
+  done;
+  let bridge_ids = Hashtbl.create 16 in
+  List.iteri
+    (fun i (g, c) ->
+      let b = n_row_qubits + i in
+      Hashtbl.replace bridge_ids (g, c) b;
+      Graph.add_edge graph b (id g c);
+      Graph.add_edge graph b (id (g + 1) c))
+    bridges;
+  (* Snake: row 0 right-to-left, down the column-0 bridge of gap 0 (if it
+     exists), row 1 left-to-right, down the column-(L-1) bridge of gap 1,
+     and so on.  Bridges at the turn column join the path; if a gap lacks a
+     bridge at the turning column (row_len mod 4 <> 3) we fall back to the
+     nearest bridge and the columns beyond it become off-path tails, which
+     the cleanup pass handles. *)
+  let path = ref [] in
+  let add q = path := q :: !path in
+  let turn_col g right =
+    let cols = bridge_cols g in
+    if right then List.fold_left max (-1) cols else if List.mem 0 cols then 0 else -1
+  in
+  let current_dir = ref false (* false = traverse right-to-left *) in
+  for r = 0 to rows - 1 do
+    let dir_right = !current_dir in
+    if dir_right then
+      for c = 0 to row_len - 1 do
+        add (id r c)
+      done
+    else
+      for c = row_len - 1 downto 0 do
+        add (id r c)
+      done;
+    if r + 1 < rows then begin
+      (* After a right-to-left sweep we sit at column 0, wanting a bridge
+         at column 0; after left-to-right, at column L-1. *)
+      let want_col = if dir_right then row_len - 1 else 0 in
+      let bridge_col = turn_col r dir_right in
+      if bridge_col = want_col then begin
+        match Hashtbl.find_opt bridge_ids (r, bridge_col) with
+        | Some b -> add b
+        | None -> ()
+      end
+    end;
+    current_dir := not !current_dir
+  done;
+  let snake = Array.of_list (List.rev !path) in
+  (* Validate consecutive coupling; truncate at the first break (only
+     possible for irregular row_len). *)
+  let valid_len = ref (Array.length snake) in
+  (try
+     for i = 0 to Array.length snake - 2 do
+       if not (Graph.has_edge graph snake.(i) snake.(i + 1)) then begin
+         valid_len := i + 1;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let snake = Array.sub snake 0 !valid_len in
+  let on_path = Array.make n false in
+  Array.iter (fun q -> on_path.(q) <- true) snake;
+  let off = Array.of_list (List.filter (fun q -> not on_path.(q)) (List.init n (fun i -> i))) in
+  let coords =
+    Array.init n (fun q ->
+        if q < n_row_qubits then (2.0 *. float_of_int (q / row_len), float_of_int (q mod row_len))
+        else begin
+          let g, c = List.nth bridges (q - n_row_qubits) in
+          ((2.0 *. float_of_int g) +. 1.0, float_of_int c)
+        end)
+  in
+  make ~kind:Heavy_hex
+    ~name:(Printf.sprintf "heavyhex-%dx%d" rows row_len)
+    ~graph ~units:[||] ~pair_paths:[||] ~long_path:snake ~off_path:off ~coords
+
+(* ------------------------------------------------------------------ *)
+(* Hexagon (honeycomb dragged square, Fig 12): full vertical coupling in
+   each column; horizontal coupling (r,c)-(r,c+1) exactly when r + c is
+   even, giving internal degree 3.  Units are columns.  [rows] must be
+   even so that every adjacent column pair has an end-row link. *)
+
+let hexagon ~rows ~cols =
+  if rows < 2 || rows mod 2 <> 0 then invalid_arg "Arch.hexagon: rows must be even and >= 2";
+  if cols < 1 then invalid_arg "Arch.hexagon: empty";
+  let id r c = (r * cols) + c in
+  let graph = Graph.create (rows * cols) in
+  for c = 0 to cols - 1 do
+    for r = 0 to rows - 2 do
+      Graph.add_edge graph (id r c) (id (r + 1) c)
+    done
+  done;
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 2 do
+      if (r + c) mod 2 = 0 then Graph.add_edge graph (id r c) (id r (c + 1))
+    done
+  done;
+  let units = Array.init cols (fun c -> Array.init rows (fun r -> id r c)) in
+  (* Pair path for columns c, c+1: even c crosses at row 0 (link exists
+     since 0 + c is even), odd c crosses at row rows-1 (rows even makes
+     rows-1 + c even). *)
+  let pair_paths =
+    Array.init (cols - 1) (fun c ->
+        if c mod 2 = 0 then
+          Array.init (2 * rows) (fun i ->
+              if i < rows then id (rows - 1 - i) c else id (i - rows) (c + 1))
+        else
+          Array.init (2 * rows) (fun i ->
+              if i < rows then id i c else id ((2 * rows) - 1 - i) (c + 1)))
+  in
+  let long_path = Array.of_list (Paths.longest_path_heuristic graph) in
+  make ~kind:Hexagon
+    ~name:(Printf.sprintf "hexagon-%dx%d" rows cols)
+    ~graph ~units ~pair_paths ~long_path ~off_path:[||]
+    ~coords:
+      (Array.init (rows * cols) (fun i ->
+           (float_of_int (i / cols), float_of_int (i mod cols))))
+
+(* ------------------------------------------------------------------ *)
+(* 27-qubit Falcon coupling map (ibmq_mumbai-class device). *)
+
+let falcon_27_edges =
+  [
+    (0, 1); (1, 2); (1, 4); (2, 3); (3, 5); (4, 7); (5, 8); (6, 7); (7, 10);
+    (8, 9); (8, 11); (10, 12); (11, 14); (12, 13); (12, 15); (13, 14);
+    (14, 16); (15, 18); (16, 19); (17, 18); (18, 21); (19, 20); (19, 22);
+    (21, 23); (22, 25); (23, 24); (24, 25); (25, 26);
+  ]
+
+let custom ~name graph =
+  let long_path = Array.of_list (Paths.longest_path_heuristic graph) in
+  let n = Graph.vertex_count graph in
+  let on_path = Array.make n false in
+  Array.iter (fun q -> on_path.(q) <- true) long_path;
+  let off = Array.of_list (List.filter (fun q -> not on_path.(q)) (List.init n (fun i -> i))) in
+  make ~kind:Custom ~name ~graph ~units:[||] ~pair_paths:[||] ~long_path ~off_path:off
+    ~coords:(Array.init n (fun i -> (0.0, float_of_int i)))
+
+let mumbai_like () =
+  let graph = Graph.of_edges 27 falcon_27_edges in
+  let t = custom ~name:"mumbai-like" graph in
+  { t with kind = Heavy_hex }
+
+(* ------------------------------------------------------------------ *)
+
+let rec int_sqrt_up n k = if k * k >= n then k else int_sqrt_up n (k + 1)
+
+let smallest_for target_kind n =
+  if n < 1 then invalid_arg "Arch.smallest_for: n must be positive";
+  match target_kind with
+  | Line -> line n
+  | Custom -> invalid_arg "Arch.smallest_for: custom has no parametric family"
+  | Grid3d ->
+      let rec cube k = if k * k * k >= n then k else cube (k + 1) in
+      let k = cube 1 in
+      grid3d ~nx:k ~ny:k ~nz:k
+  | Grid ->
+      let s = int_sqrt_up n 1 in
+      let rows = s in
+      let cols = (n + rows - 1) / rows in
+      grid ~rows ~cols
+  | Sycamore ->
+      let s = int_sqrt_up n 1 in
+      let rows = if s mod 2 = 0 then s else s + 1 in
+      let rows = max rows 2 in
+      let cols = max 1 ((n + rows - 1) / rows) in
+      sycamore ~rows ~cols
+  | Hexagon ->
+      let s = int_sqrt_up n 1 in
+      let rows = if s mod 2 = 0 then s else s + 1 in
+      let rows = max rows 2 in
+      let cols = max 1 ((n + rows - 1) / rows) in
+      hexagon ~rows ~cols
+  | Heavy_hex ->
+      (* Pick row_len = 4m+3 near sqrt(n), then grow rows until the device
+         holds n qubits. *)
+      let s = int_sqrt_up n 1 in
+      let m = max 0 ((s - 3 + 3) / 4) in
+      let row_len = (4 * m) + 3 in
+      let bridges_per_gap = ((row_len - 1) / 4) + 1 in
+      let rec fit rows =
+        let count = (rows * row_len) + (max 0 (rows - 1) * bridges_per_gap) in
+        if count >= n then rows else fit (rows + 1)
+      in
+      heavy_hex ~rows:(fit 1) ~row_len

@@ -1,0 +1,94 @@
+(** Hardware coupling architectures (paper §1 Fig 1, §3, §7.1).
+
+    Each architecture bundles a coupling graph with the structural
+    decomposition the compiler exploits: its unit partition (rows/columns),
+    per-unit-pair Hamiltonian paths, a global long path, and planar
+    coordinates (used by the ATA range detector to bound regions). *)
+
+type kind =
+  | Line
+  | Grid
+  | Grid3d
+  | Sycamore
+  | Heavy_hex
+  | Hexagon
+  | Custom
+
+type t
+
+val kind : t -> kind
+
+val name : t -> string
+
+val graph : t -> Qcr_graph.Graph.t
+
+val qubit_count : t -> int
+
+val distances : t -> Qcr_graph.Paths.distances
+(** All-pairs hop distances, computed once and cached. *)
+
+val distance : t -> int -> int -> int
+
+val coupled : t -> int -> int -> bool
+
+val units : t -> int array array
+(** Unit decomposition (paper §3: rows for grid/Sycamore, columns for
+    hexagon).  Each inner array lists the unit's physical qubits in
+    geometric order.  Empty for architectures compiled without units
+    (line, heavy-hex, custom). *)
+
+val pair_path : t -> int -> int array option
+(** [pair_path arch i] is a Hamiltonian path through units [i] and [i+1]
+    (both units' qubits, consecutive path elements coupled), used by the
+    unified two-level ATA scheme; [None] when not applicable. *)
+
+val long_path : t -> int array
+(** A long simple path through the architecture: the full Hamiltonian
+    boustrophedon for line/grid/Sycamore, the heavy-hex "longest path" of
+    §5.1 Fig 16 (off-path bridge qubits excluded), or a heuristic path for
+    custom graphs. *)
+
+val off_path : t -> int array
+(** Qubits not on [long_path] (heavy-hex bridge qubits; empty elsewhere). *)
+
+val coords : t -> (float * float) array
+(** Planar coordinates per qubit for region bounding boxes (§6.3). *)
+
+(** {1 Constructors} *)
+
+val line : int -> t
+
+val grid : rows:int -> cols:int -> t
+(** 2D lattice with horizontal and vertical couplings; qubit id of
+    (r, c) is [r * cols + c]. *)
+
+val grid3d : nx:int -> ny:int -> nz:int -> t
+(** 3D lattice (the Fig 13 discussion: the high-level idea extends beyond
+    two dimensions).  Units are the [nx] planes; adjacent planes join
+    through a Hamiltonian slab path, so the unified two-level ATA scheme
+    applies unchanged.  Qubit id of (x, y, z) is [(x*ny + y)*nz + z]. *)
+
+val sycamore : rows:int -> cols:int -> t
+(** Rotated square lattice: row [r], column [c] couples down to
+    [(r+1, c)] and diagonally to [(r+1, c+1)] (even [r]) or [(r+1, c-1)]
+    (odd [r]); no intra-row couplings.  [rows] must be even. *)
+
+val heavy_hex : rows:int -> row_len:int -> t
+(** IBM heavy-hex: [rows] horizontal lines of [row_len] qubits joined by
+    bridge qubits every 4 columns, staggered by 2 between successive gaps
+    (Fig 16 layout). *)
+
+val hexagon : rows:int -> cols:int -> t
+(** Honeycomb "dragged into a square" (Fig 12): full vertical coupling
+    within each column, horizontal couplings on alternating rows.
+    [rows] must be even. *)
+
+val mumbai_like : unit -> t
+(** 27-qubit heavy-hex device with the IBM Falcon coupling map, standing in
+    for IBM Mumbai (§7.4). *)
+
+val custom : name:string -> Qcr_graph.Graph.t -> t
+
+val smallest_for : kind -> int -> t
+(** [smallest_for kind n] is the smallest instance of [kind] (kept near
+    square, as in §7.1) with at least [n] qubits. *)

@@ -1,0 +1,61 @@
+module Graph = Qcr_graph.Graph
+module Prng = Qcr_util.Prng
+
+type t = {
+  arch : Arch.t;
+  cx : (int, float) Hashtbl.t; (* key = lo * n + hi *)
+  sq : float array;
+  readout : float array;
+}
+
+let key t u v =
+  let n = Arch.qubit_count t.arch in
+  let lo = min u v and hi = max u v in
+  (lo * n) + hi
+
+let ideal arch =
+  let n = Arch.qubit_count arch in
+  let cx = Hashtbl.create 64 in
+  Graph.iter_edges
+    (fun u v -> Hashtbl.replace cx ((min u v * n) + max u v) 0.0)
+    (Arch.graph arch);
+  { arch; cx; sq = Array.make n 0.0; readout = Array.make n 0.0 }
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let sampled ?(seed = 17) arch =
+  let rng = Prng.create seed in
+  let n = Arch.qubit_count arch in
+  let cx = Hashtbl.create 64 in
+  Graph.iter_edges
+    (fun u v ->
+      (* log-normal-ish spread around a 6e-3 median CX error *)
+      let e = 0.006 *. exp (Prng.gaussian rng ~mu:0.0 ~sigma:0.45) in
+      Hashtbl.replace cx ((min u v * n) + max u v) (clamp 1e-4 0.15 e))
+    (Arch.graph arch);
+  let sq = Array.init n (fun _ -> clamp 1e-5 0.01 (0.0003 *. exp (Prng.gaussian rng ~mu:0.0 ~sigma:0.4))) in
+  let readout = Array.init n (fun _ -> clamp 1e-3 0.2 (0.015 *. exp (Prng.gaussian rng ~mu:0.0 ~sigma:0.5))) in
+  { arch; cx; sq; readout }
+
+let uniform arch ~cx_error =
+  let n = Arch.qubit_count arch in
+  let cx = Hashtbl.create 64 in
+  Graph.iter_edges
+    (fun u v -> Hashtbl.replace cx ((min u v * n) + max u v) cx_error)
+    (Arch.graph arch);
+  { arch; cx; sq = Array.make n 0.0; readout = Array.make n 0.0 }
+
+let cx_error t u v =
+  match Hashtbl.find_opt t.cx (key t u v) with
+  | Some e -> e
+  | None -> invalid_arg "Noise.cx_error: qubits not coupled"
+
+let sq_error t q = t.sq.(q)
+
+let readout_error t q = t.readout.(q)
+
+let log_success_cx t u v = log (1.0 -. cx_error t u v)
+
+let arch t = t.arch
+
+let decoherence_log_fidelity ~depth ~qubits = -0.002 *. float_of_int (depth * qubits)

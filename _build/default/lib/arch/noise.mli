@@ -1,0 +1,41 @@
+(** Device noise model (paper §5.3, §7.4).
+
+    Real IBM machines exhibit qubit/link error variability; the compiler's
+    SWAP-insertion matching weights links by their two-qubit error rate and
+    the fidelity estimator multiplies per-gate success probabilities.  We
+    generate per-device calibration data from a seeded distribution with
+    magnitudes matching published IBM calibrations (see DESIGN.md). *)
+
+type t
+
+val ideal : Arch.t -> t
+(** Noiseless model: every error rate is zero. *)
+
+val sampled : ?seed:int -> Arch.t -> t
+(** Calibration-like noise: CX error per coupling edge (log-normal around
+    ~6e-3), single-qubit error (~3e-4) and readout error (~1.5e-2) per
+    qubit. *)
+
+val uniform : Arch.t -> cx_error:float -> t
+(** Same CX error on every link, no 1q/readout error. *)
+
+val cx_error : t -> int -> int -> float
+(** Error rate of a CX/CZ on a coupling edge (symmetric).
+    @raise Invalid_argument if the qubits are not coupled. *)
+
+val sq_error : t -> int -> float
+
+val readout_error : t -> int -> float
+
+val log_success_cx : t -> int -> int -> float
+(** [log (1 - cx_error)], the additive fidelity contribution. *)
+
+val arch : t -> Arch.t
+
+val decoherence_log_fidelity : depth:int -> qubits:int -> float
+(** Idle-decoherence contribution to a circuit's log-fidelity:
+    [-0.002 * depth * qubits].  Circuit duration scales with the 2q-gate
+    critical path; the rate matches a ~300 ns gate against ~150 us
+    coherence.  This is what makes depth reduction pay off in the
+    end-to-end experiments (§7.1: "circuit depth ... is correlated with
+    the circuit duration"). *)

@@ -1,0 +1,1 @@
+lib/baselines/paulihedral_like.ml: Array Hashtbl List Qcr_arch Qcr_circuit Qcr_core Qcr_graph Queue Sys

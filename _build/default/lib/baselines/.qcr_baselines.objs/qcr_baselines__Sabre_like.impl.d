@@ -1,0 +1,1 @@
+lib/baselines/sabre_like.ml: Array List Qcr_arch Qcr_circuit Qcr_core Qcr_graph Sys

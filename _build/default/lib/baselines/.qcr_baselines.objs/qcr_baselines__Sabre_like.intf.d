@@ -1,0 +1,1 @@
+lib/baselines/sabre_like.mli: Qcr_arch Qcr_circuit Qcr_core

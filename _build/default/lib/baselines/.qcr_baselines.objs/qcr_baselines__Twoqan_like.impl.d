@@ -1,0 +1,1 @@
+lib/baselines/twoqan_like.ml: Qcr_arch Qcr_circuit Qcr_core Qcr_graph Qcr_util Sys

@@ -1,0 +1,18 @@
+(** Paulihedral-style baseline (paper §7.1, [19]).
+
+    Paulihedral schedules commuting Pauli strings block-wise in a chosen
+    order and routes each block with SWAP chains; it does not exploit
+    hardware regularity.  Our reimplementation keeps its core strategy:
+    order the interaction terms by a BFS sweep over the problem graph
+    (lexicographic block order), then schedule layer by layer: each round
+    a qubit's earliest pending term either executes (endpoints adjacent)
+    or takes one locally-best SWAP step toward its partner.  No matching,
+    no coloring, no regularity knowledge: on dense inputs this reproduces
+    the depth/gate inflation the paper reports for Paulihedral. *)
+
+val compile :
+  ?noise:Qcr_arch.Noise.t ->
+  ?init:Qcr_circuit.Mapping.t ->
+  Qcr_arch.Arch.t ->
+  Qcr_circuit.Program.t ->
+  Qcr_core.Pipeline.result

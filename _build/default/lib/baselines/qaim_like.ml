@@ -1,0 +1,159 @@
+module Arch = Qcr_arch.Arch
+module Graph = Qcr_graph.Graph
+module Paths = Qcr_graph.Paths
+module Mapping = Qcr_circuit.Mapping
+module Circuit = Qcr_circuit.Circuit
+module Program = Qcr_circuit.Program
+module Gate = Qcr_circuit.Gate
+module Pipeline = Qcr_core.Pipeline
+
+(* Connectivity-aware placement: highest-degree logical qubits onto
+   highest-degree physical qubits (ties by id for determinism). *)
+let placement arch program =
+  let n_phys = Arch.qubit_count arch in
+  let n_log = Program.qubit_count program in
+  let problem = Program.graph program in
+  let by_degree count degree =
+    let order = Array.init count (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        match compare (degree b) (degree a) with 0 -> compare a b | c -> c)
+      order;
+    order
+  in
+  let log_order = by_degree n_log (Graph.degree problem) in
+  let phys_order = by_degree n_phys (Graph.degree (Arch.graph arch)) in
+  let p_of_l = Array.make n_phys (-1) in
+  Array.iteri (fun rank l -> p_of_l.(l) <- phys_order.(rank)) log_order;
+  (* dummies fill the leftover physical slots *)
+  let used = Array.make n_phys false in
+  Array.iteri (fun l p -> if l < n_log then used.(p) <- true) p_of_l;
+  let free = ref (List.filter (fun p -> not used.(p)) (List.init n_phys (fun i -> i))) in
+  for l = n_log to n_phys - 1 do
+    match !free with
+    | p :: rest ->
+        p_of_l.(l) <- p;
+        free := rest
+    | [] -> failwith "Qaim_like.placement: impossible"
+  done;
+  Mapping.of_phys_of_log ~logical:n_log p_of_l
+
+let compile ?noise ?init arch program =
+  let t0 = Sys.time () in
+  let n_phys = Arch.qubit_count arch in
+  let initial = match init with Some m -> m | None -> placement arch program in
+  let mapping = Mapping.copy initial in
+  let remaining = Graph.copy (Program.graph program) in
+  let dists = Arch.distances arch in
+  let graph = Arch.graph arch in
+  let body = Circuit.create n_phys in
+  let n_log = Program.qubit_count program in
+  let remaining_count = ref (Graph.edge_count remaining) in
+  let emit_gate u v =
+    Graph.remove_edge remaining u v;
+    decr remaining_count;
+    Circuit.add body
+      (Gate.map_qubits (fun l -> Mapping.phys_of_log mapping l) (Program.edge_gate program u v))
+  in
+  let guard = ref 0 in
+  let stalled = ref 0 in
+  let max_cycles = (400 * n_phys) + 20000 in
+  while !remaining_count > 0 && !guard < max_cycles do
+    incr guard;
+    (* schedule all compliant gates (first-fit disjoint) *)
+    let busy = Array.make n_phys false in
+    let progressed = ref false in
+    Graph.iter_edges
+      (fun p q ->
+        let a = Mapping.log_of_phys mapping p and b = Mapping.log_of_phys mapping q in
+        if
+          a < n_log && b < n_log && (not busy.(p)) && (not busy.(q))
+          && Graph.has_edge remaining a b
+        then begin
+          busy.(p) <- true;
+          busy.(q) <- true;
+          progressed := true;
+          emit_gate a b
+        end)
+      graph;
+    if !progressed then stalled := 0 else incr stalled;
+    (* gate-less cycles can ping-pong the per-pair swap rule; after a few
+       of them, route the closest pair straight down a shortest path
+       (strictly decreasing distance, so a gate is eventually reached) *)
+    if !remaining_count > 0 && !stalled >= 3 then begin
+      let best = ref None in
+      Graph.iter_edges
+        (fun u v ->
+          let d =
+            Paths.distance dists (Mapping.phys_of_log mapping u) (Mapping.phys_of_log mapping v)
+          in
+          match !best with
+          | Some (d', _, _) when d' <= d -> ()
+          | _ -> best := Some (d, u, v))
+        remaining;
+      match !best with
+      | Some (_, u, v) -> begin
+          let pu = Mapping.phys_of_log mapping u and pv = Mapping.phys_of_log mapping v in
+          match Paths.shortest_path graph pu pv with
+          | _ :: next :: _ :: _ ->
+              Mapping.apply_swap mapping pu next;
+              Circuit.add body (Gate.Swap (pu, next))
+          | _ -> ()
+        end
+      | None -> ()
+    end
+    else if !remaining_count > 0 then begin
+      let pairs =
+        Graph.edges remaining
+        |> List.map (fun (u, v) ->
+               let d =
+                 Paths.distance dists (Mapping.phys_of_log mapping u)
+                   (Mapping.phys_of_log mapping v)
+               in
+               (d, u, v))
+        |> List.filter (fun (d, _, _) -> d > 1)
+        |> List.sort compare
+      in
+      List.iter
+        (fun (d, u, v) ->
+          let pu = Mapping.phys_of_log mapping u and pv = Mapping.phys_of_log mapping v in
+          if (not busy.(pu)) && not busy.(pv) then begin
+            (* best neighbor of pu toward pv *)
+            let candidates =
+              List.filter (fun w -> (not busy.(w)) && Paths.distance dists w pv < d)
+                (Graph.neighbors graph pu)
+            in
+            match candidates with
+            | [] -> ()
+            | w :: rest ->
+                let best =
+                  List.fold_left
+                    (fun acc x ->
+                      if Paths.distance dists x pv < Paths.distance dists acc pv then x else acc)
+                    w rest
+                in
+                busy.(pu) <- true;
+                busy.(best) <- true;
+                progressed := true;
+                Mapping.apply_swap mapping pu best;
+                Circuit.add body (Gate.Swap (pu, best))
+          end)
+        pairs;
+      (* forced progress: never let a cycle idle *)
+      if not !progressed then begin
+        match pairs with
+        | (_, u, v) :: _ -> begin
+            let pu = Mapping.phys_of_log mapping u and pv = Mapping.phys_of_log mapping v in
+            match Paths.shortest_path graph pu pv with
+            | _ :: next :: _ :: _ ->
+                Mapping.apply_swap mapping pu next;
+                Circuit.add body (Gate.Swap (pu, next))
+            | _ -> ()
+          end
+        | [] -> ()
+      end
+    end
+  done;
+  if !remaining_count > 0 then failwith "Qaim_like.compile: did not converge";
+  Pipeline.finalize_body ~arch ~program ~noise ~initial ~final:mapping
+    ~strategy:Pipeline.Pure_greedy ~seconds:(Sys.time () -. t0) body

@@ -1,0 +1,15 @@
+(** QAIM-style baseline (paper §7.1, [3]).
+
+    QAIM ("instruction parallelism/connectivity-aware mapping") places
+    logical qubits by interaction count onto well-connected physical
+    qubits, then iterates layer by layer: schedule every currently
+    compliant gate, then for each still-separated pair greedily commit the
+    single best distance-reducing SWAP (a bin-packing-flavoured rule),
+    without matching, coloring, or any architecture-regularity knowledge. *)
+
+val compile :
+  ?noise:Qcr_arch.Noise.t ->
+  ?init:Qcr_circuit.Mapping.t ->
+  Qcr_arch.Arch.t ->
+  Qcr_circuit.Program.t ->
+  Qcr_core.Pipeline.result

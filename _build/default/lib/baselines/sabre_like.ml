@@ -1,0 +1,120 @@
+module Arch = Qcr_arch.Arch
+module Graph = Qcr_graph.Graph
+module Paths = Qcr_graph.Paths
+module Mapping = Qcr_circuit.Mapping
+module Circuit = Qcr_circuit.Circuit
+module Program = Qcr_circuit.Program
+module Gate = Qcr_circuit.Gate
+module Pipeline = Qcr_core.Pipeline
+
+let compile ?noise ?init ?(decay = 0.92) arch program =
+  let t0 = Sys.time () in
+  let n_phys = Arch.qubit_count arch in
+  let n_log = Program.qubit_count program in
+  let initial =
+    match init with
+    | Some m -> m
+    | None -> Mapping.identity ~logical:n_log ~physical:n_phys
+  in
+  let mapping = Mapping.copy initial in
+  let remaining = Graph.copy (Program.graph program) in
+  let remaining_count = ref (Graph.edge_count remaining) in
+  let dists = Arch.distances arch in
+  let device = Arch.graph arch in
+  let body = Circuit.create n_phys in
+  let decay_factor = Array.make n_phys 1.0 in
+  let emit u v =
+    Graph.remove_edge remaining u v;
+    decr remaining_count;
+    Circuit.add body
+      (Gate.map_qubits (fun l -> Mapping.phys_of_log mapping l) (Program.edge_gate program u v))
+  in
+  (* SABRE front-layer objective restricted to a token: summed distance to
+     every remaining partner *)
+  let summed a =
+    List.fold_left
+      (fun acc v ->
+        acc
+        + Paths.distance dists (Mapping.phys_of_log mapping a) (Mapping.phys_of_log mapping v))
+      0 (Graph.neighbors remaining a)
+  in
+  let steps = ref 0 in
+  let stalled = ref 0 in
+  let max_steps = (100 * n_phys * n_phys) + 10_000 in
+  while !remaining_count > 0 && !steps < max_steps do
+    incr steps;
+    (* execute every compliant gate *)
+    let progressed = ref true in
+    while !progressed do
+      progressed := false;
+      Graph.iter_edges
+        (fun p q ->
+          let a = Mapping.log_of_phys mapping p and b = Mapping.log_of_phys mapping q in
+          if a < n_log && b < n_log && Graph.has_edge remaining a b then begin
+            progressed := true;
+            stalled := 0;
+            emit a b
+          end)
+        device
+    done;
+    incr stalled;
+    if !remaining_count > 0 && !stalled > 2 * n_phys then begin
+      (* heuristic thrash guard: walk the closest separated pair straight
+         down a shortest path *)
+      let best = ref None in
+      Graph.iter_edges
+        (fun u v ->
+          let d =
+            Paths.distance dists (Mapping.phys_of_log mapping u) (Mapping.phys_of_log mapping v)
+          in
+          match !best with Some (d', _, _) when d' <= d -> () | _ -> best := Some (d, u, v))
+        remaining;
+      match !best with
+      | Some (_, u, v) -> begin
+          let pu = Mapping.phys_of_log mapping u and pv = Mapping.phys_of_log mapping v in
+          match Paths.shortest_path device pu pv with
+          | _ :: next :: _ :: _ ->
+              Mapping.apply_swap mapping pu next;
+              Circuit.add body (Gate.Swap (pu, next))
+          | _ -> ()
+        end
+      | None -> ()
+    end
+    else if !remaining_count > 0 then begin
+      (* candidate swaps: device edges touching a token that still owes a
+         gate; objective = post-swap nearest-partner distances of both
+         moved tokens, scaled by decay *)
+      let best = ref None in
+      Graph.iter_edges
+        (fun p q ->
+          let a = Mapping.log_of_phys mapping p and b = Mapping.log_of_phys mapping q in
+          let owes l = l < n_log && Graph.degree remaining l > 0 in
+          if owes a || owes b then begin
+            let cost l = if l < n_log then summed l else 0 in
+            let before = float_of_int (cost a + cost b) in
+            Mapping.apply_swap mapping p q;
+            let after = float_of_int (cost a + cost b) in
+            Mapping.apply_swap mapping p q;
+            (* negative = improvement; decay penalizes recently moved wires:
+               dividing a negative score by a growing factor shrinks the
+               improvement, steering the search elsewhere *)
+            let score = (after -. before) /. (decay_factor.(p) *. decay_factor.(q)) in
+            match !best with
+            | Some (s, _, _) when s <= score -> ()
+            | _ -> best := Some (score, p, q)
+          end)
+        device;
+      match !best with
+      | Some (_, p, q) ->
+          Mapping.apply_swap mapping p q;
+          Circuit.add body (Gate.Swap (p, q));
+          decay_factor.(p) <- decay_factor.(p) /. decay;
+          decay_factor.(q) <- decay_factor.(q) /. decay;
+          (* periodically relax the decay *)
+          if !steps mod 8 = 0 then Array.fill decay_factor 0 n_phys 1.0
+      | None -> ()
+    end
+  done;
+  if !remaining_count > 0 then failwith "Sabre_like.compile: did not converge";
+  Pipeline.finalize_body ~arch ~program ~noise ~initial ~final:mapping
+    ~strategy:Pipeline.Pure_greedy ~seconds:(Sys.time () -. t0) body

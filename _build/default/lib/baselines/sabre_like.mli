@@ -1,0 +1,18 @@
+(** SABRE-style generic router (the paper's reference class [18]: generic
+    qubit mapping with no commutativity or regularity awareness beyond the
+    free gate order).
+
+    Strategy: keep the whole commuting front; execute every compliant
+    gate, then commit the single SWAP minimizing the SABRE objective — the
+    summed distance of the nearest-future gates of the two moved tokens,
+    with a per-qubit decay factor discouraging thrash.  No matching, no
+    structured fallback, single swap per step (parallelism re-emerges only
+    through ASAP layering). *)
+
+val compile :
+  ?noise:Qcr_arch.Noise.t ->
+  ?init:Qcr_circuit.Mapping.t ->
+  ?decay:float ->
+  Qcr_arch.Arch.t ->
+  Qcr_circuit.Program.t ->
+  Qcr_core.Pipeline.result

@@ -1,0 +1,30 @@
+(** 2QAN-style baseline (paper §7.1, [16]).
+
+    2QAN spends a quadratic-time placement search minimizing the total
+    coupling distance over all program pairs, then routes with SWAP/gate
+    unification.  We reimplement that strategy: simulated-annealing
+    placement over the quadratic objective (the source of 2QAN's >1-day
+    compile times at 256 qubits, reproduced here as an O(n^2)-per-move
+    cost), followed by the shared greedy router with SWAP+interaction
+    merging.  Strong on small instances, unusable at scale — matching the
+    paper's Table 1 blanks. *)
+
+val compile :
+  ?seed:int ->
+  ?anneal_moves:int ->
+  ?noise:Qcr_arch.Noise.t ->
+  Qcr_arch.Arch.t ->
+  Qcr_circuit.Program.t ->
+  Qcr_core.Pipeline.result
+
+val placement_cost :
+  Qcr_arch.Arch.t -> Qcr_circuit.Program.t -> Qcr_circuit.Mapping.t -> int
+(** Sum over program edges of the coupling distance between the mapped
+    endpoints (the quadratic objective). *)
+
+val anneal_placement :
+  ?seed:int ->
+  ?moves:int ->
+  Qcr_arch.Arch.t ->
+  Qcr_circuit.Program.t ->
+  Qcr_circuit.Mapping.t

@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Array Float Format Gate Hashtbl List Option Printf Qcr_arch Qcr_graph

@@ -1,0 +1,1 @@
+lib/circuit/mapping.ml: Array Qcr_util

@@ -1,0 +1,1 @@
+lib/circuit/mapping.mli: Qcr_util

@@ -1,0 +1,1 @@
+lib/circuit/program.ml: Circuit Gate List Qcr_graph

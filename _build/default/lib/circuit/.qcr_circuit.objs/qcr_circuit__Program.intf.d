@@ -1,0 +1,1 @@
+lib/circuit/program.mli: Circuit Gate Qcr_graph

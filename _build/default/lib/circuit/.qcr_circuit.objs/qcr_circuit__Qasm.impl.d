@@ -1,0 +1,1 @@
+lib/circuit/qasm.ml: Buffer Circuit Float Fun Gate List Printf Scanf String

@@ -1,0 +1,166 @@
+module Arch = Qcr_arch.Arch
+module Noise = Qcr_arch.Noise
+
+type t = { n : int; mutable rev_gates : Gate.t list; mutable count : int }
+
+let create n =
+  if n < 0 then invalid_arg "Circuit.create: negative wire count";
+  { n; rev_gates = []; count = 0 }
+
+let qubit_count t = t.n
+
+let add t g =
+  List.iter
+    (fun q -> if q < 0 || q >= t.n then invalid_arg "Circuit.add: qubit out of range")
+    (Gate.qubits g);
+  t.rev_gates <- g :: t.rev_gates;
+  t.count <- t.count + 1
+
+let add_list t gs = List.iter (add t) gs
+
+let gates t = List.rev t.rev_gates
+
+let gate_count t = t.count
+
+let two_qubit_gates t =
+  List.filter_map
+    (fun g ->
+      if Gate.is_two_qubit g then
+        match Gate.qubits g with
+        | [ a; b ] -> Some (a, b)
+        | _ -> None
+      else None)
+    (gates t)
+
+let cx_count t = List.fold_left (fun acc g -> acc + Gate.cx_cost g) 0 (gates t)
+
+let depth_with ~counts t =
+  let busy_until = Array.make (max t.n 1) 0 in
+  let total = ref 0 in
+  List.iter
+    (fun g ->
+      match g with
+      | Gate.Barrier | Gate.Measure _ -> ()
+      | _ ->
+          let qs = Gate.qubits g in
+          if counts g then begin
+            let start = List.fold_left (fun acc q -> max acc busy_until.(q)) 0 qs in
+            let finish = start + 1 in
+            List.iter (fun q -> busy_until.(q) <- finish) qs;
+            total := max !total finish
+          end)
+    (gates t);
+  !total
+
+let depth t = depth_with ~counts:(fun _ -> true) t
+
+let depth2q t = depth_with ~counts:Gate.is_two_qubit t
+
+let layers t =
+  let busy_until = Array.make (max t.n 1) 0 in
+  let buckets : (int, Gate.t list) Hashtbl.t = Hashtbl.create 64 in
+  let deepest = ref 0 in
+  List.iter
+    (fun g ->
+      match g with
+      | Gate.Barrier -> ()
+      | _ ->
+          let qs = Gate.qubits g in
+          let start = List.fold_left (fun acc q -> max acc busy_until.(q)) 0 qs in
+          List.iter (fun q -> busy_until.(q) <- start + 1) qs;
+          deepest := max !deepest (start + 1);
+          let existing = Option.value ~default:[] (Hashtbl.find_opt buckets start) in
+          Hashtbl.replace buckets start (g :: existing))
+    (gates t);
+  List.init !deepest (fun i ->
+      List.rev (Option.value ~default:[] (Hashtbl.find_opt buckets i)))
+
+let map_qubits f t =
+  let t' = create t.n in
+  List.iter (fun g -> add t' (Gate.map_qubits f g)) (gates t);
+  t'
+
+let concat a b =
+  if a.n <> b.n then invalid_arg "Circuit.concat: wire counts differ";
+  let t = create a.n in
+  List.iter (add t) (gates a);
+  List.iter (add t) (gates b);
+  t
+
+(* A Cphase/Rzz followed by a Swap on the same pair — with nothing touching
+   either qubit in between — fuses into Swap_interact (3 CX instead of 5).
+   Single pass over program order, remembering the pending interaction per
+   qubit pair. *)
+let merge_swaps t =
+  let arr = Array.of_list (gates t) in
+  let len = Array.length arr in
+  let removed = Array.make len false in
+  let last_touch = Array.make (max t.n 1) (-1) in
+  (* pending.(pair) = index of a fusable interaction *)
+  let pending : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let norm a b = (min a b, max a b) in
+  for i = 0 to len - 1 do
+    match arr.(i) with
+    | Gate.Cphase (a, b, _) | Gate.Rzz (a, b, _) | Gate.Cz (a, b) ->
+        Hashtbl.replace pending (norm a b) i;
+        last_touch.(a) <- i;
+        last_touch.(b) <- i
+    | Gate.Swap (a, b) -> begin
+        let pair = norm a b in
+        (match Hashtbl.find_opt pending pair with
+        | Some j when last_touch.(a) = j && last_touch.(b) = j -> begin
+            match arr.(j) with
+            | Gate.Cphase (_, _, theta) ->
+                arr.(j) <- Gate.Swap_interact (a, b, theta);
+                removed.(i) <- true
+            | Gate.Cz _ ->
+                (* CZ = CPHASE(pi), so CZ+SWAP also fuses to 3 CX *)
+                arr.(j) <- Gate.Swap_interact (a, b, Float.pi);
+                removed.(i) <- true
+            | Gate.Rzz (_, _, theta) ->
+                arr.(j) <- Gate.Swap_rzz (a, b, theta);
+                removed.(i) <- true
+            | _ -> ()
+          end
+        | _ -> ());
+        Hashtbl.remove pending pair;
+        last_touch.(a) <- i;
+        last_touch.(b) <- i
+      end
+    | g -> List.iter (fun q -> last_touch.(q) <- i) (Gate.qubits g)
+  done;
+  let t' = create t.n in
+  Array.iteri (fun i g -> if not removed.(i) then add t' g) arr;
+  t'
+
+let validate_coupling arch t =
+  let graph = Arch.graph arch in
+  let bad = ref None in
+  List.iter
+    (fun g ->
+      if !bad = None && Gate.is_two_qubit g then
+        match Gate.qubits g with
+        | [ a; b ] when not (Qcr_graph.Graph.has_edge graph a b) ->
+            bad := Some (Printf.sprintf "gate %s on uncoupled pair" (Gate.to_string g))
+        | _ -> ())
+    (gates t);
+  match !bad with None -> Ok () | Some msg -> Error msg
+
+let log_fidelity noise t =
+  List.fold_left
+    (fun acc g ->
+      match Gate.qubits g with
+      | [ a; b ] when Gate.is_two_qubit g ->
+          acc +. (float_of_int (Gate.cx_cost g) *. Noise.log_success_cx noise a b)
+      | [ q ] -> begin
+          match g with
+          | Gate.Measure _ -> acc +. log (1.0 -. Noise.readout_error noise q)
+          | _ -> acc +. log (1.0 -. Noise.sq_error noise q)
+        end
+      | _ -> acc)
+    0.0 (gates t)
+
+let copy t = { n = t.n; rev_gates = t.rev_gates; count = t.count }
+
+let pp fmt t =
+  Format.fprintf fmt "circuit(%d qubits, %d gates, depth %d)" t.n t.count (depth t)

@@ -1,0 +1,66 @@
+(** Quantum circuits: an ordered gate sequence over [qubit_count] wires.
+
+    Compiled circuits hold physical qubit indices; program circuits hold
+    logical indices.  Metrics follow the paper's §7.1 definitions: depth is
+    the critical-path length with each gate taking one cycle, and the gate
+    count is the CX count after decomposing to the {CX, 1q} basis. *)
+
+type t
+
+val create : int -> t
+(** Empty circuit on [n] wires. *)
+
+val qubit_count : t -> int
+
+val add : t -> Gate.t -> unit
+(** Append a gate.
+    @raise Invalid_argument if a qubit index is out of range. *)
+
+val add_list : t -> Gate.t list -> unit
+
+val gates : t -> Gate.t list
+(** Gates in program order. *)
+
+val gate_count : t -> int
+
+val two_qubit_gates : t -> (int * int) list
+(** Unordered qubit pairs of every 2q gate in order. *)
+
+val cx_count : t -> int
+(** Total CX after decomposition (§7.1 "two-qubit gate count"). *)
+
+val depth : t -> int
+(** Critical path over all gates except barriers/measures. *)
+
+val depth2q : t -> int
+(** Critical path counting only two-qubit gates (the swap-network cycle
+    count used throughout §3). *)
+
+val layers : t -> Gate.t list list
+(** ASAP layering: greedy partition into cycles of disjoint gates
+    respecting program order. *)
+
+val map_qubits : (int -> int) -> t -> t
+(** Relabel wires (e.g. apply an initial mapping). *)
+
+val concat : t -> t -> t
+(** New circuit running [a] then [b]; wire counts must agree. *)
+
+val merge_swaps : t -> t
+(** Fuse each [Cphase]/[Cz]/[Rzz] immediately followed by a [Swap] on the
+    same pair (no intervening gate on either qubit) into
+    [Swap_interact]/[Swap_rzz], saving 2 CX per fusion — the pattern the
+    structured ATA schedules produce at every computation+swap step
+    ([Cz] fuses as [Swap_interact] at angle pi). *)
+
+val validate_coupling : Qcr_arch.Arch.t -> t -> (unit, string) result
+(** Check every 2q gate acts on a coupled pair. *)
+
+val log_fidelity : Qcr_arch.Noise.t -> t -> float
+(** Sum over gates of [log (1 - error)]: 2q gates contribute
+    [cx_cost * log(1 - cx_error(edge))], 1q gates their 1q error.
+    [exp] of this is the estimated success probability (ESP). *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

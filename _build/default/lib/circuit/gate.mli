@@ -1,0 +1,42 @@
+(** Quantum gates.
+
+    The permutable-operator programs of the paper (QAOA, 2-local
+    Hamiltonian simulation) need only a small native set: single-qubit
+    rotations/H, CX/CZ, the parameterized two-qubit interaction (CPHASE or
+    RZZ), SWAP, and the merged SWAP+interaction that the structured
+    patterns produce (a SWAP immediately following a CPHASE on the same
+    pair costs 3 CX total, Fig 6/7). *)
+
+type t =
+  | H of int
+  | X of int
+  | Rx of int * float
+  | Rz of int * float
+  | Cx of int * int
+  | Cz of int * int
+  | Cphase of int * int * float  (** controlled-phase; the QAOA ZZ term *)
+  | Rzz of int * int * float     (** exp(-i t Z⊗Z/2), 2-local simulation *)
+  | Swap of int * int
+  | Swap_interact of int * int * float
+      (** merged SWAP ∘ CPHASE(theta) on the same pair: 3 CX *)
+  | Swap_rzz of int * int * float
+      (** merged SWAP ∘ RZZ(theta) on the same pair: 3 CX *)
+  | Measure of int
+  | Barrier
+
+val qubits : t -> int list
+(** Qubits touched, in gate order ([] for [Barrier]). *)
+
+val is_two_qubit : t -> bool
+
+val cx_cost : t -> int
+(** CX gates after decomposition to the {CX, 1q} basis:
+    CX/CZ = 1, CPHASE/RZZ = 2, SWAP = 3, SWAP+interact = 3, 1q = 0. *)
+
+val map_qubits : (int -> int) -> t -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

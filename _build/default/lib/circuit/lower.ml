@@ -1,0 +1,42 @@
+(* All two-qubit gates in the IR are permutations-with-phases up to the H
+   conjugation in CZ, so lowering only needs CX + Rz (+ H).  The fused
+   SWAP gates use 3 CX with interleaved Rz: writing the circuit's action
+   on basis state (a, b), phases contributed on wires between the CXs are
+   p*a + r*b + t*(a xor b) with a xor b = a + b - 2ab; choosing t kills or
+   creates the ab term and p, r absorb the linear residue.  Global phases
+   are dropped (Rz vs the phase gate P differ by one). *)
+
+let gate g =
+  match g with
+  | Gate.Cz (a, b) -> [ Gate.H b; Gate.Cx (a, b); Gate.H b ]
+  | Gate.Cphase (a, b, theta) ->
+      (* phase theta * ab: P_a(t/2) P_b(t/2) . CX Rz_b(-t/2)-as-P CX *)
+      [
+        Gate.Cx (a, b);
+        Gate.Rz (b, -.theta /. 2.0);
+        Gate.Cx (a, b);
+        Gate.Rz (a, theta /. 2.0);
+        Gate.Rz (b, theta /. 2.0);
+      ]
+  | Gate.Rzz (a, b, theta) -> [ Gate.Cx (a, b); Gate.Rz (b, theta); Gate.Cx (a, b) ]
+  | Gate.Swap (a, b) -> [ Gate.Cx (a, b); Gate.Cx (b, a); Gate.Cx (a, b) ]
+  | Gate.Swap_interact (a, b, theta) ->
+      (* SWAP . CPHASE(theta): t = -theta/2, p = r = theta/2 *)
+      [
+        Gate.Cx (a, b);
+        Gate.Rz (a, theta /. 2.0);
+        Gate.Rz (b, -.theta /. 2.0);
+        Gate.Cx (b, a);
+        Gate.Rz (a, theta /. 2.0);
+        Gate.Cx (a, b);
+      ]
+  | Gate.Swap_rzz (a, b, theta) ->
+      (* SWAP . RZZ(theta): t = theta, p = r = 0 *)
+      [ Gate.Cx (a, b); Gate.Rz (b, theta); Gate.Cx (b, a); Gate.Cx (a, b) ]
+  | Gate.H _ | Gate.X _ | Gate.Rx _ | Gate.Rz _ | Gate.Cx _ | Gate.Measure _ | Gate.Barrier ->
+      [ g ]
+
+let circuit c =
+  let out = Circuit.create (Circuit.qubit_count c) in
+  List.iter (fun g -> Circuit.add_list out (gate g)) (Circuit.gates c);
+  out

@@ -1,0 +1,20 @@
+(** Lowering to the native {CX, 1q} basis (paper §7.1: "we decompose the
+    compiled circuit into single-qubit basis gates and CX gates").
+
+    The decompositions used (all standard):
+    - CZ          = H(t) CX H(t)
+    - CPHASE(θ)   = Rz(θ/2) on both + CX Rz(-θ/2) CX        (2 CX)
+    - RZZ(θ)      = CX Rz(θ) CX                              (2 CX)
+    - SWAP        = CX CX CX                                 (3 CX)
+    - SWAP∘CPHASE = CX Rz CX Rz-corrections CX               (3 CX)
+    - SWAP∘RZZ    likewise                                   (3 CX)
+
+    [Circuit.cx_count] of the input equals the number of [Cx] gates in the
+    output (that identity is tested), and the lowered circuit is verified
+    unitary-equivalent in the test suite. *)
+
+val circuit : Circuit.t -> Circuit.t
+(** Lower every gate; [H]/[X]/[Rx]/[Rz]/[Cx]/[Measure]/[Barrier] pass
+    through unchanged. *)
+
+val gate : Gate.t -> Gate.t list

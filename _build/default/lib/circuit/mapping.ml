@@ -1,0 +1,49 @@
+type t = { logical : int; p_of_l : int array; l_of_p : int array }
+
+let check_permutation a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= n || seen.(x) then invalid_arg "Mapping: not a permutation";
+      seen.(x) <- true)
+    a
+
+let of_phys_of_log ~logical a =
+  check_permutation a;
+  if logical > Array.length a then invalid_arg "Mapping: more logical than physical";
+  let n = Array.length a in
+  let l_of_p = Array.make n 0 in
+  Array.iteri (fun l p -> l_of_p.(p) <- l) a;
+  { logical; p_of_l = Array.copy a; l_of_p }
+
+let identity ~logical ~physical =
+  of_phys_of_log ~logical (Array.init physical (fun i -> i))
+
+let logical_count t = t.logical
+
+let physical_count t = Array.length t.p_of_l
+
+let phys_of_log t l = t.p_of_l.(l)
+
+let log_of_phys t p = t.l_of_p.(p)
+
+let is_dummy t l = l >= t.logical
+
+let apply_swap t p q =
+  let lp = t.l_of_p.(p) and lq = t.l_of_p.(q) in
+  t.l_of_p.(p) <- lq;
+  t.l_of_p.(q) <- lp;
+  t.p_of_l.(lp) <- q;
+  t.p_of_l.(lq) <- p
+
+let copy t = { logical = t.logical; p_of_l = Array.copy t.p_of_l; l_of_p = Array.copy t.l_of_p }
+
+let phys_array t = Array.copy t.p_of_l
+
+let random rng ~logical ~physical =
+  let a = Array.init physical (fun i -> i) in
+  Qcr_util.Prng.shuffle rng a;
+  of_phys_of_log ~logical a
+
+let equal a b = a.logical = b.logical && a.p_of_l = b.p_of_l

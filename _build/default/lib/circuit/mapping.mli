@@ -1,0 +1,42 @@
+(** Bijection between logical and physical qubits.
+
+    A mapping carries [phys_of_log] and its inverse; applying a hardware
+    SWAP on two physical qubits exchanges which logical qubits live there
+    (paper §2.2).  When the device has more physical qubits than the
+    program has logical ones, the surplus physical qubits host "dummy"
+    logical indices [>= logical_count] so the mapping stays a bijection. *)
+
+type t
+
+val identity : logical:int -> physical:int -> t
+(** Logical qubit [i] starts on physical qubit [i]. *)
+
+val of_phys_of_log : logical:int -> int array -> t
+(** [of_phys_of_log ~logical a]: [a.(l)] is the physical home of logical
+    [l]; [a] must be a permutation of [0 .. length-1] and cover at least
+    [logical] entries (extra entries are dummies). *)
+
+val logical_count : t -> int
+(** Real (non-dummy) logical qubits. *)
+
+val physical_count : t -> int
+
+val phys_of_log : t -> int -> int
+
+val log_of_phys : t -> int -> int
+(** May return a dummy index [>= logical_count]. *)
+
+val is_dummy : t -> int -> bool
+(** [is_dummy t l] for a logical index. *)
+
+val apply_swap : t -> int -> int -> unit
+(** Swap the logical occupants of two physical qubits, in place. *)
+
+val copy : t -> t
+
+val phys_array : t -> int array
+(** Fresh copy of the [phys_of_log] array (including dummies). *)
+
+val random : Qcr_util.Prng.t -> logical:int -> physical:int -> t
+
+val equal : t -> t -> bool

@@ -1,0 +1,187 @@
+let gate_line buffer g =
+  let p fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer s; Buffer.add_char buffer '\n') fmt in
+  match g with
+  | Gate.H q -> p "h q[%d];" q
+  | Gate.X q -> p "x q[%d];" q
+  | Gate.Rx (q, t) -> p "rx(%.12g) q[%d];" t q
+  | Gate.Rz (q, t) -> p "rz(%.12g) q[%d];" t q
+  | Gate.Cx (a, b) -> p "cx q[%d],q[%d];" a b
+  | Gate.Cz (a, b) -> p "cz q[%d],q[%d];" a b
+  | Gate.Cphase (a, b, t) -> p "cp(%.12g) q[%d],q[%d];" t a b
+  | Gate.Rzz (a, b, t) ->
+      (* rzz = cx; rz; cx *)
+      p "cx q[%d],q[%d];" a b;
+      p "rz(%.12g) q[%d];" t b;
+      p "cx q[%d],q[%d];" a b
+  | Gate.Swap (a, b) -> p "swap q[%d],q[%d];" a b
+  | Gate.Swap_interact (a, b, t) ->
+      (* cp followed by swap; QASM has no fused primitive *)
+      p "cp(%.12g) q[%d],q[%d];" t a b;
+      p "swap q[%d],q[%d];" a b
+  | Gate.Swap_rzz (a, b, t) ->
+      p "cx q[%d],q[%d];" a b;
+      p "rz(%.12g) q[%d];" t b;
+      p "cx q[%d],q[%d];" a b;
+      p "swap q[%d],q[%d];" a b
+  | Gate.Measure q -> p "measure q[%d] -> c[%d];" q q
+  | Gate.Barrier -> p "barrier q;"
+
+let to_string circuit =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  Buffer.add_string buffer
+    (Printf.sprintf "qreg q[%d];\ncreg c[%d];\n" (Circuit.qubit_count circuit)
+       (Circuit.qubit_count circuit));
+  List.iter (gate_line buffer) (Circuit.gates circuit);
+  Buffer.contents buffer
+
+let write_file path circuit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string circuit))
+
+(* ------------------------------------------------------------------ *)
+(* Import: a small recursive-descent parser for the dialect emitted
+   above.  One quantum register, the qelib1 gates we use, no gate
+   definitions or classical control. *)
+
+let strip_comment line =
+  match String.index_opt line '/' with
+  | Some i when i + 1 < String.length line && line.[i + 1] = '/' -> String.sub line 0 i
+  | _ -> line
+
+let trim = String.trim
+
+(* "q[3]" -> 3 *)
+let parse_qubit token =
+  let token = trim token in
+  try Scanf.sscanf token "q[%d]" (fun i -> Ok i)
+  with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+    Error (Printf.sprintf "bad qubit reference %S" token)
+
+let parse_angle text =
+  (* angles are printed with %.12g; also accept "pi"-style multiples *)
+  let text = trim text in
+  match float_of_string_opt text with
+  | Some f -> Ok f
+  | None -> begin
+      let pi = Float.pi in
+      match text with
+      | "pi" -> Ok pi
+      | "-pi" -> Ok (-.pi)
+      | "pi/2" -> Ok (pi /. 2.0)
+      | "-pi/2" -> Ok (-.pi /. 2.0)
+      | "pi/4" -> Ok (pi /. 4.0)
+      | _ -> Error (Printf.sprintf "bad angle %S" text)
+    end
+
+let split_args text = List.map trim (String.split_on_char ',' text)
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let parse_statement ~line_no stmt =
+  let stmt = trim stmt in
+  let fail fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" line_no m)) fmt in
+  let with_args name rest k =
+    ignore name;
+    k (split_args rest)
+  in
+  let one_qubit ctor rest =
+    with_args "" rest (function
+      | [ q ] ->
+          let* q = parse_qubit q in
+          Ok (Some (ctor q))
+      | _ -> fail "expected one qubit")
+  in
+  let two_qubit ctor rest =
+    with_args "" rest (function
+      | [ a; b ] ->
+          let* a = parse_qubit a in
+          let* b = parse_qubit b in
+          Ok (Some (ctor a b))
+      | _ -> fail "expected two qubits")
+  in
+  let rotation ctor params rest =
+    let* theta = parse_angle params in
+    one_qubit (fun q -> ctor q theta) rest
+  in
+  if stmt = "" then Ok None
+  else if stmt = "barrier q" then Ok (Some Gate.Barrier)
+  else begin
+    (* split "name(params) args" or "name args" *)
+    match String.index_opt stmt ' ' with
+    | None -> fail "missing operands in %S" stmt
+    | Some space -> begin
+        let head = String.sub stmt 0 space in
+        let rest = String.sub stmt (space + 1) (String.length stmt - space - 1) in
+        let name, params =
+          match String.index_opt head '(' with
+          | Some lp when String.length head > 0 && head.[String.length head - 1] = ')' ->
+              ( String.sub head 0 lp,
+                String.sub head (lp + 1) (String.length head - lp - 2) )
+          | _ -> (head, "")
+        in
+        match name with
+        | "OPENQASM" | "include" | "qreg" | "creg" -> Ok None
+        | "h" -> one_qubit (fun q -> Gate.H q) rest
+        | "x" -> one_qubit (fun q -> Gate.X q) rest
+        | "rx" -> rotation (fun q t -> Gate.Rx (q, t)) params rest
+        | "rz" -> rotation (fun q t -> Gate.Rz (q, t)) params rest
+        | "cx" -> two_qubit (fun a b -> Gate.Cx (a, b)) rest
+        | "cz" -> two_qubit (fun a b -> Gate.Cz (a, b)) rest
+        | "cp" ->
+            let* theta = parse_angle params in
+            two_qubit (fun a b -> Gate.Cphase (a, b, theta)) rest
+        | "swap" -> two_qubit (fun a b -> Gate.Swap (a, b)) rest
+        | "measure" -> begin
+            (* "q[i] -> c[i]" *)
+            match String.split_on_char '-' rest with
+            | q :: _ ->
+                let* q = parse_qubit (trim q) in
+                Ok (Some (Gate.Measure q))
+            | [] -> fail "bad measure"
+          end
+        | other -> fail "unsupported gate %S" other
+      end
+  end
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  (* first pass: find the register size *)
+  let size = ref None in
+  List.iter
+    (fun line ->
+      let line = trim (strip_comment line) in
+      try Scanf.sscanf line "qreg q[%d];" (fun n -> size := Some n)
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> ())
+    lines;
+  match !size with
+  | None -> Error "no qreg declaration found"
+  | Some n -> begin
+      let circuit = Circuit.create n in
+      let error = ref None in
+      List.iteri
+        (fun idx line ->
+          if !error = None then begin
+            let line = trim (strip_comment line) in
+            (* statements end with ';'; several may share a line *)
+            let statements = String.split_on_char ';' line in
+            List.iter
+              (fun stmt ->
+                if !error = None then
+                  match parse_statement ~line_no:(idx + 1) stmt with
+                  | Ok (Some g) -> Circuit.add circuit g
+                  | Ok None -> ()
+                  | Error e -> error := Some e)
+              statements
+          end)
+        lines;
+      match !error with None -> Ok circuit | Some e -> Error e
+    end
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,16 @@
+(** OpenQASM 2.0 export and import.
+
+    Export lowers the fused gates to their primitive sequences (QASM has
+    no fused SWAP+interaction).  Import parses the dialect this module
+    emits — the common single-register subset of OpenQASM 2.0 with the
+    qelib1 gates used here (h, x, rx, rz, cx, cz, cp, swap, measure,
+    barrier) — enabling round trips and external-circuit loading. *)
+
+val to_string : Circuit.t -> string
+
+val write_file : string -> Circuit.t -> unit
+
+val of_string : string -> (Circuit.t, string) result
+(** Parse a QASM program.  Errors carry the offending line. *)
+
+val read_file : string -> (Circuit.t, string) result

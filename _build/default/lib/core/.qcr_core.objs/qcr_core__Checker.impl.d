@@ -1,0 +1,1 @@
+lib/core/checker.ml: List Pipeline Printf Qcr_arch Qcr_circuit Qcr_graph String

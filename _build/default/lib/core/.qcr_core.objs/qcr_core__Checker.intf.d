@@ -1,0 +1,1 @@
+lib/core/checker.mli: Pipeline Qcr_arch Qcr_circuit Stdlib

@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Array Config Hashtbl List Qcr_arch Qcr_circuit Qcr_graph

@@ -1,0 +1,1 @@
+lib/core/greedy.mli: Config Qcr_arch Qcr_circuit Qcr_graph

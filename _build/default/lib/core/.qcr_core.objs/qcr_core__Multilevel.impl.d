@@ -1,0 +1,1 @@
+lib/core/multilevel.ml: Array List Pipeline Qcr_arch Qcr_circuit Qcr_graph Qcr_swapnet Sys

@@ -1,0 +1,1 @@
+lib/core/multilevel.mli: Config Pipeline Qcr_arch Qcr_circuit Qcr_graph

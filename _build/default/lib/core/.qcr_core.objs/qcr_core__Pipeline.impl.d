@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Config Greedy List Placement Predict Qcr_arch Qcr_circuit Qcr_graph Qcr_swapnet Selector Sys

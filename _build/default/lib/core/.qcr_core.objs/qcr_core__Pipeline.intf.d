@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Config Qcr_arch Qcr_circuit

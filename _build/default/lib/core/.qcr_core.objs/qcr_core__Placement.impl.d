@@ -1,0 +1,1 @@
+lib/core/placement.ml: Array List Qcr_arch Qcr_circuit Qcr_graph Qcr_util

@@ -1,0 +1,1 @@
+lib/core/predict.ml: Array Fun Lazy List Qcr_arch Qcr_circuit Qcr_graph Qcr_swapnet

@@ -1,0 +1,1 @@
+lib/core/predict.mli: Qcr_arch Qcr_circuit Qcr_graph

@@ -1,0 +1,59 @@
+module Arch = Qcr_arch.Arch
+module Graph = Qcr_graph.Graph
+module Circuit = Qcr_circuit.Circuit
+module Gate = Qcr_circuit.Gate
+module Program = Qcr_circuit.Program
+module Mapping = Qcr_circuit.Mapping
+
+type violation = string
+
+let certify ~arch ~program (r : Pipeline.result) =
+  let violations = ref [] in
+  let complain fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let device = Arch.graph arch in
+  let problem = Program.graph program in
+  let n_log = Program.qubit_count program in
+  let mapping = Mapping.copy r.Pipeline.initial in
+  (* the edge multiset still owed; realized edges are removed *)
+  let owed = Graph.copy problem in
+  let cx = ref 0 in
+  let interaction_at p q =
+    let a = Mapping.log_of_phys mapping p and b = Mapping.log_of_phys mapping q in
+    if a >= n_log || b >= n_log then
+      complain "interaction on dummy wire(s) %d,%d (logical %d,%d)" p q a b
+    else if not (Graph.has_edge owed a b) then
+      complain "interaction between logical %d,%d not owed (duplicate or absent edge)" a b
+    else Graph.remove_edge owed a b
+  in
+  List.iter
+    (fun g ->
+      cx := !cx + Gate.cx_cost g;
+      match g with
+      | Gate.Cx (p, q) | Gate.Cz (p, q) | Gate.Cphase (p, q, _) | Gate.Rzz (p, q, _)
+      | Gate.Swap (p, q) | Gate.Swap_interact (p, q, _) | Gate.Swap_rzz (p, q, _) ->
+          if not (Graph.has_edge device p q) then
+            complain "2q gate on uncoupled wires %d,%d" p q;
+          (match g with
+          | Gate.Cz _ | Gate.Cphase _ | Gate.Rzz _ -> interaction_at p q
+          | Gate.Swap_interact _ | Gate.Swap_rzz _ ->
+              interaction_at p q;
+              Mapping.apply_swap mapping p q
+          | Gate.Swap _ -> Mapping.apply_swap mapping p q
+          | Gate.Cx _ -> () (* lowered circuits are certified pre-lowering *)
+          | _ -> ())
+      | Gate.H _ | Gate.X _ | Gate.Rx _ | Gate.Rz _ | Gate.Measure _ | Gate.Barrier -> ())
+    (Circuit.gates r.Pipeline.circuit);
+  if Graph.edge_count owed > 0 then
+    complain "%d program edges never realized" (Graph.edge_count owed);
+  if not (Mapping.equal mapping r.Pipeline.final) then
+    complain "replayed final mapping differs from the reported one";
+  if !cx <> r.Pipeline.cx then complain "CX metric %d <> recomputed %d" r.Pipeline.cx !cx;
+  let depth = Circuit.depth2q r.Pipeline.circuit in
+  if depth <> r.Pipeline.depth then
+    complain "depth metric %d <> recomputed %d" r.Pipeline.depth depth;
+  match !violations with [] -> Ok () | vs -> Error (List.rev vs)
+
+let certify_exn ~arch ~program r =
+  match certify ~arch ~program r with
+  | Ok () -> ()
+  | Error vs -> failwith ("Checker.certify: " ^ String.concat "; " vs)

@@ -1,0 +1,30 @@
+(** Independent compilation certificates.
+
+    [certify] re-validates a compilation result from first principles,
+    without trusting the compiler that produced it:
+
+    - every two-qubit gate acts on a coupled pair;
+    - replaying the circuit's SWAPs from the initial mapping reproduces the
+      claimed final mapping;
+    - tracking logical positions through the replay, the interaction gates
+      realize exactly the program's edge multiset (each edge once, on the
+      right logical pair);
+    - prologue/epilogue single-qubit gates act on the wires their logical
+      qubits occupy at that point;
+    - the reported depth and CX metrics match the circuit.
+
+    This gives the same assurance as simulator equivalence but scales to
+    circuits far beyond state-vector reach (e.g. 1024-qubit compilations),
+    so large benchmark outputs can be certified too. *)
+
+type violation = string
+
+val certify :
+  arch:Qcr_arch.Arch.t ->
+  program:Qcr_circuit.Program.t ->
+  Pipeline.result ->
+  (unit, violation list) Stdlib.result
+
+val certify_exn :
+  arch:Qcr_arch.Arch.t -> program:Qcr_circuit.Program.t -> Pipeline.result -> unit
+(** @raise Failure listing the violations. *)

@@ -1,0 +1,28 @@
+type t = {
+  use_coloring : bool;
+  use_matching : bool;
+  use_selector : bool;
+  use_regions : bool;
+  noise_aware : bool;
+  crosstalk_aware : bool;
+  alpha : float;
+  predict_stride : int option;
+  max_greedy_cycles : int option;
+}
+
+let default =
+  {
+    use_coloring = false;
+    use_matching = true;
+    use_selector = true;
+    use_regions = true;
+    noise_aware = true;
+    crosstalk_aware = false;
+    alpha = 0.5;
+    predict_stride = None;
+    max_greedy_cycles = None;
+  }
+
+let pure_greedy = { default with use_selector = false }
+
+let no_noise t = { t with noise_aware = false }

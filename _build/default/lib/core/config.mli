@@ -1,0 +1,43 @@
+(** Compiler configuration.
+
+    The defaults reproduce the paper's full system ("ours"); the flags
+    exist for the §5.4-style ablations and the pure-greedy / pure-ATA
+    arms of Fig 17. *)
+
+type t = {
+  use_coloring : bool;
+      (** schedule executable gates from a conflict-graph independent set
+          (§6.2); the conflict graph is also how crosstalk constraints
+          enter, so [crosstalk_aware] implies this path.  Off (default) =
+          first-fit maximal set, which measures slightly better when
+          crosstalk is not modelled (see the ablation bench) *)
+  use_matching : bool;
+      (** commit a qubit-disjoint set of simultaneous SWAPs per cycle via
+          greedy weighted matching (§6.2); off = only the single heaviest
+          candidate SWAP per cycle (the per-gate style of the simpler
+          baselines) *)
+  use_selector : bool;
+      (** record greedy-prefix + ATA-completion checkpoints and pick the
+          best final circuit (§6.4, Theorem 6.1) *)
+  use_regions : bool;  (** range detection in ATA prediction (§6.3) *)
+  noise_aware : bool;
+      (** weight candidate SWAPs by link error rates (§5.3); needs a
+          noise model *)
+  crosstalk_aware : bool;
+      (** add crosstalk conflicts (adjacent parallel 2q gates) to the
+          scheduling conflict graph (§6.2) *)
+  alpha : float;  (** depth weight in the selector cost F (§6.4) *)
+  predict_stride : int option;
+      (** predict every k mapping-changing cycles; [None] = automatic
+          (n/8, at least 1) *)
+  max_greedy_cycles : int option;
+      (** abort greedy and fall back to the ATA completion after this many
+          cycles; [None] = automatic *)
+}
+
+val default : t
+
+val pure_greedy : t
+(** Selector off: the "greedy" arm. *)
+
+val no_noise : t -> t

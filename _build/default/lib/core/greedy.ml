@@ -1,0 +1,367 @@
+module Arch = Qcr_arch.Arch
+module Noise = Qcr_arch.Noise
+module Graph = Qcr_graph.Graph
+module Paths = Qcr_graph.Paths
+module Matching = Qcr_graph.Matching
+module Mapping = Qcr_circuit.Mapping
+module Circuit = Qcr_circuit.Circuit
+module Program = Qcr_circuit.Program
+module Gate = Qcr_circuit.Gate
+
+type t = {
+  arch : Arch.t;
+  config : Config.t;
+  noise : Noise.t option;
+  program : Program.t;
+  remaining : Graph.t;
+  mapping : Mapping.t;
+  circuit : Circuit.t;
+  dists : Paths.distances;
+  coupling_edges : (int * int) array;
+  n_log : int;
+  mutable cycle : int;
+  mutable swaps : int;
+  mutable remaining_gates : int;
+  mutable stalled : int; (* consecutive cycles without a gate execution *)
+  last_swap_cycle : (int, int) Hashtbl.t; (* physical-edge key -> cycle *)
+  partner_cache : int array; (* logical -> cached closest remaining partner *)
+  partner_age : int array; (* cycle at which the cache entry was computed *)
+  gain : float array; (* scratch: per-physical-edge swap gain, cleared per cycle *)
+}
+
+let edge_key t p q =
+  let n = Arch.qubit_count t.arch in
+  (min p q * n) + max p q
+
+let create ?(config = Config.default) ?noise ~arch ~program ~init () =
+  let remaining = Graph.copy (Program.graph program) in
+  {
+    arch;
+    config;
+    noise;
+    program;
+    remaining;
+    mapping = Mapping.copy init;
+    circuit = Circuit.create (Arch.qubit_count arch);
+    dists = Arch.distances arch;
+    coupling_edges = Array.of_list (Graph.edges (Arch.graph arch));
+    n_log = Program.qubit_count program;
+    cycle = 0;
+    swaps = 0;
+    remaining_gates = Graph.edge_count remaining;
+    stalled = 0;
+    last_swap_cycle = Hashtbl.create 256;
+    partner_cache = Array.make (max (Program.qubit_count program) 1) (-1);
+    partner_age = Array.make (max (Program.qubit_count program) 1) min_int;
+    gain = Array.make (Arch.qubit_count arch * Arch.qubit_count arch) 0.0;
+  }
+
+let finished t = t.remaining_gates = 0
+
+let cycle t = t.cycle
+
+let swaps t = t.swaps
+
+let remaining t = t.remaining
+
+let remaining_gate_count t = t.remaining_gates
+
+let mapping t = t.mapping
+
+let circuit t = t.circuit
+
+let dist t p q = Paths.distance t.dists p q
+
+(* Hardware-compliant gates this cycle: scan the coupling edges once
+   (O(device edges), independent of the program size). *)
+let executable_gates t =
+  Array.to_list t.coupling_edges
+  |> List.filter_map (fun (p, q) ->
+         let a = Mapping.log_of_phys t.mapping p and b = Mapping.log_of_phys t.mapping q in
+         if a < t.n_log && b < t.n_log && Graph.has_edge t.remaining a b then
+           Some ((a, b), (p, q))
+         else None)
+
+(* Crosstalk conflict: two parallel 2q gates whose sites are adjacent on
+   the device (§5.3). *)
+let crosstalk_conflict t (p1, q1) (p2, q2) =
+  let g = Arch.graph t.arch in
+  Graph.has_edge g p1 p2 || Graph.has_edge g p1 q2 || Graph.has_edge g q1 p2
+  || Graph.has_edge g q1 q2
+
+(* Choose a disjoint subset of the executable gates.  With coloring on we
+   build the conflict graph (shared qubit, optionally crosstalk) and take
+   the largest color class (§6.2); otherwise first-fit. *)
+let choose_gates t candidates =
+  let conflict_path = t.config.Config.use_coloring || t.config.Config.crosstalk_aware in
+  match candidates with
+  | [] -> []
+  | _ when not conflict_path ->
+      let used = Hashtbl.create 16 in
+      List.filter
+        (fun (_, (p, q)) ->
+          if Hashtbl.mem used p || Hashtbl.mem used q then false
+          else begin
+            Hashtbl.replace used p ();
+            Hashtbl.replace used q ();
+            true
+          end)
+        candidates
+  | _ ->
+      let arr = Array.of_list candidates in
+      let k = Array.length arr in
+      let conflict = Graph.create k in
+      for i = 0 to k - 1 do
+        for j = i + 1 to k - 1 do
+          let _, (p1, q1) = arr.(i) and _, (p2, q2) = arr.(j) in
+          let share = p1 = p2 || p1 = q2 || q1 = p2 || q1 = q2 in
+          let cross =
+            t.config.Config.crosstalk_aware
+            && (not share)
+            && crosstalk_conflict t (p1, q1) (p2, q2)
+          in
+          if share || cross then Graph.add_edge conflict i j
+        done
+      done;
+      (* schedule the largest conflict-free class: greedy maximum
+         independent set by minimum degree (the color class a good
+         coloring would surface, §6.2) *)
+      let degree = Array.init k (fun i -> Graph.degree conflict i) in
+      let alive = Array.make k true in
+      let chosen = ref [] in
+      let remaining = ref k in
+      while !remaining > 0 do
+        let best = ref (-1) in
+        for i = 0 to k - 1 do
+          if alive.(i) && (!best = -1 || degree.(i) < degree.(!best)) then best := i
+        done;
+        let i = !best in
+        chosen := i :: !chosen;
+        alive.(i) <- false;
+        decr remaining;
+        List.iter
+          (fun j ->
+            if alive.(j) then begin
+              alive.(j) <- false;
+              decr remaining;
+              List.iter
+                (fun l -> if alive.(l) then degree.(l) <- degree.(l) - 1)
+                (Graph.neighbors conflict j)
+            end)
+          (Graph.neighbors conflict i)
+      done;
+      List.rev_map (fun i -> arr.(i)) !chosen
+
+let commit_gate t ((a, b), (_p, _q)) =
+  Graph.remove_edge t.remaining a b;
+  if t.partner_cache.(a) = b then t.partner_cache.(a) <- -1;
+  if t.partner_cache.(b) = a then t.partner_cache.(b) <- -1;
+  t.remaining_gates <- t.remaining_gates - 1;
+  let gate =
+    Gate.map_qubits (fun l -> Mapping.phys_of_log t.mapping l) (Program.edge_gate t.program a b)
+  in
+  Circuit.add t.circuit gate
+
+(* Candidate SWAPs: for every remaining separated pair we cannot afford to
+   scan (dense graphs have ~n^2 edges), so we scan per logical qubit: the
+   closest remaining partner of each token defines its desired direction.
+   A coupling edge (p, q) gets weight = distance gained for the tokens at p
+   and q, divided by the link error when noise-aware.
+
+   The closest-partner scan is O(remaining degree), so doing it for every
+   qubit every cycle costs O(program edges) per cycle — the dominant term
+   on dense 1024-qubit inputs.  A cached partner (refreshed when its edge
+   is consumed or every [cache_ttl] cycles; distances to it are always
+   recomputed exactly) brings a cycle down to O(device size) with no
+   measurable quality change. *)
+let cache_ttl = 4
+
+let recompute_partner t a =
+  let pa = Mapping.phys_of_log t.mapping a in
+  let best = ref None in
+  List.iter
+    (fun v ->
+      let d = dist t pa (Mapping.phys_of_log t.mapping v) in
+      match !best with
+      | Some (_, d') when d' <= d -> ()
+      | _ -> best := Some (v, d))
+    (Graph.neighbors t.remaining a);
+  (match !best with
+  | Some (v, _) ->
+      t.partner_cache.(a) <- v;
+      t.partner_age.(a) <- t.cycle
+  | None -> t.partner_cache.(a) <- -1);
+  !best
+
+let closest_partner t a =
+  let cached = t.partner_cache.(a) in
+  if
+    cached >= 0
+    && Graph.has_edge t.remaining a cached
+    && t.cycle - t.partner_age.(a) < cache_ttl
+  then begin
+    let d = dist t (Mapping.phys_of_log t.mapping a) (Mapping.phys_of_log t.mapping cached) in
+    Some (cached, d)
+  end
+  else recompute_partner t a
+
+let candidate_swaps t ~busy =
+  let gain = t.gain in
+  let touched = ref [] in
+  (* per logical token with remaining gates, reward coupling moves that
+     reduce the distance to its closest partner *)
+  for a = 0 to t.n_log - 1 do
+    if Graph.degree t.remaining a > 0 then begin
+      match closest_partner t a with
+      | Some (_, 1) | None -> () (* already adjacent: gate, not swap *)
+      | Some (v, d) ->
+          let pa = Mapping.phys_of_log t.mapping a in
+          let pv = Mapping.phys_of_log t.mapping v in
+          if not busy.(pa) then
+            List.iter
+              (fun w ->
+                if not busy.(w) then begin
+                  let d' = dist t w pv in
+                  if d' < d then begin
+                    let key = edge_key t pa w in
+                    if gain.(key) = 0.0 then touched := (min pa w, max pa w) :: !touched;
+                    gain.(key) <- gain.(key) +. float_of_int (d - d')
+                  end
+                end)
+              (Graph.neighbors (Arch.graph t.arch) pa)
+    end
+  done;
+  let result = List.filter_map
+    (fun (p, q) ->
+      let base = gain.(edge_key t p q) in
+      if base <= 0.0 then None
+      else begin
+        (* discourage immediate ping-pong on the same link *)
+        let recent =
+          match Hashtbl.find_opt t.last_swap_cycle (edge_key t p q) with
+          | Some c -> t.cycle - c <= 1
+          | None -> false
+        in
+        if recent then None
+        else begin
+          let weight =
+            match (t.config.Config.noise_aware, t.noise) with
+            | true, Some noise ->
+                (* low-error links preferred: scale gain by link quality *)
+                base *. (1.0 -. Noise.cx_error noise p q) ** 3.0
+            | _ -> base
+          in
+          Some { Matching.u = p; v = q; weight }
+        end
+      end)
+    !touched
+  in
+  (* clear only the entries written this cycle *)
+  List.iter (fun (p, q) -> gain.(edge_key t p q) <- 0.0) !touched;
+  result
+
+(* With matching on, a qubit-disjoint set of simultaneous SWAPs is chosen
+   greedily by descending weight (a maximal weighted matching; the exact
+   MWPM sweep in Qcr_graph.Matching optimizes total weight, which adds
+   marginal swaps and hurts circuits, so the compiler uses the greedy
+   matching).  With matching off only the single heaviest candidate SWAP
+   commits per cycle, the per-gate style of the simpler baselines. *)
+let choose_swaps t candidates =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare b.Matching.weight a.Matching.weight with
+        | 0 -> compare (a.Matching.u, a.Matching.v) (b.Matching.u, b.Matching.v)
+        | c -> c)
+      candidates
+  in
+  match sorted with
+  | [] -> []
+  | first :: _ when not t.config.Config.use_matching -> [ first ]
+  | _ ->
+      let used = Hashtbl.create 16 in
+      List.filter
+        (fun { Matching.u; v; _ } ->
+          if Hashtbl.mem used u || Hashtbl.mem used v then false
+          else begin
+            Hashtbl.replace used u ();
+            Hashtbl.replace used v ();
+            true
+          end)
+        sorted
+
+let commit_swap t p q =
+  (* moving a token invalidates its cached direction *)
+  let a = Mapping.log_of_phys t.mapping p and b = Mapping.log_of_phys t.mapping q in
+  if a < t.n_log then t.partner_cache.(a) <- -1;
+  if b < t.n_log then t.partner_cache.(b) <- -1;
+  Mapping.apply_swap t.mapping p q;
+  Hashtbl.replace t.last_swap_cycle (edge_key t p q) t.cycle;
+  t.swaps <- t.swaps + 1;
+  Circuit.add t.circuit (Gate.Swap (p, q))
+
+(* Forced progress: move the closest separated pair one step along a
+   shortest path.  Only runs on cycles that would otherwise idle. *)
+let force_progress t =
+  let best = ref None in
+  for a = 0 to t.n_log - 1 do
+    if Graph.degree t.remaining a > 0 then begin
+      match closest_partner t a with
+      | Some (v, d) -> begin
+          match !best with
+          | Some (_, _, d') when d' <= d -> ()
+          | _ -> best := Some (a, v, d)
+        end
+      | None -> ()
+    end
+  done;
+  match !best with
+  | None -> false
+  | Some (a, v, _) ->
+      let pa = Mapping.phys_of_log t.mapping a and pv = Mapping.phys_of_log t.mapping v in
+      (match Paths.shortest_path (Arch.graph t.arch) pa pv with
+      | _ :: next :: _ -> commit_swap t pa next
+      | _ -> failwith "Greedy.force_progress: no path");
+      true
+
+(* Two consecutive gate-less cycles switch the engine into direct-routing
+   mode: heuristic swap scoring can oscillate (e.g. two tokens each
+   "improving" by undoing the other's move), whereas walking the closest
+   separated pair straight down a shortest path strictly shrinks its
+   distance every cycle and so always reaches a gate. *)
+let stall_threshold = 2
+
+let step t =
+  if finished t then false
+  else begin
+    t.cycle <- t.cycle + 1;
+    let gates = choose_gates t (executable_gates t) in
+    List.iter (commit_gate t) gates;
+    if gates = [] then t.stalled <- t.stalled + 1 else t.stalled <- 0;
+    let busy = Array.make (Arch.qubit_count t.arch) false in
+    List.iter
+      (fun (_, (p, q)) ->
+        busy.(p) <- true;
+        busy.(q) <- true)
+      gates;
+    let swaps_before = t.swaps in
+    if t.stalled >= stall_threshold then begin
+      if not (finished t) then ignore (force_progress t)
+    end
+    else begin
+      let swaps = choose_swaps t (candidate_swaps t ~busy) in
+      List.iter (fun { Matching.u; v; _ } -> commit_swap t u v) swaps;
+      if gates = [] && swaps = [] && not (finished t) then ignore (force_progress t)
+    end;
+    t.swaps > swaps_before
+  end
+
+let run_to_completion t =
+  while not (finished t) do
+    ignore (step t)
+  done
+
+let run_until t limit =
+  while (not (finished t)) && t.cycle < limit do
+    ignore (step t)
+  done

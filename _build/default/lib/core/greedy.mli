@@ -1,0 +1,48 @@
+(** Greedy processing component (paper §6.2).
+
+    Cycle loop: (1) collect hardware-compliant gates by scanning coupling
+    edges, pick a conflict-free set via graph coloring (largest color
+    class); (2) propose candidate SWAPs that move separated frontier pairs
+    closer, weighted by distance gain and (optionally) link error rate, and
+    commit a qubit-disjoint subset via weighted matching; (3) if a cycle
+    makes no progress, force one SWAP along the shortest path of the
+    closest separated pair.
+
+    The engine exposes a [step] interface so the pipeline can interleave
+    ATA predictions and take checkpoints. *)
+
+type t
+
+val create :
+  ?config:Config.t ->
+  ?noise:Qcr_arch.Noise.t ->
+  arch:Qcr_arch.Arch.t ->
+  program:Qcr_circuit.Program.t ->
+  init:Qcr_circuit.Mapping.t ->
+  unit ->
+  t
+
+val finished : t -> bool
+
+val step : t -> bool
+(** Advance one cycle.  Returns [true] if the qubit mapping changed. *)
+
+val cycle : t -> int
+
+val swaps : t -> int
+
+val remaining : t -> Qcr_graph.Graph.t
+(** Live view (do not mutate). *)
+
+val remaining_gate_count : t -> int
+
+val mapping : t -> Qcr_circuit.Mapping.t
+(** Live view (do not mutate). *)
+
+val circuit : t -> Qcr_circuit.Circuit.t
+(** Gates committed so far, physical wires, unmerged. *)
+
+val run_to_completion : t -> unit
+
+val run_until : t -> int -> unit
+(** Step until [cycle t >= limit] or finished. *)

@@ -1,0 +1,74 @@
+module Arch = Qcr_arch.Arch
+module Graph = Qcr_graph.Graph
+module Circuit = Qcr_circuit.Circuit
+module Program = Qcr_circuit.Program
+module Mapping = Qcr_circuit.Mapping
+
+let level_program graph ~level ~gamma ~beta =
+  let interaction =
+    if level = 0 then Program.Qaoa_maxcut { gamma; beta } else Program.Qaoa_level { gamma; beta }
+  in
+  Program.make graph interaction
+
+let logical_circuit graph ~angles =
+  if Array.length angles = 0 then invalid_arg "Multilevel.logical_circuit: no angles";
+  let c = Circuit.create (Graph.vertex_count graph) in
+  Array.iteri
+    (fun level (gamma, beta) ->
+      let p = level_program graph ~level ~gamma ~beta in
+      List.iter (Circuit.add c) (Circuit.gates (Program.logical_circuit p)))
+    angles;
+  c
+
+let compile ?config ?noise ?init ?(restore = false) arch graph ~angles =
+  if Array.length angles = 0 then invalid_arg "Multilevel.compile: no angles";
+  let t0 = Sys.time () in
+  let results = ref [] in
+  let current_init = ref init in
+  Array.iteri
+    (fun level (gamma, beta) ->
+      let program = level_program graph ~level ~gamma ~beta in
+      let r = Pipeline.compile ?config ?noise ?init:!current_init arch program in
+      current_init := Some r.Pipeline.final;
+      results := r :: !results)
+    angles;
+  let results = List.rev !results in
+  let first = List.hd results and last = List.nth results (List.length results - 1) in
+  let circuit =
+    List.fold_left
+      (fun acc (r : Pipeline.result) -> Circuit.concat acc r.Pipeline.circuit)
+      (Circuit.create (Arch.qubit_count arch))
+      results
+  in
+  let final = Mapping.copy last.Pipeline.final in
+  let circuit =
+    if restore && not (Mapping.equal final first.Pipeline.initial) then begin
+      let cycles =
+        Qcr_swapnet.Permute.restore_cycles ~coupling:(Arch.graph arch) ~current:final
+          ~desired:first.Pipeline.initial
+      in
+      List.iter
+        (fun cycle ->
+          List.iter
+            (function
+              | Qcr_swapnet.Schedule.Swap (p, q) ->
+                  Mapping.apply_swap final p q;
+                  Circuit.add circuit (Qcr_circuit.Gate.Swap (p, q))
+              | Qcr_swapnet.Schedule.Touch _ -> ())
+            cycle)
+        cycles;
+      circuit
+    end
+    else circuit
+  in
+  {
+    Pipeline.circuit;
+    initial = first.Pipeline.initial;
+    final;
+    depth = Circuit.depth2q circuit;
+    cx = Circuit.cx_count circuit;
+    swap_count = List.fold_left (fun acc r -> acc + r.Pipeline.swap_count) 0 results;
+    log_fidelity = List.fold_left (fun acc r -> acc +. r.Pipeline.log_fidelity) 0.0 results;
+    strategy = first.Pipeline.strategy;
+    compile_seconds = Sys.time () -. t0;
+  }

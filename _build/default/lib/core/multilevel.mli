@@ -1,0 +1,28 @@
+(** Multilevel (p > 1) QAOA compilation.
+
+    A p-level QAOA circuit repeats the permutable interaction block p
+    times, with fresh (gamma, beta) angles per level and mixers between.
+    Because every block's operators commute internally, each block is
+    compiled independently: level l starts from level l-1's final mapping
+    (no extra SWAPs to restore positions are needed — the next block is
+    order-free, another payoff of permutability).  The paper evaluates
+    p = 1; this extends the compiler naturally. *)
+
+val compile :
+  ?config:Config.t ->
+  ?noise:Qcr_arch.Noise.t ->
+  ?init:Qcr_circuit.Mapping.t ->
+  ?restore:bool ->
+  Qcr_arch.Arch.t ->
+  Qcr_graph.Graph.t ->
+  angles:(float * float) array ->
+  Pipeline.result
+(** [angles.(l) = (gamma_l, beta_l)]; must be non-empty.  The returned
+    result's [strategy] is the first level's.  With [restore] (default
+    false), token-swapping cycles are appended so the final mapping equals
+    the initial one — useful when downstream tooling expects qubit [i] on
+    its starting wire. *)
+
+val logical_circuit :
+  Qcr_graph.Graph.t -> angles:(float * float) array -> Qcr_circuit.Circuit.t
+(** Reference (unrouted) p-level circuit, for simulation and tests. *)

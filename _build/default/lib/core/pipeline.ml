@@ -1,0 +1,252 @@
+module Arch = Qcr_arch.Arch
+module Noise = Qcr_arch.Noise
+module Graph = Qcr_graph.Graph
+module Mapping = Qcr_circuit.Mapping
+module Circuit = Qcr_circuit.Circuit
+module Program = Qcr_circuit.Program
+module Gate = Qcr_circuit.Gate
+module Schedule = Qcr_swapnet.Schedule
+module Ata = Qcr_swapnet.Ata
+
+type strategy =
+  | Pure_greedy
+  | Pure_ata
+  | Hybrid of int
+
+type result = {
+  circuit : Circuit.t;
+  initial : Mapping.t;
+  final : Mapping.t;
+  depth : int;
+  cx : int;
+  swap_count : int;
+  log_fidelity : float;
+  strategy : strategy;
+  compile_seconds : float;
+}
+
+let interaction_only p = p
+
+(* finalize is defined below and re-exported as finalize_body *)
+
+let count_swaps circuit =
+  List.fold_left
+    (fun acc g ->
+      match g with Gate.Swap _ | Gate.Swap_interact _ -> acc + 1 | _ -> acc)
+    0 (Circuit.gates circuit)
+
+(* Wrap a routed interaction block with the program's prologue (under the
+   initial mapping) and epilogue (under the final mapping). *)
+let finalize ~arch ~program ~noise ~initial ~final ~strategy ~seconds body =
+  let n_phys = Arch.qubit_count arch in
+  let circuit = Circuit.create n_phys in
+  let place mapping gate = Gate.map_qubits (fun l -> Mapping.phys_of_log mapping l) gate in
+  List.iter (fun g -> Circuit.add circuit (place initial g)) (Program.prologue program);
+  List.iter (Circuit.add circuit) (Circuit.gates body);
+  List.iter (fun g -> Circuit.add circuit (place final g)) (Program.epilogue program);
+  let circuit = Circuit.merge_swaps circuit in
+  {
+    circuit;
+    initial;
+    final;
+    depth = Circuit.depth2q circuit;
+    cx = Circuit.cx_count circuit;
+    swap_count = count_swaps circuit;
+    log_fidelity = (match noise with Some m -> Circuit.log_fidelity m circuit | None -> 0.0);
+    strategy;
+    compile_seconds = seconds;
+  }
+
+let default_init arch program = Placement.auto arch program
+
+let compile_ata ?noise ?init arch program =
+  let t0 = Sys.time () in
+  let initial = match init with Some m -> m | None -> default_init arch program in
+  let mapping = Mapping.copy initial in
+  let body =
+    Predict.materialize ~use_regions:false ~arch ~program
+      ~remaining:(Graph.copy (Program.graph program)) ~mapping ()
+  in
+  finalize ~arch ~program ~noise ~initial ~final:mapping ~strategy:Pure_ata
+    ~seconds:(Sys.time () -. t0) body
+
+let compile_greedy ?(config = Config.pure_greedy) ?noise ?init arch program =
+  let t0 = Sys.time () in
+  let config = { config with Config.use_selector = false } in
+  let initial = match init with Some m -> m | None -> default_init arch program in
+  let engine = Greedy.create ~config ?noise ~arch ~program ~init:initial () in
+  Greedy.run_to_completion engine;
+  finalize ~arch ~program ~noise ~initial ~final:(Greedy.mapping engine) ~strategy:Pure_greedy
+    ~seconds:(Sys.time () -. t0)
+    (Greedy.circuit engine)
+
+(* Cheap cost projection of "greedy prefix + ATA completion": depth uses
+   the committed prefix depth plus the prediction's cycles; CX counts
+   2 per remaining interaction and 3 per predicted swap, minus the 2-CX
+   credit for each predicted interaction+swap fusion; fidelity uses the
+   device's mean link error. *)
+let project ~noise ~prefix_depth ~prefix_cx ~prefix_logfid ~mean_log_success
+    (p : Predict.estimate) ~checkpoint_cycle =
+  let added_cx =
+    (2 * p.Predict.gates) + (3 * p.Predict.swaps) - (2 * p.Predict.merged)
+  in
+  let cx = prefix_cx + added_cx in
+  let log_fid =
+    match noise with
+    | Some _ -> prefix_logfid +. (float_of_int added_cx *. mean_log_success)
+    | None -> 0.0
+  in
+  {
+    Selector.checkpoint_cycle;
+    depth = prefix_depth + p.Predict.cycles;
+    cx;
+    log_fid;
+  }
+
+let mean_log_success_of ~noise ~arch =
+  match noise with
+  | None -> 0.0
+  | Some m ->
+      let total = ref 0.0 and count = ref 0 in
+      Graph.iter_edges
+        (fun u v ->
+          total := !total +. Noise.log_success_cx m u v;
+          incr count)
+        (Arch.graph arch);
+      if !count = 0 then 0.0 else !total /. float_of_int !count
+
+let rec compile ?(config = Config.default) ?noise ?init arch program =
+  match (init, noise) with
+  | None, Some _ when Arch.qubit_count arch <= 128 && config.Config.use_selector ->
+      (* Qubit error variability (§5.3): on device sizes where a real run
+         is plausible, compile each candidate placement and keep the best
+         final circuit under the selector cost F. *)
+      let t0 = Sys.time () in
+      let results =
+        List.map
+          (fun candidate -> compile ~config ?noise ~init:candidate arch program)
+          (Placement.candidates ?noise arch program)
+      in
+      (* Expected fidelity of a run: gate errors (log_fidelity) plus the
+         idle-decoherence term (duration x active qubits).  Larger is
+         better. *)
+      let n_log = Program.qubit_count program in
+      let expected_log_fid r =
+        r.log_fidelity +. Noise.decoherence_log_fidelity ~depth:r.depth ~qubits:n_log
+      in
+      let best =
+        match results with
+        | [] -> assert false
+        | first :: rest ->
+            List.fold_left
+              (fun acc r -> if expected_log_fid r > expected_log_fid acc then r else acc)
+              first rest
+      in
+      { best with compile_seconds = Sys.time () -. t0 }
+  | _ -> compile_one ~config ?noise ?init arch program
+
+and compile_one ?(config = Config.default) ?noise ?init arch program =
+  let t0 = Sys.time () in
+  let initial = match init with Some m -> m | None -> default_init arch program in
+  let n_phys = Arch.qubit_count arch in
+  let stride =
+    match config.Config.predict_stride with
+    | Some s -> max 1 s
+    | None -> max 1 (n_phys / 8)
+  in
+  let cycle_cap =
+    match config.Config.max_greedy_cycles with
+    | Some c -> c
+    | None -> (20 * n_phys) + 200
+  in
+  let engine = Greedy.create ~config ?noise ~arch ~program ~init:initial () in
+  let mean_log_success = mean_log_success_of ~noise ~arch in
+  let use_regions = config.Config.use_regions in
+  let checkpoints = ref [] in
+  let record () =
+    let prefix = Greedy.circuit engine in
+    let prediction =
+      Predict.estimate ~use_regions ~arch ~remaining:(Greedy.remaining engine)
+        ~mapping:(Greedy.mapping engine) ()
+    in
+    let candidate =
+      project ~noise
+        ~prefix_depth:(Circuit.depth2q prefix)
+        ~prefix_cx:(Circuit.cx_count prefix)
+        ~prefix_logfid:
+          (match noise with Some m -> Circuit.log_fidelity m prefix | None -> 0.0)
+        ~mean_log_success prediction ~checkpoint_cycle:(Greedy.cycle engine)
+    in
+    checkpoints := candidate :: !checkpoints
+  in
+  if config.Config.use_selector then record (); (* cc0: pure ATA *)
+  let last_recorded = ref 0 in
+  let aborted = ref false in
+  while (not (Greedy.finished engine)) && not !aborted do
+    let mapping_changed = Greedy.step engine in
+    if Greedy.cycle engine > cycle_cap then aborted := true
+    else if
+      config.Config.use_selector && mapping_changed
+      && Greedy.cycle engine - !last_recorded >= stride
+      && not (Greedy.finished engine)
+    then begin
+      last_recorded := Greedy.cycle engine;
+      record ()
+    end
+  done;
+  if !aborted then record ();
+  let greedy_body = Greedy.circuit engine in
+  let greedy_depth = Circuit.depth2q greedy_body in
+  let greedy_cx = Circuit.cx_count greedy_body in
+  let greedy_log_fid =
+    match noise with Some m -> Circuit.log_fidelity m greedy_body | None -> 0.0
+  in
+  let choice =
+    if !aborted then begin
+      (* greedy did not converge within the linear-depth budget: take the
+         best hybrid (cc0 exists, so one is always available) *)
+      match
+        List.sort (fun a b -> compare a.Selector.checkpoint_cycle b.Selector.checkpoint_cycle)
+          !checkpoints
+      with
+      | [] -> `Greedy
+      | cs ->
+          let score_of =
+            Selector.score ~alpha:config.Config.alpha ~ref_depth:(max greedy_depth 1)
+              ~ref_cx:(max greedy_cx 1) ~ref_log_fid:greedy_log_fid
+          in
+          `Hybrid
+            (List.fold_left
+               (fun best c -> if score_of c < score_of best then c else best)
+               (List.hd cs) cs)
+    end
+    else if config.Config.use_selector then
+      Selector.best ~alpha:config.Config.alpha ~greedy_depth ~greedy_cx ~greedy_log_fid
+        !checkpoints
+    else `Greedy
+  in
+  match choice with
+  | `Greedy ->
+      finalize ~arch ~program ~noise ~initial ~final:(Greedy.mapping engine)
+        ~strategy:Pure_greedy
+        ~seconds:(Sys.time () -. t0)
+        greedy_body
+  | `Hybrid candidate ->
+      (* Replay greedy deterministically up to the checkpoint, then append
+         the materialized ATA completion. *)
+      let cut = candidate.Selector.checkpoint_cycle in
+      let engine2 = Greedy.create ~config ?noise ~arch ~program ~init:initial () in
+      Greedy.run_until engine2 cut;
+      let mapping = Mapping.copy (Greedy.mapping engine2) in
+      let completion =
+        Predict.materialize ~use_regions ~arch ~program
+          ~remaining:(Graph.copy (Greedy.remaining engine2))
+          ~mapping ()
+      in
+      let body = Circuit.concat (Greedy.circuit engine2) completion in
+      let strategy = if cut = 0 then Pure_ata else Hybrid cut in
+      finalize ~arch ~program ~noise ~initial ~final:mapping ~strategy
+        ~seconds:(Sys.time () -. t0)
+        body
+
+let finalize_body = finalize

@@ -1,0 +1,142 @@
+module Arch = Qcr_arch.Arch
+module Noise = Qcr_arch.Noise
+module Graph = Qcr_graph.Graph
+module Paths = Qcr_graph.Paths
+module Mapping = Qcr_circuit.Mapping
+module Program = Qcr_circuit.Program
+module Prng = Qcr_util.Prng
+module Pqueue = Qcr_util.Pqueue
+
+let quadratic_cost arch problem mapping =
+  let dists = Arch.distances arch in
+  let total = ref 0 in
+  Graph.iter_edges
+    (fun u v ->
+      total :=
+        !total
+        + Paths.distance dists (Mapping.phys_of_log mapping u) (Mapping.phys_of_log mapping v))
+    problem;
+  !total
+
+(* Error-weighted all-pairs distances: a hop across a link of error e
+   costs 1 + 30e in fixed point (x1024), so routing distance still
+   dominates while noisy regions are penalized (§5.3).  One Dijkstra per
+   source; only computed at the device sizes where noise-aware placement
+   engages. *)
+let error_weighted_distances arch noise =
+  let g = Arch.graph arch in
+  let n = Graph.vertex_count g in
+  let matrix = Array.make (n * n) max_int in
+  let hop_cost u v = 1024 + int_of_float (30.0 *. 1024.0 *. Noise.cx_error noise u v) in
+  for source = 0 to n - 1 do
+    let dist = Array.make n max_int in
+    let queue = Pqueue.create () in
+    dist.(source) <- 0;
+    Pqueue.push queue ~prio:0 source;
+    let rec drain () =
+      match Pqueue.pop queue with
+      | None -> ()
+      | Some (d, u) ->
+          if d <= dist.(u) then
+            List.iter
+              (fun v ->
+                let nd = d + hop_cost u v in
+                if nd < dist.(v) then begin
+                  dist.(v) <- nd;
+                  Pqueue.push queue ~prio:nd v
+                end)
+              (Graph.neighbors g u);
+          drain ()
+    in
+    drain ();
+    Array.blit dist 0 matrix (source * n) n
+  done;
+  matrix
+
+let anneal ?(seed = 7) ?moves ?noise arch problem =
+  let n_phys = Arch.qubit_count arch in
+  let n_log = Graph.vertex_count problem in
+  let moves =
+    match moves with
+    | Some m -> m
+    | None ->
+        (* each move costs O(avg degree); bound total work so dense
+           1024-qubit problems do not spend longer placing than routing *)
+        let avg_deg = 1 + (2 * Graph.edge_count problem / max 1 n_log) in
+        min (300 * n_phys) (max 10_000 (25_000_000 / avg_deg))
+  in
+  let rng = Prng.create seed in
+  let pair_cost =
+    match noise with
+    | None ->
+        let dists = Arch.distances arch in
+        fun p q -> Paths.distance dists p q
+    | Some model ->
+        let matrix = error_weighted_distances arch model in
+        fun p q -> matrix.((p * n_phys) + q)
+  in
+  let mapping = Mapping.identity ~logical:n_log ~physical:n_phys in
+  let incident_cost l =
+    if l >= n_log then 0
+    else
+      List.fold_left
+        (fun acc v ->
+          acc + pair_cost (Mapping.phys_of_log mapping l) (Mapping.phys_of_log mapping v))
+        0 (Graph.neighbors problem l)
+  in
+  (* the fixed-point costs are 1024x larger, so temperature scales too *)
+  let scale = match noise with None -> 1.0 | Some _ -> 1024.0 in
+  let temperature i =
+    let frac = float_of_int i /. float_of_int (max moves 1) in
+    2.0 *. scale *. exp (-4.0 *. frac)
+  in
+  for i = 0 to moves - 1 do
+    let p = Prng.int rng n_phys and q = Prng.int rng n_phys in
+    if p <> q then begin
+      let a = Mapping.log_of_phys mapping p and b = Mapping.log_of_phys mapping q in
+      let before = incident_cost a + incident_cost b in
+      Mapping.apply_swap mapping p q;
+      let after = incident_cost a + incident_cost b in
+      let delta = float_of_int (after - before) in
+      let accept =
+        delta <= 0.0 || Prng.float rng 1.0 < exp (-.delta /. max (temperature i) 1e-9)
+      in
+      if not accept then Mapping.apply_swap mapping p q
+    end
+  done;
+  mapping
+
+(* Restart the anneal from a few seeds; even at density 0.3-0.5 a better
+   placement buys a few percent of depth for a cost that is small next to
+   routing. *)
+let candidates ?noise arch program =
+  let problem = Program.graph program in
+  let identity =
+    Mapping.identity ~logical:(Graph.vertex_count problem) ~physical:(Arch.qubit_count arch)
+  in
+  if Graph.edge_count problem = 0 then [ identity ]
+  else begin
+    let seeds = if Graph.density problem >= 0.15 then [ 7; 13 ] else [ 7; 13; 29 ] in
+    let annealed = List.map (fun seed -> anneal ~seed ?noise arch problem) seeds in
+    (* a couple of short anneals diversify the pool: they stop at different
+       local optima, which matters once link errors drive the final pick *)
+    let short_budget = max 1000 (100 * Arch.qubit_count arch) in
+    let short =
+      List.map (fun seed -> anneal ~seed ~moves:short_budget ?noise arch problem) [ 7; 13 ]
+    in
+    let all = (identity :: annealed) @ short in
+    let scored = List.map (fun m -> (quadratic_cost arch problem m, m)) all in
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) scored in
+    (* drop exact duplicates (anneals often converge to the same layout) *)
+    let rec dedup = function
+      | (_, m) :: ((_, m') :: _ as rest) when Mapping.equal m m' -> dedup rest
+      | (_, m) :: rest -> m :: dedup rest
+      | [] -> []
+    in
+    dedup sorted
+  end
+
+let auto ?noise arch program =
+  match candidates ?noise arch program with
+  | best :: _ -> best
+  | [] -> assert false

@@ -1,0 +1,37 @@
+(** Initial qubit placement (the "Initial mapping" stage of Fig 18).
+
+    For clique-like inputs every initial mapping behaves the same (§4,
+    Discussion), so the pipeline keeps the identity.  For sparse inputs a
+    locality-aware placement pays for itself; [anneal] minimizes the total
+    coupling distance over program edges by simulated annealing over
+    physical-slot exchanges (the quadratic objective 2QAN popularized). *)
+
+val quadratic_cost :
+  Qcr_arch.Arch.t -> Qcr_graph.Graph.t -> Qcr_circuit.Mapping.t -> int
+(** Sum over problem edges of the device distance between endpoints. *)
+
+val anneal :
+  ?seed:int ->
+  ?moves:int ->
+  ?noise:Qcr_arch.Noise.t ->
+  Qcr_arch.Arch.t ->
+  Qcr_graph.Graph.t ->
+  Qcr_circuit.Mapping.t
+(** Annealed placement; [moves] defaults to [300 * n].  Deterministic for
+    a fixed seed.  With [noise], hop costs are error-weighted (a link of
+    error [e] costs [1 + 30 e] hops), steering the placement toward
+    low-error regions of the device (§5.3). *)
+
+val candidates :
+  ?noise:Qcr_arch.Noise.t ->
+  Qcr_arch.Arch.t -> Qcr_circuit.Program.t -> Qcr_circuit.Mapping.t list
+(** The identity plus a few annealed restarts (deduplicated), ordered by
+    quadratic cost.  The pipeline compiles each when a noise model makes
+    the final choice fidelity-dependent (§5.3). *)
+
+val auto :
+  ?noise:Qcr_arch.Noise.t ->
+  Qcr_arch.Arch.t -> Qcr_circuit.Program.t -> Qcr_circuit.Mapping.t
+(** The pipeline default: the best of the identity and a few annealed
+    restarts under the quadratic cost (more restarts for sparse problems,
+    where placement matters most). *)

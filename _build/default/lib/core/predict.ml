@@ -1,0 +1,147 @@
+module Arch = Qcr_arch.Arch
+module Graph = Qcr_graph.Graph
+module Components = Qcr_graph.Components
+module Mapping = Qcr_circuit.Mapping
+module Circuit = Qcr_circuit.Circuit
+module Program = Qcr_circuit.Program
+module Schedule = Qcr_swapnet.Schedule
+module Ata = Qcr_swapnet.Ata
+
+type estimate = {
+  cycles : int;
+  swaps : int;
+  merged : int;
+  gates : int;
+}
+
+(* A region group: the remaining-graph components it covers and the
+   schedule + physical member set that encloses their current footprint.
+   Groups whose member sets intersect are merged until pairwise disjoint
+   (overlapping regions cannot run in parallel, paper §6.3). *)
+type group = {
+  logical : int list; (* logical vertices with remaining gates *)
+  members : int list; (* physical qubits of the region, sorted *)
+  sched : Schedule.t option; (* None = needs full-device schedule *)
+}
+
+let footprint mapping logical = List.map (fun l -> Mapping.phys_of_log mapping l) logical
+
+let rec disjoint_sorted a b =
+  match (a, b) with
+  | [], _ | _, [] -> true
+  | x :: xs, y :: ys ->
+      if x = y then false else if x < y then disjoint_sorted xs b else disjoint_sorted a ys
+
+let merge_sorted a b = List.sort_uniq compare (a @ b)
+
+let build_group arch mapping logical =
+  let positions = footprint mapping logical in
+  match Ata.region_schedule arch positions with
+  | Some (sched, members) -> { logical; members; sched = Some sched }
+  | None -> { logical; members = List.sort compare positions; sched = None }
+
+(* Merge groups until pairwise member-disjoint.  A merged group gets a
+   fresh (larger) region. *)
+let rec merge_groups arch mapping groups =
+  let rec find_overlap = function
+    | [] | [ _ ] -> None
+    | g :: rest -> begin
+        match List.find_opt (fun g' -> not (disjoint_sorted g.members g'.members)) rest with
+        | Some g' -> Some (g, g')
+        | None -> begin
+            match find_overlap rest with
+            | Some pair -> Some pair
+            | None -> None
+          end
+      end
+  in
+  match find_overlap groups with
+  | None -> groups
+  | Some (a, b) ->
+      let rest = List.filter (fun g -> g != a && g != b) groups in
+      let merged = build_group arch mapping (merge_sorted a.logical b.logical) in
+      (* ensure progress: the merged footprint strictly contains both *)
+      merge_groups arch mapping (merged :: rest)
+
+let subgraph_of_component remaining component =
+  let n = Graph.vertex_count remaining in
+  let inside = Array.make n false in
+  List.iter (fun v -> inside.(v) <- true) component;
+  let g = Graph.create n in
+  Graph.iter_edges (fun u v -> if inside.(u) && inside.(v) then Graph.add_edge g u v) remaining;
+  g
+
+let groups_of ~use_regions arch remaining mapping =
+  if not use_regions then
+    [ { logical = List.init (Graph.vertex_count remaining) Fun.id; members = []; sched = None } ]
+  else begin
+    let components = Components.nontrivial_components remaining in
+    match components with
+    | [] -> []
+    | _ -> merge_groups arch mapping (List.map (build_group arch mapping) components)
+  end
+
+let estimate ?(use_regions = true) ~arch ~remaining ~mapping () =
+  let gates = Graph.edge_count remaining in
+  if gates = 0 then { cycles = 0; swaps = 0; merged = 0; gates = 0 }
+  else begin
+    let groups = groups_of ~use_regions arch remaining mapping in
+    let full = lazy (Ata.schedule arch) in
+    let cycles = ref 0 and swaps = ref 0 and merged = ref 0 in
+    List.iter
+      (fun g ->
+        let sub = subgraph_of_component remaining g.logical in
+        let sched = match g.sched with Some s -> s | None -> Lazy.force full in
+        match Schedule.estimate ~remaining:sub ~mapping sched with
+        | Some (c, s, m) ->
+            (match g.sched with
+            | Some _ -> cycles := max !cycles c
+            | None ->
+                (* full-device schedules share qubits: serialize *)
+                cycles := !cycles + c);
+            swaps := !swaps + s;
+            merged := !merged + m
+        | None -> begin
+            (* region pattern could not finish (should not happen; the
+               full schedule is the checked fallback) *)
+            match Schedule.estimate ~remaining:sub ~mapping (Lazy.force full) with
+            | Some (c, s, m) ->
+                cycles := !cycles + c;
+                swaps := !swaps + s;
+                merged := !merged + m
+            | None -> failwith "Predict.estimate: full ATA schedule failed to cover"
+          end)
+      groups;
+    { cycles = !cycles; swaps = !swaps; merged = !merged; gates }
+  end
+
+let materialize ?(use_regions = true) ~arch ~program ~remaining ~mapping () =
+  let n_phys = Arch.qubit_count arch in
+  let circuit = Circuit.create n_phys in
+  if Graph.edge_count remaining = 0 then circuit
+  else begin
+    let groups = groups_of ~use_regions arch remaining mapping in
+    let full = lazy (Ata.schedule arch) in
+    List.iter
+      (fun g ->
+        let sub = subgraph_of_component remaining g.logical in
+        if Graph.edge_count sub > 0 then begin
+          let restricted = Program.make sub (Program.interaction program) in
+          let sched = match g.sched with Some s -> s | None -> Lazy.force full in
+          let r = Schedule.realize ~program:restricted ~mapping ~n_phys sched in
+          List.iter (Circuit.add circuit) (Circuit.gates r.circuit);
+          if List.length r.emitted < Graph.edge_count sub then begin
+            (* region schedule fell short (misaligned box, etc.): finish
+               the leftover edges on the checked full-device schedule *)
+            let leftover = Graph.copy sub in
+            List.iter (fun (u, v) -> Graph.remove_edge leftover u v) r.emitted;
+            let rest = Program.make leftover (Program.interaction program) in
+            let r2 = Schedule.realize ~program:rest ~mapping ~n_phys (Lazy.force full) in
+            List.iter (Circuit.add circuit) (Circuit.gates r2.circuit);
+            if List.length r2.emitted < Graph.edge_count leftover then
+              failwith "Predict.materialize: ATA completion incomplete"
+          end
+        end)
+      groups;
+    circuit
+  end

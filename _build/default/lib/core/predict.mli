@@ -1,0 +1,40 @@
+(** ATA pattern prediction (paper §6.3).
+
+    Given the remaining problem graph and the current qubit mapping, the
+    predictor bounds what rigidly following the all-to-all pattern would
+    cost for the rest of the circuit.  The range detector first splits the
+    remaining graph into connected components, encloses each component's
+    current physical footprint in a same-shape sub-device region, and
+    merges overlapping regions; disjoint regions run the pattern in
+    parallel, so the depth bound is the max over regions while SWAPs add
+    up. *)
+
+type estimate = {
+  cycles : int;
+  swaps : int;
+  merged : int;  (** interaction+swap fusions the merge pass will apply *)
+  gates : int;  (** remaining program edges the completion must emit *)
+}
+
+val estimate :
+  ?use_regions:bool ->
+  arch:Qcr_arch.Arch.t ->
+  remaining:Qcr_graph.Graph.t ->
+  mapping:Qcr_circuit.Mapping.t ->
+  unit ->
+  estimate
+(** Never fails: the full-device schedule is a universal fallback (its ATA
+    property is machine-checked). *)
+
+val materialize :
+  ?use_regions:bool ->
+  arch:Qcr_arch.Arch.t ->
+  program:Qcr_circuit.Program.t ->
+  remaining:Qcr_graph.Graph.t ->
+  mapping:Qcr_circuit.Mapping.t ->
+  unit ->
+  Qcr_circuit.Circuit.t
+(** Emit the actual ATA completion circuit for the remaining gates; the
+    mapping is mutated to the final placement.  Regions being qubit-
+    disjoint, per-region circuits are concatenated and regain their
+    parallelism in ASAP layering. *)

@@ -1,0 +1,41 @@
+type candidate = {
+  checkpoint_cycle : int;
+  depth : int;
+  cx : int;
+  log_fid : float;
+}
+
+let err_geomean ~cx ~log_fid =
+  if cx = 0 then 0.0 else 1.0 -. exp (log_fid /. float_of_int cx)
+
+let score ~alpha ~ref_depth ~ref_cx ~ref_log_fid c =
+  let depth_term =
+    if ref_depth = 0 then 0.0 else float_of_int c.depth /. float_of_int ref_depth
+  in
+  let quality_term =
+    if c.log_fid < 0.0 || ref_log_fid < 0.0 then begin
+      let ref_err = err_geomean ~cx:ref_cx ~log_fid:ref_log_fid in
+      if ref_err <= 0.0 then 0.0 else err_geomean ~cx:c.cx ~log_fid:c.log_fid /. ref_err
+    end
+    else if ref_cx = 0 then 0.0
+    else float_of_int c.cx /. float_of_int ref_cx
+  in
+  (alpha *. depth_term) +. ((1.0 -. alpha) *. quality_term)
+
+let best ~alpha ~greedy_depth ~greedy_cx ~greedy_log_fid candidates =
+  let score_vs_greedy =
+    score ~alpha ~ref_depth:(max greedy_depth 1) ~ref_cx:(max greedy_cx 1)
+      ~ref_log_fid:greedy_log_fid
+  in
+  let greedy_as_candidate =
+    { checkpoint_cycle = max_int; depth = greedy_depth; cx = greedy_cx; log_fid = greedy_log_fid }
+  in
+  let greedy_score = score_vs_greedy greedy_as_candidate in
+  let winner =
+    List.fold_left
+      (fun (best_score, best_choice) c ->
+        let s = score_vs_greedy c in
+        if s < best_score then (s, `Hybrid c) else (best_score, best_choice))
+      (greedy_score, `Greedy) candidates
+  in
+  snd winner

@@ -1,0 +1,38 @@
+(** Compiled-circuits selector (paper §6.4).
+
+    The pipeline records, at mapping-changing cycles, the predicted total
+    cost of "greedy prefix so far + rigid ATA completion for the rest".
+    At the end it compares every recorded hybrid against the pure-greedy
+    result under the cost
+
+      F = alpha * (depth / ref_depth) + (1 - alpha) * (quality / ref_quality)
+
+    (smaller is better), where quality is the geometric-mean per-CX error
+    — [fidelity ** (1/fG)] in the paper's notation — when a noise model is
+    present, and the CX count otherwise.  Both terms are normalized to the
+    reference circuit so they weigh comparably.  Because the checkpoint at
+    cycle 0 is the pure ATA completion [cc0], the winner is never worse
+    than rigidly following the clique pattern (Theorem 6.1). *)
+
+type candidate = {
+  checkpoint_cycle : int;  (** 0 = pure ATA *)
+  depth : int;             (** predicted 2q depth of the full circuit *)
+  cx : int;                (** predicted CX count *)
+  log_fid : float;         (** predicted log-fidelity (0 when no noise) *)
+}
+
+val err_geomean : cx:int -> log_fid:float -> float
+(** [1 - exp (log_fid / cx)]: the geometric-mean per-CX error rate. *)
+
+val score :
+  alpha:float -> ref_depth:int -> ref_cx:int -> ref_log_fid:float -> candidate -> float
+
+val best :
+  alpha:float ->
+  greedy_depth:int ->
+  greedy_cx:int ->
+  greedy_log_fid:float ->
+  candidate list ->
+  [ `Greedy | `Hybrid of candidate ]
+(** Compare the greedy result with all hybrids under F (normalized to the
+    greedy result); ties favor greedy. *)

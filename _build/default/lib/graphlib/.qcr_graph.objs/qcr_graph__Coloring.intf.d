@@ -1,0 +1,1 @@
+lib/graphlib/coloring.mli: Graph

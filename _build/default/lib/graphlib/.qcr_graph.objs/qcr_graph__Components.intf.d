@@ -1,0 +1,1 @@
+lib/graphlib/components.mli: Graph

@@ -1,0 +1,1 @@
+lib/graphlib/generate.ml: Array Float Graph Qcr_util

@@ -1,0 +1,1 @@
+lib/graphlib/generate.mli: Graph Qcr_util

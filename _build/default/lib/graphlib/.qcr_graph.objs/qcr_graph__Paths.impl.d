@@ -1,0 +1,1 @@
+lib/graphlib/paths.ml: Array Graph List Queue

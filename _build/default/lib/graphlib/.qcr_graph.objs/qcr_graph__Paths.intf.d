@@ -1,0 +1,1 @@
+lib/graphlib/paths.mli: Graph

@@ -1,0 +1,39 @@
+let greedy g =
+  let n = Graph.vertex_count g in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare (Graph.degree g b) (Graph.degree g a)) order;
+  let color = Array.make n (-1) in
+  let forbidden = Array.make (n + 1) (-1) in
+  Array.iter
+    (fun v ->
+      List.iter
+        (fun u -> if color.(u) >= 0 then forbidden.(color.(u)) <- v)
+        (Graph.neighbors g v);
+      let c = ref 0 in
+      while forbidden.(!c) = v do
+        incr c
+      done;
+      color.(v) <- !c)
+    order;
+  color
+
+let count_colors colors =
+  Array.fold_left (fun acc c -> max acc (c + 1)) 0 colors
+
+let color_classes colors =
+  let k = count_colors colors in
+  let classes = Array.make k [] in
+  for v = Array.length colors - 1 downto 0 do
+    let c = colors.(v) in
+    classes.(c) <- v :: classes.(c)
+  done;
+  classes
+
+let largest_class colors =
+  let classes = color_classes colors in
+  let best = ref 0 in
+  Array.iteri
+    (fun c members ->
+      if List.length members > List.length classes.(!best) then best := c)
+    classes;
+  if Array.length classes = 0 then [] else classes.(!best)

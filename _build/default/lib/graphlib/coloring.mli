@@ -1,0 +1,17 @@
+(** Greedy graph coloring.
+
+    The compiler's gate-scheduling sub-module builds a conflict graph over
+    hardware-compliant gates (edges = shared qubit or crosstalk) and
+    schedules the largest color class (paper §6.2). *)
+
+val greedy : Graph.t -> int array
+(** Color per vertex, using the largest-degree-first greedy heuristic.
+    Adjacent vertices always receive distinct colors. *)
+
+val color_classes : int array -> int list array
+(** Group vertices by color; index = color. *)
+
+val largest_class : int array -> int list
+(** Vertices of the most populous color (ties broken by lowest color). *)
+
+val count_colors : int array -> int

@@ -1,0 +1,38 @@
+module Union_find = Qcr_util.Union_find
+
+let component_labels g =
+  let n = Graph.vertex_count g in
+  let uf = Union_find.create n in
+  Graph.iter_edges (fun u v -> Union_find.union uf u v) g;
+  let label_of_root = Hashtbl.create 16 in
+  let next = ref 0 in
+  Array.init n (fun v ->
+      let root = Union_find.find uf v in
+      match Hashtbl.find_opt label_of_root root with
+      | Some l -> l
+      | None ->
+          let l = !next in
+          incr next;
+          Hashtbl.replace label_of_root root l;
+          l)
+
+let components g =
+  let labels = component_labels g in
+  let k = Array.fold_left (fun acc l -> max acc (l + 1)) 0 labels in
+  let buckets = Array.make k [] in
+  for v = Array.length labels - 1 downto 0 do
+    buckets.(labels.(v)) <- v :: buckets.(labels.(v))
+  done;
+  Array.to_list buckets
+
+let count g =
+  let labels = component_labels g in
+  Array.fold_left (fun acc l -> max acc (l + 1)) 0 labels
+
+let nontrivial_components g =
+  List.filter
+    (function
+      | [ v ] -> Graph.degree g v > 0
+      | [] -> false
+      | _ -> true)
+    (components g)

@@ -1,0 +1,18 @@
+(** Connected components.
+
+    The ATA range detector (paper §6.3, Fig 19) splits the remaining
+    problem graph into disjoint "interacting-qubit-sets" — its connected
+    components — and predicts the ATA pattern per component region. *)
+
+val components : Graph.t -> int list list
+(** Vertex lists of each connected component, each sorted increasingly;
+    components ordered by smallest member. *)
+
+val component_labels : Graph.t -> int array
+(** Label per vertex; labels are dense starting at 0. *)
+
+val count : Graph.t -> int
+
+val nontrivial_components : Graph.t -> int list list
+(** Components that contain at least one edge (singletons dropped):
+    isolated vertices carry no remaining gates and need no region. *)

@@ -1,0 +1,82 @@
+module Prng = Qcr_util.Prng
+
+let erdos_renyi rng ~n ~density =
+  if density < 0.0 || density > 1.0 then invalid_arg "erdos_renyi: density not in [0,1]";
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.float rng 1.0 < density then Graph.add_edge g u v
+    done
+  done;
+  g
+
+(* Regular graphs via a deterministic circulant start randomized by
+   degree-preserving double-edge switches (the standard MCMC shuffle).
+   Unlike the pairing model this never fails, even for dense degrees. *)
+let random_regular rng ~n ~degree =
+  if degree >= n then invalid_arg "random_regular: degree >= n";
+  if n * degree mod 2 <> 0 then invalid_arg "random_regular: n * degree must be even";
+  if degree < 0 then invalid_arg "random_regular: negative degree";
+  let g = Graph.create n in
+  if degree > 0 then begin
+    (* circulant: i ~ i +- 1 .. i +- degree/2, plus the antipode when the
+       degree is odd (n is then even) *)
+    for v = 0 to n - 1 do
+      for k = 1 to degree / 2 do
+        let w = (v + k) mod n in
+        if not (Graph.has_edge g v w) then Graph.add_edge g v w
+      done;
+      if degree mod 2 = 1 then begin
+        let w = (v + (n / 2)) mod n in
+        if not (Graph.has_edge g v w) then Graph.add_edge g v w
+      end
+    done;
+    (* randomize: (a,b),(c,d) -> (a,c),(b,d) when legal *)
+    let edges = Array.of_list (Graph.edges g) in
+    let m = Array.length edges in
+    let switches = 10 * m in
+    for _ = 1 to switches do
+      let i = Prng.int rng m and j = Prng.int rng m in
+      if i <> j then begin
+        let a, b = edges.(i) and c, d = edges.(j) in
+        let c, d = if Prng.bool rng then (c, d) else (d, c) in
+        let distinct = a <> c && a <> d && b <> c && b <> d in
+        if distinct && (not (Graph.has_edge g a c)) && not (Graph.has_edge g b d) then begin
+          Graph.remove_edge g a b;
+          Graph.remove_edge g c d;
+          Graph.add_edge g a c;
+          Graph.add_edge g b d;
+          edges.(i) <- ((min a c), (max a c));
+          edges.(j) <- ((min b d), (max b d))
+        end
+      end
+    done
+  end;
+  g
+
+let regular_with_density rng ~n ~density =
+  let degree_exact = density *. float_of_int (n - 1) in
+  let degree = max 1 (int_of_float (Float.round degree_exact)) in
+  let degree = if n * degree mod 2 = 0 then degree else degree + 1 in
+  let degree = min degree (n - 1) in
+  let degree = if n * degree mod 2 = 0 then degree else degree - 1 in
+  random_regular rng ~n ~degree
+
+let path n =
+  let g = Graph.create n in
+  for v = 0 to n - 2 do
+    Graph.add_edge g v (v + 1)
+  done;
+  g
+
+let cycle n =
+  let g = path n in
+  if n > 2 then Graph.add_edge g (n - 1) 0;
+  g
+
+let star n =
+  let g = Graph.create n in
+  for v = 1 to n - 1 do
+    Graph.add_edge g 0 v
+  done;
+  g

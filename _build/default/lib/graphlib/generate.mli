@@ -1,0 +1,23 @@
+(** Benchmark problem-graph generators (NetworkX substitute, paper §7.1).
+
+    All generators are deterministic under the supplied PRNG. *)
+
+val erdos_renyi : Qcr_util.Prng.t -> n:int -> density:float -> Graph.t
+(** Random graph where each of the [n choose 2] pairs is an edge with
+    probability [density] (the paper's "random graph with density d"). *)
+
+val random_regular : Qcr_util.Prng.t -> n:int -> degree:int -> Graph.t
+(** Random [degree]-regular graph: circulant start randomized by
+    degree-preserving double-edge switches.
+    Requires [n * degree] even and [degree < n]. *)
+
+val regular_with_density : Qcr_util.Prng.t -> n:int -> density:float -> Graph.t
+(** Regular graph whose degree approximates the requested density (the
+    paper sets regular-graph density "close to 0.3 or 0.5 by varying the
+    degree"). *)
+
+val path : int -> Graph.t
+
+val cycle : int -> Graph.t
+
+val star : int -> Graph.t

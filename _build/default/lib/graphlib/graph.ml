@@ -1,0 +1,152 @@
+(* Adjacency is a per-vertex sorted int list plus a hashed edge set for O(1)
+   membership tests; vertex counts in this project stay <= a few thousand so
+   lists keep the code simple without hurting the benchmarks. *)
+
+type t = {
+  n : int;
+  adjacency : int list array;
+  edge_set : (int, unit) Hashtbl.t;
+  mutable edge_count : int;
+}
+
+let edge_key n u v =
+  let lo = min u v and hi = max u v in
+  (lo * n) + hi
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { n; adjacency = Array.make n []; edge_set = Hashtbl.create 64; edge_count = 0 }
+
+let vertex_count t = t.n
+
+let edge_count t = t.edge_count
+
+let check_vertex t v =
+  if v < 0 || v >= t.n then invalid_arg "Graph: vertex out of range"
+
+let has_edge t u v =
+  check_vertex t u;
+  check_vertex t v;
+  Hashtbl.mem t.edge_set (edge_key t.n u v)
+
+let insert_sorted v l =
+  let rec go = function
+    | [] -> [ v ]
+    | x :: _ as rest when v < x -> v :: rest
+    | x :: rest -> x :: go rest
+  in
+  go l
+
+let add_edge t u v =
+  check_vertex t u;
+  check_vertex t v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if has_edge t u v then invalid_arg "Graph.add_edge: duplicate edge";
+  Hashtbl.replace t.edge_set (edge_key t.n u v) ();
+  t.adjacency.(u) <- insert_sorted v t.adjacency.(u);
+  t.adjacency.(v) <- insert_sorted u t.adjacency.(v);
+  t.edge_count <- t.edge_count + 1
+
+let of_edges n edge_list =
+  let t = create n in
+  List.iter (fun (u, v) -> add_edge t u v) edge_list;
+  t
+
+let neighbors t v =
+  check_vertex t v;
+  t.adjacency.(v)
+
+let degree t v = List.length (neighbors t v)
+
+let edges t =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    let pairs = List.filter_map (fun v -> if u < v then Some (u, v) else None) t.adjacency.(u) in
+    acc := pairs @ !acc
+  done;
+  !acc
+
+let iter_edges f t =
+  for u = 0 to t.n - 1 do
+    List.iter (fun v -> if u < v then f u v) t.adjacency.(u)
+  done
+
+let density t =
+  if t.n < 2 then 0.0
+  else begin
+    let pairs = float_of_int t.n *. float_of_int (t.n - 1) /. 2.0 in
+    float_of_int t.edge_count /. pairs
+  end
+
+let max_degree t =
+  let best = ref 0 in
+  for v = 0 to t.n - 1 do
+    best := max !best (degree t v)
+  done;
+  !best
+
+let copy t =
+  {
+    n = t.n;
+    adjacency = Array.copy t.adjacency;
+    edge_set = Hashtbl.copy t.edge_set;
+    edge_count = t.edge_count;
+  }
+
+let remove_edge t u v =
+  check_vertex t u;
+  check_vertex t v;
+  if has_edge t u v then begin
+    Hashtbl.remove t.edge_set (edge_key t.n u v);
+    t.adjacency.(u) <- List.filter (fun x -> x <> v) t.adjacency.(u);
+    t.adjacency.(v) <- List.filter (fun x -> x <> u) t.adjacency.(v);
+    t.edge_count <- t.edge_count - 1
+  end
+
+let subgraph_on t vs =
+  let vs = List.sort_uniq compare vs in
+  let old_of_new = Array.of_list vs in
+  let new_of_old = Hashtbl.create (Array.length old_of_new) in
+  Array.iteri (fun i v -> Hashtbl.replace new_of_old v i) old_of_new;
+  let sub = create (Array.length old_of_new) in
+  iter_edges
+    (fun u v ->
+      match (Hashtbl.find_opt new_of_old u, Hashtbl.find_opt new_of_old v) with
+      | Some u', Some v' -> add_edge sub u' v'
+      | _ -> ())
+    t;
+  (sub, old_of_new)
+
+let is_connected t =
+  if t.n = 0 then true
+  else begin
+    let seen = Array.make t.n false in
+    let queue = Queue.create () in
+    Queue.push 0 queue;
+    seen.(0) <- true;
+    let visited = ref 1 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            incr visited;
+            Queue.push v queue
+          end)
+        t.adjacency.(u)
+    done;
+    !visited = t.n
+  end
+
+let complete n =
+  let t = create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      add_edge t u v
+    done
+  done;
+  t
+
+let pp fmt t =
+  Format.fprintf fmt "graph(n=%d, m=%d)" t.n t.edge_count

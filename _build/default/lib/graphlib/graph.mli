@@ -1,0 +1,54 @@
+(** Simple undirected graphs over vertices [0 .. n-1].
+
+    This is the shared substrate for both problem graphs (a QAOA program is
+    a graph: vertex = qubit, edge = two-qubit operator, paper §2.1) and
+    hardware coupling graphs (vertex = physical qubit, edge = allowed
+    two-qubit-gate site). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an edgeless graph on [n] vertices. *)
+
+val of_edges : int -> (int * int) list -> t
+(** Build from an edge list; duplicate edges and self-loops are rejected. *)
+
+val vertex_count : t -> int
+
+val edge_count : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** @raise Invalid_argument on self-loops or duplicate edges. *)
+
+val has_edge : t -> int -> int -> bool
+
+val neighbors : t -> int -> int list
+(** Neighbors in increasing order. *)
+
+val degree : t -> int -> int
+
+val edges : t -> (int * int) list
+(** All edges with [u < v], lexicographically ordered. *)
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+
+val density : t -> float
+(** [edge_count / (n choose 2)]. *)
+
+val max_degree : t -> int
+
+val copy : t -> t
+
+val remove_edge : t -> int -> int -> unit
+(** No-op if the edge is absent. *)
+
+val subgraph_on : t -> int list -> t * int array
+(** [subgraph_on g vs] is the induced subgraph on [vs], plus the array
+    mapping new vertex ids to original ids. *)
+
+val is_connected : t -> bool
+
+val complete : int -> t
+(** The [n]-clique (the paper's special "clique-circuit" input, Def. 1). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+type weighted_edge = { u : int; v : int; weight : float }
+
+let matching_weight edges = List.fold_left (fun acc e -> acc +. e.weight) 0.0 edges
+
+let is_matching n edges =
+  let used = Array.make n false in
+  let rec check = function
+    | [] -> true
+    | { u; v; _ } :: rest ->
+        if used.(u) || used.(v) then false
+        else begin
+          used.(u) <- true;
+          used.(v) <- true;
+          check rest
+        end
+  in
+  check edges
+
+(* Sort by decreasing weight (ties by vertex ids for determinism), take
+   greedily, then try to improve: for every unmatched edge pair (a,b),(c,d)
+   that together conflict with exactly one matched edge of lower combined
+   weight, swap them in. *)
+let maximum_weight_matching n edges =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare b.weight a.weight with
+        | 0 -> compare (a.u, a.v) (b.u, b.v)
+        | c -> c)
+      edges
+  in
+  let matched_with = Array.make n (-1) in
+  let take e =
+    matched_with.(e.u) <- e.v;
+    matched_with.(e.v) <- e.u
+  in
+  let free e = matched_with.(e.u) = -1 && matched_with.(e.v) = -1 in
+  let chosen = ref [] in
+  List.iter
+    (fun e ->
+      if free e then begin
+        take e;
+        chosen := e :: !chosen
+      end)
+    sorted;
+  (* Improvement sweep: for each matched edge m, look for two disjoint
+     unmatched edges each conflicting only with m whose combined weight
+     exceeds m's. *)
+  let conflicts_only_with m e =
+    let blocked_by x = x = m.u || x = m.v in
+    let endpoint_free x = matched_with.(x) = -1 || blocked_by x in
+    endpoint_free e.u && endpoint_free e.v
+    && (blocked_by e.u || blocked_by e.v)
+  in
+  let improved = ref [] in
+  let final =
+    List.fold_left
+      (fun kept m ->
+        let candidates = List.filter (fun e -> conflicts_only_with m e) sorted in
+        (* pick the best disjoint pair among candidates, one touching m.u
+           side and one touching m.v side *)
+        let touches x e = e.u = x || e.v = x in
+        let best_for x =
+          List.fold_left
+            (fun acc e ->
+              if touches x e && not (touches (if x = m.u then m.v else m.u) e) then
+                match acc with
+                | Some b when b.weight >= e.weight -> acc
+                | _ -> Some e
+              else acc)
+            None candidates
+        in
+        match (best_for m.u, best_for m.v) with
+        | Some a, Some b
+          when a.u <> b.u && a.u <> b.v && a.v <> b.u && a.v <> b.v
+               && a.weight +. b.weight > m.weight ->
+            matched_with.(m.u) <- -1;
+            matched_with.(m.v) <- -1;
+            take a;
+            take b;
+            improved := a :: b :: !improved;
+            kept
+        | _ -> m :: kept)
+      [] !chosen
+  in
+  !improved @ final

@@ -1,0 +1,22 @@
+(** Weighted matchings on general graphs.
+
+    The compiler's SWAP-insertion sub-module selects a set of simultaneous,
+    qubit-disjoint SWAPs by solving a weighted matching over candidate swap
+    edges (paper §6.2, "minimal weight perfect matching").  We implement a
+    greedy maximal matching plus a single augmenting improvement sweep; on
+    the sparse candidate graphs that arise per cycle this matches the exact
+    optimum in the vast majority of cases while staying near-linear, which
+    is what the compiler's near-linear scaling (Fig 26) requires.  See
+    DESIGN.md (substitutions) for the Blossom-algorithm note. *)
+
+type weighted_edge = { u : int; v : int; weight : float }
+
+val maximum_weight_matching : int -> weighted_edge list -> weighted_edge list
+(** Greedy-by-weight maximal matching on [n] vertices, then one local-swap
+    improvement pass (replace a matched edge by two adjacent unmatched ones
+    when that increases total weight). Higher weight = more preferred. *)
+
+val matching_weight : weighted_edge list -> float
+
+val is_matching : int -> weighted_edge list -> bool
+(** No two edges share a vertex. *)

@@ -1,0 +1,112 @@
+type distances = { n : int; matrix : int array }
+
+let bfs g source =
+  let n = Graph.vertex_count g in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.push source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.push v queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  dist
+
+let all_pairs g =
+  let n = Graph.vertex_count g in
+  let matrix = Array.make (n * n) max_int in
+  for source = 0 to n - 1 do
+    let dist = bfs g source in
+    Array.blit dist 0 matrix (source * n) n
+  done;
+  { n; matrix }
+
+let distance d u v = d.matrix.((u * d.n) + v)
+
+let shortest_path g source target =
+  let n = Graph.vertex_count g in
+  let parent = Array.make n (-1) in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.push source queue;
+  while not (Queue.is_empty queue) && dist.(target) = max_int do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          Queue.push v queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  if dist.(target) = max_int then raise Not_found;
+  let rec build v acc = if v = source then source :: acc else build parent.(v) (v :: acc) in
+  build target []
+
+let eccentricity g v =
+  let dist = bfs g v in
+  Array.fold_left (fun acc d -> if d = max_int then acc else max acc d) 0 dist
+
+let diameter g =
+  let n = Graph.vertex_count g in
+  let best = ref 0 in
+  for v = 0 to n - 1 do
+    best := max !best (eccentricity g v)
+  done;
+  !best
+
+(* Greedy DFS that prefers low-degree neighbors (so that it exits dead ends
+   early), extended from a far-apart endpoint pair found by double BFS. *)
+let longest_path_heuristic g =
+  let n = Graph.vertex_count g in
+  if n = 0 then []
+  else begin
+    let farthest source =
+      let dist = bfs g source in
+      let best = ref source in
+      for v = 0 to n - 1 do
+        if dist.(v) <> max_int && dist.(v) > dist.(!best) then best := v
+      done;
+      !best
+    in
+    let a = farthest 0 in
+    let start = farthest a in
+    let visited = Array.make n false in
+    let best_path = ref [] in
+    let best_len = ref 0 in
+    (* Bounded backtracking DFS: explores neighbor orderings by degree, with
+       a node-expansion budget so large lattices stay fast. *)
+    let budget = ref (50 * n) in
+    let rec dfs v path len =
+      decr budget;
+      if len > !best_len then begin
+        best_len := len;
+        best_path := path
+      end;
+      if !budget > 0 then begin
+        let next =
+          List.filter (fun u -> not visited.(u)) (Graph.neighbors g v)
+          |> List.sort (fun u w -> compare (Graph.degree g u) (Graph.degree g w))
+        in
+        List.iter
+          (fun u ->
+            if not visited.(u) && !budget > 0 then begin
+              visited.(u) <- true;
+              dfs u (u :: path) (len + 1);
+              visited.(u) <- false
+            end)
+          next
+      end
+    in
+    visited.(start) <- true;
+    dfs start [ start ] 1;
+    List.rev !best_path
+  end

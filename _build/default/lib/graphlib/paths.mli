@@ -1,0 +1,30 @@
+(** Shortest paths and distance matrices over unweighted graphs.
+
+    Coupling-graph distances drive both the A* admissible heuristic
+    (paper Eq. 2: [d] is "the distance between qi and qj") and the greedy
+    SWAP-insertion scoring. *)
+
+type distances
+(** Dense all-pairs hop-distance matrix. *)
+
+val bfs : Graph.t -> int -> int array
+(** Single-source distances; unreachable vertices get [max_int]. *)
+
+val all_pairs : Graph.t -> distances
+
+val distance : distances -> int -> int -> int
+
+val shortest_path : Graph.t -> int -> int -> int list
+(** One shortest path including both endpoints.
+    @raise Not_found if disconnected. *)
+
+val eccentricity : Graph.t -> int -> int
+
+val diameter : Graph.t -> int
+(** Max finite pairwise distance. *)
+
+val longest_path_heuristic : Graph.t -> int list
+(** A long simple path found by repeated double-BFS sweeps plus greedy DFS
+    extension.  Used to extract the heavy-hex "longest path" component
+    (paper §5.1, Fig 16); not guaranteed maximum, but on heavy-hex lattices
+    it recovers the snake the paper draws. *)

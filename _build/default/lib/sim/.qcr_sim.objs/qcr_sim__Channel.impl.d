@@ -1,0 +1,1 @@
+lib/sim/channel.ml: Array Qcr_arch Qcr_circuit Qcr_util

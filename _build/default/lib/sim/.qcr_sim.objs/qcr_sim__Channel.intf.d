@@ -1,0 +1,1 @@
+lib/sim/channel.mli: Qcr_arch Qcr_circuit Qcr_util

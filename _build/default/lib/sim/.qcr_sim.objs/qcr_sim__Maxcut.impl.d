@@ -1,0 +1,1 @@
+lib/sim/maxcut.ml: Array Qcr_graph

@@ -1,0 +1,1 @@
+lib/sim/maxcut.mli: Qcr_graph

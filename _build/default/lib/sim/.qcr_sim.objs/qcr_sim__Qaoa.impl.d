@@ -1,0 +1,1 @@
+lib/sim/qaoa.ml: Array Channel List Maxcut Optimizer Option Qcr_arch Qcr_circuit Qcr_graph Qcr_util Statevector

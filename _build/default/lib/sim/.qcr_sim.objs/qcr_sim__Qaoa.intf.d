@@ -1,0 +1,1 @@
+lib/sim/qaoa.mli: Qcr_arch Qcr_circuit Qcr_graph Qcr_util

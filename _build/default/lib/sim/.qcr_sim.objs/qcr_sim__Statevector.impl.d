@@ -1,0 +1,1 @@
+lib/sim/statevector.ml: Array List Qcr_circuit Qcr_util

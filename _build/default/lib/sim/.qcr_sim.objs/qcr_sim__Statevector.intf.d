@@ -1,0 +1,1 @@
+lib/sim/statevector.mli: Qcr_circuit Qcr_util

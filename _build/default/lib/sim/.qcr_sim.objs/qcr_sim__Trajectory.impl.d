@@ -1,0 +1,1 @@
+lib/sim/trajectory.ml: Array Channel Float List Qaoa Qcr_arch Qcr_circuit Qcr_util Statevector

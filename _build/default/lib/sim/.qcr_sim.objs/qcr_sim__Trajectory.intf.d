@@ -1,0 +1,1 @@
+lib/sim/trajectory.mli: Qcr_arch Qcr_circuit Qcr_graph Statevector

@@ -1,0 +1,56 @@
+module Noise = Qcr_arch.Noise
+module Mapping = Qcr_circuit.Mapping
+module Prng = Qcr_util.Prng
+
+let depolarize ~fidelity p =
+  let f = max 0.0 (min 1.0 fidelity) in
+  let u = 1.0 /. float_of_int (Array.length p) in
+  Array.map (fun x -> (f *. x) +. ((1.0 -. f) *. u)) p
+
+let with_readout noise ~final p =
+  let n_log = Mapping.logical_count final in
+  let size = Array.length p in
+  if size <> 1 lsl n_log then invalid_arg "Channel.with_readout: size mismatch";
+  let current = ref (Array.copy p) in
+  for l = 0 to n_log - 1 do
+    let e = Noise.readout_error noise (Mapping.phys_of_log final l) in
+    if e > 0.0 then begin
+      let next = Array.make size 0.0 in
+      Array.iteri
+        (fun i x ->
+          let flipped = i lxor (1 lsl l) in
+          next.(i) <- next.(i) +. (x *. (1.0 -. e));
+          next.(flipped) <- next.(flipped) +. (x *. e))
+        !current;
+      current := next
+    end
+  done;
+  !current
+
+let tvd p q =
+  if Array.length p <> Array.length q then invalid_arg "Channel.tvd: size mismatch";
+  let total = ref 0.0 in
+  Array.iteri (fun i x -> total := !total +. abs_float (x -. q.(i))) p;
+  0.5 *. !total
+
+let sample_counts rng ~shots p =
+  let size = Array.length p in
+  let counts = Array.make size 0.0 in
+  let cumulative = Array.make size 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      acc := !acc +. x;
+      cumulative.(i) <- !acc)
+    p;
+  for _ = 1 to shots do
+    let target = Prng.float rng 1.0 in
+    (* binary search the cumulative distribution *)
+    let lo = ref 0 and hi = ref (size - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cumulative.(mid) < target then lo := mid + 1 else hi := mid
+    done;
+    counts.(!lo) <- counts.(!lo) +. 1.0
+  done;
+  Array.map (fun c -> c /. float_of_int shots) counts

@@ -1,0 +1,28 @@
+(** Output-distribution noise channel and total variation distance.
+
+    A full density-matrix simulation of a 27-qubit device is infeasible;
+    per DESIGN.md we model aggregate gate noise as a depolarizing mixture:
+    the noisy output distribution is
+
+      p_noisy = f * p_ideal + (1 - f) * uniform
+
+    where [f = exp (log_fidelity circuit)] is the circuit's estimated
+    success probability under the device calibration.  Compiled circuits
+    with fewer CX / lower depth have a larger [f] and therefore lower TVD
+    and better energy — exactly the effect §7.4 measures. *)
+
+val depolarize : fidelity:float -> float array -> float array
+(** Mix a distribution with uniform noise; [fidelity] clamped to [0, 1]. *)
+
+val with_readout :
+  Qcr_arch.Noise.t -> final:Qcr_circuit.Mapping.t -> float array -> float array
+(** Apply independent per-qubit readout bit-flips (logical qubit [l] read
+    on its final physical wire). *)
+
+val tvd : float array -> float array -> float
+(** Total variation distance: [0.5 * sum |p - q|]. *)
+
+val sample_counts :
+  Qcr_util.Prng.t -> shots:int -> float array -> float array
+(** Empirical distribution of [shots] samples — the shot noise of a real
+    run. *)

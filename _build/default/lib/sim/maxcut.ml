@@ -1,0 +1,24 @@
+module Graph = Qcr_graph.Graph
+
+let cut_value g bits =
+  let cut = ref 0 in
+  Graph.iter_edges
+    (fun u v -> if (bits lsr u) land 1 <> (bits lsr v) land 1 then incr cut)
+    g;
+  !cut
+
+let best_cut_brute_force g =
+  let n = Graph.vertex_count g in
+  if n > 24 then invalid_arg "Maxcut.best_cut_brute_force: too many vertices";
+  let best = ref 0 in
+  for bits = 0 to (1 lsl n) - 1 do
+    best := max !best (cut_value g bits)
+  done;
+  !best
+
+let expected_cut g dist =
+  let total = ref 0.0 in
+  Array.iteri (fun bits p -> total := !total +. (p *. float_of_int (cut_value g bits))) dist;
+  !total
+
+let expectation_value g dist = -.expected_cut g dist

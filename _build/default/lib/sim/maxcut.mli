@@ -1,0 +1,15 @@
+(** Max-Cut objective helpers (the QAOA application of §7.4). *)
+
+val cut_value : Qcr_graph.Graph.t -> int -> int
+(** [cut_value g bits]: edges of [g] whose endpoints get different bits in
+    the basis-state index [bits]. *)
+
+val best_cut_brute_force : Qcr_graph.Graph.t -> int
+(** Exact optimum by enumeration (n <= 24). *)
+
+val expected_cut : Qcr_graph.Graph.t -> float array -> float
+(** Expectation of the cut value under an output distribution. *)
+
+val expectation_value : Qcr_graph.Graph.t -> float array -> float
+(** The paper's plotted quantity: the *negated* expected cut (smaller is
+    better, Figs 24–25). *)

@@ -1,0 +1,92 @@
+type trace = { round_best : float array; evaluations : int }
+
+(* Standard Nelder-Mead coefficients. *)
+let alpha = 1.0 (* reflection *)
+let gamma = 2.0 (* expansion *)
+let rho = 0.5 (* contraction *)
+let sigma = 0.5 (* shrink *)
+
+let nelder_mead ?(max_rounds = 30) ?(init_step = 0.3) ~f ~init () =
+  let dim = Array.length init in
+  if dim = 0 then invalid_arg "Optimizer.nelder_mead: empty parameter vector";
+  let evaluations = ref 0 in
+  let eval x =
+    incr evaluations;
+    f x
+  in
+  (* simplex of dim+1 points *)
+  let points =
+    Array.init (dim + 1) (fun i ->
+        let p = Array.copy init in
+        if i > 0 then p.(i - 1) <- p.(i - 1) +. init_step;
+        p)
+  in
+  let values = Array.map eval points in
+  let order () =
+    let idx = Array.init (dim + 1) (fun i -> i) in
+    Array.sort (fun a b -> compare values.(a) values.(b)) idx;
+    idx
+  in
+  let round_best = Array.make max_rounds infinity in
+  let best_so_far = ref values.(0) in
+  Array.iter (fun v -> if v < !best_so_far then best_so_far := v) values;
+  for round = 0 to max_rounds - 1 do
+    let idx = order () in
+    let best = idx.(0) and worst = idx.(dim) and second_worst = idx.(dim - 1) in
+    (* centroid of all but worst *)
+    let centroid = Array.make dim 0.0 in
+    Array.iteri
+      (fun rank i ->
+        if rank < dim then
+          Array.iteri (fun d x -> centroid.(d) <- centroid.(d) +. (x /. float_of_int dim)) points.(i)
+        else ignore rank)
+      idx;
+    (* r = centroid + alpha * (centroid - worst) *)
+    let reflected =
+      Array.init dim (fun d -> centroid.(d) +. (alpha *. (centroid.(d) -. points.(worst).(d))))
+    in
+    let fr = eval reflected in
+    if fr < values.(best) then begin
+      let expanded =
+        Array.init dim (fun d -> centroid.(d) +. (gamma *. (centroid.(d) -. points.(worst).(d))))
+      in
+      let fe = eval expanded in
+      if fe < fr then begin
+        points.(worst) <- expanded;
+        values.(worst) <- fe
+      end
+      else begin
+        points.(worst) <- reflected;
+        values.(worst) <- fr
+      end
+    end
+    else if fr < values.(second_worst) then begin
+      points.(worst) <- reflected;
+      values.(worst) <- fr
+    end
+    else begin
+      let contracted =
+        Array.init dim (fun d -> centroid.(d) +. (rho *. (points.(worst).(d) -. centroid.(d))))
+      in
+      let fc = eval contracted in
+      if fc < values.(worst) then begin
+        points.(worst) <- contracted;
+        values.(worst) <- fc
+      end
+      else
+        (* shrink toward best *)
+        Array.iteri
+          (fun rank i ->
+            if rank > 0 then begin
+              points.(i) <-
+                Array.init dim (fun d ->
+                    points.(idx.(0)).(d) +. (sigma *. (points.(i).(d) -. points.(idx.(0)).(d))));
+              values.(i) <- eval points.(i)
+            end)
+          idx
+    end;
+    Array.iter (fun v -> if v < !best_so_far then best_so_far := v) values;
+    round_best.(round) <- !best_so_far
+  done;
+  let idx = order () in
+  (points.(idx.(0)), values.(idx.(0)), { round_best; evaluations = !evaluations })

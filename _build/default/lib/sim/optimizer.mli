@@ -1,0 +1,19 @@
+(** Derivative-free classical optimizer for QAOA angles.
+
+    Nelder–Mead simplex, standing in for Qiskit's default COBYLA (both are
+    gradient-free local searches; see DESIGN.md substitutions).  The
+    [trace] records the best objective value seen after each evaluation
+    round, which is exactly the x-axis of Figs 24–25. *)
+
+type trace = { round_best : float array; evaluations : int }
+
+val nelder_mead :
+  ?max_rounds:int ->
+  ?init_step:float ->
+  f:(float array -> float) ->
+  init:float array ->
+  unit ->
+  float array * float * trace
+(** Minimizes [f].  Returns (best point, best value, trace).  One "round"
+    is one simplex iteration (reflect/expand/contract/shrink), matching
+    one optimizer step of the real-machine loop. *)

@@ -1,0 +1,94 @@
+module Graph = Qcr_graph.Graph
+module Circuit = Qcr_circuit.Circuit
+module Gate = Qcr_circuit.Gate
+module Program = Qcr_circuit.Program
+module Mapping = Qcr_circuit.Mapping
+module Noise = Qcr_arch.Noise
+module Prng = Qcr_util.Prng
+
+type evaluation = {
+  distribution : float array;
+  energy : float;
+  fidelity : float;
+}
+
+(* Recover the QAOA angles embedded in a compiled circuit: the first
+   Cphase/Swap_interact carries 2*gamma, the first Rx carries 2*beta. *)
+let angles_of_compiled compiled =
+  let gamma = ref None and beta = ref None in
+  List.iter
+    (fun g ->
+      match g with
+      | Gate.Cphase (_, _, t) | Gate.Swap_interact (_, _, t) ->
+          if !gamma = None then gamma := Some (t /. 2.0)
+      | Gate.Rx (_, t) -> if !beta = None then beta := Some (t /. 2.0)
+      | _ -> ())
+    (Circuit.gates compiled);
+  (Option.value ~default:0.0 !gamma, Option.value ~default:0.0 !beta)
+
+let evaluate ?noise ?shots ?rng ~graph ~compiled ~final () =
+  let gamma, beta = angles_of_compiled compiled in
+  let program = Program.make graph (Program.Qaoa_maxcut { gamma; beta }) in
+  let ideal = Statevector.run (Program.logical_circuit program) in
+  let probs = Statevector.probabilities ideal in
+  let fidelity =
+    match noise with
+    | Some model ->
+        let gate_log = Circuit.log_fidelity model compiled in
+        let idle_log =
+          Noise.decoherence_log_fidelity ~depth:(Circuit.depth2q compiled)
+            ~qubits:(Graph.vertex_count graph)
+        in
+        exp (gate_log +. idle_log)
+    | None -> 1.0
+  in
+  let dist = Channel.depolarize ~fidelity probs in
+  let dist =
+    match noise with
+    | Some model -> Channel.with_readout model ~final dist
+    | None -> dist
+  in
+  let dist =
+    match (shots, rng) with
+    | Some s, Some r -> Channel.sample_counts r ~shots:s dist
+    | _ -> dist
+  in
+  { distribution = dist; energy = Maxcut.expectation_value graph dist; fidelity }
+
+type driver_result = {
+  energies : float array;
+  best_gamma : float;
+  best_beta : float;
+  best_energy : float;
+  optimum_cut : int;
+}
+
+let run_driver ?(rounds = 30) ?(shots = 8000) ?(seed = 11) ?noise ~graph ~compile () =
+  let rng = Prng.create seed in
+  let objective angles =
+    let gamma = angles.(0) and beta = angles.(1) in
+    let program = Program.make graph (Program.Qaoa_maxcut { gamma; beta }) in
+    let compiled, final = compile program in
+    let e = evaluate ?noise ~shots ~rng ~graph ~compiled ~final () in
+    e.energy
+  in
+  (* Seed the simplex from a coarse angle grid (as one would on hardware:
+     a handful of cheap scans before the optimizer takes over), so the
+     local search starts inside the productive p=1 angle basin. *)
+  let gammas = [ 0.1; 0.3; 0.5 ] and betas = [ 0.15; 0.35 ] in
+  let init =
+    List.concat_map (fun g -> List.map (fun b -> [| g; b |]) betas) gammas
+    |> List.map (fun p -> (objective p, p))
+    |> List.fold_left (fun (bv, bp) (v, p) -> if v < bv then (v, p) else (bv, bp)) (infinity, [| 0.4; 0.35 |])
+    |> snd
+  in
+  let best_point, best_value, trace =
+    Optimizer.nelder_mead ~max_rounds:rounds ~init_step:0.15 ~f:objective ~init ()
+  in
+  {
+    energies = trace.Optimizer.round_best;
+    best_gamma = best_point.(0);
+    best_beta = best_point.(1);
+    best_energy = best_value;
+    optimum_cut = Maxcut.best_cut_brute_force graph;
+  }

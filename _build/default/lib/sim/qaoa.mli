@@ -1,0 +1,57 @@
+(** End-to-end QAOA driver (paper §7.4): compiled circuit -> simulator ->
+    noise channel -> expected Max-Cut energy -> classical optimizer loop.
+
+    [run_driver] mirrors the paper's real-machine experiment: the circuit
+    structure (two-qubit blocks, SWAPs) is compiled once; only the rotation
+    angles change between optimizer rounds, so each evaluation rebuilds the
+    gate parameters on the fixed structure. *)
+
+val angles_of_compiled : Qcr_circuit.Circuit.t -> float * float
+(** Recover (gamma, beta) from a compiled QAOA circuit's first interaction
+    and mixer gates (used by the evaluation helpers). *)
+
+type evaluation = {
+  distribution : float array;  (** noisy output distribution over 2^n *)
+  energy : float;              (** negated expected cut (smaller better) *)
+  fidelity : float;            (** exp of the compiled circuit's log-fidelity *)
+}
+
+val evaluate :
+  ?noise:Qcr_arch.Noise.t ->
+  ?shots:int ->
+  ?rng:Qcr_util.Prng.t ->
+  graph:Qcr_graph.Graph.t ->
+  compiled:Qcr_circuit.Circuit.t ->
+  final:Qcr_circuit.Mapping.t ->
+  unit ->
+  evaluation
+(** Simulate a compiled QAOA circuit.  The simulation runs the *logical*
+    equivalent (ideal statevector of the logical circuit implied by
+    [graph] + the compiled angles) — semantics equality is certified
+    separately in tests — with the compiled circuit determining the
+    depolarizing fidelity.  With [shots] the distribution carries shot
+    noise. *)
+
+type driver_result = {
+  energies : float array;      (** best-so-far energy after each round *)
+  best_gamma : float;
+  best_beta : float;
+  best_energy : float;
+  optimum_cut : int;           (** brute-force max cut, for reference *)
+}
+
+val run_driver :
+  ?rounds:int ->
+  ?shots:int ->
+  ?seed:int ->
+  ?noise:Qcr_arch.Noise.t ->
+  graph:Qcr_graph.Graph.t ->
+  compile:
+    (Qcr_circuit.Program.t ->
+    Qcr_circuit.Circuit.t * Qcr_circuit.Mapping.t) ->
+  unit ->
+  driver_result
+(** Full optimization loop: [compile] maps a parameterized program to a
+    compiled circuit + final mapping (called once per evaluation with
+    fresh angles; structure is deterministic).  Uses Nelder–Mead
+    (COBYLA substitute). *)

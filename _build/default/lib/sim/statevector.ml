@@ -1,0 +1,184 @@
+module Gate = Qcr_circuit.Gate
+module Circuit = Qcr_circuit.Circuit
+module Mapping = Qcr_circuit.Mapping
+module Prng = Qcr_util.Prng
+
+type t = { n : int; re : float array; im : float array }
+
+let create n =
+  if n < 0 || n > 24 then invalid_arg "Statevector.create: supports 0..24 qubits";
+  let size = 1 lsl n in
+  let re = Array.make size 0.0 and im = Array.make size 0.0 in
+  re.(0) <- 1.0;
+  { n; re; im }
+
+let qubit_count t = t.n
+
+let amplitude t i = (t.re.(i), t.im.(i))
+
+(* Single-qubit unitary [[a b];[c d]] with complex entries (ar+i*ai ...) *)
+let apply_1q t q (ar, ai) (br, bi) (cr, ci) (dr, di) =
+  let size = 1 lsl t.n in
+  let bit = 1 lsl q in
+  let re = t.re and im = t.im in
+  let i = ref 0 in
+  while !i < size do
+    if !i land bit = 0 then begin
+      let j = !i lor bit in
+      let xr = re.(!i) and xi = im.(!i) in
+      let yr = re.(j) and yi = im.(j) in
+      re.(!i) <- (ar *. xr) -. (ai *. xi) +. (br *. yr) -. (bi *. yi);
+      im.(!i) <- (ar *. xi) +. (ai *. xr) +. (br *. yi) +. (bi *. yr);
+      re.(j) <- (cr *. xr) -. (ci *. xi) +. (dr *. yr) -. (di *. yi);
+      im.(j) <- (cr *. xi) +. (ci *. xr) +. (dr *. yi) +. (di *. yr)
+    end;
+    incr i
+  done
+
+let phase_on_mask t ~mask ~value (pr, pi) =
+  let size = 1 lsl t.n in
+  let re = t.re and im = t.im in
+  for i = 0 to size - 1 do
+    if i land mask = value then begin
+      let xr = re.(i) and xi = im.(i) in
+      re.(i) <- (pr *. xr) -. (pi *. xi);
+      im.(i) <- (pr *. xi) +. (pi *. xr)
+    end
+  done
+
+let swap_amps t pa pb =
+  let size = 1 lsl t.n in
+  let re = t.re and im = t.im in
+  for i = 0 to size - 1 do
+    let ba = (i lsr pa) land 1 and bb = (i lsr pb) land 1 in
+    if ba = 1 && bb = 0 then begin
+      let j = i lxor ((1 lsl pa) lor (1 lsl pb)) in
+      let xr = re.(i) and xi = im.(i) in
+      re.(i) <- re.(j);
+      im.(i) <- im.(j);
+      re.(j) <- xr;
+      im.(j) <- xi
+    end
+  done
+
+let cx t control target =
+  let size = 1 lsl t.n in
+  let re = t.re and im = t.im in
+  let cbit = 1 lsl control and tbit = 1 lsl target in
+  for i = 0 to size - 1 do
+    if i land cbit <> 0 && i land tbit = 0 then begin
+      let j = i lor tbit in
+      let xr = re.(i) and xi = im.(i) in
+      re.(i) <- re.(j);
+      im.(i) <- im.(j);
+      re.(j) <- xr;
+      im.(j) <- xi
+    end
+  done
+
+let inv_sqrt2 = 1.0 /. sqrt 2.0
+
+let rec apply t g =
+  match g with
+  | Gate.H q ->
+      apply_1q t q (inv_sqrt2, 0.0) (inv_sqrt2, 0.0) (inv_sqrt2, 0.0) (-.inv_sqrt2, 0.0)
+  | Gate.X q -> apply_1q t q (0.0, 0.0) (1.0, 0.0) (1.0, 0.0) (0.0, 0.0)
+  | Gate.Rx (q, theta) ->
+      let c = cos (theta /. 2.0) and s = sin (theta /. 2.0) in
+      apply_1q t q (c, 0.0) (0.0, -.s) (0.0, -.s) (c, 0.0)
+  | Gate.Rz (q, theta) ->
+      let c = cos (theta /. 2.0) and s = sin (theta /. 2.0) in
+      apply_1q t q (c, -.s) (0.0, 0.0) (0.0, 0.0) (c, s)
+  | Gate.Cx (a, b) -> cx t a b
+  | Gate.Cz (a, b) ->
+      let mask = (1 lsl a) lor (1 lsl b) in
+      phase_on_mask t ~mask ~value:mask (-1.0, 0.0)
+  | Gate.Cphase (a, b, theta) ->
+      let mask = (1 lsl a) lor (1 lsl b) in
+      phase_on_mask t ~mask ~value:mask (cos theta, sin theta)
+  | Gate.Rzz (a, b, theta) ->
+      (* exp(-i theta/2 Z Z): phase e^{-i theta/2} on equal bits, e^{+i
+         theta/2} on differing bits *)
+      let size = 1 lsl t.n in
+      let re = t.re and im = t.im in
+      let c = cos (theta /. 2.0) and s = sin (theta /. 2.0) in
+      for i = 0 to size - 1 do
+        let ba = (i lsr a) land 1 and bb = (i lsr b) land 1 in
+        let pr, pi = if ba = bb then (c, -.s) else (c, s) in
+        let xr = re.(i) and xi = im.(i) in
+        re.(i) <- (pr *. xr) -. (pi *. xi);
+        im.(i) <- (pr *. xi) +. (pi *. xr)
+      done
+  | Gate.Swap (a, b) -> swap_amps t a b
+  | Gate.Swap_interact (a, b, theta) ->
+      apply t (Gate.Cphase (a, b, theta));
+      apply t (Gate.Swap (a, b))
+  | Gate.Swap_rzz (a, b, theta) ->
+      apply t (Gate.Rzz (a, b, theta));
+      apply t (Gate.Swap (a, b))
+  | Gate.Measure _ | Gate.Barrier -> ()
+
+let run circuit =
+  let t = create (Circuit.qubit_count circuit) in
+  List.iter (apply t) (Circuit.gates circuit);
+  t
+
+let probabilities t =
+  Array.init (1 lsl t.n) (fun i -> (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i)))
+
+let norm t = Array.fold_left ( +. ) 0.0 (probabilities t)
+
+let fidelity a b =
+  if a.n <> b.n then invalid_arg "Statevector.fidelity: size mismatch";
+  let dr = ref 0.0 and di = ref 0.0 in
+  for i = 0 to (1 lsl a.n) - 1 do
+    (* <a|b> = sum conj(a_i) b_i *)
+    dr := !dr +. ((a.re.(i) *. b.re.(i)) +. (a.im.(i) *. b.im.(i)));
+    di := !di +. ((a.re.(i) *. b.im.(i)) -. (a.im.(i) *. b.re.(i)))
+  done;
+  (!dr *. !dr) +. (!di *. !di)
+
+let sample rng t =
+  let probs = probabilities t in
+  let target = Prng.float rng 1.0 in
+  let acc = ref 0.0 and found = ref (Array.length probs - 1) in
+  (try
+     Array.iteri
+       (fun i p ->
+         acc := !acc +. p;
+         if !acc >= target then begin
+           found := i;
+           raise Exit
+         end)
+       probs
+   with Exit -> ());
+  !found
+
+let extract_logical t ~final =
+  let n_log = Mapping.logical_count final in
+  let out = create n_log in
+  out.re.(0) <- 0.0;
+  let size = 1 lsl t.n in
+  let leaked = ref 0.0 in
+  for i = 0 to size - 1 do
+    let p = (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i)) in
+    if p > 0.0 then begin
+      (* dummy wires must be 0 *)
+      let ok = ref true in
+      for phys = 0 to t.n - 1 do
+        if Mapping.is_dummy final (Mapping.log_of_phys final phys) && (i lsr phys) land 1 = 1
+        then ok := false
+      done;
+      if !ok then begin
+        let j = ref 0 in
+        for l = 0 to n_log - 1 do
+          if (i lsr Mapping.phys_of_log final l) land 1 = 1 then j := !j lor (1 lsl l)
+        done;
+        out.re.(!j) <- t.re.(i);
+        out.im.(!j) <- t.im.(i)
+      end
+      else leaked := !leaked +. p
+    end
+  done;
+  if !leaked > 1e-9 then failwith "Statevector.extract_logical: dummy wires not |0>";
+  out

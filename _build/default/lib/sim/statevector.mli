@@ -1,0 +1,40 @@
+(** Dense state-vector simulator (up to ~22 qubits).
+
+    Substrate for the real-machine experiments of §7.4: QAOA energies,
+    output distributions, TVD — and for the compiled-vs-logical
+    equivalence tests that certify the compiler preserves semantics. *)
+
+type t
+
+val create : int -> t
+(** |0...0> on [n] qubits.  [n] must be <= 24. *)
+
+val qubit_count : t -> int
+
+val apply : t -> Qcr_circuit.Gate.t -> unit
+(** Apply one gate in place.  [Measure]/[Barrier] are no-ops (measurement
+    is modelled by reading the final distribution). *)
+
+val run : Qcr_circuit.Circuit.t -> t
+(** Fresh simulation of a whole circuit. *)
+
+val amplitude : t -> int -> float * float
+(** (re, im) of a basis state. *)
+
+val probabilities : t -> float array
+(** Probability per basis state; sums to 1 up to float error. *)
+
+val fidelity : t -> t -> float
+(** |<a|b>|^2. *)
+
+val norm : t -> float
+
+val sample : Qcr_util.Prng.t -> t -> int
+(** Draw one basis state from the output distribution. *)
+
+val extract_logical :
+  t -> final:Qcr_circuit.Mapping.t -> t
+(** Project a compiled-circuit state on physical wires down to the logical
+    wires: logical bit [l] is read from physical wire
+    [Mapping.phys_of_log final l]; all dummy wires must be |0> (they only
+    ever participate in SWAPs), which is checked. *)

@@ -1,0 +1,79 @@
+module Gate = Qcr_circuit.Gate
+module Circuit = Qcr_circuit.Circuit
+module Mapping = Qcr_circuit.Mapping
+module Noise = Qcr_arch.Noise
+module Program = Qcr_circuit.Program
+module Prng = Qcr_util.Prng
+
+let logical_distribution sv ~final =
+  let n_phys = Statevector.qubit_count sv in
+  let n_log = Mapping.logical_count final in
+  let out = Array.make (1 lsl n_log) 0.0 in
+  let probs = Statevector.probabilities sv in
+  Array.iteri
+    (fun i p ->
+      if p > 0.0 then begin
+        let j = ref 0 in
+        for l = 0 to n_log - 1 do
+          if (i lsr Mapping.phys_of_log final l) land 1 = 1 then j := !j lor (1 lsl l)
+        done;
+        ignore n_phys;
+        out.(!j) <- out.(!j) +. p
+      end)
+    probs;
+  out
+
+(* Apply one uniformly random non-identity Pauli pair on wires (a, b):
+   pick from the 15 non-identity elements of {I,X,Y,Z}^2.  Y = i X Z; the
+   global phase is irrelevant, so Y is applied as X then Z. *)
+let inject_pauli rng sv a b =
+  let apply_single wire = function
+    | 0 -> ()
+    | 1 -> Statevector.apply sv (Gate.X wire)
+    | 2 ->
+        (* Y (up to global phase) *)
+        Statevector.apply sv (Gate.Rz (wire, Float.pi));
+        Statevector.apply sv (Gate.X wire)
+    | _ ->
+        (* Z *)
+        Statevector.apply sv (Gate.Rz (wire, Float.pi))
+  in
+  let k = 1 + Prng.int rng 15 in
+  apply_single a (k land 3);
+  apply_single b ((k lsr 2) land 3)
+
+let run_noisy rng ~noise compiled =
+  let sv = Statevector.create (Circuit.qubit_count compiled) in
+  List.iter
+    (fun g ->
+      Statevector.apply sv g;
+      match Gate.qubits g with
+      | [ a; b ] when Gate.is_two_qubit g ->
+          (* one error opportunity per CX of the gate's decomposition *)
+          let e = Noise.cx_error noise a b in
+          for _ = 1 to Gate.cx_cost g do
+            if Prng.float rng 1.0 < e then inject_pauli rng sv a b
+          done
+      | _ -> ())
+    (Circuit.gates compiled);
+  sv
+
+let distribution ?(seed = 19) ?(trajectories = 200) ~noise ~compiled ~final () =
+  if trajectories < 1 then invalid_arg "Trajectory.distribution: trajectories < 1";
+  let rng = Prng.create seed in
+  let n_log = Mapping.logical_count final in
+  let acc = Array.make (1 lsl n_log) 0.0 in
+  for _ = 1 to trajectories do
+    let sv = run_noisy rng ~noise compiled in
+    let d = logical_distribution sv ~final in
+    Array.iteri (fun i p -> acc.(i) <- acc.(i) +. p) d
+  done;
+  let averaged = Array.map (fun p -> p /. float_of_int trajectories) acc in
+  Channel.with_readout noise ~final averaged
+
+let tvd_vs_ideal ?seed ?trajectories ~noise ~graph ~compiled ~final () =
+  let gamma, beta = Qaoa.angles_of_compiled compiled in
+  let program = Program.make graph (Program.Qaoa_maxcut { gamma; beta }) in
+  let ideal = Statevector.probabilities (Statevector.run (Program.logical_circuit program)) in
+  let noisy = distribution ?seed ?trajectories ~noise ~compiled ~final () in
+  Channel.tvd noisy ideal

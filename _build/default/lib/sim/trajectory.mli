@@ -1,0 +1,41 @@
+(** Monte-Carlo Pauli-trajectory noise simulation.
+
+    The channel model used for the large experiments ({!Channel}) collapses
+    all gate noise into one depolarizing mixture.  For small devices this
+    module simulates noise properly: each trajectory runs the *compiled*
+    circuit and, after every two-qubit gate, injects a uniformly random
+    non-identity two-qubit Pauli on its wires with the link's error
+    probability (per CX of the gate's cost); averaging trajectory output
+    distributions converges to the true Pauli-noise channel.  Readout
+    errors are applied to the averaged distribution.
+
+    Used in tests and the evaluation to validate the cheap channel
+    approximation (they agree on ordering and roughly on magnitude). *)
+
+val logical_distribution :
+  Statevector.t -> final:Qcr_circuit.Mapping.t -> float array
+(** Marginalize a physical-wire state onto the logical wires through the
+    final mapping, tracing out dummy wires (which noise may excite). *)
+
+val distribution :
+  ?seed:int ->
+  ?trajectories:int ->
+  noise:Qcr_arch.Noise.t ->
+  compiled:Qcr_circuit.Circuit.t ->
+  final:Qcr_circuit.Mapping.t ->
+  unit ->
+  float array
+(** Average logical output distribution over [trajectories] (default 200)
+    noisy runs.  Deterministic for a fixed [seed]. *)
+
+val tvd_vs_ideal :
+  ?seed:int ->
+  ?trajectories:int ->
+  noise:Qcr_arch.Noise.t ->
+  graph:Qcr_graph.Graph.t ->
+  compiled:Qcr_circuit.Circuit.t ->
+  final:Qcr_circuit.Mapping.t ->
+  unit ->
+  float
+(** Convenience: TVD between the trajectory-noise output and the ideal
+    logical distribution of the same circuit. *)

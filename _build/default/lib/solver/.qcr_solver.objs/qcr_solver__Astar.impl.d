@@ -1,0 +1,1 @@
+lib/solver/astar.ml: Array Buffer Char Hashtbl Heuristic List Qcr_circuit Qcr_graph Qcr_swapnet Qcr_util Sys

@@ -1,0 +1,1 @@
+lib/solver/astar.mli: Qcr_circuit Qcr_graph Qcr_swapnet

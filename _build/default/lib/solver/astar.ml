@@ -1,0 +1,235 @@
+module Graph = Qcr_graph.Graph
+module Paths = Qcr_graph.Paths
+module Mapping = Qcr_circuit.Mapping
+module Bitset = Qcr_util.Bitset
+module Pqueue = Qcr_util.Pqueue
+
+type action =
+  | Do_gate of int * int
+  | Do_swap of int * int
+
+type outcome = {
+  depth : int;
+  cycles : action list list;
+  swap_total : int;
+  expanded : int;
+  optimal : bool;
+}
+
+type node = {
+  g : int;
+  swaps_so_far : int;
+  l_of_p : int array; (* physical -> logical (incl. dummies) *)
+  remaining : Bitset.t; (* bit u*n_log + v for u < v *)
+  degree : int array; (* remaining degree per logical *)
+  parent : node option;
+  via : action list; (* actions of the cycle leading here *)
+}
+
+let pair_bit n_log u v =
+  let lo = min u v and hi = max u v in
+  (lo * n_log) + hi
+
+let key_of node =
+  let b = Buffer.create 32 in
+  Array.iter (fun l -> Buffer.add_char b (Char.chr (l land 0xff))) node.l_of_p;
+  Buffer.add_string b (Bitset.hash_key node.remaining);
+  Buffer.contents b
+
+let solve ?(node_budget = 2_000_000) ?time_budget ?(weight = 1.0) ~problem ~coupling ~init () =
+  let started = Sys.time () in
+  let out_of_time () =
+    match time_budget with None -> false | Some limit -> Sys.time () -. started > limit
+  in
+  let n_log = Graph.vertex_count problem in
+  let n_phys = Graph.vertex_count coupling in
+  if n_log > Mapping.logical_count init then invalid_arg "Astar.solve: mapping too small";
+  if n_phys > 255 then invalid_arg "Astar.solve: solver is for small devices";
+  let dists = Paths.all_pairs coupling in
+  let dist p q = Paths.distance dists p q in
+  let edges = Array.of_list (Graph.edges coupling) in
+  let root_remaining = Bitset.create (n_log * n_log) in
+  Graph.iter_edges (fun u v -> Bitset.add root_remaining (pair_bit n_log u v)) problem;
+  let root_degree = Array.init n_log (fun v -> Graph.degree problem v) in
+  let root =
+    {
+      g = 0;
+      swaps_so_far = 0;
+      l_of_p = Array.init n_phys (fun p -> Mapping.log_of_phys init p);
+      remaining = root_remaining;
+      degree = root_degree;
+      parent = None;
+      via = [];
+    }
+  in
+  let heuristic node =
+    let phys_of_log = Array.make n_log (-1) in
+    Array.iteri (fun p l -> if l < n_log then phys_of_log.(l) <- p) node.l_of_p;
+    let best = ref 0 in
+    Bitset.iter
+      (fun bit ->
+        let u = bit / n_log and v = bit mod n_log in
+        let d = max 1 (dist phys_of_log.(u) phys_of_log.(v)) in
+        let c = Heuristic.pair_cost ~deg_i:node.degree.(u) ~deg_j:node.degree.(v) ~dist:d in
+        if c > !best then best := c)
+      node.remaining;
+    !best
+  in
+  (* Depth is the primary objective (the admissible f = g + h); among
+     equal-depth candidates, fewer SWAPs so far break the tie, which keeps
+     depth-optimality while curbing gratuitous parallel SWAPs. *)
+  let priority node =
+    let f = node.g + int_of_float (ceil (weight *. float_of_int (heuristic node))) in
+    (f * 4096) + min node.swaps_so_far 4095
+  in
+  let queue = Pqueue.create () in
+  let closed : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  Pqueue.push queue ~prio:(priority root) root;
+  Hashtbl.replace closed (key_of root) 0;
+  let expanded = ref 0 in
+  let solution = ref None in
+  let budget_hit = ref false in
+  (* Enumerate one cycle's action sets: per coupling edge choose idle /
+     swap / gate (gate only when the logical pair owes one), endpoints
+     disjoint; prune non-gate-maximal leaves and the all-idle leaf. *)
+  let expand node =
+    let used = Array.make n_phys false in
+    let children = ref [] in
+    let rec go i acc =
+      if i = Array.length edges then begin
+        if acc <> [] then begin
+          (* gate-maximality: adding a compatible executable gate never
+             hurts depth, so any leaf leaving one on the table is
+             dominated *)
+          let maximal =
+            Array.for_all
+              (fun (p, q) ->
+                used.(p) || used.(q)
+                ||
+                let a = node.l_of_p.(p) and b = node.l_of_p.(q) in
+                not
+                  (a < n_log && b < n_log
+                  && Bitset.mem node.remaining (pair_bit n_log a b)))
+              edges
+          in
+          if maximal then children := acc :: !children
+        end
+      end
+      else begin
+        let p, q = edges.(i) in
+        if used.(p) || used.(q) then go (i + 1) acc
+        else begin
+          (* idle *)
+          go (i + 1) acc;
+          used.(p) <- true;
+          used.(q) <- true;
+          (* swap *)
+          go (i + 1) (Do_swap (p, q) :: acc);
+          (* gate *)
+          let a = node.l_of_p.(p) and b = node.l_of_p.(q) in
+          if a < n_log && b < n_log && Bitset.mem node.remaining (pair_bit n_log a b)
+          then go (i + 1) (Do_gate (a, b) :: acc);
+          used.(p) <- false;
+          used.(q) <- false
+        end
+      end
+    in
+    go 0 [];
+    !children
+  in
+  let apply node actions =
+    let l_of_p = Array.copy node.l_of_p in
+    let remaining = Bitset.copy node.remaining in
+    let degree = Array.copy node.degree in
+    List.iter
+      (fun a ->
+        match a with
+        | Do_swap (p, q) ->
+            let x = l_of_p.(p) in
+            l_of_p.(p) <- l_of_p.(q);
+            l_of_p.(q) <- x
+        | Do_gate (u, v) ->
+            Bitset.remove remaining (pair_bit n_log u v);
+            degree.(u) <- degree.(u) - 1;
+            degree.(v) <- degree.(v) - 1)
+      actions;
+    let swaps_here =
+      List.length (List.filter (function Do_swap _ -> true | Do_gate _ -> false) actions)
+    in
+    {
+      g = node.g + 1;
+      swaps_so_far = node.swaps_so_far + swaps_here;
+      l_of_p;
+      remaining;
+      degree;
+      parent = Some node;
+      via = actions;
+    }
+  in
+  (try
+     while !solution = None do
+       match Pqueue.pop queue with
+       | None -> raise Exit
+       | Some (_, node) ->
+           if Bitset.is_empty node.remaining then solution := Some node
+           else begin
+             incr expanded;
+             if !expanded > node_budget || (!expanded mod 256 = 0 && out_of_time ()) then begin
+               budget_hit := true;
+               raise Exit
+             end;
+             List.iter
+               (fun actions ->
+                 let child = apply node actions in
+                 let key = key_of child in
+                 match Hashtbl.find_opt closed key with
+                 | Some g when g <= child.g -> ()
+                 | _ ->
+                     Hashtbl.replace closed key child.g;
+                     Pqueue.push queue ~prio:(priority child) child)
+               (expand node)
+           end
+     done
+   with Exit -> ());
+  match !solution with
+  | None -> None
+  | Some goal ->
+      let rec unwind node acc =
+        match node.parent with
+        | None -> acc
+        | Some parent -> unwind parent (node.via :: acc)
+      in
+      let cycles = unwind goal [] in
+      let swap_total =
+        List.fold_left
+          (fun acc cycle ->
+            acc
+            + List.length (List.filter (function Do_swap _ -> true | Do_gate _ -> false) cycle))
+          0 cycles
+      in
+      Some
+        {
+          depth = goal.g;
+          cycles;
+          swap_total;
+          expanded = !expanded;
+          optimal = (not !budget_hit) && weight <= 1.0;
+        }
+
+let schedule_of_outcome outcome ~init =
+  let mapping = Mapping.copy init in
+  List.map
+    (fun cycle ->
+      let swaps = ref [] and touches = ref [] in
+      List.iter
+        (fun a ->
+          match a with
+          | Do_gate (u, v) ->
+              touches :=
+                Qcr_swapnet.Schedule.Touch (Mapping.phys_of_log mapping u, Mapping.phys_of_log mapping v)
+                :: !touches
+          | Do_swap (p, q) -> swaps := (p, q) :: !swaps)
+        cycle;
+      List.iter (fun (p, q) -> Mapping.apply_swap mapping p q) !swaps;
+      !touches @ List.map (fun (p, q) -> Qcr_swapnet.Schedule.Swap (p, q)) !swaps)
+    outcome.cycles

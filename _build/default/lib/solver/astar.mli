@@ -1,0 +1,44 @@
+(** Depth-optimal SWAP-insertion solver (paper §4, Definition 2).
+
+    Given a permutable-operator problem graph, a coupling graph, and an
+    initial mapping, the solver searches cycle-by-cycle circuit states with
+    A*; each search edge advances one cycle by scheduling a vertex-disjoint
+    set of executable gates and SWAPs.  With the admissible heuristic of
+    {!Heuristic} the first expanded terminal state has minimal depth.
+
+    The solver is meant for small instances (the paper derives the 1xUnit /
+    2xUnit patterns from 6- to 8-qubit cases); [node_budget] turns it into
+    an anytime weighted-A* for the Table-4-sized instances where the exact
+    SAT-based baselines run for hours. *)
+
+type action =
+  | Do_gate of int * int  (** logical pair executed this cycle *)
+  | Do_swap of int * int  (** physical pair swapped this cycle *)
+
+type outcome = {
+  depth : int;
+  cycles : action list list;  (** one action set per cycle, in time order *)
+  swap_total : int;
+  expanded : int;
+  optimal : bool;  (** false when the node budget cut the search *)
+}
+
+val solve :
+  ?node_budget:int ->
+  ?time_budget:float ->
+  ?weight:float ->
+  problem:Qcr_graph.Graph.t ->
+  coupling:Qcr_graph.Graph.t ->
+  init:Qcr_circuit.Mapping.t ->
+  unit ->
+  outcome option
+(** [None] if a budget exhausts before any complete schedule is found.
+    [node_budget] caps expansions; [time_budget] (seconds of wall clock,
+    default unlimited) caps the search the way the paper caps the SAT
+    baselines at hours/days.  [weight] (default 1.0) multiplies the
+    heuristic: > 1.0 trades optimality for speed (the anytime mode used
+    for the SAT-baseline comparison). *)
+
+val schedule_of_outcome : outcome -> init:Qcr_circuit.Mapping.t -> Qcr_swapnet.Schedule.t
+(** Convert the solved action cycles into a physical swap-network schedule
+    (gates become touches at the executing physical positions). *)

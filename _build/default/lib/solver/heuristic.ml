@@ -1,0 +1,15 @@
+let pair_cost ~deg_i ~deg_j ~dist =
+  if dist < 1 then invalid_arg "Heuristic.pair_cost: dist must be >= 1";
+  let best = ref max_int in
+  for x = 0 to dist - 1 do
+    let candidate = max (deg_i + x) (deg_j + (dist - 1 - x)) in
+    if candidate < !best then best := candidate
+  done;
+  !best
+
+let h ~remaining ~degree ~dist ~phys_of_log =
+  List.fold_left
+    (fun acc (u, v) ->
+      let d = dist phys_of_log.(u) phys_of_log.(v) in
+      max acc (pair_cost ~deg_i:degree.(u) ~deg_j:degree.(v) ~dist:(max d 1)))
+    0 remaining

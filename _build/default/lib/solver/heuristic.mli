@@ -1,0 +1,24 @@
+(** Admissible priority function of the depth-optimal solver (paper §4.2).
+
+    [pair_cost] is Definition 3 as established by the Lemma 4.1 proof: with
+    [d] the device distance between the current homes of logical qubits
+    [qi] and [qj] and [deg] their remaining problem-graph degrees,
+
+    cost(qi, qj) = min over x in 0..d-1 of
+                     max (deg qi + x, deg qj + (d - 1 - x))
+
+    — qi absorbs [x] of the mandatory [d-1] SWAP steps and qj the rest,
+    and each qubit still owes [deg] computation cycles; the slower side
+    dominates.  [h] (Definition 4) maximizes the pair cost over remaining
+    edges, which Theorem 1 shows lower-bounds all completions. *)
+
+val pair_cost : deg_i:int -> deg_j:int -> dist:int -> int
+
+val h :
+  remaining:(int * int) list ->
+  degree:int array ->
+  dist:(int -> int -> int) ->
+  phys_of_log:int array ->
+  int
+(** Max pair cost over the remaining edges, with [dist] measured between
+    the current physical homes. *)

@@ -1,0 +1,1 @@
+lib/swapnet/ata.ml: Array Hashtbl Heavyhex Linear List Printf Qcr_arch Schedule Two_level

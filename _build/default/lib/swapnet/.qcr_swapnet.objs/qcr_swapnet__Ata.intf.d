@@ -1,0 +1,1 @@
+lib/swapnet/ata.mli: Qcr_arch Schedule

@@ -1,0 +1,1 @@
+lib/swapnet/bipartite.ml: Array Linear List Schedule

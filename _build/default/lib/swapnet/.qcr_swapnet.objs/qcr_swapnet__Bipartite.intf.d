@@ -1,0 +1,1 @@
+lib/swapnet/bipartite.mli: Schedule

@@ -1,0 +1,1 @@
+lib/swapnet/heavyhex.ml: Array Hashtbl Linear List Qcr_arch Qcr_graph Qcr_util Schedule

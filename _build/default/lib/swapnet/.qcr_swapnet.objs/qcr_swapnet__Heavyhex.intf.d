@@ -1,0 +1,1 @@
+lib/swapnet/heavyhex.mli: Qcr_arch Schedule

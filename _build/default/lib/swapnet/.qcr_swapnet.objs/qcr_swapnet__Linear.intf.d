@@ -1,0 +1,1 @@
+lib/swapnet/linear.mli: Schedule

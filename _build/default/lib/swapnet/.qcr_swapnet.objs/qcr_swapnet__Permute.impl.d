@@ -1,0 +1,1 @@
+lib/swapnet/permute.ml: Array List Qcr_circuit Qcr_graph Queue Schedule

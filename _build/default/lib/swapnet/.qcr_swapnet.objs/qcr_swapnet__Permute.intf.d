@@ -1,0 +1,1 @@
+lib/swapnet/permute.mli: Qcr_circuit Qcr_graph Schedule

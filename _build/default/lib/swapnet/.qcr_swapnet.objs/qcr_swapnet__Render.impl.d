@@ -1,0 +1,1 @@
+lib/swapnet/render.ml: Array Buffer Hashtbl List Printf Schedule String

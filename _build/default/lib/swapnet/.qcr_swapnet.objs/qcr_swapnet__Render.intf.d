@@ -1,0 +1,1 @@
+lib/swapnet/render.mli: Schedule

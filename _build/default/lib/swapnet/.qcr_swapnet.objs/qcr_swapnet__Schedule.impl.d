@@ -1,0 +1,1 @@
+lib/swapnet/schedule.ml: Array Hashtbl List Printf Qcr_circuit Qcr_graph Qcr_util

@@ -1,0 +1,1 @@
+lib/swapnet/schedule.mli: Qcr_circuit Qcr_graph Qcr_util

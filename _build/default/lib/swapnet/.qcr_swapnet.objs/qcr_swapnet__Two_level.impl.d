@@ -1,0 +1,1 @@
+lib/swapnet/two_level.ml: Array Bipartite Linear List Qcr_arch Schedule

@@ -1,0 +1,1 @@
+lib/swapnet/two_level.mli: Qcr_arch Schedule

@@ -1,0 +1,20 @@
+let pattern ~a ~b =
+  let k = Array.length a in
+  if Array.length b <> k then invalid_arg "Bipartite.pattern: row length mismatch";
+  List.concat
+    (List.init k (fun r ->
+         let touch =
+           List.init k (fun i -> Schedule.Touch (a.(i), b.(i)))
+         in
+         if r = k - 1 then [ touch ]
+         else begin
+           let swap =
+             Linear.swap_cycle a ~parity:(r mod 2) @ Linear.swap_cycle b ~parity:(1 - (r mod 2))
+           in
+           [ touch; swap ]
+         end))
+
+let exchange_cycle ~a ~b =
+  let k = Array.length a in
+  if Array.length b <> k then invalid_arg "Bipartite.exchange_cycle: row length mismatch";
+  List.init k (fun i -> Schedule.Swap (a.(i), b.(i)))

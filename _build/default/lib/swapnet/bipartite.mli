@@ -1,0 +1,16 @@
+(** The 2xUnit bipartite pattern (paper §3.1, Figs 8–9).
+
+    Two adjacent rows [a] and [b] of equal length with vertical couplings
+    [a.(i) - b.(i)] and intra-row couplings: each round touches all
+    columns, then row [a] swaps pairs of one parity while row [b] swaps
+    pairs of the other parity, the parities alternating per round.  After
+    [k] rounds every token of [a] has met every token of [b] exactly once,
+    and tokens never leave their row (so rows are preserved as sets). *)
+
+val pattern : a:int array -> b:int array -> Schedule.t
+(** Full k-round schedule ([k = Array.length a]); the last round emits no
+    swap cycle, giving [2k - 1] cycles. *)
+
+val exchange_cycle : a:int array -> b:int array -> Schedule.cycle
+(** One cycle swapping the two rows wholesale via the vertical links — the
+    grid "unit exchange" (Fig 5b). *)

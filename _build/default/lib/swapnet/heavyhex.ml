@@ -1,0 +1,152 @@
+module Arch = Qcr_arch.Arch
+module Graph = Qcr_graph.Graph
+module Paths = Qcr_graph.Paths
+module Bitset = Qcr_util.Bitset
+
+(* Mutable schedule builder that tracks token placement and met pairs as
+   cycles are appended, so pass-boundary decisions (which neighbor a bridge
+   exchanges with) and the final cleanup can inspect live state. *)
+type builder = {
+  graph : Graph.t;
+  n : int;
+  mutable rev_cycles : Schedule.cycle list;
+  token_at : int array; (* physical position -> token *)
+  pos_of : int array;   (* token -> physical position *)
+  met : Bitset.t;
+}
+
+let builder_create graph =
+  let n = Graph.vertex_count graph in
+  {
+    graph;
+    n;
+    rev_cycles = [];
+    token_at = Array.init n (fun i -> i);
+    pos_of = Array.init n (fun i -> i);
+    met = Bitset.create (n * n);
+  }
+
+let mark_met b x y =
+  let lo = min x y and hi = max x y in
+  Bitset.add b.met ((lo * b.n) + hi)
+
+let push b cycle =
+  if cycle <> [] then begin
+    List.iter
+      (fun o ->
+        match o with
+        | Schedule.Touch (p, q) -> mark_met b b.token_at.(p) b.token_at.(q)
+        | Schedule.Swap (p, q) ->
+            let x = b.token_at.(p) and y = b.token_at.(q) in
+            b.token_at.(p) <- y;
+            b.token_at.(q) <- x;
+            b.pos_of.(x) <- q;
+            b.pos_of.(y) <- p)
+      cycle;
+    b.rev_cycles <- cycle :: b.rev_cycles
+  end
+
+let bridges_with_neighbors arch =
+  let graph = Arch.graph arch in
+  Array.to_list (Arch.off_path arch)
+  |> List.map (fun bridge -> (bridge, Graph.neighbors graph bridge))
+
+(* One pass: full linear pattern on the snake with a bridge-interaction
+   cycle inserted between every touch and swap cycle. *)
+let add_pass b arch bridges =
+  let path = Arch.long_path arch in
+  let k = Array.length path in
+  for r = 0 to k - 1 do
+    push b (Linear.touch_cycle path ~parity:(r mod 2));
+    let used = Hashtbl.create 16 in
+    let bridge_touches =
+      List.filter_map
+        (fun (bridge, neighbors) ->
+          match neighbors with
+          | [] -> None
+          | _ ->
+              let pick = List.nth neighbors (r mod List.length neighbors) in
+              if Hashtbl.mem used pick || Hashtbl.mem used bridge then None
+              else begin
+                Hashtbl.replace used pick ();
+                Hashtbl.replace used bridge ();
+                Some (Schedule.Touch (bridge, pick))
+              end)
+        bridges
+    in
+    push b bridge_touches;
+    push b (Linear.swap_cycle path ~parity:(r mod 2))
+  done
+
+(* Exchange every bridge token with a path neighbor whose token is not in
+   [avoid]; bridges whose neighbors are all unavailable skip (cleanup
+   covers the fallout). Returns the newly parked token cohort. *)
+let add_exchange b bridges ~avoid =
+  let touches = ref [] and swaps = ref [] and parked = ref [] in
+  let used = Hashtbl.create 16 in
+  List.iter
+    (fun (bridge, neighbors) ->
+      let candidate =
+        List.find_opt
+          (fun p -> (not (List.mem b.token_at.(p) avoid)) && not (Hashtbl.mem used p))
+          neighbors
+      in
+      match candidate with
+      | Some p ->
+          Hashtbl.replace used p ();
+          parked := b.token_at.(p) :: !parked;
+          touches := Schedule.Touch (bridge, p) :: !touches;
+          swaps := Schedule.Swap (bridge, p) :: !swaps
+      | None -> ())
+    bridges;
+  push b !touches;
+  push b !swaps;
+  !parked
+
+let add_passes b arch count =
+  let bridges = bridges_with_neighbors arch in
+  let parked = ref (List.map fst bridges |> List.map (fun p -> b.token_at.(p))) in
+  for pass = 1 to count do
+    add_pass b arch bridges;
+    if pass < count then begin
+      let fresh = add_exchange b bridges ~avoid:!parked in
+      parked := fresh @ !parked
+    end
+  done
+
+(* Route token [a] next to token [b] along a shortest position path, one
+   swap per cycle, then touch.  Only used for the rare pairs the passes
+   miss, so the sequential cycles do not affect asymptotic depth. *)
+let cleanup_pair b a_token b_token =
+  let pa = b.pos_of.(a_token) and pb = b.pos_of.(b_token) in
+  if not (Graph.has_edge b.graph pa pb) then begin
+    let route = Paths.shortest_path b.graph pa pb in
+    let rec walk = function
+      | x :: y :: rest when rest <> [] ->
+          push b [ Schedule.Swap (x, y) ];
+          walk (y :: rest)
+      | _ -> ()
+    in
+    walk route
+  end;
+  let pa = b.pos_of.(a_token) and pb = b.pos_of.(b_token) in
+  assert (Graph.has_edge b.graph pa pb);
+  push b [ Schedule.Touch (pa, pb) ]
+
+let add_cleanup b =
+  for x = 0 to b.n - 1 do
+    for y = x + 1 to b.n - 1 do
+      if not (Bitset.mem b.met ((x * b.n) + y)) then cleanup_pair b x y
+    done
+  done
+
+let passes arch count =
+  let b = builder_create (Arch.graph arch) in
+  add_passes b arch count;
+  List.rev b.rev_cycles
+
+let pattern arch =
+  let b = builder_create (Arch.graph arch) in
+  add_passes b arch 3;
+  add_cleanup b;
+  List.rev b.rev_cycles

@@ -1,0 +1,21 @@
+(** Heavy-hex ATA via repeated passes of the longest-path linear pattern
+    (paper §5.1, Appendix C).
+
+    The device splits into the snake [Arch.long_path] and the off-path
+    bridge qubits.  Each pass runs the 1xUnit linear pattern along the
+    snake, covering all pairs of tokens currently on it, with opportunistic
+    bridge-interaction cycles inserted after every round (the paper's
+    "pause the pattern and schedule the path-2-off-path gate").  Between
+    passes every bridge exchanges its token with a path neighbor.
+
+    We run three passes with pairwise-disjoint parked cohorts: any token
+    pair can be parked in at most two of the three passes, so all pairs are
+    covered — a machine-checked strengthening of the appendix's two-pass
+    argument (DESIGN.md, substitutions).  A final greedy cleanup sweeps any
+    pair missed when cohort disjointness cannot be honored locally. *)
+
+val pattern : Qcr_arch.Arch.t -> Schedule.t
+(** Full ATA schedule; O(path length) passes so O(n) cycles overall. *)
+
+val passes : Qcr_arch.Arch.t -> int -> Schedule.t
+(** First [k] passes without cleanup (for experiments on pass coverage). *)

@@ -1,0 +1,52 @@
+let pairs path ~parity =
+  let k = Array.length path in
+  let rec collect i acc =
+    if i + 1 >= k then List.rev acc else collect (i + 2) ((path.(i), path.(i + 1)) :: acc)
+  in
+  collect (parity land 1) []
+
+let touch_cycle path ~parity =
+  List.map (fun (p, q) -> Schedule.Touch (p, q)) (pairs path ~parity)
+
+let swap_cycle path ~parity =
+  List.map (fun (p, q) -> Schedule.Swap (p, q)) (pairs path ~parity)
+
+let rounds path r =
+  List.concat
+    (List.init r (fun i ->
+         [ touch_cycle path ~parity:(i mod 2); swap_cycle path ~parity:(i mod 2) ]))
+
+let pattern path = rounds path (Array.length path)
+
+(* Fig 7 / Fig 6 verbatim structure: interaction layers come in even/odd
+   pairs (c1 c2), separated by swap-layer pairs odd-then-even (s1 s2),
+   ending on an interaction pair: n interaction layers and n-2 swap layers
+   = 2n-2 cycles (the two swap layers [pattern] appends for the reversal
+   guarantee are omitted).  Empty layers (tiny n) are skipped. *)
+let pattern_fig7 path =
+  let k = Array.length path in
+  if k < 2 then []
+  else begin
+    let cycles = ref [] in
+    let push c = if c <> [] then cycles := c :: !cycles in
+    let c_emitted = ref 0 and s_emitted = ref 0 in
+    while !c_emitted < k do
+      push (touch_cycle path ~parity:0);
+      incr c_emitted;
+      if !c_emitted < k then begin
+        push (touch_cycle path ~parity:1);
+        incr c_emitted
+      end;
+      if !c_emitted < k then begin
+        if !s_emitted < k - 2 then begin
+          push (swap_cycle path ~parity:1);
+          incr s_emitted
+        end;
+        if !s_emitted < k - 2 then begin
+          push (swap_cycle path ~parity:0);
+          incr s_emitted
+        end
+      end
+    done;
+    List.rev !cycles
+  end

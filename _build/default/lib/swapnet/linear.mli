@@ -1,0 +1,28 @@
+(** The 1xUnit linear pattern (paper §3.1, Figs 6–7).
+
+    Alternating odd-even rounds over a line of positions: round [r]
+    touches every adjacent pair whose left index has parity [r mod 2] and
+    then swaps the same pairs.  After [k] rounds (k = line length) every
+    pair of tokens has been touched exactly once and the token order is
+    exactly reversed — the property the two-level composition uses as a
+    free unit exchange. *)
+
+val pattern : int array -> Schedule.t
+(** [pattern path]: full k-round schedule over the physical qubits listed
+    in [path] (consecutive entries must be coupled).  [2k] cycles. *)
+
+val rounds : int array -> int -> Schedule.t
+(** First [r] rounds only. *)
+
+val touch_cycle : int array -> parity:int -> Schedule.cycle
+
+val swap_cycle : int array -> parity:int -> Schedule.cycle
+
+val pattern_fig7 : int array -> Schedule.t
+(** The paper's literal Fig 7 loop: an initial interaction layer on even
+    pairs, then alternating SWAP-then-interact layers (odd, even, ...),
+    stopping after all pairs have met — n interaction layers and n-2 swap
+    layers, i.e. two cycles shorter than {!pattern} but without the
+    reversal guarantee the two-level composition relies on.  Used by the
+    heavy-hex passes indirectly and kept as the faithful reference form;
+    coverage equivalence with {!pattern} is a unit test. *)

@@ -1,0 +1,147 @@
+module Graph = Qcr_graph.Graph
+module Paths = Qcr_graph.Paths
+module Mapping = Qcr_circuit.Mapping
+
+(* Two phases.
+   Phase 1 (parallel): rounds of disjoint strictly-improving swaps (total
+   token-to-destination distance decreases every round), which handles the
+   bulk of a typical permutation with good parallelism.
+   Phase 2 (sequential, guaranteed): leaf-locking on a spanning structure —
+   repeatedly pick a position whose removal keeps the unlocked region
+   connected (a leaf of a BFS tree of that region), bring its destined
+   token there through unlocked positions, and lock it.  Every iteration
+   locks one position, so termination is unconditional; this is the
+   classic token-swapping completion that the pure greedy (which stalls on
+   zero-gain plateaus like a full reversal) lacks. *)
+
+let route g ~target =
+  let n = Graph.vertex_count g in
+  if Array.length target <> n then invalid_arg "Permute.route: size mismatch";
+  let seen = Array.make n false in
+  Array.iter
+    (fun t ->
+      if t < 0 || t >= n || seen.(t) then invalid_arg "Permute.route: not a permutation";
+      seen.(t) <- true)
+    target;
+  let dists = Paths.all_pairs g in
+  let dist p q = Paths.distance dists p q in
+  let token_at = Array.init n (fun p -> p) in
+  let pos_of = Array.init n (fun t -> t) in
+  let dest t = target.(t) in
+  let cycles = ref [] in
+  let apply_swap p q =
+    let a = token_at.(p) and b = token_at.(q) in
+    token_at.(p) <- b;
+    token_at.(q) <- a;
+    pos_of.(a) <- q;
+    pos_of.(b) <- p
+  in
+  let gain p q =
+    let a = token_at.(p) and b = token_at.(q) in
+    dist p (dest a) + dist q (dest b) - (dist q (dest a) + dist p (dest b))
+  in
+  (* phase 1 *)
+  let progressing = ref true in
+  while !progressing do
+    progressing := false;
+    let candidates = ref [] in
+    Graph.iter_edges
+      (fun p q ->
+        let gn = gain p q in
+        if gn > 0 then candidates := (gn, p, q) :: !candidates)
+      g;
+    let sorted = List.sort (fun (a, _, _) (b, _, _) -> compare b a) !candidates in
+    let used = Array.make n false in
+    let cycle = ref [] in
+    List.iter
+      (fun (_, p, q) ->
+        if (not used.(p)) && not used.(q) then begin
+          used.(p) <- true;
+          used.(q) <- true;
+          apply_swap p q;
+          cycle := Schedule.Swap (p, q) :: !cycle
+        end)
+      sorted;
+    if !cycle <> [] then begin
+      progressing := true;
+      cycles := !cycle :: !cycles
+    end
+  done;
+  (* phase 2: leaf-locking completion over the unlocked region *)
+  let locked = Array.make n false in
+  let unlocked_count = ref n in
+  (* BFS within unlocked positions from [source]; returns parent array *)
+  let bfs_unlocked source =
+    let parent = Array.make n (-2) in
+    let queue = Queue.create () in
+    parent.(source) <- -1;
+    Queue.push source queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if (not locked.(v)) && parent.(v) = -2 then begin
+            parent.(v) <- u;
+            Queue.push v queue
+          end)
+        (Graph.neighbors g u)
+    done;
+    parent
+  in
+  while !unlocked_count > 0 do
+    (* a root among unlocked positions *)
+    let root = ref (-1) in
+    for p = n - 1 downto 0 do
+      if not locked.(p) then root := p
+    done;
+    let parent = bfs_unlocked !root in
+    (* a BFS-tree leaf: an unlocked position that is no one's parent *)
+    let is_parent = Array.make n false in
+    Array.iteri (fun _v p -> if p >= 0 then is_parent.(p) <- true) parent;
+    let leaf = ref (-1) in
+    for p = 0 to n - 1 do
+      if (not locked.(p)) && parent.(p) <> -2 && (not is_parent.(p)) && !leaf = -1 then
+        leaf := p
+    done;
+    let leaf = if !leaf = -1 then !root else !leaf in
+    (* the token destined for [leaf] *)
+    let t = ref (-1) in
+    for tok = 0 to n - 1 do
+      if dest tok = leaf then t := tok
+    done;
+    let t = !t in
+    if t >= 0 && pos_of.(t) <> leaf then begin
+      (* walk t to leaf through unlocked positions: path from leaf back via
+         BFS parents from t's position *)
+      let path_parent = bfs_unlocked pos_of.(t) in
+      if path_parent.(leaf) = -2 then failwith "Permute.route: unlocked region disconnected";
+      let rec build p acc = if p = pos_of.(t) then p :: acc else build path_parent.(p) (p :: acc) in
+      let path = build leaf [] in
+      let rec hop = function
+        | a :: b :: rest ->
+            apply_swap a b;
+            cycles := [ Schedule.Swap (a, b) ] :: !cycles;
+            hop (b :: rest)
+        | _ -> ()
+      in
+      hop path
+    end;
+    locked.(leaf) <- true;
+    decr unlocked_count
+  done;
+  (* sanity: everything delivered *)
+  Array.iteri
+    (fun tok p -> if p <> dest tok then failwith "Permute.route: delivery failed")
+    pos_of;
+  List.rev !cycles
+
+let restore_cycles ~coupling ~current ~desired =
+  let n = Graph.vertex_count coupling in
+  if Mapping.physical_count current <> n || Mapping.physical_count desired <> n then
+    invalid_arg "Permute.restore_cycles: size mismatch";
+  (* the token at wire p is the logical qubit [log_of_phys current p]; it
+     must end on [phys_of_log desired] of that qubit *)
+  let target =
+    Array.init n (fun p -> Mapping.phys_of_log desired (Mapping.log_of_phys current p))
+  in
+  route coupling ~target

@@ -1,0 +1,25 @@
+(** Permutation routing (parallel token swapping).
+
+    Routes an arbitrary relabeling of tokens on a coupling graph with
+    parallel SWAP layers: repeatedly commit a maximal set of disjoint
+    swaps that strictly reduce the summed token-to-destination distance,
+    breaking plateaus by walking the farthest token one step along a
+    shortest path.  This is the classic greedy token-swapping heuristic
+    (the qubit-allocation literature the paper builds on frames routing as
+    token swapping); it is used to restore an initial mapping after
+    compilation, e.g. between repetitions of an experiment. *)
+
+val route :
+  Qcr_graph.Graph.t -> target:int array -> Schedule.t
+(** [route g ~target] produces swap cycles such that the token starting at
+    position [p] ends at position [target.(p)].  [target] must be a
+    permutation.  The result contains only [Swap] ops and is validated by
+    construction (ops on edges, disjoint per cycle). *)
+
+val restore_cycles :
+  coupling:Qcr_graph.Graph.t ->
+  current:Qcr_circuit.Mapping.t ->
+  desired:Qcr_circuit.Mapping.t ->
+  Schedule.t
+(** Swap cycles that transform [current] into [desired] (both bijections
+    over the same wire count). *)

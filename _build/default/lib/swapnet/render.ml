@@ -1,0 +1,65 @@
+let schedule ?qubits ?(max_cycles = 40) ~n sched =
+  let rows = match qubits with Some qs -> qs | None -> List.init n (fun i -> i) in
+  let visible = List.filteri (fun i _ -> i >= 0) rows in
+  let cycles = List.filteri (fun i _ -> i < max_cycles) sched in
+  let width = List.length cycles in
+  let index_of = Hashtbl.create 16 in
+  List.iteri (fun i q -> Hashtbl.replace index_of q i) visible;
+  let canvas = Array.make_matrix (List.length visible) width '.' in
+  List.iteri
+    (fun col cycle ->
+      List.iter
+        (fun op ->
+          let mark p q ch =
+            (match Hashtbl.find_opt index_of p with
+            | Some r -> canvas.(r).(col) <- ch
+            | None -> ());
+            match Hashtbl.find_opt index_of q with
+            | Some r -> canvas.(r).(col) <- ch
+            | None -> ()
+          in
+          match op with
+          | Schedule.Touch (p, q) -> mark p q 'g'
+          | Schedule.Swap (p, q) -> mark p q 'x')
+        cycle)
+    cycles;
+  let buffer = Buffer.create 256 in
+  List.iteri
+    (fun r q ->
+      Buffer.add_string buffer (Printf.sprintf "q%-3d " q);
+      Buffer.add_string buffer (String.init width (fun c -> canvas.(r).(c)));
+      Buffer.add_char buffer '\n')
+    visible;
+  if List.length sched > max_cycles then
+    Buffer.add_string buffer
+      (Printf.sprintf "     ... (%d more cycles)\n" (List.length sched - max_cycles));
+  Buffer.contents buffer
+
+let tokens ~n sched =
+  let token_at = Array.init n (fun i -> i) in
+  let buffer = Buffer.create 256 in
+  let emit_column () =
+    Array.iter (fun t -> Buffer.add_string buffer (Printf.sprintf "%3d" t)) token_at;
+    Buffer.add_char buffer '\n'
+  in
+  Buffer.add_string buffer "cycle 0 (positions left-to-right):\n";
+  emit_column ();
+  List.iteri
+    (fun i cycle ->
+      let swapped = ref false in
+      List.iter
+        (fun op ->
+          match op with
+          | Schedule.Swap (p, q) ->
+              swapped := true;
+              let t = token_at.(p) in
+              token_at.(p) <- token_at.(q);
+              token_at.(q) <- t
+          | Schedule.Touch _ -> ())
+        cycle;
+      if !swapped then begin
+        Buffer.add_string buffer (Printf.sprintf "after cycle %d:\n" (i + 1));
+        emit_column ()
+      end)
+    sched;
+  Buffer.contents buffer

@@ -1,0 +1,12 @@
+(** Text rendering of swap-network schedules, in the style of the paper's
+    Fig 6: one row per physical qubit, one column per cycle, with [g]
+    marking an interaction opportunity and [x]/[|] marking the two ends of
+    a SWAP. *)
+
+val schedule : ?qubits:int list -> ?max_cycles:int -> n:int -> Schedule.t -> string
+(** [schedule ~n sched] draws the first [max_cycles] (default 40) cycles
+    over qubits [0..n-1] (or the given subset). *)
+
+val tokens : n:int -> Schedule.t -> string
+(** Token trajectories: each row shows which token occupies the position
+    after every cycle — the "qubit movement" view of Fig 8. *)

@@ -1,0 +1,216 @@
+module Graph = Qcr_graph.Graph
+module Bitset = Qcr_util.Bitset
+module Circuit = Qcr_circuit.Circuit
+module Program = Qcr_circuit.Program
+module Mapping = Qcr_circuit.Mapping
+module Gate = Qcr_circuit.Gate
+
+type op = Swap of int * int | Touch of int * int
+
+type cycle = op list
+
+type t = cycle list
+
+let cycle_count = List.length
+
+let op_count t = List.fold_left (fun acc c -> acc + List.length c) 0 t
+
+let swap_count t =
+  List.fold_left
+    (fun acc c ->
+      acc + List.length (List.filter (function Swap _ -> true | Touch _ -> false) c))
+    0 t
+
+let touch_count t = op_count t - swap_count t
+
+let validate graph t =
+  let n = Graph.vertex_count graph in
+  let stamp = Array.make n (-1) in
+  let error = ref None in
+  List.iteri
+    (fun i c ->
+      List.iter
+        (fun o ->
+          let p, q = match o with Swap (p, q) | Touch (p, q) -> (p, q) in
+          if !error = None then begin
+            if p < 0 || p >= n || q < 0 || q >= n then
+              error := Some (Printf.sprintf "cycle %d: qubit out of range" i)
+            else if not (Graph.has_edge graph p q) then
+              error := Some (Printf.sprintf "cycle %d: op on uncoupled pair (%d,%d)" i p q)
+            else if stamp.(p) = i || stamp.(q) = i then
+              error := Some (Printf.sprintf "cycle %d: qubit used twice" i)
+            else begin
+              stamp.(p) <- i;
+              stamp.(q) <- i
+            end
+          end)
+        c)
+    t;
+  match !error with None -> Ok () | Some m -> Error m
+
+let coverage ~n t =
+  let token_at = Array.init n (fun i -> i) in
+  let pos_of = Array.init n (fun i -> i) in
+  let met = Bitset.create (n * n) in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun o ->
+          match o with
+          | Touch (p, q) ->
+              let a = token_at.(p) and b = token_at.(q) in
+              let lo = min a b and hi = max a b in
+              Bitset.add met ((lo * n) + hi)
+          | Swap (p, q) ->
+              let a = token_at.(p) and b = token_at.(q) in
+              token_at.(p) <- b;
+              token_at.(q) <- a;
+              pos_of.(a) <- q;
+              pos_of.(b) <- p)
+        c)
+    t;
+  (met, pos_of)
+
+let uncovered_pairs ~n t =
+  let met, _ = coverage ~n t in
+  let missing = ref [] in
+  for a = n - 1 downto 0 do
+    for b = n - 1 downto a + 1 do
+      if not (Bitset.mem met ((a * n) + b)) then missing := (a, b) :: !missing
+    done
+  done;
+  !missing
+
+let covers_all_pairs ~n t = uncovered_pairs ~n t = []
+
+let final_positions ~n t = snd (coverage ~n t)
+
+let concat a b = a @ b
+
+let par a b =
+  let rec zip a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | ca :: ta, cb :: tb -> (ca @ cb) :: zip ta tb
+  in
+  zip a b
+
+type realization = {
+  circuit : Qcr_circuit.Circuit.t;
+  cycles_used : int;
+  swaps_used : int;
+  emitted : (int * int) list;
+}
+
+(* Shared walk used by both [realize] and [estimate].  [remaining_degree]
+   counts, per logical token, the problem edges not yet emitted; swaps in
+   which neither token owes a gate are dropped.  [emit_swap] receives
+   [~fused:true] when the swap immediately follows the interaction it will
+   merge with (same pair, no intervening op on either qubit). *)
+let walk ~graph ~mapping ~emit_gate ~emit_swap =
+  let logical = Mapping.logical_count mapping in
+  let remaining = ref (Graph.edge_count graph) in
+  let emitted = Hashtbl.create (max 16 !remaining) in
+  let degree = Array.make (max logical 1) 0 in
+  Graph.iter_edges
+    (fun u v ->
+      degree.(u) <- degree.(u) + 1;
+      degree.(v) <- degree.(v) + 1)
+    graph;
+  let owes l = l < logical && degree.(l) > 0 in
+  let norm a b = (min a b, max a b) in
+  (* fusion tracking mirrors Circuit.merge_swaps: the op counter stamps the
+     last op per physical wire; a gate emission remembers its stamp per
+     physical pair *)
+  let op_counter = ref 0 in
+  let last_touch = Array.make (Mapping.physical_count mapping) (-1) in
+  let pending : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let pnorm p q = (min p q, max p q) in
+  let step_op o =
+    match o with
+    | Touch (p, q) ->
+        let a = Mapping.log_of_phys mapping p and b = Mapping.log_of_phys mapping q in
+        if a < logical && b < logical then begin
+          let pair = norm a b in
+          if Graph.has_edge graph (fst pair) (snd pair) && not (Hashtbl.mem emitted pair)
+          then begin
+            Hashtbl.replace emitted pair ();
+            degree.(a) <- degree.(a) - 1;
+            degree.(b) <- degree.(b) - 1;
+            decr remaining;
+            incr op_counter;
+            Hashtbl.replace pending (pnorm p q) !op_counter;
+            last_touch.(p) <- !op_counter;
+            last_touch.(q) <- !op_counter;
+            emit_gate ~log_pair:pair ~phys:(p, q)
+          end
+        end
+    | Swap (p, q) ->
+        let a = Mapping.log_of_phys mapping p and b = Mapping.log_of_phys mapping q in
+        if owes a || owes b then begin
+          Mapping.apply_swap mapping p q;
+          let fused =
+            match Hashtbl.find_opt pending (pnorm p q) with
+            | Some stamp -> last_touch.(p) = stamp && last_touch.(q) = stamp
+            | None -> false
+          in
+          Hashtbl.remove pending (pnorm p q);
+          incr op_counter;
+          last_touch.(p) <- !op_counter;
+          last_touch.(q) <- !op_counter;
+          emit_swap ~phys:(p, q) ~fused
+        end
+  in
+  let done_ () = !remaining = 0 in
+  (step_op, done_)
+
+let realize ~program ~mapping ~n_phys t =
+  let graph = Program.graph program in
+  let circuit = Circuit.create n_phys in
+  let swaps = ref 0 in
+  let cycles = ref 0 in
+  let mapping_ref = mapping in
+  let emitted = ref [] in
+  let emit_gate ~log_pair:(u, v) ~phys:_ =
+    (* edge_gate is defined on logical ids; remap onto physical wires *)
+    let gate =
+      Gate.map_qubits (fun l -> Mapping.phys_of_log mapping_ref l) (Program.edge_gate program u v)
+    in
+    emitted := (u, v) :: !emitted;
+    Circuit.add circuit gate
+  in
+  let emit_swap ~phys:(p, q) ~fused:_ =
+    incr swaps;
+    Circuit.add circuit (Gate.Swap (p, q))
+  in
+  let step_op, finished = walk ~graph ~mapping ~emit_gate ~emit_swap in
+  (try
+     List.iter
+       (fun c ->
+         if finished () then raise Exit;
+         incr cycles;
+         List.iter step_op c)
+       t
+   with Exit -> ());
+  { circuit; cycles_used = !cycles; swaps_used = !swaps; emitted = List.rev !emitted }
+
+let estimate ~remaining ~mapping t =
+  let mapping = Mapping.copy mapping in
+  let swaps = ref 0 in
+  let merged = ref 0 in
+  let cycles = ref 0 in
+  let emit_gate ~log_pair:_ ~phys:_ = () in
+  let emit_swap ~phys:_ ~fused =
+    incr swaps;
+    if fused then incr merged
+  in
+  let step_op, finished = walk ~graph:remaining ~mapping ~emit_gate ~emit_swap in
+  (try
+     List.iter
+       (fun c ->
+         if finished () then raise Exit;
+         incr cycles;
+         List.iter step_op c)
+       t
+   with Exit -> ());
+  if finished () then Some (!cycles, !swaps, !merged) else None

@@ -1,0 +1,79 @@
+(** Swap-network schedules.
+
+    A schedule is a list of cycles over *physical* qubits; each cycle holds
+    qubit-disjoint operations.  [Touch (p, q)] is an interaction
+    opportunity: when the schedule is realized against a concrete problem
+    graph, a touch emits the program's two-qubit gate iff the logical
+    tokens currently at [p] and [q] still owe each other a gate (non-clique
+    inputs simply skip, paper §5.2).  [Swap (p, q)] exchanges the tokens.
+
+    The all-to-all (ATA) property of a schedule — every pair of tokens is
+    touched at least once — is machine-checked by [coverage]. *)
+
+type op = Swap of int * int | Touch of int * int
+
+type cycle = op list
+
+type t = cycle list
+
+val cycle_count : t -> int
+
+val op_count : t -> int
+
+val swap_count : t -> int
+
+val touch_count : t -> int
+
+val validate : Qcr_graph.Graph.t -> t -> (unit, string) result
+(** Every op on a coupling edge; ops within a cycle qubit-disjoint. *)
+
+val coverage : n:int -> t -> Qcr_util.Bitset.t * int array
+(** Simulate from the identity placement of [n] tokens on [n] positions.
+    Returns the set of touched token pairs (bit [lo * n + hi]) and the
+    final array [position_of_token]. *)
+
+val covers_all_pairs : n:int -> t -> bool
+
+val uncovered_pairs : n:int -> t -> (int * int) list
+(** Token pairs never touched. *)
+
+val final_positions : n:int -> t -> int array
+
+val concat : t -> t -> t
+
+val par : t -> t -> t
+(** Zip two schedules cycle-by-cycle (they must act on disjoint qubits for
+    the result to be valid); the shorter one is padded with empty cycles. *)
+
+type realization = {
+  circuit : Qcr_circuit.Circuit.t;
+  cycles_used : int;
+  swaps_used : int;
+  emitted : (int * int) list;
+      (** logical pairs whose program gate was emitted, in order *)
+}
+
+val realize :
+  program:Qcr_circuit.Program.t ->
+  mapping:Qcr_circuit.Mapping.t ->
+  n_phys:int ->
+  t ->
+  realization
+(** Generate the compiled interaction block by walking the schedule.
+    [mapping] is mutated to the final placement.  Gate-saving rules applied:
+    touches whose pair owes no gate emit nothing; swaps where neither token
+    still owes any gate are dropped; the walk stops once every program edge
+    has been emitted.  Emitted gates are [Cphase]/[Rzz] and [Swap]; run
+    {!Qcr_circuit.Circuit.merge_swaps} afterwards to fuse
+    interaction+swap pairs. *)
+
+val estimate :
+  remaining:Qcr_graph.Graph.t ->
+  mapping:Qcr_circuit.Mapping.t ->
+  t ->
+  (int * int * int) option
+(** [(cycles, swaps, merged)] the realization would use to finish
+    [remaining] from [mapping] (mapping not mutated), or [None] if the
+    schedule cannot finish it.  [merged] counts interaction+swap pairs the
+    merge pass will fuse (saving 2 CX each).  This is the cheap core of
+    the ATA pattern predictor (paper §6.3): no circuit is materialized. *)

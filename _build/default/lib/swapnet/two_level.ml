@@ -1,0 +1,112 @@
+module Arch = Qcr_arch.Arch
+
+(* Parallel composition of per-pair schedules within a round: pair indices
+   of equal parity are disjoint in qubits, so their cycles zip together. *)
+let round_of_pairs per_pair pair_indices =
+  List.fold_left (fun acc i -> Schedule.par acc (per_pair i)) [] pair_indices
+
+let unit_pair_indices ~unit_count ~parity =
+  let rec collect i acc =
+    if i + 1 >= unit_count then List.rev acc else collect (i + 2) (i :: acc)
+  in
+  collect parity []
+
+let top_level ~unit_count ~per_pair =
+  List.concat
+    (List.init unit_count (fun r ->
+         round_of_pairs per_pair (unit_pair_indices ~unit_count ~parity:(r mod 2))))
+
+let unified arch =
+  let units = Arch.units arch in
+  let unit_count = Array.length units in
+  if unit_count = 0 then invalid_arg "Two_level.unified: architecture has no units";
+  if unit_count = 1 then Linear.pattern units.(0)
+  else begin
+    let per_pair i =
+      match Arch.pair_path arch i with
+      | Some path -> Linear.pattern path
+      | None -> invalid_arg "Two_level.unified: missing pair path"
+    in
+    top_level ~unit_count ~per_pair
+  end
+
+let grid_specialized arch =
+  let units = Arch.units arch in
+  let unit_count = Array.length units in
+  if unit_count = 0 then invalid_arg "Two_level.grid_specialized: no units";
+  if unit_count = 1 then Linear.pattern units.(0)
+  else begin
+    (* Prologue: intra-unit all-to-all in every unit simultaneously.  Unit
+       contents are only permuted within units afterwards, and the unit
+       exchanges below move units wholesale, so intra-pairs stay covered. *)
+    let prologue =
+      Array.fold_left (fun acc u -> Schedule.par acc (Linear.pattern u)) [] units
+    in
+    let per_pair i =
+      let a = units.(i) and b = units.(i + 1) in
+      Schedule.concat (Bipartite.pattern ~a ~b) [ Bipartite.exchange_cycle ~a ~b ]
+    in
+    Schedule.concat prologue (top_level ~unit_count ~per_pair)
+  end
+
+(* Appendix-A-flavoured merge: intra-unit 1xUnit patterns run in the slots
+   where a unit idles (boundary positions of the odd-even transposition).
+   A paired round costs 2N cycles (bipartite 2N-1 + exchange 1) and the
+   intra pattern costs exactly 2N, so an idle unit fits its whole pattern
+   inside one round. *)
+let grid_merged arch =
+  let units = Arch.units arch in
+  let unit_count = Array.length units in
+  if unit_count = 0 then invalid_arg "Two_level.grid_merged: no units";
+  if unit_count = 1 then Linear.pattern units.(0)
+  else begin
+    let set_at = Array.init unit_count (fun i -> i) in
+    let intra_done = Array.make unit_count false in
+    let rounds = ref [] in
+    for r = 0 to unit_count - 1 do
+      let parity = r mod 2 in
+      let paired = Array.make unit_count false in
+      let pair_heads = unit_pair_indices ~unit_count ~parity in
+      List.iter
+        (fun i ->
+          paired.(i) <- true;
+          paired.(i + 1) <- true)
+        pair_heads;
+      let pair_scheds =
+        List.map
+          (fun i ->
+            Schedule.concat
+              (Bipartite.pattern ~a:units.(i) ~b:units.(i + 1))
+              [ Bipartite.exchange_cycle ~a:units.(i) ~b:units.(i + 1) ])
+          pair_heads
+      in
+      let idle_scheds = ref [] in
+      for pos = 0 to unit_count - 1 do
+        if (not paired.(pos)) && not intra_done.(set_at.(pos)) then begin
+          intra_done.(set_at.(pos)) <- true;
+          idle_scheds := Linear.pattern units.(pos) :: !idle_scheds
+        end
+      done;
+      let round =
+        List.fold_left Schedule.par [] (pair_scheds @ !idle_scheds)
+      in
+      rounds := round :: !rounds;
+      List.iter
+        (fun i ->
+          let tmp = set_at.(i) in
+          set_at.(i) <- set_at.(i + 1);
+          set_at.(i + 1) <- tmp)
+        pair_heads
+    done;
+    (* leftovers: units whose set never idled run their pattern now, all in
+       parallel (distinct positions) *)
+    let leftovers = ref [] in
+    for pos = 0 to unit_count - 1 do
+      if not intra_done.(set_at.(pos)) then begin
+        intra_done.(set_at.(pos)) <- true;
+        leftovers := Linear.pattern units.(pos) :: !leftovers
+      end
+    done;
+    let tail = List.fold_left Schedule.par [] !leftovers in
+    List.concat (List.rev !rounds) @ tail
+  end

@@ -1,0 +1,32 @@
+(** Two-level ATA composition (paper §3: reduce the full problem to 1xUnit
+    and 2xUnit sub-problems).
+
+    Top level: odd-even transposition over the architecture's units, for
+    [#units] rounds.  In round [r], every adjacent unit pair of parity
+    [r mod 2] is processed in parallel.
+
+    Processing a pair either
+    - runs the linear pattern along the pair's Hamiltonian path (covers all
+      pairs inside the union AND exchanges the two units as sets, by the
+      reversal property) — the "unified" scheme used for Sycamore and
+      hexagon where intra-unit couplings are absent or partial; or
+    - runs the grid-specialized 2xUnit bipartite pattern followed by a
+      one-cycle unit exchange, after a prologue in which every unit covers
+      its intra-unit pairs with the 1xUnit pattern in parallel (Fig 5). *)
+
+val unified : Qcr_arch.Arch.t -> Schedule.t
+(** For any architecture with [units] and [pair_path] (grid, Sycamore,
+    hexagon). *)
+
+val grid_specialized : Qcr_arch.Arch.t -> Schedule.t
+(** For architectures whose units are internally coupled lines with full
+    vertical links between adjacent units (2D grid). *)
+
+val grid_merged : Qcr_arch.Arch.t -> Schedule.t
+(** Appendix-A-style optimization of [grid_specialized]: instead of a
+    standalone intra-unit prologue, each unit runs its 1xUnit pattern
+    during a round in which it idles at a boundary position (every unit
+    set reaches a wall of the odd-even transposition at least once, and a
+    round is exactly as long as the intra pattern).  Units that never get
+    an idle slot (possible for tiny unit counts) append their pattern at
+    the end.  Saves the 2N-cycle prologue. *)

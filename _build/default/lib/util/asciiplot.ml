@@ -1,0 +1,65 @@
+let bars ?(width = 40) rows =
+  let max_value =
+    List.fold_left
+      (fun acc (_, vs) -> List.fold_left (fun acc v -> max acc v) acc vs)
+      1e-12 rows
+  in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+  in
+  let buffer = Buffer.create 256 in
+  List.iter
+    (fun (label, values) ->
+      let fills = [| '#'; '='; '-'; '.' |] in
+      List.iteri
+        (fun i v ->
+          let cells = int_of_float (Float.round (v /. max_value *. float_of_int width)) in
+          let tag = if i = 0 then label else "" in
+          Buffer.add_string buffer
+            (Printf.sprintf "%-*s |%s %.2f\n" label_width tag
+               (String.make (max cells 0) fills.(i mod Array.length fills))
+               v))
+        values;
+      if List.length values > 1 then Buffer.add_char buffer '\n')
+    rows;
+  Buffer.contents buffer
+
+let series ?(width = 60) ?(height = 14) ~names data =
+  match data with
+  | [] -> ""
+  | _ ->
+      let glyphs = [| '*'; 'o'; '+'; 'x' |] in
+      let all = List.concat_map Array.to_list data in
+      let lo = List.fold_left min infinity all and hi = List.fold_left max neg_infinity all in
+      let span = if hi -. lo < 1e-12 then 1.0 else hi -. lo in
+      let canvas = Array.make_matrix height width ' ' in
+      let max_len = List.fold_left (fun acc a -> max acc (Array.length a)) 1 data in
+      List.iteri
+        (fun si arr ->
+          let glyph = glyphs.(si mod Array.length glyphs) in
+          Array.iteri
+            (fun i v ->
+              let x =
+                if max_len <= 1 then 0
+                else i * (width - 1) / (max_len - 1)
+              in
+              let y = int_of_float ((v -. lo) /. span *. float_of_int (height - 1)) in
+              let y = (height - 1) - max 0 (min (height - 1) y) in
+              canvas.(y).(x) <- glyph)
+            arr)
+        data;
+      let buffer = Buffer.create (height * (width + 12)) in
+      Array.iteri
+        (fun row line ->
+          let axis_value = hi -. (float_of_int row /. float_of_int (height - 1) *. span) in
+          Buffer.add_string buffer (Printf.sprintf "%8.2f |" axis_value);
+          Buffer.add_string buffer (String.init width (fun i -> line.(i)));
+          Buffer.add_char buffer '\n')
+        canvas;
+      Buffer.add_string buffer (Printf.sprintf "%8s +%s\n" "" (String.make width '-'));
+      List.iteri
+        (fun si name ->
+          Buffer.add_string buffer
+            (Printf.sprintf "%8s%c = %s\n" "" glyphs.(si mod Array.length glyphs) name))
+        names;
+      Buffer.contents buffer

@@ -1,0 +1,12 @@
+(** Minimal ASCII charts for the benchmark harness, so the paper's figures
+    render as figures (bars, line series) and not just tables. *)
+
+val bars : ?width:int -> (string * float list) list -> string
+(** Grouped horizontal bar chart: each entry is a label with one bar per
+    series value.  Values are scaled to the maximum. *)
+
+val series :
+  ?width:int -> ?height:int -> names:string list -> float array list -> string
+(** Multiple line series over a shared x (index) axis, e.g. the
+    energy-vs-round curves of Figs 24-25.  Series are drawn with distinct
+    glyphs and a small legend. *)

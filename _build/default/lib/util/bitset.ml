@@ -1,0 +1,57 @@
+type t = { words : Bytes.t; n : int }
+
+let words_for n = (n + 7) / 8
+
+let create n = { words = Bytes.make (words_for n) '\000'; n }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of bounds"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let w = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (w lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let w = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (w land lnot (1 lsl (i land 7)) land 0xff))
+
+let popcount_byte b =
+  let b = Char.code b in
+  let rec count b acc = if b = 0 then acc else count (b lsr 1) (acc + (b land 1)) in
+  count b 0
+
+let cardinal t =
+  let total = ref 0 in
+  Bytes.iter (fun b -> total := !total + popcount_byte b) t.words;
+  !total
+
+let is_empty t =
+  let result = ref true in
+  Bytes.iter (fun b -> if b <> '\000' then result := false) t.words;
+  !result
+
+let copy t = { words = Bytes.copy t.words; n = t.n }
+
+let equal a b = a.n = b.n && Bytes.equal a.words b.words
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0 then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let hash_key t = Bytes.to_string t.words

@@ -1,0 +1,35 @@
+(** Fixed-capacity mutable bitsets.
+
+    The A* solver encodes the set of remaining problem-graph edges as a
+    bitset; the swap-network coverage checker uses one bit per qubit pair. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set over universe [\[0, n)]. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate set members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_list : t -> int list
+
+val hash_key : t -> string
+(** Raw payload usable as a hash-table key. *)

@@ -1,0 +1,87 @@
+(* Binary min-heap over (priority, tiebreak, value). The tiebreak counter
+   makes pop order deterministic for equal priorities. *)
+
+type 'a entry = { prio : int; tie : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable counter : int;
+}
+
+let create () = { data = [||]; size = 0; counter = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.tie < b.tie)
+
+let grow t entry =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let capacity' = max 16 (2 * capacity) in
+    let data' = Array.make capacity' entry in
+    Array.blit t.data 0 data' 0 t.size;
+    t.data <- data'
+  end
+
+let push t ~prio value =
+  let entry = { prio; tie = t.counter; value } in
+  t.counter <- t.counter + 1;
+  grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  (* sift up *)
+  let i = ref (t.size - 1) in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less t.data.(!i) t.data.(parent) then begin
+      let tmp = t.data.(!i) in
+      t.data.(!i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let sift_down t =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let left = (2 * !i) + 1 and right = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if left < t.size && less t.data.(left) t.data.(!smallest) then smallest := left;
+    if right < t.size && less t.data.(right) t.data.(!smallest) then smallest := right;
+    if !smallest <> !i then begin
+      let tmp = t.data.(!i) in
+      t.data.(!i) <- t.data.(!smallest);
+      t.data.(!smallest) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t
+    end;
+    Some (top.prio, top.value)
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some result -> result
+  | None -> invalid_arg "Pqueue.pop_exn: empty queue"
+
+let peek t = if t.size = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
+
+let clear t =
+  t.size <- 0;
+  t.counter <- 0

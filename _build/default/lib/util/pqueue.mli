@@ -1,0 +1,25 @@
+(** Mutable binary min-heap priority queue.
+
+    Used by the A* depth-optimal solver and by shortest-path routines.
+    Priorities are [int]; ties are broken by insertion order so that runs
+    are deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> prio:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum-priority element. *)
+
+val pop_exn : 'a t -> int * 'a
+(** @raise Invalid_argument on an empty queue. *)
+
+val peek : 'a t -> (int * 'a) option
+
+val clear : 'a t -> unit

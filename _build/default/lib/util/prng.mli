@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component in the repository draws from an explicit
+    [Prng.t] so that experiments are reproducible bit-for-bit across runs
+    and machines.  The stdlib [Random] module is deliberately not used. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a generator from a 63-bit seed. *)
+
+val copy : t -> t
+(** Independent copy sharing the current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent child
+    generator; use it to hand sub-seeds to sub-experiments. *)
+
+val bits64 : t -> int64
+(** Next raw 64 pseudo-random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box–Muller normal deviate. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

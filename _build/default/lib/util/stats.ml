@@ -1,0 +1,39 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let geomean a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let log_sum = Array.fold_left (fun acc x -> acc +. log x) 0.0 a in
+    exp (log_sum /. float_of_int n)
+  end
+
+let stddev a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let m = mean a in
+    let var = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+    sqrt (var /. float_of_int n)
+  end
+
+let median a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    if n mod 2 = 1 then sorted.(n / 2)
+    else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.0
+  end
+
+let minimum a = Array.fold_left min infinity a
+
+let maximum a = Array.fold_left max neg_infinity a
+
+let mean_int a = mean (Array.map float_of_int a)
+
+let normalize ~baseline a =
+  Array.mapi (fun i x -> if baseline.(i) = 0.0 then 0.0 else x /. baseline.(i)) a

@@ -1,0 +1,22 @@
+(** Small descriptive-statistics helpers used by the benchmark harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean of positive values; 0 for an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val median : float array -> float
+
+val minimum : float array -> float
+
+val maximum : float array -> float
+
+val mean_int : int array -> float
+
+val normalize : baseline:float array -> float array -> float array
+(** Pointwise ratio [value /. baseline] (the paper's "normalized to the
+    greedy version" presentation). *)

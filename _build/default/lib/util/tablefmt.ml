@@ -1,0 +1,45 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let pad_to width s =
+  let len = String.length s in
+  if len >= width then s else s ^ String.make (width - len) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let columns = List.length t.headers in
+  let normalized_rows =
+    let pad_row row =
+      let len = List.length row in
+      if len >= columns then row else row @ List.init (columns - len) (fun _ -> "")
+    in
+    List.map pad_row rows
+  in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let widen row = List.iteri (fun i cell ->
+      if i < columns then widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter widen normalized_rows;
+  let buffer = Buffer.create 256 in
+  let emit_row row =
+    List.iteri (fun i cell ->
+        if i > 0 then Buffer.add_string buffer "  ";
+        Buffer.add_string buffer (pad_to widths.(i) cell)) row;
+    Buffer.add_char buffer '\n'
+  in
+  emit_row t.headers;
+  let rule = List.init columns (fun i -> String.make widths.(i) '-') in
+  emit_row rule;
+  List.iter emit_row normalized_rows;
+  Buffer.contents buffer
+
+let print t = print_string (render t)
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_ratio x = Printf.sprintf "%.2f" x

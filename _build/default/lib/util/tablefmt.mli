@@ -1,0 +1,24 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Every table/figure reproduction prints through this module so that
+    [bench/main.exe] output lines up with the paper's rows. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] followed by [print_string], with a trailing newline. *)
+
+val cell_int : int -> string
+
+val cell_float : ?decimals:int -> float -> string
+
+val cell_ratio : float -> string
+(** Two-decimal ratio, e.g. for normalized results. *)

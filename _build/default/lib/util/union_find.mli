@@ -1,0 +1,17 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used for connected-component detection in the ATA range detector and in
+    the random-regular-graph generator's connectivity check. *)
+
+type t
+
+val create : int -> t
+
+val find : t -> int -> int
+
+val union : t -> int -> int -> unit
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of distinct components. *)

@@ -1,0 +1,1 @@
+lib/workloads/hamiltonian.ml: Qcr_circuit Qcr_graph

@@ -1,0 +1,1 @@
+lib/workloads/hamiltonian.mli: Qcr_circuit Qcr_graph

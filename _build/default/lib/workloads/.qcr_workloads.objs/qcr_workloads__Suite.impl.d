@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: List Printf Qcr_circuit Qcr_graph Qcr_util

@@ -1,0 +1,1 @@
+lib/workloads/suite.mli: Qcr_circuit Qcr_graph

@@ -1,0 +1,54 @@
+module Graph = Qcr_graph.Graph
+module Program = Qcr_circuit.Program
+
+let nnn_1d_ising n =
+  let g = Graph.create n in
+  for i = 0 to n - 2 do
+    Graph.add_edge g i (i + 1)
+  done;
+  for i = 0 to n - 3 do
+    Graph.add_edge g i (i + 2)
+  done;
+  g
+
+let nnn_2d_xy ~rows ~cols =
+  let g = Graph.create (rows * cols) in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then Graph.add_edge g (id r c) (id r (c + 1));
+      if r + 1 < rows then Graph.add_edge g (id r c) (id (r + 1) c);
+      if r + 1 < rows && c + 1 < cols then Graph.add_edge g (id r c) (id (r + 1) (c + 1));
+      if r + 1 < rows && c - 1 >= 0 then Graph.add_edge g (id r c) (id (r + 1) (c - 1))
+    done
+  done;
+  g
+
+let nnn_3d_heisenberg ~dim =
+  let g = Graph.create (dim * dim * dim) in
+  let id x y z = (((x * dim) + y) * dim) + z in
+  let in_range v = v >= 0 && v < dim in
+  let add (x, y, z) (x', y', z') =
+    if in_range x' && in_range y' && in_range z' then begin
+      let a = id x y z and b = id x' y' z' in
+      if a < b && not (Graph.has_edge g a b) then Graph.add_edge g a b
+      else if b < a && not (Graph.has_edge g a b) then Graph.add_edge g b a
+    end
+  in
+  for x = 0 to dim - 1 do
+    for y = 0 to dim - 1 do
+      for z = 0 to dim - 1 do
+        (* axis neighbors *)
+        add (x, y, z) (x + 1, y, z);
+        add (x, y, z) (x, y + 1, z);
+        add (x, y, z) (x, y, z + 1);
+        (* face diagonals (next-nearest) *)
+        add (x, y, z) (x + 1, y + 1, z);
+        add (x, y, z) (x + 1, y, z + 1);
+        add (x, y, z) (x, y + 1, z + 1)
+      done
+    done
+  done;
+  g
+
+let trotter_step ?(theta = 0.2) g = Program.make g (Program.Two_local { theta })

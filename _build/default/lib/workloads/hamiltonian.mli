@@ -1,0 +1,21 @@
+(** 2-local Hamiltonian simulation benchmarks (paper §7.1, §7.5).
+
+    The paper uses next-nearest-neighbor (NNN) interaction graphs from
+    2QAN: 1D Ising chains, 2D XY lattices, and 3D Heisenberg lattices,
+    each with both nearest- and next-nearest-neighbor couplings.  These
+    functions build the interaction graphs; the Trotter-step circuit is a
+    permutable-RZZ program over the graph. *)
+
+val nnn_1d_ising : int -> Qcr_graph.Graph.t
+(** Chain of [n] spins, edges (i, i+1) and (i, i+2). *)
+
+val nnn_2d_xy : rows:int -> cols:int -> Qcr_graph.Graph.t
+(** 2D lattice, nearest (axis) plus next-nearest (diagonal) neighbors. *)
+
+val nnn_3d_heisenberg : dim:int -> Qcr_graph.Graph.t
+(** [dim]^3 cubic lattice, axis neighbors plus face diagonals. *)
+
+val trotter_step : ?theta:float -> Qcr_graph.Graph.t -> Qcr_circuit.Program.t
+(** One first-order Trotter step: RZZ(theta) on every interaction edge
+    (all terms commute in the ZZ model; for XY/Heisenberg the paper
+    compiles the dominant two-qubit block the same way). *)

@@ -1,0 +1,49 @@
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Program = Qcr_circuit.Program
+module Prng = Qcr_util.Prng
+
+type instance = {
+  label : string;
+  seed : int;
+  graph : Graph.t;
+}
+
+(* Base seed chosen once; every instance derives deterministically from
+   (kind, n, density, case index). *)
+let seed_of ~tag ~n ~case =
+  (tag * 1_000_003) + (n * 9176) + (case * 389) + 12345
+
+let random_instances ?(cases = 10) ~n ~density () =
+  List.init cases (fun case ->
+      let seed = seed_of ~tag:1 ~n ~case in
+      let rng = Prng.create seed in
+      {
+        label = Printf.sprintf "rand-%d-%g" n density;
+        seed;
+        graph = Generate.erdos_renyi rng ~n ~density;
+      })
+
+let regular_instances ?(cases = 10) ~n ~density () =
+  List.init cases (fun case ->
+      let seed = seed_of ~tag:2 ~n ~case in
+      let rng = Prng.create seed in
+      {
+        label = Printf.sprintf "reg-%d-%g" n density;
+        seed;
+        graph = Generate.regular_with_density rng ~n ~density;
+      })
+
+let regular_by_degree ?(cases = 10) ~n ~degree () =
+  List.init cases (fun case ->
+      let seed = seed_of ~tag:3 ~n ~case in
+      let rng = Prng.create seed in
+      {
+        label = Printf.sprintf "reg-%d-%d" n degree;
+        seed;
+        graph = Generate.random_regular rng ~n ~degree;
+      })
+
+let program_of instance =
+  Program.make ~name:instance.label instance.graph
+    (Program.Qaoa_maxcut { gamma = 0.4; beta = 0.35 })

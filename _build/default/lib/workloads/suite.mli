@@ -1,0 +1,23 @@
+(** Benchmark suite descriptions matching the paper's §7.1 setup:
+    random graphs with densities {0.3, 0.5}, regular graphs with matching
+    density, sizes 64..1024, 10 seeds per point (averaged). *)
+
+type instance = {
+  label : string;       (** e.g. "rand-128-0.3" *)
+  seed : int;
+  graph : Qcr_graph.Graph.t;
+}
+
+val random_instances :
+  ?cases:int -> n:int -> density:float -> unit -> instance list
+(** [cases] seeds (default 10) of an Erdős–Rényi graph. *)
+
+val regular_instances :
+  ?cases:int -> n:int -> density:float -> unit -> instance list
+
+val regular_by_degree :
+  ?cases:int -> n:int -> degree:int -> unit -> instance list
+(** The paper's "1024-320"-style rows: n vertices, fixed degree. *)
+
+val program_of : instance -> Qcr_circuit.Program.t
+(** QAOA interaction block at reference angles. *)

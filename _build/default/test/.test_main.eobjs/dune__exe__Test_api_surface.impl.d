@@ -1,0 +1,1 @@
+test/test_api_surface.ml: Alcotest Array Format List Qcr_arch Qcr_circuit Qcr_graph Qcr_util String

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Array List Printf Qcr_arch Qcr_graph

@@ -1,0 +1,1 @@
+test/test_asciiplot.ml: Alcotest Qcr_util String

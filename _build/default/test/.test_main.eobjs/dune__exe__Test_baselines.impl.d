@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest List Qcr_arch Qcr_baselines Qcr_circuit Qcr_core Qcr_graph Qcr_sim Qcr_util

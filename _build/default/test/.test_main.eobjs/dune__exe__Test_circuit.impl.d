@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest List Qcr_arch Qcr_circuit Qcr_graph Qcr_sim Qcr_util String

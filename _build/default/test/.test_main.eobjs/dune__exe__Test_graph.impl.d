@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array List QCheck QCheck_alcotest Qcr_graph Qcr_util

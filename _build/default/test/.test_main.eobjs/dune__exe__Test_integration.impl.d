@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List QCheck QCheck_alcotest Qcr_arch Qcr_circuit Qcr_core Qcr_graph Qcr_sim Qcr_solver Qcr_swapnet Qcr_util String

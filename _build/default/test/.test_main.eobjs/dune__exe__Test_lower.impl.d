@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest List Printf Qcr_circuit Qcr_sim Qcr_util

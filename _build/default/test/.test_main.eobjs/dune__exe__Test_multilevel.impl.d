@@ -1,0 +1,1 @@
+test/test_multilevel.ml: Alcotest List Printf Qcr_arch Qcr_circuit Qcr_core Qcr_graph Qcr_sim Qcr_util

@@ -1,0 +1,1 @@
+test/test_permute.ml: Alcotest Array List Printf QCheck QCheck_alcotest Qcr_arch Qcr_circuit Qcr_graph Qcr_swapnet Qcr_util

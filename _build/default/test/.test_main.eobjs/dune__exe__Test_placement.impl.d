@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest List Qcr_arch Qcr_circuit Qcr_core Qcr_graph Qcr_util

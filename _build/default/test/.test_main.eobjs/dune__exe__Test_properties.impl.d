@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array List QCheck QCheck_alcotest Qcr_arch Qcr_circuit Qcr_core Qcr_graph Qcr_swapnet Qcr_util

@@ -1,0 +1,1 @@
+test/test_qasm_extra.ml: Alcotest Filename List Printf Qcr_arch Qcr_circuit Qcr_core Qcr_graph Qcr_sim Qcr_util String Sys

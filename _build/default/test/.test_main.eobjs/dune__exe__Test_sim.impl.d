@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float QCheck QCheck_alcotest Qcr_arch Qcr_circuit Qcr_core Qcr_graph Qcr_sim Qcr_util

@@ -1,0 +1,1 @@
+test/test_swapnet.ml: Alcotest Array Fun List Printf Qcr_arch Qcr_circuit Qcr_graph Qcr_solver Qcr_swapnet Qcr_util String

@@ -1,0 +1,1 @@
+test/test_trajectory.ml: Alcotest Array List Qcr_arch Qcr_circuit Qcr_core Qcr_graph Qcr_sim Qcr_util

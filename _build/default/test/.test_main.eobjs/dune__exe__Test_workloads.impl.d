@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Qcr_circuit Qcr_graph Qcr_workloads

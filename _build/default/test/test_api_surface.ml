@@ -1,0 +1,125 @@
+(* Coverage for small API corners not exercised elsewhere. *)
+
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Paths = Qcr_graph.Paths
+module Components = Qcr_graph.Components
+module Circuit = Qcr_circuit.Circuit
+module Gate = Qcr_circuit.Gate
+module Mapping = Qcr_circuit.Mapping
+module Arch = Qcr_arch.Arch
+module Bitset = Qcr_util.Bitset
+module Pqueue = Qcr_util.Pqueue
+module Prng = Qcr_util.Prng
+module Stats = Qcr_util.Stats
+
+let test_two_qubit_gates () =
+  let c = Circuit.create 4 in
+  Circuit.add c (Gate.H 0);
+  Circuit.add c (Gate.Cx (0, 1));
+  Circuit.add c (Gate.Rz (2, 0.5));
+  Circuit.add c (Gate.Swap (2, 3));
+  Alcotest.(check (list (pair int int))) "pairs in order" [ (0, 1); (2, 3) ]
+    (Circuit.two_qubit_gates c)
+
+let test_component_labels () =
+  let g = Graph.create 5 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 3 4;
+  let labels = Components.component_labels g in
+  Alcotest.(check int) "same component" labels.(0) labels.(1);
+  Alcotest.(check int) "same component" labels.(3) labels.(4);
+  Alcotest.(check bool) "distinct components" true (labels.(0) <> labels.(3));
+  Alcotest.(check bool) "singleton distinct" true
+    (labels.(2) <> labels.(0) && labels.(2) <> labels.(3))
+
+let test_eccentricity () =
+  let g = Generate.path 5 in
+  Alcotest.(check int) "end eccentricity" 4 (Paths.eccentricity g 0);
+  Alcotest.(check int) "center eccentricity" 2 (Paths.eccentricity g 2)
+
+let test_arch_coupled () =
+  let a = Arch.line 4 in
+  Alcotest.(check bool) "adjacent" true (Arch.coupled a 1 2);
+  Alcotest.(check bool) "not adjacent" false (Arch.coupled a 0 3)
+
+let test_density_edge_cases () =
+  Alcotest.(check (float 1e-9)) "empty graph" 0.0 (Graph.density (Graph.create 0));
+  Alcotest.(check (float 1e-9)) "single vertex" 0.0 (Graph.density (Graph.create 1));
+  Alcotest.(check (float 1e-9)) "two disconnected" 0.0 (Graph.density (Graph.create 2))
+
+let test_max_degree () =
+  let g = Generate.star 6 in
+  Alcotest.(check int) "star max degree" 5 (Graph.max_degree g);
+  Alcotest.(check int) "empty max degree" 0 (Graph.max_degree (Graph.create 3))
+
+let test_mapping_phys_array () =
+  let m = Mapping.identity ~logical:2 ~physical:4 in
+  Mapping.apply_swap m 0 3;
+  let a = Mapping.phys_array m in
+  Alcotest.(check int) "logical 0 moved" 3 a.(0);
+  (* the returned array is a copy *)
+  a.(0) <- 99;
+  Alcotest.(check int) "copy semantics" 3 (Mapping.phys_of_log m 0)
+
+let test_bitset_fold_and_key () =
+  let b = Bitset.create 20 in
+  Bitset.add b 3;
+  Bitset.add b 17;
+  Alcotest.(check int) "fold sum" 20 (Bitset.fold ( + ) b 0);
+  let b' = Bitset.copy b in
+  Alcotest.(check string) "hash key equal" (Bitset.hash_key b) (Bitset.hash_key b');
+  Bitset.add b' 0;
+  Alcotest.(check bool) "hash key differs" true (Bitset.hash_key b <> Bitset.hash_key b');
+  Alcotest.(check bool) "equal detects" false (Bitset.equal b b')
+
+let test_pqueue_clear () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~prio:1 "x";
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q);
+  Pqueue.push q ~prio:2 "y";
+  Alcotest.(check (pair int string)) "usable after clear" (2, "y") (Pqueue.pop_exn q)
+
+let test_prng_pick_and_copy () =
+  let rng = Prng.create 8 in
+  let snapshot = Prng.copy rng in
+  let a = Prng.pick rng [| 10; 20; 30 |] in
+  let b = Prng.pick snapshot [| 10; 20; 30 |] in
+  Alcotest.(check int) "copy replays the stream" a b;
+  Alcotest.(check bool) "picked element" true (List.mem a [ 10; 20; 30 ])
+
+let test_stats_mean_int () =
+  Alcotest.(check (float 1e-9)) "mean_int" 2.0 (Stats.mean_int [| 1; 2; 3 |])
+
+let test_circuit_layers_skip_barrier () =
+  let c = Circuit.create 2 in
+  Circuit.add c (Gate.Cx (0, 1));
+  Circuit.add c Gate.Barrier;
+  Circuit.add c (Gate.Measure 0);
+  let layers = Circuit.layers c in
+  (* barrier dropped; cx and measure in separate layers *)
+  Alcotest.(check int) "two layers" 2 (List.length layers)
+
+let test_graph_pp_and_gate_pp () =
+  let g = Generate.cycle 4 in
+  let s = Format.asprintf "%a" Graph.pp g in
+  Alcotest.(check bool) "graph pp" true (String.length s > 0);
+  Alcotest.(check string) "gate to_string" "cx q0,q1" (Gate.to_string (Gate.Cx (0, 1)))
+
+let suite =
+  [
+    Alcotest.test_case "two_qubit_gates" `Quick test_two_qubit_gates;
+    Alcotest.test_case "component labels" `Quick test_component_labels;
+    Alcotest.test_case "eccentricity" `Quick test_eccentricity;
+    Alcotest.test_case "arch coupled" `Quick test_arch_coupled;
+    Alcotest.test_case "density edges" `Quick test_density_edge_cases;
+    Alcotest.test_case "max degree" `Quick test_max_degree;
+    Alcotest.test_case "mapping phys_array" `Quick test_mapping_phys_array;
+    Alcotest.test_case "bitset fold/key" `Quick test_bitset_fold_and_key;
+    Alcotest.test_case "pqueue clear" `Quick test_pqueue_clear;
+    Alcotest.test_case "prng pick/copy" `Quick test_prng_pick_and_copy;
+    Alcotest.test_case "stats mean_int" `Quick test_stats_mean_int;
+    Alcotest.test_case "layers skip barrier" `Quick test_circuit_layers_skip_barrier;
+    Alcotest.test_case "pp functions" `Quick test_graph_pp_and_gate_pp;
+  ]

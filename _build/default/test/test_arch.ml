@@ -1,0 +1,185 @@
+module Arch = Qcr_arch.Arch
+module Noise = Qcr_arch.Noise
+module Graph = Qcr_graph.Graph
+
+let check_path_coupled arch path =
+  let g = Arch.graph arch in
+  Array.iteri
+    (fun i q ->
+      if i + 1 < Array.length path then
+        Alcotest.(check bool)
+          (Printf.sprintf "path hop %d-%d coupled" q path.(i + 1))
+          true
+          (Graph.has_edge g q path.(i + 1)))
+    path
+
+let check_units_partition arch =
+  let units = Arch.units arch in
+  let n = Arch.qubit_count arch in
+  let seen = Array.make n 0 in
+  Array.iter (fun unit -> Array.iter (fun q -> seen.(q) <- seen.(q) + 1) unit) units;
+  if Array.length units > 0 then
+    Array.iteri
+      (fun q c -> Alcotest.(check int) (Printf.sprintf "qubit %d in one unit" q) 1 c)
+      seen
+
+let check_pair_paths arch =
+  let units = Arch.units arch in
+  for i = 0 to Array.length units - 2 do
+    match Arch.pair_path arch i with
+    | None -> Alcotest.fail "missing pair path"
+    | Some path ->
+        check_path_coupled arch path;
+        let members = List.sort compare (Array.to_list path) in
+        let expected =
+          List.sort compare (Array.to_list units.(i) @ Array.to_list units.(i + 1))
+        in
+        Alcotest.(check (list int)) "pair path covers both units" expected members
+  done
+
+let test_line () =
+  let a = Arch.line 7 in
+  Alcotest.(check int) "qubits" 7 (Arch.qubit_count a);
+  Alcotest.(check int) "edges" 6 (Graph.edge_count (Arch.graph a));
+  Alcotest.(check int) "distance ends" 6 (Arch.distance a 0 6);
+  check_path_coupled a (Arch.long_path a)
+
+let test_grid () =
+  let a = Arch.grid ~rows:4 ~cols:5 in
+  Alcotest.(check int) "qubits" 20 (Arch.qubit_count a);
+  (* edges: rows*(cols-1) + cols*(rows-1) *)
+  Alcotest.(check int) "edges" ((4 * 4) + (5 * 3)) (Graph.edge_count (Arch.graph a));
+  check_units_partition a;
+  check_pair_paths a;
+  check_path_coupled a (Arch.long_path a);
+  Alcotest.(check int) "long path Hamiltonian" 20 (Array.length (Arch.long_path a))
+
+let test_grid3d () =
+  let a = Arch.grid3d ~nx:3 ~ny:3 ~nz:3 in
+  Alcotest.(check int) "qubits" 27 (Arch.qubit_count a);
+  (* 3 * nz*(ny-1)*nx + ... : axis edges = 3 * 3*3*2 = 54 *)
+  Alcotest.(check int) "edges" 54 (Qcr_graph.Graph.edge_count (Arch.graph a));
+  check_units_partition a;
+  check_pair_paths a;
+  check_path_coupled a (Arch.long_path a);
+  Alcotest.(check int) "long path Hamiltonian" 27 (Array.length (Arch.long_path a))
+
+let test_sycamore () =
+  let a = Arch.sycamore ~rows:6 ~cols:4 in
+  Alcotest.(check int) "qubits" 24 (Arch.qubit_count a);
+  check_units_partition a;
+  check_pair_paths a;
+  (* no intra-row couplings *)
+  let g = Arch.graph a in
+  Array.iter
+    (fun unit ->
+      Array.iteri
+        (fun i q ->
+          if i + 1 < Array.length unit then
+            Alcotest.(check bool) "no intra-row edge" false (Graph.has_edge g q unit.(i + 1)))
+        unit)
+    (Arch.units a)
+
+let test_sycamore_degrees () =
+  (* interior qubits of the rotated lattice have degree 4 *)
+  let a = Arch.sycamore ~rows:6 ~cols:6 in
+  let g = Arch.graph a in
+  let id r c = (r * 6) + c in
+  Alcotest.(check int) "interior degree" 4 (Graph.degree g (id 2 2));
+  Alcotest.(check int) "interior degree" 4 (Graph.degree g (id 3 3))
+
+let test_heavy_hex () =
+  let a = Arch.heavy_hex ~rows:3 ~row_len:7 in
+  (* 3 rows of 7 + 2 gaps x 2 bridges each (cols 0,4 / 2,6) *)
+  Alcotest.(check int) "qubits" ((3 * 7) + 4) (Arch.qubit_count a);
+  check_path_coupled a (Arch.long_path a);
+  (* off-path plus path partition the device *)
+  let on = Array.length (Arch.long_path a) and off = Array.length (Arch.off_path a) in
+  Alcotest.(check int) "partition" (Arch.qubit_count a) (on + off);
+  (* snake covers all row qubits and the two turn bridges *)
+  Alcotest.(check int) "snake length" ((3 * 7) + 2) on
+
+let test_heavy_hex_bridge_degree () =
+  let a = Arch.heavy_hex ~rows:3 ~row_len:7 in
+  let g = Arch.graph a in
+  Array.iter
+    (fun b -> Alcotest.(check int) "bridge degree 2" 2 (Graph.degree g b))
+    (Arch.off_path a)
+
+let test_hexagon () =
+  let a = Arch.hexagon ~rows:6 ~cols:5 in
+  Alcotest.(check int) "qubits" 30 (Arch.qubit_count a);
+  check_units_partition a;
+  check_pair_paths a;
+  (* honeycomb: interior degree 3 *)
+  let g = Arch.graph a in
+  let id r c = (r * 5) + c in
+  Alcotest.(check int) "interior degree 3" 3 (Graph.degree g (id 2 2))
+
+let test_hexagon_rejects_odd_rows () =
+  Alcotest.check_raises "odd rows rejected"
+    (Invalid_argument "Arch.hexagon: rows must be even and >= 2") (fun () ->
+      ignore (Arch.hexagon ~rows:5 ~cols:4))
+
+let test_mumbai () =
+  let a = Arch.mumbai_like () in
+  Alcotest.(check int) "27 qubits" 27 (Arch.qubit_count a);
+  Alcotest.(check int) "28 couplings" 28 (Graph.edge_count (Arch.graph a));
+  Alcotest.(check bool) "connected" true (Graph.is_connected (Arch.graph a))
+
+let test_smallest_for () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun n ->
+          let a = Arch.smallest_for kind n in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s holds %d" (Arch.name a) n)
+            true
+            (Arch.qubit_count a >= n))
+        [ 10; 64; 128; 200 ])
+    [ Arch.Line; Arch.Grid; Arch.Grid3d; Arch.Sycamore; Arch.Hexagon; Arch.Heavy_hex ]
+
+let test_distances_cached_and_symmetric () =
+  let a = Arch.grid ~rows:3 ~cols:3 in
+  Alcotest.(check int) "corner distance" 4 (Arch.distance a 0 8);
+  Alcotest.(check int) "symmetric" (Arch.distance a 2 6) (Arch.distance a 6 2);
+  Alcotest.(check int) "self" 0 (Arch.distance a 4 4)
+
+let test_noise_models () =
+  let a = Arch.grid ~rows:3 ~cols:3 in
+  let ideal = Noise.ideal a in
+  Alcotest.(check (float 1e-12)) "ideal cx error" 0.0 (Noise.cx_error ideal 0 1);
+  Alcotest.(check (float 1e-12)) "ideal log success" 0.0 (Noise.log_success_cx ideal 0 1);
+  let sampled = Noise.sampled ~seed:3 a in
+  let e = Noise.cx_error sampled 0 1 in
+  Alcotest.(check bool) "sampled in range" true (e >= 1e-4 && e <= 0.15);
+  let sampled' = Noise.sampled ~seed:3 a in
+  Alcotest.(check (float 1e-12)) "seeded deterministic" e (Noise.cx_error sampled' 0 1);
+  let uni = Noise.uniform a ~cx_error:0.01 in
+  Alcotest.(check (float 1e-12)) "uniform" 0.01 (Noise.cx_error uni 3 4)
+
+let test_noise_rejects_uncoupled () =
+  let a = Arch.grid ~rows:3 ~cols:3 in
+  let m = Noise.ideal a in
+  Alcotest.check_raises "uncoupled pair"
+    (Invalid_argument "Noise.cx_error: qubits not coupled") (fun () ->
+      ignore (Noise.cx_error m 0 8))
+
+let suite =
+  [
+    Alcotest.test_case "line" `Quick test_line;
+    Alcotest.test_case "grid" `Quick test_grid;
+    Alcotest.test_case "grid3d" `Quick test_grid3d;
+    Alcotest.test_case "sycamore" `Quick test_sycamore;
+    Alcotest.test_case "sycamore degrees" `Quick test_sycamore_degrees;
+    Alcotest.test_case "heavy-hex" `Quick test_heavy_hex;
+    Alcotest.test_case "heavy-hex bridges" `Quick test_heavy_hex_bridge_degree;
+    Alcotest.test_case "hexagon" `Quick test_hexagon;
+    Alcotest.test_case "hexagon odd rows" `Quick test_hexagon_rejects_odd_rows;
+    Alcotest.test_case "mumbai-like" `Quick test_mumbai;
+    Alcotest.test_case "smallest_for" `Quick test_smallest_for;
+    Alcotest.test_case "distances" `Quick test_distances_cached_and_symmetric;
+    Alcotest.test_case "noise models" `Quick test_noise_models;
+    Alcotest.test_case "noise rejects uncoupled" `Quick test_noise_rejects_uncoupled;
+  ]

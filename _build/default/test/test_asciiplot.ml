@@ -1,0 +1,44 @@
+module Asciiplot = Qcr_util.Asciiplot
+
+let contains s needle =
+  let nl = String.length needle and sl = String.length s in
+  let rec scan i = i + nl <= sl && (String.sub s i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_bars_render () =
+  let out = Asciiplot.bars [ ("alpha", [ 1.0; 0.5 ]); ("beta", [ 0.25 ]) ] in
+  Alcotest.(check bool) "labels present" true (contains out "alpha" && contains out "beta");
+  Alcotest.(check bool) "bars drawn" true (contains out "#");
+  Alcotest.(check bool) "values printed" true (contains out "1.00" && contains out "0.25")
+
+let test_bars_scale () =
+  let out = Asciiplot.bars ~width:10 [ ("x", [ 2.0 ]); ("y", [ 1.0 ]) ] in
+  (* the max bar fills the width, the half bar roughly half *)
+  Alcotest.(check bool) "full bar" true (contains out (String.make 10 '#'));
+  Alcotest.(check bool) "half bar" true (contains out (String.make 5 '#'))
+
+let test_series_render () =
+  let out =
+    Asciiplot.series ~width:20 ~height:6 ~names:[ "a"; "b" ]
+      [ [| 0.0; 1.0; 2.0; 3.0 |]; [| 3.0; 2.0; 1.0; 0.0 |] ]
+  in
+  Alcotest.(check bool) "glyphs present" true (contains out "*" && contains out "o");
+  Alcotest.(check bool) "legend" true (contains out "= a" && contains out "= b");
+  Alcotest.(check bool) "axis values" true (contains out "3.00" && contains out "0.00")
+
+let test_series_flat () =
+  (* constant series must not divide by zero *)
+  let out = Asciiplot.series ~names:[ "flat" ] [ [| 1.0; 1.0; 1.0 |] ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_series_empty () =
+  Alcotest.(check string) "empty input" "" (Asciiplot.series ~names:[] [])
+
+let suite =
+  [
+    Alcotest.test_case "bars render" `Quick test_bars_render;
+    Alcotest.test_case "bars scale" `Quick test_bars_scale;
+    Alcotest.test_case "series render" `Quick test_series_render;
+    Alcotest.test_case "series flat" `Quick test_series_flat;
+    Alcotest.test_case "series empty" `Quick test_series_empty;
+  ]

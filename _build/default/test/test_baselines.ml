@@ -1,0 +1,125 @@
+module Arch = Qcr_arch.Arch
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Circuit = Qcr_circuit.Circuit
+module Gate = Qcr_circuit.Gate
+module Program = Qcr_circuit.Program
+module Mapping = Qcr_circuit.Mapping
+module Pipeline = Qcr_core.Pipeline
+module Paulihedral = Qcr_baselines.Paulihedral_like
+module Qaim = Qcr_baselines.Qaim_like
+module Twoqan = Qcr_baselines.Twoqan_like
+module Sabre = Qcr_baselines.Sabre_like
+module Sv = Qcr_sim.Statevector
+module Prng = Qcr_util.Prng
+
+let qaoa_program g = Program.make g (Program.Qaoa_maxcut { gamma = 0.37; beta = 0.61 })
+
+let check_equivalent arch (r : Pipeline.result) program =
+  Alcotest.(check bool) "coupling respected" true
+    (Circuit.validate_coupling arch r.Pipeline.circuit = Ok ());
+  let sv_log = Sv.extract_logical (Sv.run r.Pipeline.circuit) ~final:r.Pipeline.final in
+  let reference = Sv.run (Program.logical_circuit program) in
+  Alcotest.(check bool) "unitary equivalence" true
+    (Sv.fidelity sv_log reference > 1.0 -. 1e-7)
+
+let cases () =
+  let rng = Prng.create 21 in
+  [
+    ("line-5", Arch.line 5, qaoa_program (Generate.erdos_renyi rng ~n:5 ~density:0.6));
+    ("grid-3x3", Arch.grid ~rows:3 ~cols:3, qaoa_program (Generate.erdos_renyi rng ~n:9 ~density:0.35));
+    ("heavyhex-2x3", Arch.heavy_hex ~rows:2 ~row_len:3, qaoa_program (Generate.cycle 7));
+  ]
+
+let test_paulihedral_correct () =
+  List.iter
+    (fun (name, arch, program) ->
+      let r = Paulihedral.compile arch program in
+      Alcotest.(check bool) (name ^ " has gates") true (r.Pipeline.cx > 0);
+      check_equivalent arch r program)
+    (cases ())
+
+let test_qaim_correct () =
+  List.iter
+    (fun (name, arch, program) ->
+      let r = Qaim.compile arch program in
+      Alcotest.(check bool) (name ^ " has gates") true (r.Pipeline.cx > 0);
+      check_equivalent arch r program)
+    (cases ())
+
+let test_twoqan_correct () =
+  List.iter
+    (fun (name, arch, program) ->
+      let r = Twoqan.compile ~anneal_moves:2000 arch program in
+      Alcotest.(check bool) (name ^ " has gates") true (r.Pipeline.cx > 0);
+      check_equivalent arch r program)
+    (cases ())
+
+let test_sabre_correct () =
+  List.iter
+    (fun (name, arch, program) ->
+      let r = Sabre.compile arch program in
+      Alcotest.(check bool) (name ^ " has gates") true (r.Pipeline.cx > 0);
+      check_equivalent arch r program)
+    (cases ())
+
+let test_sabre_depth_worse_than_ours () =
+  (* the generic router serializes SWAP decisions; our parallel matching
+     must win on depth *)
+  let rng = Prng.create 52 in
+  let g = Generate.erdos_renyi rng ~n:32 ~density:0.3 in
+  let arch = Arch.smallest_for Arch.Heavy_hex 32 in
+  let program = Program.make g Program.Bare_cz in
+  let ours = Pipeline.compile arch program in
+  let sabre = Sabre.compile arch program in
+  Alcotest.(check bool) "ours shallower" true (ours.Pipeline.depth <= sabre.Pipeline.depth)
+
+let test_twoqan_placement_improves () =
+  (* annealed placement should not be worse than identity on the
+     quadratic objective *)
+  let rng = Prng.create 33 in
+  let g = Generate.erdos_renyi rng ~n:16 ~density:0.3 in
+  let arch = Arch.grid ~rows:4 ~cols:4 in
+  let program = Program.make g Program.Bare_cz in
+  let identity = Mapping.identity ~logical:16 ~physical:16 in
+  let annealed = Twoqan.anneal_placement ~moves:20000 arch program in
+  Alcotest.(check bool) "anneal no worse" true
+    (Twoqan.placement_cost arch program annealed
+    <= Twoqan.placement_cost arch program identity)
+
+let test_ours_beats_baselines_on_dense () =
+  (* headline shape: on a dense instance our compiler produces no more
+     depth/gates than the per-term Paulihedral-style router *)
+  let rng = Prng.create 40 in
+  let g = Generate.erdos_renyi rng ~n:16 ~density:0.5 in
+  let arch = Arch.grid ~rows:4 ~cols:4 in
+  let program = Program.make g Program.Bare_cz in
+  let ours = Pipeline.compile arch program in
+  let pauli = Paulihedral.compile arch program in
+  Alcotest.(check bool) "depth no worse" true (ours.Pipeline.depth <= pauli.Pipeline.depth);
+  Alcotest.(check bool) "cx no worse" true (ours.Pipeline.cx <= pauli.Pipeline.cx)
+
+let test_baselines_deterministic () =
+  let rng = Prng.create 61 in
+  let g = Generate.erdos_renyi rng ~n:9 ~density:0.4 in
+  let arch = Arch.grid ~rows:3 ~cols:3 in
+  let program = Program.make g Program.Bare_cz in
+  let a = Qaim.compile arch program and b = Qaim.compile arch program in
+  Alcotest.(check int) "qaim deterministic" a.Pipeline.cx b.Pipeline.cx;
+  let c = Paulihedral.compile arch program and d = Paulihedral.compile arch program in
+  Alcotest.(check int) "paulihedral deterministic" c.Pipeline.cx d.Pipeline.cx;
+  let e = Twoqan.compile ~seed:5 ~anneal_moves:500 arch program in
+  let f = Twoqan.compile ~seed:5 ~anneal_moves:500 arch program in
+  Alcotest.(check int) "2qan deterministic" e.Pipeline.cx f.Pipeline.cx
+
+let suite =
+  [
+    Alcotest.test_case "paulihedral-like correct" `Slow test_paulihedral_correct;
+    Alcotest.test_case "qaim-like correct" `Slow test_qaim_correct;
+    Alcotest.test_case "2qan-like correct" `Slow test_twoqan_correct;
+    Alcotest.test_case "sabre-like correct" `Slow test_sabre_correct;
+    Alcotest.test_case "sabre depth worse" `Quick test_sabre_depth_worse_than_ours;
+    Alcotest.test_case "2qan placement improves" `Quick test_twoqan_placement_improves;
+    Alcotest.test_case "ours <= paulihedral (dense)" `Quick test_ours_beats_baselines_on_dense;
+    Alcotest.test_case "baselines deterministic" `Quick test_baselines_deterministic;
+  ]

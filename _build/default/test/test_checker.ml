@@ -1,0 +1,113 @@
+module Arch = Qcr_arch.Arch
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Circuit = Qcr_circuit.Circuit
+module Gate = Qcr_circuit.Gate
+module Program = Qcr_circuit.Program
+module Mapping = Qcr_circuit.Mapping
+module Pipeline = Qcr_core.Pipeline
+module Checker = Qcr_core.Checker
+module Prng = Qcr_util.Prng
+
+let qaoa g = Program.make g (Program.Qaoa_maxcut { gamma = 0.3; beta = 0.5 })
+
+let test_certifies_all_compilers () =
+  let rng = Prng.create 17 in
+  List.iter
+    (fun (kind, n, density) ->
+      let g = Generate.erdos_renyi rng ~n ~density in
+      let program = qaoa g in
+      let arch = Arch.smallest_for kind n in
+      List.iter
+        (fun (name, r) ->
+          match Checker.certify ~arch ~program r with
+          | Ok () -> ()
+          | Error vs ->
+              Alcotest.failf "%s not certified: %s" name (String.concat "; " vs))
+        [
+          ("ours", Pipeline.compile arch program);
+          ("ata", Pipeline.compile_ata arch program);
+          ("greedy", Pipeline.compile_greedy arch program);
+          ("qaim", Qcr_baselines.Qaim_like.compile arch program);
+          ("paulihedral", Qcr_baselines.Paulihedral_like.compile arch program);
+          ("2qan", Qcr_baselines.Twoqan_like.compile ~anneal_moves:1000 arch program);
+        ])
+    [
+      (Arch.Grid, 12, 0.4);
+      (Arch.Heavy_hex, 20, 0.3);
+      (Arch.Sycamore, 16, 0.3);
+      (Arch.Hexagon, 16, 0.25);
+      (Arch.Grid3d, 8, 0.5);
+    ]
+
+let test_certifies_large_compilation () =
+  (* beyond simulator reach: certify a 128-qubit compilation *)
+  let rng = Prng.create 99 in
+  let g = Generate.erdos_renyi rng ~n:128 ~density:0.3 in
+  let program = Program.make g Program.Bare_cz in
+  let arch = Arch.smallest_for Arch.Heavy_hex 128 in
+  let r = Pipeline.compile arch program in
+  Checker.certify_exn ~arch ~program r
+
+let test_detects_missing_gate () =
+  let g = Generate.cycle 6 in
+  let program = Program.make g Program.Bare_cz in
+  let arch = Arch.grid ~rows:2 ~cols:3 in
+  let r = Pipeline.compile arch program in
+  (* drop one interaction gate *)
+  let tampered = Circuit.create (Circuit.qubit_count r.Pipeline.circuit) in
+  let dropped = ref false in
+  List.iter
+    (fun gate ->
+      match gate with
+      | Gate.Cz _ when not !dropped -> dropped := true
+      | _ -> Circuit.add tampered gate)
+    (Circuit.gates r.Pipeline.circuit);
+  let bad = { r with Pipeline.circuit = tampered } in
+  Alcotest.(check bool) "tamper detected" true
+    (Checker.certify ~arch ~program bad <> Ok ())
+
+let test_detects_wrong_final_mapping () =
+  let g = Generate.cycle 6 in
+  let program = Program.make g Program.Bare_cz in
+  let arch = Arch.grid ~rows:2 ~cols:3 in
+  let r = Pipeline.compile arch program in
+  let wrong = Mapping.copy r.Pipeline.final in
+  Mapping.apply_swap wrong 0 5;
+  let bad = { r with Pipeline.final = wrong } in
+  Alcotest.(check bool) "wrong mapping detected" true
+    (Checker.certify ~arch ~program bad <> Ok ())
+
+let test_detects_uncoupled_gate () =
+  let g = Graph.of_edges 2 [ (0, 1) ] in
+  let program = Program.make g Program.Bare_cz in
+  let arch = Arch.line 3 in
+  let circuit = Circuit.create 3 in
+  Circuit.add circuit (Gate.Cz (0, 2));
+  let bad =
+    {
+      Pipeline.circuit;
+      initial = Mapping.identity ~logical:2 ~physical:3;
+      final = Mapping.identity ~logical:2 ~physical:3;
+      depth = Circuit.depth2q circuit;
+      cx = Circuit.cx_count circuit;
+      swap_count = 0;
+      log_fidelity = 0.0;
+      strategy = Pipeline.Pure_greedy;
+      compile_seconds = 0.0;
+    }
+  in
+  match Checker.certify ~arch ~program bad with
+  | Ok () -> Alcotest.fail "uncoupled gate not detected"
+  | Error vs ->
+      Alcotest.(check bool) "mentions coupling" true
+        (List.exists (fun v -> String.length v > 0) vs)
+
+let suite =
+  [
+    Alcotest.test_case "certifies all compilers" `Slow test_certifies_all_compilers;
+    Alcotest.test_case "certifies 128q compilation" `Quick test_certifies_large_compilation;
+    Alcotest.test_case "detects missing gate" `Quick test_detects_missing_gate;
+    Alcotest.test_case "detects wrong final mapping" `Quick test_detects_wrong_final_mapping;
+    Alcotest.test_case "detects uncoupled gate" `Quick test_detects_uncoupled_gate;
+  ]

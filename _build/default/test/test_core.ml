@@ -1,0 +1,258 @@
+module Arch = Qcr_arch.Arch
+module Noise = Qcr_arch.Noise
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Circuit = Qcr_circuit.Circuit
+module Gate = Qcr_circuit.Gate
+module Program = Qcr_circuit.Program
+module Mapping = Qcr_circuit.Mapping
+module Config = Qcr_core.Config
+module Predict = Qcr_core.Predict
+module Selector = Qcr_core.Selector
+module Greedy = Qcr_core.Greedy
+module Pipeline = Qcr_core.Pipeline
+module Sv = Qcr_sim.Statevector
+module Prng = Qcr_util.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Semantic equivalence: the compiled circuit, projected through its final
+   mapping, must implement exactly the logical circuit. *)
+
+let check_equivalent arch (r : Pipeline.result) program =
+  Alcotest.(check bool) "coupling respected" true
+    (Circuit.validate_coupling arch r.Pipeline.circuit = Ok ());
+  let sv_phys = Sv.run r.Pipeline.circuit in
+  let sv_log = Sv.extract_logical sv_phys ~final:r.Pipeline.final in
+  let reference = Sv.run (Program.logical_circuit program) in
+  let f = Sv.fidelity sv_log reference in
+  Alcotest.(check bool)
+    (Printf.sprintf "unitary equivalence (fidelity %.6f)" f)
+    true (f > 1.0 -. 1e-7)
+
+let qaoa_program g = Program.make g (Program.Qaoa_maxcut { gamma = 0.37; beta = 0.61 })
+
+let equivalence_cases () =
+  let rng = Prng.create 77 in
+  [
+    ("line-5 path", Arch.line 5, qaoa_program (Generate.path 5));
+    ("line-5 clique", Arch.line 5, qaoa_program (Graph.complete 5));
+    ("grid-3x3 random", Arch.grid ~rows:3 ~cols:3, qaoa_program (Generate.erdos_renyi rng ~n:9 ~density:0.4));
+    ("grid-2x3 clique", Arch.grid ~rows:2 ~cols:3, qaoa_program (Graph.complete 6));
+    ("sycamore-2x3", Arch.sycamore ~rows:2 ~cols:3, qaoa_program (Generate.cycle 6));
+    ("heavyhex-2x3", Arch.heavy_hex ~rows:2 ~row_len:3, qaoa_program (Generate.erdos_renyi rng ~n:7 ~density:0.4));
+    ("hexagon-4x2 rzz", Arch.hexagon ~rows:4 ~cols:2,
+     Program.make (Generate.cycle 8) (Program.Two_local { theta = 0.45 }));
+    ("grid3d-2x2x2", Arch.grid3d ~nx:2 ~ny:2 ~nz:2, qaoa_program (Generate.cycle 8));
+  ]
+
+let test_compile_equivalence () =
+  List.iter
+    (fun (name, arch, program) ->
+      let r = Pipeline.compile arch program in
+      Alcotest.(check bool) (name ^ " compiles") true (r.Pipeline.cx >= 0);
+      check_equivalent arch r program)
+    (equivalence_cases ())
+
+let test_compile_ata_equivalence () =
+  List.iter
+    (fun (name, arch, program) ->
+      let r = Pipeline.compile_ata arch program in
+      Alcotest.(check bool) (name ^ " ata compiles") true (r.Pipeline.cx >= 0);
+      check_equivalent arch r program)
+    (equivalence_cases ())
+
+let test_compile_greedy_equivalence () =
+  List.iter
+    (fun (name, arch, program) ->
+      let r = Pipeline.compile_greedy arch program in
+      Alcotest.(check bool) (name ^ " greedy compiles") true (r.Pipeline.cx >= 0);
+      check_equivalent arch r program)
+    (equivalence_cases ())
+
+(* ------------------------------------------------------------------ *)
+
+let test_all_gates_emitted () =
+  let rng = Prng.create 3 in
+  let g = Generate.erdos_renyi rng ~n:16 ~density:0.4 in
+  let arch = Arch.grid ~rows:4 ~cols:4 in
+  let program = Program.make g Program.Bare_cz in
+  let r = Pipeline.compile arch program in
+  let interactions =
+    List.length
+      (List.filter
+         (function Gate.Cz _ | Gate.Swap_interact _ -> true | _ -> false)
+         (Circuit.gates r.Pipeline.circuit))
+  in
+  (* every program edge appears exactly once (merged or not) *)
+  Alcotest.(check int) "all edges emitted once" (Graph.edge_count g) interactions
+
+let test_cx_accounting () =
+  let g = Generate.cycle 9 in
+  let arch = Arch.grid ~rows:3 ~cols:3 in
+  let r = Pipeline.compile arch (qaoa_program g) in
+  let manual = Circuit.cx_count r.Pipeline.circuit in
+  Alcotest.(check int) "result.cx = circuit cx" manual r.Pipeline.cx;
+  Alcotest.(check int) "depth agrees" (Circuit.depth2q r.Pipeline.circuit) r.Pipeline.depth
+
+(* Theorem 6.1: ours is never worse than the rigid ATA circuit under F. *)
+let test_selector_never_worse_than_ata () =
+  let rng = Prng.create 15 in
+  List.iter
+    (fun density ->
+      let g = Generate.erdos_renyi rng ~n:16 ~density in
+      let arch = Arch.grid ~rows:4 ~cols:4 in
+      let program = Program.make g Program.Bare_cz in
+      let ours = Pipeline.compile arch program in
+      let ata = Pipeline.compile_ata arch program in
+      let alpha = Config.default.Config.alpha in
+      let f_of (r : Pipeline.result) =
+        Selector.score ~alpha ~ref_depth:(max ata.Pipeline.depth 1)
+          ~ref_cx:(max ata.Pipeline.cx 1) ~ref_log_fid:0.0
+          {
+            Selector.checkpoint_cycle = 0;
+            depth = r.Pipeline.depth;
+            cx = r.Pipeline.cx;
+            log_fid = 0.0;
+          }
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "ours <= ata at density %g" density)
+        true
+        (f_of ours <= f_of ata +. 1e-9))
+    [ 0.1; 0.3; 0.6; 1.0 ]
+
+let test_predict_estimate_clique () =
+  let arch = Arch.grid ~rows:3 ~cols:3 in
+  let remaining = Graph.complete 9 in
+  let mapping = Mapping.identity ~logical:9 ~physical:9 in
+  let e = Predict.estimate ~arch ~remaining ~mapping () in
+  Alcotest.(check int) "gates" 36 e.Predict.gates;
+  Alcotest.(check bool) "cycles positive" true (e.Predict.cycles > 0)
+
+let test_predict_empty () =
+  let arch = Arch.grid ~rows:3 ~cols:3 in
+  let e =
+    Predict.estimate ~arch ~remaining:(Graph.create 9)
+      ~mapping:(Mapping.identity ~logical:9 ~physical:9) ()
+  in
+  Alcotest.(check int) "no gates" 0 e.Predict.gates;
+  Alcotest.(check int) "no cycles" 0 e.Predict.cycles
+
+let test_predict_regions_tighter () =
+  (* two tiny separated components: region prediction should beat whole-
+     device prediction in cycles *)
+  let arch = Arch.grid ~rows:6 ~cols:6 in
+  let remaining = Graph.create 36 in
+  Graph.add_edge remaining 0 1;
+  Graph.add_edge remaining 1 6;
+  Graph.add_edge remaining 28 29;
+  Graph.add_edge remaining 29 35;
+  let mapping = Mapping.identity ~logical:36 ~physical:36 in
+  let with_regions = Predict.estimate ~use_regions:true ~arch ~remaining ~mapping () in
+  let without = Predict.estimate ~use_regions:false ~arch ~remaining ~mapping () in
+  Alcotest.(check bool) "regions never worse" true
+    (with_regions.Predict.cycles <= without.Predict.cycles)
+
+let test_predict_materialize_completes () =
+  let rng = Prng.create 8 in
+  let arch = Arch.grid ~rows:4 ~cols:4 in
+  let g = Generate.erdos_renyi rng ~n:16 ~density:0.3 in
+  let program = Program.make g Program.Bare_cz in
+  let mapping = Mapping.identity ~logical:16 ~physical:16 in
+  let c = Predict.materialize ~arch ~program ~remaining:(Graph.copy g) ~mapping () in
+  let emitted =
+    List.length (List.filter (function Gate.Cz _ -> true | _ -> false) (Circuit.gates c))
+  in
+  Alcotest.(check int) "all edges materialized" (Graph.edge_count g) emitted;
+  Alcotest.(check bool) "valid on device" true (Circuit.validate_coupling arch c = Ok ())
+
+let test_greedy_engine_stepwise () =
+  let g = Generate.cycle 9 in
+  let arch = Arch.grid ~rows:3 ~cols:3 in
+  let program = Program.make g Program.Bare_cz in
+  let init = Mapping.identity ~logical:9 ~physical:9 in
+  let engine = Greedy.create ~arch ~program ~init () in
+  Alcotest.(check bool) "not finished" false (Greedy.finished engine);
+  Alcotest.(check int) "9 remaining" 9 (Greedy.remaining_gate_count engine);
+  Greedy.run_to_completion engine;
+  Alcotest.(check bool) "finished" true (Greedy.finished engine);
+  Alcotest.(check int) "none remaining" 0 (Greedy.remaining_gate_count engine)
+
+let test_greedy_dense_terminates () =
+  (* noise-aware matching used to ping-pong; the stall rule must converge *)
+  let arch = Arch.grid ~rows:4 ~cols:4 in
+  let noise = Noise.sampled ~seed:2 arch in
+  let program = Program.make (Graph.complete 16) Program.Bare_cz in
+  let r = Pipeline.compile_greedy ~noise arch program in
+  Alcotest.(check bool) "terminates with all gates" true (r.Pipeline.cx > 0)
+
+let test_config_ablations_run () =
+  let rng = Prng.create 99 in
+  let g = Generate.erdos_renyi rng ~n:12 ~density:0.3 in
+  let arch = Arch.grid ~rows:4 ~cols:3 in
+  let program = Program.make g Program.Bare_cz in
+  List.iter
+    (fun config ->
+      let r = Pipeline.compile ~config arch program in
+      check_equivalent arch r program)
+    [
+      { Config.default with Config.use_coloring = false };
+      { Config.default with Config.use_matching = false };
+      { Config.default with Config.use_selector = false };
+      { Config.default with Config.use_regions = false };
+      { Config.default with Config.crosstalk_aware = true };
+    ]
+
+let test_initial_mapping_respected () =
+  let g = Generate.path 4 in
+  let arch = Arch.line 6 in
+  let program = qaoa_program g in
+  let rng = Prng.create 4 in
+  let init = Mapping.random rng ~logical:4 ~physical:6 in
+  let r = Pipeline.compile ~init arch program in
+  Alcotest.(check bool) "initial stored" true (Mapping.equal r.Pipeline.initial init);
+  check_equivalent arch r program
+
+let test_compile_deterministic () =
+  let rng = Prng.create 55 in
+  let g = Generate.erdos_renyi rng ~n:16 ~density:0.4 in
+  let arch = Arch.smallest_for Arch.Heavy_hex 16 in
+  let program = Program.make g Program.Bare_cz in
+  let a = Pipeline.compile arch program in
+  let b = Pipeline.compile arch program in
+  Alcotest.(check int) "same depth" a.Pipeline.depth b.Pipeline.depth;
+  Alcotest.(check int) "same cx" a.Pipeline.cx b.Pipeline.cx
+
+let test_selector_scoring () =
+  let c1 = { Selector.checkpoint_cycle = 0; depth = 100; cx = 1000; log_fid = 0.0 } in
+  let c2 = { Selector.checkpoint_cycle = 5; depth = 50; cx = 900; log_fid = 0.0 } in
+  match Selector.best ~alpha:0.5 ~greedy_depth:100 ~greedy_cx:1000 ~greedy_log_fid:0.0 [ c1; c2 ] with
+  | `Hybrid c -> Alcotest.(check int) "picks the dominating hybrid" 5 c.Selector.checkpoint_cycle
+  | `Greedy -> Alcotest.fail "should pick the better hybrid"
+
+let test_selector_prefers_greedy_on_tie () =
+  let c1 = { Selector.checkpoint_cycle = 0; depth = 100; cx = 1000; log_fid = 0.0 } in
+  match Selector.best ~alpha:0.5 ~greedy_depth:100 ~greedy_cx:1000 ~greedy_log_fid:0.0 [ c1 ] with
+  | `Greedy -> ()
+  | `Hybrid _ -> Alcotest.fail "tie must favor greedy"
+
+let suite =
+  [
+    Alcotest.test_case "compile equivalence" `Slow test_compile_equivalence;
+    Alcotest.test_case "ata equivalence" `Slow test_compile_ata_equivalence;
+    Alcotest.test_case "greedy equivalence" `Slow test_compile_greedy_equivalence;
+    Alcotest.test_case "all gates emitted" `Quick test_all_gates_emitted;
+    Alcotest.test_case "cx accounting" `Quick test_cx_accounting;
+    Alcotest.test_case "ours <= ata (Thm 6.1)" `Quick test_selector_never_worse_than_ata;
+    Alcotest.test_case "predict clique" `Quick test_predict_estimate_clique;
+    Alcotest.test_case "predict empty" `Quick test_predict_empty;
+    Alcotest.test_case "predict regions tighter" `Quick test_predict_regions_tighter;
+    Alcotest.test_case "materialize completes" `Quick test_predict_materialize_completes;
+    Alcotest.test_case "greedy engine stepwise" `Quick test_greedy_engine_stepwise;
+    Alcotest.test_case "greedy dense terminates" `Quick test_greedy_dense_terminates;
+    Alcotest.test_case "ablation configs run" `Slow test_config_ablations_run;
+    Alcotest.test_case "initial mapping respected" `Quick test_initial_mapping_respected;
+    Alcotest.test_case "compile deterministic" `Quick test_compile_deterministic;
+    Alcotest.test_case "selector scoring" `Quick test_selector_scoring;
+    Alcotest.test_case "selector tie" `Quick test_selector_prefers_greedy_on_tie;
+  ]

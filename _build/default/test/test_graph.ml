@@ -1,0 +1,234 @@
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Paths = Qcr_graph.Paths
+module Coloring = Qcr_graph.Coloring
+module Matching = Qcr_graph.Matching
+module Components = Qcr_graph.Components
+module Prng = Qcr_util.Prng
+
+let test_graph_basic () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 2;
+  Alcotest.(check int) "edge count" 2 (Graph.edge_count g);
+  Alcotest.(check bool) "has edge" true (Graph.has_edge g 1 0);
+  Alcotest.(check bool) "no edge" false (Graph.has_edge g 0 2);
+  Alcotest.(check (list int)) "neighbors sorted" [ 0; 2 ] (Graph.neighbors g 1);
+  Alcotest.(check int) "degree" 2 (Graph.degree g 1);
+  Alcotest.(check (list (pair int int))) "edges" [ (0, 1); (1, 2) ] (Graph.edges g);
+  Graph.remove_edge g 0 1;
+  Alcotest.(check bool) "removed" false (Graph.has_edge g 0 1);
+  Alcotest.(check int) "edge count after removal" 1 (Graph.edge_count g)
+
+let test_graph_rejects_bad_edges () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1;
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop") (fun () ->
+      Graph.add_edge g 1 1);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Graph.add_edge: duplicate edge")
+    (fun () -> Graph.add_edge g 1 0)
+
+let test_graph_copy_independent () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1;
+  let h = Graph.copy g in
+  Graph.remove_edge h 0 1;
+  Alcotest.(check bool) "copy independent" true
+    (Graph.has_edge g 0 1 && not (Graph.has_edge h 0 1))
+
+let test_complete () =
+  let g = Graph.complete 5 in
+  Alcotest.(check int) "clique edges" 10 (Graph.edge_count g);
+  Alcotest.(check (float 1e-9)) "density 1" 1.0 (Graph.density g)
+
+let test_subgraph () =
+  let g = Graph.complete 5 in
+  let sub, back = Graph.subgraph_on g [ 1; 3; 4 ] in
+  Alcotest.(check int) "sub vertices" 3 (Graph.vertex_count sub);
+  Alcotest.(check int) "sub edges" 3 (Graph.edge_count sub);
+  Alcotest.(check (array int)) "back map" [| 1; 3; 4 |] back
+
+let test_erdos_renyi_density () =
+  let rng = Prng.create 11 in
+  let g = Generate.erdos_renyi rng ~n:200 ~density:0.3 in
+  let d = Graph.density g in
+  Alcotest.(check bool) "density near 0.3" true (abs_float (d -. 0.3) < 0.03)
+
+let test_erdos_renyi_deterministic () =
+  let g1 = Generate.erdos_renyi (Prng.create 5) ~n:30 ~density:0.4 in
+  let g2 = Generate.erdos_renyi (Prng.create 5) ~n:30 ~density:0.4 in
+  Alcotest.(check (list (pair int int))) "same edges" (Graph.edges g1) (Graph.edges g2)
+
+let test_random_regular () =
+  let rng = Prng.create 13 in
+  let g = Generate.random_regular rng ~n:20 ~degree:4 in
+  for v = 0 to 19 do
+    Alcotest.(check int) "regular degree" 4 (Graph.degree g v)
+  done
+
+let test_regular_with_density () =
+  let rng = Prng.create 17 in
+  let g = Generate.regular_with_density rng ~n:64 ~density:0.3 in
+  let expected_degree = Graph.degree g 0 in
+  for v = 1 to 63 do
+    Alcotest.(check int) "uniform degree" expected_degree (Graph.degree g v)
+  done;
+  Alcotest.(check bool) "density in ballpark" true (abs_float (Graph.density g -. 0.3) < 0.05)
+
+let test_path_cycle_star () =
+  let p = Generate.path 5 in
+  Alcotest.(check int) "path edges" 4 (Graph.edge_count p);
+  let c = Generate.cycle 5 in
+  Alcotest.(check int) "cycle edges" 5 (Graph.edge_count c);
+  let s = Generate.star 5 in
+  Alcotest.(check int) "star edges" 4 (Graph.edge_count s);
+  Alcotest.(check int) "star center degree" 4 (Graph.degree s 0)
+
+let test_bfs_distances () =
+  let g = Generate.path 6 in
+  let d = Paths.bfs g 0 in
+  Alcotest.(check (array int)) "line distances" [| 0; 1; 2; 3; 4; 5 |] d;
+  let dm = Paths.all_pairs g in
+  Alcotest.(check int) "all pairs" 5 (Paths.distance dm 0 5);
+  Alcotest.(check int) "symmetric" (Paths.distance dm 2 4) (Paths.distance dm 4 2)
+
+let test_shortest_path () =
+  let g = Generate.cycle 8 in
+  let p = Paths.shortest_path g 0 3 in
+  Alcotest.(check int) "path length" 4 (List.length p);
+  Alcotest.(check int) "starts at source" 0 (List.hd p);
+  (* consecutive hops are edges *)
+  let rec check_hops = function
+    | a :: b :: rest ->
+        Alcotest.(check bool) "hop is edge" true (Graph.has_edge g a b);
+        check_hops (b :: rest)
+    | _ -> ()
+  in
+  check_hops p
+
+let test_disconnected_path_raises () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 2 3;
+  Alcotest.check_raises "not found" Not_found (fun () ->
+      ignore (Paths.shortest_path g 0 3))
+
+let test_diameter () =
+  Alcotest.(check int) "path diameter" 5 (Paths.diameter (Generate.path 6));
+  Alcotest.(check int) "cycle diameter" 3 (Paths.diameter (Generate.cycle 6))
+
+let test_longest_path_heuristic () =
+  let g = Generate.path 10 in
+  let p = Paths.longest_path_heuristic g in
+  Alcotest.(check int) "finds the full line" 10 (List.length p)
+
+let check_coloring_proper g colors =
+  Graph.iter_edges
+    (fun u v ->
+      Alcotest.(check bool) "proper coloring" true (colors.(u) <> colors.(v)))
+    g
+
+let test_coloring_small () =
+  let g = Graph.complete 4 in
+  let colors = Coloring.greedy g in
+  check_coloring_proper g colors;
+  Alcotest.(check int) "clique needs n colors" 4 (Coloring.count_colors colors)
+
+let prop_coloring_proper =
+  QCheck.Test.make ~name:"greedy coloring is proper" ~count:50
+    QCheck.(pair (int_range 2 30) (int_bound 1000))
+    (fun (n, seed) ->
+      let g = Generate.erdos_renyi (Prng.create seed) ~n ~density:0.4 in
+      let colors = Coloring.greedy g in
+      let ok = ref true in
+      Graph.iter_edges (fun u v -> if colors.(u) = colors.(v) then ok := false) g;
+      !ok)
+
+let test_largest_class () =
+  let g = Generate.star 5 in
+  let colors = Coloring.greedy g in
+  let cls = Coloring.largest_class colors in
+  Alcotest.(check int) "star largest class" 4 (List.length cls)
+
+let prop_matching_valid =
+  QCheck.Test.make ~name:"maximum_weight_matching returns a matching" ~count:100
+    QCheck.(pair (int_range 2 20) (int_bound 1000))
+    (fun (n, seed) ->
+      let rng = Prng.create seed in
+      let g = Generate.erdos_renyi rng ~n ~density:0.5 in
+      let edges =
+        List.map
+          (fun (u, v) -> { Matching.u; v; weight = Prng.float rng 10.0 })
+          (Graph.edges g)
+      in
+      Matching.is_matching n (Matching.maximum_weight_matching n edges))
+
+let test_matching_prefers_weight () =
+  (* triangle with one heavy edge: heavy edge must be chosen *)
+  let edges =
+    [
+      { Matching.u = 0; v = 1; weight = 10.0 };
+      { Matching.u = 1; v = 2; weight = 1.0 };
+      { Matching.u = 0; v = 2; weight = 1.0 };
+    ]
+  in
+  let m = Matching.maximum_weight_matching 3 edges in
+  Alcotest.(check int) "one edge" 1 (List.length m);
+  Alcotest.(check (float 1e-9)) "heavy chosen" 10.0 (Matching.matching_weight m)
+
+let test_matching_improvement () =
+  (* path a-b-c-d with heavy middle: two light edges beat one heavy *)
+  let edges =
+    [
+      { Matching.u = 0; v = 1; weight = 3.0 };
+      { Matching.u = 1; v = 2; weight = 5.0 };
+      { Matching.u = 2; v = 3; weight = 3.0 };
+    ]
+  in
+  let m = Matching.maximum_weight_matching 4 edges in
+  Alcotest.(check (float 1e-9)) "improved to 6" 6.0 (Matching.matching_weight m)
+
+let test_components () =
+  let g = Graph.create 7 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 2;
+  Graph.add_edge g 4 5;
+  Alcotest.(check int) "count" 4 (Components.count g);
+  let comps = Components.components g in
+  Alcotest.(check int) "component lists" 4 (List.length comps);
+  let nontrivial = Components.nontrivial_components g in
+  Alcotest.(check int) "nontrivial" 2 (List.length nontrivial);
+  Alcotest.(check (list (list int))) "members" [ [ 0; 1; 2 ]; [ 4; 5 ] ] nontrivial
+
+let test_is_connected () =
+  Alcotest.(check bool) "path connected" true (Graph.is_connected (Generate.path 5));
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1;
+  Alcotest.(check bool) "isolated vertex disconnects" false (Graph.is_connected g)
+
+let suite =
+  [
+    Alcotest.test_case "graph basic" `Quick test_graph_basic;
+    Alcotest.test_case "graph rejects bad edges" `Quick test_graph_rejects_bad_edges;
+    Alcotest.test_case "graph copy" `Quick test_graph_copy_independent;
+    Alcotest.test_case "complete graph" `Quick test_complete;
+    Alcotest.test_case "subgraph" `Quick test_subgraph;
+    Alcotest.test_case "erdos-renyi density" `Quick test_erdos_renyi_density;
+    Alcotest.test_case "erdos-renyi deterministic" `Quick test_erdos_renyi_deterministic;
+    Alcotest.test_case "random regular" `Quick test_random_regular;
+    Alcotest.test_case "regular with density" `Quick test_regular_with_density;
+    Alcotest.test_case "path/cycle/star" `Quick test_path_cycle_star;
+    Alcotest.test_case "bfs distances" `Quick test_bfs_distances;
+    Alcotest.test_case "shortest path" `Quick test_shortest_path;
+    Alcotest.test_case "disconnected raises" `Quick test_disconnected_path_raises;
+    Alcotest.test_case "diameter" `Quick test_diameter;
+    Alcotest.test_case "longest path heuristic" `Quick test_longest_path_heuristic;
+    Alcotest.test_case "coloring small" `Quick test_coloring_small;
+    QCheck_alcotest.to_alcotest prop_coloring_proper;
+    Alcotest.test_case "largest class" `Quick test_largest_class;
+    QCheck_alcotest.to_alcotest prop_matching_valid;
+    Alcotest.test_case "matching prefers weight" `Quick test_matching_prefers_weight;
+    Alcotest.test_case "matching improvement" `Quick test_matching_improvement;
+    Alcotest.test_case "components" `Quick test_components;
+    Alcotest.test_case "is_connected" `Quick test_is_connected;
+  ]

@@ -1,0 +1,112 @@
+module Circuit = Qcr_circuit.Circuit
+module Gate = Qcr_circuit.Gate
+module Lower = Qcr_circuit.Lower
+module Sv = Qcr_sim.Statevector
+module Prng = Qcr_util.Prng
+
+(* Lowering must preserve the unitary (up to global phase) and the CX
+   accounting: [cx_count] of the original equals the number of literal Cx
+   gates after lowering. *)
+
+let count_cx c =
+  List.length (List.filter (function Gate.Cx _ -> true | _ -> false) (Circuit.gates c))
+
+let random_state rng n =
+  (* prepare a random product-ish state so diagonal gates are visible *)
+  let prep = Circuit.create n in
+  for q = 0 to n - 1 do
+    Circuit.add prep (Gate.H q);
+    Circuit.add prep (Gate.Rz (q, Prng.float rng 3.0));
+    Circuit.add prep (Gate.Rx (q, Prng.float rng 3.0))
+  done;
+  prep
+
+let check_gate_equiv rng g =
+  let n = 3 in
+  let prep = random_state rng n in
+  let with_gate gates =
+    let c = Circuit.create n in
+    Circuit.add_list c (Circuit.gates prep);
+    Circuit.add_list c gates;
+    Sv.run c
+  in
+  let reference = with_gate [ g ] in
+  let lowered = with_gate (Lower.gate g) in
+  let f = Sv.fidelity reference lowered in
+  Alcotest.(check bool)
+    (Printf.sprintf "lowering of %s preserves unitary (fid %.9f)" (Gate.to_string g) f)
+    true
+    (f > 1.0 -. 1e-9)
+
+let test_each_gate_equivalent () =
+  let rng = Prng.create 71 in
+  for _ = 1 to 5 do
+    let theta = Prng.float rng 6.0 -. 3.0 in
+    List.iter (check_gate_equiv rng)
+      [
+        Gate.Cz (0, 1);
+        Gate.Cphase (0, 1, theta);
+        Gate.Cphase (1, 0, theta);
+        Gate.Rzz (0, 2, theta);
+        Gate.Swap (1, 2);
+        Gate.Swap_interact (0, 1, theta);
+        Gate.Swap_interact (2, 0, theta);
+        Gate.Swap_rzz (0, 1, theta);
+        Gate.Swap_rzz (1, 2, theta);
+      ]
+  done
+
+let test_cx_accounting_identity () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 10 do
+    let c = Circuit.create 4 in
+    for _ = 1 to 20 do
+      let a = Prng.int rng 4 in
+      let b = (a + 1 + Prng.int rng 3) mod 4 in
+      let theta = Prng.float rng 3.0 in
+      match Prng.int rng 7 with
+      | 0 -> Circuit.add c (Gate.Cz (a, b))
+      | 1 -> Circuit.add c (Gate.Cphase (a, b, theta))
+      | 2 -> Circuit.add c (Gate.Rzz (a, b, theta))
+      | 3 -> Circuit.add c (Gate.Swap (a, b))
+      | 4 -> Circuit.add c (Gate.Swap_interact (a, b, theta))
+      | 5 -> Circuit.add c (Gate.Swap_rzz (a, b, theta))
+      | _ -> Circuit.add c (Gate.H a)
+    done;
+    Alcotest.(check int) "cx_count = literal CX after lowering" (Circuit.cx_count c)
+      (count_cx (Lower.circuit c))
+  done
+
+let test_whole_circuit_equivalence () =
+  let rng = Prng.create 83 in
+  for _ = 1 to 10 do
+    let c = Circuit.create 4 in
+    Circuit.add_list c (Circuit.gates (random_state rng 4));
+    for _ = 1 to 15 do
+      let a = Prng.int rng 4 in
+      let b = (a + 1 + Prng.int rng 3) mod 4 in
+      let theta = Prng.float rng 3.0 in
+      match Prng.int rng 6 with
+      | 0 -> Circuit.add c (Gate.Cz (a, b))
+      | 1 -> Circuit.add c (Gate.Cphase (a, b, theta))
+      | 2 -> Circuit.add c (Gate.Rzz (a, b, theta))
+      | 3 -> Circuit.add c (Gate.Swap (a, b))
+      | 4 -> Circuit.add c (Gate.Swap_interact (a, b, theta))
+      | _ -> Circuit.add c (Gate.Swap_rzz (a, b, theta))
+    done;
+    let f = Sv.fidelity (Sv.run c) (Sv.run (Lower.circuit c)) in
+    Alcotest.(check bool) "whole circuit equivalence" true (f > 1.0 -. 1e-9)
+  done
+
+let test_passthrough_gates () =
+  List.iter
+    (fun g -> Alcotest.(check (list (testable Gate.pp Gate.equal))) "passthrough" [ g ] (Lower.gate g))
+    [ Gate.H 0; Gate.X 1; Gate.Rx (0, 0.3); Gate.Rz (1, 0.2); Gate.Cx (0, 1); Gate.Barrier ]
+
+let suite =
+  [
+    Alcotest.test_case "each gate equivalent" `Quick test_each_gate_equivalent;
+    Alcotest.test_case "cx accounting identity" `Quick test_cx_accounting_identity;
+    Alcotest.test_case "whole circuit equivalence" `Quick test_whole_circuit_equivalence;
+    Alcotest.test_case "passthrough" `Quick test_passthrough_gates;
+  ]

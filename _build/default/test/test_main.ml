@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "qcr"
+    [
+      ("util", Test_util.suite);
+      ("asciiplot", Test_asciiplot.suite);
+      ("api-surface", Test_api_surface.suite);
+      ("graph", Test_graph.suite);
+      ("arch", Test_arch.suite);
+      ("circuit", Test_circuit.suite);
+      ("swapnet", Test_swapnet.suite);
+      ("permute", Test_permute.suite);
+      ("solver", Test_solver.suite);
+      ("core", Test_core.suite);
+      ("greedy", Test_greedy.suite);
+      ("placement", Test_placement.suite);
+      ("predict", Test_predict.suite);
+      ("checker", Test_checker.suite);
+      ("multilevel", Test_multilevel.suite);
+      ("baselines", Test_baselines.suite);
+      ("sim", Test_sim.suite);
+      ("trajectory", Test_trajectory.suite);
+      ("workloads", Test_workloads.suite);
+      ("qasm", Test_qasm_extra.suite);
+      ("lower", Test_lower.suite);
+      ("integration", Test_integration.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,118 @@
+module Arch = Qcr_arch.Arch
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Circuit = Qcr_circuit.Circuit
+module Mapping = Qcr_circuit.Mapping
+module Multilevel = Qcr_core.Multilevel
+module Pipeline = Qcr_core.Pipeline
+module Sv = Qcr_sim.Statevector
+module Maxcut = Qcr_sim.Maxcut
+module Prng = Qcr_util.Prng
+
+let angles2 = [| (0.41, 0.27); (0.19, 0.63) |]
+
+let test_logical_gate_count () =
+  let g = Generate.cycle 6 in
+  let c = Multilevel.logical_circuit g ~angles:angles2 in
+  (* one H wall (6) + per level: 6 edges + 6 rz + 6 rx *)
+  Alcotest.(check int) "gate count" (6 + (2 * (6 + 6 + 6))) (Circuit.gate_count c)
+
+let test_compiled_equivalence_p2 () =
+  let rng = Prng.create 7 in
+  List.iter
+    (fun (arch, g) ->
+      let r = Multilevel.compile arch g ~angles:angles2 in
+      Alcotest.(check bool) "coupling" true
+        (Circuit.validate_coupling arch r.Pipeline.circuit = Ok ());
+      let sv_log = Sv.extract_logical (Sv.run r.Pipeline.circuit) ~final:r.Pipeline.final in
+      let reference = Sv.run (Multilevel.logical_circuit g ~angles:angles2) in
+      Alcotest.(check bool) "p=2 equivalence" true (Sv.fidelity sv_log reference > 1.0 -. 1e-7))
+    [
+      (Arch.line 5, Generate.erdos_renyi rng ~n:5 ~density:0.5);
+      (Arch.grid ~rows:2 ~cols:3, Generate.cycle 6);
+      (Arch.heavy_hex ~rows:2 ~row_len:3, Generate.erdos_renyi rng ~n:7 ~density:0.35);
+    ]
+
+let test_p3_runs () =
+  let g = Generate.cycle 8 in
+  let arch = Arch.grid ~rows:3 ~cols:3 in
+  let r =
+    Multilevel.compile arch g ~angles:[| (0.4, 0.3); (0.3, 0.2); (0.2, 0.1) |]
+  in
+  Alcotest.(check bool) "has gates" true (r.Pipeline.cx > 0);
+  (* three levels of 8 interactions each *)
+  let interactions =
+    List.length
+      (List.filter
+         (function
+           | Qcr_circuit.Gate.Cphase _ | Qcr_circuit.Gate.Swap_interact _ -> true
+           | _ -> false)
+         (Circuit.gates r.Pipeline.circuit))
+  in
+  Alcotest.(check int) "3 x 8 interactions" 24 interactions
+
+let test_p2_energy_beats_p1 () =
+  (* on a ring, optimized p=2 reaches a strictly better ideal energy than
+     optimized p=1 (classic QAOA hierarchy); compare best-of-grid *)
+  let g = Generate.cycle 6 in
+  let energy angles =
+    let c = Multilevel.logical_circuit g ~angles in
+    Maxcut.expectation_value g (Sv.probabilities (Sv.run c))
+  in
+  let grid = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7 ] in
+  let best1 =
+    List.fold_left
+      (fun acc ga ->
+        List.fold_left (fun acc be -> min acc (energy [| (ga, be) |])) acc grid)
+      infinity grid
+  in
+  (* seed p=2 with the best p=1 angles found plus a second-level sweep *)
+  let best2 =
+    List.fold_left
+      (fun acc ga ->
+        List.fold_left
+          (fun acc be ->
+            List.fold_left
+              (fun acc ga2 ->
+                List.fold_left
+                  (fun acc be2 -> min acc (energy [| (ga, be); (ga2, be2) |]))
+                  acc [ 0.2; 0.4 ])
+              acc [ 0.2; 0.4 ])
+          acc grid)
+      infinity grid
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "p=2 (%.3f) <= p=1 (%.3f)" best2 best1)
+    true (best2 <= best1 +. 1e-9)
+
+let test_restore_option () =
+  let g = Generate.cycle 8 in
+  let arch = Arch.grid ~rows:3 ~cols:3 in
+  let r = Multilevel.compile ~restore:true arch g ~angles:angles2 in
+  Alcotest.(check bool) "final = initial" true
+    (Mapping.equal r.Pipeline.final r.Pipeline.initial);
+  Alcotest.(check bool) "still valid" true
+    (Circuit.validate_coupling arch r.Pipeline.circuit = Ok ());
+  (* restored circuit remains equivalent: extract through the (restored)
+     final mapping *)
+  let sv_log = Sv.extract_logical (Sv.run r.Pipeline.circuit) ~final:r.Pipeline.final in
+  let reference = Sv.run (Multilevel.logical_circuit g ~angles:angles2) in
+  Alcotest.(check bool) "restored equivalence" true
+    (Sv.fidelity sv_log reference > 1.0 -. 1e-7)
+
+let test_rejects_empty_angles () =
+  let g = Generate.cycle 4 in
+  let arch = Arch.line 4 in
+  Alcotest.check_raises "empty angles"
+    (Invalid_argument "Multilevel.compile: no angles") (fun () ->
+      ignore (Multilevel.compile arch g ~angles:[||]))
+
+let suite =
+  [
+    Alcotest.test_case "logical gate count" `Quick test_logical_gate_count;
+    Alcotest.test_case "p=2 equivalence" `Quick test_compiled_equivalence_p2;
+    Alcotest.test_case "p=3 runs" `Quick test_p3_runs;
+    Alcotest.test_case "p=2 energy <= p=1" `Slow test_p2_energy_beats_p1;
+    Alcotest.test_case "restore option" `Quick test_restore_option;
+    Alcotest.test_case "rejects empty" `Quick test_rejects_empty_angles;
+  ]

@@ -1,0 +1,102 @@
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Arch = Qcr_arch.Arch
+module Schedule = Qcr_swapnet.Schedule
+module Permute = Qcr_swapnet.Permute
+module Mapping = Qcr_circuit.Mapping
+module Prng = Qcr_util.Prng
+
+let check_routes g target =
+  let n = Graph.vertex_count g in
+  let sched = Permute.route g ~target in
+  (match Schedule.validate g sched with Ok () -> () | Error m -> Alcotest.fail m);
+  let final = Schedule.final_positions ~n sched in
+  Array.iteri
+    (fun token pos ->
+      Alcotest.(check int) (Printf.sprintf "token %d delivered" token) target.(token) pos)
+    final
+
+let test_identity () =
+  let g = Generate.path 5 in
+  let sched = Permute.route g ~target:(Array.init 5 (fun i -> i)) in
+  Alcotest.(check int) "no swaps" 0 (Schedule.cycle_count sched)
+
+let test_reversal_on_line () =
+  let n = 8 in
+  let g = Generate.path n in
+  check_routes g (Array.init n (fun i -> n - 1 - i))
+
+let test_rotation_cycle () =
+  (* a full rotation is the hardest case for pure-greedy token swapping *)
+  let n = 6 in
+  let g = Generate.cycle n in
+  check_routes g (Array.init n (fun i -> (i + 1) mod n))
+
+let test_random_permutations () =
+  let rng = Prng.create 13 in
+  List.iter
+    (fun arch ->
+      let g = Arch.graph arch in
+      let n = Graph.vertex_count g in
+      for _ = 1 to 5 do
+        let target = Array.init n (fun i -> i) in
+        Prng.shuffle rng target;
+        check_routes g target
+      done)
+    [ Arch.grid ~rows:4 ~cols:4; Arch.heavy_hex ~rows:2 ~row_len:7; Arch.sycamore ~rows:4 ~cols:3 ]
+
+let prop_random_routes =
+  QCheck.Test.make ~name:"token swapping delivers every permutation" ~count:30
+    QCheck.(pair (int_bound 10000) (int_range 4 14))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = Arch.graph (Arch.smallest_for Arch.Grid n) in
+      let m = Graph.vertex_count g in
+      let target = Array.init m (fun i -> i) in
+      Prng.shuffle rng target;
+      let sched = Permute.route g ~target in
+      Schedule.final_positions ~n:m sched = target)
+
+let test_restore_cycles () =
+  let arch = Arch.grid ~rows:3 ~cols:3 in
+  let rng = Prng.create 3 in
+  let current = Mapping.random rng ~logical:6 ~physical:9 in
+  let desired = Mapping.identity ~logical:6 ~physical:9 in
+  let sched =
+    Permute.restore_cycles ~coupling:(Arch.graph arch) ~current ~desired
+  in
+  (* replay the swaps over [current]: must land on [desired] *)
+  let replay = Mapping.copy current in
+  List.iter
+    (fun cycle ->
+      List.iter
+        (function
+          | Schedule.Swap (p, q) -> Mapping.apply_swap replay p q
+          | Schedule.Touch _ -> ())
+        cycle)
+    sched;
+  for l = 0 to 8 do
+    Alcotest.(check int) "restored" (Mapping.phys_of_log desired l) (Mapping.phys_of_log replay l)
+  done
+
+let test_reversal_swap_budget () =
+  (* reversal on a line needs n(n-1)/2 swaps; the router must not blow
+     far past that *)
+  let n = 16 in
+  let g = Generate.path n in
+  let sched = Permute.route g ~target:(Array.init n (fun i -> n - 1 - i)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "swaps %d <= n^2" (Schedule.swap_count sched))
+    true
+    (Schedule.swap_count sched <= n * n)
+
+let suite =
+  [
+    Alcotest.test_case "identity" `Quick test_identity;
+    Alcotest.test_case "line reversal" `Quick test_reversal_on_line;
+    Alcotest.test_case "rotation cycle" `Quick test_rotation_cycle;
+    Alcotest.test_case "random permutations" `Quick test_random_permutations;
+    QCheck_alcotest.to_alcotest prop_random_routes;
+    Alcotest.test_case "restore cycles" `Quick test_restore_cycles;
+    Alcotest.test_case "reversal swap budget" `Quick test_reversal_swap_budget;
+  ]

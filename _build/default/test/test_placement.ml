@@ -1,0 +1,108 @@
+module Arch = Qcr_arch.Arch
+module Noise = Qcr_arch.Noise
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Mapping = Qcr_circuit.Mapping
+module Program = Qcr_circuit.Program
+module Placement = Qcr_core.Placement
+module Prng = Qcr_util.Prng
+
+let program_of g = Program.make g Program.Bare_cz
+
+let test_quadratic_cost () =
+  let arch = Arch.line 4 in
+  let problem = Generate.path 4 in
+  let identity = Mapping.identity ~logical:4 ~physical:4 in
+  (* a path placed on a line in order: every edge at distance 1 *)
+  Alcotest.(check int) "identity path cost" 3 (Placement.quadratic_cost arch problem identity);
+  let reversed = Mapping.of_phys_of_log ~logical:4 [| 3; 2; 1; 0 |] in
+  Alcotest.(check int) "reversal preserves path cost" 3
+    (Placement.quadratic_cost arch problem reversed);
+  let scrambled = Mapping.of_phys_of_log ~logical:4 [| 0; 2; 1; 3 |] in
+  Alcotest.(check bool) "scramble costs more" true
+    (Placement.quadratic_cost arch problem scrambled > 3)
+
+let test_anneal_improves () =
+  let rng = Prng.create 3 in
+  let arch = Arch.grid ~rows:5 ~cols:5 in
+  let problem = Generate.erdos_renyi rng ~n:25 ~density:0.12 in
+  let identity = Mapping.identity ~logical:25 ~physical:25 in
+  let annealed = Placement.anneal ~seed:5 arch problem in
+  Alcotest.(check bool) "anneal no worse than identity" true
+    (Placement.quadratic_cost arch problem annealed
+    <= Placement.quadratic_cost arch problem identity)
+
+let test_anneal_deterministic () =
+  let arch = Arch.grid ~rows:4 ~cols:4 in
+  let problem = Generate.cycle 16 in
+  let a = Placement.anneal ~seed:11 arch problem in
+  let b = Placement.anneal ~seed:11 arch problem in
+  Alcotest.(check bool) "same seed, same placement" true (Mapping.equal a b)
+
+let test_anneal_is_bijection () =
+  let arch = Arch.heavy_hex ~rows:2 ~row_len:7 in
+  let problem = Generate.cycle 10 in
+  let m = Placement.anneal ~seed:2 arch problem in
+  let n_phys = Arch.qubit_count arch in
+  for p = 0 to n_phys - 1 do
+    Alcotest.(check int) "bijective" p (Mapping.phys_of_log m (Mapping.log_of_phys m p))
+  done
+
+let test_candidates_nonempty_sorted () =
+  let arch = Arch.grid ~rows:4 ~cols:4 in
+  let problem = Generate.cycle 12 in
+  let cs = Placement.candidates arch (program_of problem) in
+  Alcotest.(check bool) "at least one candidate" true (List.length cs >= 1);
+  (* first candidate carries the best quadratic cost *)
+  let costs = List.map (fun m -> Placement.quadratic_cost arch problem m) cs in
+  Alcotest.(check bool) "head is minimal" true
+    (List.for_all (fun c -> List.hd costs <= c) costs)
+
+let test_candidates_empty_program () =
+  let arch = Arch.line 5 in
+  let cs = Placement.candidates arch (program_of (Graph.create 5)) in
+  Alcotest.(check int) "single identity candidate" 1 (List.length cs)
+
+let test_noise_aware_anneal_avoids_bad_links () =
+  (* two-segment line where the middle link is terrible: a 2-qubit
+     program should be placed away from it *)
+  let arch = Arch.line 6 in
+  let noise = Noise.uniform arch ~cx_error:0.001 in
+  (* uniform has no variability; instead build variability by hand via
+     sampled with a seed that we probe *)
+  ignore noise;
+  let noise = Noise.sampled ~seed:3 arch in
+  let problem = Graph.of_edges 2 [ (0, 1) ] in
+  let m = Placement.anneal ~seed:4 ~noise arch problem in
+  let p0 = Mapping.phys_of_log m 0 and p1 = Mapping.phys_of_log m 1 in
+  Alcotest.(check bool) "pair adjacent" true (Graph.has_edge (Arch.graph arch) p0 p1);
+  (* the chosen link should be at most the median error *)
+  let errors =
+    List.map (fun (u, v) -> Noise.cx_error noise u v) (Graph.edges (Arch.graph arch))
+  in
+  let sorted = List.sort compare errors in
+  let median = List.nth sorted (List.length sorted / 2) in
+  Alcotest.(check bool) "placed on a good link" true
+    (Noise.cx_error noise p0 p1 <= median +. 1e-12)
+
+let test_auto_covers_density_regimes () =
+  let arch = Arch.grid ~rows:4 ~cols:4 in
+  List.iter
+    (fun density ->
+      let rng = Prng.create 9 in
+      let g = Generate.erdos_renyi rng ~n:16 ~density in
+      let m = Placement.auto arch (program_of g) in
+      Alcotest.(check int) "physical count" 16 (Mapping.physical_count m))
+    [ 0.05; 0.3; 0.8 ]
+
+let suite =
+  [
+    Alcotest.test_case "quadratic cost" `Quick test_quadratic_cost;
+    Alcotest.test_case "anneal improves" `Quick test_anneal_improves;
+    Alcotest.test_case "anneal deterministic" `Quick test_anneal_deterministic;
+    Alcotest.test_case "anneal bijection" `Quick test_anneal_is_bijection;
+    Alcotest.test_case "candidates sorted" `Quick test_candidates_nonempty_sorted;
+    Alcotest.test_case "candidates empty program" `Quick test_candidates_empty_program;
+    Alcotest.test_case "noise-aware anneal" `Quick test_noise_aware_anneal_avoids_bad_links;
+    Alcotest.test_case "auto density regimes" `Quick test_auto_covers_density_regimes;
+  ]

@@ -1,0 +1,94 @@
+module Arch = Qcr_arch.Arch
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Mapping = Qcr_circuit.Mapping
+module Circuit = Qcr_circuit.Circuit
+module Gate = Qcr_circuit.Gate
+module Program = Qcr_circuit.Program
+module Predict = Qcr_core.Predict
+module Prng = Qcr_util.Prng
+
+(* Further predictor checks beyond the basics in test_core: the estimate
+   must agree with the circuit the same completion materializes. *)
+
+let count_interactions circuit =
+  List.length
+    (List.filter
+       (function
+         | Gate.Cz _ | Gate.Cphase _ | Gate.Rzz _ | Gate.Swap_interact _ | Gate.Swap_rzz _ ->
+             true
+         | _ -> false)
+       (Circuit.gates circuit))
+
+let count_swaps circuit =
+  List.length
+    (List.filter (function Gate.Swap _ -> true | _ -> false) (Circuit.gates circuit))
+
+let test_estimate_swaps_match_materialize () =
+  let rng = Prng.create 44 in
+  List.iter
+    (fun use_regions ->
+      let arch = Arch.grid ~rows:5 ~cols:5 in
+      let g = Generate.erdos_renyi rng ~n:25 ~density:0.25 in
+      let program = Program.make g Program.Bare_cz in
+      let mapping = Mapping.identity ~logical:25 ~physical:25 in
+      let est = Predict.estimate ~use_regions ~arch ~remaining:g ~mapping () in
+      let c =
+        Predict.materialize ~use_regions ~arch ~program ~remaining:(Graph.copy g)
+          ~mapping:(Mapping.copy mapping) ()
+      in
+      Alcotest.(check int) "gate estimate exact" (count_interactions c) est.Predict.gates;
+      Alcotest.(check int) "swap estimate exact" (count_swaps c) est.Predict.swaps)
+    [ true; false ]
+
+let test_materialize_mutates_mapping_consistently () =
+  let arch = Arch.grid ~rows:3 ~cols:3 in
+  let g = Generate.cycle 9 in
+  let program = Program.make g Program.Bare_cz in
+  let mapping = Mapping.identity ~logical:9 ~physical:9 in
+  let c = Predict.materialize ~arch ~program ~remaining:(Graph.copy g) ~mapping () in
+  (* replay the circuit's swaps over a fresh mapping: must equal [mapping] *)
+  let replay = Mapping.identity ~logical:9 ~physical:9 in
+  List.iter
+    (fun gate ->
+      match gate with
+      | Gate.Swap (p, q) -> Mapping.apply_swap replay p q
+      | _ -> ())
+    (Circuit.gates c);
+  Alcotest.(check bool) "final mapping consistent" true (Mapping.equal replay mapping)
+
+let test_disjoint_components_parallel () =
+  (* two components in opposite corners of a big grid: materialized
+     circuits act on disjoint qubits, so ASAP depth ~= max of the parts *)
+  let arch = Arch.grid ~rows:8 ~cols:8 in
+  let g = Graph.create 64 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 0 8;
+  Graph.add_edge g 62 63;
+  Graph.add_edge g 55 63;
+  let program = Program.make g Program.Bare_cz in
+  let mapping = Mapping.identity ~logical:64 ~physical:64 in
+  let c =
+    Predict.materialize ~use_regions:true ~arch ~program ~remaining:(Graph.copy g) ~mapping ()
+  in
+  Alcotest.(check bool) "parallel depth small" true (Circuit.depth2q c <= 6);
+  Alcotest.(check int) "all gates" 4 (count_interactions c)
+
+let test_heavyhex_estimate () =
+  let arch = Arch.heavy_hex ~rows:3 ~row_len:7 in
+  let n = Arch.qubit_count arch in
+  let g = Generate.cycle n in
+  let mapping = Mapping.identity ~logical:n ~physical:n in
+  let est = Predict.estimate ~arch ~remaining:g ~mapping () in
+  Alcotest.(check int) "gates" n est.Predict.gates;
+  Alcotest.(check bool) "cycles bounded by full schedule" true
+    (est.Predict.cycles
+    <= Qcr_swapnet.Schedule.cycle_count (Qcr_swapnet.Ata.schedule arch))
+
+let suite =
+  [
+    Alcotest.test_case "estimate = materialize" `Quick test_estimate_swaps_match_materialize;
+    Alcotest.test_case "mapping consistency" `Quick test_materialize_mutates_mapping_consistently;
+    Alcotest.test_case "disjoint components parallel" `Quick test_disjoint_components_parallel;
+    Alcotest.test_case "heavy-hex estimate" `Quick test_heavyhex_estimate;
+  ]

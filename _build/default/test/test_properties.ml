@@ -1,0 +1,121 @@
+(* Property-based tests over the core invariants. *)
+
+module Arch = Qcr_arch.Arch
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Circuit = Qcr_circuit.Circuit
+module Gate = Qcr_circuit.Gate
+module Program = Qcr_circuit.Program
+module Mapping = Qcr_circuit.Mapping
+module Schedule = Qcr_swapnet.Schedule
+module Ata = Qcr_swapnet.Ata
+module Config = Qcr_core.Config
+module Pipeline = Qcr_core.Pipeline
+module Prng = Qcr_util.Prng
+
+(* The ATA property holds for arbitrary rectangle shapes of each lattice
+   family (not just the sizes unit tests pin down). *)
+let prop_ata_coverage_random_shapes =
+  QCheck.Test.make ~name:"ATA schedules cover all pairs on random shapes" ~count:12
+    QCheck.(triple (int_range 2 5) (int_range 2 5) (int_bound 3))
+    (fun (a, b, kind_pick) ->
+      let arch =
+        match kind_pick with
+        | 0 -> Arch.grid ~rows:a ~cols:b
+        | 1 -> Arch.sycamore ~rows:(2 * a) ~cols:b
+        | 2 -> Arch.hexagon ~rows:(2 * a) ~cols:b
+        | _ -> Arch.heavy_hex ~rows:a ~row_len:(max 3 ((4 * (b / 2)) + 3))
+      in
+      let sched = Ata.schedule arch in
+      let n = Arch.qubit_count arch in
+      Schedule.validate (Arch.graph arch) sched = Ok ()
+      && Schedule.covers_all_pairs ~n sched)
+
+(* The linear pattern touches each pair exactly once, for any length. *)
+let prop_linear_touch_once =
+  QCheck.Test.make ~name:"linear pattern touches each pair exactly once" ~count:30
+    QCheck.(int_range 2 40)
+    (fun n ->
+      let sched = Qcr_swapnet.Linear.pattern (Array.init n (fun i -> i)) in
+      Schedule.touch_count sched = n * (n - 1) / 2
+      && Schedule.covers_all_pairs ~n sched)
+
+(* Realization against random sparse programs: the emitted edge set equals
+   the program edge set. *)
+let prop_realize_exact_edges =
+  QCheck.Test.make ~name:"realize emits exactly the program edges" ~count:25
+    QCheck.(pair (int_bound 10000) (int_range 4 16))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = Generate.erdos_renyi rng ~n ~density:0.35 in
+      let arch = Arch.smallest_for Arch.Grid n in
+      let program = Program.make g Program.Bare_cz in
+      let mapping =
+        Mapping.identity ~logical:n ~physical:(Arch.qubit_count arch)
+      in
+      let r =
+        Schedule.realize ~program ~mapping ~n_phys:(Arch.qubit_count arch)
+          (Ata.schedule arch)
+      in
+      let emitted = List.sort_uniq compare (List.map (fun (u, v) -> (min u v, max u v)) r.Schedule.emitted) in
+      emitted = Graph.edges g)
+
+(* Crosstalk-aware scheduling: within each greedy cycle, no two scheduled
+   interaction gates sit on adjacent coupling sites.  (ASAP re-layering of
+   the final circuit may re-pack cycles, so the invariant is checked on
+   the engine's own cycles.) *)
+let test_crosstalk_layers_clean () =
+  let rng = Prng.create 12 in
+  let g = Generate.erdos_renyi rng ~n:12 ~density:0.4 in
+  let arch = Arch.grid ~rows:4 ~cols:3 in
+  let config = { Config.default with Config.crosstalk_aware = true; use_selector = false } in
+  let program = Program.make g Program.Bare_cz in
+  let init = Mapping.identity ~logical:12 ~physical:12 in
+  let engine = Qcr_core.Greedy.create ~config ~arch ~program ~init () in
+  let device = Arch.graph arch in
+  let adjacent (p1, q1) (p2, q2) =
+    Graph.has_edge device p1 p2 || Graph.has_edge device p1 q2 || Graph.has_edge device q1 p2
+    || Graph.has_edge device q1 q2
+  in
+  let seen = ref 0 in
+  while not (Qcr_core.Greedy.finished engine) do
+    ignore (Qcr_core.Greedy.step engine);
+    let gates = Circuit.gates (Qcr_core.Greedy.circuit engine) in
+    let fresh = List.filteri (fun i _ -> i >= !seen) gates in
+    seen := List.length gates;
+    let sites =
+      List.filter_map (function Gate.Cz (a, b) -> Some (a, b) | _ -> None) fresh
+    in
+    let rec pairwise = function
+      | [] -> ()
+      | s :: rest ->
+          List.iter
+            (fun s' ->
+              Alcotest.(check bool) "no crosstalk-adjacent parallel gates" false
+                (adjacent s s'))
+            rest;
+          pairwise rest
+    in
+    pairwise sites
+  done
+
+(* Determinism of the full pipeline across architectures. *)
+let prop_compile_deterministic =
+  QCheck.Test.make ~name:"compilation is deterministic" ~count:10
+    QCheck.(pair (int_bound 10000) (int_range 6 14))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = Generate.erdos_renyi rng ~n ~density:0.3 in
+      let arch = Arch.smallest_for Arch.Heavy_hex n in
+      let program = Program.make g Program.Bare_cz in
+      let a = Pipeline.compile arch program and b = Pipeline.compile arch program in
+      a.Pipeline.depth = b.Pipeline.depth && a.Pipeline.cx = b.Pipeline.cx)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_ata_coverage_random_shapes;
+    QCheck_alcotest.to_alcotest prop_linear_touch_once;
+    QCheck_alcotest.to_alcotest prop_realize_exact_edges;
+    Alcotest.test_case "crosstalk layers clean" `Quick test_crosstalk_layers_clean;
+    QCheck_alcotest.to_alcotest prop_compile_deterministic;
+  ]

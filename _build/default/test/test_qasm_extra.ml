@@ -1,0 +1,148 @@
+module Circuit = Qcr_circuit.Circuit
+module Gate = Qcr_circuit.Gate
+module Qasm = Qcr_circuit.Qasm
+
+let contains s needle =
+  let nl = String.length needle and sl = String.length s in
+  let rec scan i = i + nl <= sl && (String.sub s i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_header_registers () =
+  let c = Circuit.create 5 in
+  let s = Qasm.to_string c in
+  Alcotest.(check bool) "qreg" true (contains s "qreg q[5];");
+  Alcotest.(check bool) "creg" true (contains s "creg c[5];")
+
+let test_all_gate_lowering () =
+  let c = Circuit.create 3 in
+  Circuit.add c (Gate.H 0);
+  Circuit.add c (Gate.X 1);
+  Circuit.add c (Gate.Rx (0, 0.5));
+  Circuit.add c (Gate.Rz (1, 0.25));
+  Circuit.add c (Gate.Cx (0, 1));
+  Circuit.add c (Gate.Cz (1, 2));
+  Circuit.add c (Gate.Cphase (0, 2, 0.125));
+  Circuit.add c (Gate.Rzz (0, 1, 0.375));
+  Circuit.add c (Gate.Swap (1, 2));
+  Circuit.add c (Gate.Swap_rzz (0, 1, 0.75));
+  Circuit.add c (Gate.Measure 0);
+  Circuit.add c Gate.Barrier;
+  let s = Qasm.to_string c in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %s" needle) true (contains s needle))
+    [
+      "h q[0];"; "x q[1];"; "rx(0.5) q[0];"; "rz(0.25) q[1];"; "cx q[0],q[1];";
+      "cz q[1],q[2];"; "cp(0.125) q[0],q[2];"; "swap q[1],q[2];";
+      "measure q[0] -> c[0];"; "barrier q;";
+    ];
+  (* rzz lowers to cx-rz-cx *)
+  Alcotest.(check bool) "rzz lowered" true (contains s "rz(0.375) q[1];")
+
+(* ---- import ---- *)
+
+let test_roundtrip_simple () =
+  let c = Circuit.create 3 in
+  Circuit.add c (Gate.H 0);
+  Circuit.add c (Gate.Rx (1, 0.5));
+  Circuit.add c (Gate.Rz (2, -1.25));
+  Circuit.add c (Gate.Cx (0, 1));
+  Circuit.add c (Gate.Cz (1, 2));
+  Circuit.add c (Gate.Cphase (0, 2, 0.75));
+  Circuit.add c (Gate.Swap (0, 1));
+  Circuit.add c (Gate.Measure 2);
+  match Qasm.of_string (Qasm.to_string c) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok parsed ->
+      Alcotest.(check int) "qubits" 3 (Circuit.qubit_count parsed);
+      Alcotest.(check int) "gate count" (Circuit.gate_count c) (Circuit.gate_count parsed);
+      (* semantics preserved (measure/barrier are no-ops in sim) *)
+      let f =
+        Qcr_sim.Statevector.fidelity (Qcr_sim.Statevector.run c)
+          (Qcr_sim.Statevector.run parsed)
+      in
+      Alcotest.(check bool) "roundtrip semantics" true (f > 1.0 -. 1e-9)
+
+let test_roundtrip_lowered_fused () =
+  (* fused gates export as primitive sequences; the parse must still be
+     semantically identical *)
+  let c = Circuit.create 2 in
+  Circuit.add c (Gate.H 0);
+  Circuit.add c (Gate.H 1);
+  Circuit.add c (Gate.Swap_interact (0, 1, 0.625));
+  Circuit.add c (Gate.Swap_rzz (1, 0, 0.3));
+  Circuit.add c (Gate.Rzz (0, 1, 1.5));
+  match Qasm.of_string (Qasm.to_string c) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok parsed ->
+      let f =
+        Qcr_sim.Statevector.fidelity (Qcr_sim.Statevector.run c)
+          (Qcr_sim.Statevector.run parsed)
+      in
+      Alcotest.(check bool) "fused roundtrip semantics" true (f > 1.0 -. 1e-9)
+
+let test_parse_compiled_output () =
+  let rng = Qcr_util.Prng.create 3 in
+  let g = Qcr_graph.Generate.erdos_renyi rng ~n:10 ~density:0.4 in
+  let arch = Qcr_arch.Arch.smallest_for Qcr_arch.Arch.Heavy_hex 10 in
+  let program =
+    Qcr_circuit.Program.make g
+      (Qcr_circuit.Program.Qaoa_maxcut { gamma = 0.4; beta = 0.35 })
+  in
+  let r = Qcr_core.Pipeline.compile arch program in
+  match Qasm.of_string (Qasm.to_string r.Qcr_core.Pipeline.circuit) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok parsed ->
+      let f =
+        Qcr_sim.Statevector.fidelity
+          (Qcr_sim.Statevector.run r.Qcr_core.Pipeline.circuit)
+          (Qcr_sim.Statevector.run parsed)
+      in
+      Alcotest.(check bool) "compiled circuit roundtrip" true (f > 1.0 -. 1e-9)
+
+let test_parse_errors () =
+  (match Qasm.of_string "h q[0];" with
+  | Error e -> Alcotest.(check bool) "no qreg" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "expected error");
+  (match Qasm.of_string "qreg q[2];
+frobnicate q[0];" with
+  | Error e -> Alcotest.(check bool) "unknown gate" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "expected error");
+  match Qasm.of_string "qreg q[2];
+cx q[0];" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected arity error"
+
+let test_parse_comments_and_pi () =
+  let src = "OPENQASM 2.0;
+qreg q[2]; // register
+// a comment line
+rz(pi/2) q[0];
+cp(-pi) q[0],q[1];
+" in
+  match Qasm.of_string src with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok c -> Alcotest.(check int) "two gates" 2 (Circuit.gate_count c)
+
+let test_write_file () =
+  let c = Circuit.create 2 in
+  Circuit.add c (Gate.Cx (0, 1));
+  let path = Filename.temp_file "qcr_test" ".qasm" in
+  Qasm.write_file path c;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "file non-empty" true (len > 30)
+
+let suite =
+  [
+    Alcotest.test_case "header/registers" `Quick test_header_registers;
+    Alcotest.test_case "all gate lowering" `Quick test_all_gate_lowering;
+    Alcotest.test_case "write file" `Quick test_write_file;
+    Alcotest.test_case "roundtrip simple" `Quick test_roundtrip_simple;
+    Alcotest.test_case "roundtrip fused" `Quick test_roundtrip_lowered_fused;
+    Alcotest.test_case "roundtrip compiled" `Quick test_parse_compiled_output;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "comments and pi" `Quick test_parse_comments_and_pi;
+  ]

@@ -1,0 +1,226 @@
+module Sv = Qcr_sim.Statevector
+module Channel = Qcr_sim.Channel
+module Maxcut = Qcr_sim.Maxcut
+module Optimizer = Qcr_sim.Optimizer
+module Qaoa = Qcr_sim.Qaoa
+module Gate = Qcr_circuit.Gate
+module Circuit = Qcr_circuit.Circuit
+module Mapping = Qcr_circuit.Mapping
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Prng = Qcr_util.Prng
+
+let test_initial_state () =
+  let sv = Sv.create 3 in
+  let re, im = Sv.amplitude sv 0 in
+  Alcotest.(check (float 1e-12)) "amp re" 1.0 re;
+  Alcotest.(check (float 1e-12)) "amp im" 0.0 im;
+  Alcotest.(check (float 1e-12)) "norm" 1.0 (Sv.norm sv)
+
+let test_h_uniform () =
+  let c = Circuit.create 3 in
+  for q = 0 to 2 do
+    Circuit.add c (Gate.H q)
+  done;
+  let probs = Sv.probabilities (Sv.run c) in
+  Array.iter
+    (fun p -> Alcotest.(check (float 1e-9)) "uniform" 0.125 p)
+    probs
+
+let test_bell_state () =
+  let c = Circuit.create 2 in
+  Circuit.add c (Gate.H 0);
+  Circuit.add c (Gate.Cx (0, 1));
+  let probs = Sv.probabilities (Sv.run c) in
+  Alcotest.(check (float 1e-9)) "p00" 0.5 probs.(0);
+  Alcotest.(check (float 1e-9)) "p11" 0.5 probs.(3);
+  Alcotest.(check (float 1e-9)) "p01" 0.0 probs.(1)
+
+let test_x_flip () =
+  let c = Circuit.create 2 in
+  Circuit.add c (Gate.X 1);
+  let probs = Sv.probabilities (Sv.run c) in
+  Alcotest.(check (float 1e-12)) "flipped to |10> (bit1)" 1.0 probs.(2)
+
+let test_swap_moves_amplitude () =
+  let c = Circuit.create 2 in
+  Circuit.add c (Gate.X 0);
+  Circuit.add c (Gate.Swap (0, 1));
+  let probs = Sv.probabilities (Sv.run c) in
+  Alcotest.(check (float 1e-12)) "swapped" 1.0 probs.(2)
+
+let test_cz_vs_cphase_pi () =
+  let mk g =
+    let c = Circuit.create 2 in
+    Circuit.add c (Gate.H 0);
+    Circuit.add c (Gate.H 1);
+    Circuit.add c g;
+    Sv.run c
+  in
+  let a = mk (Gate.Cz (0, 1)) in
+  let b = mk (Gate.Cphase (0, 1, Float.pi)) in
+  Alcotest.(check bool) "cz = cp(pi)" true (Sv.fidelity a b > 1.0 -. 1e-9)
+
+let test_rzz_diagonal_phase () =
+  (* rzz on |00> applies a global phase only: probabilities unchanged *)
+  let c = Circuit.create 2 in
+  Circuit.add c (Gate.Rzz (0, 1, 0.7));
+  let probs = Sv.probabilities (Sv.run c) in
+  Alcotest.(check (float 1e-12)) "still |00>" 1.0 probs.(0)
+
+let test_swap_interact_equals_pair () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 10 do
+    let theta = Prng.float rng 3.0 in
+    let c1 = Circuit.create 3 in
+    Circuit.add c1 (Gate.H 0);
+    Circuit.add c1 (Gate.H 2);
+    Circuit.add c1 (Gate.Swap_interact (0, 1, theta));
+    let c2 = Circuit.create 3 in
+    Circuit.add c2 (Gate.H 0);
+    Circuit.add c2 (Gate.H 2);
+    Circuit.add c2 (Gate.Cphase (0, 1, theta));
+    Circuit.add c2 (Gate.Swap (0, 1));
+    Alcotest.(check bool) "merged = pair" true
+      (Sv.fidelity (Sv.run c1) (Sv.run c2) > 1.0 -. 1e-9)
+  done
+
+let prop_random_circuit_norm =
+  QCheck.Test.make ~name:"random circuits preserve norm" ~count:30
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 3 in
+      let c = Circuit.create n in
+      for _ = 1 to 30 do
+        let a = Prng.int rng n in
+        let b = (a + 1 + Prng.int rng (n - 1)) mod n in
+        match Prng.int rng 7 with
+        | 0 -> Circuit.add c (Gate.H a)
+        | 1 -> Circuit.add c (Gate.Rx (a, Prng.float rng 3.0))
+        | 2 -> Circuit.add c (Gate.Rz (a, Prng.float rng 3.0))
+        | 3 -> Circuit.add c (Gate.Cx (a, b))
+        | 4 -> Circuit.add c (Gate.Cphase (a, b, Prng.float rng 3.0))
+        | 5 -> Circuit.add c (Gate.Rzz (a, b, Prng.float rng 3.0))
+        | _ -> Circuit.add c (Gate.Swap (a, b))
+      done;
+      abs_float (Sv.norm (Sv.run c) -. 1.0) < 1e-9)
+
+let test_extract_logical () =
+  (* 3 physical wires, 2 logical; swap logical 0 out to wire 2 *)
+  let c = Circuit.create 3 in
+  Circuit.add c (Gate.X 0);
+  Circuit.add c (Gate.Swap (0, 2));
+  let final = Mapping.identity ~logical:2 ~physical:3 in
+  Mapping.apply_swap final 0 2;
+  let sv = Sv.run c in
+  let logical = Sv.extract_logical sv ~final in
+  let probs = Sv.probabilities logical in
+  Alcotest.(check (float 1e-12)) "logical |01> (bit0 set)" 1.0 probs.(1)
+
+let test_depolarize () =
+  let p = [| 1.0; 0.0; 0.0; 0.0 |] in
+  let q = Channel.depolarize ~fidelity:0.5 p in
+  Alcotest.(check (float 1e-12)) "mixed peak" 0.625 q.(0);
+  Alcotest.(check (float 1e-12)) "mixed tail" 0.125 q.(1);
+  Alcotest.(check (float 1e-9)) "still a distribution" 1.0 (Array.fold_left ( +. ) 0.0 q)
+
+let test_tvd () =
+  let p = [| 1.0; 0.0 |] and q = [| 0.0; 1.0 |] in
+  Alcotest.(check (float 1e-12)) "max tvd" 1.0 (Channel.tvd p q);
+  Alcotest.(check (float 1e-12)) "self tvd" 0.0 (Channel.tvd p p);
+  Alcotest.(check (float 1e-12)) "symmetric" (Channel.tvd p q) (Channel.tvd q p)
+
+let test_sample_counts () =
+  let rng = Prng.create 3 in
+  let p = [| 0.25; 0.75 |] in
+  let emp = Channel.sample_counts rng ~shots:20000 p in
+  Alcotest.(check bool) "empirical close" true (Channel.tvd p emp < 0.02)
+
+let test_readout_flips () =
+  let arch = Qcr_arch.Arch.line 2 in
+  let noise = Qcr_arch.Noise.sampled ~seed:5 arch in
+  let final = Mapping.identity ~logical:2 ~physical:2 in
+  let p = [| 1.0; 0.0; 0.0; 0.0 |] in
+  let q = Channel.with_readout noise ~final p in
+  Alcotest.(check (float 1e-9)) "distribution preserved" 1.0 (Array.fold_left ( +. ) 0.0 q);
+  Alcotest.(check bool) "mass leaks to flips" true (q.(0) < 1.0 && q.(0) > 0.8)
+
+let test_maxcut_values () =
+  let g = Generate.cycle 4 in
+  Alcotest.(check int) "alternating cut" 4 (Maxcut.cut_value g 0b0101);
+  Alcotest.(check int) "uniform cut" 0 (Maxcut.cut_value g 0b0000);
+  Alcotest.(check int) "brute force" 4 (Maxcut.best_cut_brute_force g)
+
+let test_expected_cut () =
+  let g = Generate.cycle 4 in
+  let dist = Array.make 16 0.0 in
+  dist.(0b0101) <- 1.0;
+  Alcotest.(check (float 1e-12)) "delta dist" 4.0 (Maxcut.expected_cut g dist);
+  Alcotest.(check (float 1e-12)) "negated" (-4.0) (Maxcut.expectation_value g dist)
+
+let test_nelder_mead_quadratic () =
+  let f x = ((x.(0) -. 1.5) ** 2.0) +. ((x.(1) +. 0.5) ** 2.0) in
+  let point, value, trace = Optimizer.nelder_mead ~max_rounds:120 ~f ~init:[| 0.0; 0.0 |] () in
+  Alcotest.(check bool) "converged x" true (abs_float (point.(0) -. 1.5) < 0.01);
+  Alcotest.(check bool) "converged y" true (abs_float (point.(1) +. 0.5) < 0.01);
+  Alcotest.(check bool) "value small" true (value < 1e-3);
+  (* best-so-far trace is monotone non-increasing *)
+  let ok = ref true in
+  Array.iteri
+    (fun i v -> if i > 0 && v > trace.Optimizer.round_best.(i - 1) +. 1e-12 then ok := false)
+    trace.Optimizer.round_best;
+  Alcotest.(check bool) "monotone trace" true !ok
+
+let test_qaoa_beats_random () =
+  (* p=1 QAOA at decent angles must beat the uniform distribution *)
+  let g = Generate.cycle 6 in
+  let program =
+    Qcr_circuit.Program.make g (Qcr_circuit.Program.Qaoa_maxcut { gamma = 0.6; beta = 0.4 })
+  in
+  let sv = Sv.run (Qcr_circuit.Program.logical_circuit program) in
+  let qaoa_cut = Maxcut.expected_cut g (Sv.probabilities sv) in
+  (* uniform expectation = |E| / 2 = 3 *)
+  Alcotest.(check bool) "beats random guessing" true (qaoa_cut > 3.2)
+
+let test_qaoa_evaluate_fidelity_effect () =
+  let g = Generate.cycle 4 in
+  let arch = Qcr_arch.Arch.line 4 in
+  let noise = Qcr_arch.Noise.uniform arch ~cx_error:0.03 in
+  let program =
+    Qcr_circuit.Program.make g (Qcr_circuit.Program.Qaoa_maxcut { gamma = 0.6; beta = 0.4 })
+  in
+  let r = Qcr_core.Pipeline.compile ~noise arch program in
+  let eval_noisy =
+    Qaoa.evaluate ~noise ~graph:g ~compiled:r.Qcr_core.Pipeline.circuit
+      ~final:r.Qcr_core.Pipeline.final ()
+  in
+  let eval_ideal =
+    Qaoa.evaluate ~graph:g ~compiled:r.Qcr_core.Pipeline.circuit
+      ~final:r.Qcr_core.Pipeline.final ()
+  in
+  Alcotest.(check bool) "noise hurts energy" true (eval_noisy.Qaoa.energy > eval_ideal.Qaoa.energy);
+  Alcotest.(check bool) "fidelity < 1" true (eval_noisy.Qaoa.fidelity < 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "H uniform" `Quick test_h_uniform;
+    Alcotest.test_case "bell state" `Quick test_bell_state;
+    Alcotest.test_case "x flip" `Quick test_x_flip;
+    Alcotest.test_case "swap amplitude" `Quick test_swap_moves_amplitude;
+    Alcotest.test_case "cz = cp(pi)" `Quick test_cz_vs_cphase_pi;
+    Alcotest.test_case "rzz diagonal" `Quick test_rzz_diagonal_phase;
+    Alcotest.test_case "swap_interact equiv" `Quick test_swap_interact_equals_pair;
+    QCheck_alcotest.to_alcotest prop_random_circuit_norm;
+    Alcotest.test_case "extract logical" `Quick test_extract_logical;
+    Alcotest.test_case "depolarize" `Quick test_depolarize;
+    Alcotest.test_case "tvd" `Quick test_tvd;
+    Alcotest.test_case "sample counts" `Quick test_sample_counts;
+    Alcotest.test_case "readout flips" `Quick test_readout_flips;
+    Alcotest.test_case "maxcut values" `Quick test_maxcut_values;
+    Alcotest.test_case "expected cut" `Quick test_expected_cut;
+    Alcotest.test_case "nelder-mead quadratic" `Quick test_nelder_mead_quadratic;
+    Alcotest.test_case "qaoa beats random" `Quick test_qaoa_beats_random;
+    Alcotest.test_case "qaoa fidelity effect" `Quick test_qaoa_evaluate_fidelity_effect;
+  ]

@@ -1,0 +1,157 @@
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Mapping = Qcr_circuit.Mapping
+module Heuristic = Qcr_solver.Heuristic
+module Astar = Qcr_solver.Astar
+module Schedule = Qcr_swapnet.Schedule
+module Bitset = Qcr_util.Bitset
+
+let solve ?node_budget ?weight problem coupling =
+  let init =
+    Mapping.identity ~logical:(Graph.vertex_count problem)
+      ~physical:(Graph.vertex_count coupling)
+  in
+  Astar.solve ?node_budget ?weight ~problem ~coupling ~init ()
+
+let depth_of problem coupling =
+  match solve problem coupling with
+  | Some o -> o.Astar.depth
+  | None -> Alcotest.fail "solver found no solution"
+
+let test_pair_cost () =
+  (* adjacent qubits: the busier side dominates *)
+  Alcotest.(check int) "adjacent" 3 (Heuristic.pair_cost ~deg_i:3 ~deg_j:2 ~dist:1);
+  (* distance 3, degrees 3/2: splitting 2 moves optimally gives 4 (the
+     paper's worked example, Fig 15) *)
+  Alcotest.(check int) "paper example" 4 (Heuristic.pair_cost ~deg_i:3 ~deg_j:2 ~dist:3);
+  Alcotest.(check int) "symmetric-ish" 4 (Heuristic.pair_cost ~deg_i:2 ~deg_j:3 ~dist:3);
+  Alcotest.(check int) "single gate far" 2 (Heuristic.pair_cost ~deg_i:1 ~deg_j:1 ~dist:3)
+
+let test_h_lower_bound_trivial () =
+  let degree = [| 1; 2; 1 |] in
+  let phys_of_log = [| 0; 1; 2 |] in
+  let dist p q = abs (p - q) in
+  let h = Heuristic.h ~remaining:[ (0, 1); (1, 2) ] ~degree ~dist ~phys_of_log in
+  Alcotest.(check int) "h = max pair cost" 2 h
+
+let test_single_gate () =
+  let problem = Graph.of_edges 2 [ (0, 1) ] in
+  Alcotest.(check int) "one adjacent gate" 1 (depth_of problem (Generate.path 2))
+
+let test_gate_needing_swap () =
+  (* qubits 0 and 2 on a 3-line: swap then gate = depth 2 *)
+  let problem = Graph.of_edges 3 [ (0, 2) ] in
+  Alcotest.(check int) "swap + gate" 2 (depth_of problem (Generate.path 3))
+
+(* The paper's linear-pattern depths: a clique on an n-line compiles to
+   exactly 2n - 2 cycles (n CPHASE layers + n-2 SWAP layers, Fig 6). *)
+let test_clique_line_depths () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "line-%d clique depth" n)
+        ((2 * n) - 2)
+        (depth_of (Graph.complete n) (Generate.path n)))
+    [ 3; 4; 5 ]
+
+let test_biclique_2xn () =
+  (* bipartite all-to-all across a 2x3 grid: depth 2n - 1 with n = 3
+     (n CPHASE layers interleaved with n-1 SWAP layers, Fig 8/9) *)
+  let coupling =
+    Graph.of_edges 6 [ (0, 1); (1, 2); (3, 4); (4, 5); (0, 3); (1, 4); (2, 5) ]
+  in
+  let biclique = Graph.create 6 in
+  List.iter
+    (fun (u, v) -> Graph.add_edge biclique u v)
+    [ (0, 3); (0, 4); (0, 5); (1, 3); (1, 4); (1, 5); (2, 3); (2, 4); (2, 5) ];
+  match solve biclique coupling with
+  | None -> Alcotest.fail "no solution"
+  | Some o ->
+      Alcotest.(check int) "2xUnit depth" 5 o.Astar.depth;
+      Alcotest.(check bool) "optimal" true o.Astar.optimal
+
+let test_solution_schedule_valid () =
+  let problem = Graph.complete 4 in
+  let coupling = Generate.path 4 in
+  match solve problem coupling with
+  | None -> Alcotest.fail "no solution"
+  | Some o ->
+      let init = Mapping.identity ~logical:4 ~physical:4 in
+      let sched = Astar.schedule_of_outcome o ~init in
+      (match Schedule.validate coupling sched with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      (* every problem edge touched *)
+      let met, _ = Schedule.coverage ~n:4 sched in
+      Graph.iter_edges
+        (fun u v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "edge %d-%d scheduled" u v)
+            true
+            (Bitset.mem met ((min u v * 4) + max u v)))
+        problem
+
+let test_solver_depth_leq_pattern () =
+  (* the solver is depth-optimal, so it can never exceed the structured
+     pattern's cycle count on the same instance *)
+  let n = 5 in
+  let arch = Qcr_arch.Arch.line n in
+  let pattern_cycles =
+    Schedule.cycle_count (Qcr_swapnet.Linear.pattern (Qcr_arch.Arch.long_path arch))
+  in
+  let d = depth_of (Graph.complete n) (Generate.path n) in
+  Alcotest.(check bool) "solver <= pattern" true (d <= pattern_cycles)
+
+let test_budget_anytime () =
+  (* tiny budget with weight > 1 still returns some schedule *)
+  let problem = Graph.complete 5 in
+  match solve ~node_budget:100000 ~weight:1.5 problem (Generate.path 5) with
+  | None -> Alcotest.fail "weighted search found nothing"
+  | Some o ->
+      Alcotest.(check bool) "not claimed optimal" false o.Astar.optimal;
+      Alcotest.(check bool) "depth sane" true (o.Astar.depth >= 8)
+
+(* Admissibility cross-check: weight 0 turns A* into uniform-cost search
+   (h ignored), which is exact by construction; the heuristic search must
+   find the same optimal depth on random tiny instances. *)
+let test_heuristic_vs_uniform_cost () =
+  let rng = Qcr_util.Prng.create 66 in
+  for _ = 1 to 8 do
+    let n = 3 + Qcr_util.Prng.int rng 2 in
+    let problem = Generate.erdos_renyi rng ~n ~density:0.7 in
+    if Graph.edge_count problem > 0 then begin
+      let coupling = Generate.path n in
+      let d_heuristic =
+        match solve problem coupling with Some o -> o.Astar.depth | None -> -1
+      in
+      let d_exact =
+        match solve ~weight:0.0 problem coupling with Some o -> o.Astar.depth | None -> -2
+      in
+      Alcotest.(check int) "heuristic = uniform cost" d_exact d_heuristic
+    end
+  done
+
+let test_nonclique_instance () =
+  let problem = Graph.of_edges 4 [ (0, 1); (2, 3); (0, 3) ] in
+  let coupling = Generate.path 4 in
+  match solve problem coupling with
+  | None -> Alcotest.fail "no solution"
+  | Some o ->
+      (* two disjoint gates run in parallel; third needs distance work *)
+      Alcotest.(check bool) "small depth" true (o.Astar.depth <= 3);
+      Alcotest.(check bool) "optimal" true o.Astar.optimal
+
+let suite =
+  [
+    Alcotest.test_case "pair cost" `Quick test_pair_cost;
+    Alcotest.test_case "h lower bound" `Quick test_h_lower_bound_trivial;
+    Alcotest.test_case "single gate" `Quick test_single_gate;
+    Alcotest.test_case "gate needing swap" `Quick test_gate_needing_swap;
+    Alcotest.test_case "clique line depths" `Slow test_clique_line_depths;
+    Alcotest.test_case "2xUnit biclique" `Quick test_biclique_2xn;
+    Alcotest.test_case "solution schedule valid" `Quick test_solution_schedule_valid;
+    Alcotest.test_case "solver <= pattern" `Quick test_solver_depth_leq_pattern;
+    Alcotest.test_case "budget anytime" `Quick test_budget_anytime;
+    Alcotest.test_case "non-clique instance" `Quick test_nonclique_instance;
+    Alcotest.test_case "heuristic admissible (vs UCS)" `Slow test_heuristic_vs_uniform_cost;
+  ]

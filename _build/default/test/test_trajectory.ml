@@ -1,0 +1,108 @@
+module Arch = Qcr_arch.Arch
+module Noise = Qcr_arch.Noise
+module Generate = Qcr_graph.Generate
+module Program = Qcr_circuit.Program
+module Mapping = Qcr_circuit.Mapping
+module Pipeline = Qcr_core.Pipeline
+module Sv = Qcr_sim.Statevector
+module Channel = Qcr_sim.Channel
+module Trajectory = Qcr_sim.Trajectory
+module Qaoa = Qcr_sim.Qaoa
+
+let setup ~n ~density =
+  let graph = Generate.erdos_renyi (Qcr_util.Prng.create (70 + n)) ~n ~density in
+  let arch = Arch.smallest_for Arch.Heavy_hex n in
+  let program = Program.make graph (Program.Qaoa_maxcut { gamma = 0.5; beta = 0.3 }) in
+  let r = Pipeline.compile arch program in
+  (graph, arch, program, r)
+
+let test_zero_noise_matches_ideal () =
+  let graph, arch, program, r = setup ~n:6 ~density:0.5 in
+  ignore graph;
+  let noise = Noise.ideal arch in
+  let d =
+    Trajectory.distribution ~trajectories:3 ~noise ~compiled:r.Pipeline.circuit
+      ~final:r.Pipeline.final ()
+  in
+  let ideal = Sv.probabilities (Sv.run (Program.logical_circuit program)) in
+  Alcotest.(check bool) "zero noise = ideal" true (Channel.tvd d ideal < 1e-9)
+
+let test_distribution_normalized () =
+  let _, arch, _, r = setup ~n:6 ~density:0.4 in
+  let noise = Noise.uniform arch ~cx_error:0.02 in
+  let d =
+    Trajectory.distribution ~trajectories:50 ~noise ~compiled:r.Pipeline.circuit
+      ~final:r.Pipeline.final ()
+  in
+  let total = Array.fold_left ( +. ) 0.0 d in
+  Alcotest.(check bool) "normalized" true (abs_float (total -. 1.0) < 1e-9)
+
+let test_noise_monotone () =
+  let graph, arch, _, r = setup ~n:6 ~density:0.4 in
+  let tvd e =
+    Trajectory.tvd_vs_ideal ~trajectories:120 ~noise:(Noise.uniform arch ~cx_error:e) ~graph
+      ~compiled:r.Pipeline.circuit ~final:r.Pipeline.final ()
+  in
+  Alcotest.(check bool) "more error, more tvd" true (tvd 0.002 < tvd 0.05)
+
+let test_validates_channel_approximation () =
+  (* the cheap depolarizing channel and the trajectory model must agree on
+     the ORDER of two circuits with clearly different fidelities *)
+  let graph, arch, _, r = setup ~n:8 ~density:0.4 in
+  let noise = Noise.uniform arch ~cx_error:0.02 in
+  let ideal_dist =
+    Sv.probabilities
+      (Sv.run (Program.logical_circuit (Program.make graph (Program.Qaoa_maxcut { gamma = 0.5; beta = 0.3 }))))
+  in
+  (* a deliberately worse circuit: the same compilation with a wasteful
+     detour (extra swap ping-pong) *)
+  let worse = Qcr_circuit.Circuit.create (Qcr_circuit.Circuit.qubit_count r.Pipeline.circuit) in
+  List.iter (Qcr_circuit.Circuit.add worse) (Qcr_circuit.Circuit.gates r.Pipeline.circuit);
+  (* ping-pong on a link carrying two real logical qubits, so the extra
+     error opportunities hit the logical state *)
+  let p = Mapping.phys_of_log r.Pipeline.final 0 in
+  let q =
+    List.find
+      (fun w -> not (Mapping.is_dummy r.Pipeline.final (Mapping.log_of_phys r.Pipeline.final w)))
+      (Qcr_graph.Graph.neighbors (Arch.graph arch) p)
+  in
+  for _ = 1 to 6 do
+    Qcr_circuit.Circuit.add worse (Qcr_circuit.Gate.Swap (p, q));
+    Qcr_circuit.Circuit.add worse (Qcr_circuit.Gate.Swap (p, q))
+  done;
+  let t_good =
+    Trajectory.tvd_vs_ideal ~trajectories:150 ~noise ~graph ~compiled:r.Pipeline.circuit
+      ~final:r.Pipeline.final ()
+  in
+  let t_bad =
+    Trajectory.tvd_vs_ideal ~trajectories:150 ~noise ~graph ~compiled:worse
+      ~final:r.Pipeline.final ()
+  in
+  Alcotest.(check bool) "trajectory orders circuits" true (t_good < t_bad);
+  (* channel approximation gives the same ordering *)
+  let channel_tvd compiled =
+    let e = Qaoa.evaluate ~noise ~graph ~compiled ~final:r.Pipeline.final () in
+    Channel.tvd e.Qaoa.distribution ideal_dist
+  in
+  Alcotest.(check bool) "channel orders circuits the same way" true
+    (channel_tvd r.Pipeline.circuit < channel_tvd worse)
+
+let test_logical_distribution_traces_dummies () =
+  (* excite a dummy wire; the logical marginal must still normalize *)
+  let c = Qcr_circuit.Circuit.create 3 in
+  Qcr_circuit.Circuit.add c (Qcr_circuit.Gate.H 0);
+  Qcr_circuit.Circuit.add c (Qcr_circuit.Gate.X 2);
+  let final = Mapping.identity ~logical:2 ~physical:3 in
+  let d = Trajectory.logical_distribution (Sv.run c) ~final in
+  Alcotest.(check int) "logical size" 4 (Array.length d);
+  Alcotest.(check (float 1e-9)) "normalized" 1.0 (Array.fold_left ( +. ) 0.0 d);
+  Alcotest.(check (float 1e-9)) "H marginal" 0.5 (d.(0) +. d.(2))
+
+let suite =
+  [
+    Alcotest.test_case "zero noise = ideal" `Quick test_zero_noise_matches_ideal;
+    Alcotest.test_case "normalized" `Quick test_distribution_normalized;
+    Alcotest.test_case "noise monotone" `Quick test_noise_monotone;
+    Alcotest.test_case "validates channel approx" `Slow test_validates_channel_approximation;
+    Alcotest.test_case "traces dummies" `Quick test_logical_distribution_traces_dummies;
+  ]

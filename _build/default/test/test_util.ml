@@ -1,0 +1,154 @@
+module Prng = Qcr_util.Prng
+module Pqueue = Qcr_util.Pqueue
+module Bitset = Qcr_util.Bitset
+module Union_find = Qcr_util.Union_find
+module Stats = Qcr_util.Stats
+module Tablefmt = Qcr_util.Tablefmt
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 10 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 10);
+    let f = Prng.float rng 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_prng_split_independent () =
+  let parent = Prng.create 1 in
+  let child = Prng.split parent in
+  let a = Prng.bits64 child and b = Prng.bits64 parent in
+  Alcotest.(check bool) "distinct streams" true (a <> b)
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create 3 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_prng_gaussian_moments () =
+  let rng = Prng.create 5 in
+  let samples = Array.init 20000 (fun _ -> Prng.gaussian rng ~mu:2.0 ~sigma:0.5) in
+  let mean = Stats.mean samples in
+  let sd = Stats.stddev samples in
+  Alcotest.(check bool) "mean near 2" true (abs_float (mean -. 2.0) < 0.02);
+  Alcotest.(check bool) "sd near 0.5" true (abs_float (sd -. 0.5) < 0.02)
+
+let test_pqueue_basic () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Pqueue.push q ~prio:3 "c";
+  Pqueue.push q ~prio:1 "a";
+  Pqueue.push q ~prio:2 "b";
+  Alcotest.(check (option (pair int string))) "peek" (Some (1, "a")) (Pqueue.peek q);
+  Alcotest.(check (pair int string)) "pop1" (1, "a") (Pqueue.pop_exn q);
+  Alcotest.(check (pair int string)) "pop2" (2, "b") (Pqueue.pop_exn q);
+  Alcotest.(check (pair int string)) "pop3" (3, "c") (Pqueue.pop_exn q);
+  Alcotest.(check (option (pair int string))) "drained" None (Pqueue.pop q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~prio:1 "first";
+  Pqueue.push q ~prio:1 "second";
+  Pqueue.push q ~prio:1 "third";
+  Alcotest.(check string) "tie order" "first" (snd (Pqueue.pop_exn q));
+  Alcotest.(check string) "tie order" "second" (snd (Pqueue.pop_exn q));
+  Alcotest.(check string) "tie order" "third" (snd (Pqueue.pop_exn q))
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops in priority order" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun prios ->
+      let q = Pqueue.create () in
+      List.iter (fun p -> Pqueue.push q ~prio:p p) prios;
+      let rec drain acc =
+        match Pqueue.pop q with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare prios)
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty b);
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 99;
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal b);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem b 63);
+  Alcotest.(check bool) "not mem 64" false (Bitset.mem b 64);
+  Bitset.remove b 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem b 63);
+  Alcotest.(check (list int)) "to_list" [ 0; 99 ] (Bitset.to_list b)
+
+let test_bitset_copy_independent () =
+  let a = Bitset.create 10 in
+  Bitset.add a 5;
+  let b = Bitset.copy a in
+  Bitset.remove b 5;
+  Alcotest.(check bool) "copy independent" true (Bitset.mem a 5 && not (Bitset.mem b 5))
+
+let prop_bitset_add_mem =
+  QCheck.Test.make ~name:"bitset add/mem agree with a set" ~count:200
+    QCheck.(list (int_bound 199))
+    (fun xs ->
+      let b = Bitset.create 200 in
+      List.iter (Bitset.add b) xs;
+      let reference = List.sort_uniq compare xs in
+      Bitset.to_list b = reference && Bitset.cardinal b = List.length reference)
+
+let test_union_find () =
+  let uf = Union_find.create 6 in
+  Alcotest.(check int) "initial components" 6 (Union_find.count uf);
+  Union_find.union uf 0 1;
+  Union_find.union uf 2 3;
+  Union_find.union uf 1 2;
+  Alcotest.(check bool) "same 0 3" true (Union_find.same uf 0 3);
+  Alcotest.(check bool) "not same 0 4" false (Union_find.same uf 0 4);
+  Alcotest.(check int) "components" 3 (Union_find.count uf)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "median odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |]);
+  Alcotest.(check (float 1e-9)) "median even" 2.5 (Stats.median [| 1.0; 2.0; 3.0; 4.0 |]);
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [| 1.0; 4.0 |]);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.minimum [| 3.0; 1.0 |]);
+  Alcotest.(check (float 1e-9)) "max" 3.0 (Stats.maximum [| 3.0; 1.0 |]);
+  let norm = Stats.normalize ~baseline:[| 2.0; 4.0 |] [| 1.0; 2.0 |] in
+  Alcotest.(check (array (float 1e-9))) "normalize" [| 0.5; 0.5 |] norm
+
+let test_tablefmt () =
+  let t = Tablefmt.create [ "name"; "value" ] in
+  Tablefmt.add_row t [ "alpha"; "1" ];
+  Tablefmt.add_row t [ "b" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "has header" true (String.length s > 0);
+  Alcotest.(check bool) "contains row" true
+    (String.length s >= 5 && String.index_opt s 'a' <> None);
+  Alcotest.(check string) "int cell" "42" (Tablefmt.cell_int 42);
+  Alcotest.(check string) "ratio cell" "0.50" (Tablefmt.cell_ratio 0.5)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng shuffle permutes" `Quick test_prng_shuffle_permutes;
+    Alcotest.test_case "prng gaussian moments" `Quick test_prng_gaussian_moments;
+    Alcotest.test_case "pqueue basic" `Quick test_pqueue_basic;
+    Alcotest.test_case "pqueue fifo ties" `Quick test_pqueue_fifo_ties;
+    QCheck_alcotest.to_alcotest prop_pqueue_sorted;
+    Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
+    Alcotest.test_case "bitset copy" `Quick test_bitset_copy_independent;
+    QCheck_alcotest.to_alcotest prop_bitset_add_mem;
+    Alcotest.test_case "union find" `Quick test_union_find;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "tablefmt" `Quick test_tablefmt;
+  ]

@@ -1,0 +1,75 @@
+module Graph = Qcr_graph.Graph
+module Hamiltonian = Qcr_workloads.Hamiltonian
+module Suite = Qcr_workloads.Suite
+module Program = Qcr_circuit.Program
+
+let test_nnn_1d_ising () =
+  let g = Hamiltonian.nnn_1d_ising 8 in
+  (* (n-1) nearest + (n-2) next-nearest *)
+  Alcotest.(check int) "edges" (7 + 6) (Graph.edge_count g);
+  Alcotest.(check bool) "has nn" true (Graph.has_edge g 0 1);
+  Alcotest.(check bool) "has nnn" true (Graph.has_edge g 0 2);
+  Alcotest.(check bool) "no long range" false (Graph.has_edge g 0 3)
+
+let test_nnn_2d_xy () =
+  let g = Hamiltonian.nnn_2d_xy ~rows:3 ~cols:3 in
+  (* horizontals 3*2=6, verticals 6, diagonals 2*2*2=8 *)
+  Alcotest.(check int) "edges" 20 (Graph.edge_count g);
+  Alcotest.(check int) "vertices" 9 (Graph.vertex_count g);
+  Alcotest.(check bool) "diag" true (Graph.has_edge g 0 4)
+
+let test_nnn_3d_heisenberg () =
+  let g = Hamiltonian.nnn_3d_heisenberg ~dim:3 in
+  Alcotest.(check int) "vertices" 27 (Graph.vertex_count g);
+  (* axis edges: 3 * 3*3*2 = 54; face diagonals: 3 * 2*2*3 = 36 *)
+  Alcotest.(check int) "edges" (54 + 36) (Graph.edge_count g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_trotter_program () =
+  let p = Hamiltonian.trotter_step ~theta:0.3 (Hamiltonian.nnn_1d_ising 6) in
+  match Program.interaction p with
+  | Program.Two_local { theta } -> Alcotest.(check (float 1e-12)) "theta" 0.3 theta
+  | _ -> Alcotest.fail "wrong interaction"
+
+let test_suite_determinism () =
+  let a = Suite.random_instances ~cases:3 ~n:20 ~density:0.3 () in
+  let b = Suite.random_instances ~cases:3 ~n:20 ~density:0.3 () in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check int) "same seed" x.Suite.seed y.Suite.seed;
+      Alcotest.(check (list (pair int int)))
+        "same graph" (Graph.edges x.Suite.graph) (Graph.edges y.Suite.graph))
+    a b
+
+let test_suite_labels_and_count () =
+  let xs = Suite.random_instances ~cases:10 ~n:64 ~density:0.5 () in
+  Alcotest.(check int) "ten cases" 10 (List.length xs);
+  List.iter
+    (fun x -> Alcotest.(check string) "label" "rand-64-0.5" x.Suite.label)
+    xs
+
+let test_regular_by_degree () =
+  let xs = Suite.regular_by_degree ~cases:2 ~n:32 ~degree:4 () in
+  List.iter
+    (fun x ->
+      for v = 0 to 31 do
+        Alcotest.(check int) "degree 4" 4 (Graph.degree x.Suite.graph v)
+      done)
+    xs
+
+let test_program_of () =
+  let x = List.hd (Suite.random_instances ~cases:1 ~n:10 ~density:0.4 ()) in
+  let p = Suite.program_of x in
+  Alcotest.(check int) "qubits" 10 (Program.qubit_count p)
+
+let suite =
+  [
+    Alcotest.test_case "nnn 1d ising" `Quick test_nnn_1d_ising;
+    Alcotest.test_case "nnn 2d xy" `Quick test_nnn_2d_xy;
+    Alcotest.test_case "nnn 3d heisenberg" `Quick test_nnn_3d_heisenberg;
+    Alcotest.test_case "trotter program" `Quick test_trotter_program;
+    Alcotest.test_case "suite determinism" `Quick test_suite_determinism;
+    Alcotest.test_case "suite labels" `Quick test_suite_labels_and_count;
+    Alcotest.test_case "regular by degree" `Quick test_regular_by_degree;
+    Alcotest.test_case "program_of" `Quick test_program_of;
+  ]
