@@ -1,0 +1,244 @@
+(* Hot-path regression benchmark: times the two inner loops the evaluation
+   leans on — the QAOA cost-layer simulation (per-edge phase_on_mask sweeps
+   vs the fused diagonal kernel) and the depth-optimal A* solver
+   (string-keyed vs Zobrist-keyed closed set) — on fixed seeds, and emits
+   machine-readable BENCH_hotpaths.json so future changes have a perf
+   trajectory to compare against.  The committed baseline lives in
+   bench/baselines/BENCH_hotpaths.json. *)
+
+module Arch = Qcr_arch.Arch
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Mapping = Qcr_circuit.Mapping
+module Program = Qcr_circuit.Program
+module Statevector = Qcr_sim.Statevector
+module Maxcut = Qcr_sim.Maxcut
+module Qaoa = Qcr_sim.Qaoa
+module Astar = Qcr_solver.Astar
+module Prng = Qcr_util.Prng
+
+(* ---------- minimal JSON emitter (no external dependency) ---------- *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Int of int
+  | Bool of bool
+
+let rec emit b = function
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "%S:" k);
+          emit b v)
+        fields;
+      Buffer.add_char b '}'
+  | Arr items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b v)
+        items;
+      Buffer.add_char b ']'
+  | Str s -> Buffer.add_string b (Printf.sprintf "%S" s)
+  | Num f -> Buffer.add_string b (Printf.sprintf "%.6g" f)
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+
+let write_json path json =
+  let b = Buffer.create 4096 in
+  emit b json;
+  Buffer.add_char b '\n';
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+(* minimum over [reps] runs: the work is deterministic, so min filters
+   scheduler/GC noise *)
+let best_ms reps f =
+  let best = ref infinity and result = ref None in
+  for _ = 1 to reps do
+    Gc.full_major ();
+    let r, ms = time_ms f in
+    if ms < !best then best := ms;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+(* ---------- QAOA cost layer: per-edge sweeps vs fused kernel ---------- *)
+
+let qaoa_angles iters i =
+  let t = float_of_int i /. float_of_int (max 1 iters) in
+  (0.1 +. (0.8 *. t), 0.2 +. (0.5 *. t))
+
+(* the seed implementation of the evaluation hot loop: rebuild the logical
+   circuit and run one O(2^n) sweep per H/Cphase/Rz/Rx gate, then score
+   the cut edge by edge *)
+let per_edge_path graph iters =
+  let acc = ref 0.0 in
+  for i = 0 to iters - 1 do
+    let gamma, beta = qaoa_angles iters i in
+    let program = Program.make graph (Program.Qaoa_maxcut { gamma; beta }) in
+    let sv = Statevector.run (Program.logical_circuit program) in
+    acc := !acc +. Maxcut.expectation_value graph (Statevector.probabilities sv)
+  done;
+  !acc
+
+(* the fused path: cut table built once per graph (counted inside the
+   timed region, amortized over the iterations exactly as in the driver),
+   then one indexed sweep per gamma plus the mixer *)
+let fused_path graph iters =
+  let layer = Qaoa.cost_layer graph in
+  let acc = ref 0.0 in
+  for i = 0 to iters - 1 do
+    let gamma, beta = qaoa_angles iters i in
+    let sv = Qaoa.fused_state layer ~gamma ~beta in
+    acc := !acc +. Maxcut.expectation_value_of_table layer.Qaoa.cut (Statevector.probabilities sv)
+  done;
+  !acc
+
+let qaoa_case ~reps ~n ~graph_seed ~iters =
+  (* density chosen so |E| ~ 2n (n=16 -> ~32 edges) *)
+  let density = min 1.0 (4.0 /. float_of_int (n - 1)) in
+  let graph = Generate.erdos_renyi (Prng.create graph_seed) ~n ~density in
+  let edges = Graph.edge_count graph in
+  let e_ref, per_edge_ms = best_ms reps (fun () -> per_edge_path graph iters) in
+  let e_fused, fused_ms = best_ms reps (fun () -> fused_path graph iters) in
+  (* correctness evidence: both paths must produce the same state *)
+  let gamma, beta = qaoa_angles iters (iters - 1) in
+  let program = Program.make graph (Program.Qaoa_maxcut { gamma; beta }) in
+  let sv_ref = Statevector.run (Program.logical_circuit program) in
+  let sv_fused = Qaoa.fused_state (Qaoa.cost_layer graph) ~gamma ~beta in
+  let max_amp_diff = ref 0.0 in
+  for b = 0 to (1 lsl n) - 1 do
+    let rr, ri = Statevector.amplitude sv_ref b and fr, fi = Statevector.amplitude sv_fused b in
+    max_amp_diff := max !max_amp_diff (max (abs_float (rr -. fr)) (abs_float (ri -. fi)))
+  done;
+  let speedup = per_edge_ms /. fused_ms in
+  Printf.printf "  qaoa n=%-2d |E|=%-3d iters=%-3d  per-edge %8.2f ms  fused %7.2f ms  %5.1fx  max|Δamp| %.1e\n%!"
+    n edges iters per_edge_ms fused_ms speedup !max_amp_diff;
+  Obj
+    [
+      ("n", Int n);
+      ("edges", Int edges);
+      ("graph_seed", Int graph_seed);
+      ("iterations", Int iters);
+      ("per_edge_ms", Num per_edge_ms);
+      ("fused_ms", Num fused_ms);
+      ("speedup", Num speedup);
+      ("energy_abs_diff", Num (abs_float (e_ref -. e_fused)));
+      ("max_amplitude_diff", Num !max_amp_diff);
+      ("final_energy", Num (e_fused /. float_of_int iters));
+    ]
+
+(* ---------- A* solver: string-keyed vs Zobrist-keyed closed set ---------- *)
+
+let astar_case ~reps ~name ~problem ~coupling =
+  let init =
+    Mapping.identity
+      ~logical:(Graph.vertex_count problem)
+      ~physical:(Graph.vertex_count coupling)
+  in
+  let solve keying () =
+    match Astar.solve ~keying ~problem ~coupling ~init () with
+    | Some o -> o
+    | None -> failwith (name ^ ": solver found no solution")
+  in
+  let o_s, string_ms = best_ms reps (solve `String) in
+  let o_z, zobrist_ms = best_ms reps (solve `Zobrist) in
+  let agree = o_s.Astar.depth = o_z.Astar.depth && o_s.Astar.swap_total = o_z.Astar.swap_total in
+  Printf.printf
+    "  astar %-18s string %8.2f ms  zobrist %8.2f ms  %5.2fx  expanded %d/%d  collisions %d  %s\n%!"
+    name string_ms zobrist_ms (string_ms /. zobrist_ms) o_s.Astar.expanded o_z.Astar.expanded
+    o_z.Astar.collisions
+    (if agree then "agree" else "MISMATCH");
+  Obj
+    [
+      ("case", Str name);
+      ("n_log", Int (Graph.vertex_count problem));
+      ("n_phys", Int (Graph.vertex_count coupling));
+      ("string_ms", Num string_ms);
+      ("zobrist_ms", Num zobrist_ms);
+      ("speedup", Num (string_ms /. zobrist_ms));
+      ("expanded_string", Int o_s.Astar.expanded);
+      ("expanded_zobrist", Int o_z.Astar.expanded);
+      ("collisions", Int o_z.Astar.collisions);
+      ("depth", Int o_z.Astar.depth);
+      ("swap_total", Int o_z.Astar.swap_total);
+      ("agree", Bool agree);
+    ]
+
+let biclique_2x3 () =
+  let coupling = Graph.of_edges 6 [ (0, 1); (1, 2); (3, 4); (4, 5); (0, 3); (1, 4); (2, 5) ] in
+  let problem = Graph.create 6 in
+  List.iter
+    (fun (u, v) -> Graph.add_edge problem u v)
+    [ (0, 3); (0, 4); (0, 5); (1, 3); (1, 4); (1, 5); (2, 3); (2, 4); (2, 5) ];
+  (problem, coupling)
+
+let heavyhex_random ~n ~seed ~density =
+  let coupling = Arch.graph (Arch.smallest_for Arch.Heavy_hex n) in
+  let problem = Generate.erdos_renyi (Prng.create seed) ~n ~density in
+  (problem, coupling)
+
+let output_file = "BENCH_hotpaths.json"
+
+let run scale =
+  Common.heading "Hot paths: fused QAOA kernel and Zobrist A* (BENCH_hotpaths.json)";
+  let reps, qaoa_sizes, astar_line_sizes, with_large =
+    match scale with
+    | Common.Quick -> (1, [ (10, 10) ], [ 4; 5 ], false)
+    | Common.Default -> (3, [ (12, 30); (14, 30); (16, 40) ], [ 4; 5; 6 ], true)
+    | Common.Full -> (5, [ (12, 60); (14, 60); (16, 60); (18, 30) ], [ 4; 5; 6 ], true)
+  in
+  let qaoa_rows =
+    (* seed 15 draws |E| = 32 exactly at n = 16 (the acceptance point) *)
+    List.map (fun (n, iters) -> qaoa_case ~reps ~n ~graph_seed:15 ~iters) qaoa_sizes
+  in
+  let astar_rows =
+    (* let-bound stages so rows print in the same order they land in the
+       JSON ([@]'s operands evaluate right to left) *)
+    let line_rows =
+      List.map
+        (fun n ->
+          astar_case ~reps
+            ~name:(Printf.sprintf "line%d-clique" n)
+            ~problem:(Graph.complete n) ~coupling:(Generate.path n))
+        astar_line_sizes
+    in
+    let grid_row =
+      let problem, coupling = biclique_2x3 () in
+      astar_case ~reps ~name:"grid2x3-biclique" ~problem ~coupling
+    in
+    let large_rows =
+      if with_large then begin
+        let problem, coupling = heavyhex_random ~n:6 ~seed:23 ~density:0.6 in
+        [ astar_case ~reps ~name:"heavyhex-n6-random" ~problem ~coupling ]
+      end
+      else []
+    in
+    line_rows @ (grid_row :: large_rows)
+  in
+  let scale_name =
+    match scale with Common.Quick -> "quick" | Common.Default -> "default" | Common.Full -> "full"
+  in
+  write_json output_file
+    (Obj
+       [
+         ("schema", Str "qcr-bench-hotpaths/v1");
+         ("generated_by", Str "dune exec bench/main.exe -- hotpaths");
+         ("scale", Str scale_name);
+         ("qaoa_cost_layer", Arr qaoa_rows);
+         ("astar", Arr astar_rows);
+       ]);
+  Printf.printf "  wrote %s\n%!" output_file

@@ -22,6 +22,7 @@ let experiments =
     ("tvd", Experiments.tvd);
     ("fig26", Experiments.fig26);
     ("ablation", Experiments.ablation);
+    ("hotpaths", Hotpaths.run);
   ]
 
 let scale_term =

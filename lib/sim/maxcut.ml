@@ -16,6 +16,47 @@ let best_cut_brute_force g =
   done;
   !best
 
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+(* Cut value of every bitstring in one incremental sweep: with q the
+   lowest set bit of b and rest = b without it, flipping q from 0 to 1
+   cuts the edges to unset neighbors and un-cuts those to set ones, so
+   cut(b) = cut(rest) + deg(q) - 2*|N(q) ∩ rest|.  O(2^n) small-popcount
+   steps instead of O(2^n * |E|) edge scans; the table is the fused
+   diagonal kernel's index and is meant to be cached per problem graph. *)
+let cut_table g =
+  let n = Graph.vertex_count g in
+  if n > 24 then invalid_arg "Maxcut.cut_table: too many vertices";
+  let adj = Array.make (max n 1) 0 in
+  Graph.iter_edges
+    (fun u v ->
+      adj.(u) <- adj.(u) lor (1 lsl v);
+      adj.(v) <- adj.(v) lor (1 lsl u))
+    g;
+  let deg = Array.init (max n 1) (fun v -> if v < n then Graph.degree g v else 0) in
+  let size = 1 lsl n in
+  let table = Array.make size 0 in
+  for b = 1 to size - 1 do
+    let q = ref 0 in
+    while (b lsr !q) land 1 = 0 do
+      incr q
+    done;
+    let rest = b land (b - 1) in
+    table.(b) <- table.(rest) + deg.(!q) - (2 * popcount (rest land adj.(!q)))
+  done;
+  table
+
+let expected_cut_of_table table dist =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun bits p -> if p <> 0.0 then total := !total +. (p *. float_of_int table.(bits)))
+    dist;
+  !total
+
+let expectation_value_of_table table dist = -.expected_cut_of_table table dist
+
 let expected_cut g dist =
   let total = ref 0.0 in
   Array.iteri (fun bits p -> total := !total +. (p *. float_of_int (cut_value g bits))) dist;

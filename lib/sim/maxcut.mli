@@ -13,3 +13,15 @@ val expected_cut : Qcr_graph.Graph.t -> float array -> float
 val expectation_value : Qcr_graph.Graph.t -> float array -> float
 (** The paper's plotted quantity: the *negated* expected cut (smaller is
     better, Figs 24–25). *)
+
+val cut_table : Qcr_graph.Graph.t -> int array
+(** [cut_value g b] for every basis state [b], as one length-[2^n] table
+    computed in a single incremental sweep (O(2^n) instead of
+    O(2^n * |E|)).  Cache it per problem graph: it indexes the fused
+    diagonal QAOA kernel and makes expectation values O(2^n). *)
+
+val expected_cut_of_table : int array -> float array -> float
+(** {!expected_cut} against a precomputed {!cut_table}. *)
+
+val expectation_value_of_table : int array -> float array -> float
+(** {!expectation_value} against a precomputed {!cut_table}. *)

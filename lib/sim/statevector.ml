@@ -16,23 +16,57 @@ let qubit_count t = t.n
 
 let amplitude t i = (t.re.(i), t.im.(i))
 
-(* Single-qubit unitary [[a b];[c d]] with complex entries (ar+i*ai ...) *)
+let inv_sqrt2 = 1.0 /. sqrt 2.0
+
+(* |+>^n directly: one fill instead of n Hadamard sweeps.  The amplitude
+   is accumulated by repeated multiplication so it is bit-identical to
+   applying the H cascade to |0...0>. *)
+let create_plus n =
+  if n < 0 || n > 24 then invalid_arg "Statevector.create_plus: supports 0..24 qubits";
+  let size = 1 lsl n in
+  let amp = ref 1.0 in
+  for _ = 1 to n do
+    amp := !amp *. inv_sqrt2
+  done;
+  { n; re = Array.make size !amp; im = Array.make size 0.0 }
+
+(* Diagonal kernel: multiply amplitude i by the unit phase
+   (phase_re.(index.(i)), phase_im.(index.(i))).  One sweep applies an
+   arbitrary diagonal whose distinct phases are tabulated, e.g. a whole
+   QAOA cost layer. *)
+let apply_indexed_phases t ~index ~phase_re ~phase_im =
+  let size = 1 lsl t.n in
+  if Array.length index <> size then
+    invalid_arg "Statevector.apply_indexed_phases: index size mismatch";
+  let re = t.re and im = t.im in
+  for i = 0 to size - 1 do
+    let k = index.(i) in
+    let pr = phase_re.(k) and pi = phase_im.(k) in
+    let xr = re.(i) and xi = im.(i) in
+    re.(i) <- (pr *. xr) -. (pi *. xi);
+    im.(i) <- (pr *. xi) +. (pi *. xr)
+  done
+
+(* Single-qubit unitary [[a b];[c d]] with complex entries (ar+i*ai ...).
+   The lower-half indices i with bit q clear come in contiguous blocks of
+   [bit] separated by strides of [2*bit], so walk them directly instead of
+   testing every index. *)
 let apply_1q t q (ar, ai) (br, bi) (cr, ci) (dr, di) =
   let size = 1 lsl t.n in
   let bit = 1 lsl q in
   let re = t.re and im = t.im in
-  let i = ref 0 in
-  while !i < size do
-    if !i land bit = 0 then begin
-      let j = !i lor bit in
-      let xr = re.(!i) and xi = im.(!i) in
+  let base = ref 0 in
+  while !base < size do
+    for i = !base to !base + bit - 1 do
+      let j = i lor bit in
+      let xr = re.(i) and xi = im.(i) in
       let yr = re.(j) and yi = im.(j) in
-      re.(!i) <- (ar *. xr) -. (ai *. xi) +. (br *. yr) -. (bi *. yi);
-      im.(!i) <- (ar *. xi) +. (ai *. xr) +. (br *. yi) +. (bi *. yr);
+      re.(i) <- (ar *. xr) -. (ai *. xi) +. (br *. yr) -. (bi *. yi);
+      im.(i) <- (ar *. xi) +. (ai *. xr) +. (br *. yi) +. (bi *. yr);
       re.(j) <- (cr *. xr) -. (ci *. xi) +. (dr *. yr) -. (di *. yi);
       im.(j) <- (cr *. xi) +. (ci *. xr) +. (dr *. yi) +. (di *. yr)
-    end;
-    incr i
+    done;
+    base := !base + (bit lsl 1)
   done
 
 let phase_on_mask t ~mask ~value (pr, pi) =
@@ -75,8 +109,6 @@ let cx t control target =
       im.(j) <- xi
     end
   done
-
-let inv_sqrt2 = 1.0 /. sqrt 2.0
 
 let rec apply t g =
   match g with
@@ -121,6 +153,145 @@ let rec apply t g =
 let run circuit =
   let t = create (Circuit.qubit_count circuit) in
   List.iter (apply t) (Circuit.gates circuit);
+  t
+
+(* Fused execution: runs of single-qubit gates on the same wire are
+   composed into one 2x2 unitary, so k consecutive rotations cost a single
+   O(2^n) sweep.  Single-qubit gates on distinct wires act on disjoint
+   tensor factors and commute exactly, which lets a whole Rz layer merge
+   into the following Rx layer wire by wire. *)
+type mat2 = {
+  m00r : float;
+  m00i : float;
+  m01r : float;
+  m01i : float;
+  m10r : float;
+  m10i : float;
+  m11r : float;
+  m11i : float;
+}
+
+let mat2_of_gate = function
+  | Gate.H q ->
+      Some
+        ( q,
+          {
+            m00r = inv_sqrt2;
+            m00i = 0.0;
+            m01r = inv_sqrt2;
+            m01i = 0.0;
+            m10r = inv_sqrt2;
+            m10i = 0.0;
+            m11r = -.inv_sqrt2;
+            m11i = 0.0;
+          } )
+  | Gate.X q ->
+      Some
+        ( q,
+          {
+            m00r = 0.0;
+            m00i = 0.0;
+            m01r = 1.0;
+            m01i = 0.0;
+            m10r = 1.0;
+            m10i = 0.0;
+            m11r = 0.0;
+            m11i = 0.0;
+          } )
+  | Gate.Rx (q, theta) ->
+      let c = cos (theta /. 2.0) and s = sin (theta /. 2.0) in
+      Some
+        ( q,
+          {
+            m00r = c;
+            m00i = 0.0;
+            m01r = 0.0;
+            m01i = -.s;
+            m10r = 0.0;
+            m10i = -.s;
+            m11r = c;
+            m11i = 0.0;
+          } )
+  | Gate.Rz (q, theta) ->
+      let c = cos (theta /. 2.0) and s = sin (theta /. 2.0) in
+      Some
+        ( q,
+          {
+            m00r = c;
+            m00i = -.s;
+            m01r = 0.0;
+            m01i = 0.0;
+            m10r = 0.0;
+            m10i = 0.0;
+            m11r = c;
+            m11i = s;
+          } )
+  | _ -> None
+
+(* b * a as matrices: a is applied to the state first. *)
+let mat2_mul b a =
+  let mul xr xi yr yi = ((xr *. yr) -. (xi *. yi), (xr *. yi) +. (xi *. yr)) in
+  let add (xr, xi) (yr, yi) = (xr +. yr, xi +. yi) in
+  let e00 = add (mul b.m00r b.m00i a.m00r a.m00i) (mul b.m01r b.m01i a.m10r a.m10i) in
+  let e01 = add (mul b.m00r b.m00i a.m01r a.m01i) (mul b.m01r b.m01i a.m11r a.m11i) in
+  let e10 = add (mul b.m10r b.m10i a.m00r a.m00i) (mul b.m11r b.m11i a.m10r a.m10i) in
+  let e11 = add (mul b.m10r b.m10i a.m01r a.m01i) (mul b.m11r b.m11i a.m11r a.m11i) in
+  {
+    m00r = fst e00;
+    m00i = snd e00;
+    m01r = fst e01;
+    m01i = snd e01;
+    m10r = fst e10;
+    m10i = snd e10;
+    m11r = fst e11;
+    m11i = snd e11;
+  }
+
+type op = Op_1q of int * mat2 | Op_gate of Gate.t
+
+(* Compile a gate list into fused ops.  Pending per-wire matrices are
+   flushed (lowest wire first) when a multi-qubit gate touches the wire,
+   at a Barrier, and at the end of the list. *)
+let fuse_ops ~n gates =
+  let pending : mat2 option array = Array.make n None in
+  let ops = ref [] in
+  let flush q =
+    match pending.(q) with
+    | None -> ()
+    | Some m ->
+        ops := Op_1q (q, m) :: !ops;
+        pending.(q) <- None
+  in
+  let flush_all () =
+    for q = 0 to n - 1 do
+      flush q
+    done
+  in
+  List.iter
+    (fun g ->
+      match mat2_of_gate g with
+      | Some (q, m) ->
+          pending.(q) <-
+            Some (match pending.(q) with None -> m | Some earlier -> mat2_mul m earlier)
+      | None -> (
+          match g with
+          | Gate.Barrier -> flush_all ()
+          | _ ->
+              List.iter flush (List.sort compare (Gate.qubits g));
+              ops := Op_gate g :: !ops))
+    gates;
+  flush_all ();
+  List.rev !ops
+
+let apply_op t = function
+  | Op_1q (q, m) ->
+      apply_1q t q (m.m00r, m.m00i) (m.m01r, m.m01i) (m.m10r, m.m10i) (m.m11r, m.m11i)
+  | Op_gate g -> apply t g
+
+let run_fused circuit =
+  let n = Circuit.qubit_count circuit in
+  let t = create n in
+  List.iter (apply_op t) (fuse_ops ~n (Circuit.gates circuit));
   t
 
 let probabilities t =

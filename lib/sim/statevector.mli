@@ -9,6 +9,11 @@ type t
 val create : int -> t
 (** |0...0> on [n] qubits.  [n] must be <= 24. *)
 
+val create_plus : int -> t
+(** |+...+> on [n] qubits: the state after a full Hadamard layer on |0...0>,
+    built with one fill instead of [n] gate sweeps (bit-identical to the
+    cascade). *)
+
 val qubit_count : t -> int
 
 val apply : t -> Qcr_circuit.Gate.t -> unit
@@ -17,6 +22,35 @@ val apply : t -> Qcr_circuit.Gate.t -> unit
 
 val run : Qcr_circuit.Circuit.t -> t
 (** Fresh simulation of a whole circuit. *)
+
+val apply_indexed_phases :
+  t -> index:int array -> phase_re:float array -> phase_im:float array -> unit
+(** Fused diagonal kernel: multiply amplitude [i] by the unit phase
+    [(phase_re.(index.(i)), phase_im.(index.(i)))] in a single sweep.
+    [index] must have length [2^n]; used to apply a whole QAOA cost layer
+    at once (see {!Qaoa.fused_state}). *)
+
+(** {2 Fused circuit execution}
+
+    Runs of adjacent single-qubit gates on the same wire are composed into
+    one 2x2 unitary before touching the state, so k rotations cost a single
+    O(2^n) sweep.  Exact up to float round-off (single-qubit gates on
+    distinct wires commute). *)
+
+type mat2
+(** A 2x2 complex matrix (a fused run of single-qubit gates). *)
+
+type op = Op_1q of int * mat2 | Op_gate of Qcr_circuit.Gate.t
+
+val fuse_ops : n:int -> Qcr_circuit.Gate.t list -> op list
+(** Compile a gate list on [n] wires into fused ops.  Pending single-qubit
+    runs flush when a multi-qubit gate touches their wire, at [Barrier],
+    and at the end. *)
+
+val apply_op : t -> op -> unit
+
+val run_fused : Qcr_circuit.Circuit.t -> t
+(** [run] through [fuse_ops]; same state as {!run} within float round-off. *)
 
 val amplitude : t -> int -> float * float
 (** (re, im) of a basis state. *)

@@ -42,29 +42,37 @@ let inject_pauli rng sv a b =
   apply_single a (k land 3);
   apply_single b ((k lsr 2) land 3)
 
-let run_noisy rng ~noise compiled =
-  let sv = Statevector.create (Circuit.qubit_count compiled) in
+(* Error injection only follows two-qubit gates, so the circuit's
+   single-qubit runs fuse exactly as in the noiseless path; the fused op
+   list is compiled once per circuit and replayed per trajectory. *)
+let run_noisy rng ~noise ~n ops =
+  let sv = Statevector.create n in
   List.iter
-    (fun g ->
-      Statevector.apply sv g;
-      match Gate.qubits g with
-      | [ a; b ] when Gate.is_two_qubit g ->
-          (* one error opportunity per CX of the gate's decomposition *)
-          let e = Noise.cx_error noise a b in
-          for _ = 1 to Gate.cx_cost g do
-            if Prng.float rng 1.0 < e then inject_pauli rng sv a b
-          done
-      | _ -> ())
-    (Circuit.gates compiled);
+    (fun op ->
+      Statevector.apply_op sv op;
+      match op with
+      | Statevector.Op_gate g -> (
+          match Gate.qubits g with
+          | [ a; b ] when Gate.is_two_qubit g ->
+              (* one error opportunity per CX of the gate's decomposition *)
+              let e = Noise.cx_error noise a b in
+              for _ = 1 to Gate.cx_cost g do
+                if Prng.float rng 1.0 < e then inject_pauli rng sv a b
+              done
+          | _ -> ())
+      | Statevector.Op_1q _ -> ())
+    ops;
   sv
 
 let distribution ?(seed = 19) ?(trajectories = 200) ~noise ~compiled ~final () =
   if trajectories < 1 then invalid_arg "Trajectory.distribution: trajectories < 1";
   let rng = Prng.create seed in
   let n_log = Mapping.logical_count final in
+  let n = Circuit.qubit_count compiled in
+  let ops = Statevector.fuse_ops ~n (Circuit.gates compiled) in
   let acc = Array.make (1 lsl n_log) 0.0 in
   for _ = 1 to trajectories do
-    let sv = run_noisy rng ~noise compiled in
+    let sv = run_noisy rng ~noise ~n ops in
     let d = logical_distribution sv ~final in
     Array.iteri (fun i p -> acc.(i) <- acc.(i) +. p) d
   done;
@@ -73,7 +81,8 @@ let distribution ?(seed = 19) ?(trajectories = 200) ~noise ~compiled ~final () =
 
 let tvd_vs_ideal ?seed ?trajectories ~noise ~graph ~compiled ~final () =
   let gamma, beta = Qaoa.angles_of_compiled compiled in
-  let program = Program.make graph (Program.Qaoa_maxcut { gamma; beta }) in
-  let ideal = Statevector.probabilities (Statevector.run (Program.logical_circuit program)) in
+  let ideal =
+    Statevector.probabilities (Qaoa.fused_state (Qaoa.cost_layer_for graph) ~gamma ~beta)
+  in
   let noisy = distribution ?seed ?trajectories ~noise ~compiled ~final () in
   Channel.tvd noisy ideal

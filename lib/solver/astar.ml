@@ -3,6 +3,7 @@ module Paths = Qcr_graph.Paths
 module Mapping = Qcr_circuit.Mapping
 module Bitset = Qcr_util.Bitset
 module Pqueue = Qcr_util.Pqueue
+module Zobrist = Qcr_util.Zobrist
 
 type action =
   | Do_gate of int * int
@@ -13,6 +14,7 @@ type outcome = {
   cycles : action list list;
   swap_total : int;
   expanded : int;
+  collisions : int;
   optimal : bool;
 }
 
@@ -22,6 +24,8 @@ type node = {
   l_of_p : int array; (* physical -> logical (incl. dummies) *)
   remaining : Bitset.t; (* bit u*n_log + v for u < v *)
   degree : int array; (* remaining degree per logical *)
+  h1 : int; (* primary Zobrist hash of (l_of_p, remaining) *)
+  h2 : int; (* independent verification hash: collision detector *)
   parent : node option;
   via : action list; (* actions of the cycle leading here *)
 }
@@ -36,10 +40,15 @@ let key_of node =
   Buffer.add_string b (Bitset.hash_key node.remaining);
   Buffer.contents b
 
-let solve ?(node_budget = 2_000_000) ?time_budget ?(weight = 1.0) ~problem ~coupling ~init () =
-  let started = Sys.time () in
+let solve ?(node_budget = 2_000_000) ?time_budget ?(weight = 1.0) ?(keying = `Zobrist)
+    ~problem ~coupling ~init () =
+  (* wall clock, not Sys.time (process CPU time); only sampled every 256
+     expansions, so the syscall stays off the hot loop *)
+  let started = Unix.gettimeofday () in
   let out_of_time () =
-    match time_budget with None -> false | Some limit -> Sys.time () -. started > limit
+    match time_budget with
+    | None -> false
+    | Some limit -> Unix.gettimeofday () -. started > limit
   in
   let n_log = Graph.vertex_count problem in
   let n_phys = Graph.vertex_count coupling in
@@ -48,29 +57,61 @@ let solve ?(node_budget = 2_000_000) ?time_budget ?(weight = 1.0) ~problem ~coup
   let dists = Paths.all_pairs coupling in
   let dist p q = Paths.distance dists p q in
   let edges = Array.of_list (Graph.edges coupling) in
+  (* Zobrist feature tables: one word per (physical wire, logical value)
+     mapping assignment and one per remaining problem edge, in two
+     independent copies — h1 keys the closed set, h2 disambiguates h1
+     collisions (and counts them). *)
+  let zmap1 = Zobrist.table ~seed:0x51a11 (n_phys * n_phys)
+  and zmap2 = Zobrist.table ~seed:0x51a22 (n_phys * n_phys)
+  and zrem1 = Zobrist.table ~seed:0x51a33 (n_log * n_log)
+  and zrem2 = Zobrist.table ~seed:0x51a44 (n_log * n_log) in
   let root_remaining = Bitset.create (n_log * n_log) in
   Graph.iter_edges (fun u v -> Bitset.add root_remaining (pair_bit n_log u v)) problem;
   let root_degree = Array.init n_log (fun v -> Graph.degree problem v) in
+  let root_l_of_p = Array.init n_phys (fun p -> Mapping.log_of_phys init p) in
   let root =
     {
       g = 0;
       swaps_so_far = 0;
-      l_of_p = Array.init n_phys (fun p -> Mapping.log_of_phys init p);
+      l_of_p = root_l_of_p;
       remaining = root_remaining;
       degree = root_degree;
+      h1 =
+        Zobrist.fold_array zmap1 ~stride:n_phys root_l_of_p
+        lxor Zobrist.fold_bitset zrem1 root_remaining;
+      h2 =
+        Zobrist.fold_array zmap2 ~stride:n_phys root_l_of_p
+        lxor Zobrist.fold_bitset zrem2 root_remaining;
       parent = None;
       via = [];
     }
   in
+  (* pair_cost is a pure function of (deg_u, deg_v, distance) on small
+     bounded domains; memoize it so the per-remaining-edge heuristic loop
+     costs two array reads instead of an O(distance) scan *)
+  let cost_memo = Array.make (n_log * n_log * (n_phys + 1)) (-1) in
+  let pair_cost_memo deg_u deg_v d =
+    if d > n_phys then Heuristic.pair_cost ~deg_i:deg_u ~deg_j:deg_v ~dist:d
+    else begin
+      let idx = (((deg_u * n_log) + deg_v) * (n_phys + 1)) + d in
+      let c = cost_memo.(idx) in
+      if c >= 0 then c
+      else begin
+        let c = Heuristic.pair_cost ~deg_i:deg_u ~deg_j:deg_v ~dist:d in
+        cost_memo.(idx) <- c;
+        c
+      end
+    end
+  in
+  let phys_of_log = Array.make n_log (-1) in
   let heuristic node =
-    let phys_of_log = Array.make n_log (-1) in
     Array.iteri (fun p l -> if l < n_log then phys_of_log.(l) <- p) node.l_of_p;
     let best = ref 0 in
     Bitset.iter
       (fun bit ->
         let u = bit / n_log and v = bit mod n_log in
         let d = max 1 (dist phys_of_log.(u) phys_of_log.(v)) in
-        let c = Heuristic.pair_cost ~deg_i:node.degree.(u) ~deg_j:node.degree.(v) ~dist:d in
+        let c = pair_cost_memo node.degree.(u) node.degree.(v) d in
         if c > !best then best := c)
       node.remaining;
     !best
@@ -83,9 +124,61 @@ let solve ?(node_budget = 2_000_000) ?time_budget ?(weight = 1.0) ~problem ~coup
     (f * 4096) + min node.swaps_so_far 4095
   in
   let queue = Pqueue.create () in
-  let closed : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let collisions = ref 0 in
+  (* closed set, keyed by hash instead of a serialized node: h1 indexes the
+     table, h2 disambiguates distinct states sharing h1 (counted as
+     collisions).  Values hold the best g seen, mutable for decrease-key. *)
+  let closed_z : (int, int * int ref) Hashtbl.t = Hashtbl.create 4096 in
+  let closed_s : (string, int ref) Hashtbl.t = Hashtbl.create 4096 in
+  (* record [node] in the closed set; true when it improves on every copy
+     seen so far and should be pushed *)
+  let visit node =
+    match keying with
+    | `Zobrist -> (
+        (* fast path: at most one binding per h1 in practice; the find_all
+           scan only runs on a genuine primary-hash collision *)
+        match Hashtbl.find_opt closed_z node.h1 with
+        | Some (h2, gref) when h2 = node.h2 ->
+            if !gref <= node.g then false
+            else begin
+              gref := node.g;
+              true
+            end
+        | None ->
+            Hashtbl.add closed_z node.h1 (node.h2, ref node.g);
+            true
+        | Some _ -> (
+            let rec scan = function
+              | [] -> None
+              | (h2, gref) :: _ when h2 = node.h2 -> Some gref
+              | _ :: rest -> scan rest
+            in
+            match scan (Hashtbl.find_all closed_z node.h1) with
+            | Some gref ->
+                if !gref <= node.g then false
+                else begin
+                  gref := node.g;
+                  true
+                end
+            | None ->
+                incr collisions;
+                Hashtbl.add closed_z node.h1 (node.h2, ref node.g);
+                true))
+    | `String -> (
+        let key = key_of node in
+        match Hashtbl.find_opt closed_s key with
+        | Some gref ->
+            if !gref <= node.g then false
+            else begin
+              gref := node.g;
+              true
+            end
+        | None ->
+            Hashtbl.add closed_s key (ref node.g);
+            true)
+  in
   Pqueue.push queue ~prio:(priority root) root;
-  Hashtbl.replace closed (key_of root) 0;
+  ignore (visit root);
   let expanded = ref 0 in
   let solution = ref None in
   let budget_hit = ref false in
@@ -137,19 +230,40 @@ let solve ?(node_budget = 2_000_000) ?time_budget ?(weight = 1.0) ~problem ~coup
     go 0 [];
     !children
   in
+  let with_hashes = keying = `Zobrist in
   let apply node actions =
     let l_of_p = Array.copy node.l_of_p in
     let remaining = Bitset.copy node.remaining in
     let degree = Array.copy node.degree in
+    let h1 = ref node.h1 and h2 = ref node.h2 in
     List.iter
       (fun a ->
         match a with
         | Do_swap (p, q) ->
-            let x = l_of_p.(p) in
-            l_of_p.(p) <- l_of_p.(q);
-            l_of_p.(q) <- x
+            let lp = l_of_p.(p) and lq = l_of_p.(q) in
+            if with_hashes then begin
+              h1 :=
+                !h1
+                lxor zmap1.((p * n_phys) + lp)
+                lxor zmap1.((q * n_phys) + lq)
+                lxor zmap1.((p * n_phys) + lq)
+                lxor zmap1.((q * n_phys) + lp);
+              h2 :=
+                !h2
+                lxor zmap2.((p * n_phys) + lp)
+                lxor zmap2.((q * n_phys) + lq)
+                lxor zmap2.((p * n_phys) + lq)
+                lxor zmap2.((q * n_phys) + lp)
+            end;
+            l_of_p.(p) <- lq;
+            l_of_p.(q) <- lp
         | Do_gate (u, v) ->
-            Bitset.remove remaining (pair_bit n_log u v);
+            let bit = pair_bit n_log u v in
+            Bitset.remove remaining bit;
+            if with_hashes then begin
+              h1 := !h1 lxor zrem1.(bit);
+              h2 := !h2 lxor zrem2.(bit)
+            end;
             degree.(u) <- degree.(u) - 1;
             degree.(v) <- degree.(v) - 1)
       actions;
@@ -162,6 +276,8 @@ let solve ?(node_budget = 2_000_000) ?time_budget ?(weight = 1.0) ~problem ~coup
       l_of_p;
       remaining;
       degree;
+      h1 = !h1;
+      h2 = !h2;
       parent = Some node;
       via = actions;
     }
@@ -181,12 +297,7 @@ let solve ?(node_budget = 2_000_000) ?time_budget ?(weight = 1.0) ~problem ~coup
              List.iter
                (fun actions ->
                  let child = apply node actions in
-                 let key = key_of child in
-                 match Hashtbl.find_opt closed key with
-                 | Some g when g <= child.g -> ()
-                 | _ ->
-                     Hashtbl.replace closed key child.g;
-                     Pqueue.push queue ~prio:(priority child) child)
+                 if visit child then Pqueue.push queue ~prio:(priority child) child)
                (expand node)
            end
      done
@@ -213,6 +324,7 @@ let solve ?(node_budget = 2_000_000) ?time_budget ?(weight = 1.0) ~problem ~coup
           cycles;
           swap_total;
           expanded = !expanded;
+          collisions = !collisions;
           optimal = (not !budget_hit) && weight <= 1.0;
         }
 

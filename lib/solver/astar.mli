@@ -20,6 +20,10 @@ type outcome = {
   cycles : action list list;  (** one action set per cycle, in time order *)
   swap_total : int;
   expanded : int;
+  collisions : int;
+      (** closed-set states whose primary Zobrist hash clashed with a
+          distinct state (resolved by the secondary hash); 0 with
+          [`String] keying *)
   optimal : bool;  (** false when the node budget cut the search *)
 }
 
@@ -27,6 +31,7 @@ val solve :
   ?node_budget:int ->
   ?time_budget:float ->
   ?weight:float ->
+  ?keying:[ `Zobrist | `String ] ->
   problem:Qcr_graph.Graph.t ->
   coupling:Qcr_graph.Graph.t ->
   init:Qcr_circuit.Mapping.t ->
@@ -34,10 +39,14 @@ val solve :
   outcome option
 (** [None] if a budget exhausts before any complete schedule is found.
     [node_budget] caps expansions; [time_budget] (seconds of wall clock,
-    default unlimited) caps the search the way the paper caps the SAT
-    baselines at hours/days.  [weight] (default 1.0) multiplies the
-    heuristic: > 1.0 trades optimality for speed (the anytime mode used
-    for the SAT-baseline comparison). *)
+    sampled every 256 expansions, default unlimited) caps the search the
+    way the paper caps the SAT baselines at hours/days.  [weight]
+    (default 1.0) multiplies the heuristic: > 1.0 trades optimality for
+    speed (the anytime mode used for the SAT-baseline comparison).
+    [keying] selects the closed-set key: incremental dual Zobrist hashes
+    over the physical→logical mapping and remaining-edge bitset (default;
+    O(1) per search edge), or the serialized-node [`String] keys kept as
+    the reference implementation. *)
 
 val schedule_of_outcome : outcome -> init:Qcr_circuit.Mapping.t -> Qcr_swapnet.Schedule.t
 (** Convert the solved action cycles into a physical swap-network schedule

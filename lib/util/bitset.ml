@@ -42,9 +42,25 @@ let copy t = { words = Bytes.copy t.words; n = t.n }
 
 let equal a b = a.n = b.n && Bytes.equal a.words b.words
 
+(* trailing-zero count for the isolated lowest bit of a byte *)
+let tz_of_lsb = [| -1; 0; 1; -1; 2; -1; -1; -1; 3; -1; -1; -1; -1; -1; -1; -1; 4 |]
+
+let tz lsb = if lsb < 17 then tz_of_lsb.(lsb) else if lsb = 32 then 5 else if lsb = 64 then 6 else 7
+
+(* Walk bytes and skip zero ones: iteration cost scales with set bits, not
+   capacity — this sits on the A* heuristic's per-child hot path. *)
 let iter f t =
-  for i = 0 to t.n - 1 do
-    if Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0 then f i
+  let nbytes = Bytes.length t.words in
+  for w = 0 to nbytes - 1 do
+    let bits = ref (Char.code (Bytes.unsafe_get t.words w)) in
+    if !bits <> 0 then begin
+      let base = w lsl 3 in
+      while !bits <> 0 do
+        let lsb = !bits land - !bits in
+        f (base + tz lsb);
+        bits := !bits land (!bits - 1)
+      done
+    end
   done
 
 let fold f t init =

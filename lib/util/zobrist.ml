@@ -1,0 +1,17 @@
+(* Zobrist hashing: one uniformly random word per feature; a state's hash
+   is the XOR of its active features, so toggling a feature updates the
+   hash in O(1).  Tables are drawn from the deterministic Prng so hashes
+   are stable across runs and platforms. *)
+
+let table ~seed n =
+  let rng = Prng.create seed in
+  (* mask to 62 bits so the value fits a non-negative native int *)
+  Array.init n (fun _ -> Int64.to_int (Prng.bits64 rng) land max_int)
+
+let fold_bitset table bitset =
+  Bitset.fold (fun bit acc -> acc lxor table.(bit)) bitset 0
+
+let fold_array table ~stride values =
+  let h = ref 0 in
+  Array.iteri (fun slot v -> h := !h lxor table.((slot * stride) + v)) values;
+  !h

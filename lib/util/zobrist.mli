@@ -1,0 +1,17 @@
+(** Zobrist hashing: random feature words combined by XOR, so state hashes
+    update incrementally in O(1) per toggled feature.
+
+    Used by the A* solver to key its closed set without serializing nodes:
+    the mapping contributes feature [slot * stride + value] per physical
+    wire, the remaining-edge bitset one feature per set bit.  Tables are
+    seeded via {!Prng}, so hashes are deterministic across runs. *)
+
+val table : seed:int -> int -> int array
+(** [table ~seed n]: [n] random 62-bit non-negative feature words. *)
+
+val fold_bitset : int array -> Bitset.t -> int
+(** XOR of the feature words of every set bit. *)
+
+val fold_array : int array -> stride:int -> int array -> int
+(** [fold_array t ~stride a]: XOR over slots of [t.(slot * stride + a.(slot))]
+    — the hash of a dense assignment such as a physical→logical mapping. *)

@@ -106,6 +106,66 @@ let prop_random_circuit_norm =
       done;
       abs_float (Sv.norm (Sv.run c) -. 1.0) < 1e-9)
 
+let max_amp_diff a b n =
+  let d = ref 0.0 in
+  for i = 0 to (1 lsl n) - 1 do
+    let ar, ai = Sv.amplitude a i and br, bi = Sv.amplitude b i in
+    d := max !d (max (abs_float (ar -. br)) (abs_float (ai -. bi)))
+  done;
+  !d
+
+let prop_cut_table_matches_cut_value =
+  QCheck.Test.make ~name:"cut_table agrees with cut_value on every basis state" ~count:30
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 6 in
+      let g = Generate.erdos_renyi rng ~n ~density:0.5 in
+      let table = Maxcut.cut_table g in
+      let ok = ref true in
+      for b = 0 to (1 lsl n) - 1 do
+        if table.(b) <> Maxcut.cut_value g b then ok := false
+      done;
+      !ok)
+
+let prop_fused_layer_matches_per_edge =
+  QCheck.Test.make ~name:"fused cost layer = per-edge circuit state" ~count:25
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 7 in
+      let g = Generate.erdos_renyi rng ~n ~density:0.5 in
+      let gamma = Prng.float rng 6.3 -. 3.15 and beta = Prng.float rng 6.3 -. 3.15 in
+      let program =
+        Qcr_circuit.Program.make g (Qcr_circuit.Program.Qaoa_maxcut { gamma; beta })
+      in
+      let sv_ref = Sv.run (Qcr_circuit.Program.logical_circuit program) in
+      let sv_fused = Qaoa.fused_state (Qaoa.cost_layer g) ~gamma ~beta in
+      max_amp_diff sv_ref sv_fused n < 1e-9)
+
+let prop_run_fused_matches_run =
+  QCheck.Test.make ~name:"run_fused = run on random circuits" ~count:30
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 4 in
+      let c = Circuit.create n in
+      for _ = 1 to 40 do
+        let a = Prng.int rng n in
+        let b = (a + 1 + Prng.int rng (n - 1)) mod n in
+        match Prng.int rng 9 with
+        | 0 -> Circuit.add c (Gate.H a)
+        | 1 -> Circuit.add c (Gate.X a)
+        | 2 -> Circuit.add c (Gate.Rx (a, Prng.float rng 3.0))
+        | 3 -> Circuit.add c (Gate.Rz (a, Prng.float rng 3.0))
+        | 4 -> Circuit.add c (Gate.Cphase (a, b, Prng.float rng 3.0))
+        | 5 -> Circuit.add c (Gate.Swap (a, b))
+        | 6 -> Circuit.add c (Gate.Rzz (a, b, Prng.float rng 3.0))
+        | 7 -> Circuit.add c Gate.Barrier
+        | _ -> Circuit.add c (Gate.Cx (a, b))
+      done;
+      max_amp_diff (Sv.run c) (Sv.run_fused c) n < 1e-9)
+
 let test_extract_logical () =
   (* 3 physical wires, 2 logical; swap logical 0 out to wire 2 *)
   let c = Circuit.create 3 in
@@ -213,6 +273,9 @@ let suite =
     Alcotest.test_case "rzz diagonal" `Quick test_rzz_diagonal_phase;
     Alcotest.test_case "swap_interact equiv" `Quick test_swap_interact_equals_pair;
     QCheck_alcotest.to_alcotest prop_random_circuit_norm;
+    QCheck_alcotest.to_alcotest prop_cut_table_matches_cut_value;
+    QCheck_alcotest.to_alcotest prop_fused_layer_matches_per_edge;
+    QCheck_alcotest.to_alcotest prop_run_fused_matches_run;
     Alcotest.test_case "extract logical" `Quick test_extract_logical;
     Alcotest.test_case "depolarize" `Quick test_depolarize;
     Alcotest.test_case "tvd" `Quick test_tvd;

@@ -131,6 +131,61 @@ let test_heuristic_vs_uniform_cost () =
     end
   done
 
+(* The Zobrist-keyed closed set must be a pure representation change: same
+   depth, same swap count, and — since ties are broken identically — the
+   same number of expansions as the string-keyed reference. *)
+let test_zobrist_matches_string_keying () =
+  let biclique = Graph.create 6 in
+  List.iter
+    (fun (u, v) -> Graph.add_edge biclique u v)
+    [ (0, 3); (0, 4); (0, 5); (1, 3); (1, 4); (1, 5); (2, 3); (2, 4); (2, 5) ];
+  let grid2x3 =
+    Graph.of_edges 6 [ (0, 1); (1, 2); (3, 4); (4, 5); (0, 3); (1, 4); (2, 5) ]
+  in
+  let cases =
+    [
+      ("k4-line4", Graph.complete 4, Generate.path 4);
+      ("k5-line5", Graph.complete 5, Generate.path 5);
+      ("nonclique", Graph.of_edges 4 [ (0, 1); (2, 3); (0, 3) ], Generate.path 4);
+      ("biclique-grid2x3", biclique, grid2x3);
+    ]
+  in
+  List.iter
+    (fun (name, problem, coupling) ->
+      let init =
+        Mapping.identity ~logical:(Graph.vertex_count problem)
+          ~physical:(Graph.vertex_count coupling)
+      in
+      let get keying =
+        match Astar.solve ~keying ~problem ~coupling ~init () with
+        | Some o -> o
+        | None -> Alcotest.fail (name ^ ": no solution")
+      in
+      let s = get `String and z = get `Zobrist in
+      Alcotest.(check int) (name ^ " depth") s.Astar.depth z.Astar.depth;
+      Alcotest.(check int) (name ^ " swap_total") s.Astar.swap_total z.Astar.swap_total;
+      Alcotest.(check int) (name ^ " expanded") s.Astar.expanded z.Astar.expanded;
+      Alcotest.(check int) (name ^ " string collisions") 0 s.Astar.collisions)
+    cases
+
+let prop_zobrist_matches_string_random =
+  QCheck.Test.make ~name:"zobrist keying = string keying on random instances" ~count:12
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let rng = Qcr_util.Prng.create seed in
+      let n = 3 + Qcr_util.Prng.int rng 2 in
+      let problem = Generate.erdos_renyi rng ~n ~density:0.7 in
+      Graph.edge_count problem = 0
+      ||
+      let init = Mapping.identity ~logical:n ~physical:n in
+      let coupling = Generate.path n in
+      let get keying =
+        match Astar.solve ~keying ~problem ~coupling ~init () with
+        | Some o -> (o.Astar.depth, o.Astar.swap_total, o.Astar.expanded)
+        | None -> (-1, -1, -1)
+      in
+      get `String = get `Zobrist)
+
 let test_nonclique_instance () =
   let problem = Graph.of_edges 4 [ (0, 1); (2, 3); (0, 3) ] in
   let coupling = Generate.path 4 in
@@ -152,6 +207,8 @@ let suite =
     Alcotest.test_case "solution schedule valid" `Quick test_solution_schedule_valid;
     Alcotest.test_case "solver <= pattern" `Quick test_solver_depth_leq_pattern;
     Alcotest.test_case "budget anytime" `Quick test_budget_anytime;
+    Alcotest.test_case "zobrist = string keying" `Quick test_zobrist_matches_string_keying;
+    QCheck_alcotest.to_alcotest prop_zobrist_matches_string_random;
     Alcotest.test_case "non-clique instance" `Quick test_nonclique_instance;
     Alcotest.test_case "heuristic admissible (vs UCS)" `Slow test_heuristic_vs_uniform_cost;
   ]
