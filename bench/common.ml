@@ -8,8 +8,24 @@ module Pipeline = Qcr_core.Pipeline
 module Suite = Qcr_workloads.Suite
 module Stats = Qcr_util.Stats
 module Tablefmt = Qcr_util.Tablefmt
+module Obs = Qcr_obs.Obs
 
 type scale = Quick | Default | Full
+
+(* Run [f] once with the telemetry sink enabled on fresh counter state and
+   return its result with the counter snapshot.  Timed benchmark passes
+   keep the sink disabled (so wall times stay comparable to the committed
+   baselines); this separate untimed pass collects the counters that the
+   BENCH_*.json "counters" sections record. *)
+let counted f =
+  let was_enabled = Obs.enabled () in
+  Obs.enable ();
+  Obs.reset ();
+  let result = f () in
+  let snap = Obs.snapshot () in
+  if not was_enabled then Obs.disable ();
+  Obs.reset ();
+  (result, snap)
 
 let scale_cases scale ~at_n =
   match scale with

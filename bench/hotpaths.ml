@@ -16,6 +16,7 @@ module Maxcut = Qcr_sim.Maxcut
 module Qaoa = Qcr_sim.Qaoa
 module Astar = Qcr_solver.Astar
 module Prng = Qcr_util.Prng
+module Obs = Qcr_obs.Obs
 
 (* ---------- minimal JSON emitter (no external dependency) ---------- *)
 
@@ -57,6 +58,9 @@ let write_json path json =
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc
+
+let counters_json (snap : Obs.snapshot) =
+  Obj (List.map (fun (name, v) -> (name, Int v)) snap.Obs.snap_counters)
 
 let time_ms f =
   let t0 = Unix.gettimeofday () in
@@ -125,21 +129,27 @@ let qaoa_case ~reps ~n ~graph_seed ~iters =
     max_amp_diff := max !max_amp_diff (max (abs_float (rr -. fr)) (abs_float (ri -. fi)))
   done;
   let speedup = per_edge_ms /. fused_ms in
+  (* untimed counter-collection pass: the timed runs above executed with
+     the telemetry sink disabled, so their wall times stay baseline-
+     comparable; this pass records how much work each path does *)
+  let _, counters = Common.counted (fun () -> fused_path graph iters) in
   Printf.printf "  qaoa n=%-2d |E|=%-3d iters=%-3d  per-edge %8.2f ms  fused %7.2f ms  %5.1fx  max|Δamp| %.1e\n%!"
     n edges iters per_edge_ms fused_ms speedup !max_amp_diff;
-  Obj
-    [
-      ("n", Int n);
-      ("edges", Int edges);
-      ("graph_seed", Int graph_seed);
-      ("iterations", Int iters);
-      ("per_edge_ms", Num per_edge_ms);
-      ("fused_ms", Num fused_ms);
-      ("speedup", Num speedup);
-      ("energy_abs_diff", Num (abs_float (e_ref -. e_fused)));
-      ("max_amplitude_diff", Num !max_amp_diff);
-      ("final_energy", Num (e_fused /. float_of_int iters));
-    ]
+  ( Obj
+      [
+        ("n", Int n);
+        ("edges", Int edges);
+        ("graph_seed", Int graph_seed);
+        ("iterations", Int iters);
+        ("per_edge_ms", Num per_edge_ms);
+        ("fused_ms", Num fused_ms);
+        ("speedup", Num speedup);
+        ("energy_abs_diff", Num (abs_float (e_ref -. e_fused)));
+        ("max_amplitude_diff", Num !max_amp_diff);
+        ("final_energy", Num (e_fused /. float_of_int iters));
+        ("counters", counters_json counters);
+      ],
+    counters )
 
 (* ---------- A* solver: string-keyed vs Zobrist-keyed closed set ---------- *)
 
@@ -157,26 +167,31 @@ let astar_case ~reps ~name ~problem ~coupling =
   let o_s, string_ms = best_ms reps (solve `String) in
   let o_z, zobrist_ms = best_ms reps (solve `Zobrist) in
   let agree = o_s.Astar.depth = o_z.Astar.depth && o_s.Astar.swap_total = o_z.Astar.swap_total in
+  (* untimed pass with the sink on: search-effort counters (expansions,
+     heuristic evaluations, closed-set hits) become diffable like timings *)
+  let _, counters = Common.counted (fun () -> solve `Zobrist ()) in
   Printf.printf
     "  astar %-18s string %8.2f ms  zobrist %8.2f ms  %5.2fx  expanded %d/%d  collisions %d  %s\n%!"
     name string_ms zobrist_ms (string_ms /. zobrist_ms) o_s.Astar.expanded o_z.Astar.expanded
     o_z.Astar.collisions
     (if agree then "agree" else "MISMATCH");
-  Obj
-    [
-      ("case", Str name);
-      ("n_log", Int (Graph.vertex_count problem));
-      ("n_phys", Int (Graph.vertex_count coupling));
-      ("string_ms", Num string_ms);
-      ("zobrist_ms", Num zobrist_ms);
-      ("speedup", Num (string_ms /. zobrist_ms));
-      ("expanded_string", Int o_s.Astar.expanded);
-      ("expanded_zobrist", Int o_z.Astar.expanded);
-      ("collisions", Int o_z.Astar.collisions);
-      ("depth", Int o_z.Astar.depth);
-      ("swap_total", Int o_z.Astar.swap_total);
-      ("agree", Bool agree);
-    ]
+  ( Obj
+      [
+        ("case", Str name);
+        ("n_log", Int (Graph.vertex_count problem));
+        ("n_phys", Int (Graph.vertex_count coupling));
+        ("string_ms", Num string_ms);
+        ("zobrist_ms", Num zobrist_ms);
+        ("speedup", Num (string_ms /. zobrist_ms));
+        ("expanded_string", Int o_s.Astar.expanded);
+        ("expanded_zobrist", Int o_z.Astar.expanded);
+        ("collisions", Int o_z.Astar.collisions);
+        ("depth", Int o_z.Astar.depth);
+        ("swap_total", Int o_z.Astar.swap_total);
+        ("agree", Bool agree);
+        ("counters", counters_json counters);
+      ],
+    counters )
 
 let biclique_2x3 () =
   let coupling = Graph.of_edges 6 [ (0, 1); (1, 2); (3, 4); (4, 5); (0, 3); (1, 4); (2, 5) ] in
@@ -201,11 +216,11 @@ let run scale =
     | Common.Default -> (3, [ (12, 30); (14, 30); (16, 40) ], [ 4; 5; 6 ], true)
     | Common.Full -> (5, [ (12, 60); (14, 60); (16, 60); (18, 30) ], [ 4; 5; 6 ], true)
   in
-  let qaoa_rows =
+  let qaoa_rows, qaoa_snaps =
     (* seed 15 draws |E| = 32 exactly at n = 16 (the acceptance point) *)
-    List.map (fun (n, iters) -> qaoa_case ~reps ~n ~graph_seed:15 ~iters) qaoa_sizes
+    List.split (List.map (fun (n, iters) -> qaoa_case ~reps ~n ~graph_seed:15 ~iters) qaoa_sizes)
   in
-  let astar_rows =
+  let astar_rows, astar_snaps =
     (* let-bound stages so rows print in the same order they land in the
        JSON ([@]'s operands evaluate right to left) *)
     let line_rows =
@@ -227,7 +242,13 @@ let run scale =
       end
       else []
     in
-    line_rows @ (grid_row :: large_rows)
+    List.split (line_rows @ (grid_row :: large_rows))
+  in
+  (* run-wide counter totals, alongside the per-case sections *)
+  let total_counters =
+    List.fold_left Obs.merge_snapshots
+      { Obs.snap_counters = []; snap_histograms = [] }
+      (qaoa_snaps @ astar_snaps)
   in
   let scale_name =
     match scale with Common.Quick -> "quick" | Common.Default -> "default" | Common.Full -> "full"
@@ -235,10 +256,11 @@ let run scale =
   write_json output_file
     (Obj
        [
-         ("schema", Str "qcr-bench-hotpaths/v1");
+         ("schema", Str "qcr-bench-hotpaths/v2");
          ("generated_by", Str "dune exec bench/main.exe -- hotpaths");
          ("scale", Str scale_name);
          ("qaoa_cost_layer", Arr qaoa_rows);
          ("astar", Arr astar_rows);
+         ("counters", counters_json total_counters);
        ]);
   Printf.printf "  wrote %s\n%!" output_file

@@ -56,6 +56,32 @@ let density_arg =
 
 let seed_arg = Arg.(value & opt int 2023 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+(* Telemetry flags, shared by every subcommand: --trace FILE captures the
+   run as Chrome trace-event JSON; --metrics prints the summary tables. *)
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write compiler telemetry as Chrome trace-event JSON to $(docv) \
+               (load it in Perfetto at ui.perfetto.dev or in about://tracing).")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print the telemetry summary (per-phase spans, counters, histograms) after the run.")
+
+(* Run [f] with the telemetry sink enabled when either flag asks for it —
+   inside a root span named after the subcommand, so every trace carries
+   at least the end-to-end command timing — then emit the requested
+   outputs. *)
+let with_telemetry ~cmd trace metrics f =
+  if trace <> None || metrics then Qcr_obs.Obs.enable ();
+  let result = Qcr_obs.Obs.with_span ~cat:"cli" ("cli." ^ cmd) f in
+  Option.iter
+    (fun file ->
+      Qcr_obs.Trace_json.write_file file;
+      Printf.printf "wrote trace %s\n" file)
+    trace;
+  if metrics then print_string (Qcr_obs.Summary.render ());
+  result
+
 let compile_cmd =
   let qasm_arg =
     Arg.(value & opt (some string) None & info [ "qasm" ] ~docv:"FILE"
@@ -64,7 +90,8 @@ let compile_cmd =
   let noisy_arg =
     Arg.(value & flag & info [ "noise" ] ~doc:"Use a sampled calibration noise model.")
   in
-  let run kind n density seed qasm noisy =
+  let run kind n density seed qasm noisy trace metrics =
+    with_telemetry ~cmd:"compile" trace metrics @@ fun () ->
     let rng = Prng.create seed in
     let graph = Generate.erdos_renyi rng ~n ~density in
     let program = Program.make graph (Program.Qaoa_maxcut { gamma = 0.4; beta = 0.35 }) in
@@ -87,13 +114,16 @@ let compile_cmd =
       qasm
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a random QAOA instance.")
-    Term.(const run $ arch_arg $ n_arg $ density_arg $ seed_arg $ qasm_arg $ noisy_arg)
+    Term.(
+      const run $ arch_arg $ n_arg $ density_arg $ seed_arg $ qasm_arg $ noisy_arg
+      $ trace_arg $ metrics_arg)
 
 let ata_cmd =
   let show_arg =
     Arg.(value & flag & info [ "show" ] ~doc:"Draw the schedule (one row per qubit, g = interaction, x = swap).")
   in
-  let run kind n show =
+  let run kind n show trace metrics =
+    with_telemetry ~cmd:"ata" trace metrics @@ fun () ->
     let arch = Arch.smallest_for kind n in
     let sched = Ata.schedule arch in
     let qubits = Arch.qubit_count arch in
@@ -105,13 +135,14 @@ let ata_cmd =
   in
   Cmd.v
     (Cmd.info "ata" ~doc:"Print the structured all-to-all schedule statistics.")
-    Term.(const run $ arch_arg $ n_arg $ show_arg)
+    Term.(const run $ arch_arg $ n_arg $ show_arg $ trace_arg $ metrics_arg)
 
 let solve_cmd =
   let line_arg =
     Arg.(value & opt int 4 & info [ "line" ] ~docv:"N" ~doc:"Clique size on an N-qubit line.")
   in
-  let run n =
+  let run n trace metrics =
+    with_telemetry ~cmd:"solve" trace metrics @@ fun () ->
     let problem = Graph.complete n in
     let coupling = Generate.path n in
     let init = Mapping.identity ~logical:n ~physical:n in
@@ -131,13 +162,14 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Run the depth-optimal A* solver on a small clique instance.")
-    Term.(const run $ line_arg)
+    Term.(const run $ line_arg $ trace_arg $ metrics_arg)
 
 let qaoa_cmd =
   let rounds_arg =
     Arg.(value & opt int 20 & info [ "rounds" ] ~docv:"R" ~doc:"Optimizer rounds.")
   in
-  let run n density seed rounds =
+  let run n density seed rounds trace metrics =
+    with_telemetry ~cmd:"qaoa" trace metrics @@ fun () ->
     let rng = Prng.create seed in
     let graph = Generate.erdos_renyi rng ~n ~density in
     let arch = Arch.mumbai_like () in
@@ -153,7 +185,7 @@ let qaoa_cmd =
   in
   Cmd.v
     (Cmd.info "qaoa" ~doc:"Run the end-to-end QAOA loop on the Mumbai-like device.")
-    Term.(const run $ n_arg $ density_arg $ seed_arg $ rounds_arg)
+    Term.(const run $ n_arg $ density_arg $ seed_arg $ rounds_arg $ trace_arg $ metrics_arg)
 
 let () =
   let info = Cmd.info "qcr_cli" ~doc:"Regular-architecture quantum compiler tools." in

@@ -7,6 +7,19 @@ module Mapping = Qcr_circuit.Mapping
 module Circuit = Qcr_circuit.Circuit
 module Program = Qcr_circuit.Program
 module Gate = Qcr_circuit.Gate
+module Obs = Qcr_obs.Obs
+
+let c_cycles = Obs.counter "greedy.cycles"
+
+let c_gates = Obs.counter "greedy.gates_committed"
+
+let c_swaps = Obs.counter "greedy.swaps_committed"
+
+let c_forced = Obs.counter "greedy.forced_moves"
+
+let c_stall_recoveries = Obs.counter "greedy.stall_recoveries"
+
+let h_gates_per_cycle = Obs.histogram "greedy.gates_per_cycle"
 
 type t = {
   arch : Arch.t;
@@ -298,6 +311,7 @@ let commit_swap t p q =
   Mapping.apply_swap t.mapping p q;
   Hashtbl.replace t.last_swap_cycle (edge_key t p q) t.cycle;
   t.swaps <- t.swaps + 1;
+  Obs.incr c_swaps;
   Circuit.add t.circuit (Gate.Swap (p, q))
 
 (* Forced progress: move the closest separated pair one step along a
@@ -322,6 +336,7 @@ let force_progress t =
       (match Paths.shortest_path (Arch.graph t.arch) pa pv with
       | _ :: next :: _ -> commit_swap t pa next
       | _ -> failwith "Greedy.force_progress: no path");
+      Obs.incr c_forced;
       true
 
 (* Two consecutive gate-less cycles switch the engine into direct-routing
@@ -335,8 +350,11 @@ let step t =
   if finished t then false
   else begin
     t.cycle <- t.cycle + 1;
+    Obs.incr c_cycles;
     let gates = choose_gates t (executable_gates t) in
     List.iter (commit_gate t) gates;
+    Obs.add c_gates (List.length gates);
+    Obs.observe h_gates_per_cycle (float_of_int (List.length gates));
     if gates = [] then t.stalled <- t.stalled + 1 else t.stalled <- 0;
     let busy = Array.make (Arch.qubit_count t.arch) false in
     List.iter
@@ -346,6 +364,7 @@ let step t =
       gates;
     let swaps_before = t.swaps in
     if t.stalled >= stall_threshold then begin
+      Obs.incr c_stall_recoveries;
       if not (finished t) then ignore (force_progress t)
     end
     else begin

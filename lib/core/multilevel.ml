@@ -22,13 +22,22 @@ let logical_circuit graph ~angles =
 
 let compile ?config ?noise ?init ?(restore = false) arch graph ~angles =
   if Array.length angles = 0 then invalid_arg "Multilevel.compile: no angles";
+  Qcr_obs.Obs.with_span ~cat:"pipeline"
+    ~args:[ ("levels", string_of_int (Array.length angles)) ]
+    "multilevel.compile"
+  @@ fun () ->
   let t0 = Sys.time () in
   let results = ref [] in
   let current_init = ref init in
   Array.iteri
     (fun level (gamma, beta) ->
       let program = level_program graph ~level ~gamma ~beta in
-      let r = Pipeline.compile ?config ?noise ?init:!current_init arch program in
+      let r =
+        Qcr_obs.Obs.with_span ~cat:"pipeline"
+          ~args:[ ("level", string_of_int level) ]
+          "multilevel.level"
+          (fun () -> Pipeline.compile ?config ?noise ?init:!current_init arch program)
+      in
       current_init := Some r.Pipeline.final;
       results := r :: !results)
     angles;

@@ -7,6 +7,19 @@ module Program = Qcr_circuit.Program
 module Gate = Qcr_circuit.Gate
 module Schedule = Qcr_swapnet.Schedule
 module Ata = Qcr_swapnet.Ata
+module Obs = Qcr_obs.Obs
+
+let c_compiles = Obs.counter "pipeline.compiles"
+
+let c_checkpoints = Obs.counter "pipeline.checkpoints_recorded"
+
+let c_placements_tried = Obs.counter "pipeline.placements_tried"
+
+let c_strategy_greedy = Obs.counter "pipeline.strategy.greedy"
+
+let c_strategy_ata = Obs.counter "pipeline.strategy.ata"
+
+let c_strategy_hybrid = Obs.counter "pipeline.strategy.hybrid"
 
 type strategy =
   | Pure_greedy
@@ -38,6 +51,12 @@ let count_swaps circuit =
 (* Wrap a routed interaction block with the program's prologue (under the
    initial mapping) and epilogue (under the final mapping). *)
 let finalize ~arch ~program ~noise ~initial ~final ~strategy ~seconds body =
+  Obs.with_span ~cat:"pipeline" "pipeline.finalize" @@ fun () ->
+  Obs.incr
+    (match strategy with
+    | Pure_greedy -> c_strategy_greedy
+    | Pure_ata -> c_strategy_ata
+    | Hybrid _ -> c_strategy_hybrid);
   let n_phys = Arch.qubit_count arch in
   let circuit = Circuit.create n_phys in
   let place mapping gate = Gate.map_qubits (fun l -> Mapping.phys_of_log mapping l) gate in
@@ -60,10 +79,16 @@ let finalize ~arch ~program ~noise ~initial ~final ~strategy ~seconds body =
 let default_init arch program = Placement.auto arch program
 
 let compile_ata ?noise ?init arch program =
+  Obs.with_span ~cat:"pipeline" "pipeline.compile_ata" @@ fun () ->
   let t0 = Sys.time () in
-  let initial = match init with Some m -> m | None -> default_init arch program in
+  let initial =
+    match init with
+    | Some m -> m
+    | None -> Obs.with_span ~cat:"pipeline" "pipeline.placement" (fun () -> default_init arch program)
+  in
   let mapping = Mapping.copy initial in
   let body =
+    Obs.with_span ~cat:"pipeline" "pipeline.ata_materialize" @@ fun () ->
     Predict.materialize ~use_regions:false ~arch ~program
       ~remaining:(Graph.copy (Program.graph program)) ~mapping ()
   in
@@ -71,11 +96,16 @@ let compile_ata ?noise ?init arch program =
     ~seconds:(Sys.time () -. t0) body
 
 let compile_greedy ?(config = Config.pure_greedy) ?noise ?init arch program =
+  Obs.with_span ~cat:"pipeline" "pipeline.compile_greedy" @@ fun () ->
   let t0 = Sys.time () in
   let config = { config with Config.use_selector = false } in
-  let initial = match init with Some m -> m | None -> default_init arch program in
+  let initial =
+    match init with
+    | Some m -> m
+    | None -> Obs.with_span ~cat:"pipeline" "pipeline.placement" (fun () -> default_init arch program)
+  in
   let engine = Greedy.create ~config ?noise ~arch ~program ~init:initial () in
-  Greedy.run_to_completion engine;
+  Obs.with_span ~cat:"pipeline" "pipeline.greedy" (fun () -> Greedy.run_to_completion engine);
   finalize ~arch ~program ~noise ~initial ~final:(Greedy.mapping engine) ~strategy:Pure_greedy
     ~seconds:(Sys.time () -. t0)
     (Greedy.circuit engine)
@@ -116,15 +146,19 @@ let mean_log_success_of ~noise ~arch =
       if !count = 0 then 0.0 else !total /. float_of_int !count
 
 let rec compile ?(config = Config.default) ?noise ?init arch program =
+  Obs.incr c_compiles;
   match (init, noise) with
   | None, Some _ when Arch.qubit_count arch <= 128 && config.Config.use_selector ->
       (* Qubit error variability (§5.3): on device sizes where a real run
          is plausible, compile each candidate placement and keep the best
          final circuit under the selector cost F. *)
+      Obs.with_span ~cat:"pipeline" "pipeline.placement_selection" @@ fun () ->
       let t0 = Sys.time () in
       let results =
         List.map
-          (fun candidate -> compile ~config ?noise ~init:candidate arch program)
+          (fun candidate ->
+            Obs.incr c_placements_tried;
+            compile ~config ?noise ~init:candidate arch program)
           (Placement.candidates ?noise arch program)
       in
       (* Expected fidelity of a run: gate errors (log_fidelity) plus the
@@ -146,8 +180,13 @@ let rec compile ?(config = Config.default) ?noise ?init arch program =
   | _ -> compile_one ~config ?noise ?init arch program
 
 and compile_one ?(config = Config.default) ?noise ?init arch program =
+  Obs.with_span ~cat:"pipeline" "pipeline.compile" @@ fun () ->
   let t0 = Sys.time () in
-  let initial = match init with Some m -> m | None -> default_init arch program in
+  let initial =
+    match init with
+    | Some m -> m
+    | None -> Obs.with_span ~cat:"pipeline" "pipeline.placement" (fun () -> default_init arch program)
+  in
   let n_phys = Arch.qubit_count arch in
   let stride =
     match config.Config.predict_stride with
@@ -164,6 +203,8 @@ and compile_one ?(config = Config.default) ?noise ?init arch program =
   let use_regions = config.Config.use_regions in
   let checkpoints = ref [] in
   let record () =
+    Obs.with_span ~cat:"pipeline" "pipeline.checkpoint_predict" @@ fun () ->
+    Obs.incr c_checkpoints;
     let prefix = Greedy.circuit engine in
     let prediction =
       Predict.estimate ~use_regions ~arch ~remaining:(Greedy.remaining engine)
@@ -182,18 +223,19 @@ and compile_one ?(config = Config.default) ?noise ?init arch program =
   if config.Config.use_selector then record (); (* cc0: pure ATA *)
   let last_recorded = ref 0 in
   let aborted = ref false in
-  while (not (Greedy.finished engine)) && not !aborted do
-    let mapping_changed = Greedy.step engine in
-    if Greedy.cycle engine > cycle_cap then aborted := true
-    else if
-      config.Config.use_selector && mapping_changed
-      && Greedy.cycle engine - !last_recorded >= stride
-      && not (Greedy.finished engine)
-    then begin
-      last_recorded := Greedy.cycle engine;
-      record ()
-    end
-  done;
+  Obs.with_span ~cat:"pipeline" "pipeline.greedy" (fun () ->
+      while (not (Greedy.finished engine)) && not !aborted do
+        let mapping_changed = Greedy.step engine in
+        if Greedy.cycle engine > cycle_cap then aborted := true
+        else if
+          config.Config.use_selector && mapping_changed
+          && Greedy.cycle engine - !last_recorded >= stride
+          && not (Greedy.finished engine)
+        then begin
+          last_recorded := Greedy.cycle engine;
+          record ()
+        end
+      done);
   if !aborted then record ();
   let greedy_body = Greedy.circuit engine in
   let greedy_depth = Circuit.depth2q greedy_body in
@@ -236,9 +278,11 @@ and compile_one ?(config = Config.default) ?noise ?init arch program =
          the materialized ATA completion. *)
       let cut = candidate.Selector.checkpoint_cycle in
       let engine2 = Greedy.create ~config ?noise ~arch ~program ~init:initial () in
-      Greedy.run_until engine2 cut;
+      Obs.with_span ~cat:"pipeline" "pipeline.greedy_replay" (fun () ->
+          Greedy.run_until engine2 cut);
       let mapping = Mapping.copy (Greedy.mapping engine2) in
       let completion =
+        Obs.with_span ~cat:"pipeline" "pipeline.ata_materialize" @@ fun () ->
         Predict.materialize ~use_regions ~arch ~program
           ~remaining:(Graph.copy (Greedy.remaining engine2))
           ~mapping ()

@@ -1,0 +1,30 @@
+type t = { clock_name : string; read : unit -> float }
+
+let now t = t.read ()
+
+let make ~name read = { clock_name = name; read }
+
+let name t = t.clock_name
+
+let wall = { clock_name = "wall"; read = Unix.gettimeofday }
+
+let cpu = { clock_name = "cpu"; read = Sys.time }
+
+type fake = { mutable current : float; auto_advance : float }
+
+let fake ?(start = 0.0) ?(auto_advance = 0.0) () =
+  let f = { current = start; auto_advance } in
+  let read () =
+    let reading = f.current in
+    f.current <- f.current +. f.auto_advance;
+    reading
+  in
+  (f, { clock_name = "fake"; read })
+
+let advance f delta =
+  if delta < 0.0 then invalid_arg "Clock.advance: negative delta";
+  f.current <- f.current +. delta
+
+let set f reading =
+  if reading < f.current then invalid_arg "Clock.set: moving backwards";
+  f.current <- reading

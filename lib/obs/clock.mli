@@ -1,0 +1,40 @@
+(** Time sources for the observability layer.
+
+    Every timestamp the tracer records flows through a [Clock.t], so the
+    whole subsystem — and anything instrumented with it, notably the A*
+    solver's time budget — can run against a fake clock in tests and
+    produce bit-identical traces.  [now] returns seconds as a float; only
+    differences of readings are meaningful (the epoch is unspecified). *)
+
+type t
+
+val now : t -> float
+(** One reading.  Readings from the same clock are monotone
+    non-decreasing for the built-in clocks below. *)
+
+val make : name:string -> (unit -> float) -> t
+(** Wrap an arbitrary time source. *)
+
+val name : t -> string
+
+val wall : t
+(** Wall-clock seconds ([Unix.gettimeofday]).  The default tracing clock:
+    spans measured with it line up with externally observed latency. *)
+
+val cpu : t
+(** Process CPU seconds ([Sys.time]).  Useful to separate time spent
+    computing from time spent blocked. *)
+
+type fake
+
+val fake : ?start:float -> ?auto_advance:float -> unit -> fake * t
+(** A manually driven clock for tests.  Starts at [start] (default 0.0)
+    and additionally advances by [auto_advance] (default 0.0) seconds on
+    every [now] reading, which makes "the Nth reading crosses the budget"
+    scenarios deterministic without any explicit stepping. *)
+
+val advance : fake -> float -> unit
+(** Move the fake clock forward by a non-negative amount. *)
+
+val set : fake -> float -> unit
+(** Jump the fake clock to an absolute reading (must not move backwards). *)

@@ -1,0 +1,30 @@
+(** Minimal JSON values: just enough to emit Chrome trace-event files and
+    parse them back for validation, with no external dependency.
+
+    The emitter and parser round-trip: [of_string (to_string v) = Ok v]
+    for every value whose floats are finite (numbers print with enough
+    digits to reparse exactly; integral floats print without a fractional
+    part). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Strict parser for the JSON subset this module emits (which is all of
+    JSON minus extensions): rejects trailing garbage, unterminated
+    strings, and malformed numbers, with a character position in the
+    error message. *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] looks up a field; [None] on missing key or
+    non-object. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object fields compare in order. *)

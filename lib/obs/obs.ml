@@ -1,0 +1,232 @@
+module Counter = struct
+  type t = { c_name : string; mutable c_value : int }
+
+  let name c = c.c_name
+
+  let value c = c.c_value
+end
+
+module Histogram = struct
+  (* Power-of-two buckets spanning 2^-32 .. 2^32: wide enough for both
+     sub-microsecond durations and large raw counts without tuning. *)
+  let bucket_count = 64
+
+  let offset = 32
+
+  type t = {
+    h_name : string;
+    mutable h_count : int;
+    mutable h_sum : float;
+    mutable h_min : float;
+    mutable h_max : float;
+    h_buckets : int array;
+  }
+
+  type summary = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    buckets : int array;
+  }
+
+  let bucket_of v =
+    if v <= 0.0 || Float.is_nan v then 0
+    else begin
+      let _, e = Float.frexp v in
+      Stdlib.min (bucket_count - 1) (Stdlib.max 0 (e + offset))
+    end
+
+  let name h = h.h_name
+
+  let summary h =
+    {
+      count = h.h_count;
+      sum = h.h_sum;
+      min = h.h_min;
+      max = h.h_max;
+      buckets = Array.copy h.h_buckets;
+    }
+
+  let empty_summary =
+    {
+      count = 0;
+      sum = 0.0;
+      min = infinity;
+      max = neg_infinity;
+      buckets = Array.make bucket_count 0;
+    }
+
+  let merge a b =
+    {
+      count = a.count + b.count;
+      sum = a.sum +. b.sum;
+      min = Stdlib.min a.min b.min;
+      max = Stdlib.max a.max b.max;
+      buckets = Array.init bucket_count (fun i -> a.buckets.(i) + b.buckets.(i));
+    }
+
+  let mean s = if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
+end
+
+type span = {
+  span_name : string;
+  span_cat : string;
+  span_start : float;
+  span_dur : float;
+  span_depth : int;
+  span_args : (string * string) list;
+}
+
+(* ---------- global sink ---------- *)
+
+let on = ref false
+
+let clock = ref Clock.wall
+
+let recorded : span list ref = ref [] (* reverse end order *)
+
+let depth = ref 0
+
+let counters : (string, Counter.t) Hashtbl.t = Hashtbl.create 64
+
+let histograms : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
+
+let enabled () = !on
+
+let set_clock c = clock := c
+
+let current_clock () = !clock
+
+let now () = Clock.now !clock
+
+let enable ?clock:c () =
+  Option.iter set_clock c;
+  on := true
+
+let disable () = on := false
+
+let reset () =
+  recorded := [];
+  depth := 0;
+  Hashtbl.iter (fun _ c -> c.Counter.c_value <- 0) counters;
+  Hashtbl.iter
+    (fun _ h ->
+      h.Histogram.h_count <- 0;
+      h.Histogram.h_sum <- 0.0;
+      h.Histogram.h_min <- infinity;
+      h.Histogram.h_max <- neg_infinity;
+      Array.fill h.Histogram.h_buckets 0 Histogram.bucket_count 0)
+    histograms
+
+(* ---------- instrumentation ---------- *)
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { Counter.c_name = name; c_value = 0 } in
+      Hashtbl.add counters name c;
+      c
+
+let incr c = if !on then c.Counter.c_value <- c.Counter.c_value + 1
+
+let add c n = if !on then c.Counter.c_value <- c.Counter.c_value + n
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          Histogram.h_name = name;
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+          h_buckets = Array.make Histogram.bucket_count 0;
+        }
+      in
+      Hashtbl.add histograms name h;
+      h
+
+let observe h v =
+  if !on then begin
+    h.Histogram.h_count <- h.Histogram.h_count + 1;
+    h.Histogram.h_sum <- h.Histogram.h_sum +. v;
+    if v < h.Histogram.h_min then h.Histogram.h_min <- v;
+    if v > h.Histogram.h_max then h.Histogram.h_max <- v;
+    let b = Histogram.bucket_of v in
+    h.Histogram.h_buckets.(b) <- h.Histogram.h_buckets.(b) + 1
+  end
+
+let with_span ?(cat = "qcr") ?(args = []) name f =
+  if not !on then f ()
+  else begin
+    let start = now () in
+    let my_depth = !depth in
+    depth := my_depth + 1;
+    let record () =
+      depth := my_depth;
+      let stop = now () in
+      recorded :=
+        {
+          span_name = name;
+          span_cat = cat;
+          span_start = start;
+          span_dur = Stdlib.max 0.0 (stop -. start);
+          span_depth = my_depth;
+          span_args = args;
+        }
+        :: !recorded
+    in
+    Fun.protect ~finally:record f
+  end
+
+(* ---------- inspection ---------- *)
+
+let spans () =
+  List.stable_sort
+    (fun a b ->
+      match compare a.span_start b.span_start with
+      | 0 -> compare a.span_depth b.span_depth
+      | c -> c)
+    (List.rev !recorded)
+
+type snapshot = {
+  snap_counters : (string * int) list;
+  snap_histograms : (string * Histogram.summary) list;
+}
+
+let by_name (a, _) (b, _) = compare (a : string) b
+
+let snapshot () =
+  let cs =
+    Hashtbl.fold
+      (fun name c acc -> if Counter.value c = 0 then acc else (name, Counter.value c) :: acc)
+      counters []
+  in
+  let hs =
+    Hashtbl.fold
+      (fun name h acc ->
+        if h.Histogram.h_count = 0 then acc else (name, Histogram.summary h) :: acc)
+      histograms []
+  in
+  { snap_counters = List.sort by_name cs; snap_histograms = List.sort by_name hs }
+
+let merge_snapshots a b =
+  let merge_assoc combine xs ys =
+    let tbl = Hashtbl.create 32 in
+    List.iter (fun (k, v) -> Hashtbl.replace tbl k v) xs;
+    List.iter
+      (fun (k, v) ->
+        match Hashtbl.find_opt tbl k with
+        | Some prev -> Hashtbl.replace tbl k (combine prev v)
+        | None -> Hashtbl.add tbl k v)
+      ys;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort by_name
+  in
+  {
+    snap_counters = merge_assoc ( + ) a.snap_counters b.snap_counters;
+    snap_histograms = merge_assoc Histogram.merge a.snap_histograms b.snap_histograms;
+  }

@@ -1,0 +1,128 @@
+(** Zero-dependency compiler telemetry: hierarchical tracing spans, named
+    counters, and histograms behind one global sink.
+
+    The sink is disabled by default and every instrumentation entry point
+    ([with_span], [incr], [add], [observe]) is guarded by a single flag
+    check, so instrumented hot paths pay one branch and nothing else when
+    telemetry is off — no allocation, no clock read, no hashing.
+
+    Handles ([Counter.t], [Histogram.t]) are interned by name at module
+    initialization time; incrementing through a handle is a flag check
+    plus an unsynchronized integer store (the compiler is single-threaded,
+    so no atomics are needed).
+
+    Timestamps come from a swappable {!Clock.t} (default {!Clock.wall});
+    installing a fake clock makes traces, and time-budget behavior routed
+    through {!current_clock}, fully deterministic in tests.
+
+    Export: {!Trace_json} renders the recorded spans and counters as
+    Chrome trace-event JSON (loadable in Perfetto / [about://tracing]);
+    {!Summary} renders a human-readable table. *)
+
+module Counter : sig
+  type t
+
+  val name : t -> string
+
+  val value : t -> int
+end
+
+module Histogram : sig
+  type t
+
+  type summary = {
+    count : int;
+    sum : float;
+    min : float;  (** [infinity] when empty *)
+    max : float;  (** [neg_infinity] when empty *)
+    buckets : int array;  (** power-of-two buckets, see {!bucket_of} *)
+  }
+
+  val bucket_count : int
+
+  val bucket_of : float -> int
+  (** Index of the power-of-two bucket a value lands in: bucket [i] holds
+      values in [[2^(i-offset), 2^(i-offset+1))], clamped to the table;
+      non-positive values land in bucket 0. *)
+
+  val name : t -> string
+
+  val summary : t -> summary
+
+  val empty_summary : summary
+
+  val merge : summary -> summary -> summary
+  (** Pointwise merge: counts and sums add, min/max combine, buckets add
+      elementwise.  [merge] is associative and commutative with
+      [empty_summary] as identity. *)
+
+  val mean : summary -> float
+  (** [sum /. count], 0.0 when empty. *)
+end
+
+(** {1 Sink control} *)
+
+val enabled : unit -> bool
+
+val enable : ?clock:Clock.t -> unit -> unit
+(** Turn the sink on (optionally installing a clock first).  Counters,
+    histograms and spans recorded before [enable] are unaffected. *)
+
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop all recorded spans and zero every counter and histogram.
+    Handles stay valid (they are interned, not cleared). *)
+
+val set_clock : Clock.t -> unit
+
+val current_clock : unit -> Clock.t
+
+val now : unit -> float
+(** Read the currently installed clock (works whether or not the sink is
+    enabled — instrumented code uses this for time budgets). *)
+
+(** {1 Instrumentation} *)
+
+val counter : string -> Counter.t
+(** Intern a counter; the same name always yields the same handle. *)
+
+val incr : Counter.t -> unit
+
+val add : Counter.t -> int -> unit
+
+val histogram : string -> Histogram.t
+
+val observe : Histogram.t -> float -> unit
+
+val with_span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span.  When the sink is disabled
+    this is exactly [f ()].  Spans nest: the span records its depth (root
+    spans are depth 0) so exporters can reconstruct the hierarchy.  The
+    span is recorded even if [f] raises. *)
+
+(** {1 Inspection and export support} *)
+
+type span = {
+  span_name : string;
+  span_cat : string;
+  span_start : float;  (** clock reading at entry *)
+  span_dur : float;
+  span_depth : int;  (** 0 = root *)
+  span_args : (string * string) list;
+}
+
+val spans : unit -> span list
+(** All recorded spans in chronological order of their start. *)
+
+type snapshot = {
+  snap_counters : (string * int) list;  (** sorted by name, zeros omitted *)
+  snap_histograms : (string * Histogram.summary) list;
+      (** sorted by name, empties omitted *)
+}
+
+val snapshot : unit -> snapshot
+
+val merge_snapshots : snapshot -> snapshot -> snapshot
+(** Counters add, histograms merge; the result is sorted by name.  Used
+    to aggregate per-case benchmark snapshots into a run total. *)

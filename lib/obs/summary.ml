@@ -1,0 +1,98 @@
+module Tablefmt = Qcr_util.Tablefmt
+module Asciiplot = Qcr_util.Asciiplot
+
+type agg = {
+  mutable n : int;
+  mutable total : float;
+  mutable dmin : float;
+  mutable dmax : float;
+}
+
+let span_table spans =
+  let tbl : (string, agg) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun sp ->
+      let a =
+        match Hashtbl.find_opt tbl sp.Obs.span_name with
+        | Some a -> a
+        | None ->
+            let a = { n = 0; total = 0.0; dmin = infinity; dmax = neg_infinity } in
+            Hashtbl.add tbl sp.Obs.span_name a;
+            order := sp.Obs.span_name :: !order;
+            a
+      in
+      a.n <- a.n + 1;
+      a.total <- a.total +. sp.Obs.span_dur;
+      if sp.Obs.span_dur < a.dmin then a.dmin <- sp.Obs.span_dur;
+      if sp.Obs.span_dur > a.dmax then a.dmax <- sp.Obs.span_dur)
+    spans;
+  let rows =
+    List.rev !order
+    |> List.map (fun name -> (name, Hashtbl.find tbl name))
+    |> List.sort (fun (_, a) (_, b) -> compare b.total a.total)
+  in
+  let t = Tablefmt.create [ "span"; "calls"; "total ms"; "mean ms"; "min ms"; "max ms" ] in
+  List.iter
+    (fun (name, a) ->
+      let ms x = Tablefmt.cell_float ~decimals:3 (x *. 1000.0) in
+      Tablefmt.add_row t
+        [
+          name;
+          Tablefmt.cell_int a.n;
+          ms a.total;
+          ms (a.total /. float_of_int a.n);
+          ms a.dmin;
+          ms a.dmax;
+        ])
+    rows;
+  (t, rows <> [])
+
+let counter_table counters =
+  let t = Tablefmt.create [ "counter"; "value" ] in
+  List.iter (fun (name, v) -> Tablefmt.add_row t [ name; Tablefmt.cell_int v ]) counters;
+  (t, counters <> [])
+
+let histogram_section (name, summary) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "histogram %s: count=%d mean=%.3f min=%.3f max=%.3f\n" name
+       summary.Obs.Histogram.count
+       (Obs.Histogram.mean summary)
+       summary.Obs.Histogram.min summary.Obs.Histogram.max);
+  (* only the populated buckets, labelled by upper bound exponent (bucket
+     0 also catches non-positive values) *)
+  let buckets = summary.Obs.Histogram.buckets in
+  let bars = ref [] in
+  for i = Array.length buckets - 1 downto 0 do
+    if buckets.(i) > 0 then begin
+      let label = if i = 0 then "<=2^-31" else Printf.sprintf "<2^%d" (i - 32 + 1) in
+      bars := (label, [ float_of_int buckets.(i) ]) :: !bars
+    end
+  done;
+  if !bars <> [] then Buffer.add_string b (Asciiplot.bars ~width:40 !bars);
+  Buffer.contents b
+
+let render_of ~spans ~snapshot =
+  let b = Buffer.create 1024 in
+  let spans_t, have_spans = span_table spans in
+  if have_spans then begin
+    Buffer.add_string b "-- spans --\n";
+    Buffer.add_string b (Tablefmt.render spans_t);
+    Buffer.add_char b '\n'
+  end;
+  let counters_t, have_counters = counter_table snapshot.Obs.snap_counters in
+  if have_counters then begin
+    Buffer.add_string b "-- counters --\n";
+    Buffer.add_string b (Tablefmt.render counters_t);
+    Buffer.add_char b '\n'
+  end;
+  List.iter
+    (fun h -> Buffer.add_string b (histogram_section h))
+    snapshot.Obs.snap_histograms;
+  if Buffer.length b = 0 then Buffer.add_string b "(no telemetry recorded)\n";
+  Buffer.contents b
+
+let render () = render_of ~spans:(Obs.spans ()) ~snapshot:(Obs.snapshot ())
+
+let print () = print_string (render ())

@@ -1,0 +1,12 @@
+(** Human-readable telemetry report: spans aggregated by name, counter
+    values, and histogram shapes, rendered with [Qcr_util.Tablefmt] (and
+    [Qcr_util.Asciiplot] bars for histogram buckets).  This is what
+    [qcr_cli --metrics] prints after a run. *)
+
+val render_of : spans:Obs.span list -> snapshot:Obs.snapshot -> string
+(** Pure renderer, for tests. *)
+
+val render : unit -> string
+(** [render_of] applied to the current global sink state. *)
+
+val print : unit -> unit

@@ -1,0 +1,66 @@
+let us_of_seconds s = s *. 1e6
+
+let json_of ?(process_name = "qcr") ~spans ~snapshot () =
+  let epoch =
+    List.fold_left (fun acc sp -> Stdlib.min acc sp.Obs.span_start) infinity spans
+  in
+  let epoch = if Float.is_finite epoch then epoch else 0.0 in
+  let span_event sp =
+    let args =
+      List.map (fun (k, v) -> (k, Json.Str v)) sp.Obs.span_args
+      @ [ ("depth", Json.Num (float_of_int sp.Obs.span_depth)) ]
+    in
+    Json.Obj
+      [
+        ("name", Json.Str sp.Obs.span_name);
+        ("cat", Json.Str sp.Obs.span_cat);
+        ("ph", Json.Str "X");
+        ("ts", Json.Num (us_of_seconds (sp.Obs.span_start -. epoch)));
+        ("dur", Json.Num (us_of_seconds sp.Obs.span_dur));
+        ("pid", Json.Num 1.0);
+        ("tid", Json.Num 1.0);
+        ("args", Json.Obj args);
+      ]
+  in
+  let trace_end =
+    List.fold_left
+      (fun acc sp -> Stdlib.max acc (sp.Obs.span_start +. sp.Obs.span_dur -. epoch))
+      0.0 spans
+  in
+  let counter_event (name, value) =
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("ph", Json.Str "C");
+        ("ts", Json.Num (us_of_seconds trace_end));
+        ("pid", Json.Num 1.0);
+        ("args", Json.Obj [ ("value", Json.Num (float_of_int value)) ]);
+      ]
+  in
+  let metadata =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Num 1.0);
+        ("args", Json.Obj [ ("name", Json.Str process_name) ]);
+      ]
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.Arr
+          ((metadata :: List.map span_event spans)
+          @ List.map counter_event snapshot.Obs.snap_counters) );
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let json () = json_of ~spans:(Obs.spans ()) ~snapshot:(Obs.snapshot ()) ()
+
+let to_string () = Json.to_string (json ())
+
+let write_file path =
+  let oc = open_out path in
+  output_string oc (to_string ());
+  output_char oc '\n';
+  close_out oc

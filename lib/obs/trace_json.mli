@@ -1,0 +1,19 @@
+(** Chrome trace-event export.
+
+    Renders the sink's recorded spans as ["X"] (complete) events and the
+    final counter values as ["C"] (counter) events in the JSON object
+    format, loadable in Perfetto ({{:https://ui.perfetto.dev}ui.perfetto.dev})
+    or Chrome's [about://tracing].  Timestamps are microseconds relative
+    to the earliest recorded span, so traces from a fake clock are
+    deterministic. *)
+
+val json_of : ?process_name:string -> spans:Obs.span list -> snapshot:Obs.snapshot -> unit -> Json.t
+(** Pure builder, for tests and custom sinks. *)
+
+val json : unit -> Json.t
+(** [json_of] applied to the current global sink state. *)
+
+val to_string : unit -> string
+
+val write_file : string -> unit
+(** Write [to_string ()] (plus a trailing newline) to a file. *)

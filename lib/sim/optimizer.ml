@@ -1,5 +1,13 @@
 type trace = { round_best : float array; evaluations : int }
 
+module Obs = Qcr_obs.Obs
+
+let c_runs = Obs.counter "optimizer.runs"
+
+let c_rounds = Obs.counter "optimizer.rounds"
+
+let c_evaluations = Obs.counter "optimizer.evaluations"
+
 (* Standard Nelder-Mead coefficients. *)
 let alpha = 1.0 (* reflection *)
 let gamma = 2.0 (* expansion *)
@@ -9,6 +17,10 @@ let sigma = 0.5 (* shrink *)
 let nelder_mead ?(max_rounds = 30) ?(init_step = 0.3) ~f ~init () =
   let dim = Array.length init in
   if dim = 0 then invalid_arg "Optimizer.nelder_mead: empty parameter vector";
+  Obs.with_span ~cat:"sim"
+    ~args:[ ("dim", string_of_int dim); ("max_rounds", string_of_int max_rounds) ]
+    "optimizer.nelder_mead"
+  @@ fun () ->
   let evaluations = ref 0 in
   let eval x =
     incr evaluations;
@@ -89,4 +101,7 @@ let nelder_mead ?(max_rounds = 30) ?(init_step = 0.3) ~f ~init () =
     round_best.(round) <- !best_so_far
   done;
   let idx = order () in
+  Obs.incr c_runs;
+  Obs.add c_rounds max_rounds;
+  Obs.add c_evaluations !evaluations;
   (points.(idx.(0)), values.(idx.(0)), { round_best; evaluations = !evaluations })

@@ -5,6 +5,13 @@ module Program = Qcr_circuit.Program
 module Mapping = Qcr_circuit.Mapping
 module Noise = Qcr_arch.Noise
 module Prng = Qcr_util.Prng
+module Obs = Qcr_obs.Obs
+
+let c_fused_states = Obs.counter "qaoa.fused_states"
+
+let c_evaluations = Obs.counter "qaoa.evaluations"
+
+let c_shots = Obs.counter "qaoa.shots_sampled"
 
 type evaluation = {
   distribution : float array;
@@ -59,6 +66,7 @@ let cost_layer_for graph =
 (* The exact state Statevector.run produces for the p=1 QAOA logical
    circuit (H layer, diagonal separator, Rx mixer), via the fused kernel. *)
 let fused_state layer ~gamma ~beta =
+  Obs.incr c_fused_states;
   let n = Graph.vertex_count layer.layer_graph in
   let sv = Statevector.create_plus n in
   let m = layer.layer_edges in
@@ -71,6 +79,8 @@ let fused_state layer ~gamma ~beta =
   sv
 
 let evaluate ?noise ?shots ?rng ?cost ~graph ~compiled ~final () =
+  Obs.incr c_evaluations;
+  (match shots with Some s -> Obs.add c_shots s | None -> ());
   let gamma, beta = angles_of_compiled compiled in
   let layer = match cost with Some layer -> layer | None -> cost_layer_for graph in
   let ideal = fused_state layer ~gamma ~beta in
@@ -108,6 +118,14 @@ type driver_result = {
 }
 
 let run_driver ?(rounds = 30) ?(shots = 8000) ?(seed = 11) ?noise ~graph ~compile () =
+  Obs.with_span ~cat:"sim"
+    ~args:
+      [
+        ("n", string_of_int (Graph.vertex_count graph));
+        ("rounds", string_of_int rounds);
+      ]
+    "qaoa.run_driver"
+  @@ fun () ->
   let rng = Prng.create seed in
   let cost = cost_layer_for graph in
   let objective angles =

@@ -150,7 +150,10 @@ let rec apply t g =
       apply t (Gate.Swap (a, b))
   | Gate.Measure _ | Gate.Barrier -> ()
 
+let c_runs = Qcr_obs.Obs.counter "statevector.runs"
+
 let run circuit =
+  Qcr_obs.Obs.incr c_runs;
   let t = create (Circuit.qubit_count circuit) in
   List.iter (apply t) (Circuit.gates circuit);
   t

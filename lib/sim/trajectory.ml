@@ -4,6 +4,11 @@ module Mapping = Qcr_circuit.Mapping
 module Noise = Qcr_arch.Noise
 module Program = Qcr_circuit.Program
 module Prng = Qcr_util.Prng
+module Obs = Qcr_obs.Obs
+
+let c_trajectories = Obs.counter "trajectory.trajectories"
+
+let c_injections = Obs.counter "trajectory.pauli_injections"
 
 let logical_distribution sv ~final =
   let n_phys = Statevector.qubit_count sv in
@@ -27,6 +32,7 @@ let logical_distribution sv ~final =
    pick from the 15 non-identity elements of {I,X,Y,Z}^2.  Y = i X Z; the
    global phase is irrelevant, so Y is applied as X then Z. *)
 let inject_pauli rng sv a b =
+  Obs.incr c_injections;
   let apply_single wire = function
     | 0 -> ()
     | 1 -> Statevector.apply sv (Gate.X wire)
@@ -66,6 +72,11 @@ let run_noisy rng ~noise ~n ops =
 
 let distribution ?(seed = 19) ?(trajectories = 200) ~noise ~compiled ~final () =
   if trajectories < 1 then invalid_arg "Trajectory.distribution: trajectories < 1";
+  Obs.with_span ~cat:"sim"
+    ~args:[ ("trajectories", string_of_int trajectories) ]
+    "trajectory.distribution"
+  @@ fun () ->
+  Obs.add c_trajectories trajectories;
   let rng = Prng.create seed in
   let n_log = Mapping.logical_count final in
   let n = Circuit.qubit_count compiled in

@@ -4,6 +4,27 @@ module Mapping = Qcr_circuit.Mapping
 module Bitset = Qcr_util.Bitset
 module Pqueue = Qcr_util.Pqueue
 module Zobrist = Qcr_util.Zobrist
+module Obs = Qcr_obs.Obs
+module Clock = Qcr_obs.Clock
+
+(* Telemetry: counters accumulate locally in the hot loop and flush once
+   per solve, so the search pays nothing for instrumentation beyond the
+   flag checks at the flush site. *)
+let c_solves = Obs.counter "astar.solves"
+
+let c_expanded = Obs.counter "astar.expanded"
+
+let c_heuristic = Obs.counter "astar.heuristic_evals"
+
+let c_pushed = Obs.counter "astar.pushed"
+
+let c_closed_hits = Obs.counter "astar.closed_hits"
+
+let c_collisions = Obs.counter "astar.collisions"
+
+let c_budget_cut = Obs.counter "astar.budget_cut"
+
+let h_expanded = Obs.histogram "astar.expanded_per_solve"
 
 type action =
   | Do_gate of int * int
@@ -41,19 +62,24 @@ let key_of node =
   Buffer.contents b
 
 let solve ?(node_budget = 2_000_000) ?time_budget ?(weight = 1.0) ?(keying = `Zobrist)
-    ~problem ~coupling ~init () =
-  (* wall clock, not Sys.time (process CPU time); only sampled every 256
-     expansions, so the syscall stays off the hot loop *)
-  let started = Unix.gettimeofday () in
-  let out_of_time () =
-    match time_budget with
-    | None -> false
-    | Some limit -> Unix.gettimeofday () -. started > limit
-  in
+    ?clock ~problem ~coupling ~init () =
   let n_log = Graph.vertex_count problem in
   let n_phys = Graph.vertex_count coupling in
   if n_log > Mapping.logical_count init then invalid_arg "Astar.solve: mapping too small";
   if n_phys > 255 then invalid_arg "Astar.solve: solver is for small devices";
+  Obs.with_span ~cat:"solver"
+    ~args:[ ("n_log", string_of_int n_log); ("n_phys", string_of_int n_phys) ]
+    "astar.solve"
+  @@ fun () ->
+  (* a clock (wall by default), not Sys.time (process CPU time); only
+     sampled every 256 expansions, so the read stays off the hot loop *)
+  let clock = match clock with Some c -> c | None -> Obs.current_clock () in
+  let started = Clock.now clock in
+  let out_of_time () =
+    match time_budget with
+    | None -> false
+    | Some limit -> Clock.now clock -. started > limit
+  in
   let dists = Paths.all_pairs coupling in
   let dist p q = Paths.distance dists p q in
   let edges = Array.of_list (Graph.edges coupling) in
@@ -104,7 +130,9 @@ let solve ?(node_budget = 2_000_000) ?time_budget ?(weight = 1.0) ?(keying = `Zo
     end
   in
   let phys_of_log = Array.make n_log (-1) in
+  let h_evals = ref 0 in
   let heuristic node =
+    incr h_evals;
     Array.iteri (fun p l -> if l < n_log then phys_of_log.(l) <- p) node.l_of_p;
     let best = ref 0 in
     Bitset.iter
@@ -130,9 +158,10 @@ let solve ?(node_budget = 2_000_000) ?time_budget ?(weight = 1.0) ?(keying = `Zo
      collisions).  Values hold the best g seen, mutable for decrease-key. *)
   let closed_z : (int, int * int ref) Hashtbl.t = Hashtbl.create 4096 in
   let closed_s : (string, int ref) Hashtbl.t = Hashtbl.create 4096 in
+  let closed_hits = ref 0 in
   (* record [node] in the closed set; true when it improves on every copy
      seen so far and should be pushed *)
-  let visit node =
+  let visit_raw node =
     match keying with
     | `Zobrist -> (
         (* fast path: at most one binding per h1 in practice; the find_all
@@ -177,6 +206,12 @@ let solve ?(node_budget = 2_000_000) ?time_budget ?(weight = 1.0) ?(keying = `Zo
             Hashtbl.add closed_s key (ref node.g);
             true)
   in
+  let visit node =
+    let fresh = visit_raw node in
+    if not fresh then incr closed_hits;
+    fresh
+  in
+  let pushed = ref 1 in
   Pqueue.push queue ~prio:(priority root) root;
   ignore (visit root);
   let expanded = ref 0 in
@@ -297,11 +332,22 @@ let solve ?(node_budget = 2_000_000) ?time_budget ?(weight = 1.0) ?(keying = `Zo
              List.iter
                (fun actions ->
                  let child = apply node actions in
-                 if visit child then Pqueue.push queue ~prio:(priority child) child)
+                 if visit child then begin
+                   incr pushed;
+                   Pqueue.push queue ~prio:(priority child) child
+                 end)
                (expand node)
            end
      done
    with Exit -> ());
+  Obs.incr c_solves;
+  Obs.add c_expanded !expanded;
+  Obs.add c_heuristic !h_evals;
+  Obs.add c_pushed !pushed;
+  Obs.add c_closed_hits !closed_hits;
+  Obs.add c_collisions !collisions;
+  if !budget_hit then Obs.incr c_budget_cut;
+  Obs.observe h_expanded (float_of_int !expanded);
   match !solution with
   | None -> None
   | Some goal ->

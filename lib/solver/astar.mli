@@ -32,21 +32,31 @@ val solve :
   ?time_budget:float ->
   ?weight:float ->
   ?keying:[ `Zobrist | `String ] ->
+  ?clock:Qcr_obs.Clock.t ->
   problem:Qcr_graph.Graph.t ->
   coupling:Qcr_graph.Graph.t ->
   init:Qcr_circuit.Mapping.t ->
   unit ->
   outcome option
 (** [None] if a budget exhausts before any complete schedule is found.
-    [node_budget] caps expansions; [time_budget] (seconds of wall clock,
+    [node_budget] caps expansions; [time_budget] (seconds on [clock],
     sampled every 256 expansions, default unlimited) caps the search the
-    way the paper caps the SAT baselines at hours/days.  [weight]
-    (default 1.0) multiplies the heuristic: > 1.0 trades optimality for
-    speed (the anytime mode used for the SAT-baseline comparison).
-    [keying] selects the closed-set key: incremental dual Zobrist hashes
-    over the physical→logical mapping and remaining-edge bitset (default;
-    O(1) per search edge), or the serialized-node [`String] keys kept as
-    the reference implementation. *)
+    way the paper caps the SAT baselines at hours/days.  [clock] defaults
+    to the telemetry layer's installed clock ({!Qcr_obs.Obs.current_clock},
+    wall time unless overridden), so a fake clock makes budget-cut
+    behavior deterministic in tests.  [weight] (default 1.0) multiplies
+    the heuristic: > 1.0 trades optimality for speed (the anytime mode
+    used for the SAT-baseline comparison).  [keying] selects the
+    closed-set key: incremental dual Zobrist hashes over the
+    physical→logical mapping and remaining-edge bitset (default; O(1) per
+    search edge), or the serialized-node [`String] keys kept as the
+    reference implementation.
+
+    When the telemetry sink is enabled ({!Qcr_obs.Obs.enable}), each call
+    runs under an ["astar.solve"] span and flushes the [astar.*] counters
+    — [expanded], [heuristic_evals], [pushed], [closed_hits],
+    [collisions], and [budget_cut] (incremented whenever a node or time
+    budget terminates the search early). *)
 
 val schedule_of_outcome : outcome -> init:Qcr_circuit.Mapping.t -> Qcr_swapnet.Schedule.t
 (** Convert the solved action cycles into a physical swap-network schedule

@@ -4,6 +4,17 @@ module Circuit = Qcr_circuit.Circuit
 module Program = Qcr_circuit.Program
 module Mapping = Qcr_circuit.Mapping
 module Gate = Qcr_circuit.Gate
+module Obs = Qcr_obs.Obs
+
+let c_realizations = Obs.counter "swapnet.realizations"
+
+let c_cycles_realized = Obs.counter "swapnet.cycles_realized"
+
+let c_swaps_inserted = Obs.counter "swapnet.swaps_inserted"
+
+let c_gates_emitted = Obs.counter "swapnet.gates_emitted"
+
+let c_estimates = Obs.counter "swapnet.estimates"
 
 type op = Swap of int * int | Touch of int * int
 
@@ -165,6 +176,7 @@ let walk ~graph ~mapping ~emit_gate ~emit_swap =
   (step_op, done_)
 
 let realize ~program ~mapping ~n_phys t =
+  Obs.with_span ~cat:"swapnet" "swapnet.realize" @@ fun () ->
   let graph = Program.graph program in
   let circuit = Circuit.create n_phys in
   let swaps = ref 0 in
@@ -192,9 +204,14 @@ let realize ~program ~mapping ~n_phys t =
          List.iter step_op c)
        t
    with Exit -> ());
+  Obs.incr c_realizations;
+  Obs.add c_cycles_realized !cycles;
+  Obs.add c_swaps_inserted !swaps;
+  Obs.add c_gates_emitted (List.length !emitted);
   { circuit; cycles_used = !cycles; swaps_used = !swaps; emitted = List.rev !emitted }
 
 let estimate ~remaining ~mapping t =
+  Obs.incr c_estimates;
   let mapping = Mapping.copy mapping in
   let swaps = ref 0 in
   let merged = ref 0 in

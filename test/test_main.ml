@@ -2,6 +2,7 @@ let () =
   Alcotest.run "qcr"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("asciiplot", Test_asciiplot.suite);
       ("api-surface", Test_api_surface.suite);
       ("graph", Test_graph.suite);

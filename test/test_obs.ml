@@ -1,0 +1,404 @@
+(* Tests for the observability layer: fake-clock spans, counter and
+   histogram semantics, the disabled sink being a no-op, JSON round-trip,
+   and the deterministic A* time-budget cut. *)
+
+module Obs = Qcr_obs.Obs
+module Clock = Qcr_obs.Clock
+module Json = Qcr_obs.Json
+module Trace_json = Qcr_obs.Trace_json
+module Summary = Qcr_obs.Summary
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Mapping = Qcr_circuit.Mapping
+module Astar = Qcr_solver.Astar
+
+(* The sink is global state shared with every other suite in this binary;
+   always leave it disabled and empty. *)
+let with_sink ?clock f =
+  Obs.enable ?clock ();
+  Obs.reset ();
+  Fun.protect f ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ();
+      Obs.set_clock Clock.wall)
+
+(* ---------- clocks ---------- *)
+
+let test_fake_clock () =
+  let fk, clock = Clock.fake ~start:5.0 () in
+  Alcotest.(check (float 0.0)) "start" 5.0 (Clock.now clock);
+  Clock.advance fk 2.5;
+  Alcotest.(check (float 0.0)) "advance" 7.5 (Clock.now clock);
+  Clock.set fk 10.0;
+  Alcotest.(check (float 0.0)) "set" 10.0 (Clock.now clock);
+  Alcotest.check_raises "negative advance" (Invalid_argument "Clock.advance: negative delta")
+    (fun () -> Clock.advance fk (-1.0));
+  Alcotest.check_raises "backwards set" (Invalid_argument "Clock.set: moving backwards")
+    (fun () -> Clock.set fk 9.0)
+
+let test_fake_clock_auto_advance () =
+  let _, clock = Clock.fake ~auto_advance:1.0 () in
+  Alcotest.(check (float 0.0)) "first reading" 0.0 (Clock.now clock);
+  Alcotest.(check (float 0.0)) "second reading" 1.0 (Clock.now clock);
+  Alcotest.(check (float 0.0)) "third reading" 2.0 (Clock.now clock)
+
+let test_builtin_clocks () =
+  Alcotest.(check string) "wall name" "wall" (Clock.name Clock.wall);
+  Alcotest.(check string) "cpu name" "cpu" (Clock.name Clock.cpu);
+  let a = Clock.now Clock.wall in
+  let b = Clock.now Clock.wall in
+  Alcotest.(check bool) "wall monotone" true (b >= a)
+
+(* ---------- spans under a fake clock ---------- *)
+
+let test_span_nesting () =
+  let _, clock = Clock.fake ~auto_advance:1.0 () in
+  with_sink ~clock (fun () ->
+      let r =
+        Obs.with_span "outer" (fun () ->
+            Obs.with_span ~cat:"inner-cat" ~args:[ ("k", "v") ] "inner" (fun () -> 42))
+      in
+      Alcotest.(check int) "return value" 42 r;
+      match Obs.spans () with
+      | [ outer; inner ] ->
+          Alcotest.(check string) "outer name" "outer" outer.Obs.span_name;
+          Alcotest.(check int) "outer depth" 0 outer.Obs.span_depth;
+          (* readings: outer start 0, inner start 1, inner end 2, outer
+             end 3 — each reading auto-advances by 1.0 *)
+          Alcotest.(check (float 0.0)) "outer start" 0.0 outer.Obs.span_start;
+          Alcotest.(check (float 0.0)) "outer dur" 3.0 outer.Obs.span_dur;
+          Alcotest.(check string) "inner name" "inner" inner.Obs.span_name;
+          Alcotest.(check int) "inner depth" 1 inner.Obs.span_depth;
+          Alcotest.(check (float 0.0)) "inner start" 1.0 inner.Obs.span_start;
+          Alcotest.(check (float 0.0)) "inner dur" 1.0 inner.Obs.span_dur;
+          Alcotest.(check string) "inner cat" "inner-cat" inner.Obs.span_cat;
+          Alcotest.(check (list (pair string string))) "inner args" [ ("k", "v") ]
+            inner.Obs.span_args
+      | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans))
+
+let test_span_ordering () =
+  let _, clock = Clock.fake ~auto_advance:1.0 () in
+  with_sink ~clock (fun () ->
+      Obs.with_span "a" (fun () -> ());
+      Obs.with_span "b" (fun () -> Obs.with_span "c" (fun () -> ()));
+      let names = List.map (fun sp -> sp.Obs.span_name) (Obs.spans ()) in
+      (* chronological by start, not by completion order (c ends before b) *)
+      Alcotest.(check (list string)) "start order" [ "a"; "b"; "c" ] names)
+
+let test_span_survives_raise () =
+  let _, clock = Clock.fake ~auto_advance:1.0 () in
+  with_sink ~clock (fun () ->
+      (try Obs.with_span "doomed" (fun () -> raise Exit) with Exit -> ());
+      match Obs.spans () with
+      | [ sp ] ->
+          Alcotest.(check string) "name" "doomed" sp.Obs.span_name;
+          Alcotest.(check int) "depth unwound" 0 sp.Obs.span_depth;
+          (* a later span must not inherit the aborted nesting level *)
+          Obs.with_span "after" (fun () -> ());
+          let after = List.nth (Obs.spans ()) 1 in
+          Alcotest.(check int) "subsequent depth" 0 after.Obs.span_depth
+      | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans))
+
+(* ---------- counters ---------- *)
+
+let test_counters () =
+  let c = Obs.counter "test.counter" in
+  Alcotest.(check string) "name" "test.counter" (Obs.Counter.name c);
+  Alcotest.(check bool) "interned" true (c == Obs.counter "test.counter");
+  with_sink (fun () ->
+      Obs.incr c;
+      Obs.add c 10;
+      Alcotest.(check int) "value" 11 (Obs.Counter.value c);
+      let snap = Obs.snapshot () in
+      Alcotest.(check bool) "in snapshot" true
+        (List.mem ("test.counter", 11) snap.Obs.snap_counters))
+
+let test_disabled_sink_is_noop () =
+  Obs.disable ();
+  Obs.reset ();
+  let c = Obs.counter "test.noop" in
+  let h = Obs.histogram "test.noop_h" in
+  Obs.incr c;
+  Obs.add c 100;
+  Obs.observe h 3.0;
+  let r = Obs.with_span "invisible" (fun () -> 7) in
+  Alcotest.(check int) "with_span passes through" 7 r;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Counter.value c);
+  Alcotest.(check int) "histogram untouched" 0 (Obs.Histogram.summary h).Obs.Histogram.count;
+  Alcotest.(check int) "no spans" 0 (List.length (Obs.spans ()));
+  let snap = Obs.snapshot () in
+  Alcotest.(check int) "empty snapshot counters" 0 (List.length snap.Obs.snap_counters);
+  Alcotest.(check int) "empty snapshot histograms" 0 (List.length snap.Obs.snap_histograms)
+
+let test_reset_keeps_handles () =
+  let c = Obs.counter "test.reset" in
+  with_sink (fun () ->
+      Obs.add c 5;
+      Obs.reset ();
+      Alcotest.(check int) "zeroed" 0 (Obs.Counter.value c);
+      Obs.incr c;
+      Alcotest.(check int) "handle still live" 1 (Obs.Counter.value c))
+
+(* ---------- histograms ---------- *)
+
+let test_histogram_buckets () =
+  Alcotest.(check int) "non-positive" 0 (Obs.Histogram.bucket_of (-3.0));
+  Alcotest.(check int) "zero" 0 (Obs.Histogram.bucket_of 0.0);
+  (* 1.0 = 2^0 lands in the bucket for [2^0, 2^1) *)
+  let b1 = Obs.Histogram.bucket_of 1.0 in
+  Alcotest.(check int) "2.0 one bucket up" (b1 + 1) (Obs.Histogram.bucket_of 2.0);
+  Alcotest.(check int) "1.5 same bucket as 1.0" b1 (Obs.Histogram.bucket_of 1.5);
+  Alcotest.(check int) "0.5 one bucket down" (b1 - 1) (Obs.Histogram.bucket_of 0.5);
+  Alcotest.(check bool) "huge clamps" true
+    (Obs.Histogram.bucket_of 1e300 < Obs.Histogram.bucket_count)
+
+let summary_of values =
+  let h = Obs.histogram "test.merge_h" in
+  with_sink (fun () ->
+      List.iter (Obs.observe h) values;
+      Obs.Histogram.summary h)
+
+let check_summary_eq what (a : Obs.Histogram.summary) (b : Obs.Histogram.summary) =
+  Alcotest.(check int) (what ^ " count") a.Obs.Histogram.count b.Obs.Histogram.count;
+  Alcotest.(check (float 1e-9)) (what ^ " sum") a.Obs.Histogram.sum b.Obs.Histogram.sum;
+  Alcotest.(check (float 0.0)) (what ^ " min") a.Obs.Histogram.min b.Obs.Histogram.min;
+  Alcotest.(check (float 0.0)) (what ^ " max") a.Obs.Histogram.max b.Obs.Histogram.max;
+  Alcotest.(check (array int)) (what ^ " buckets") a.Obs.Histogram.buckets b.Obs.Histogram.buckets
+
+let test_histogram_merge () =
+  let open Obs.Histogram in
+  let s1 = summary_of [ 1.0; 2.0; 4.0 ] in
+  let s2 = summary_of [ 0.5; 8.0 ] in
+  let s3 = summary_of [ 16.0 ] in
+  let all = summary_of [ 1.0; 2.0; 4.0; 0.5; 8.0; 16.0 ] in
+  (* merging partitions reproduces observing everything at once *)
+  check_summary_eq "partition" (merge s1 (merge s2 s3)) all;
+  (* associative, commutative, identity *)
+  check_summary_eq "assoc" (merge (merge s1 s2) s3) (merge s1 (merge s2 s3));
+  check_summary_eq "comm" (merge s1 s2) (merge s2 s1);
+  check_summary_eq "left id" (merge empty_summary s1) s1;
+  check_summary_eq "right id" (merge s1 empty_summary) s1;
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (mean (summary_of [ 1.0; 2.0; 3.0 ]));
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (mean empty_summary)
+
+let test_merge_snapshots () =
+  let snap counters =
+    { Obs.snap_counters = counters; snap_histograms = [] }
+  in
+  let merged = Obs.merge_snapshots (snap [ ("a", 1); ("b", 2) ]) (snap [ ("b", 3); ("c", 4) ]) in
+  Alcotest.(check (list (pair string int))) "counters add, sorted"
+    [ ("a", 1); ("b", 5); ("c", 4) ]
+    merged.Obs.snap_counters
+
+(* ---------- JSON ---------- *)
+
+let json_testable = Alcotest.testable (fun fmt v -> Format.pp_print_string fmt (Json.to_string v)) Json.equal
+
+let test_json_basics () =
+  let check_rt what v =
+    match Json.of_string (Json.to_string v) with
+    | Ok v' -> Alcotest.check json_testable what v v'
+    | Error e -> Alcotest.failf "%s: parse error: %s" what e
+  in
+  check_rt "null" Json.Null;
+  check_rt "bools" (Json.Arr [ Json.Bool true; Json.Bool false ]);
+  check_rt "numbers"
+    (Json.Arr [ Json.Num 0.0; Json.Num (-17.0); Json.Num 3.5; Json.Num 1e-3; Json.Num 1e15 ]);
+  check_rt "strings"
+    (Json.Arr [ Json.Str ""; Json.Str "plain"; Json.Str "esc \" \\ \n \t \x01"; Json.Str "αβ → ✓" ]);
+  check_rt "nested"
+    (Json.Obj [ ("a", Json.Arr [ Json.Obj [ ("b", Json.Null) ] ]); ("c", Json.Str "d") ])
+
+let test_json_parser_rejects () =
+  let rejects what s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.failf "%s: expected parse error for %S" what s
+    | Error _ -> ()
+  in
+  rejects "unterminated object" "{";
+  rejects "trailing comma" "[1,]";
+  rejects "bad literal" "tru";
+  rejects "trailing garbage" "1 x";
+  rejects "unterminated string" "\"abc";
+  rejects "lone minus" "-";
+  rejects "empty input" "";
+  Alcotest.(check bool) "escapes parse" true
+    (Json.of_string "\"\\u0041\\u00e9\\ud834\\udd1e\"" = Ok (Json.Str "A\xc3\xa9\xf0\x9d\x84\x9e"))
+
+let test_json_member () =
+  let v = Json.Obj [ ("a", Json.Num 1.0); ("b", Json.Null) ] in
+  Alcotest.(check bool) "present" true (Json.member "a" v = Some (Json.Num 1.0));
+  Alcotest.(check bool) "absent" true (Json.member "z" v = None);
+  Alcotest.(check bool) "non-object" true (Json.member "a" Json.Null = None)
+
+let gen_json =
+  let open QCheck.Gen in
+  let printable = map Char.chr (int_range 32 126) in
+  let gen_str = string_size ~gen:printable (int_bound 8) in
+  let gen_num =
+    map (fun (a, b) -> float_of_int a /. float_of_int (1 lsl b)) (pair (int_range (-10000) 10000) (int_bound 6))
+  in
+  let leaf =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun f -> Json.Num f) gen_num;
+        map (fun s -> Json.Str s) gen_str;
+      ]
+  in
+  sized @@ fix (fun self n ->
+      if n <= 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            (1, map (fun xs -> Json.Arr xs) (list_size (int_bound 4) (self (n / 2))));
+            ( 1,
+              map (fun kvs -> Json.Obj kvs)
+                (list_size (int_bound 4) (pair gen_str (self (n / 2)))) );
+          ])
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"JSON emit/parse round-trips" ~count:200
+    (QCheck.make ~print:Json.to_string gen_json)
+    (fun v ->
+      match Json.of_string (Json.to_string v) with
+      | Ok v' -> Json.equal v v'
+      | Error _ -> false)
+
+(* ---------- Chrome trace export ---------- *)
+
+let test_trace_json () =
+  let _, clock = Clock.fake ~auto_advance:0.5 () in
+  with_sink ~clock (fun () ->
+      Obs.with_span "phase.a" (fun () -> Obs.with_span "phase.b" (fun () -> ()));
+      Obs.add (Obs.counter "test.trace_counter") 3;
+      let trace = Trace_json.json_of ~process_name:"qcr-test" ~spans:(Obs.spans ())
+          ~snapshot:(Obs.snapshot ()) ()
+      in
+      (* the serialized form must survive our own strict parser *)
+      (match Json.of_string (Json.to_string trace) with
+      | Ok v -> Alcotest.check json_testable "round-trip" trace v
+      | Error e -> Alcotest.failf "trace JSON does not reparse: %s" e);
+      let events =
+        match Json.member "traceEvents" trace with
+        | Some (Json.Arr events) -> events
+        | _ -> Alcotest.fail "missing traceEvents array"
+      in
+      let phase ev = match Json.member "ph" ev with Some (Json.Str p) -> p | _ -> "?" in
+      let name ev = match Json.member "name" ev with Some (Json.Str n) -> n | _ -> "?" in
+      Alcotest.(check (list string)) "event kinds" [ "M"; "X"; "X"; "C" ] (List.map phase events);
+      Alcotest.(check bool) "span names present" true
+        (List.exists (fun ev -> phase ev = "X" && name ev = "phase.a") events
+        && List.exists (fun ev -> phase ev = "X" && name ev = "phase.b") events);
+      (* timestamps are microseconds relative to the earliest span: the
+         outer span starts at 0 and covers three 0.5 s readings *)
+      let outer = List.find (fun ev -> name ev = "phase.a") events in
+      Alcotest.(check bool) "outer ts" true (Json.member "ts" outer = Some (Json.Num 0.0));
+      Alcotest.(check bool) "outer dur" true (Json.member "dur" outer = Some (Json.Num 1_500_000.0)))
+
+let test_trace_write_file () =
+  let _, clock = Clock.fake ~auto_advance:1.0 () in
+  with_sink ~clock (fun () ->
+      Obs.with_span "solo" (fun () -> ());
+      let path = Filename.temp_file "qcr_trace" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Trace_json.write_file path;
+          let ic = open_in_bin path in
+          let contents = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          match Json.of_string (String.trim contents) with
+          | Ok v ->
+              Alcotest.(check bool) "has traceEvents" true (Json.member "traceEvents" v <> None)
+          | Error e -> Alcotest.failf "written trace invalid: %s" e))
+
+let test_summary_render () =
+  let _, clock = Clock.fake ~auto_advance:1.0 () in
+  with_sink ~clock (fun () ->
+      Obs.with_span "phase.render" (fun () -> ());
+      Obs.add (Obs.counter "test.render_counter") 2;
+      Obs.observe (Obs.histogram "test.render_h") 4.0;
+      let text = Summary.render () in
+      let mem needle =
+        let nl = String.length needle and tl = String.length text in
+        let rec scan i = i + nl <= tl && (String.sub text i nl = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) "span row" true (mem "phase.render");
+      Alcotest.(check bool) "counter row" true (mem "test.render_counter");
+      Alcotest.(check bool) "histogram line" true (mem "histogram test.render_h"));
+  Alcotest.(check string) "empty sink" "(no telemetry recorded)\n" (Summary.render ())
+
+(* ---------- deterministic A* budget cut ---------- *)
+
+let test_astar_budget_cut () =
+  (* every fake-clock reading advances 1.0 s past a 0.5 s budget, so the
+     very first budget check (at expansion 256) cuts the search — a
+     deterministic version of "ran out of time" *)
+  let fk, clock = Clock.fake ~auto_advance:1.0 () in
+  ignore fk;
+  let n = 6 in
+  let problem = Graph.complete n in
+  let coupling = Generate.path n in
+  let init = Mapping.identity ~logical:n ~physical:n in
+  with_sink ~clock (fun () ->
+      let budget_cut = Obs.counter "astar.budget_cut" in
+      let r = Astar.solve ~time_budget:0.5 ~problem ~coupling ~init () in
+      Alcotest.(check bool) "cut search returns None" true (r = None);
+      Alcotest.(check int) "budget_cut counted" 1 (Obs.Counter.value budget_cut);
+      (* the expansion counter reflects the sampling interval exactly *)
+      let snap = Obs.snapshot () in
+      Alcotest.(check bool) "expanded capped at sampling interval" true
+        (List.assoc_opt "astar.expanded" snap.Obs.snap_counters = Some 256));
+  (* the budget flows through the clock even with the sink disabled *)
+  let _, clock2 = Clock.fake ~auto_advance:1.0 () in
+  let r = Astar.solve ~clock:clock2 ~time_budget:0.5 ~problem ~coupling ~init () in
+  Alcotest.(check bool) "clock param works without sink" true (r = None)
+
+let test_astar_counters () =
+  let problem = Graph.complete 4 in
+  let coupling = Generate.path 4 in
+  let init = Mapping.identity ~logical:4 ~physical:4 in
+  with_sink (fun () ->
+      (match Astar.solve ~problem ~coupling ~init () with
+      | Some _ -> ()
+      | None -> Alcotest.fail "line4-clique should solve");
+      let snap = Obs.snapshot () in
+      let get name = List.assoc_opt name snap.Obs.snap_counters in
+      Alcotest.(check bool) "solves" true (get "astar.solves" = Some 1);
+      Alcotest.(check bool) "expanded > 0" true (match get "astar.expanded" with Some v -> v > 0 | None -> false);
+      Alcotest.(check bool) "heuristic evals > 0" true
+        (match get "astar.heuristic_evals" with Some v -> v > 0 | None -> false);
+      Alcotest.(check bool) "no budget cut" true (get "astar.budget_cut" = None);
+      Alcotest.(check bool) "expansion histogram" true
+        (match List.assoc_opt "astar.expanded_per_solve" snap.Obs.snap_histograms with
+        | Some s -> s.Obs.Histogram.count = 1
+        | None -> false))
+
+let suite =
+  [
+    Alcotest.test_case "fake clock" `Quick test_fake_clock;
+    Alcotest.test_case "fake clock auto-advance" `Quick test_fake_clock_auto_advance;
+    Alcotest.test_case "builtin clocks" `Quick test_builtin_clocks;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span ordering" `Quick test_span_ordering;
+    Alcotest.test_case "span survives raise" `Quick test_span_survives_raise;
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "disabled sink is a no-op" `Quick test_disabled_sink_is_noop;
+    Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "merge snapshots" `Quick test_merge_snapshots;
+    Alcotest.test_case "json basics" `Quick test_json_basics;
+    Alcotest.test_case "json parser rejects" `Quick test_json_parser_rejects;
+    Alcotest.test_case "json member" `Quick test_json_member;
+    QCheck_alcotest.to_alcotest prop_json_roundtrip;
+    Alcotest.test_case "chrome trace export" `Quick test_trace_json;
+    Alcotest.test_case "trace write_file" `Quick test_trace_write_file;
+    Alcotest.test_case "summary render" `Quick test_summary_render;
+    Alcotest.test_case "astar budget cut (fake clock)" `Quick test_astar_budget_cut;
+    Alcotest.test_case "astar counters" `Quick test_astar_counters;
+  ]
