@@ -59,23 +59,24 @@ type point = {
 }
 
 (* Average an arm over a list of problem instances on the smallest fitting
-   device of [kind]. *)
+   device of [kind].  Instances compile independently, so they fan out
+   over the domain pool; [Pool.map] preserves instance order and the
+   means below are computed from the ordered array, so the numbers are
+   identical for any pool size. *)
 let measure arm kind instances =
-  let depths, cxs, secs =
-    List.fold_left
-      (fun (ds, cs, ts) inst ->
+  let results =
+    Qcr_par.Pool.map
+      (Qcr_par.Pool.default ())
+      (fun inst ->
         let program = Suite.program_of inst in
         let arch = Arch.smallest_for kind (Graph.vertex_count inst.Suite.graph) in
-        let r = arm.compile arch program in
-        ( float_of_int r.Pipeline.depth :: ds,
-          float_of_int r.Pipeline.cx :: cs,
-          r.Pipeline.compile_seconds :: ts ))
-      ([], [], []) instances
+        arm.compile arch program)
+      (Array.of_list instances)
   in
   {
-    mean_depth = Stats.mean (Array.of_list depths);
-    mean_cx = Stats.mean (Array.of_list cxs);
-    mean_seconds = Stats.mean (Array.of_list secs);
+    mean_depth = Stats.mean (Array.map (fun r -> float_of_int r.Pipeline.depth) results);
+    mean_cx = Stats.mean (Array.map (fun r -> float_of_int r.Pipeline.cx) results);
+    mean_seconds = Stats.mean (Array.map (fun r -> r.Pipeline.compile_seconds) results);
   }
 
 let kind_label = function

@@ -67,11 +67,19 @@ let metrics_arg =
   Arg.(value & flag & info [ "metrics" ]
          ~doc:"Print the telemetry summary (per-phase spans, counters, histograms) after the run.")
 
+let domains_arg =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+         ~doc:"Size of the domain pool parallel kernels, trajectory sampling and the \
+               portfolio compiler fan out over (default: $(b,QCR_DOMAINS), else the \
+               hardware thread count). 1 runs everything sequentially; results are \
+               identical for every value.")
+
 (* Run [f] with the telemetry sink enabled when either flag asks for it —
    inside a root span named after the subcommand, so every trace carries
    at least the end-to-end command timing — then emit the requested
    outputs. *)
-let with_telemetry ~cmd trace metrics f =
+let with_telemetry ~cmd trace metrics domains f =
+  Option.iter Qcr_par.Pool.set_default_domains domains;
   if trace <> None || metrics then Qcr_obs.Obs.enable ();
   let result = Qcr_obs.Obs.with_span ~cat:"cli" ("cli." ^ cmd) f in
   Option.iter
@@ -90,22 +98,41 @@ let compile_cmd =
   let noisy_arg =
     Arg.(value & flag & info [ "noise" ] ~doc:"Use a sampled calibration noise model.")
   in
-  let run kind n density seed qasm noisy trace metrics =
-    with_telemetry ~cmd:"compile" trace metrics @@ fun () ->
+  let portfolio_arg =
+    Arg.(value & flag & info [ "portfolio" ]
+           ~doc:"Race the ours/greedy/ata/astar compiler arms across the domain pool \
+                 and keep the best circuit under the selector metric.")
+  in
+  let run kind n density seed qasm noisy portfolio trace metrics domains =
+    with_telemetry ~cmd:"compile" trace metrics domains @@ fun () ->
     let rng = Prng.create seed in
     let graph = Generate.erdos_renyi rng ~n ~density in
     let program = Program.make graph (Program.Qaoa_maxcut { gamma = 0.4; beta = 0.35 }) in
     let arch = Arch.smallest_for kind n in
     let noise = if noisy then Some (Noise.sampled arch) else None in
-    let r = Pipeline.compile ?noise arch program in
-    Printf.printf "arch=%s qubits=%d | problem n=%d m=%d\n" (Arch.name arch)
-      (Arch.qubit_count arch) n (Graph.edge_count graph);
-    Printf.printf "depth=%d cx=%d swaps=%d compile=%.3fs strategy=%s\n" r.Pipeline.depth
-      r.Pipeline.cx r.Pipeline.swap_count r.Pipeline.compile_seconds
-      (match r.Pipeline.strategy with
+    let strategy_name r =
+      match r.Pipeline.strategy with
       | Pipeline.Pure_greedy -> "greedy"
       | Pipeline.Pure_ata -> "ata"
-      | Pipeline.Hybrid c -> Printf.sprintf "hybrid@%d" c);
+      | Pipeline.Hybrid c -> Printf.sprintf "hybrid@%d" c
+    in
+    Printf.printf "arch=%s qubits=%d | problem n=%d m=%d\n" (Arch.name arch)
+      (Arch.qubit_count arch) n (Graph.edge_count graph);
+    let r =
+      if portfolio then begin
+        let p = Pipeline.compile_portfolio ?noise arch program in
+        List.iter
+          (fun (name, r) ->
+            Printf.printf "arm %-6s depth=%d cx=%d swaps=%d\n" name r.Pipeline.depth
+              r.Pipeline.cx r.Pipeline.swap_count)
+          p.Pipeline.arms;
+        Printf.printf "winner=%s\n" p.Pipeline.winner_arm;
+        p.Pipeline.winner
+      end
+      else Pipeline.compile ?noise arch program
+    in
+    Printf.printf "depth=%d cx=%d swaps=%d compile=%.3fs strategy=%s\n" r.Pipeline.depth
+      r.Pipeline.cx r.Pipeline.swap_count r.Pipeline.compile_seconds (strategy_name r);
     if noisy then Printf.printf "estimated success probability: %.4f\n" (exp r.Pipeline.log_fidelity);
     Option.iter
       (fun file ->
@@ -116,14 +143,14 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a random QAOA instance.")
     Term.(
       const run $ arch_arg $ n_arg $ density_arg $ seed_arg $ qasm_arg $ noisy_arg
-      $ trace_arg $ metrics_arg)
+      $ portfolio_arg $ trace_arg $ metrics_arg $ domains_arg)
 
 let ata_cmd =
   let show_arg =
     Arg.(value & flag & info [ "show" ] ~doc:"Draw the schedule (one row per qubit, g = interaction, x = swap).")
   in
-  let run kind n show trace metrics =
-    with_telemetry ~cmd:"ata" trace metrics @@ fun () ->
+  let run kind n show trace metrics domains =
+    with_telemetry ~cmd:"ata" trace metrics domains @@ fun () ->
     let arch = Arch.smallest_for kind n in
     let sched = Ata.schedule arch in
     let qubits = Arch.qubit_count arch in
@@ -135,14 +162,14 @@ let ata_cmd =
   in
   Cmd.v
     (Cmd.info "ata" ~doc:"Print the structured all-to-all schedule statistics.")
-    Term.(const run $ arch_arg $ n_arg $ show_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ arch_arg $ n_arg $ show_arg $ trace_arg $ metrics_arg $ domains_arg)
 
 let solve_cmd =
   let line_arg =
     Arg.(value & opt int 4 & info [ "line" ] ~docv:"N" ~doc:"Clique size on an N-qubit line.")
   in
-  let run n trace metrics =
-    with_telemetry ~cmd:"solve" trace metrics @@ fun () ->
+  let run n trace metrics domains =
+    with_telemetry ~cmd:"solve" trace metrics domains @@ fun () ->
     let problem = Graph.complete n in
     let coupling = Generate.path n in
     let init = Mapping.identity ~logical:n ~physical:n in
@@ -162,14 +189,14 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Run the depth-optimal A* solver on a small clique instance.")
-    Term.(const run $ line_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ line_arg $ trace_arg $ metrics_arg $ domains_arg)
 
 let qaoa_cmd =
   let rounds_arg =
     Arg.(value & opt int 20 & info [ "rounds" ] ~docv:"R" ~doc:"Optimizer rounds.")
   in
-  let run n density seed rounds trace metrics =
-    with_telemetry ~cmd:"qaoa" trace metrics @@ fun () ->
+  let run n density seed rounds trace metrics domains =
+    with_telemetry ~cmd:"qaoa" trace metrics domains @@ fun () ->
     let rng = Prng.create seed in
     let graph = Generate.erdos_renyi rng ~n ~density in
     let arch = Arch.mumbai_like () in
@@ -185,7 +212,9 @@ let qaoa_cmd =
   in
   Cmd.v
     (Cmd.info "qaoa" ~doc:"Run the end-to-end QAOA loop on the Mumbai-like device.")
-    Term.(const run $ n_arg $ density_arg $ seed_arg $ rounds_arg $ trace_arg $ metrics_arg)
+    Term.(
+      const run $ n_arg $ density_arg $ seed_arg $ rounds_arg $ trace_arg $ metrics_arg
+      $ domains_arg)
 
 let () =
   let info = Cmd.info "qcr_cli" ~doc:"Regular-architecture quantum compiler tools." in

@@ -154,12 +154,18 @@ let rec compile ?(config = Config.default) ?noise ?init arch program =
          final circuit under the selector cost F. *)
       Obs.with_span ~cat:"pipeline" "pipeline.placement_selection" @@ fun () ->
       let t0 = Sys.time () in
+      (* Candidate placements compile independently; fan them out over the
+         pool.  Each compilation is deterministic and the best-of fold
+         below runs in candidate order, so the winner does not depend on
+         the pool size. *)
       let results =
-        List.map
-          (fun candidate ->
-            Obs.incr c_placements_tried;
-            compile ~config ?noise ~init:candidate arch program)
-          (Placement.candidates ?noise arch program)
+        Array.to_list
+          (Qcr_par.Pool.map
+             (Qcr_par.Pool.default ())
+             (fun candidate ->
+               Obs.incr c_placements_tried;
+               compile ~config ?noise ~init:candidate arch program)
+             (Array.of_list (Placement.candidates ?noise arch program)))
       in
       (* Expected fidelity of a run: gate errors (log_fidelity) plus the
          idle-decoherence term (duration x active qubits).  Larger is
@@ -294,3 +300,94 @@ and compile_one ?(config = Config.default) ?noise ?init arch program =
         body
 
 let finalize_body = finalize
+
+(* ---------- parallel compiler portfolio ---------- *)
+
+type portfolio = {
+  winner : result;
+  winner_arm : string;
+  arms : (string * result) list;
+}
+
+let c_portfolios = Obs.counter "pipeline.portfolios"
+
+(* Depth-optimal (or anytime weighted) A* arm.  Only viable on small
+   devices: each search edge enumerates vertex-disjoint action sets, so
+   the branching factor explodes with the coupling width.  [None] when
+   the device is too large or the node budget exhausts. *)
+let astar_arm ?noise ?init ~node_budget arch program =
+  if Arch.qubit_count arch > 16 then None
+  else begin
+    let t0 = Sys.time () in
+    let initial =
+      match init with Some m -> m | None -> default_init arch program
+    in
+    match
+      Qcr_solver.Astar.solve ~node_budget ~weight:1.5
+        ~problem:(Program.graph program) ~coupling:(Arch.graph arch)
+        ~init:initial ()
+    with
+    | None -> None
+    | Some o ->
+        let sched = Qcr_solver.Astar.schedule_of_outcome o ~init:initial in
+        let mapping = Mapping.copy initial in
+        let r =
+          Schedule.realize ~program ~mapping ~n_phys:(Arch.qubit_count arch) sched
+        in
+        Some
+          (finalize ~arch ~program ~noise ~initial ~final:mapping
+             ~strategy:Pure_ata
+             ~seconds:(Sys.time () -. t0)
+             r.Schedule.circuit)
+  end
+
+let compile_portfolio ?(config = Config.default) ?noise ?init
+    ?(astar_budget = 30_000) arch program =
+  Obs.with_span ~cat:"pipeline" "pipeline.compile_portfolio" @@ fun () ->
+  Obs.incr c_portfolios;
+  let t0 = Sys.time () in
+  let arms =
+    [|
+      ("ours", fun () -> Some (compile ~config ?noise ?init arch program));
+      ("greedy", fun () -> Some (compile_greedy ?noise ?init arch program));
+      ("ata", fun () -> Some (compile_ata ?noise ?init arch program));
+      ("astar", fun () -> astar_arm ?noise ?init ~node_budget:astar_budget arch program);
+    |]
+  in
+  let completed =
+    Qcr_par.Pool.map
+      (Qcr_par.Pool.default ())
+      (fun (name, run) -> Option.map (fun r -> (name, r)) (run ()))
+    arms
+    |> Array.to_list |> List.filter_map Fun.id
+  in
+  (* Every arm is deterministic on its own, [Pool.map] preserves arm
+     order, and the fold below takes a later arm only on a strict
+     improvement — so the winner is independent of the pool size. *)
+  let reference =
+    match List.assoc_opt "greedy" completed with
+    | Some r -> r
+    | None -> snd (List.hd completed)
+  in
+  let score r =
+    Selector.score ~alpha:config.Config.alpha
+      ~ref_depth:(Stdlib.max reference.depth 1)
+      ~ref_cx:(Stdlib.max reference.cx 1)
+      ~ref_log_fid:reference.log_fidelity
+      {
+        Selector.checkpoint_cycle = 0;
+        depth = r.depth;
+        cx = r.cx;
+        log_fid = r.log_fidelity;
+      }
+  in
+  let winner_arm, winner =
+    match completed with
+    | [] -> assert false (* "ours"/"greedy"/"ata" always complete *)
+    | first :: rest ->
+        List.fold_left
+          (fun ((_, best) as acc) ((_, r) as cand) ->
+            if score r < score best then cand else acc)
+          first rest
+  in
+  { winner = { winner with compile_seconds = Sys.time () -. t0 }; winner_arm; arms = completed }

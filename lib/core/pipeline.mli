@@ -73,3 +73,30 @@ val interaction_only : Qcr_circuit.Program.t -> Qcr_circuit.Program.t
 (** Strip prologue/epilogue concerns: compilation operates on the
     interaction block; this helper is the identity today and exists for
     API clarity in examples. *)
+
+(** {1 Parallel compiler portfolio} *)
+
+type portfolio = {
+  winner : result;
+  winner_arm : string;  (** "ours", "greedy", "ata", or "astar" *)
+  arms : (string * result) list;
+      (** every arm that completed, in fixed arm order *)
+}
+
+val compile_portfolio :
+  ?config:Config.t ->
+  ?noise:Qcr_arch.Noise.t ->
+  ?init:Qcr_circuit.Mapping.t ->
+  ?astar_budget:int ->
+  Qcr_arch.Arch.t ->
+  Qcr_circuit.Program.t ->
+  portfolio
+(** Race the full system, pure greedy, rigid ATA, and (on devices of at
+    most 16 qubits) an anytime weighted-A* arm with [astar_budget] node
+    expansions (default 30000) across the default [Qcr_par.Pool], and
+    keep the circuit with the best {!Selector.score} normalized to the
+    greedy arm (ties favor the earlier arm).  Arms that cannot complete
+    (the A* arm on large devices or with an exhausted budget) are
+    dropped.  Every arm is deterministic, so the winner is identical for
+    any [QCR_DOMAINS] value.  [winner.compile_seconds] is the whole
+    portfolio's CPU time. *)

@@ -1,9 +1,9 @@
 module Counter = struct
-  type t = { c_name : string; mutable c_value : int }
+  type t = { c_name : string; c_value : int Atomic.t }
 
   let name c = c.c_name
 
-  let value c = c.c_value
+  let value c = Atomic.get c.c_value
 end
 
 module Histogram = struct
@@ -15,6 +15,7 @@ module Histogram = struct
 
   type t = {
     h_name : string;
+    h_lock : Mutex.t;
     mutable h_count : int;
     mutable h_sum : float;
     mutable h_min : float;
@@ -40,13 +41,18 @@ module Histogram = struct
   let name h = h.h_name
 
   let summary h =
-    {
-      count = h.h_count;
-      sum = h.h_sum;
-      min = h.h_min;
-      max = h.h_max;
-      buckets = Array.copy h.h_buckets;
-    }
+    Mutex.lock h.h_lock;
+    let s =
+      {
+        count = h.h_count;
+        sum = h.h_sum;
+        min = h.h_min;
+        max = h.h_max;
+        buckets = Array.copy h.h_buckets;
+      }
+    in
+    Mutex.unlock h.h_lock;
+    s
 
   let empty_summary =
     {
@@ -78,21 +84,44 @@ type span = {
   span_args : (string * string) list;
 }
 
-(* ---------- global sink ---------- *)
+(* ---------- global sink ----------
 
-let on = ref false
+   Counters are lock-free ([Atomic.fetch_and_add]); histograms take a
+   per-histogram mutex; spans accumulate in per-domain buffers (each
+   domain records its own nesting depth) that a global registry merges
+   whenever the sink is read.  Interning and registry membership are
+   guarded by [intern_lock]. *)
+
+let on = Atomic.make false
 
 let clock = ref Clock.wall
 
-let recorded : span list ref = ref [] (* reverse end order *)
+(* One span buffer per domain that has recorded anything.  Buffers stay
+   registered after their domain terminates so worker spans survive until
+   flush. *)
+type span_buffer = {
+  mutable sb_spans : span list; (* reverse end order *)
+  mutable sb_depth : int;
+  sb_lock : Mutex.t;
+}
 
-let depth = ref 0
+let intern_lock = Mutex.create ()
+
+let buffers : span_buffer list ref = ref []
+
+let buffer_key : span_buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b = { sb_spans = []; sb_depth = 0; sb_lock = Mutex.create () } in
+      Mutex.lock intern_lock;
+      buffers := b :: !buffers;
+      Mutex.unlock intern_lock;
+      b)
 
 let counters : (string, Counter.t) Hashtbl.t = Hashtbl.create 64
 
 let histograms : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
 
-let enabled () = !on
+let enabled () = Atomic.get on
 
 let set_clock c = clock := c
 
@@ -102,74 +131,100 @@ let now () = Clock.now !clock
 
 let enable ?clock:c () =
   Option.iter set_clock c;
-  on := true
+  Atomic.set on true
 
-let disable () = on := false
+let disable () = Atomic.set on false
 
 let reset () =
-  recorded := [];
-  depth := 0;
-  Hashtbl.iter (fun _ c -> c.Counter.c_value <- 0) counters;
+  Mutex.lock intern_lock;
+  let bufs = !buffers in
+  Mutex.unlock intern_lock;
+  List.iter
+    (fun b ->
+      Mutex.lock b.sb_lock;
+      b.sb_spans <- [];
+      b.sb_depth <- 0;
+      Mutex.unlock b.sb_lock)
+    bufs;
+  Mutex.lock intern_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.Counter.c_value 0) counters;
   Hashtbl.iter
     (fun _ h ->
+      Mutex.lock h.Histogram.h_lock;
       h.Histogram.h_count <- 0;
       h.Histogram.h_sum <- 0.0;
       h.Histogram.h_min <- infinity;
       h.Histogram.h_max <- neg_infinity;
-      Array.fill h.Histogram.h_buckets 0 Histogram.bucket_count 0)
-    histograms
+      Array.fill h.Histogram.h_buckets 0 Histogram.bucket_count 0;
+      Mutex.unlock h.Histogram.h_lock)
+    histograms;
+  Mutex.unlock intern_lock
 
 (* ---------- instrumentation ---------- *)
 
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { Counter.c_name = name; c_value = 0 } in
-      Hashtbl.add counters name c;
-      c
+  Mutex.lock intern_lock;
+  let c =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+        let c = { Counter.c_name = name; c_value = Atomic.make 0 } in
+        Hashtbl.add counters name c;
+        c
+  in
+  Mutex.unlock intern_lock;
+  c
 
-let incr c = if !on then c.Counter.c_value <- c.Counter.c_value + 1
+let incr c = if Atomic.get on then ignore (Atomic.fetch_and_add c.Counter.c_value 1)
 
-let add c n = if !on then c.Counter.c_value <- c.Counter.c_value + n
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.Counter.c_value n)
 
 let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-      let h =
-        {
-          Histogram.h_name = name;
-          h_count = 0;
-          h_sum = 0.0;
-          h_min = infinity;
-          h_max = neg_infinity;
-          h_buckets = Array.make Histogram.bucket_count 0;
-        }
-      in
-      Hashtbl.add histograms name h;
-      h
+  Mutex.lock intern_lock;
+  let h =
+    match Hashtbl.find_opt histograms name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            Histogram.h_name = name;
+            h_lock = Mutex.create ();
+            h_count = 0;
+            h_sum = 0.0;
+            h_min = infinity;
+            h_max = neg_infinity;
+            h_buckets = Array.make Histogram.bucket_count 0;
+          }
+        in
+        Hashtbl.add histograms name h;
+        h
+  in
+  Mutex.unlock intern_lock;
+  h
 
 let observe h v =
-  if !on then begin
+  if Atomic.get on then begin
+    Mutex.lock h.Histogram.h_lock;
     h.Histogram.h_count <- h.Histogram.h_count + 1;
     h.Histogram.h_sum <- h.Histogram.h_sum +. v;
     if v < h.Histogram.h_min then h.Histogram.h_min <- v;
     if v > h.Histogram.h_max then h.Histogram.h_max <- v;
     let b = Histogram.bucket_of v in
-    h.Histogram.h_buckets.(b) <- h.Histogram.h_buckets.(b) + 1
+    h.Histogram.h_buckets.(b) <- h.Histogram.h_buckets.(b) + 1;
+    Mutex.unlock h.Histogram.h_lock
   end
 
 let with_span ?(cat = "qcr") ?(args = []) name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
+    let buf = Domain.DLS.get buffer_key in
     let start = now () in
-    let my_depth = !depth in
-    depth := my_depth + 1;
+    let my_depth = buf.sb_depth in
+    buf.sb_depth <- my_depth + 1;
     let record () =
-      depth := my_depth;
+      buf.sb_depth <- my_depth;
       let stop = now () in
-      recorded :=
+      let s =
         {
           span_name = name;
           span_cat = cat;
@@ -178,7 +233,10 @@ let with_span ?(cat = "qcr") ?(args = []) name f =
           span_depth = my_depth;
           span_args = args;
         }
-        :: !recorded
+      in
+      Mutex.lock buf.sb_lock;
+      buf.sb_spans <- s :: buf.sb_spans;
+      Mutex.unlock buf.sb_lock
     in
     Fun.protect ~finally:record f
   end
@@ -186,12 +244,24 @@ let with_span ?(cat = "qcr") ?(args = []) name f =
 (* ---------- inspection ---------- *)
 
 let spans () =
+  Mutex.lock intern_lock;
+  let bufs = !buffers in
+  Mutex.unlock intern_lock;
+  let all =
+    List.concat_map
+      (fun b ->
+        Mutex.lock b.sb_lock;
+        let s = b.sb_spans in
+        Mutex.unlock b.sb_lock;
+        List.rev s)
+      (List.rev bufs)
+  in
   List.stable_sort
     (fun a b ->
       match compare a.span_start b.span_start with
       | 0 -> compare a.span_depth b.span_depth
       | c -> c)
-    (List.rev !recorded)
+    all
 
 type snapshot = {
   snap_counters : (string * int) list;
@@ -201,16 +271,25 @@ type snapshot = {
 let by_name (a, _) (b, _) = compare (a : string) b
 
 let snapshot () =
+  Mutex.lock intern_lock;
+  let counter_handles = Hashtbl.fold (fun name c acc -> (name, c) :: acc) counters [] in
+  let histogram_handles =
+    Hashtbl.fold (fun name h acc -> (name, h) :: acc) histograms []
+  in
+  Mutex.unlock intern_lock;
   let cs =
-    Hashtbl.fold
-      (fun name c acc -> if Counter.value c = 0 then acc else (name, Counter.value c) :: acc)
-      counters []
+    List.filter_map
+      (fun (name, c) ->
+        let v = Counter.value c in
+        if v = 0 then None else Some (name, v))
+      counter_handles
   in
   let hs =
-    Hashtbl.fold
-      (fun name h acc ->
-        if h.Histogram.h_count = 0 then acc else (name, Histogram.summary h) :: acc)
-      histograms []
+    List.filter_map
+      (fun (name, h) ->
+        let s = Histogram.summary h in
+        if s.Histogram.count = 0 then None else Some (name, s))
+      histogram_handles
   in
   { snap_counters = List.sort by_name cs; snap_histograms = List.sort by_name hs }
 

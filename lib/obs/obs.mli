@@ -8,8 +8,17 @@
 
     Handles ([Counter.t], [Histogram.t]) are interned by name at module
     initialization time; incrementing through a handle is a flag check
-    plus an unsynchronized integer store (the compiler is single-threaded,
-    so no atomics are needed).
+    plus one [Atomic.fetch_and_add].
+
+    {b Domain safety.}  The sink works under OCaml 5 parallelism (the
+    [Qcr_par] pool): counter updates are lock-free atomics, histogram
+    observations take a short per-histogram mutex, and each domain
+    records spans (with its own nesting depth) into a domain-local
+    buffer.  The buffers are merged whenever the sink is read
+    ({!spans}, {!snapshot}, and hence trace/summary export), so
+    [--trace] and [--metrics] capture work done on every domain.
+    Sink control ([enable]/[disable]/[reset]/[set_clock]) should still
+    be called from the driver domain, outside parallel regions.
 
     Timestamps come from a swappable {!Clock.t} (default {!Clock.wall});
     installing a fake clock makes traces, and time-budget behavior routed

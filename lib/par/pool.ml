@@ -1,0 +1,253 @@
+(* Fixed-size domain pool.
+
+   One task is live at a time.  Submission bumps [generation] under the
+   lock and broadcasts; idle workers wake, read the current task, and
+   claim chunks through an atomic counter until none remain.  The caller
+   participates too, then blocks until every claimed chunk has finished.
+   Completion is tracked by counting finished chunks ([unfinished]); the
+   domain that finishes the last chunk signals [work_done].
+
+   The mutex acquire/release pairs on task completion give the caller a
+   happens-before edge over every chunk's writes, so results written into
+   plain arrays by workers are safely visible after submission returns. *)
+
+type task = {
+  run_chunk : int -> unit;
+  n_chunks : int;
+  next : int Atomic.t; (* next chunk index to claim *)
+  unfinished : int Atomic.t; (* chunks not yet completed *)
+  failed : (exn * Printexc.raw_backtrace) option Atomic.t; (* first failure *)
+}
+
+type t = {
+  domains : int; (* total participants incl. the caller *)
+  mutable workers : unit Domain.t list;
+  mutable current : task option; (* lock *)
+  mutable generation : int; (* lock *)
+  mutable stopping : bool; (* lock *)
+  mutable alive : bool; (* false after shutdown: run inline *)
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+}
+
+(* True while this domain is executing task chunks (worker domains during
+   a task, and the caller for the whole submission).  Nested submissions
+   from such a context run inline. *)
+let in_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let record_failure task e =
+  let bt = Printexc.get_raw_backtrace () in
+  ignore (Atomic.compare_and_set task.failed None (Some (e, bt)))
+
+(* Claim and run chunks until the claim counter runs dry; called by
+   workers and by the submitting caller alike. *)
+let execute pool task =
+  let flag = Domain.DLS.get in_task in
+  flag := true;
+  let rec claim () =
+    let c = Atomic.fetch_and_add task.next 1 in
+    if c < task.n_chunks then begin
+      (try task.run_chunk c with e -> record_failure task e);
+      if Atomic.fetch_and_add task.unfinished (-1) = 1 then begin
+        (* last chunk: wake the submitter *)
+        Mutex.lock pool.lock;
+        Condition.broadcast pool.work_done;
+        Mutex.unlock pool.lock
+      end;
+      claim ()
+    end
+  in
+  claim ();
+  flag := false
+
+let worker_loop pool () =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.lock;
+    while (not pool.stopping) && pool.generation = !seen do
+      Condition.wait pool.work_ready pool.lock
+    done;
+    if pool.stopping then begin
+      Mutex.unlock pool.lock;
+      running := false
+    end
+    else begin
+      seen := pool.generation;
+      let task = pool.current in
+      Mutex.unlock pool.lock;
+      match task with Some task -> execute pool task | None -> ()
+    end
+  done
+
+let create ~domains =
+  let domains = max 1 domains in
+  let pool =
+    {
+      domains;
+      workers = [];
+      current = None;
+      generation = 0;
+      stopping = false;
+      alive = true;
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+    }
+  in
+  pool.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let size t = t.domains
+
+let shutdown t =
+  if t.alive then begin
+    Mutex.lock t.lock;
+    t.stopping <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers;
+    t.workers <- [];
+    t.alive <- false
+  end
+
+let run_inline ~n_chunks run_chunk =
+  for c = 0 to n_chunks - 1 do
+    run_chunk c
+  done
+
+(* Submit a task and help run it.  Inline when the pool cannot help
+   (size 1, shut down, single chunk) or must not (nested submission). *)
+let run_task pool ~n_chunks run_chunk =
+  if n_chunks > 0 then
+    if
+      pool.domains = 1 || (not pool.alive) || n_chunks = 1
+      || !(Domain.DLS.get in_task)
+    then run_inline ~n_chunks run_chunk
+    else begin
+      let task =
+        {
+          run_chunk;
+          n_chunks;
+          next = Atomic.make 0;
+          unfinished = Atomic.make n_chunks;
+          failed = Atomic.make None;
+        }
+      in
+      Mutex.lock pool.lock;
+      pool.current <- Some task;
+      pool.generation <- pool.generation + 1;
+      Condition.broadcast pool.work_ready;
+      Mutex.unlock pool.lock;
+      execute pool task;
+      Mutex.lock pool.lock;
+      while Atomic.get task.unfinished > 0 do
+        Condition.wait pool.work_done pool.lock
+      done;
+      pool.current <- None;
+      Mutex.unlock pool.lock;
+      match Atomic.get task.failed with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+
+(* ---------- loop combinators ---------- *)
+
+let default_chunks pool n = min n (4 * pool.domains)
+
+let for_range pool ?chunks ~lo ~hi body =
+  let n = hi - lo in
+  if n > 0 then begin
+    let n_chunks =
+      match chunks with
+      | Some c -> max 1 (min c n)
+      | None -> max 1 (default_chunks pool n)
+    in
+    let base = n / n_chunks and extra = n mod n_chunks in
+    run_task pool ~n_chunks (fun c ->
+        let start = lo + (c * base) + min c extra in
+        let len = base + if c < extra then 1 else 0 in
+        body start (start + len))
+  end
+
+let parallel_for pool ?chunks ~lo ~hi f =
+  for_range pool ?chunks ~lo ~hi (fun sub_lo sub_hi ->
+      for i = sub_lo to sub_hi - 1 do
+        f i
+      done)
+
+let map pool f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for pool ~lo:0 ~hi:n (fun i -> out.(i) <- Some (f arr.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map_reduce pool ~chunk ~lo ~hi ~map:map_f ~reduce ~init =
+  let n = hi - lo in
+  if n <= 0 then init
+  else begin
+    let chunk = max 1 chunk in
+    let n_chunks = (n + chunk - 1) / chunk in
+    let results = Array.make n_chunks None in
+    run_task pool ~n_chunks (fun c ->
+        let sub_lo = lo + (c * chunk) in
+        let sub_hi = min hi (sub_lo + chunk) in
+        results.(c) <- Some (map_f sub_lo sub_hi));
+    (* fold strictly in chunk order: bit-identical for any pool size *)
+    Array.fold_left
+      (fun acc r -> match r with Some v -> reduce acc v | None -> acc)
+      init results
+  end
+
+(* ---------- the shared default pool ---------- *)
+
+let env_domains () =
+  match Sys.getenv_opt "QCR_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v >= 1 -> Some (min v 64)
+      | _ -> None)
+
+let override = ref None
+
+let global = ref None
+
+let global_lock = Mutex.create ()
+
+let default_domain_count () =
+  match env_domains () with
+  | Some v -> v
+  | None -> (
+      match !override with
+      | Some v -> v
+      | None -> max 1 (min 8 (Domain.recommended_domain_count ())))
+
+let default () =
+  Mutex.lock global_lock;
+  let pool =
+    match !global with
+    | Some p -> p
+    | None ->
+        let p = create ~domains:(default_domain_count ()) in
+        global := Some p;
+        p
+  in
+  Mutex.unlock global_lock;
+  pool
+
+let set_default_domains n =
+  let n = max 1 n in
+  Mutex.lock global_lock;
+  let old = !global in
+  override := Some n;
+  global := None;
+  Mutex.unlock global_lock;
+  Option.iter shutdown old;
+  Mutex.lock global_lock;
+  if !global = None then global := Some (create ~domains:n);
+  Mutex.unlock global_lock

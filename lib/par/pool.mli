@@ -1,0 +1,89 @@
+(** Fixed-size domain pool for data-parallel loops (OCaml 5 multicore).
+
+    A pool owns [size - 1] worker domains plus the calling domain; work
+    submitted with {!for_range} / {!parallel_for} / {!map} /
+    {!map_reduce} is split into chunks that the participants claim with an
+    atomic counter.  The pool is dependency-free: plain [Domain],
+    [Atomic], [Mutex] and [Condition] from the standard library.
+
+    {b Determinism.}  Elementwise operations ([parallel_for], [for_range],
+    [map]) write disjoint outputs, so their results never depend on the
+    pool size.  {!map_reduce} takes an explicit [chunk] length and always
+    folds the per-chunk results {e left to right in chunk order}, so
+    floating-point reductions are bit-identical for any pool size —
+    including 1 — as long as [chunk] is held fixed.
+
+    {b Nesting.}  Submitting work from inside a running task (from a
+    worker domain, or re-entrantly from the caller) runs the nested work
+    inline and sequentially on the current domain; nested parallelism
+    never deadlocks and never changes results.
+
+    {b Concurrency contract.}  One task runs at a time; submit work from
+    one domain (the pool owner) only.  This matches the compiler/simulator
+    call pattern: a single driver fanning loops out. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns [max 1 domains - 1] worker domains.  The
+    caller participates in every task, so [domains] is the total
+    parallelism.  [domains = 1] spawns nothing and runs all work inline. *)
+
+val size : t -> int
+(** Total participating domains (workers + caller), >= 1. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers.  The pool remains usable afterwards but
+    runs everything inline.  Idempotent. *)
+
+(** {1 The default pool}
+
+    Sized by the [QCR_DOMAINS] environment variable when set to a positive
+    integer, otherwise by [Domain.recommended_domain_count] (clamped to
+    8).  Created lazily on first use. *)
+
+val default_domain_count : unit -> int
+(** The size the default pool gets on first use:
+    [QCR_DOMAINS] > override from {!set_default_domains} > hardware
+    count. *)
+
+val default : unit -> t
+(** The shared global pool (created on first call). *)
+
+val set_default_domains : int -> unit
+(** Replace the default pool with one of the given size (shutting the old
+    one down).  Used by the [--domains] CLI flag and by tests that compare
+    pool sizes; call it only when no task is in flight. *)
+
+(** {1 Data-parallel loops} *)
+
+val for_range : t -> ?chunks:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [for_range pool ~lo ~hi body] partitions [\[lo, hi)] into [chunks]
+    subranges (default: enough for load balance) and calls [body sub_lo
+    sub_hi] on each, in parallel.  Subranges are disjoint and cover the
+    interval exactly.  Any exception raised by [body] is re-raised in the
+    caller after the task drains. *)
+
+val parallel_for : t -> ?chunks:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi f] calls [f i] for every [lo <= i < hi],
+    in parallel.  Elementwise: safe whenever distinct [i] touch disjoint
+    state. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]; output order matches input order. *)
+
+val map_reduce :
+  t ->
+  chunk:int ->
+  lo:int ->
+  hi:int ->
+  map:(int -> int -> 'acc) ->
+  reduce:('acc -> 'acc -> 'acc) ->
+  init:'acc ->
+  'acc
+(** [map_reduce pool ~chunk ~lo ~hi ~map ~reduce ~init] splits [\[lo, hi)]
+    into fixed-length chunks ([chunk] items each, last one short), runs
+    [map sub_lo sub_hi] on each in parallel, and folds the chunk results
+    sequentially in chunk order: [reduce (... (reduce init r0) ...) rk].
+    Because the partition depends only on [chunk] (never on the pool
+    size), the result is bit-identical for any pool size. *)

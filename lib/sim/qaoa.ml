@@ -50,17 +50,19 @@ let cost_layer graph =
   { layer_graph = graph; layer_edges = Graph.edge_count graph; cut = Maxcut.cut_table graph }
 
 (* One-slot cache: optimizer drivers evaluate the same graph hundreds of
-   times in a row, so physical identity plus an edge-count guard is enough. *)
-let layer_cache = ref None
+   times in a row, so physical identity plus an edge-count guard is
+   enough.  Atomic so concurrent evaluations on different domains at
+   worst recompute the table, never observe a torn layer. *)
+let layer_cache = Atomic.make None
 
 let cost_layer_for graph =
-  match !layer_cache with
+  match Atomic.get layer_cache with
   | Some layer when layer.layer_graph == graph && layer.layer_edges = Graph.edge_count graph
     ->
       layer
   | _ ->
       let layer = cost_layer graph in
-      layer_cache := Some layer;
+      Atomic.set layer_cache (Some layer);
       layer
 
 (* The exact state Statevector.run produces for the p=1 QAOA logical

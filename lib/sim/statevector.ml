@@ -2,8 +2,25 @@ module Gate = Qcr_circuit.Gate
 module Circuit = Qcr_circuit.Circuit
 module Mapping = Qcr_circuit.Mapping
 module Prng = Qcr_util.Prng
+module Pool = Qcr_par.Pool
 
 type t = { n : int; re : float array; im : float array }
+
+(* Amplitude-count threshold above which the O(2^n) kernels fan out over
+   the default domain pool.  Every parallel kernel is elementwise (each
+   output index is computed from its own inputs only), so results are
+   bit-identical to the sequential sweep for any pool size. *)
+let threshold = ref (1 lsl 14)
+
+let par_threshold () = !threshold
+
+let set_par_threshold n = threshold := Stdlib.max 1 n
+
+(* Run [body lo hi] over [0, size), chunked across the pool when the
+   state is large enough for the fan-out to pay for itself. *)
+let par_range size body =
+  if size >= !threshold then Pool.for_range (Pool.default ()) ~lo:0 ~hi:size body
+  else body 0 size
 
 let create n =
   if n < 0 || n > 24 then invalid_arg "Statevector.create: supports 0..24 qubits";
@@ -12,9 +29,25 @@ let create n =
   re.(0) <- 1.0;
   { n; re; im }
 
+(* Return [t] to |0...0> in place.  Lets trajectory-style loops reuse one
+   state buffer instead of allocating two fresh [2^n] float arrays per
+   run, which keeps the Monte-Carlo hot path off the major heap. *)
+let reset t =
+  let re = t.re and im = t.im in
+  par_range (1 lsl t.n) (fun lo hi ->
+      for i = lo to hi - 1 do
+        re.(i) <- 0.0;
+        im.(i) <- 0.0
+      done);
+  re.(0) <- 1.0
+
 let qubit_count t = t.n
 
 let amplitude t i = (t.re.(i), t.im.(i))
+
+let prob t i =
+  let re = t.re.(i) and im = t.im.(i) in
+  (re *. re) +. (im *. im)
 
 let inv_sqrt2 = 1.0 /. sqrt 2.0
 
@@ -39,76 +72,96 @@ let apply_indexed_phases t ~index ~phase_re ~phase_im =
   if Array.length index <> size then
     invalid_arg "Statevector.apply_indexed_phases: index size mismatch";
   let re = t.re and im = t.im in
-  for i = 0 to size - 1 do
-    let k = index.(i) in
-    let pr = phase_re.(k) and pi = phase_im.(k) in
-    let xr = re.(i) and xi = im.(i) in
-    re.(i) <- (pr *. xr) -. (pi *. xi);
-    im.(i) <- (pr *. xi) +. (pi *. xr)
-  done
+  par_range size (fun lo hi ->
+      for i = lo to hi - 1 do
+        let k = index.(i) in
+        let pr = phase_re.(k) and pi = phase_im.(k) in
+        let xr = re.(i) and xi = im.(i) in
+        re.(i) <- (pr *. xr) -. (pi *. xi);
+        im.(i) <- (pr *. xi) +. (pi *. xr)
+      done)
 
 (* Single-qubit unitary [[a b];[c d]] with complex entries (ar+i*ai ...).
    The lower-half indices i with bit q clear come in contiguous blocks of
-   [bit] separated by strides of [2*bit], so walk them directly instead of
-   testing every index. *)
+   [bit] separated by strides of [2*bit]; sequentially, walk them
+   directly.  Above the parallel threshold, pair [p] of [size/2] maps to
+   i = ((p lsr q) lsl (q+1)) lor (p land (bit-1)) — pairs are disjoint,
+   so chunks of the pair range can run on any domain. *)
 let apply_1q t q (ar, ai) (br, bi) (cr, ci) (dr, di) =
   let size = 1 lsl t.n in
   let bit = 1 lsl q in
   let re = t.re and im = t.im in
-  let base = ref 0 in
-  while !base < size do
-    for i = !base to !base + bit - 1 do
-      let j = i lor bit in
-      let xr = re.(i) and xi = im.(i) in
-      let yr = re.(j) and yi = im.(j) in
-      re.(i) <- (ar *. xr) -. (ai *. xi) +. (br *. yr) -. (bi *. yi);
-      im.(i) <- (ar *. xi) +. (ai *. xr) +. (br *. yi) +. (bi *. yr);
-      re.(j) <- (cr *. xr) -. (ci *. xi) +. (dr *. yr) -. (di *. yi);
-      im.(j) <- (cr *. xi) +. (ci *. xr) +. (dr *. yi) +. (di *. yr)
-    done;
-    base := !base + (bit lsl 1)
-  done
+  let update i =
+    let j = i lor bit in
+    let xr = re.(i) and xi = im.(i) in
+    let yr = re.(j) and yi = im.(j) in
+    re.(i) <- (ar *. xr) -. (ai *. xi) +. (br *. yr) -. (bi *. yi);
+    im.(i) <- (ar *. xi) +. (ai *. xr) +. (br *. yi) +. (bi *. yr);
+    re.(j) <- (cr *. xr) -. (ci *. xi) +. (dr *. yr) -. (di *. yi);
+    im.(j) <- (cr *. xi) +. (ci *. xr) +. (dr *. yi) +. (di *. yr)
+  in
+  if size >= !threshold then
+    Pool.for_range (Pool.default ()) ~lo:0 ~hi:(size lsr 1) (fun lo hi ->
+        for p = lo to hi - 1 do
+          update (((p lsr q) lsl (q + 1)) lor (p land (bit - 1)))
+        done)
+  else begin
+    let base = ref 0 in
+    while !base < size do
+      for i = !base to !base + bit - 1 do
+        update i
+      done;
+      base := !base + (bit lsl 1)
+    done
+  end
 
 let phase_on_mask t ~mask ~value (pr, pi) =
   let size = 1 lsl t.n in
   let re = t.re and im = t.im in
-  for i = 0 to size - 1 do
-    if i land mask = value then begin
-      let xr = re.(i) and xi = im.(i) in
-      re.(i) <- (pr *. xr) -. (pi *. xi);
-      im.(i) <- (pr *. xi) +. (pi *. xr)
-    end
-  done
+  par_range size (fun lo hi ->
+      for i = lo to hi - 1 do
+        if i land mask = value then begin
+          let xr = re.(i) and xi = im.(i) in
+          re.(i) <- (pr *. xr) -. (pi *. xi);
+          im.(i) <- (pr *. xi) +. (pi *. xr)
+        end
+      done)
 
+(* The pair-swapping kernels are guarded so that of each index pair
+   (i, j) only one index passes the test: the partner index is touched
+   exclusively from that iteration, never from its own, so chunked
+   parallel execution stays race-free. *)
 let swap_amps t pa pb =
   let size = 1 lsl t.n in
   let re = t.re and im = t.im in
-  for i = 0 to size - 1 do
-    let ba = (i lsr pa) land 1 and bb = (i lsr pb) land 1 in
-    if ba = 1 && bb = 0 then begin
-      let j = i lxor ((1 lsl pa) lor (1 lsl pb)) in
-      let xr = re.(i) and xi = im.(i) in
-      re.(i) <- re.(j);
-      im.(i) <- im.(j);
-      re.(j) <- xr;
-      im.(j) <- xi
-    end
-  done
+  par_range size (fun lo hi ->
+      for i = lo to hi - 1 do
+        let ba = (i lsr pa) land 1 and bb = (i lsr pb) land 1 in
+        if ba = 1 && bb = 0 then begin
+          let j = i lxor ((1 lsl pa) lor (1 lsl pb)) in
+          let xr = re.(i) and xi = im.(i) in
+          re.(i) <- re.(j);
+          im.(i) <- im.(j);
+          re.(j) <- xr;
+          im.(j) <- xi
+        end
+      done)
 
 let cx t control target =
   let size = 1 lsl t.n in
   let re = t.re and im = t.im in
   let cbit = 1 lsl control and tbit = 1 lsl target in
-  for i = 0 to size - 1 do
-    if i land cbit <> 0 && i land tbit = 0 then begin
-      let j = i lor tbit in
-      let xr = re.(i) and xi = im.(i) in
-      re.(i) <- re.(j);
-      im.(i) <- im.(j);
-      re.(j) <- xr;
-      im.(j) <- xi
-    end
-  done
+  par_range size (fun lo hi ->
+      for i = lo to hi - 1 do
+        if i land cbit <> 0 && i land tbit = 0 then begin
+          let j = i lor tbit in
+          let xr = re.(i) and xi = im.(i) in
+          re.(i) <- re.(j);
+          im.(i) <- im.(j);
+          re.(j) <- xr;
+          im.(j) <- xi
+        end
+      done)
 
 let rec apply t g =
   match g with
@@ -134,13 +187,14 @@ let rec apply t g =
       let size = 1 lsl t.n in
       let re = t.re and im = t.im in
       let c = cos (theta /. 2.0) and s = sin (theta /. 2.0) in
-      for i = 0 to size - 1 do
-        let ba = (i lsr a) land 1 and bb = (i lsr b) land 1 in
-        let pr, pi = if ba = bb then (c, -.s) else (c, s) in
-        let xr = re.(i) and xi = im.(i) in
-        re.(i) <- (pr *. xr) -. (pi *. xi);
-        im.(i) <- (pr *. xi) +. (pi *. xr)
-      done
+      par_range size (fun lo hi ->
+          for i = lo to hi - 1 do
+            let ba = (i lsr a) land 1 and bb = (i lsr b) land 1 in
+            let pr, pi = if ba = bb then (c, -.s) else (c, s) in
+            let xr = re.(i) and xi = im.(i) in
+            re.(i) <- (pr *. xr) -. (pi *. xi);
+            im.(i) <- (pr *. xi) +. (pi *. xr)
+          done)
   | Gate.Swap (a, b) -> swap_amps t a b
   | Gate.Swap_interact (a, b, theta) ->
       apply t (Gate.Cphase (a, b, theta));
@@ -298,7 +352,13 @@ let run_fused circuit =
   t
 
 let probabilities t =
-  Array.init (1 lsl t.n) (fun i -> (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i)))
+  let size = 1 lsl t.n in
+  let out = Array.make size 0.0 in
+  par_range size (fun lo hi ->
+      for i = lo to hi - 1 do
+        out.(i) <- (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i))
+      done);
+  out
 
 let norm t = Array.fold_left ( +. ) 0.0 (probabilities t)
 

@@ -2,9 +2,21 @@
 
     Substrate for the real-machine experiments of §7.4: QAOA energies,
     output distributions, TVD — and for the compiled-vs-logical
-    equivalence tests that certify the compiler preserves semantics. *)
+    equivalence tests that certify the compiler preserves semantics.
+
+    States with at least {!par_threshold} amplitudes run their O(2^n)
+    kernels chunked across the default [Qcr_par.Pool] (sized by
+    [QCR_DOMAINS]).  Every parallel kernel is elementwise, so amplitudes
+    are bit-identical to the sequential sweep for any pool size. *)
 
 type t
+
+val par_threshold : unit -> int
+(** Amplitude count (2^n) at which kernels go parallel; default [2^14]. *)
+
+val set_par_threshold : int -> unit
+(** Override the parallel threshold (clamped to >= 1).  Tests lower it to
+    exercise the parallel path on small states. *)
 
 val create : int -> t
 (** |0...0> on [n] qubits.  [n] must be <= 24. *)
@@ -13,6 +25,15 @@ val create_plus : int -> t
 (** |+...+> on [n] qubits: the state after a full Hadamard layer on |0...0>,
     built with one fill instead of [n] gate sweeps (bit-identical to the
     cascade). *)
+
+val prob : t -> int -> float
+(** Probability of basis state [i]: [|amp i|^2] without building the
+    amplitude pair, for allocation-free sweeps over the state. *)
+
+val reset : t -> unit
+(** Return the state to |0...0> in place.  Reusing one buffer across many
+    short simulations (e.g. noise trajectories) avoids re-allocating the
+    two [2^n] float arrays each run. *)
 
 val qubit_count : t -> int
 

@@ -10,22 +10,28 @@ let c_trajectories = Obs.counter "trajectory.trajectories"
 
 let c_injections = Obs.counter "trajectory.pauli_injections"
 
-let logical_distribution sv ~final =
+(* Fold the physical-state probabilities straight into [into] (length
+   [2^n_log]) without materializing the 2^n_phys probability array: the
+   Monte-Carlo loop calls this once per trajectory, so the saved
+   major-heap allocation matters under multi-domain sampling. *)
+let accumulate_logical sv ~final ~into =
   let n_phys = Statevector.qubit_count sv in
   let n_log = Mapping.logical_count final in
-  let out = Array.make (1 lsl n_log) 0.0 in
-  let probs = Statevector.probabilities sv in
-  Array.iteri
-    (fun i p ->
-      if p > 0.0 then begin
-        let j = ref 0 in
-        for l = 0 to n_log - 1 do
-          if (i lsr Mapping.phys_of_log final l) land 1 = 1 then j := !j lor (1 lsl l)
-        done;
-        ignore n_phys;
-        out.(!j) <- out.(!j) +. p
-      end)
-    probs;
+  let phys_of_log = Array.init n_log (Mapping.phys_of_log final) in
+  for i = 0 to (1 lsl n_phys) - 1 do
+    let p = Statevector.prob sv i in
+    if p > 0.0 then begin
+      let j = ref 0 in
+      for l = 0 to n_log - 1 do
+        if (i lsr phys_of_log.(l)) land 1 = 1 then j := !j lor (1 lsl l)
+      done;
+      into.(!j) <- into.(!j) +. p
+    end
+  done
+
+let logical_distribution sv ~final =
+  let out = Array.make (1 lsl Mapping.logical_count final) 0.0 in
+  accumulate_logical sv ~final ~into:out;
   out
 
 (* Apply one uniformly random non-identity Pauli pair on wires (a, b):
@@ -51,8 +57,8 @@ let inject_pauli rng sv a b =
 (* Error injection only follows two-qubit gates, so the circuit's
    single-qubit runs fuse exactly as in the noiseless path; the fused op
    list is compiled once per circuit and replayed per trajectory. *)
-let run_noisy rng ~noise ~n ops =
-  let sv = Statevector.create n in
+let run_noisy_into sv rng ~noise ops =
+  Statevector.reset sv;
   List.iter
     (fun op ->
       Statevector.apply_op sv op;
@@ -67,8 +73,13 @@ let run_noisy rng ~noise ~n ops =
               done
           | _ -> ())
       | Statevector.Op_1q _ -> ())
-    ops;
-  sv
+    ops
+
+(* Trajectories per pool chunk.  Fixed (never derived from the pool
+   size) so the chunk partition — and with it the order float partial
+   sums combine in — is identical for any [QCR_DOMAINS].  Small enough
+   that pools larger than the physical core count still balance. *)
+let traj_chunk = 4
 
 let distribution ?(seed = 19) ?(trajectories = 200) ~noise ~compiled ~final () =
   if trajectories < 1 then invalid_arg "Trajectory.distribution: trajectories < 1";
@@ -77,16 +88,31 @@ let distribution ?(seed = 19) ?(trajectories = 200) ~noise ~compiled ~final () =
     "trajectory.distribution"
   @@ fun () ->
   Obs.add c_trajectories trajectories;
-  let rng = Prng.create seed in
+  (* One child stream per trajectory, pre-split sequentially from the
+     seed: trajectory k sees the same randomness no matter which domain
+     runs it. *)
+  let rngs = Prng.split_n (Prng.create seed) trajectories in
   let n_log = Mapping.logical_count final in
   let n = Circuit.qubit_count compiled in
   let ops = Statevector.fuse_ops ~n (Circuit.gates compiled) in
-  let acc = Array.make (1 lsl n_log) 0.0 in
-  for _ = 1 to trajectories do
-    let sv = run_noisy rng ~noise ~n ops in
-    let d = logical_distribution sv ~final in
-    Array.iteri (fun i p -> acc.(i) <- acc.(i) +. p) d
-  done;
+  let dist_size = 1 lsl n_log in
+  let acc =
+    Qcr_par.Pool.map_reduce (Qcr_par.Pool.default ()) ~chunk:traj_chunk ~lo:0
+      ~hi:trajectories
+      ~map:(fun lo hi ->
+        let part = Array.make dist_size 0.0 in
+        (* One scratch state per chunk, reset between trajectories. *)
+        let sv = Statevector.create n in
+        for k = lo to hi - 1 do
+          run_noisy_into sv rngs.(k) ~noise ops;
+          accumulate_logical sv ~final ~into:part
+        done;
+        part)
+      ~reduce:(fun a b ->
+        Array.iteri (fun i p -> a.(i) <- a.(i) +. p) b;
+        a)
+      ~init:(Array.make dist_size 0.0)
+  in
   let averaged = Array.map (fun p -> p /. float_of_int trajectories) acc in
   Channel.with_readout noise ~final averaged
 

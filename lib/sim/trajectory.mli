@@ -12,6 +12,11 @@
     Used in tests and the evaluation to validate the cheap channel
     approximation (they agree on ordering and roughly on magnitude). *)
 
+val traj_chunk : int
+(** Trajectories per pool chunk in {!distribution}.  A fixed constant
+    (never derived from the pool size) so the chunk partition — and the
+    order partial sums combine in — is the same for every [QCR_DOMAINS]. *)
+
 val logical_distribution :
   Statevector.t -> final:Qcr_circuit.Mapping.t -> float array
 (** Marginalize a physical-wire state onto the logical wires through the
@@ -26,7 +31,11 @@ val distribution :
   unit ->
   float array
 (** Average logical output distribution over [trajectories] (default 200)
-    noisy runs.  Deterministic for a fixed [seed]. *)
+    noisy runs.  Each trajectory draws from its own child PRNG stream
+    ([Prng.split_n] of the seed) and the trajectories fan out across the
+    default [Qcr_par.Pool] in fixed-size chunks whose partial sums
+    combine in chunk order, so the result is deterministic for a fixed
+    [seed] — bit-identical for any [QCR_DOMAINS] value. *)
 
 val tvd_vs_ideal :
   ?seed:int ->

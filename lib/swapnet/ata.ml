@@ -1,5 +1,19 @@
 module Arch = Qcr_arch.Arch
 
+(* Both memo tables are keyed by architecture name and shared across
+   domains (the portfolio compiler races arms in parallel).  The lock
+   only guards table access, never the schedule construction itself:
+   [region_schedule] re-enters [schedule] for the sub-device and OCaml
+   mutexes are not reentrant.  Racing domains may build the same
+   schedule twice; [Hashtbl.replace] keeps the table consistent. *)
+let cache_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock cache_lock;
+  let r = f () in
+  Mutex.unlock cache_lock;
+  r
+
 let cache : (string, Schedule.t) Hashtbl.t = Hashtbl.create 8
 
 let build arch =
@@ -11,11 +25,11 @@ let build arch =
 
 let schedule arch =
   let key = Arch.name arch in
-  match Hashtbl.find_opt cache key with
+  match locked (fun () -> Hashtbl.find_opt cache key) with
   | Some s -> s
   | None ->
       let s = build arch in
-      Hashtbl.replace cache key s;
+      locked (fun () -> Hashtbl.replace cache key s);
       s
 
 let remap_schedule f s =
@@ -85,7 +99,7 @@ let region_schedule arch qubits =
         if su = unit_count && sk = unit_len then None (* whole device: no gain *)
         else begin
           let key = Printf.sprintf "%s[%d-%d,%d-%d]" (Arch.name arch) u0 u1 k0 k1 in
-          match Hashtbl.find_opt region_cache key with
+          match locked (fun () -> Hashtbl.find_opt region_cache key) with
           | Some result -> Some result
           | None -> begin
               let sub =
@@ -117,7 +131,7 @@ let region_schedule arch qubits =
                     List.init (Arch.qubit_count sub_arch) remap |> List.sort compare
                   in
                   let result = (sched, members) in
-                  Hashtbl.replace region_cache key result;
+                  locked (fun () -> Hashtbl.replace region_cache key result);
                   Some result
                 end
             end

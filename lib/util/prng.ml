@@ -17,6 +17,18 @@ let split t =
   let child_seed = bits64 t in
   { state = child_seed }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Prng.split_n: negative count";
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n t in
+    (* explicit loop: children are drawn in index order from [t] *)
+    for i = 0 to n - 1 do
+      out.(i) <- split t
+    done;
+    out
+  end
+
 let int t bound =
   assert (bound > 0);
   (* mask to the 62 low bits so the 63-bit native int stays non-negative *)

@@ -16,6 +16,12 @@ val split : t -> t
 (** [split t] advances [t] and returns a statistically independent child
     generator; use it to hand sub-seeds to sub-experiments. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] draws [n] independent child generators from [t], in
+    index order.  Pre-splitting one stream per work item makes the
+    randomness of a parallel loop independent of how the items are later
+    scheduled across domains. *)
+
 val bits64 : t -> int64
 (** Next raw 64 pseudo-random bits. *)
 

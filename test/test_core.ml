@@ -236,6 +236,48 @@ let test_selector_prefers_greedy_on_tie () =
   | `Greedy -> ()
   | `Hybrid _ -> Alcotest.fail "tie must favor greedy"
 
+(* Every portfolio arm — not just the winner — must certify against the
+   checker, and the winner must actually be one of the arms. *)
+let test_portfolio_certified () =
+  let rng = Prng.create 21 in
+  let g = Generate.erdos_renyi rng ~n:8 ~density:0.4 in
+  let arch = Arch.smallest_for Arch.Line 8 in
+  let program = Program.make g Program.Bare_cz in
+  let p = Pipeline.compile_portfolio arch program in
+  Alcotest.(check bool) "has at least the three always-on arms" true
+    (List.length p.Pipeline.arms >= 3);
+  Alcotest.(check bool) "astar arm joins on small devices" true
+    (List.mem_assoc "astar" p.Pipeline.arms);
+  List.iter
+    (fun (name, (r : Pipeline.result)) ->
+      match Qcr_core.Checker.certify ~arch ~program r with
+      | Ok () -> ()
+      | Error violations ->
+          Alcotest.failf "arm %s fails certification: %s" name
+            (String.concat "; " violations))
+    p.Pipeline.arms;
+  Alcotest.(check bool) "winner is one of the arms" true
+    (List.mem_assoc p.Pipeline.winner_arm p.Pipeline.arms);
+  let winner_by_name = List.assoc p.Pipeline.winner_arm p.Pipeline.arms in
+  Alcotest.(check int) "winner depth matches its arm" winner_by_name.Pipeline.depth
+    p.Pipeline.winner.Pipeline.depth;
+  (* the portfolio is deterministic: same input, same winner *)
+  let p' = Pipeline.compile_portfolio arch program in
+  Alcotest.(check string) "deterministic winner" p.Pipeline.winner_arm p'.Pipeline.winner_arm;
+  Alcotest.(check int) "deterministic depth" p.Pipeline.winner.Pipeline.depth
+    p'.Pipeline.winner.Pipeline.depth
+
+let test_portfolio_skips_astar_on_large_devices () =
+  let rng = Prng.create 8 in
+  let g = Generate.erdos_renyi rng ~n:24 ~density:0.2 in
+  let arch = Arch.smallest_for Arch.Heavy_hex 24 in
+  let program = Program.make g Program.Bare_cz in
+  let p = Pipeline.compile_portfolio arch program in
+  Alcotest.(check bool) "astar arm absent beyond 16 qubits" false
+    (List.mem_assoc "astar" p.Pipeline.arms);
+  Alcotest.(check bool) "winner still certifies" true
+    (Qcr_core.Checker.certify ~arch ~program p.Pipeline.winner = Ok ())
+
 let suite =
   [
     Alcotest.test_case "compile equivalence" `Slow test_compile_equivalence;
@@ -255,4 +297,7 @@ let suite =
     Alcotest.test_case "compile deterministic" `Quick test_compile_deterministic;
     Alcotest.test_case "selector scoring" `Quick test_selector_scoring;
     Alcotest.test_case "selector tie" `Quick test_selector_prefers_greedy_on_tie;
+    Alcotest.test_case "portfolio certified" `Quick test_portfolio_certified;
+    Alcotest.test_case "portfolio skips astar on large devices" `Quick
+      test_portfolio_skips_astar_on_large_devices;
   ]

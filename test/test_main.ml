@@ -2,6 +2,7 @@ let () =
   Alcotest.run "qcr"
     [
       ("util", Test_util.suite);
+      ("par", Test_par.suite);
       ("obs", Test_obs.suite);
       ("asciiplot", Test_asciiplot.suite);
       ("api-surface", Test_api_surface.suite);

@@ -378,6 +378,51 @@ let test_astar_counters () =
         | Some s -> s.Obs.Histogram.count = 1
         | None -> false))
 
+(* ---------- domain safety ---------- *)
+
+let test_parallel_counter_increments () =
+  with_sink (fun () ->
+      let c = Obs.counter "par.increments" in
+      let h = Obs.histogram "par.observations" in
+      let pool = Qcr_par.Pool.create ~domains:4 in
+      Fun.protect
+        ~finally:(fun () -> Qcr_par.Pool.shutdown pool)
+        (fun () ->
+          Qcr_par.Pool.parallel_for pool ~lo:0 ~hi:40_000 (fun i ->
+              Obs.incr c;
+              if i mod 100 = 0 then Obs.observe h 1.0));
+      Alcotest.(check int) "no lost counter updates" 40_000 (Obs.Counter.value c);
+      let s = Obs.Histogram.summary h in
+      Alcotest.(check int) "no lost observations" 400 s.Obs.Histogram.count;
+      Alcotest.(check (float 1e-9)) "histogram sum" 400.0 s.Obs.Histogram.sum)
+
+let test_parallel_spans_merge () =
+  with_sink (fun () ->
+      let pool = Qcr_par.Pool.create ~domains:4 in
+      Fun.protect
+        ~finally:(fun () -> Qcr_par.Pool.shutdown pool)
+        (fun () ->
+          Obs.with_span ~cat:"test" "root" (fun () ->
+              Qcr_par.Pool.parallel_for pool ~chunks:16 ~lo:0 ~hi:16 (fun i ->
+                  Obs.with_span ~cat:"test"
+                    (Printf.sprintf "worker-%d" i)
+                    (fun () -> ignore (Sys.opaque_identity (i * i))))));
+      let spans = Obs.spans () in
+      let names = List.map (fun s -> s.Obs.span_name) spans in
+      Alcotest.(check int) "all spans captured" 17 (List.length spans);
+      Alcotest.(check bool) "root captured" true (List.mem "root" names);
+      for i = 0 to 15 do
+        Alcotest.(check bool)
+          (Printf.sprintf "worker-%d captured" i)
+          true
+          (List.mem (Printf.sprintf "worker-%d" i) names)
+      done;
+      (* Spans on worker domains start their own depth stack at 0; the
+         trace stays well-formed per domain. *)
+      List.iter
+        (fun s -> Alcotest.(check bool) "depth >= 0" true (s.Obs.span_depth >= 0))
+        spans)
+
 let suite =
   [
     Alcotest.test_case "fake clock" `Quick test_fake_clock;
@@ -401,4 +446,7 @@ let suite =
     Alcotest.test_case "summary render" `Quick test_summary_render;
     Alcotest.test_case "astar budget cut (fake clock)" `Quick test_astar_budget_cut;
     Alcotest.test_case "astar counters" `Quick test_astar_counters;
+    Alcotest.test_case "parallel counter increments merge" `Quick
+      test_parallel_counter_increments;
+    Alcotest.test_case "parallel spans merge at flush" `Quick test_parallel_spans_merge;
   ]

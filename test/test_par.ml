@@ -1,0 +1,162 @@
+(* The domain pool: coverage, determinism across pool sizes, exception
+   propagation, nested-submission inlining. *)
+
+module Pool = Qcr_par.Pool
+
+let with_pool domains f =
+  let pool = Pool.create ~domains in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let test_parallel_for_covers_range () =
+  with_pool 4 @@ fun pool ->
+  let n = 10_000 in
+  let hits = Array.make n 0 in
+  Pool.parallel_for pool ~lo:0 ~hi:n (fun i -> hits.(i) <- hits.(i) + 1);
+  Array.iteri
+    (fun i h -> Alcotest.(check int) (Printf.sprintf "index %d hit once" i) 1 h)
+    hits
+
+let test_for_range_partition_exact () =
+  with_pool 3 @@ fun pool ->
+  let lo = 7 and hi = 7 + 1234 in
+  let hits = Array.make (hi - lo) 0 in
+  (* Alcotest's check is not safe to call from worker domains, so the
+     chunk body only records; assertions run on the test domain after. *)
+  let out_of_bounds = Atomic.make false in
+  Pool.for_range pool ~chunks:11 ~lo ~hi (fun sub_lo sub_hi ->
+      if not (sub_lo >= lo && sub_hi <= hi) then Atomic.set out_of_bounds true;
+      for i = sub_lo to sub_hi - 1 do
+        hits.(i - lo) <- hits.(i - lo) + 1
+      done);
+  Alcotest.(check bool) "subranges within bounds" false (Atomic.get out_of_bounds);
+  Array.iter (fun h -> Alcotest.(check int) "covered exactly once" 1 h) hits
+
+let test_empty_and_singleton_ranges () =
+  with_pool 4 @@ fun pool ->
+  let ran = ref 0 in
+  Pool.parallel_for pool ~lo:5 ~hi:5 (fun _ -> incr ran);
+  Alcotest.(check int) "empty range runs nothing" 0 !ran;
+  Pool.parallel_for pool ~lo:5 ~hi:6 (fun i ->
+      Alcotest.(check int) "singleton index" 5 i;
+      incr ran);
+  Alcotest.(check int) "singleton runs once" 1 !ran
+
+let test_map_preserves_order () =
+  with_pool 4 @@ fun pool ->
+  let input = Array.init 777 (fun i -> i) in
+  let out = Pool.map pool (fun x -> (x * 2) + 1) input in
+  Alcotest.(check int) "length" 777 (Array.length out);
+  Array.iteri
+    (fun i v -> Alcotest.(check int) "mapped in order" ((i * 2) + 1) v)
+    out;
+  Alcotest.(check int) "empty map" 0 (Array.length (Pool.map pool succ [||]))
+
+(* The float sum is order-sensitive; map_reduce promises the same fold
+   order for any pool size, so the results must be bit-identical. *)
+let test_map_reduce_bit_identical_across_sizes () =
+  let n = 100_000 in
+  let data = Array.init n (fun i -> sin (float_of_int i) *. 1e-3) in
+  let sum pool =
+    Pool.map_reduce pool ~chunk:1024 ~lo:0 ~hi:n
+      ~map:(fun lo hi ->
+        let acc = ref 0.0 in
+        for i = lo to hi - 1 do
+          acc := !acc +. data.(i)
+        done;
+        !acc)
+      ~reduce:( +. ) ~init:0.0
+  in
+  let reference = with_pool 1 sum in
+  List.iter
+    (fun domains ->
+      let s = with_pool domains sum in
+      Alcotest.(check bool)
+        (Printf.sprintf "sum at %d domains bit-identical" domains)
+        true
+        (Int64.equal (Int64.bits_of_float s) (Int64.bits_of_float reference)))
+    [ 2; 4; 7 ]
+
+let test_map_reduce_chunk_order () =
+  with_pool 4 @@ fun pool ->
+  (* Reducing with list cons exposes the fold order directly. *)
+  let chunks =
+    Pool.map_reduce pool ~chunk:10 ~lo:0 ~hi:95
+      ~map:(fun lo hi -> [ (lo, hi) ])
+      ~reduce:(fun acc c -> acc @ c)
+      ~init:[]
+  in
+  let expected =
+    List.init 10 (fun c -> (c * 10, min 95 ((c + 1) * 10)))
+  in
+  Alcotest.(check (list (pair int int))) "chunks folded in order" expected chunks
+
+let test_exception_propagates_and_pool_survives () =
+  with_pool 4 @@ fun pool ->
+  (match
+     Pool.parallel_for pool ~lo:0 ~hi:500 (fun i ->
+         if i = 321 then failwith "boom-321")
+   with
+  | () -> Alcotest.fail "expected exception"
+  | exception Failure m -> Alcotest.(check string) "failure message" "boom-321" m);
+  (* The pool must drain cleanly and stay usable. *)
+  let c = Atomic.make 0 in
+  Pool.parallel_for pool ~lo:0 ~hi:1000 (fun _ -> ignore (Atomic.fetch_and_add c 1));
+  Alcotest.(check int) "pool usable after exception" 1000 (Atomic.get c)
+
+let test_nested_submission_runs_inline () =
+  with_pool 4 @@ fun pool ->
+  let outer = 16 and inner = 64 in
+  let hits = Array.make (outer * inner) 0 in
+  Pool.parallel_for pool ~lo:0 ~hi:outer (fun o ->
+      Pool.parallel_for pool ~lo:0 ~hi:inner (fun i ->
+          let k = (o * inner) + i in
+          hits.(k) <- hits.(k) + 1));
+  Array.iter (fun h -> Alcotest.(check int) "nested covered once" 1 h) hits
+
+let test_shutdown_then_inline () =
+  let pool = Pool.create ~domains:4 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  let c = ref 0 in
+  Pool.parallel_for pool ~lo:0 ~hi:100 (fun _ -> incr c);
+  Alcotest.(check int) "inline after shutdown" 100 !c
+
+let test_size_and_clamping () =
+  let p0 = Pool.create ~domains:0 in
+  Alcotest.(check int) "domains clamped to 1" 1 (Pool.size p0);
+  Pool.shutdown p0;
+  with_pool 3 @@ fun p3 -> Alcotest.(check int) "size 3" 3 (Pool.size p3)
+
+let test_default_pool_env_or_override () =
+  (* QCR_DOMAINS wins when set; otherwise the override applies. *)
+  (match Sys.getenv_opt "QCR_DOMAINS" with
+  | Some s ->
+      let v = int_of_string (String.trim s) in
+      Alcotest.(check int) "QCR_DOMAINS honoured" (min v 64)
+        (Pool.default_domain_count ())
+  | None ->
+      Pool.set_default_domains 2;
+      Alcotest.(check int) "override honoured" 2 (Pool.default_domain_count ()));
+  let p = Pool.default () in
+  Alcotest.(check bool) "default pool sized >= 1" true (Pool.size p >= 1);
+  let c = Atomic.make 0 in
+  Pool.parallel_for p ~lo:0 ~hi:256 (fun _ -> ignore (Atomic.fetch_and_add c 1));
+  Alcotest.(check int) "default pool works" 256 (Atomic.get c)
+
+let suite =
+  [
+    Alcotest.test_case "parallel_for covers range" `Quick test_parallel_for_covers_range;
+    Alcotest.test_case "for_range exact partition" `Quick test_for_range_partition_exact;
+    Alcotest.test_case "empty and singleton ranges" `Quick test_empty_and_singleton_ranges;
+    Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+    Alcotest.test_case "map_reduce bit-identical across pool sizes" `Quick
+      test_map_reduce_bit_identical_across_sizes;
+    Alcotest.test_case "map_reduce folds in chunk order" `Quick test_map_reduce_chunk_order;
+    Alcotest.test_case "exception propagates, pool survives" `Quick
+      test_exception_propagates_and_pool_survives;
+    Alcotest.test_case "nested submission runs inline" `Quick
+      test_nested_submission_runs_inline;
+    Alcotest.test_case "shutdown is idempotent, then inline" `Quick test_shutdown_then_inline;
+    Alcotest.test_case "size clamping" `Quick test_size_and_clamping;
+    Alcotest.test_case "default pool sizing" `Quick test_default_pool_env_or_override;
+  ]

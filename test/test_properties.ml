@@ -111,6 +111,106 @@ let prop_compile_deterministic =
       let a = Pipeline.compile arch program and b = Pipeline.compile arch program in
       a.Pipeline.depth = b.Pipeline.depth && a.Pipeline.cx = b.Pipeline.cx)
 
+(* ---- Parallel execution equivalence ------------------------------- *)
+
+module Statevector = Qcr_sim.Statevector
+module Trajectory = Qcr_sim.Trajectory
+module Noise = Qcr_arch.Noise
+module Pool = Qcr_par.Pool
+
+(* Run [f] with the default pool resized to [domains] and the statevector
+   parallel threshold set to [threshold], restoring both afterwards so the
+   rest of the suite sees the ambient configuration. *)
+let with_pool_config ~domains ~threshold f =
+  let old_domains = Pool.default_domain_count () in
+  let old_threshold = Statevector.par_threshold () in
+  Pool.set_default_domains domains;
+  Statevector.set_par_threshold threshold;
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.set_default_domains old_domains;
+      Statevector.set_par_threshold old_threshold)
+    f
+
+let random_circuit seed n =
+  let rng = Prng.create seed in
+  let c = Circuit.create n in
+  let wire () = Prng.int rng n in
+  let pair () =
+    let a = wire () in
+    let b = (a + 1 + Prng.int rng (n - 1)) mod n in
+    (a, b)
+  in
+  for _ = 1 to 30 do
+    let theta = Prng.float rng 6.28 in
+    Circuit.add c
+      (match Prng.int rng 8 with
+      | 0 -> Gate.H (wire ())
+      | 1 -> Gate.X (wire ())
+      | 2 -> Gate.Rx (wire (), theta)
+      | 3 -> Gate.Rz (wire (), theta)
+      | 4 ->
+          let a, b = pair () in
+          Gate.Cx (a, b)
+      | 5 ->
+          let a, b = pair () in
+          Gate.Cz (a, b)
+      | 6 ->
+          let a, b = pair () in
+          Gate.Rzz (a, b, theta)
+      | _ ->
+          let a, b = pair () in
+          Gate.Swap (a, b))
+  done;
+  c
+
+(* The parallel kernels (threshold 1 forces every sweep through the
+   chunked path, including the pair-decomposed 1q kernel) must reproduce
+   the sequential amplitudes bit for bit. *)
+let prop_statevector_par_seq_identical =
+  QCheck.Test.make ~name:"parallel statevector kernels bit-identical to sequential"
+    ~count:15
+    QCheck.(pair (int_bound 10000) (int_range 4 8))
+    (fun (seed, n) ->
+      let c = random_circuit seed n in
+      let seq = with_pool_config ~domains:1 ~threshold:max_int (fun () -> Statevector.run c) in
+      let par = with_pool_config ~domains:4 ~threshold:1 (fun () -> Statevector.run c) in
+      let size = 1 lsl n in
+      let ok = ref true in
+      for i = 0 to size - 1 do
+        let re_s, im_s = Statevector.amplitude seq i in
+        let re_p, im_p = Statevector.amplitude par i in
+        if
+          Int64.bits_of_float re_s <> Int64.bits_of_float re_p
+          || Int64.bits_of_float im_s <> Int64.bits_of_float im_p
+        then ok := false
+      done;
+      !ok)
+
+(* Monte-Carlo sampling over split PRNG streams: the averaged distribution
+   is bit-identical for any pool size at a fixed seed. *)
+let prop_trajectory_domains_bit_identical =
+  QCheck.Test.make ~name:"trajectory distribution bit-identical across pool sizes"
+    ~count:4
+    QCheck.(pair (int_bound 1000) (int_range 6 9))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = Generate.erdos_renyi rng ~n ~density:0.4 in
+      let arch = Arch.smallest_for Arch.Line n in
+      let noise = Noise.sampled ~seed:5 arch in
+      let program = Program.make g Program.Bare_cz in
+      let r = Pipeline.compile ~noise arch program in
+      let sample () =
+        Trajectory.distribution ~seed:(seed + 1) ~trajectories:18 ~noise
+          ~compiled:r.Pipeline.circuit ~final:r.Pipeline.final ()
+      in
+      let d1 = with_pool_config ~domains:1 ~threshold:max_int sample in
+      let d4 = with_pool_config ~domains:4 ~threshold:1 sample in
+      Array.length d1 = Array.length d4
+      && Array.for_all2
+           (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+           d1 d4)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_ata_coverage_random_shapes;
@@ -118,4 +218,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_realize_exact_edges;
     Alcotest.test_case "crosstalk layers clean" `Quick test_crosstalk_layers_clean;
     QCheck_alcotest.to_alcotest prop_compile_deterministic;
+    QCheck_alcotest.to_alcotest prop_statevector_par_seq_identical;
+    QCheck_alcotest.to_alcotest prop_trajectory_domains_bit_identical;
   ]

@@ -26,6 +26,60 @@ let test_prng_split_independent () =
   let a = Prng.bits64 child and b = Prng.bits64 parent in
   Alcotest.(check bool) "distinct streams" true (a <> b)
 
+(* Statistical smoke test for [split_n]: the per-trajectory child streams
+   must look mutually independent — distinct openings, uniform marginals,
+   and no pairwise correlation between sibling streams. *)
+let test_prng_split_n_statistics () =
+  let n_children = 64 and draws = 512 in
+  let rngs = Prng.split_n (Prng.create 42) n_children in
+  Alcotest.(check int) "child count" n_children (Array.length rngs);
+  let first = Array.map Prng.bits64 rngs in
+  let module S = Set.Make (Int64) in
+  Alcotest.(check int) "distinct first draws"
+    n_children
+    (S.cardinal (Array.fold_left (fun s x -> S.add x s) S.empty first));
+  let samples =
+    Array.map (fun rng -> Array.init draws (fun _ -> Prng.float rng 1.0)) rngs
+  in
+  Array.iteri
+    (fun i xs ->
+      let mean = Stats.mean xs in
+      Alcotest.(check bool)
+        (Printf.sprintf "child %d mean near 0.5" i)
+        true
+        (abs_float (mean -. 0.5) < 0.1))
+    samples;
+  (* Pearson correlation between adjacent siblings: for 512 iid uniform
+     pairs the sample correlation is ~N(0, 1/sqrt 512); |r| < 0.2 is a
+     > 6-sigma envelope, so this only trips on real stream coupling. *)
+  for i = 0 to n_children - 2 do
+    let xs = samples.(i) and ys = samples.(i + 1) in
+    let mx = Stats.mean xs and my = Stats.mean ys in
+    let num = ref 0.0 and dx2 = ref 0.0 and dy2 = ref 0.0 in
+    for k = 0 to draws - 1 do
+      let dx = xs.(k) -. mx and dy = ys.(k) -. my in
+      num := !num +. (dx *. dy);
+      dx2 := !dx2 +. (dx *. dx);
+      dy2 := !dy2 +. (dy *. dy)
+    done;
+    let r = !num /. sqrt (!dx2 *. !dy2) in
+    Alcotest.(check bool)
+      (Printf.sprintf "siblings %d,%d uncorrelated" i (i + 1))
+      true
+      (abs_float r < 0.2)
+  done
+
+let test_prng_split_n_edge_cases () =
+  Alcotest.(check int) "zero children" 0 (Array.length (Prng.split_n (Prng.create 1) 0));
+  Alcotest.check_raises "negative children"
+    (Invalid_argument "Prng.split_n: negative count") (fun () ->
+      ignore (Prng.split_n (Prng.create 1) (-1)));
+  (* splitting is deterministic: same seed, same child streams *)
+  let a = Prng.split_n (Prng.create 9) 5 and b = Prng.split_n (Prng.create 9) 5 in
+  Array.iter2
+    (fun x y -> Alcotest.(check int64) "deterministic child" (Prng.bits64 x) (Prng.bits64 y))
+    a b
+
 let test_prng_shuffle_permutes () =
   let rng = Prng.create 3 in
   let a = Array.init 50 (fun i -> i) in
@@ -140,6 +194,8 @@ let suite =
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
     Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
     Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng split_n statistics" `Quick test_prng_split_n_statistics;
+    Alcotest.test_case "prng split_n edge cases" `Quick test_prng_split_n_edge_cases;
     Alcotest.test_case "prng shuffle permutes" `Quick test_prng_shuffle_permutes;
     Alcotest.test_case "prng gaussian moments" `Quick test_prng_gaussian_moments;
     Alcotest.test_case "pqueue basic" `Quick test_pqueue_basic;
