@@ -23,6 +23,7 @@ let experiments =
     ("fig26", Experiments.fig26);
     ("ablation", Experiments.ablation);
     ("hotpaths", Hotpaths.run);
+    ("service", Service_bench.run);
   ]
 
 let scale_term =

@@ -3,7 +3,9 @@
    qcr_cli compile --arch heavyhex --n 64 --density 0.3 [--qasm out.qasm]
    qcr_cli ata     --arch sycamore --n 256
    qcr_cli solve   --line 5
-   qcr_cli qaoa    --n 10 --rounds 20 *)
+   qcr_cli qaoa    --n 10 --rounds 20
+   qcr_cli batch   jobs.json --out replies.json --repeat 2
+   qcr_cli serve   [--batch jobs.json]   # JSON-lines request/reply on stdio *)
 
 open Cmdliner
 module Arch = Qcr_arch.Arch
@@ -216,6 +218,110 @@ let qaoa_cmd =
       const run $ n_arg $ density_arg $ seed_arg $ rounds_arg $ trace_arg $ metrics_arg
       $ domains_arg)
 
+(* ---------- compilation service: batch + serve ---------- *)
+
+module Service = Qcr_service.Service
+module Compile_request = Qcr_service.Compile_request
+module Compile_reply = Qcr_service.Compile_reply
+module Json = Qcr_obs.Json
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("qcr: " ^ msg); exit 1) fmt
+
+let load_batch file =
+  match Json.of_file file with
+  | Error e -> die "cannot read %s: %s" file e
+  | Ok j -> (
+      match Service.requests_of_json j with
+      | Error e -> die "%s: %s" file e
+      | Ok reqs -> reqs)
+
+let pass_summary label (d : Service.stats) =
+  Printf.printf
+    "%s: %d requests | %d hits %d misses | ok=%d degraded=%d timeouts=%d errors=%d\n%!" label
+    d.Service.requests d.Service.cache_hits d.Service.cache_misses d.Service.served_ok
+    d.Service.degraded d.Service.timeouts d.Service.errors
+
+let batch_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Batch file: {\"schema\": \"qcr-service-batch/v1\", \"requests\": [...]}.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the replies (last pass) and per-pass stats as JSON to $(docv).")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Run the batch $(docv) times through the same service; later passes \
+                 exercise the compile cache.")
+  in
+  let run file out repeat trace metrics domains =
+    with_telemetry ~cmd:"batch" trace metrics domains @@ fun () ->
+    let reqs = load_batch file in
+    let service = Service.create () in
+    let passes = ref [] in
+    let last_replies = ref [] in
+    for pass = 1 to max 1 repeat do
+      let before = Service.stats service in
+      last_replies := Service.run_batch service reqs;
+      let delta = Service.stats_sub (Service.stats service) before in
+      passes := delta :: !passes;
+      pass_summary (Printf.sprintf "pass %d" pass) delta
+    done;
+    let json =
+      Service.replies_to_json ~passes:(List.rev !passes)
+        ~domains:(Qcr_par.Pool.default_domain_count ())
+        ~stats:(Service.stats service) !last_replies
+    in
+    match out with
+    | Some path ->
+        Json.to_file path json;
+        Printf.printf "wrote %s\n" path
+    | None -> print_endline (Json.to_string json)
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc:"Run a batch job file through the compilation service.")
+    Term.(const run $ file_arg $ out_arg $ repeat_arg $ trace_arg $ metrics_arg $ domains_arg)
+
+let serve_cmd =
+  let batch_arg =
+    Arg.(value & opt (some file) None & info [ "batch" ] ~docv:"FILE"
+           ~doc:"Process this batch file first (replies on stdout, one JSON per line), \
+                 warming the compile cache, then serve stdin.")
+  in
+  let run batch trace metrics domains =
+    with_telemetry ~cmd:"serve" trace metrics domains @@ fun () ->
+    let service = Service.create () in
+    let reply_line r =
+      print_endline (Json.to_string (Compile_reply.to_json r));
+      flush stdout
+    in
+    Option.iter
+      (fun file -> List.iter reply_line (Service.run_batch service (load_batch file)))
+      batch;
+    (* One request per line on stdin, one reply per line on stdout; a
+       malformed line yields an error reply, never a crash. *)
+    (try
+       while true do
+         let line = input_line stdin in
+         if String.trim line <> "" then
+           match Result.bind (Json.of_string line) Compile_request.of_json with
+           | Ok req -> reply_line (Service.submit service req)
+           | Error e ->
+               print_endline
+                 (Json.to_string
+                    (Json.Obj
+                       [ ("status", Json.Str "error"); ("error", Json.Str ("bad request: " ^ e)) ]));
+               flush stdout
+       done
+     with End_of_file -> ());
+    pass_summary "served" (Service.stats service)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve compile requests over stdio (JSON lines), with a persistent compile cache.")
+    Term.(const run $ batch_arg $ trace_arg $ metrics_arg $ domains_arg)
+
 let () =
   let info = Cmd.info "qcr_cli" ~doc:"Regular-architecture quantum compiler tools." in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; ata_cmd; solve_cmd; qaoa_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; ata_cmd; solve_cmd; qaoa_cmd; batch_cmd; serve_cmd ]))

@@ -38,8 +38,6 @@ type result = {
   compile_seconds : float;
 }
 
-let interaction_only p = p
-
 (* finalize is defined below and re-exported as finalize_body *)
 
 let count_swaps circuit =
@@ -78,7 +76,7 @@ let finalize ~arch ~program ~noise ~initial ~final ~strategy ~seconds body =
 
 let default_init arch program = Placement.auto arch program
 
-let compile_ata ?noise ?init arch program =
+let ata_impl ?noise ?init arch program =
   Obs.with_span ~cat:"pipeline" "pipeline.compile_ata" @@ fun () ->
   let t0 = Sys.time () in
   let initial =
@@ -95,7 +93,7 @@ let compile_ata ?noise ?init arch program =
   finalize ~arch ~program ~noise ~initial ~final:mapping ~strategy:Pure_ata
     ~seconds:(Sys.time () -. t0) body
 
-let compile_greedy ?(config = Config.pure_greedy) ?noise ?init arch program =
+let greedy_impl ?(config = Config.pure_greedy) ?noise ?init arch program =
   Obs.with_span ~cat:"pipeline" "pipeline.compile_greedy" @@ fun () ->
   let t0 = Sys.time () in
   let config = { config with Config.use_selector = false } in
@@ -145,7 +143,7 @@ let mean_log_success_of ~noise ~arch =
         (Arch.graph arch);
       if !count = 0 then 0.0 else !total /. float_of_int !count
 
-let rec compile ?(config = Config.default) ?noise ?init arch program =
+let rec ours_impl ?(config = Config.default) ?noise ?init arch program =
   Obs.incr c_compiles;
   match (init, noise) with
   | None, Some _ when Arch.qubit_count arch <= 128 && config.Config.use_selector ->
@@ -164,7 +162,7 @@ let rec compile ?(config = Config.default) ?noise ?init arch program =
              (Qcr_par.Pool.default ())
              (fun candidate ->
                Obs.incr c_placements_tried;
-               compile ~config ?noise ~init:candidate arch program)
+               ours_impl ~config ?noise ~init:candidate arch program)
              (Array.of_list (Placement.candidates ?noise arch program)))
       in
       (* Expected fidelity of a run: gate errors (log_fidelity) plus the
@@ -341,16 +339,16 @@ let astar_arm ?noise ?init ~node_budget arch program =
              r.Schedule.circuit)
   end
 
-let compile_portfolio ?(config = Config.default) ?noise ?init
+let portfolio_impl ?(config = Config.default) ?noise ?init
     ?(astar_budget = 30_000) arch program =
   Obs.with_span ~cat:"pipeline" "pipeline.compile_portfolio" @@ fun () ->
   Obs.incr c_portfolios;
   let t0 = Sys.time () in
   let arms =
     [|
-      ("ours", fun () -> Some (compile ~config ?noise ?init arch program));
-      ("greedy", fun () -> Some (compile_greedy ?noise ?init arch program));
-      ("ata", fun () -> Some (compile_ata ?noise ?init arch program));
+      ("ours", fun () -> Some (ours_impl ~config ?noise ?init arch program));
+      ("greedy", fun () -> Some (greedy_impl ?noise ?init arch program));
+      ("ata", fun () -> Some (ata_impl ?noise ?init arch program));
       ("astar", fun () -> astar_arm ?noise ?init ~node_budget:astar_budget arch program);
     |]
   in
@@ -391,3 +389,107 @@ let compile_portfolio ?(config = Config.default) ?noise ?init
           first rest
   in
   { winner = { winner with compile_seconds = Sys.time () -. t0 }; winner_arm; arms = completed }
+
+(* ---------- unified request/reply entry point ---------- *)
+
+module Request = struct
+  type mode =
+    | Ours
+    | Greedy
+    | Ata
+    | Portfolio of { astar_budget : int }
+
+  type t = {
+    arch : Arch.t;
+    program : Program.t;
+    config : Config.t;
+    noise : Noise.t option;
+    init : Mapping.t option;
+    mode : mode;
+  }
+
+  let make ?(config = Config.default) ?noise ?init ?(mode = Ours) arch program =
+    { arch; program; config; noise; init; mode }
+
+  let mode_name = function
+    | Ours -> "ours"
+    | Greedy -> "greedy"
+    | Ata -> "ata"
+    | Portfolio _ -> "portfolio"
+end
+
+type error =
+  | Timeout of { deadline_s : float }
+  | Invalid_request of string
+  | Internal of string
+
+let error_to_string = function
+  | Timeout { deadline_s } -> Printf.sprintf "deadline of %gs expired" deadline_s
+  | Invalid_request msg -> "invalid request: " ^ msg
+  | Internal msg -> "internal error: " ^ msg
+
+let validate (req : Request.t) =
+  let n_log = Program.qubit_count req.Request.program in
+  let n_phys = Arch.qubit_count req.Request.arch in
+  if n_log > n_phys then
+    Error
+      (Invalid_request
+         (Printf.sprintf "program needs %d qubits but %s has only %d" n_log
+            (Arch.name req.Request.arch) n_phys))
+  else
+    match req.Request.init with
+    | Some m when Mapping.physical_count m <> n_phys ->
+        Error
+          (Invalid_request
+             (Printf.sprintf "initial mapping covers %d physical qubits, device has %d"
+                (Mapping.physical_count m) n_phys))
+    | Some m when Mapping.logical_count m < n_log ->
+        Error
+          (Invalid_request
+             (Printf.sprintf "initial mapping covers %d logical qubits, program has %d"
+                (Mapping.logical_count m) n_log))
+    | _ -> (
+        match req.Request.noise with
+        | Some nm when Arch.qubit_count (Noise.arch nm) <> n_phys ->
+            Error (Invalid_request "noise model was sampled for a different device")
+        | _ -> Ok ())
+
+let run (req : Request.t) =
+  match validate req with
+  | Error _ as e -> e
+  | Ok () -> (
+      let { Request.arch; program; config; noise; init; mode } = req in
+      try
+        Ok
+          (match mode with
+          | Request.Ours -> ours_impl ~config ?noise ?init arch program
+          | Request.Greedy -> greedy_impl ~config ?noise ?init arch program
+          | Request.Ata -> ata_impl ?noise ?init arch program
+          | Request.Portfolio { astar_budget } ->
+              (portfolio_impl ~config ?noise ?init ~astar_budget arch program).winner)
+      with
+      | (Out_of_memory | Stack_overflow) as e -> raise e
+      | e -> Error (Internal (Printexc.to_string e)))
+
+(* Legacy entry points, re-expressed over [run].  They keep the original
+   exception-based contract: a typed error surfaces as [Invalid_argument]
+   or [Failure]. *)
+
+let unwrap = function
+  | Ok r -> r
+  | Error (Invalid_request msg) -> invalid_arg ("Pipeline: " ^ msg)
+  | Error e -> failwith ("Pipeline: " ^ error_to_string e)
+
+let compile ?config ?noise ?init arch program =
+  unwrap (run (Request.make ?config ?noise ?init ~mode:Request.Ours arch program))
+
+let compile_greedy ?(config = Config.pure_greedy) ?noise ?init arch program =
+  unwrap (run (Request.make ~config ?noise ?init ~mode:Request.Greedy arch program))
+
+let compile_ata ?noise ?init arch program =
+  unwrap (run (Request.make ?noise ?init ~mode:Request.Ata arch program))
+
+let compile_portfolio ?config ?noise ?init ?(astar_budget = 30_000) arch program =
+  match validate (Request.make ?config ?noise ?init arch program) with
+  | Error e -> invalid_arg ("Pipeline: " ^ error_to_string e)
+  | Ok () -> portfolio_impl ?config ?noise ?init ~astar_budget arch program

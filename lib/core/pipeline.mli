@@ -1,15 +1,26 @@
-(** The full compiler workflow (paper §6.1, Fig 18).
+(** The full compiler workflow (paper §6.1, Fig 18), behind one
+    request/reply entry point.
 
-    [compile] runs the greedy engine cycle by cycle; whenever the mapping
-    changes (throttled on large devices) it records an ATA-completion
-    prediction.  When no candidate gate remains, the selector compares the
-    pure-greedy circuit against every recorded hybrid under the cost F and
-    the winner is materialized: greedy is replayed deterministically up to
-    the winning checkpoint and the rigid ATA completion is appended.
+    {!run} takes a {!Request.t} naming the target device, the program and
+    the compilation mode, and returns either a {!result} or a typed
+    {!error} — the single code path every mode-specific entry point (and
+    the [Qcr_service] compile server) goes through.
 
-    The checkpoint at cycle 0 is the pure solver-guided circuit cc0, so the
-    output is never worse than rigidly following the clique pattern
-    (Theorem 6.1) while beating it on sparse inputs. *)
+    For the default [Ours] mode, the engine runs greedy cycle by cycle;
+    whenever the mapping changes (throttled on large devices) it records
+    an ATA-completion prediction.  When no candidate gate remains, the
+    selector compares the pure-greedy circuit against every recorded
+    hybrid under the cost F and the winner is materialized: greedy is
+    replayed deterministically up to the winning checkpoint and the rigid
+    ATA completion is appended.  The checkpoint at cycle 0 is the pure
+    solver-guided circuit cc0, so the output is never worse than rigidly
+    following the clique pattern (Theorem 6.1) while beating it on sparse
+    inputs.
+
+    Compilation operates on the program's interaction block; the prologue
+    and epilogue are attached verbatim around the routed block by
+    {!finalize_body}, so no pre-stripping pass is needed (the former
+    [interaction_only] helper was the identity and has been removed). *)
 
 type strategy =
   | Pure_greedy
@@ -28,6 +39,68 @@ type result = {
   compile_seconds : float;
 }
 
+(** {1 The unified request/reply API} *)
+
+module Request : sig
+  type mode =
+    | Ours  (** the full system: greedy + checkpointed ATA hybrids (§6.1) *)
+    | Greedy  (** pure greedy arm (Fig 17 "greedy"); selector forced off *)
+    | Ata
+        (** rigid solver-guided pattern (Fig 17 "solver"): realize the
+            clique ATA schedule from the initial mapping, skipping absent
+            gates *)
+    | Portfolio of { astar_budget : int }
+        (** race ours/greedy/ata (and, on devices of at most 16 qubits,
+            an anytime weighted-A* arm with [astar_budget] node
+            expansions) over the domain pool and keep the best circuit
+            under the selector metric; see {!compile_portfolio} for the
+            arms-exposing variant *)
+
+  type t = {
+    arch : Qcr_arch.Arch.t;
+    program : Qcr_circuit.Program.t;
+    config : Config.t;
+    noise : Qcr_arch.Noise.t option;
+    init : Qcr_circuit.Mapping.t option;
+    mode : mode;
+  }
+
+  val make :
+    ?config:Config.t ->
+    ?noise:Qcr_arch.Noise.t ->
+    ?init:Qcr_circuit.Mapping.t ->
+    ?mode:mode ->
+    Qcr_arch.Arch.t ->
+    Qcr_circuit.Program.t ->
+    t
+  (** Defaults: [Config.default], no noise model, automatic placement,
+      mode [Ours]. *)
+
+  val mode_name : mode -> string
+  (** ["ours"], ["greedy"], ["ata"] or ["portfolio"]. *)
+end
+
+type error =
+  | Timeout of { deadline_s : float }
+      (** produced by deadline-enforcing callers such as the
+          [Qcr_service] compile server; {!run} itself never times out *)
+  | Invalid_request of string  (** the request fails validation *)
+  | Internal of string  (** an unexpected exception, captured *)
+
+val error_to_string : error -> string
+
+val run : Request.t -> (result, error) Stdlib.result
+(** Validate the request (program fits the device, mapping and noise
+    model match it), dispatch on the mode, and capture any unexpected
+    exception as [Internal] — the only exceptions that escape are
+    [Out_of_memory] and [Stack_overflow]. *)
+
+(** {1 Legacy entry points}
+
+    Thin wrappers over {!run} that keep the original exception-based
+    contract: a typed error surfaces as [Invalid_argument] or
+    [Failure]. *)
+
 val compile :
   ?config:Config.t ->
   ?noise:Qcr_arch.Noise.t ->
@@ -35,7 +108,8 @@ val compile :
   Qcr_arch.Arch.t ->
   Qcr_circuit.Program.t ->
   result
-(** The full system ("ours"). *)
+(** The full system ("ours").
+    @deprecated Use {!run} with mode {!Request.Ours}. *)
 
 val compile_greedy :
   ?config:Config.t ->
@@ -44,7 +118,8 @@ val compile_greedy :
   Qcr_arch.Arch.t ->
   Qcr_circuit.Program.t ->
   result
-(** Pure greedy arm (Fig 17 "greedy"). *)
+(** Pure greedy arm (Fig 17 "greedy").
+    @deprecated Use {!run} with mode {!Request.Greedy}. *)
 
 val compile_ata :
   ?noise:Qcr_arch.Noise.t ->
@@ -52,8 +127,8 @@ val compile_ata :
   Qcr_arch.Arch.t ->
   Qcr_circuit.Program.t ->
   result
-(** Rigid solver-guided pattern (Fig 17 "solver"): realize the clique ATA
-    schedule from the initial mapping, skipping absent gates. *)
+(** Rigid solver-guided pattern (Fig 17 "solver").
+    @deprecated Use {!run} with mode {!Request.Ata}. *)
 
 val finalize_body :
   arch:Qcr_arch.Arch.t ->
@@ -68,11 +143,6 @@ val finalize_body :
 (** Wrap a routed interaction block with the program prologue/epilogue,
     merge interaction+swap pairs, and compute metrics.  Shared by the
     baseline compilers so every compiler is measured identically. *)
-
-val interaction_only : Qcr_circuit.Program.t -> Qcr_circuit.Program.t
-(** Strip prologue/epilogue concerns: compilation operates on the
-    interaction block; this helper is the identity today and exists for
-    API clarity in examples. *)
 
 (** {1 Parallel compiler portfolio} *)
 
@@ -91,12 +161,13 @@ val compile_portfolio :
   Qcr_arch.Arch.t ->
   Qcr_circuit.Program.t ->
   portfolio
-(** Race the full system, pure greedy, rigid ATA, and (on devices of at
-    most 16 qubits) an anytime weighted-A* arm with [astar_budget] node
-    expansions (default 30000) across the default [Qcr_par.Pool], and
-    keep the circuit with the best {!Selector.score} normalized to the
-    greedy arm (ties favor the earlier arm).  Arms that cannot complete
-    (the A* arm on large devices or with an exhausted budget) are
-    dropped.  Every arm is deterministic, so the winner is identical for
-    any [QCR_DOMAINS] value.  [winner.compile_seconds] is the whole
-    portfolio's CPU time. *)
+(** The arms-exposing sibling of [run ~mode:(Portfolio _)]: race the full
+    system, pure greedy, rigid ATA, and (on devices of at most 16 qubits)
+    an anytime weighted-A* arm with [astar_budget] node expansions
+    (default 30000) across the default [Qcr_par.Pool], and keep the
+    circuit with the best {!Selector.score} normalized to the greedy arm
+    (ties favor the earlier arm).  Arms that cannot complete (the A* arm
+    on large devices or with an exhausted budget) are dropped.  Every arm
+    is deterministic, so the winner is identical for any [QCR_DOMAINS]
+    value.  [winner.compile_seconds] is the whole portfolio's CPU time.
+    @raise Invalid_argument on a request that fails validation. *)

@@ -254,3 +254,26 @@ let member key = function
   | _ -> None
 
 let equal (a : t) (b : t) = a = b
+
+(* ---------- files ---------- *)
+
+let to_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string v);
+      output_char oc '\n')
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> (
+      match of_string contents with
+      | Ok v -> Ok v
+      | Error e -> Error (Printf.sprintf "%s: %s" path e))
+  | exception Sys_error e -> Error e

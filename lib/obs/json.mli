@@ -28,3 +28,10 @@ val member : string -> t -> t option
 
 val equal : t -> t -> bool
 (** Structural equality; object fields compare in order. *)
+
+val to_file : string -> t -> unit
+(** Write [to_string] plus a trailing newline to a file. *)
+
+val of_file : string -> (t, string) result
+(** Read and parse a whole file; I/O problems come back as [Error] (with
+    the system message), never as an exception. *)

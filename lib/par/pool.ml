@@ -186,6 +186,8 @@ let map pool f arr =
     Array.map (function Some v -> v | None -> assert false) out
   end
 
+let map_list pool f xs = Array.to_list (map pool f (Array.of_list xs))
+
 let map_reduce pool ~chunk ~lo ~hi ~map:map_f ~reduce ~init =
   let n = hi - lo in
   if n <= 0 then init

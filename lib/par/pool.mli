@@ -72,6 +72,9 @@ val parallel_for : t -> ?chunks:int -> lo:int -> hi:int -> (int -> unit) -> unit
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map]; output order matches input order. *)
 
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] (via {!map}); output order matches input order. *)
+
 val map_reduce :
   t ->
   chunk:int ->

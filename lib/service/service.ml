@@ -1,0 +1,331 @@
+module Pipeline = Qcr_core.Pipeline
+module Clock = Qcr_obs.Clock
+module Obs = Qcr_obs.Obs
+module Json = Qcr_obs.Json
+module Lru = Qcr_util.Lru
+module Pool = Qcr_par.Pool
+module Request = Compile_request
+module Reply = Compile_reply
+
+let c_requests = Obs.counter "service.requests"
+
+let c_hit = Obs.counter "service.cache.hit"
+
+let c_miss = Obs.counter "service.cache.miss"
+
+let c_degraded = Obs.counter "service.degraded"
+
+let c_timeout = Obs.counter "service.timeout"
+
+let c_error = Obs.counter "service.error"
+
+let c_attempt = Obs.counter "service.tier_attempts"
+
+type stats = {
+  requests : int;
+  cache_hits : int;
+  cache_misses : int;
+  served_ok : int;
+  degraded : int;
+  timeouts : int;
+  errors : int;
+}
+
+let zero_stats =
+  { requests = 0; cache_hits = 0; cache_misses = 0; served_ok = 0; degraded = 0; timeouts = 0; errors = 0 }
+
+let stats_sub a b =
+  {
+    requests = a.requests - b.requests;
+    cache_hits = a.cache_hits - b.cache_hits;
+    cache_misses = a.cache_misses - b.cache_misses;
+    served_ok = a.served_ok - b.served_ok;
+    degraded = a.degraded - b.degraded;
+    timeouts = a.timeouts - b.timeouts;
+    errors = a.errors - b.errors;
+  }
+
+let stats_to_json s =
+  let int_field n v = (n, Json.Num (float_of_int v)) in
+  Json.Obj
+    [
+      int_field "requests" s.requests;
+      int_field "cache_hits" s.cache_hits;
+      int_field "cache_misses" s.cache_misses;
+      int_field "served_ok" s.served_ok;
+      int_field "degraded" s.degraded;
+      int_field "timeouts" s.timeouts;
+      int_field "errors" s.errors;
+    ]
+
+(* Tier indices for the cost model. *)
+let tier_index = function
+  | Request.Portfolio -> 0
+  | Request.Ours -> 1
+  | Request.Greedy -> 2
+  | Request.Ata -> 3
+
+type t = {
+  cache : Reply.t Lru.t;
+  lock : Mutex.t;  (* guards [cache] and [costs]; stats mutate on the
+                      driver domain only *)
+  clock : Clock.t;
+  astar_budget : int;
+  on_attempt : Request.mode -> unit;
+  costs : float array;  (* EWMA compile seconds per program edge, per tier *)
+  mutable st : stats;
+}
+
+let create ?(cache_capacity = 512) ?(clock = Clock.wall) ?(astar_budget = 30_000)
+    ?(on_attempt = fun _ -> ()) () =
+  {
+    cache = Lru.create ~capacity:cache_capacity;
+    lock = Mutex.create ();
+    clock;
+    astar_budget;
+    on_attempt;
+    costs = Array.make 4 0.0;
+    st = zero_stats;
+  }
+
+let stats t = t.st
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Degradation ladder (portfolio -> full system -> pure greedy); rigid
+   ATA requests have no meaningful cheaper tier. *)
+let ladder = function
+  | Request.Portfolio -> [ Request.Portfolio; Request.Ours; Request.Greedy ]
+  | Request.Ours -> [ Request.Ours; Request.Greedy ]
+  | Request.Greedy -> [ Request.Greedy ]
+  | Request.Ata -> [ Request.Ata ]
+
+let predicted_cost t tier ~edges = locked t (fun () -> t.costs.(tier_index tier)) *. edges
+
+let observe_cost t tier ~edges seconds =
+  let per_edge = seconds /. edges in
+  locked t (fun () ->
+      let i = tier_index tier in
+      t.costs.(i) <- (if t.costs.(i) = 0.0 then per_edge else 0.5 *. (t.costs.(i) +. per_edge)))
+
+(* Walk the ladder.  Admission is predictive: a tier runs only when the
+   cost model says it fits the remaining budget (the first attempt of a
+   tier is always admitted — its cost is still unknown).  A tier that
+   completes past its deadline is discarded: its timing feeds the model,
+   and the walk continues with the cheaper tiers. *)
+let compile_cold t (req : Request.t) key =
+  let t0 = Clock.now t.clock in
+  let deadline = Option.map (fun d -> t0 +. d) req.Request.deadline_s in
+  let edges = float_of_int (max 1 (List.length (Request.canonical_edges req))) in
+  let reply outcome =
+    {
+      Reply.id = req.Request.id;
+      key;
+      requested_mode = req.Request.mode;
+      outcome;
+      cached = false;
+      compile_ms = (Clock.now t.clock -. t0) *. 1000.0;
+    }
+  in
+  let rec attempt = function
+    | [] ->
+        reply
+          (Reply.Failed
+             (match req.Request.deadline_s with
+             | Some deadline_s -> Pipeline.Timeout { deadline_s }
+             | None -> Pipeline.Internal "degradation ladder exhausted"))
+    | tier :: rest -> (
+        let now = Clock.now t.clock in
+        let admitted =
+          match deadline with
+          | None -> true
+          | Some d -> now < d && now +. predicted_cost t tier ~edges <= d
+        in
+        if not admitted then attempt rest
+        else begin
+          t.on_attempt tier;
+          Obs.incr c_attempt;
+          let arch = Request.arch_of req in
+          let pipeline_req =
+            Pipeline.Request.make ~config:(Request.config_of req)
+              ?noise:(Request.noise_of req arch)
+              ~mode:(Request.pipeline_mode ~astar_budget:t.astar_budget { req with Request.mode = tier })
+              arch (Request.program_of req)
+          in
+          let t_start = Clock.now t.clock in
+          let outcome = Pipeline.run pipeline_req in
+          let t_end = Clock.now t.clock in
+          observe_cost t tier ~edges (t_end -. t_start);
+          match outcome with
+          | Error e -> reply (Reply.Failed e)
+          | Ok res -> (
+              match deadline with
+              | Some d when t_end > d -> attempt rest
+              | _ -> reply (Reply.Compiled { mode = tier; metrics = Reply.metrics_of_result res }))
+        end)
+  in
+  attempt (ladder req.Request.mode)
+
+(* A full-quality reply is the only thing worth caching: degraded and
+   failed replies depend on the deadline, not just the content key. *)
+let cacheable (r : Reply.t) =
+  match r.Reply.outcome with
+  | Reply.Compiled { mode; _ } -> mode = r.Reply.requested_mode
+  | Reply.Failed _ -> false
+
+let count_outcome t (r : Reply.t) =
+  let st = t.st in
+  t.st <-
+    (match r.Reply.outcome with
+    | Reply.Compiled { mode; _ } when mode <> r.Reply.requested_mode ->
+        Obs.incr c_degraded;
+        { st with degraded = st.degraded + 1 }
+    | Reply.Compiled _ -> { st with served_ok = st.served_ok + 1 }
+    | Reply.Failed (Pipeline.Timeout _) ->
+        Obs.incr c_timeout;
+        { st with timeouts = st.timeouts + 1 }
+    | Reply.Failed _ ->
+        Obs.incr c_error;
+        { st with errors = st.errors + 1 })
+
+let invalid_reply (req : Request.t) key msg started =
+  fun clock ->
+  {
+    Reply.id = req.Request.id;
+    key;
+    requested_mode = req.Request.mode;
+    outcome = Reply.Failed (Pipeline.Invalid_request msg);
+    cached = false;
+    compile_ms = (Clock.now clock -. started) *. 1000.0;
+  }
+
+let hit_reply (req : Request.t) (cached : Reply.t) started clock =
+  {
+    cached with
+    Reply.id = req.Request.id;
+    cached = true;
+    compile_ms = (Clock.now clock -. started) *. 1000.0;
+  }
+
+(* Serve one request against the cache; [compiled] optionally supplies a
+   pre-computed cold reply (the parallel batch path). *)
+let serve t (req : Request.t) ~compiled =
+  t.st <- { t.st with requests = t.st.requests + 1 };
+  Obs.incr c_requests;
+  let t0 = Clock.now t.clock in
+  match Request.validate req with
+  | Error msg ->
+      Obs.incr c_error;
+      t.st <- { t.st with errors = t.st.errors + 1 };
+      invalid_reply req "" msg t0 t.clock
+  | Ok () -> (
+      let key = Request.cache_key req in
+      match locked t (fun () -> Lru.find t.cache key) with
+      | Some cached ->
+          Obs.incr c_hit;
+          t.st <- { t.st with cache_hits = t.st.cache_hits + 1 };
+          hit_reply req cached t0 t.clock
+      | None ->
+          Obs.incr c_miss;
+          t.st <- { t.st with cache_misses = t.st.cache_misses + 1 };
+          let reply =
+            match compiled key with
+            | Some r -> { r with Reply.id = req.Request.id }
+            | None -> compile_cold t req key
+          in
+          if cacheable reply then locked t (fun () -> Lru.add t.cache key reply);
+          count_outcome t reply;
+          reply)
+
+let submit t req = serve t req ~compiled:(fun _ -> None)
+
+let run_batch t reqs =
+  (* Phase 1: find the distinct cold keys (first valid occurrence each,
+     skipping keys already cached) and compile them in parallel.  Phase 2
+     assembles replies sequentially in request order, so cache flags and
+     hit/miss counts never depend on the pool size. *)
+  let seen = Hashtbl.create 16 in
+  let cold =
+    List.filter_map
+      (fun req ->
+        match Request.validate req with
+        | Error _ -> None
+        | Ok () ->
+            let key = Request.cache_key req in
+            if Hashtbl.mem seen key || locked t (fun () -> Lru.mem t.cache key) then None
+            else begin
+              Hashtbl.add seen key ();
+              Some (key, req)
+            end)
+      reqs
+  in
+  let compiled = Hashtbl.create 16 in
+  Pool.map_list (Pool.default ())
+    (fun (key, req) -> (key, compile_cold t req key))
+    cold
+  |> List.iter (fun (key, reply) -> Hashtbl.add compiled key reply);
+  List.map
+    (fun req ->
+      serve t req ~compiled:(fun key ->
+          match Hashtbl.find_opt compiled key with
+          | Some r ->
+              (* consumed by its first occurrence; duplicates either hit
+                 the cache (full-quality outcome) or recompile inline *)
+              Hashtbl.remove compiled key;
+              Some r
+          | None -> None))
+    reqs
+
+(* ---------- wire format ---------- *)
+
+let batch_schema = "qcr-service-batch/v1"
+
+let replies_schema = "qcr-service-replies/v1"
+
+let requests_of_json j =
+  let items =
+    match j with
+    | Json.Arr items -> Ok items
+    | Json.Obj _ -> (
+        (match Json.member "schema" j with
+        | Some (Json.Str s) when s <> batch_schema ->
+            Error (Printf.sprintf "unsupported schema %S (want %S)" s batch_schema)
+        | _ -> Ok ())
+        |> fun schema_ok ->
+        Result.bind schema_ok (fun () ->
+            match Json.member "requests" j with
+            | Some (Json.Arr items) -> Ok items
+            | _ -> Error "missing \"requests\" array"))
+    | _ -> Error "batch must be an object or an array"
+  in
+  Result.bind items (fun items ->
+      let rec go i acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+            match Request.of_json item with
+            | Ok r -> go (i + 1) (r :: acc) rest
+            | Error e -> Error (Printf.sprintf "request %d: %s" i e))
+      in
+      go 0 [] items)
+
+let requests_to_json reqs =
+  Json.Obj
+    [
+      ("schema", Json.Str batch_schema);
+      ("requests", Json.Arr (List.map Request.to_json reqs));
+    ]
+
+let replies_to_json ?passes ~domains ~stats replies =
+  Json.Obj
+    ([
+       ("schema", Json.Str replies_schema);
+       ("domains", Json.Num (float_of_int domains));
+       ("replies", Json.Arr (List.map Reply.to_json replies));
+       ("stats", stats_to_json stats);
+     ]
+    @
+    match passes with
+    | None -> []
+    | Some ps -> [ ("passes", Json.Arr (List.map stats_to_json ps)) ])

@@ -1,0 +1,100 @@
+(** Batched compilation service: the serving substrate over
+    {!Qcr_core.Pipeline.run}.
+
+    A service owns a content-addressed LRU compile cache and a
+    deadline-degradation policy.  Submitting a {!Compile_request.t}
+    yields a {!Compile_reply.t} — always, by construction: validation
+    failures, deadline expiry and internal exceptions all come back as
+    typed error replies, never as exceptions across this boundary.
+
+    {b Caching.}  Requests are canonicalized into a content-addressed
+    {!Compile_request.cache_key}; a repeat is served from the LRU cache
+    (hit/miss counts surface both in {!stats} and through the
+    [service.cache.hit]/[service.cache.miss] [Qcr_obs] counters).  Only
+    full-quality replies — compiled at the requested tier, not degraded —
+    are cached, so a cache hit is always bit-identical to what a cold
+    deadline-free compile would have produced.
+
+    {b Batching.}  {!run_batch} fans the distinct cold keys of a batch
+    over the default {!Qcr_par.Pool} and assembles replies sequentially
+    in request order, so replies, cache flags and hit/miss counts are
+    identical for every pool size.  Submit from one domain at a time (the
+    same single-driver contract as the pool).
+
+    {b Deadlines.}  [deadline_s] bounds a request's compute budget.  The
+    service walks the degradation ladder portfolio → ours → greedy (ata
+    requests have no cheaper tier), admitting each tier only when a
+    per-tier cost model — seconds per program edge, learned online from
+    completed compiles — predicts it fits the remaining budget; a tier
+    that still overruns its deadline is discarded and the walk continues.
+    When no tier fits, the reply is a typed [Timeout].  Replies produced
+    under deadline pressure depend on observed timings, so deadlines
+    trade reply determinism for bounded latency; deadline-free requests
+    stay fully deterministic.  All timing flows through the service's
+    {!Qcr_obs.Clock.t}, so the whole ladder is drivable by a fake clock
+    in tests. *)
+
+type t
+
+type stats = {
+  requests : int;
+  cache_hits : int;
+  cache_misses : int;
+  served_ok : int;  (** compiled cold at the requested tier (cache hits
+                        count under [cache_hits] only) *)
+  degraded : int;  (** compiled at a cheaper tier under deadline pressure *)
+  timeouts : int;
+  errors : int;  (** invalid requests and captured internal errors *)
+}
+
+val zero_stats : stats
+
+val stats_sub : stats -> stats -> stats
+(** Fieldwise [after - before]: the delta of one pass. *)
+
+val stats_to_json : stats -> Qcr_obs.Json.t
+
+val create :
+  ?cache_capacity:int ->
+  ?clock:Qcr_obs.Clock.t ->
+  ?astar_budget:int ->
+  ?on_attempt:(Compile_request.mode -> unit) ->
+  unit ->
+  t
+(** Defaults: 512 cached replies, {!Qcr_obs.Clock.wall}, 30000 A* node
+    expansions for the portfolio arm.  [on_attempt] runs immediately
+    before each tier attempt (after admission) — an instrumentation seam
+    that deadline tests use to advance a fake clock by a simulated
+    per-tier cost. *)
+
+val submit : t -> Compile_request.t -> Compile_reply.t
+
+val run_batch : t -> Compile_request.t list -> Compile_reply.t list
+(** Replies in request order; distinct cold keys compile in parallel. *)
+
+val stats : t -> stats
+(** Cumulative over the service's lifetime. *)
+
+(** {1 Wire format}
+
+    A batch file is [{"schema": "qcr-service-batch/v1", "requests":
+    [...]}] (a bare request array is also accepted); a reply file is
+    [{"schema": "qcr-service-replies/v1", "domains": N, "replies": [...],
+    "stats": {...}, "passes": [...]}]. *)
+
+val batch_schema : string
+
+val replies_schema : string
+
+val requests_of_json : Qcr_obs.Json.t -> (Compile_request.t list, string) result
+
+val requests_to_json : Compile_request.t list -> Qcr_obs.Json.t
+
+val replies_to_json :
+  ?passes:stats list ->
+  domains:int ->
+  stats:stats ->
+  Compile_reply.t list ->
+  Qcr_obs.Json.t
+(** [passes] records per-pass stat deltas when the same batch ran several
+    times through one service (the CLI's [--repeat]). *)

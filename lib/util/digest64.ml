@@ -1,0 +1,43 @@
+type t = int64
+
+let offset_basis = 0xcbf29ce484222325L
+
+let prime = 0x100000001b3L
+
+let empty = offset_basis
+
+let add_byte (h : t) b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+(* Type tags keep differently-typed fields from colliding. *)
+let tag_string = 0x01
+let tag_int = 0x02
+let tag_float = 0x03
+let tag_bool = 0x04
+let tag_pairs = 0x05
+
+let add_int64 h x =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := add_byte !h (Int64.to_int (Int64.shift_right_logical x (shift * 8)))
+  done;
+  !h
+
+let add_string h s =
+  let h = ref (add_int64 (add_byte h tag_string) (Int64.of_int (String.length s))) in
+  String.iter (fun c -> h := add_byte !h (Char.code c)) s;
+  !h
+
+let add_int h i = add_int64 (add_byte h tag_int) (Int64.of_int i)
+
+let add_float h f = add_int64 (add_byte h tag_float) (Int64.bits_of_float f)
+
+let add_bool h b = add_byte (add_byte h tag_bool) (if b then 1 else 0)
+
+let add_pairs h pairs =
+  let h = add_int64 (add_byte h tag_pairs) (Int64.of_int (List.length pairs)) in
+  List.fold_left (fun h (u, v) -> add_int (add_int h u) v) h pairs
+
+let to_hex h = Printf.sprintf "%016Lx" h
+
+let of_string s = to_hex (add_string empty s)

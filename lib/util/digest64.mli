@@ -1,0 +1,36 @@
+(** Streaming 64-bit content digest (FNV-1a).
+
+    A dependency-free fingerprint for content-addressed keys: feed fields
+    one by one and render the accumulated state as a fixed-width hex
+    string.  Every [add_*] mixes a type tag before the payload, so
+    [add_int 1] and [add_string "1"] never collide by construction, and
+    adjacent variable-length fields cannot run together ([add_string]
+    mixes the length).
+
+    This is a fast non-cryptographic hash: fine for cache keys and
+    equality witnesses, not for adversarial inputs. *)
+
+type t
+(** Immutable digest state; [add_*] return a new state. *)
+
+val empty : t
+(** The FNV-1a offset basis. *)
+
+val add_string : t -> string -> t
+
+val add_int : t -> int -> t
+
+val add_float : t -> float -> t
+(** Mixes the IEEE-754 bit pattern, so the digest distinguishes [0.0]
+    from [-0.0] and is exact for every finite value. *)
+
+val add_bool : t -> bool -> t
+
+val add_pairs : t -> (int * int) list -> t
+(** Mixes the list length, then each pair in order. *)
+
+val to_hex : t -> string
+(** 16 lowercase hex characters. *)
+
+val of_string : string -> string
+(** One-shot convenience: [to_hex (add_string empty s)]. *)

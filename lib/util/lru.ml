@@ -1,0 +1,91 @@
+(* Hash table + intrusive doubly-linked recency list.  The list runs from
+   [head] (most recent) to [tail] (least recent); promoting an entry
+   unlinks and re-links it at the head. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { cap = capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None }
+
+let capacity t = t.cap
+
+let length t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let promote t node =
+  if t.head != Some node then begin
+    unlink t node;
+    push_front t node
+  end
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some node ->
+      promote t node;
+      Some node.value
+
+let peek t key = Option.map (fun n -> n.value) (Hashtbl.find_opt t.table key)
+
+let mem t key = Hashtbl.mem t.table key
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key
+
+let add t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      node.value <- value;
+      promote t node
+  | None ->
+      if Hashtbl.length t.table >= t.cap then evict_lru t;
+      let node = { key; value; prev = None; next = None } in
+      Hashtbl.replace t.table key node;
+      push_front t node
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table key
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let fold f t init =
+  let rec go acc = function
+    | None -> acc
+    | Some node -> go (f node.key node.value acc) node.next
+  in
+  go init t.head

@@ -1,0 +1,38 @@
+(** Fixed-capacity LRU map with string keys.
+
+    [find] and [add] are O(1): a hash table holds the entries and an
+    intrusive doubly-linked list tracks recency.  When an [add] would
+    exceed the capacity the least-recently-used entry is evicted.
+    [find] counts as a use; [mem] and [peek] do not.
+
+    Not thread-safe: callers that share a cache across domains must
+    serialize access (the compile service holds a mutex around it). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Lookup that promotes the entry to most-recently-used. *)
+
+val peek : 'a t -> string -> 'a option
+(** Lookup without promoting. *)
+
+val mem : 'a t -> string -> bool
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace (either way the entry becomes most-recently-used),
+    evicting the LRU entry if the cache is full. *)
+
+val remove : 'a t -> string -> unit
+(** No-op if absent. *)
+
+val clear : 'a t -> unit
+
+val fold : (string -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+(** Fold over entries from most- to least-recently-used. *)

@@ -107,6 +107,129 @@ let test_graph_pp_and_gate_pp () =
   Alcotest.(check bool) "graph pp" true (String.length s > 0);
   Alcotest.(check string) "gate to_string" "cx q0,q1" (Gate.to_string (Gate.Cx (0, 1)))
 
+(* ---------- service wire format (qcheck round-trips) ---------- *)
+
+module Program = Qcr_circuit.Program
+module Pipeline = Qcr_core.Pipeline
+module Pool = Qcr_par.Pool
+module Clock = Qcr_obs.Clock
+module Request = Qcr_service.Compile_request
+module Reply = Qcr_service.Compile_reply
+module Service = Qcr_service.Service
+
+(* Ids with quotes, backslashes and control characters exercise the JSON
+   string escaper both ways. *)
+let id_gen = QCheck.Gen.oneofl [ ""; "job-1"; "a\"b"; "back\\slash"; "tab\tnewline\n"; "sp ace" ]
+
+let angle_gen = QCheck.Gen.float_range (-7.0) 7.0
+
+let interaction_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun gamma beta -> Program.Qaoa_maxcut { gamma; beta }) angle_gen angle_gen;
+        map2 (fun gamma beta -> Program.Qaoa_level { gamma; beta }) angle_gen angle_gen;
+        map (fun theta -> Program.Two_local { theta }) angle_gen;
+        return Program.Bare_cz;
+      ])
+
+let request_gen =
+  QCheck.Gen.(
+    int_range 2 8 >>= fun qubits ->
+    let vertex = int_range 0 (qubits - 1) in
+    list_size (int_range 0 8) (pair vertex vertex) >>= fun edges ->
+    id_gen >>= fun id ->
+    int_range qubits (qubits + 6) >>= fun arch_size ->
+    oneofl [ Qcr_arch.Arch.Line; Grid; Grid3d; Sycamore; Heavy_hex; Hexagon ] >>= fun arch_kind ->
+    interaction_gen >>= fun interaction ->
+    oneofl [ Request.Ours; Request.Greedy; Request.Ata; Request.Portfolio ] >>= fun mode ->
+    opt (float_range 0.0 2.0) >>= fun alpha ->
+    opt (int_range 0 1000) >>= fun noise_seed ->
+    map
+      (fun deadline_s ->
+        Request.make ~id ~arch_size ~interaction ~mode ?alpha ?noise_seed ?deadline_s ~arch_kind
+          ~qubits ~edges ())
+      (opt (float_range 0.001 60.0)))
+
+let request_arb =
+  QCheck.make request_gen ~print:(fun r -> Qcr_obs.Json.to_string (Request.to_json r))
+
+let prop_request_json_roundtrip =
+  QCheck.Test.make ~name:"Compile_request JSON round-trips" ~count:200 request_arb (fun r ->
+      Request.of_json (Request.to_json r) = Ok r)
+
+let metrics_gen =
+  QCheck.Gen.(
+    int_range 0 500 >>= fun depth ->
+    int_range 0 500 >>= fun cx ->
+    int_range 0 200 >>= fun swap_count ->
+    float_range (-50.0) 0.0 >>= fun log_fidelity ->
+    oneofl [ "greedy"; "ata"; "hybrid@3" ] >>= fun strategy ->
+    map
+      (fun circuit_digest ->
+        { Reply.depth; cx; swap_count; log_fidelity; strategy; circuit_digest })
+      (oneofl [ "0123456789abcdef"; "cafebabecafebabe" ]))
+
+let reply_gen =
+  QCheck.Gen.(
+    id_gen >>= fun id ->
+    oneofl [ "deadbeefdeadbeef"; "" ] >>= fun key ->
+    oneofl [ Request.Ours; Request.Greedy; Request.Ata; Request.Portfolio ]
+    >>= fun requested_mode ->
+    oneof
+      [
+        map2
+          (fun mode metrics -> Reply.Compiled { mode; metrics })
+          (oneofl [ Request.Ours; Request.Greedy; Request.Ata; Request.Portfolio ])
+          metrics_gen;
+        map (fun d -> Reply.Failed (Pipeline.Timeout { deadline_s = d })) (float_range 0.001 60.0);
+        map (fun m -> Reply.Failed (Pipeline.Invalid_request m)) id_gen;
+        map (fun m -> Reply.Failed (Pipeline.Internal m)) id_gen;
+      ]
+    >>= fun outcome ->
+    bool >>= fun cached ->
+    map
+      (fun compile_ms -> { Reply.id; key; requested_mode; outcome; cached; compile_ms })
+      (float_range 0.0 10000.0))
+
+let reply_arb = QCheck.make reply_gen ~print:(fun r -> Qcr_obs.Json.to_string (Reply.to_json r))
+
+let prop_reply_json_roundtrip =
+  QCheck.Test.make ~name:"Compile_reply JSON round-trips" ~count:200 reply_arb (fun r ->
+      Reply.of_json (Reply.to_json r) = Ok r)
+
+(* The content-addressed key is a pure function of the request: resizing
+   the default pool (QCR_DOMAINS 1 vs 4) must not change it, and neither
+   may edge order or orientation. *)
+let prop_cache_key_pool_independent =
+  QCheck.Test.make ~name:"cache key stable across pool sizes and edge order" ~count:100
+    request_arb (fun r ->
+      let at domains =
+        let old = Pool.default_domain_count () in
+        Pool.set_default_domains domains;
+        Fun.protect
+          ~finally:(fun () -> Pool.set_default_domains old)
+          (fun () -> Request.cache_key r)
+      in
+      let flipped = { r with Request.edges = List.rev_map (fun (u, v) -> (v, u)) r.Request.edges } in
+      at 1 = at 4 && Request.cache_key flipped = Request.cache_key r)
+
+(* With a fake clock that jumps a full second on every reading, every
+   tier misses admission, so a deadlined request must come back as a
+   typed Timeout reply — never an exception across the API boundary. *)
+let test_service_deadline_fake_clock () =
+  let _fake, clock = Clock.fake ~auto_advance:1.0 () in
+  let s = Service.create ~clock () in
+  let req =
+    Request.make ~mode:Request.Ours ~deadline_s:0.5 ~arch_kind:Qcr_arch.Arch.Line ~qubits:3
+      ~edges:[ (0, 1); (1, 2) ] ()
+  in
+  let r = Service.submit s req in
+  match r.Reply.outcome with
+  | Reply.Failed (Pipeline.Timeout { deadline_s }) ->
+      Alcotest.(check (float 1e-9)) "deadline echoed" 0.5 deadline_s
+  | _ -> Alcotest.fail "expected a typed Timeout reply"
+
 let suite =
   [
     Alcotest.test_case "two_qubit_gates" `Quick test_two_qubit_gates;
@@ -122,4 +245,8 @@ let suite =
     Alcotest.test_case "stats mean_int" `Quick test_stats_mean_int;
     Alcotest.test_case "layers skip barrier" `Quick test_circuit_layers_skip_barrier;
     Alcotest.test_case "pp functions" `Quick test_graph_pp_and_gate_pp;
+    QCheck_alcotest.to_alcotest prop_request_json_roundtrip;
+    QCheck_alcotest.to_alcotest prop_reply_json_roundtrip;
+    QCheck_alcotest.to_alcotest prop_cache_key_pool_independent;
+    Alcotest.test_case "deadline with fake clock" `Quick test_service_deadline_fake_clock;
   ]

@@ -24,6 +24,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("qasm", Test_qasm_extra.suite);
       ("lower", Test_lower.suite);
+      ("service", Test_service.suite);
       ("integration", Test_integration.suite);
       ("properties", Test_properties.suite);
     ]

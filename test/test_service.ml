@@ -1,0 +1,196 @@
+(* The compilation service: content-addressed caching, batch semantics,
+   typed errors, and the deadline-degradation ladder (driven by a
+   scripted clock, so every timing decision in the test is exact). *)
+
+module Clock = Qcr_obs.Clock
+module Json = Qcr_obs.Json
+module Pool = Qcr_par.Pool
+module Program = Qcr_circuit.Program
+module Pipeline = Qcr_core.Pipeline
+module Request = Qcr_service.Compile_request
+module Reply = Qcr_service.Compile_reply
+module Service = Qcr_service.Service
+
+let triangle = [ (0, 1); (1, 2); (0, 2) ]
+
+(* Distinct [gamma] values give distinct cache keys over the same shape. *)
+let req ?mode ?deadline_s ?id gamma =
+  Request.make ?id ?mode ?deadline_s
+    ~interaction:(Program.Qaoa_maxcut { gamma; beta = 0.25 })
+    ~arch_kind:Qcr_arch.Arch.Line ~qubits:4 ~edges:triangle ()
+
+let reply_body r = Json.to_string (Reply.strip_volatile (Reply.to_json { r with Reply.cached = false }))
+
+let test_submit_caches () =
+  let s = Service.create () in
+  let r1 = Service.submit s (req 0.4 ~id:"first") in
+  let r2 = Service.submit s (req 0.4 ~id:"second") in
+  Alcotest.(check bool) "first is cold" false r1.Reply.cached;
+  Alcotest.(check bool) "second is a hit" true r2.Reply.cached;
+  Alcotest.(check string) "ids follow the request" "second" r2.Reply.id;
+  Alcotest.(check string) "same key" r1.Reply.key r2.Reply.key;
+  let content r = reply_body { r with Reply.id = "" } in
+  Alcotest.(check string) "hit is bit-identical" (content r1) (content r2);
+  let st = Service.stats s in
+  Alcotest.(check int) "requests" 2 st.Service.requests;
+  Alcotest.(check int) "hits" 1 st.Service.cache_hits;
+  Alcotest.(check int) "misses" 1 st.Service.cache_misses;
+  Alcotest.(check int) "served_ok" 1 st.Service.served_ok
+
+let test_cache_key_canonical () =
+  let base = req 0.4 in
+  let shuffled = { base with Request.edges = [ (2, 0); (2, 1); (1, 0); (0, 1) ] } in
+  Alcotest.(check string) "edge order/orientation/duplicates do not matter"
+    (Request.cache_key base) (Request.cache_key shuffled);
+  let renamed = { base with Request.id = "other" } in
+  let dead = { base with Request.deadline_s = Some 3.0 } in
+  Alcotest.(check string) "id excluded" (Request.cache_key base) (Request.cache_key renamed);
+  Alcotest.(check string) "deadline excluded" (Request.cache_key base) (Request.cache_key dead);
+  let hotter = req 0.5 in
+  let seeded = { base with Request.noise_seed = Some 7 } in
+  let tuned = { base with Request.alpha = Some 0.9 } in
+  Alcotest.(check bool) "interaction matters" true (Request.cache_key base <> Request.cache_key hotter);
+  Alcotest.(check bool) "noise seed matters" true (Request.cache_key base <> Request.cache_key seeded);
+  Alcotest.(check bool) "alpha matters" true (Request.cache_key base <> Request.cache_key tuned)
+
+let test_lru_eviction () =
+  let s = Service.create ~cache_capacity:1 () in
+  ignore (Service.submit s (req 0.1));
+  ignore (Service.submit s (req 0.2));
+  (* 0.1 was evicted by 0.2, so it compiles again *)
+  let r = Service.submit s (req 0.1) in
+  Alcotest.(check bool) "evicted entry recompiles" false r.Reply.cached;
+  Alcotest.(check int) "three misses" 3 (Service.stats s).Service.cache_misses
+
+let test_invalid_request_is_typed () =
+  let s = Service.create () in
+  let bad = Request.make ~arch_kind:Qcr_arch.Arch.Line ~qubits:3 ~edges:[ (0, 5) ] () in
+  let r = Service.submit s bad in
+  (match r.Reply.outcome with
+  | Reply.Failed (Pipeline.Invalid_request _) -> ()
+  | _ -> Alcotest.fail "expected a typed Invalid_request reply");
+  Alcotest.(check string) "status" "error" (Reply.status_name r);
+  Alcotest.(check int) "counted as error" 1 (Service.stats s).Service.errors;
+  Alcotest.(check int) "not a cache miss" 0 (Service.stats s).Service.cache_misses
+
+let test_batch_dedup_and_order () =
+  let s = Service.create () in
+  let batch = [ req 0.1 ~id:"a"; req 0.2 ~id:"b"; req 0.1 ~id:"c"; req 0.2 ~id:"d" ] in
+  let replies = Service.run_batch s batch in
+  Alcotest.(check (list string)) "request order preserved" [ "a"; "b"; "c"; "d" ]
+    (List.map (fun r -> r.Reply.id) replies);
+  Alcotest.(check (list bool)) "first occurrence cold, duplicates cached"
+    [ false; false; true; true ]
+    (List.map (fun r -> r.Reply.cached) replies);
+  let st = Service.stats s in
+  Alcotest.(check int) "two misses" 2 st.Service.cache_misses;
+  Alcotest.(check int) "two hits" 2 st.Service.cache_hits;
+  (* a second pass over the same batch is served entirely from cache *)
+  let again = Service.run_batch s batch in
+  Alcotest.(check bool) "second pass all cached" true
+    (List.for_all (fun r -> r.Reply.cached) again);
+  Alcotest.(check (list string)) "second pass bit-identical"
+    (List.map reply_body replies) (List.map reply_body again)
+
+(* Drive the degradation ladder with a scripted clock: [on_attempt] sets
+   the per-reading advancement to the simulated cost of the tier about to
+   run, so the service's own [t_start]/[t_end] readings observe exactly
+   that cost and feed it to the admission model. *)
+let test_deadline_degradation () =
+  let tick = ref 0.0 and step = ref 0.0 in
+  let clock =
+    Clock.make ~name:"scripted" (fun () ->
+        let v = !tick in
+        tick := v +. !step;
+        v)
+  in
+  let sim_cost = function
+    | Request.Ours -> 10.0
+    | Request.Greedy -> 0.1
+    | Request.Ata | Request.Portfolio -> 50.0
+  in
+  let s = Service.create ~clock ~on_attempt:(fun mode -> step := sim_cost mode) () in
+  (* Warm the per-tier cost model: one greedy and one full compile, no
+     deadline, distinct content so neither is a cache hit. *)
+  ignore (Service.submit s (req 0.11 ~mode:Request.Greedy));
+  step := 0.0;
+  ignore (Service.submit s (req 0.22 ~mode:Request.Ours));
+  step := 0.0;
+  (* 1 s budget: ours (predicted 10 s) is skipped, greedy (0.1 s) fits. *)
+  let degraded = Service.submit s (req 0.33 ~mode:Request.Ours ~deadline_s:1.0) in
+  step := 0.0;
+  (match degraded.Reply.outcome with
+  | Reply.Compiled { mode = Request.Greedy; _ } -> ()
+  | _ -> Alcotest.fail "expected degradation to the greedy tier");
+  Alcotest.(check string) "status" "degraded" (Reply.status_name degraded);
+  Alcotest.(check bool) "marked degraded" true (Reply.degraded degraded);
+  (* 0.05 s budget: no tier fits; the reply is a typed timeout. *)
+  let late = Service.submit s (req 0.44 ~mode:Request.Ours ~deadline_s:0.05) in
+  step := 0.0;
+  (match late.Reply.outcome with
+  | Reply.Failed (Pipeline.Timeout { deadline_s }) ->
+      Alcotest.(check (float 1e-9)) "deadline echoed" 0.05 deadline_s
+  | _ -> Alcotest.fail "expected a typed Timeout reply");
+  let st = Service.stats s in
+  Alcotest.(check int) "one degraded" 1 st.Service.degraded;
+  Alcotest.(check int) "one timeout" 1 st.Service.timeouts;
+  (* degraded replies are not cached: resubmitting the degraded content
+     misses again rather than replaying a deadline-shaped answer *)
+  let misses_before = (Service.stats s).Service.cache_misses in
+  ignore (Service.submit s (req 0.33 ~mode:Request.Ours ~deadline_s:1.0));
+  step := 0.0;
+  Alcotest.(check int) "degraded reply was not cached" (misses_before + 1)
+    (Service.stats s).Service.cache_misses
+
+let test_wire_roundtrip () =
+  let reqs = [ req 0.4 ~id:"x"; req 0.5 ~id:"y" ~mode:Request.Greedy ] in
+  (match Service.requests_of_json (Service.requests_to_json reqs) with
+  | Ok back ->
+      Alcotest.(check (list string)) "batch file round-trips" [ "x"; "y" ]
+        (List.map (fun r -> r.Request.id) back);
+      Alcotest.(check bool) "records equal" true (back = reqs)
+  | Error e -> Alcotest.fail e);
+  (match Service.requests_of_json (Json.Arr (List.map Request.to_json reqs)) with
+  | Ok back -> Alcotest.(check int) "bare array accepted" 2 (List.length back)
+  | Error e -> Alcotest.fail e);
+  match
+    Service.requests_of_json
+      (Json.Obj [ ("schema", Json.Str "bogus/v9"); ("requests", Json.Arr []) ])
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus schema accepted"
+
+let test_batch_stable_across_pool_sizes () =
+  let batch =
+    [
+      req 0.1 ~id:"a";
+      req 0.2 ~id:"b" ~mode:Request.Greedy;
+      req 0.3 ~id:"c" ~mode:Request.Ata;
+      req 0.1 ~id:"d";
+      req 0.2 ~id:"e" ~mode:Request.Greedy;
+    ]
+  in
+  let run_at domains =
+    let old = Pool.default_domain_count () in
+    Pool.set_default_domains domains;
+    Fun.protect
+      ~finally:(fun () -> Pool.set_default_domains old)
+      (fun () ->
+        List.map
+          (fun r -> Json.to_string (Reply.strip_volatile (Reply.to_json r)))
+          (Service.run_batch (Service.create ()) batch))
+  in
+  Alcotest.(check (list string)) "replies (including cache flags) identical at 1 and 4 domains"
+    (run_at 1) (run_at 4)
+
+let suite =
+  [
+    Alcotest.test_case "submit caches repeats" `Quick test_submit_caches;
+    Alcotest.test_case "cache key canonical" `Quick test_cache_key_canonical;
+    Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "invalid request typed" `Quick test_invalid_request_is_typed;
+    Alcotest.test_case "batch dedup and order" `Quick test_batch_dedup_and_order;
+    Alcotest.test_case "deadline degradation" `Quick test_deadline_degradation;
+    Alcotest.test_case "wire round-trip" `Quick test_wire_roundtrip;
+    Alcotest.test_case "batch stable across pool sizes" `Quick test_batch_stable_across_pool_sizes;
+  ]
