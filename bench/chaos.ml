@@ -1,0 +1,214 @@
+(* Chaos soak: run a mixed batch through one [Qcr_service.Service] for
+   several rounds with faults armed at every injection point the serving
+   stack declares — crashing compile tiers, corrupting cache entries on
+   both sides, killing pool workers — and assert the robustness
+   invariants the service promises:
+
+     1. no exception escapes the service boundary,
+     2. replies come back in request order, every round,
+     3. every full-quality reply (compiled at the requested tier) is
+        bit-identical to the fault-free reference run.
+
+   The report goes to BENCH_chaos.json: invariant verdicts, outcome
+   counts, service resilience stats (retries, breaker trips, corrupt
+   evictions), the per-point fault table and pool supervision counts.
+   Any violated invariant exits non-zero, so CI can gate on it. *)
+
+module Arch = Qcr_arch.Arch
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Prng = Qcr_util.Prng
+module Digest64 = Qcr_util.Digest64
+module Json = Qcr_obs.Json
+module Fault = Qcr_fault.Fault
+module Pool = Qcr_par.Pool
+module Service = Qcr_service.Service
+module Compile_request = Qcr_service.Compile_request
+module Compile_reply = Qcr_service.Compile_reply
+
+let output_file = "BENCH_chaos.json"
+
+(* Same mixed-request shape as the service benchmark: all device
+   families, all modes, some noise models, duplicates for cache
+   pressure. *)
+let request i =
+  let n = 8 + (i mod 5) in
+  let kinds = [| Arch.Line; Arch.Grid; Arch.Heavy_hex; Arch.Hexagon |] in
+  let kind = kinds.(i mod Array.length kinds) in
+  let modes =
+    [| Compile_request.Ours; Compile_request.Greedy; Compile_request.Ata; Compile_request.Portfolio |]
+  in
+  let mode = modes.(i mod Array.length modes) in
+  let graph =
+    Generate.erdos_renyi (Prng.create (100 + i)) ~n ~density:(min 1.0 (3.0 /. float_of_int (n - 1)))
+  in
+  Compile_request.make
+    ~id:(Printf.sprintf "chaos-%d" i)
+    ~arch_size:(if mode = Compile_request.Portfolio then 18 else n)
+    ~mode
+    ?noise_seed:(if i mod 3 = 0 then Some (7 + i) else None)
+    ~arch_kind:kind ~qubits:n ~edges:(Graph.edges graph) ()
+
+(* Content digest of one reply, ignoring id/timing/cache flag — what
+   "bit-identical" means across runs. *)
+let reply_digest r =
+  Digest64.of_string
+    (Json.to_string
+       (Compile_reply.strip_volatile
+          (Compile_reply.to_json { r with Compile_reply.id = ""; cached = false })))
+
+let full_quality (r : Compile_reply.t) =
+  match r.Compile_reply.outcome with
+  | Compile_reply.Compiled { mode; _ } -> mode = r.Compile_reply.requested_mode
+  | Compile_reply.Failed _ -> false
+
+(* The soak spec.  service.tier crashes often enough to exercise retries
+   and trip breakers; both cache sides corrupt entries so digest
+   validation must evict; pool.worker dies on its first task of each
+   arming, exercising respawn.  All streams derive from seed=11. *)
+let soak_spec =
+  "seed=11,service.tier:crash:p=0.25,cache.get:corrupt:p=0.2,cache.put:corrupt:p=0.15,pool.worker:crash:nth=1"
+
+let run scale =
+  Common.heading "Chaos soak: batch service under injected faults (BENCH_chaos.json)";
+  let unique, dup_factor, rounds =
+    match scale with
+    | Common.Quick -> (4, 2, 2)
+    | Common.Default -> (8, 2, 4)
+    | Common.Full -> (12, 3, 8)
+  in
+  let base = List.init unique request in
+  let batch = List.concat (List.init dup_factor (fun _ -> base)) in
+  let n_requests = List.length batch in
+  (* Reference: fault-free, deadline-free — fully deterministic. *)
+  Fault.disarm ();
+  let reference = Service.run_batch (Service.create ()) batch in
+  let expected = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Compile_reply.t) ->
+      if full_quality r then Hashtbl.replace expected r.Compile_reply.key (reply_digest r))
+    reference;
+  (* Soak: same batch, same service, [rounds] rounds under faults.  Fast
+     retries keep the soak tight; a low breaker threshold makes trips
+     observable at this scale. *)
+  let spec =
+    match Fault.spec_of_string soak_spec with
+    | Ok s -> s
+    | Error e -> failwith ("chaos soak spec: " ^ e)
+  in
+  Fault.arm spec;
+  let pool = Pool.default () in
+  let deaths0 = Pool.worker_deaths pool and respawns0 = Pool.respawns pool in
+  let service =
+    Service.create ~retries:2 ~backoff_s:0.0 ~breaker_threshold:3 ~breaker_cooldown_s:0.01 ()
+  in
+  let escaped = ref [] in
+  let order_ok = ref true in
+  let mismatches = ref 0 in
+  let ok_compared = ref 0 in
+  let outcomes = Hashtbl.create 4 in
+  let count_outcome r =
+    let cls =
+      match r.Compile_reply.outcome with
+      | Compile_reply.Compiled _ when full_quality r -> "ok"
+      | Compile_reply.Compiled _ -> "degraded"
+      | Compile_reply.Failed (Qcr_core.Pipeline.Timeout _) -> "timeout"
+      | Compile_reply.Failed (Qcr_core.Pipeline.Invalid_request _) -> "invalid"
+      | Compile_reply.Failed (Qcr_core.Pipeline.Internal _) -> "internal"
+    in
+    Hashtbl.replace outcomes cls (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes cls))
+  in
+  let t0 = Unix.gettimeofday () in
+  for round = 1 to rounds do
+    match Service.run_batch service batch with
+    | exception e -> escaped := Printf.sprintf "round %d: %s" round (Printexc.to_string e) :: !escaped
+    | replies ->
+        if
+          List.length replies <> n_requests
+          || not
+               (List.for_all2
+                  (fun (req : Compile_request.t) (r : Compile_reply.t) ->
+                    req.Compile_request.id = r.Compile_reply.id)
+                  batch replies)
+        then order_ok := false;
+        List.iter
+          (fun (r : Compile_reply.t) ->
+            count_outcome r;
+            if full_quality r then begin
+              incr ok_compared;
+              match Hashtbl.find_opt expected r.Compile_reply.key with
+              | Some d when d = reply_digest r -> ()
+              | Some _ -> incr mismatches
+              | None -> incr mismatches
+            end)
+          replies
+  done;
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let fault_table = Fault.snapshot () in
+  Fault.disarm ();
+  let deaths = Pool.worker_deaths pool - deaths0 and respawns = Pool.respawns pool - respawns0 in
+  let st = Service.stats service in
+  let no_escape = !escaped = [] in
+  let bit_identical = !mismatches = 0 in
+  let ok = no_escape && !order_ok && bit_identical in
+  Printf.printf
+    "  %d rounds x %d requests in %.1f ms | escapes=%d order_ok=%b ok-replies=%d mismatches=%d\n%!"
+    rounds n_requests wall_ms (List.length !escaped) !order_ok !ok_compared !mismatches;
+  Printf.printf "  retries=%d breaker-trips=%d corrupt-evictions=%d | pool deaths=%d respawns=%d\n%!"
+    st.Service.retries st.Service.breaker_trips st.Service.cache_corrupt deaths respawns;
+  List.iter
+    (fun (name, hits, fired) -> Printf.printf "  point %-14s hits=%-5d fired=%d\n%!" name hits fired)
+    fault_table;
+  Json.to_file output_file
+    (Json.Obj
+       [
+         ("schema", Json.Str "qcr-bench-chaos/v1");
+         ("generated_by", Json.Str "dune exec bench/main.exe -- chaos");
+         ( "scale",
+           Json.Str
+             (match scale with
+             | Common.Quick -> "quick"
+             | Common.Default -> "default"
+             | Common.Full -> "full") );
+         ("domains", Json.Num (float_of_int (Pool.default_domain_count ())));
+         ("spec", Json.Str soak_spec);
+         ("rounds", Json.Num (float_of_int rounds));
+         ("batch_size", Json.Num (float_of_int n_requests));
+         ("wall_ms", Json.Num wall_ms);
+         ( "invariants",
+           Json.Obj
+             [
+               ("no_escaped_exceptions", Json.Bool no_escape);
+               ("replies_in_request_order", Json.Bool !order_ok);
+               ("ok_replies_bit_identical", Json.Bool bit_identical);
+             ] );
+         ("escaped", Json.Arr (List.rev_map (fun e -> Json.Str e) !escaped));
+         ("ok_replies_compared", Json.Num (float_of_int !ok_compared));
+         ( "outcomes",
+           Json.Obj
+             (Hashtbl.fold (fun k v acc -> (k, Json.Num (float_of_int v)) :: acc) outcomes []
+             |> List.sort compare) );
+         ("stats", Service.stats_to_json ~breakers:(Service.breaker_states service) st);
+         ( "faults",
+           Json.Arr
+             (List.map
+                (fun (name, hits, fired) ->
+                  Json.Obj
+                    [
+                      ("point", Json.Str name);
+                      ("hits", Json.Num (float_of_int hits));
+                      ("fired", Json.Num (float_of_int fired));
+                    ])
+                fault_table) );
+         ( "pool",
+           Json.Obj
+             [
+               ("worker_deaths", Json.Num (float_of_int deaths));
+               ("respawns", Json.Num (float_of_int respawns));
+             ] );
+       ]);
+  Printf.printf "  wrote %s\n%!" output_file;
+  if not ok then begin
+    Printf.eprintf "  CHAOS INVARIANT VIOLATED (see %s)\n%!" output_file;
+    exit 1
+  end

@@ -19,6 +19,7 @@ module Schedule = Qcr_swapnet.Schedule
 module Ata = Qcr_swapnet.Ata
 module Pipeline = Qcr_core.Pipeline
 module Prng = Qcr_util.Prng
+module Fault = Qcr_fault.Fault
 
 let arch_kind_of_string = function
   | "line" -> Ok Arch.Line
@@ -76,11 +77,28 @@ let domains_arg =
                hardware thread count). 1 runs everything sequentially; results are \
                identical for every value.")
 
+let fault_spec_conv =
+  let parse s =
+    match Fault.spec_of_string s with Ok spec -> Ok spec | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt spec -> Format.pp_print_string fmt (Fault.spec_to_string spec))
+
+let inject_arg =
+  Arg.(value & opt (some fault_spec_conv) None & info [ "inject" ] ~docv:"SPEC"
+         ~doc:"Arm deterministic fault injection for this run. $(docv) is \
+               $(b,seed=N,point:action[:trigger],...) with actions $(b,crash), \
+               $(b,delay=S), $(b,corrupt) and triggers $(b,always), $(b,p=F), \
+               $(b,nth=K), $(b,every=K) — e.g. \
+               $(b,seed=7,service.tier:crash:p=0.1,cache.get:corrupt:nth=3). \
+               Overrides $(b,QCR_FAULTS).")
+
 (* Run [f] with the telemetry sink enabled when either flag asks for it —
    inside a root span named after the subcommand, so every trace carries
    at least the end-to-end command timing — then emit the requested
-   outputs. *)
-let with_telemetry ~cmd trace metrics domains f =
+   outputs.  [--inject] arms its fault spec for the whole run (replacing
+   whatever QCR_FAULTS armed at startup). *)
+let with_telemetry ~cmd trace metrics domains inject f =
+  Option.iter Fault.arm inject;
   Option.iter Qcr_par.Pool.set_default_domains domains;
   if trace <> None || metrics then Qcr_obs.Obs.enable ();
   let result = Qcr_obs.Obs.with_span ~cat:"cli" ("cli." ^ cmd) f in
@@ -105,8 +123,8 @@ let compile_cmd =
            ~doc:"Race the ours/greedy/ata/astar compiler arms across the domain pool \
                  and keep the best circuit under the selector metric.")
   in
-  let run kind n density seed qasm noisy portfolio trace metrics domains =
-    with_telemetry ~cmd:"compile" trace metrics domains @@ fun () ->
+  let run kind n density seed qasm noisy portfolio trace metrics domains inject =
+    with_telemetry ~cmd:"compile" trace metrics domains inject @@ fun () ->
     let rng = Prng.create seed in
     let graph = Generate.erdos_renyi rng ~n ~density in
     let program = Program.make graph (Program.Qaoa_maxcut { gamma = 0.4; beta = 0.35 }) in
@@ -145,14 +163,14 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a random QAOA instance.")
     Term.(
       const run $ arch_arg $ n_arg $ density_arg $ seed_arg $ qasm_arg $ noisy_arg
-      $ portfolio_arg $ trace_arg $ metrics_arg $ domains_arg)
+      $ portfolio_arg $ trace_arg $ metrics_arg $ domains_arg $ inject_arg)
 
 let ata_cmd =
   let show_arg =
     Arg.(value & flag & info [ "show" ] ~doc:"Draw the schedule (one row per qubit, g = interaction, x = swap).")
   in
-  let run kind n show trace metrics domains =
-    with_telemetry ~cmd:"ata" trace metrics domains @@ fun () ->
+  let run kind n show trace metrics domains inject =
+    with_telemetry ~cmd:"ata" trace metrics domains inject @@ fun () ->
     let arch = Arch.smallest_for kind n in
     let sched = Ata.schedule arch in
     let qubits = Arch.qubit_count arch in
@@ -164,14 +182,16 @@ let ata_cmd =
   in
   Cmd.v
     (Cmd.info "ata" ~doc:"Print the structured all-to-all schedule statistics.")
-    Term.(const run $ arch_arg $ n_arg $ show_arg $ trace_arg $ metrics_arg $ domains_arg)
+    Term.(
+      const run $ arch_arg $ n_arg $ show_arg $ trace_arg $ metrics_arg $ domains_arg
+      $ inject_arg)
 
 let solve_cmd =
   let line_arg =
     Arg.(value & opt int 4 & info [ "line" ] ~docv:"N" ~doc:"Clique size on an N-qubit line.")
   in
-  let run n trace metrics domains =
-    with_telemetry ~cmd:"solve" trace metrics domains @@ fun () ->
+  let run n trace metrics domains inject =
+    with_telemetry ~cmd:"solve" trace metrics domains inject @@ fun () ->
     let problem = Graph.complete n in
     let coupling = Generate.path n in
     let init = Mapping.identity ~logical:n ~physical:n in
@@ -191,14 +211,14 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Run the depth-optimal A* solver on a small clique instance.")
-    Term.(const run $ line_arg $ trace_arg $ metrics_arg $ domains_arg)
+    Term.(const run $ line_arg $ trace_arg $ metrics_arg $ domains_arg $ inject_arg)
 
 let qaoa_cmd =
   let rounds_arg =
     Arg.(value & opt int 20 & info [ "rounds" ] ~docv:"R" ~doc:"Optimizer rounds.")
   in
-  let run n density seed rounds trace metrics domains =
-    with_telemetry ~cmd:"qaoa" trace metrics domains @@ fun () ->
+  let run n density seed rounds trace metrics domains inject =
+    with_telemetry ~cmd:"qaoa" trace metrics domains inject @@ fun () ->
     let rng = Prng.create seed in
     let graph = Generate.erdos_renyi rng ~n ~density in
     let arch = Arch.mumbai_like () in
@@ -216,7 +236,7 @@ let qaoa_cmd =
     (Cmd.info "qaoa" ~doc:"Run the end-to-end QAOA loop on the Mumbai-like device.")
     Term.(
       const run $ n_arg $ density_arg $ seed_arg $ rounds_arg $ trace_arg $ metrics_arg
-      $ domains_arg)
+      $ domains_arg $ inject_arg)
 
 (* ---------- compilation service: batch + serve ---------- *)
 
@@ -225,7 +245,11 @@ module Compile_request = Qcr_service.Compile_request
 module Compile_reply = Qcr_service.Compile_reply
 module Json = Qcr_obs.Json
 
+(* Exit-code discipline (documented under EXIT STATUS in --help): 1 for
+   runtime failures, 2 for usage and command-line parse errors. *)
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("qcr: " ^ msg); exit 1) fmt
+
+let die_usage fmt = Printf.ksprintf (fun msg -> prerr_endline ("qcr: " ^ msg); exit 2) fmt
 
 let load_batch file =
   match Json.of_file file with
@@ -237,9 +261,12 @@ let load_batch file =
 
 let pass_summary label (d : Service.stats) =
   Printf.printf
-    "%s: %d requests | %d hits %d misses | ok=%d degraded=%d timeouts=%d errors=%d\n%!" label
-    d.Service.requests d.Service.cache_hits d.Service.cache_misses d.Service.served_ok
-    d.Service.degraded d.Service.timeouts d.Service.errors
+    "%s: %d requests | %d hits %d misses | ok=%d degraded=%d timeouts=%d errors=%d \
+     retries=%d trips=%d corrupt=%d\n\
+     %!"
+    label d.Service.requests d.Service.cache_hits d.Service.cache_misses d.Service.served_ok
+    d.Service.degraded d.Service.timeouts d.Service.errors d.Service.retries
+    d.Service.breaker_trips d.Service.cache_corrupt
 
 let batch_cmd =
   let file_arg =
@@ -255,8 +282,8 @@ let batch_cmd =
            ~doc:"Run the batch $(docv) times through the same service; later passes \
                  exercise the compile cache.")
   in
-  let run file out repeat trace metrics domains =
-    with_telemetry ~cmd:"batch" trace metrics domains @@ fun () ->
+  let run file out repeat trace metrics domains inject =
+    with_telemetry ~cmd:"batch" trace metrics domains inject @@ fun () ->
     let reqs = load_batch file in
     let service = Service.create () in
     let passes = ref [] in
@@ -270,6 +297,7 @@ let batch_cmd =
     done;
     let json =
       Service.replies_to_json ~passes:(List.rev !passes)
+        ~breakers:(Service.breaker_states service)
         ~domains:(Qcr_par.Pool.default_domain_count ())
         ~stats:(Service.stats service) !last_replies
     in
@@ -281,7 +309,9 @@ let batch_cmd =
   in
   Cmd.v
     (Cmd.info "batch" ~doc:"Run a batch job file through the compilation service.")
-    Term.(const run $ file_arg $ out_arg $ repeat_arg $ trace_arg $ metrics_arg $ domains_arg)
+    Term.(
+      const run $ file_arg $ out_arg $ repeat_arg $ trace_arg $ metrics_arg $ domains_arg
+      $ inject_arg)
 
 let serve_cmd =
   let batch_arg =
@@ -289,39 +319,91 @@ let serve_cmd =
            ~doc:"Process this batch file first (replies on stdout, one JSON per line), \
                  warming the compile cache, then serve stdin.")
   in
-  let run batch trace metrics domains =
-    with_telemetry ~cmd:"serve" trace metrics domains @@ fun () ->
+  let run batch trace metrics domains inject =
+    with_telemetry ~cmd:"serve" trace metrics domains inject @@ fun () ->
     let service = Service.create () in
-    let reply_line r =
-      print_endline (Json.to_string (Compile_reply.to_json r));
+    let emit j =
+      print_endline (Json.to_string j);
       flush stdout
     in
+    let reply_line r = emit (Compile_reply.to_json r) in
+    let error_line msg = emit (Json.Obj [ ("status", Json.Str "error"); ("error", Json.Str msg) ]) in
     Option.iter
       (fun file -> List.iter reply_line (Service.run_batch service (load_batch file)))
       batch;
-    (* One request per line on stdin, one reply per line on stdout; a
-       malformed line yields an error reply, never a crash. *)
+    (* One request per line on stdin, one reply per line on stdout.  A
+       malformed line yields an error reply; {"op":"health"} and
+       {"op":"stats"} are control lines; anything that still escapes the
+       service boundary is caught here — the loop keeps serving no matter
+       what a line does. *)
+    let handle_line line =
+      match Json.of_string line with
+      | Error e -> error_line ("bad request: " ^ e)
+      | Ok j -> (
+          match Json.member "op" j with
+          | Some (Json.Str "health") ->
+              emit
+                (Json.Obj
+                   [
+                     ("status", Json.Str "ok");
+                     ("requests", Json.Num (float_of_int (Service.stats service).Service.requests));
+                   ])
+          | Some (Json.Str "stats") ->
+              emit
+                (Json.Obj
+                   [
+                     ("status", Json.Str "ok");
+                     ( "stats",
+                       Service.stats_to_json
+                         ~breakers:(Service.breaker_states service)
+                         (Service.stats service) );
+                   ])
+          | Some (Json.Str op) -> error_line (Printf.sprintf "unknown op %S" op)
+          | Some _ -> error_line "\"op\" must be a string"
+          | None -> (
+              match Compile_request.of_json j with
+              | Ok req -> reply_line (Service.submit service req)
+              | Error e -> error_line ("bad request: " ^ e)))
+    in
     (try
        while true do
          let line = input_line stdin in
          if String.trim line <> "" then
-           match Result.bind (Json.of_string line) Compile_request.of_json with
-           | Ok req -> reply_line (Service.submit service req)
-           | Error e ->
-               print_endline
-                 (Json.to_string
-                    (Json.Obj
-                       [ ("status", Json.Str "error"); ("error", Json.Str ("bad request: " ^ e)) ]));
-               flush stdout
+           try handle_line line
+           with
+           | (Out_of_memory | Stack_overflow) as e -> raise e
+           | e -> error_line ("uncaught exception: " ^ Printexc.to_string e)
        done
      with End_of_file -> ());
     pass_summary "served" (Service.stats service)
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve compile requests over stdio (JSON lines), with a persistent compile cache.")
-    Term.(const run $ batch_arg $ trace_arg $ metrics_arg $ domains_arg)
+       ~doc:"Serve compile requests over stdio (JSON lines), with a persistent compile \
+             cache. {\"op\":\"health\"} and {\"op\":\"stats\"} lines return service \
+             health and cumulative statistics (including circuit-breaker states).")
+    Term.(const run $ batch_arg $ trace_arg $ metrics_arg $ domains_arg $ inject_arg)
 
 let () =
-  let info = Cmd.info "qcr_cli" ~doc:"Regular-architecture quantum compiler tools." in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; ata_cmd; solve_cmd; qaoa_cmd; batch_cmd; serve_cmd ]))
+  (* QCR_FAULTS arms process-wide fault injection before any command
+     runs; --inject (parsed later by cmdliner) overrides it. *)
+  (match Fault.arm_from_env () with
+  | Ok _ -> ()
+  | Error e -> die_usage "QCR_FAULTS: %s" e);
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"on success.";
+      Cmd.Exit.info 1 ~doc:"on runtime failure: malformed input files, I/O errors.";
+      Cmd.Exit.info 2
+        ~doc:"on usage errors: unknown options or commands, nonexistent file arguments, \
+              malformed option values (including $(b,--inject) and $(b,QCR_FAULTS) \
+              fault specs).";
+    ]
+  in
+  let info = Cmd.info "qcr_cli" ~exits ~doc:"Regular-architecture quantum compiler tools." in
+  let code =
+    Cmd.eval (Cmd.group info [ compile_cmd; ata_cmd; solve_cmd; qaoa_cmd; batch_cmd; serve_cmd ])
+  in
+  (* cmdliner reports CLI parse errors as 124; fold that into the
+     documented usage code. *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

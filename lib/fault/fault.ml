@@ -1,0 +1,315 @@
+module Prng = Qcr_util.Prng
+
+exception Injected of string
+
+type action =
+  | Crash
+  | Delay of float
+  | Corrupt
+
+type trigger =
+  | Always
+  | Prob of float
+  | Nth of int
+  | Every of int
+
+type rule = { point : string; action : action; trigger : trigger }
+
+type spec = { seed : int; rules : rule list }
+
+(* ---------- spec grammar ---------- *)
+
+let valid_point_name name =
+  name <> ""
+  && String.for_all
+       (fun c -> not (c = ',' || c = ':' || c = '=' || c = ' ' || c = '\t' || c = '\n' || c = '\r'))
+       name
+
+(* Shortest float representation that reparses exactly (the same trick
+   as the Json emitter), so specs round-trip through their string form. *)
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else begin
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+  end
+
+let action_to_string = function
+  | Crash -> "crash"
+  | Delay s -> "delay=" ^ float_to_string s
+  | Corrupt -> "corrupt"
+
+let trigger_to_string = function
+  | Always -> ""
+  | Prob p -> ":p=" ^ float_to_string p
+  | Nth n -> ":nth=" ^ string_of_int n
+  | Every k -> ":every=" ^ string_of_int k
+
+let rule_to_string r =
+  Printf.sprintf "%s:%s%s" r.point (action_to_string r.action) (trigger_to_string r.trigger)
+
+let spec_to_string s =
+  String.concat "," (Printf.sprintf "seed=%d" s.seed :: List.map rule_to_string s.rules)
+
+let ( let* ) r f = Result.bind r f
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some f when Float.is_finite f -> Ok f
+  | _ -> Error (Printf.sprintf "%s: expected a finite number, got %S" what s)
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "%s: expected an integer, got %S" what s)
+
+let parse_action s =
+  match s with
+  | "crash" -> Ok Crash
+  | "corrupt" -> Ok Corrupt
+  | _ -> (
+      match String.index_opt s '=' with
+      | Some i when String.sub s 0 i = "delay" ->
+          let* d =
+            parse_float "delay" (String.sub s (i + 1) (String.length s - i - 1))
+          in
+          if d < 0.0 then Error "delay: must be non-negative" else Ok (Delay d)
+      | _ -> Error (Printf.sprintf "unknown action %S (want crash, delay=S or corrupt)" s))
+
+let parse_trigger s =
+  if s = "always" then Ok Always
+  else
+    match String.index_opt s '=' with
+  | Some i -> (
+      let key = String.sub s 0 i and v = String.sub s (i + 1) (String.length s - i - 1) in
+      match key with
+      | "p" ->
+          let* p = parse_float "p" v in
+          if p < 0.0 || p > 1.0 then Error "p: must be in [0, 1]" else Ok (Prob p)
+      | "nth" ->
+          let* n = parse_int "nth" v in
+          if n < 1 then Error "nth: must be >= 1" else Ok (Nth n)
+      | "every" ->
+          let* k = parse_int "every" v in
+          if k < 1 then Error "every: must be >= 1" else Ok (Every k)
+      | _ -> Error (Printf.sprintf "unknown trigger %S (want p=, nth= or every=)" s))
+  | None -> Error (Printf.sprintf "unknown trigger %S (want p=, nth= or every=)" s)
+
+let parse_rule s =
+  match String.split_on_char ':' s with
+  | [ point; action ] | [ point; action; "" ] ->
+      if not (valid_point_name point) then Error (Printf.sprintf "invalid point name %S" point)
+      else
+        let* action = parse_action action in
+        Ok { point; action; trigger = Always }
+  | [ point; action; trigger ] ->
+      if not (valid_point_name point) then Error (Printf.sprintf "invalid point name %S" point)
+      else
+        let* action = parse_action action in
+        let* trigger = parse_trigger trigger in
+        Ok { point; action; trigger }
+  | _ -> Error (Printf.sprintf "malformed rule %S (want POINT:ACTION[:TRIGGER])" s)
+
+let spec_of_string s =
+  let items = String.split_on_char ',' s |> List.map String.trim in
+  let rec go seed rules = function
+    | [] -> (
+        match rules with
+        | [] -> Error "empty fault spec (no rules)"
+        | rules -> Ok { seed; rules = List.rev rules })
+    | "" :: rest -> go seed rules rest
+    | item :: rest ->
+        if String.length item > 5 && String.sub item 0 5 = "seed=" then
+          let* v = parse_int "seed" (String.sub item 5 (String.length item - 5)) in
+          go v rules rest
+        else
+          let* r = parse_rule item in
+          go seed (r :: rules) rest
+  in
+  go 0 [] items
+
+(* ---------- runtime registry ----------
+
+   [on] gates every probe ([Atomic.get] and return when disarmed).  Each
+   interned point owns its hit/fire counts, its active rules and a
+   splitmix64 stream derived from the spec seed and the point name, all
+   behind a per-point mutex: firing decisions at a point form one
+   deterministic sequence regardless of which domain probes it. *)
+
+let on = Atomic.make false
+
+type state = {
+  name : string;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable fired : int;
+  mutable rules : rule list;
+  mutable rng : Prng.t;
+}
+
+type point = state
+
+let registry : (string, state) Hashtbl.t = Hashtbl.create 16
+
+let registry_lock = Mutex.create ()
+
+let current_spec : spec option ref = ref None
+
+(* Independent stream per (seed, point): fold the name into the seed
+   with an FNV-style mix, then let splitmix64 do the real scrambling. *)
+let rng_for seed name =
+  let h = ref (seed lxor 0x100001b3) in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land max_int) name;
+  Prng.create !h
+
+let bind_rules st =
+  match !current_spec with
+  | None ->
+      st.rules <- [];
+      st.rng <- Prng.create 0
+  | Some spec ->
+      st.rules <- List.filter (fun r -> r.point = st.name) spec.rules;
+      st.rng <- rng_for spec.seed st.name;
+      st.hits <- 0;
+      st.fired <- 0
+
+let point name =
+  if not (valid_point_name name) then invalid_arg ("Fault.point: invalid name " ^ name);
+  Mutex.lock registry_lock;
+  let st =
+    match Hashtbl.find_opt registry name with
+    | Some st -> st
+    | None ->
+        let st =
+          { name; lock = Mutex.create (); hits = 0; fired = 0; rules = []; rng = Prng.create 0 }
+        in
+        bind_rules st;
+        Hashtbl.add registry name st;
+        st
+  in
+  Mutex.unlock registry_lock;
+  st
+
+let arm spec =
+  Mutex.lock registry_lock;
+  current_spec := Some spec;
+  Hashtbl.iter (fun _ st -> bind_rules st) registry;
+  Mutex.unlock registry_lock;
+  Atomic.set on true
+
+let disarm () =
+  Atomic.set on false;
+  Mutex.lock registry_lock;
+  current_spec := None;
+  Hashtbl.iter (fun _ st -> bind_rules st) registry;
+  Mutex.unlock registry_lock
+
+let armed () = Atomic.get on
+
+let arm_from_env () =
+  match Sys.getenv_opt "QCR_FAULTS" with
+  | None -> Ok false
+  | Some s when String.trim s = "" -> Ok false
+  | Some s -> (
+      match spec_of_string s with
+      | Ok spec ->
+          arm spec;
+          Ok true
+      | Error e -> Error (Printf.sprintf "QCR_FAULTS: %s" e))
+
+(* ---------- probes ---------- *)
+
+(* Decide triggers and apply [Corrupt] (a pure payload transform needing
+   the point's PRNG) under the point lock, so every random draw at a
+   point forms one deterministic sequence; crash and delay run after the
+   unlock, so a raise never leaves the lock held and a sleep never
+   blocks other domains' probes.  Returns the (possibly transformed)
+   payload and the triggered rules. *)
+let decide st ~on_corrupt payload =
+  Mutex.lock st.lock;
+  st.hits <- st.hits + 1;
+  let hit = st.hits in
+  let triggered =
+    List.filter
+      (fun r ->
+        match r.trigger with
+        | Always -> true
+        | Prob p -> Prng.float st.rng 1.0 < p
+        | Nth n -> hit = n
+        | Every k -> hit mod k = 0)
+      st.rules
+  in
+  st.fired <- st.fired + List.length triggered;
+  let payload =
+    List.fold_left
+      (fun payload r ->
+        match r.action with Corrupt -> on_corrupt st.rng payload | Crash | Delay _ -> payload)
+      payload triggered
+  in
+  Mutex.unlock st.lock;
+  (payload, triggered)
+
+let probe st ~on_corrupt payload =
+  if not (Atomic.get on) then payload
+  else begin
+    let payload, triggered = decide st ~on_corrupt payload in
+    List.iter
+      (fun r -> match r.action with Delay s when s > 0.0 -> Unix.sleepf s | _ -> ())
+      triggered;
+    if List.exists (fun r -> r.action = Crash) triggered then raise (Injected st.name);
+    payload
+  end
+
+let fire st = probe st ~on_corrupt:(fun _ () -> ()) ()
+
+let flip_byte rng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Prng.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+    Bytes.to_string b
+  end
+
+let corrupt st payload = probe st ~on_corrupt:flip_byte payload
+
+(* Clock probes never sleep: a [Delay] rule shows up as a forward jump
+   of the reading instead, which simulates skew without slowing tests. *)
+let skew st reading =
+  if not (Atomic.get on) then reading
+  else begin
+    let reading, triggered = decide st ~on_corrupt:(fun _ r -> r) reading in
+    let reading =
+      List.fold_left
+        (fun reading r ->
+          match r.action with
+          | Delay s -> reading +. s
+          | Corrupt -> reading +. 1e6
+          | Crash -> reading)
+        reading triggered
+    in
+    if List.exists (fun r -> r.action = Crash) triggered then raise (Injected st.name);
+    reading
+  end
+
+(* ---------- accounting ---------- *)
+
+let locked st f =
+  Mutex.lock st.lock;
+  let v = f () in
+  Mutex.unlock st.lock;
+  v
+
+let hits st = locked st (fun () -> st.hits)
+
+let fired st = locked st (fun () -> st.fired)
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  let states = Hashtbl.fold (fun _ st acc -> st :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  states
+  |> List.filter_map (fun st ->
+         let h, f = locked st (fun () -> (st.hits, st.fired)) in
+         if h = 0 then None else Some (st.name, h, f))
+  |> List.sort compare

@@ -1,0 +1,123 @@
+(** Deterministic, seeded fault injection.
+
+    The serving stack declares named {e injection points} (the pool
+    worker body, the compile tiers, cache get/put, JSON decode, clock
+    reads); a {e spec} arms crash/delay/corrupt faults at those points.
+    Disarmed — the default — every probe is a single [Atomic.get], the
+    same zero-cost pattern as the [Qcr_obs] sink, so production code
+    pays nothing for being injectable.
+
+    All firing decisions flow from one seed: each point derives its own
+    splitmix64 stream from [spec.seed] and the point name, so a given
+    spec produces the same fault pattern at a given point on every run,
+    independent of how other points interleave.  Chaos tests and the
+    [bench chaos] soak rely on this to replay failures exactly.
+
+    {b Spec grammar} (the [QCR_FAULTS] environment variable and the CLI
+    [--inject] flag):
+
+    {v
+    spec    := item (',' item)*
+    item    := 'seed=' INT | rule
+    rule    := POINT ':' action [':' trigger]
+    action  := 'crash' | 'delay=' FLOAT | 'corrupt'
+    trigger := 'always' | 'p=' FLOAT | 'nth=' INT | 'every=' INT   (default: always)
+    v}
+
+    Example:
+    [seed=7,pool.worker:crash:p=0.2,cache.get:corrupt:nth=3,service.tier:delay=0.001:every=2].
+
+    Actions mean, per probe kind: [crash] raises {!Injected} at the
+    point; [delay=s] sleeps [s] seconds at {!fire}/{!corrupt} and skews
+    a {!skew}ed reading forward by [s]; [corrupt] flips one
+    deterministically chosen byte of a {!corrupt}ed payload and jumps a
+    {!skew}ed reading far forward. *)
+
+exception Injected of string
+(** Raised by an armed [crash] fault; the payload is the point name.
+    Deliberately {e not} a typed error: boundary code must treat it like
+    any other unexpected exception. *)
+
+(** {1 Specs} *)
+
+type action =
+  | Crash
+  | Delay of float  (** seconds *)
+  | Corrupt
+
+type trigger =
+  | Always
+  | Prob of float  (** fire on each hit with this probability *)
+  | Nth of int  (** fire on exactly the [n]-th hit of the point (1-based) *)
+  | Every of int  (** fire on every [k]-th hit *)
+
+type rule = { point : string; action : action; trigger : trigger }
+
+type spec = { seed : int; rules : rule list }
+
+val spec_to_string : spec -> string
+(** Canonical form; floats print with enough digits to reparse exactly,
+    so [spec_of_string (spec_to_string s) = Ok s] for every valid spec
+    with finite floats. *)
+
+val spec_of_string : string -> (spec, string) result
+
+val valid_point_name : string -> bool
+(** Non-empty, and free of the grammar's meta characters [',' ':' '='
+    ] and whitespace. *)
+
+(** {1 Arming} *)
+
+val arm : spec -> unit
+(** Install the spec and enable injection.  Resets all per-point hit and
+    fire counts, so arming the same spec twice replays the same fault
+    pattern. *)
+
+val disarm : unit -> unit
+(** Disable injection (specs are forgotten; probes return to the
+    zero-cost path).  Idempotent. *)
+
+val armed : unit -> bool
+
+val arm_from_env : unit -> (bool, string) result
+(** Arm from [QCR_FAULTS] when the variable is set and non-empty.
+    [Ok true] if a spec was armed, [Ok false] if the variable is absent
+    or empty, [Error _] on a malformed spec (nothing armed). *)
+
+(** {1 Injection points} *)
+
+type point
+(** An interned injection point; creating the same name twice returns
+    the same point.  Creation is cheap and thread-safe — declare points
+    at module top level like [Qcr_obs] counters. *)
+
+val point : string -> point
+(** @raise Invalid_argument on a name {!valid_point_name} rejects. *)
+
+val fire : point -> unit
+(** Probe the point.  Disarmed: nothing.  Armed: count the hit and apply
+    every triggered rule — [Crash] raises {!Injected}, [Delay s] sleeps,
+    [Corrupt] is a no-op for this probe kind. *)
+
+val corrupt : point -> string -> string
+(** Probe with a payload.  [Corrupt] returns the payload with one byte
+    flipped at a seeded position; [Crash] raises; [Delay] sleeps.
+    Disarmed, returns the payload unchanged (physically equal). *)
+
+val skew : point -> float -> float
+(** Probe with a reading (clock injection).  [Delay s] returns
+    [reading +. s] (a forward clock jump — nothing actually sleeps);
+    [Corrupt] returns [reading +. 1e6]; [Crash] raises.  Disarmed,
+    returns the reading unchanged. *)
+
+(** {1 Accounting} *)
+
+val hits : point -> int
+(** Probes observed at this point since the last {!arm}. *)
+
+val fired : point -> int
+(** Faults actually applied at this point since the last {!arm}. *)
+
+val snapshot : unit -> (string * int * int) list
+(** [(name, hits, fired)] for every point with at least one hit, sorted
+    by name — the [bench chaos] report's fault table. *)

@@ -1,6 +1,12 @@
 type t = { clock_name : string; read : unit -> float }
 
-let now t = t.read ()
+let read_point = Qcr_fault.Fault.point "clock.read"
+
+(* Every reading passes the [clock.read] injection point: a [delay]
+   rule skews it forward by that many seconds, [corrupt] jumps it far
+   ahead, [crash] raises — simulating clock trouble for whatever sits on
+   top (deadlines, spans, the A* budget) without touching the source. *)
+let now t = Qcr_fault.Fault.skew read_point (t.read ())
 
 let make ~name read = { clock_name = name; read }
 

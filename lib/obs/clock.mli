@@ -10,7 +10,9 @@ type t
 
 val now : t -> float
 (** One reading.  Readings from the same clock are monotone
-    non-decreasing for the built-in clocks below. *)
+    non-decreasing for the built-in clocks below.  Every reading passes
+    the [clock.read] {!Qcr_fault.Fault} injection point, so chaos specs
+    can skew or crash time for everything built on clocks. *)
 
 val make : name:string -> (unit -> float) -> t
 (** Wrap an arbitrary time source. *)

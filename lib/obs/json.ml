@@ -66,7 +66,15 @@ let to_string v =
 
 exception Parse_error of int * string
 
+let decode_point = Qcr_fault.Fault.point "json.decode"
+
+(* Containers deeper than this fail with a parse error instead of
+   descending further; the parser recurses, so the limit is what turns
+   hostile [\[\[\[\[…] input into [Error] rather than [Stack_overflow]. *)
+let max_depth = 512
+
 let of_string s =
+  let s = Qcr_fault.Fault.corrupt decode_point s in
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Parse_error (!pos, msg)) in
@@ -180,8 +188,9 @@ let of_string s =
     | _ -> ());
     float_of_string (String.sub s start (!pos - start))
   in
-  let rec parse_value () =
+  let rec parse_value depth =
     skip_ws ();
+    if depth > max_depth then fail (Printf.sprintf "nesting deeper than %d" max_depth);
     match peek () with
     | None -> fail "unexpected end of input"
     | Some '{' ->
@@ -197,7 +206,7 @@ let of_string s =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -219,7 +228,7 @@ let of_string s =
         end
         else begin
           let rec items acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -240,7 +249,7 @@ let of_string s =
     | Some c -> fail (Printf.sprintf "unexpected %C" c)
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
     v

@@ -19,8 +19,16 @@ val to_string : t -> string
 val of_string : string -> (t, string) result
 (** Strict parser for the JSON subset this module emits (which is all of
     JSON minus extensions): rejects trailing garbage, unterminated
-    strings, and malformed numbers, with a character position in the
-    error message. *)
+    strings, malformed numbers, and containers nested deeper than
+    {!max_depth} (so hostile [\[\[\[\[…] input returns [Error] instead of
+    overflowing the stack), with a character position in the error
+    message.  Never raises on any input — the only exception to the
+    contract is a deliberately armed [json.decode] crash fault
+    ({!Qcr_fault.Fault}), which escapes so boundary code can be tested
+    against a crashing parser. *)
+
+val max_depth : int
+(** Maximum container nesting depth the parser accepts (512). *)
 
 val member : string -> t -> t option
 (** [member key (Obj ...)] looks up a field; [None] on missing key or

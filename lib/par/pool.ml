@@ -1,4 +1,4 @@
-(* Fixed-size domain pool.
+(* Fixed-size domain pool with crash-only worker supervision.
 
    One task is live at a time.  Submission bumps [generation] under the
    lock and broadcasts; idle workers wake, read the current task, and
@@ -7,9 +7,31 @@
    Completion is tracked by counting finished chunks ([unfinished]); the
    domain that finishes the last chunk signals [work_done].
 
+   Supervision: each worker runs inside a wrapper that catches anything
+   escaping its loop (the [pool.worker] fault point simulates exactly
+   this).  A dying worker requeues the chunk it had claimed but not yet
+   started onto the task's [lost] list, marks its slot dead, and wakes
+   the submitter; lost chunks are re-executed by the remaining
+   participants (ultimately by the submitting caller, which never dies),
+   so a task always drains and its results are identical to a crash-free
+   run — provided chunk bodies are idempotent, which holds for every
+   combinator here (chunks write disjoint output slots).  Dead slots are
+   respawned at the next submission.
+
    The mutex acquire/release pairs on task completion give the caller a
    happens-before edge over every chunk's writes, so results written into
    plain arrays by workers are safely visible after submission returns. *)
+
+module Fault = Qcr_fault.Fault
+
+exception Worker_lost of { chunk : int }
+
+let () =
+  Printexc.register_printer (function
+    | Worker_lost { chunk } -> Some (Printf.sprintf "Qcr_par.Pool.Worker_lost(chunk %d)" chunk)
+    | _ -> None)
+
+let worker_point = Fault.point "pool.worker"
 
 type task = {
   run_chunk : int -> unit;
@@ -17,15 +39,23 @@ type task = {
   next : int Atomic.t; (* next chunk index to claim *)
   unfinished : int Atomic.t; (* chunks not yet completed *)
   failed : (exn * Printexc.raw_backtrace) option Atomic.t; (* first failure *)
+  lost : int list ref; (* chunks claimed by a worker that died; pool lock *)
+}
+
+type slot = {
+  mutable handle : unit Domain.t option;
+  mutable dead : bool; (* set by the dying worker, under the pool lock *)
 }
 
 type t = {
   domains : int; (* total participants incl. the caller *)
-  mutable workers : unit Domain.t list;
+  mutable slots : slot array;
   mutable current : task option; (* lock *)
   mutable generation : int; (* lock *)
   mutable stopping : bool; (* lock *)
   mutable alive : bool; (* false after shutdown: run inline *)
+  mutable deaths : int; (* lock: workers that crashed, cumulative *)
+  mutable respawns : int; (* lock: workers respawned, cumulative *)
   lock : Mutex.t;
   work_ready : Condition.t;
   work_done : Condition.t;
@@ -36,30 +66,65 @@ type t = {
    from such a context run inline. *)
 let in_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
 
+(* True on worker domains only: restricts fault injection to workers, so
+   a [pool.worker:crash] spec kills domains the supervisor can replace,
+   never the submitting caller. *)
+let is_worker : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+(* The chunk this domain has claimed but not yet finished running; the
+   dying worker's wrapper reads it to requeue in-flight work. *)
+let claimed : (task * int) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
 let record_failure task e =
   let bt = Printexc.get_raw_backtrace () in
   ignore (Atomic.compare_and_set task.failed None (Some (e, bt)))
 
-(* Claim and run chunks until the claim counter runs dry; called by
-   workers and by the submitting caller alike. *)
+(* Run one claimed chunk.  The claim record is set before the fault
+   probe so that an injected worker crash always happens with the chunk
+   recorded and not yet started — the wrapper requeues it untouched.
+   Exceptions from the chunk body itself are task failures, not worker
+   deaths: they are recorded and the chunk still counts as finished. *)
+let run_one pool task c =
+  let cl = Domain.DLS.get claimed in
+  cl := Some (task, c);
+  if !(Domain.DLS.get is_worker) then Fault.fire worker_point;
+  (try task.run_chunk c with e -> record_failure task e);
+  cl := None;
+  if Atomic.fetch_and_add task.unfinished (-1) = 1 then begin
+    (* last chunk: wake the submitter *)
+    Mutex.lock pool.lock;
+    Condition.broadcast pool.work_done;
+    Mutex.unlock pool.lock
+  end
+
+(* Claim and run chunks until the claim counter runs dry, then drain any
+   chunks requeued by dead workers; called by workers and by the
+   submitting caller alike. *)
 let execute pool task =
   let flag = Domain.DLS.get in_task in
   flag := true;
+  let restore () = flag := false in
+  Fun.protect ~finally:restore @@ fun () ->
   let rec claim () =
     let c = Atomic.fetch_and_add task.next 1 in
     if c < task.n_chunks then begin
-      (try task.run_chunk c with e -> record_failure task e);
-      if Atomic.fetch_and_add task.unfinished (-1) = 1 then begin
-        (* last chunk: wake the submitter *)
-        Mutex.lock pool.lock;
-        Condition.broadcast pool.work_done;
-        Mutex.unlock pool.lock
-      end;
+      run_one pool task c;
       claim ()
     end
   in
   claim ();
-  flag := false
+  let rec drain () =
+    Mutex.lock pool.lock;
+    match !(task.lost) with
+    | c :: rest ->
+        task.lost := rest;
+        Mutex.unlock pool.lock;
+        run_one pool task c;
+        drain ()
+    | [] -> Mutex.unlock pool.lock
+  in
+  drain ()
 
 let worker_loop pool () =
   let seen = ref 0 in
@@ -81,25 +146,81 @@ let worker_loop pool () =
     end
   done
 
+(* Crash-only wrapper: anything escaping the loop means this domain is
+   done for.  Requeue the in-flight chunk (if any), self-report the
+   death, wake the submitter so it can pick the chunk up, and return —
+   the domain then terminates cleanly and [supervise] replaces it. *)
+let worker_body pool slot () =
+  Domain.DLS.get is_worker := true;
+  try worker_loop pool ()
+  with _ ->
+    let cl = Domain.DLS.get claimed in
+    Mutex.lock pool.lock;
+    (match !cl with
+    | Some (task, c) ->
+        cl := None;
+        task.lost := c :: !(task.lost)
+    | None -> ());
+    slot.dead <- true;
+    pool.deaths <- pool.deaths + 1;
+    Condition.broadcast pool.work_done;
+    Mutex.unlock pool.lock
+
 let create ~domains =
   let domains = max 1 domains in
   let pool =
     {
       domains;
-      workers = [];
+      slots = [||];
       current = None;
       generation = 0;
       stopping = false;
       alive = true;
+      deaths = 0;
+      respawns = 0;
       lock = Mutex.create ();
       work_ready = Condition.create ();
       work_done = Condition.create ();
     }
   in
-  pool.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (worker_loop pool));
+  pool.slots <-
+    Array.init (domains - 1) (fun _ ->
+        let slot = { handle = None; dead = false } in
+        slot.handle <- Some (Domain.spawn (worker_body pool slot));
+        slot);
   pool
 
 let size t = t.domains
+
+let worker_deaths t =
+  Mutex.lock t.lock;
+  let v = t.deaths in
+  Mutex.unlock t.lock;
+  v
+
+let respawns t =
+  Mutex.lock t.lock;
+  let v = t.respawns in
+  Mutex.unlock t.lock;
+  v
+
+(* Replace dead workers.  Called between tasks on the driver domain (the
+   single-driver contract), so slots mutate with no task in flight. *)
+let supervise t =
+  if t.alive then begin
+    Mutex.lock t.lock;
+    let dead =
+      Array.to_list t.slots |> List.filter (fun s -> s.dead)
+    in
+    List.iter (fun s -> s.dead <- false) dead;
+    t.respawns <- t.respawns + List.length dead;
+    Mutex.unlock t.lock;
+    List.iter
+      (fun slot ->
+        Option.iter Domain.join slot.handle;
+        slot.handle <- Some (Domain.spawn (worker_body t slot)))
+      dead
+  end
 
 let shutdown t =
   if t.alive then begin
@@ -107,8 +228,8 @@ let shutdown t =
     t.stopping <- true;
     Condition.broadcast t.work_ready;
     Mutex.unlock t.lock;
-    List.iter Domain.join t.workers;
-    t.workers <- [];
+    Array.iter (fun slot -> Option.iter Domain.join slot.handle) t.slots;
+    t.slots <- [||];
     t.alive <- false
   end
 
@@ -126,6 +247,7 @@ let run_task pool ~n_chunks run_chunk =
       || !(Domain.DLS.get in_task)
     then run_inline ~n_chunks run_chunk
     else begin
+      supervise pool;
       let task =
         {
           run_chunk;
@@ -133,6 +255,7 @@ let run_task pool ~n_chunks run_chunk =
           next = Atomic.make 0;
           unfinished = Atomic.make n_chunks;
           failed = Atomic.make None;
+          lost = ref [];
         }
       in
       Mutex.lock pool.lock;
@@ -141,10 +264,28 @@ let run_task pool ~n_chunks run_chunk =
       Condition.broadcast pool.work_ready;
       Mutex.unlock pool.lock;
       execute pool task;
+      (* Wait for completion, re-executing any chunk a dying worker
+         requeued: the caller is the participant of last resort, so the
+         task drains even if every worker dies. *)
       Mutex.lock pool.lock;
-      while Atomic.get task.unfinished > 0 do
-        Condition.wait pool.work_done pool.lock
-      done;
+      let rec wait () =
+        if Atomic.get task.unfinished > 0 then
+          match !(task.lost) with
+          | c :: rest ->
+              task.lost := rest;
+              Mutex.unlock pool.lock;
+              let flag = Domain.DLS.get in_task in
+              flag := true;
+              Fun.protect
+                ~finally:(fun () -> flag := false)
+                (fun () -> run_one pool task c);
+              Mutex.lock pool.lock;
+              wait ()
+          | [] ->
+              Condition.wait pool.work_done pool.lock;
+              wait ()
+      in
+      wait ();
       pool.current <- None;
       Mutex.unlock pool.lock;
       match Atomic.get task.failed with
@@ -183,7 +324,10 @@ let map pool f arr =
   else begin
     let out = Array.make n None in
     parallel_for pool ~lo:0 ~hi:n (fun i -> out.(i) <- Some (f arr.(i)));
-    Array.map (function Some v -> v | None -> assert false) out
+    Array.mapi
+      (fun i slot ->
+        match slot with Some v -> v | None -> raise (Worker_lost { chunk = i }))
+      out
   end
 
 let map_list pool f xs = Array.to_list (map pool f (Array.of_list xs))

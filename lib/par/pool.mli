@@ -20,9 +20,24 @@
 
     {b Concurrency contract.}  One task runs at a time; submit work from
     one domain (the pool owner) only.  This matches the compiler/simulator
-    call pattern: a single driver fanning loops out. *)
+    call pattern: a single driver fanning loops out.
+
+    {b Supervision.}  Workers are crash-only: anything that escapes a
+    worker's loop (notably the [pool.worker] {!Qcr_fault.Fault} injection
+    point) kills that domain.  The dying worker requeues the chunk it had
+    claimed but not started, the remaining participants — ultimately the
+    submitting caller, which never dies — re-execute it, and the dead
+    slot is respawned at the next submission; because chunks write
+    disjoint outputs, results are identical to a crash-free run. *)
 
 type t
+
+exception Worker_lost of { chunk : int }
+(** A task chunk's result is missing because the domain that owned it
+    died outside the supervised window.  {!map} raises it instead of
+    asserting when an output slot was never written; supervision makes
+    this unreachable in practice, but the error stays typed for the
+    non-supervised paths. *)
 
 val create : domains:int -> t
 (** [create ~domains] spawns [max 1 domains - 1] worker domains.  The
@@ -35,6 +50,20 @@ val size : t -> int
 val shutdown : t -> unit
 (** Stop and join the workers.  The pool remains usable afterwards but
     runs everything inline.  Idempotent. *)
+
+(** {1 Supervision} *)
+
+val supervise : t -> unit
+(** Join and respawn every worker domain that has died.  Runs
+    automatically at each submission; call it explicitly to heal the pool
+    eagerly (e.g. from a serving loop's idle path).  Driver domain only,
+    with no task in flight. *)
+
+val worker_deaths : t -> int
+(** Cumulative count of worker domains that crashed. *)
+
+val respawns : t -> int
+(** Cumulative count of worker domains respawned by supervision. *)
 
 (** {1 The default pool}
 

@@ -3,7 +3,10 @@ module Clock = Qcr_obs.Clock
 module Obs = Qcr_obs.Obs
 module Json = Qcr_obs.Json
 module Lru = Qcr_util.Lru
+module Prng = Qcr_util.Prng
+module Digest64 = Qcr_util.Digest64
 module Pool = Qcr_par.Pool
+module Fault = Qcr_fault.Fault
 module Request = Compile_request
 module Reply = Compile_reply
 
@@ -13,6 +16,8 @@ let c_hit = Obs.counter "service.cache.hit"
 
 let c_miss = Obs.counter "service.cache.miss"
 
+let c_corrupt = Obs.counter "service.cache.corrupt"
+
 let c_degraded = Obs.counter "service.degraded"
 
 let c_timeout = Obs.counter "service.timeout"
@@ -21,63 +26,140 @@ let c_error = Obs.counter "service.error"
 
 let c_attempt = Obs.counter "service.tier_attempts"
 
+let c_retry = Obs.counter "service.retries"
+
+let c_breaker_trip = Obs.counter "service.breaker.trips"
+
+let c_breaker_skip = Obs.counter "service.breaker.skips"
+
+let c_boundary = Obs.counter "service.boundary_catches"
+
+(* Injection points: a [service.tier] crash fails one compile attempt, a
+   [cache.get]/[cache.put] corruption flips a byte of the entry bytes
+   the digest check guards. *)
+let tier_point = Fault.point "service.tier"
+
+let cache_get_point = Fault.point "cache.get"
+
+let cache_put_point = Fault.point "cache.put"
+
 type stats = {
   requests : int;
   cache_hits : int;
   cache_misses : int;
+  cache_corrupt : int;
   served_ok : int;
   degraded : int;
   timeouts : int;
   errors : int;
+  retries : int;
+  breaker_trips : int;
 }
 
 let zero_stats =
-  { requests = 0; cache_hits = 0; cache_misses = 0; served_ok = 0; degraded = 0; timeouts = 0; errors = 0 }
+  {
+    requests = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_corrupt = 0;
+    served_ok = 0;
+    degraded = 0;
+    timeouts = 0;
+    errors = 0;
+    retries = 0;
+    breaker_trips = 0;
+  }
 
 let stats_sub a b =
   {
     requests = a.requests - b.requests;
     cache_hits = a.cache_hits - b.cache_hits;
     cache_misses = a.cache_misses - b.cache_misses;
+    cache_corrupt = a.cache_corrupt - b.cache_corrupt;
     served_ok = a.served_ok - b.served_ok;
     degraded = a.degraded - b.degraded;
     timeouts = a.timeouts - b.timeouts;
     errors = a.errors - b.errors;
+    retries = a.retries - b.retries;
+    breaker_trips = a.breaker_trips - b.breaker_trips;
   }
 
-let stats_to_json s =
+let stats_to_json ?breakers s =
   let int_field n v = (n, Json.Num (float_of_int v)) in
   Json.Obj
-    [
-      int_field "requests" s.requests;
-      int_field "cache_hits" s.cache_hits;
-      int_field "cache_misses" s.cache_misses;
-      int_field "served_ok" s.served_ok;
-      int_field "degraded" s.degraded;
-      int_field "timeouts" s.timeouts;
-      int_field "errors" s.errors;
-    ]
+    ([
+       int_field "requests" s.requests;
+       int_field "cache_hits" s.cache_hits;
+       int_field "cache_misses" s.cache_misses;
+       int_field "cache_corrupt" s.cache_corrupt;
+       int_field "served_ok" s.served_ok;
+       int_field "degraded" s.degraded;
+       int_field "timeouts" s.timeouts;
+       int_field "errors" s.errors;
+       int_field "retries" s.retries;
+       int_field "breaker_trips" s.breaker_trips;
+     ]
+    @
+    match breakers with
+    | None -> []
+    | Some states ->
+        [ ("breakers", Json.Obj (List.map (fun (tier, st) -> (tier, Json.Str st)) states)) ])
 
-(* Tier indices for the cost model. *)
+(* Tier indices for the cost model and the circuit breakers. *)
 let tier_index = function
   | Request.Portfolio -> 0
   | Request.Ours -> 1
   | Request.Greedy -> 2
   | Request.Ata -> 3
 
+let tier_names = [| "portfolio"; "ours"; "greedy"; "ata" |]
+
+(* Per-tier circuit breaker.  Closed counts the consecutive-failure
+   streak; at [threshold] it opens for [cooldown_s] seconds of the
+   service clock, during which the tier is skipped (the ladder moves on
+   to cheaper tiers).  Once cooled it half-opens: attempts are admitted
+   as probes, one success recloses it, one failure reopens it. *)
+type breaker_state =
+  | Closed
+  | Open of float (* reopens for probing at this clock reading *)
+  | Half_open
+
+type breaker = {
+  mutable b_state : breaker_state;
+  mutable streak : int; (* consecutive failures while closed *)
+  mutable trips : int; (* cumulative open transitions *)
+}
+
+type entry = {
+  e_reply : Reply.t;
+  canon : string; (* canonical serialized body, the digested bytes *)
+  digest : string;
+}
+
 type t = {
-  cache : Reply.t Lru.t;
-  lock : Mutex.t;  (* guards [cache] and [costs]; stats mutate on the
-                      driver domain only *)
+  cache : entry Lru.t;
+  lock : Mutex.t;  (* guards [cache], [costs], [breakers] and
+                      [retry_rng]; stats mutate on the driver domain
+                      only, except [retries_total] (atomic) *)
   clock : Clock.t;
   astar_budget : int;
   on_attempt : Request.mode -> unit;
   costs : float array;  (* EWMA compile seconds per program edge, per tier *)
+  breakers : breaker array;
+  retries : int;
+  backoff_s : float;
+  breaker_threshold : int;
+  breaker_cooldown_s : float;
+  sleep : float -> unit;
+  retry_rng : Prng.t; (* jitter stream, seeded: backoff is reproducible *)
+  retries_total : int Atomic.t;
   mutable st : stats;
 }
 
 let create ?(cache_capacity = 512) ?(clock = Clock.wall) ?(astar_budget = 30_000)
-    ?(on_attempt = fun _ -> ()) () =
+    ?(on_attempt = fun _ -> ()) ?(retries = 2) ?(backoff_s = 0.005) ?(breaker_threshold = 5)
+    ?(breaker_cooldown_s = 30.0) ?(retry_seed = 0x51ee7)
+    ?(sleep = fun s -> if s > 0.0 then Unix.sleepf s) () =
   {
     cache = Lru.create ~capacity:cache_capacity;
     lock = Mutex.create ();
@@ -85,14 +167,66 @@ let create ?(cache_capacity = 512) ?(clock = Clock.wall) ?(astar_budget = 30_000
     astar_budget;
     on_attempt;
     costs = Array.make 4 0.0;
+    breakers = Array.init 4 (fun _ -> { b_state = Closed; streak = 0; trips = 0 });
+    retries = max 0 retries;
+    backoff_s = Float.max 0.0 backoff_s;
+    breaker_threshold = max 1 breaker_threshold;
+    breaker_cooldown_s = Float.max 0.0 breaker_cooldown_s;
+    sleep;
+    retry_rng = Prng.create retry_seed;
+    retries_total = Atomic.make 0;
     st = zero_stats;
   }
-
-let stats t = t.st
 
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let breaker_trips t =
+  locked t (fun () -> Array.fold_left (fun acc b -> acc + b.trips) 0 t.breakers)
+
+let stats t =
+  { t.st with retries = Atomic.get t.retries_total; breaker_trips = breaker_trips t }
+
+let state_name = function Closed -> "closed" | Open _ -> "open" | Half_open -> "half_open"
+
+let breaker_states t =
+  locked t (fun () ->
+      Array.to_list (Array.mapi (fun i b -> (tier_names.(i), state_name b.b_state)) t.breakers))
+
+(* Breaker transitions; [now] is a reading of the service clock. *)
+let breaker_admits t tier now =
+  locked t (fun () ->
+      let b = t.breakers.(tier_index tier) in
+      match b.b_state with
+      | Closed | Half_open -> true
+      | Open until when now >= until ->
+          b.b_state <- Half_open;
+          true
+      | Open _ -> false)
+
+let breaker_success t tier =
+  locked t (fun () ->
+      let b = t.breakers.(tier_index tier) in
+      b.b_state <- Closed;
+      b.streak <- 0)
+
+let breaker_failure t tier now =
+  locked t (fun () ->
+      let b = t.breakers.(tier_index tier) in
+      b.streak <- b.streak + 1;
+      match b.b_state with
+      | Half_open ->
+          (* the probe failed: straight back to open *)
+          b.b_state <- Open (now +. t.breaker_cooldown_s);
+          b.trips <- b.trips + 1;
+          Obs.incr c_breaker_trip
+      | Closed when b.streak >= t.breaker_threshold ->
+          b.b_state <- Open (now +. t.breaker_cooldown_s);
+          b.trips <- b.trips + 1;
+          b.streak <- 0;
+          Obs.incr c_breaker_trip
+      | Closed | Open _ -> ())
 
 (* Degradation ladder (portfolio -> full system -> pure greedy); rigid
    ATA requests have no meaningful cheaper tier. *)
@@ -110,11 +244,34 @@ let observe_cost t tier ~edges seconds =
       let i = tier_index tier in
       t.costs.(i) <- (if t.costs.(i) = 0.0 then per_edge else 0.5 *. (t.costs.(i) +. per_edge)))
 
-(* Walk the ladder.  Admission is predictive: a tier runs only when the
-   cost model says it fits the remaining budget (the first attempt of a
-   tier is always admitted — its cost is still unknown).  A tier that
-   completes past its deadline is discarded: its timing feeds the model,
-   and the walk continues with the cheaper tiers. *)
+let backtrace_suffix bt = if bt = "" then "" else "\n" ^ bt
+
+(* One compile attempt behind the [service.tier] fault point; any
+   exception (an injected crash, or anything [Pipeline.run]'s own
+   capture missed) comes back as a typed [Internal] with the backtrace. *)
+let attempt_once pipeline_req =
+  try
+    Fault.fire tier_point;
+    Pipeline.run pipeline_req
+  with
+  | (Out_of_memory | Stack_overflow) as e -> raise e
+  | e ->
+      let bt = Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ()) in
+      Error (Pipeline.Internal (Printexc.to_string e ^ backtrace_suffix bt))
+
+(* Seeded exponential backoff with full jitter: attempt [k] (0-based)
+   waits [backoff_s * 2^k * u], u uniform in [1, 2). *)
+let backoff_delay t k =
+  let u = locked t (fun () -> 1.0 +. Prng.float t.retry_rng 1.0) in
+  t.backoff_s *. Float.of_int (1 lsl k) *. u
+
+(* Walk the ladder.  Admission is predictive: a tier runs only when its
+   breaker allows it and the cost model says it fits the remaining
+   budget (the first attempt of a tier is always admitted — its cost is
+   still unknown).  A tier that completes past its deadline is
+   discarded: its timing feeds the model, and the walk continues with
+   the cheaper tiers.  Transient ([Internal]) failures retry with
+   backoff, feed the breaker, and fall through to the next tier. *)
 let compile_cold t (req : Request.t) key =
   let t0 = Clock.now t.clock in
   let deadline = Option.map (fun d -> t0 +. d) req.Request.deadline_s in
@@ -129,44 +286,70 @@ let compile_cold t (req : Request.t) key =
       compile_ms = (Clock.now t.clock -. t0) *. 1000.0;
     }
   in
-  let rec attempt = function
-    | [] ->
-        reply
-          (Reply.Failed
-             (match req.Request.deadline_s with
+  let exhausted last_err =
+    reply
+      (Reply.Failed
+         (match last_err with
+         | Some e -> e
+         | None -> (
+             match req.Request.deadline_s with
              | Some deadline_s -> Pipeline.Timeout { deadline_s }
-             | None -> Pipeline.Internal "degradation ladder exhausted"))
+             | None -> Pipeline.Internal "degradation ladder exhausted")))
+  in
+  let rec attempt last_err = function
+    | [] -> exhausted last_err
     | tier :: rest -> (
         let now = Clock.now t.clock in
-        let admitted =
-          match deadline with
-          | None -> true
-          | Some d -> now < d && now +. predicted_cost t tier ~edges <= d
-        in
-        if not admitted then attempt rest
-        else begin
-          t.on_attempt tier;
-          Obs.incr c_attempt;
-          let arch = Request.arch_of req in
-          let pipeline_req =
-            Pipeline.Request.make ~config:(Request.config_of req)
-              ?noise:(Request.noise_of req arch)
-              ~mode:(Request.pipeline_mode ~astar_budget:t.astar_budget { req with Request.mode = tier })
-              arch (Request.program_of req)
+        if not (breaker_admits t tier now) then begin
+          Obs.incr c_breaker_skip;
+          attempt last_err rest
+        end
+        else
+          let admitted =
+            match deadline with
+            | None -> true
+            | Some d -> now < d && now +. predicted_cost t tier ~edges <= d
           in
-          let t_start = Clock.now t.clock in
-          let outcome = Pipeline.run pipeline_req in
-          let t_end = Clock.now t.clock in
-          observe_cost t tier ~edges (t_end -. t_start);
-          match outcome with
-          | Error e -> reply (Reply.Failed e)
-          | Ok res -> (
-              match deadline with
-              | Some d when t_end > d -> attempt rest
-              | _ -> reply (Reply.Compiled { mode = tier; metrics = Reply.metrics_of_result res }))
-        end)
+          if not admitted then attempt last_err rest
+          else begin
+            let arch = Request.arch_of req in
+            let pipeline_req =
+              Pipeline.Request.make ~config:(Request.config_of req)
+                ?noise:(Request.noise_of req arch)
+                ~mode:(Request.pipeline_mode ~astar_budget:t.astar_budget { req with Request.mode = tier })
+                arch (Request.program_of req)
+            in
+            let rec try_tier k =
+              t.on_attempt tier;
+              Obs.incr c_attempt;
+              let t_start = Clock.now t.clock in
+              let outcome = attempt_once pipeline_req in
+              let t_end = Clock.now t.clock in
+              observe_cost t tier ~edges (t_end -. t_start);
+              match outcome with
+              | Error (Pipeline.Internal _) when k < t.retries ->
+                  Obs.incr c_retry;
+                  Atomic.incr t.retries_total;
+                  t.sleep (backoff_delay t k);
+                  try_tier (k + 1)
+              | outcome -> (outcome, t_end)
+            in
+            match try_tier 0 with
+            | Error (Pipeline.Invalid_request _ as e), _ ->
+                (* deterministic rejection: no cheaper tier can fix it,
+                   and it says nothing about the tier's health *)
+                reply (Reply.Failed e)
+            | Error e, t_end ->
+                breaker_failure t tier t_end;
+                attempt (Some e) rest
+            | Ok res, t_end -> (
+                breaker_success t tier;
+                match deadline with
+                | Some d when t_end > d -> attempt last_err rest
+                | _ -> reply (Reply.Compiled { mode = tier; metrics = Reply.metrics_of_result res }))
+          end)
   in
-  attempt (ladder req.Request.mode)
+  attempt None (ladder req.Request.mode)
 
 (* A full-quality reply is the only thing worth caching: degraded and
    failed replies depend on the deadline, not just the content key. *)
@@ -174,6 +357,47 @@ let cacheable (r : Reply.t) =
   match r.Reply.outcome with
   | Reply.Compiled { mode; _ } -> mode = r.Reply.requested_mode
   | Reply.Failed _ -> false
+
+(* The digested canonical bytes: content only — no id, no timing, no
+   cache flag — so every hit can be checked against the digest computed
+   at insertion. *)
+let canonical_body (r : Reply.t) =
+  Json.to_string
+    (Reply.strip_volatile (Reply.to_json { r with Reply.id = ""; cached = false }))
+
+let entry_of_reply r =
+  let canon = canonical_body r in
+  { e_reply = r; canon; digest = Digest64.of_string canon }
+
+(* Insert through the [cache.put] fault point: a corruption mangles the
+   stored bytes so the digest check catches it on the next hit; a crash
+   skips caching but never loses the freshly compiled reply. *)
+let cache_put t key r =
+  if cacheable r then
+    try
+      let entry = entry_of_reply r in
+      let entry = { entry with canon = Fault.corrupt cache_put_point entry.canon } in
+      locked t (fun () -> Lru.add t.cache key entry)
+    with
+    | (Out_of_memory | Stack_overflow) as e -> raise e
+    | _ -> ()
+
+(* Look up through the [cache.get] fault point and validate: an entry
+   whose bytes no longer match their digest is evicted and the request
+   falls through to a fresh compile — a corrupted entry is never
+   served. *)
+let cache_get t key =
+  match locked t (fun () -> Lru.find t.cache key) with
+  | None -> None
+  | Some entry ->
+      let canon = Fault.corrupt cache_get_point entry.canon in
+      if Digest64.of_string canon = entry.digest then Some entry.e_reply
+      else begin
+        locked t (fun () -> Lru.remove t.cache key);
+        Obs.incr c_corrupt;
+        t.st <- { t.st with cache_corrupt = t.st.cache_corrupt + 1 };
+        None
+      end
 
 let count_outcome t (r : Reply.t) =
   let st = t.st in
@@ -211,7 +435,7 @@ let hit_reply (req : Request.t) (cached : Reply.t) started clock =
 
 (* Serve one request against the cache; [compiled] optionally supplies a
    pre-computed cold reply (the parallel batch path). *)
-let serve t (req : Request.t) ~compiled =
+let serve_exn t (req : Request.t) ~compiled =
   t.st <- { t.st with requests = t.st.requests + 1 };
   Obs.incr c_requests;
   let t0 = Clock.now t.clock in
@@ -222,7 +446,7 @@ let serve t (req : Request.t) ~compiled =
       invalid_reply req "" msg t0 t.clock
   | Ok () -> (
       let key = Request.cache_key req in
-      match locked t (fun () -> Lru.find t.cache key) with
+      match cache_get t key with
       | Some cached ->
           Obs.incr c_hit;
           t.st <- { t.st with cache_hits = t.st.cache_hits + 1 };
@@ -235,9 +459,38 @@ let serve t (req : Request.t) ~compiled =
             | Some r -> { r with Reply.id = req.Request.id }
             | None -> compile_cold t req key
           in
-          if cacheable reply then locked t (fun () -> Lru.add t.cache key reply);
+          cache_put t key reply;
           count_outcome t reply;
           reply)
+
+(* The catch-all boundary: whatever slips past the typed paths (an
+   injected clock crash, a bug) becomes an [Internal] reply carrying the
+   exception and its backtrace — the service never throws at a caller. *)
+let boundary_reply (req : Request.t) e =
+  let bt = Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ()) in
+  {
+    Reply.id = req.Request.id;
+    key = "";
+    requested_mode = req.Request.mode;
+    outcome =
+      Reply.Failed
+        (Pipeline.Internal
+           (Printf.sprintf "uncaught exception at service boundary: %s%s" (Printexc.to_string e)
+              (backtrace_suffix bt)));
+    cached = false;
+    compile_ms = 0.0;
+  }
+
+let serve t req ~compiled =
+  try serve_exn t req ~compiled
+  with
+  | (Out_of_memory | Stack_overflow) as e -> raise e
+  | e ->
+      let reply = boundary_reply req e in
+      Obs.incr c_boundary;
+      Obs.incr c_error;
+      t.st <- { t.st with errors = t.st.errors + 1 };
+      reply
 
 let submit t req = serve t req ~compiled:(fun _ -> None)
 
@@ -261,10 +514,22 @@ let run_batch t reqs =
             end)
       reqs
   in
+  (* Each cold compile is individually fenced, and the pool fan-out has
+     an inline fallback: a lost pool never loses a batch. *)
+  let compile_one (key, req) =
+    ( key,
+      try compile_cold t req key
+      with
+      | (Out_of_memory | Stack_overflow) as e -> raise e
+      | e ->
+          Obs.incr c_boundary;
+          { (boundary_reply req e) with Reply.key = key } )
+  in
   let compiled = Hashtbl.create 16 in
-  Pool.map_list (Pool.default ())
-    (fun (key, req) -> (key, compile_cold t req key))
-    cold
+  (try Pool.map_list (Pool.default ()) compile_one cold
+   with
+   | (Out_of_memory | Stack_overflow) as e -> raise e
+   | _ -> List.map compile_one cold)
   |> List.iter (fun (key, reply) -> Hashtbl.add compiled key reply);
   List.map
     (fun req ->
@@ -317,13 +582,13 @@ let requests_to_json reqs =
       ("requests", Json.Arr (List.map Request.to_json reqs));
     ]
 
-let replies_to_json ?passes ~domains ~stats replies =
+let replies_to_json ?passes ?breakers ~domains ~stats replies =
   Json.Obj
     ([
        ("schema", Json.Str replies_schema);
        ("domains", Json.Num (float_of_int domains));
        ("replies", Json.Arr (List.map Reply.to_json replies));
-       ("stats", stats_to_json stats);
+       ("stats", stats_to_json ?breakers stats);
      ]
     @
     match passes with

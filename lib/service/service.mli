@@ -5,7 +5,11 @@
     deadline-degradation policy.  Submitting a {!Compile_request.t}
     yields a {!Compile_reply.t} — always, by construction: validation
     failures, deadline expiry and internal exceptions all come back as
-    typed error replies, never as exceptions across this boundary.
+    typed error replies, never as exceptions across this boundary.  A
+    catch-all at the boundary converts anything that slips past the
+    typed paths (including injected faults) into an [Internal] reply
+    carrying the exception and its backtrace; only [Out_of_memory] and
+    [Stack_overflow] re-raise.
 
     {b Caching.}  Requests are canonicalized into a content-addressed
     {!Compile_request.cache_key}; a repeat is served from the LRU cache
@@ -13,7 +17,10 @@
     [service.cache.hit]/[service.cache.miss] [Qcr_obs] counters).  Only
     full-quality replies — compiled at the requested tier, not degraded —
     are cached, so a cache hit is always bit-identical to what a cold
-    deadline-free compile would have produced.
+    deadline-free compile would have produced.  Entries carry a digest of
+    their canonical bytes, validated on every hit: a corrupted entry
+    (e.g. via the [cache.get]/[cache.put] {!Qcr_fault.Fault} points) is
+    evicted and recompiled, never served.
 
     {b Batching.}  {!run_batch} fans the distinct cold keys of a batch
     over the default {!Qcr_par.Pool} and assembles replies sequentially
@@ -32,7 +39,18 @@
     trade reply determinism for bounded latency; deadline-free requests
     stay fully deterministic.  All timing flows through the service's
     {!Qcr_obs.Clock.t}, so the whole ladder is drivable by a fake clock
-    in tests. *)
+    in tests.
+
+    {b Resilience.}  Each compile attempt runs behind the [service.tier]
+    fault point.  Transient ([Internal]) failures retry up to [retries]
+    times with seeded exponential backoff and full jitter before the
+    ladder falls through to the next tier, so the backoff schedule is
+    reproducible.  Each tier has a circuit breaker: [breaker_threshold]
+    consecutive failures open it for [breaker_cooldown_s] seconds of the
+    service clock, during which the tier is skipped; after cooling it
+    half-opens and a single probe attempt recloses it (success) or
+    reopens it (failure).  Breaker states are exported via
+    {!breaker_states} and the [breakers] field of {!stats_to_json}. *)
 
 type t
 
@@ -40,11 +58,15 @@ type stats = {
   requests : int;
   cache_hits : int;
   cache_misses : int;
+  cache_corrupt : int;  (** digest-validation failures: entries evicted
+                            instead of served *)
   served_ok : int;  (** compiled cold at the requested tier (cache hits
                         count under [cache_hits] only) *)
   degraded : int;  (** compiled at a cheaper tier under deadline pressure *)
   timeouts : int;
   errors : int;  (** invalid requests and captured internal errors *)
+  retries : int;  (** compile attempts re-run after a transient failure *)
+  breaker_trips : int;  (** closed/half-open → open transitions, all tiers *)
 }
 
 val zero_stats : stats
@@ -52,28 +74,47 @@ val zero_stats : stats
 val stats_sub : stats -> stats -> stats
 (** Fieldwise [after - before]: the delta of one pass. *)
 
-val stats_to_json : stats -> Qcr_obs.Json.t
+val stats_to_json : ?breakers:(string * string) list -> stats -> Qcr_obs.Json.t
+(** [breakers] (as produced by {!breaker_states}) adds a ["breakers"]
+    object mapping tier name to ["closed"]/["open"]/["half_open"]. *)
 
 val create :
   ?cache_capacity:int ->
   ?clock:Qcr_obs.Clock.t ->
   ?astar_budget:int ->
   ?on_attempt:(Compile_request.mode -> unit) ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_s:float ->
+  ?retry_seed:int ->
+  ?sleep:(float -> unit) ->
   unit ->
   t
 (** Defaults: 512 cached replies, {!Qcr_obs.Clock.wall}, 30000 A* node
-    expansions for the portfolio arm.  [on_attempt] runs immediately
-    before each tier attempt (after admission) — an instrumentation seam
-    that deadline tests use to advance a fake clock by a simulated
-    per-tier cost. *)
+    expansions for the portfolio arm, 2 retries with a 5 ms backoff
+    base, breakers opening after 5 consecutive failures for 30 s.
+    [on_attempt] runs immediately before each tier attempt (after
+    admission), including retries — an instrumentation seam that deadline
+    tests use to advance a fake clock by a simulated per-tier cost.
+    [sleep] (default [Unix.sleepf]) performs the backoff wait, so tests
+    can run retry schedules instantly; [retry_seed] seeds the jitter
+    stream. *)
 
 val submit : t -> Compile_request.t -> Compile_reply.t
 
 val run_batch : t -> Compile_request.t list -> Compile_reply.t list
-(** Replies in request order; distinct cold keys compile in parallel. *)
+(** Replies in request order; distinct cold keys compile in parallel.
+    If the pool itself fails (e.g. {!Qcr_par.Pool.Worker_lost} surfacing
+    through a combinator), the batch falls back to compiling inline on
+    the submitting domain — a lost pool never loses a batch. *)
 
 val stats : t -> stats
 (** Cumulative over the service's lifetime. *)
+
+val breaker_states : t -> (string * string) list
+(** Current breaker state per tier, [(tier, "closed"|"open"|"half_open")],
+    in ladder order portfolio, ours, greedy, ata. *)
 
 (** {1 Wire format}
 
@@ -92,9 +133,11 @@ val requests_to_json : Compile_request.t list -> Qcr_obs.Json.t
 
 val replies_to_json :
   ?passes:stats list ->
+  ?breakers:(string * string) list ->
   domains:int ->
   stats:stats ->
   Compile_reply.t list ->
   Qcr_obs.Json.t
 (** [passes] records per-pass stat deltas when the same batch ran several
-    times through one service (the CLI's [--repeat]). *)
+    times through one service (the CLI's [--repeat]); [breakers] embeds
+    the final breaker states in the top-level stats object. *)
