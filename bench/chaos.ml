@@ -9,10 +9,17 @@
      3. every full-quality reply (compiled at the requested tier) is
         bit-identical to the fault-free reference run.
 
+   A second phase soaks the disk-backed cache store: segments are
+   physically damaged (flipped bytes, truncated tails) and the
+   [cache.load]/[cache.flush] fault points armed between warm restarts,
+   asserting damaged records are evicted and recompiled — never served,
+   never fatal — and that flushes self-heal the directory.
+
    The report goes to BENCH_chaos.json: invariant verdicts, outcome
    counts, service resilience stats (retries, breaker trips, corrupt
-   evictions), the per-point fault table and pool supervision counts.
-   Any violated invariant exits non-zero, so CI can gate on it. *)
+   evictions), the per-point fault table, pool supervision counts and
+   the persist-soak verdicts.  Any violated invariant exits non-zero,
+   so CI can gate on it. *)
 
 module Arch = Qcr_arch.Arch
 module Graph = Qcr_graph.Graph
@@ -23,6 +30,7 @@ module Json = Qcr_obs.Json
 module Fault = Qcr_fault.Fault
 module Pool = Qcr_par.Pool
 module Service = Qcr_service.Service
+module Cache_store = Qcr_service.Cache_store
 module Compile_request = Qcr_service.Compile_request
 module Compile_reply = Qcr_service.Compile_reply
 
@@ -68,6 +76,145 @@ let full_quality (r : Compile_reply.t) =
    arming, exercising respawn.  All streams derive from seed=11. *)
 let soak_spec =
   "seed=11,service.tier:crash:p=0.25,cache.get:corrupt:p=0.2,cache.put:corrupt:p=0.15,pool.worker:crash:nth=1"
+
+(* ---------- persist soak: the disk-backed store under damage ----------
+
+   Fill a cache directory from a fault-free run, then for [rounds] rounds
+   alternate physical damage (a flipped byte or a truncated tail in a
+   segment file) with injected [cache.load]/[cache.flush] faults, reopen
+   the directory in a fresh service each round (a process restart), and
+   replay the batch.  Invariants:
+
+     - damaged records are evicted and recompiled, never served: every
+       full-quality reply stays bit-identical to the reference,
+     - nothing escapes: physical corruption, injected load corruption
+       and injected flush crashes all surface as counters and [Error]s,
+     - the store self-heals: each round's flush re-appends what damage
+       removed, and a final clean reopen serves the whole batch from
+       the warm cache. *)
+let persist_soak ~rounds batch expected =
+  Common.with_temp_dir "qcr-chaos-persist" @@ fun dir ->
+  Fault.disarm ();
+  let open_store () =
+    match Cache_store.open_dir dir with Ok s -> s | Error e -> failwith ("open_dir: " ^ e)
+  in
+  let seed_service = Service.create ~store:(open_store ()) () in
+  ignore (Service.run_batch seed_service batch);
+  (match Service.flush seed_service with
+  | Ok _ -> ()
+  | Error e -> failwith ("seed flush: " ^ e));
+  let n_requests = List.length batch in
+  let rng = Prng.create 1107 in
+  let escaped = ref [] in
+  let mismatches = ref 0 in
+  let ok_compared = ref 0 in
+  let corrupt_total = ref 0 in
+  let recompiles = ref 0 in
+  let flush_errors = ref 0 in
+  let damage round =
+    let segs =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".qcs")
+      |> List.sort compare
+    in
+    match segs with
+    | [] -> ()
+    | segs -> (
+        let seg = Filename.concat dir (List.nth segs (Prng.int rng (List.length segs))) in
+        let data = Common.read_file seg in
+        match round mod 3 with
+        | 1 when String.length data > 0 ->
+            (* flip one byte anywhere: body or digest damage fails the
+               digest check; key damage fails the service-side key
+               check; header damage abandons the segment tail *)
+            let b = Bytes.of_string data in
+            let i = Prng.int rng (Bytes.length b) in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+            Common.write_file seg (Bytes.to_string b)
+        | 0 -> Common.write_file seg (String.sub data 0 (String.length data * 3 / 5))
+        | _ -> () (* injected faults only this round *))
+  in
+  for round = 1 to rounds do
+    match
+      damage round;
+      if round mod 2 = 0 then begin
+        let spec_str =
+          Printf.sprintf "seed=%d,cache.load:corrupt:p=0.2,cache.flush:crash:nth=%d"
+            (1200 + round)
+            (1 + (round mod 5))
+        in
+        match Fault.spec_of_string spec_str with
+        | Ok s -> Fault.arm s
+        | Error e -> failwith e
+      end
+      else Fault.disarm ();
+      let service = Service.create ~store:(open_store ()) () in
+      let replies = Service.run_batch service batch in
+      List.iter
+        (fun (r : Compile_reply.t) ->
+          if full_quality r then begin
+            incr ok_compared;
+            match Hashtbl.find_opt expected r.Compile_reply.key with
+            | Some d when d = reply_digest r -> ()
+            | Some _ | None -> incr mismatches
+          end)
+        replies;
+      let st = Service.stats service in
+      corrupt_total := !corrupt_total + st.Service.cache_corrupt;
+      recompiles := !recompiles + st.Service.cache_misses;
+      (* self-heal: re-append whatever the damage removed; an injected
+         flush crash must surface as [Error], never corrupt state, and
+         the disarmed retry must succeed *)
+      (match Service.flush service with
+      | Ok _ -> ()
+      | Error _ -> (
+          incr flush_errors;
+          Fault.disarm ();
+          match Service.flush service with
+          | Ok _ -> ()
+          | Error e -> failwith ("flush retry: " ^ e)))
+    with
+    | () -> ()
+    | exception e ->
+        escaped := Printf.sprintf "persist round %d: %s" round (Printexc.to_string e) :: !escaped
+  done;
+  Fault.disarm ();
+  (* convergence: a clean reopen serves the whole batch warm *)
+  let final_service = Service.create ~store:(open_store ()) () in
+  let final_replies = Service.run_batch final_service batch in
+  let final_st = Service.stats final_service in
+  let final_identical =
+    List.for_all
+      (fun (r : Compile_reply.t) ->
+        (not (full_quality r))
+        || Hashtbl.find_opt expected r.Compile_reply.key = Some (reply_digest r))
+      final_replies
+  in
+  let healed = final_st.Service.cache_hits = n_requests && final_identical in
+  let no_escape = !escaped = [] in
+  let bit_identical = !mismatches = 0 in
+  let observed = !corrupt_total > 0 in
+  Printf.printf
+    "  persist: %d rounds | corrupt=%d recompiles=%d flush-errors=%d mismatches=%d healed=%b\n%!"
+    rounds !corrupt_total !recompiles !flush_errors !mismatches healed;
+  ( no_escape && bit_identical && observed && healed,
+    Json.Obj
+      [
+        ("rounds", Json.Num (float_of_int rounds));
+        ( "invariants",
+          Json.Obj
+            [
+              ("no_escaped_exceptions", Json.Bool no_escape);
+              ("ok_replies_bit_identical", Json.Bool bit_identical);
+              ("corruption_observed", Json.Bool observed);
+              ("self_heals", Json.Bool healed);
+            ] );
+        ("escaped", Json.Arr (List.rev_map (fun e -> Json.Str e) !escaped));
+        ("ok_replies_compared", Json.Num (float_of_int !ok_compared));
+        ("corrupt_evictions", Json.Num (float_of_int !corrupt_total));
+        ("recompiles", Json.Num (float_of_int !recompiles));
+        ("flush_errors", Json.Num (float_of_int !flush_errors));
+      ] )
 
 let run scale =
   Common.heading "Chaos soak: batch service under injected faults (BENCH_chaos.json)";
@@ -150,7 +297,8 @@ let run scale =
   let st = Service.stats service in
   let no_escape = !escaped = [] in
   let bit_identical = !mismatches = 0 in
-  let ok = no_escape && !order_ok && bit_identical in
+  let persist_ok, persist_row = persist_soak ~rounds batch expected in
+  let ok = no_escape && !order_ok && bit_identical && persist_ok in
   Printf.printf
     "  %d rounds x %d requests in %.1f ms | escapes=%d order_ok=%b ok-replies=%d mismatches=%d\n%!"
     rounds n_requests wall_ms (List.length !escaped) !order_ok !ok_compared !mismatches;
@@ -162,7 +310,7 @@ let run scale =
   Json.to_file output_file
     (Json.Obj
        [
-         ("schema", Json.Str "qcr-bench-chaos/v1");
+         ("schema", Json.Str "qcr-bench-chaos/v2");
          ("generated_by", Json.Str "dune exec bench/main.exe -- chaos");
          ( "scale",
            Json.Str
@@ -206,6 +354,7 @@ let run scale =
                ("worker_deaths", Json.Num (float_of_int deaths));
                ("respawns", Json.Num (float_of_int respawns));
              ] );
+         ("persist", persist_row);
        ]);
   Printf.printf "  wrote %s\n%!" output_file;
   if not ok then begin

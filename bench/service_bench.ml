@@ -1,11 +1,23 @@
-(* Compilation-service benchmark: push a batch of mixed requests (sizes,
-   devices, modes, with duplicates) through one [Qcr_service.Service]
-   twice — a cold pass that fills the content-addressed compile cache and
-   a warm pass served from it — and record throughput and hit rate to
-   BENCH_service.json.  The replies digest witnesses determinism: it must
-   be identical across passes and for every QCR_DOMAINS value.  The
-   committed baseline lives in bench/baselines/BENCH_service.json and is
-   generated with [QCR_DOMAINS=1]. *)
+(* Compilation-service benchmark, three sections into BENCH_service.json:
+
+   - cold/warm: push a batch of mixed requests (sizes, devices, modes,
+     with duplicates) through one [Qcr_service.Service] twice — a cold
+     pass that fills the content-addressed compile cache and a warm pass
+     served from it — recording throughput and hit rate.  The replies
+     digest witnesses determinism: it must be identical across passes
+     and for every QCR_DOMAINS value.
+   - contention: hammer a raw [Qcr_util.Sharded_cache] from explicit
+     domain pools, crossing shards {1, 16} with domains {1, 4}; the
+     single-shard rows are the old single-lock cache's behaviour, so the
+     16-shard/4-domain speedup over 1-shard/4-domain is the win the
+     sharding buys under load.
+   - restart: fill a store-backed service, flush, reopen the same
+     directory in a fresh service and replay — measuring cold vs
+     warm-restart p99 submit latency and asserting the warm pass is
+     all hits and bit-identical.
+
+   The committed baseline lives in bench/baselines/BENCH_service.json
+   and is generated with [QCR_DOMAINS=1]. *)
 
 module Arch = Qcr_arch.Arch
 module Graph = Qcr_graph.Graph
@@ -14,8 +26,11 @@ module Prng = Qcr_util.Prng
 module Digest64 = Qcr_util.Digest64
 module Json = Qcr_obs.Json
 module Service = Qcr_service.Service
+module Cache_store = Qcr_service.Cache_store
 module Compile_request = Qcr_service.Compile_request
 module Compile_reply = Qcr_service.Compile_reply
+module Sharded_cache = Qcr_util.Sharded_cache
+module Pool = Qcr_par.Pool
 
 let output_file = "BENCH_service.json"
 
@@ -63,6 +78,104 @@ let semantic_digest replies =
 
 let stats_fields (s : Service.stats) = Service.stats_to_json s
 
+(* ---------- contention: sharded vs single-lock under domain pools ---------- *)
+
+(* A find-heavy synthetic load (1 add per 64 finds over 256 hot keys —
+   the shape of warm serving traffic) against the cache itself, no
+   compilation, so wall time is pure lock-and-lookup cost. *)
+let contention_keys = Array.init 256 (fun i -> Printf.sprintf "bench-key-%032d" i)
+
+let hammer cache ~ops ~lo =
+  for i = lo to lo + ops - 1 do
+    let key = contention_keys.(((i * 7) + (i lsr 5)) mod Array.length contention_keys) in
+    if i mod 64 = 63 then Sharded_cache.add cache key key
+    else ignore (Sharded_cache.find cache key)
+  done
+
+let contention_row ~shards ~domains ~ops =
+  let cache =
+    Sharded_cache.create ~shards ~weight:String.length ~capacity:(Array.length contention_keys) ()
+  in
+  Array.iter (fun key -> Sharded_cache.add cache key key) contention_keys;
+  let pool = Pool.create ~domains in
+  (* one warm-up chunk so domain spawn cost stays out of the timing *)
+  Pool.for_range pool ~chunks:domains ~lo:0 ~hi:domains (fun lo hi ->
+      ignore (lo, hi));
+  let t0 = Unix.gettimeofday () in
+  Pool.for_range pool ~chunks:domains ~lo:0 ~hi:ops (fun lo hi ->
+      hammer cache ~ops:(hi - lo) ~lo);
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  Pool.shutdown pool;
+  let ops_per_s = float_of_int ops /. (wall_ms /. 1000.0) in
+  Printf.printf "  contention: shards=%2d domains=%d  %9d ops in %8.2f ms  %12.0f ops/s\n%!"
+    shards domains ops wall_ms ops_per_s;
+  ( (shards, domains, ops_per_s),
+    Json.Obj
+      [
+        ("shards", Json.Num (float_of_int shards));
+        ("domains", Json.Num (float_of_int domains));
+        ("ops", Json.Num (float_of_int ops));
+        ("wall_ms", Json.Num wall_ms);
+        ("ops_per_s", Json.Num ops_per_s);
+      ] )
+
+(* ---------- restart: cold start vs warm restart from disk ---------- *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let timed_submits service batch =
+  let lat =
+    List.map
+      (fun req ->
+        let t0 = Unix.gettimeofday () in
+        let reply = Service.submit service req in
+        ((Unix.gettimeofday () -. t0) *. 1000.0, reply))
+      batch
+  in
+  let samples = Array.of_list (List.map fst lat) in
+  Array.sort compare samples;
+  (samples, List.map snd lat)
+
+let restart_section batch =
+  Common.with_temp_dir "qcr-bench-restart" @@ fun dir ->
+  let store ()  =
+    match Cache_store.open_dir dir with Ok s -> s | Error e -> failwith e
+  in
+  let n_requests = List.length batch in
+  let cold_service = Service.create ~store:(store ()) () in
+  let cold_lat, cold_replies = timed_submits cold_service batch in
+  let persisted = match Service.flush cold_service with Ok n -> n | Error e -> failwith e in
+  (* a fresh handle on the same directory: this is the process restart *)
+  let warm_store = store () in
+  let loaded = Cache_store.persisted warm_store in
+  let warm_service = Service.create ~store:warm_store () in
+  let warm_lat, warm_replies = timed_submits warm_service batch in
+  let warm_stats = Service.stats warm_service in
+  let hit_rate = float_of_int warm_stats.Service.cache_hits /. float_of_int (max 1 n_requests) in
+  let identical = semantic_digest cold_replies = semantic_digest warm_replies in
+  if not identical then
+    Printf.printf "  WARNING: warm-restart replies differ from the run that filled the cache\n%!";
+  let cold_p99 = percentile cold_lat 0.99 and warm_p99 = percentile warm_lat 0.99 in
+  Printf.printf
+    "  restart: persisted %d, loaded %d | cold p99 %8.3f ms  warm-restart p99 %8.3f ms  hits \
+     %.0f%%\n\
+     %!"
+    persisted loaded cold_p99 warm_p99 (100.0 *. hit_rate);
+  Json.Obj
+    [
+      ("requests", Json.Num (float_of_int n_requests));
+      ("persisted", Json.Num (float_of_int persisted));
+      ("loaded", Json.Num (float_of_int loaded));
+      ("cold_p50_ms", Json.Num (percentile cold_lat 0.50));
+      ("cold_p99_ms", Json.Num cold_p99);
+      ("warm_p50_ms", Json.Num (percentile warm_lat 0.50));
+      ("warm_p99_ms", Json.Num warm_p99);
+      ("warm_hit_rate", Json.Num hit_rate);
+      ("bit_identical", Json.Bool identical);
+    ]
+
 let run scale =
   Common.heading "Compilation service: cold vs warm batch (BENCH_service.json)";
   let unique, dup_factor =
@@ -99,6 +212,22 @@ let run scale =
   let warm_replies, warm_row = timed_pass "warm" in
   let identical = semantic_digest cold_replies = semantic_digest warm_replies in
   if not identical then Printf.printf "  WARNING: warm replies differ from cold replies\n%!";
+  let contention_ops =
+    match scale with Common.Quick -> 100_000 | Common.Default -> 1_000_000 | Common.Full -> 4_000_000
+  in
+  let contention =
+    List.map
+      (fun (shards, domains) -> contention_row ~shards ~domains ~ops:contention_ops)
+      [ (1, 1); (16, 1); (1, 4); (16, 4) ]
+  in
+  let ops_at shards domains =
+    List.fold_left
+      (fun acc ((s, d, ops_per_s), _) -> if s = shards && d = domains then ops_per_s else acc)
+      0.0 contention
+  in
+  let speedup_4d = ops_at 16 4 /. ops_at 1 4 in
+  Printf.printf "  contention: sharded vs single-lock speedup at 4 domains: %.2fx\n%!" speedup_4d;
+  let restart = restart_section base in
   (* untimed counter pass on a fresh service, so the timed passes above
      ran with the telemetry sink off (comparable to the baseline) *)
   let _, counters =
@@ -107,7 +236,7 @@ let run scale =
   Json.to_file output_file
     (Json.Obj
        [
-         ("schema", Json.Str "qcr-bench-service/v1");
+         ("schema", Json.Str "qcr-bench-service/v2");
          ("generated_by", Json.Str "dune exec bench/main.exe -- service");
          ( "scale",
            Json.Str
@@ -121,6 +250,9 @@ let run scale =
          ("passes", Json.Arr [ cold_row; warm_row ]);
          ("cold_equals_warm", Json.Bool identical);
          ("replies_digest", Json.Str (replies_digest warm_replies));
+         ("contention", Json.Arr (List.map snd contention));
+         ("sharded_speedup_4d", Json.Num speedup_4d);
+         ("restart", restart);
          ( "counters",
            Json.Obj
              (List.map

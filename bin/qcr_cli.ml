@@ -241,6 +241,7 @@ let qaoa_cmd =
 (* ---------- compilation service: batch + serve ---------- *)
 
 module Service = Qcr_service.Service
+module Cache_store = Qcr_service.Cache_store
 module Compile_request = Qcr_service.Compile_request
 module Compile_reply = Qcr_service.Compile_reply
 module Json = Qcr_obs.Json
@@ -258,6 +259,28 @@ let load_batch file =
       match Service.requests_of_json j with
       | Error e -> die "%s: %s" file e
       | Ok reqs -> reqs)
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Persist the compile cache under $(docv) (created if missing): the cache \
+               warm-starts from the validated entries on disk and new entries are \
+               flushed back as a crash-safe segment, so a restarted process answers \
+               repeat requests from the cache, bit-identically.")
+
+let open_store = function
+  | None -> None
+  | Some dir -> (
+      match Cache_store.open_dir dir with
+      | Ok store -> Some store
+      | Error e -> die "cannot open cache dir: %s" e)
+
+(* Flush the cache back to its store (if any); [on_error] decides whether
+   a failed flush is fatal (batch) or a warning (serve's EOF path). *)
+let flush_store ~on_error service =
+  match Service.flush service with
+  | Ok 0 -> ()
+  | Ok n -> Printf.printf "persisted %d cache entries\n%!" n
+  | Error e -> on_error e
 
 let pass_summary label (d : Service.stats) =
   Printf.printf
@@ -282,10 +305,10 @@ let batch_cmd =
            ~doc:"Run the batch $(docv) times through the same service; later passes \
                  exercise the compile cache.")
   in
-  let run file out repeat trace metrics domains inject =
+  let run file out repeat cache_dir trace metrics domains inject =
     with_telemetry ~cmd:"batch" trace metrics domains inject @@ fun () ->
     let reqs = load_batch file in
-    let service = Service.create () in
+    let service = Service.create ?store:(open_store cache_dir) () in
     let passes = ref [] in
     let last_replies = ref [] in
     for pass = 1 to max 1 repeat do
@@ -295,6 +318,7 @@ let batch_cmd =
       passes := delta :: !passes;
       pass_summary (Printf.sprintf "pass %d" pass) delta
     done;
+    flush_store ~on_error:(fun e -> die "cache flush failed: %s" e) service;
     let json =
       Service.replies_to_json ~passes:(List.rev !passes)
         ~breakers:(Service.breaker_states service)
@@ -310,8 +334,8 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch" ~doc:"Run a batch job file through the compilation service.")
     Term.(
-      const run $ file_arg $ out_arg $ repeat_arg $ trace_arg $ metrics_arg $ domains_arg
-      $ inject_arg)
+      const run $ file_arg $ out_arg $ repeat_arg $ cache_dir_arg $ trace_arg $ metrics_arg
+      $ domains_arg $ inject_arg)
 
 let serve_cmd =
   let batch_arg =
@@ -319,9 +343,9 @@ let serve_cmd =
            ~doc:"Process this batch file first (replies on stdout, one JSON per line), \
                  warming the compile cache, then serve stdin.")
   in
-  let run batch trace metrics domains inject =
+  let run batch cache_dir trace metrics domains inject =
     with_telemetry ~cmd:"serve" trace metrics domains inject @@ fun () ->
-    let service = Service.create () in
+    let service = Service.create ?store:(open_store cache_dir) () in
     let emit j =
       print_endline (Json.to_string j);
       flush stdout
@@ -356,8 +380,16 @@ let serve_cmd =
                      ( "stats",
                        Service.stats_to_json
                          ~breakers:(Service.breaker_states service)
+                         ~cache:(Service.cache_info service)
                          (Service.stats service) );
                    ])
+          | Some (Json.Str "flush") -> (
+              match Service.flush service with
+              | Ok n ->
+                  emit
+                    (Json.Obj
+                       [ ("status", Json.Str "ok"); ("persisted", Json.Num (float_of_int n)) ])
+              | Error e -> error_line ("cache flush failed: " ^ e))
           | Some (Json.Str op) -> error_line (Printf.sprintf "unknown op %S" op)
           | Some _ -> error_line "\"op\" must be a string"
           | None -> (
@@ -375,14 +407,20 @@ let serve_cmd =
            | e -> error_line ("uncaught exception: " ^ Printexc.to_string e)
        done
      with End_of_file -> ());
+    flush_store
+      ~on_error:(fun e -> Printf.eprintf "qcr: warning: cache flush failed: %s\n%!" e)
+      service;
     pass_summary "served" (Service.stats service)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve compile requests over stdio (JSON lines), with a persistent compile \
              cache. {\"op\":\"health\"} and {\"op\":\"stats\"} lines return service \
-             health and cumulative statistics (including circuit-breaker states).")
-    Term.(const run $ batch_arg $ trace_arg $ metrics_arg $ domains_arg $ inject_arg)
+             health and cumulative statistics (including circuit-breaker states); \
+             {\"op\":\"flush\"} persists the cache to $(b,--cache-dir) immediately \
+             (it is also flushed at EOF).")
+    Term.(const run $ batch_arg $ cache_dir_arg $ trace_arg $ metrics_arg $ domains_arg
+          $ inject_arg)
 
 let () =
   (* QCR_FAULTS arms process-wide fault injection before any command

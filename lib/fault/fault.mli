@@ -1,8 +1,9 @@
 (** Deterministic, seeded fault injection.
 
     The serving stack declares named {e injection points} (the pool
-    worker body, the compile tiers, cache get/put, JSON decode, clock
-    reads); a {e spec} arms crash/delay/corrupt faults at those points.
+    worker body, the compile tiers, cache get/put, the persistent cache
+    store's load/flush paths, JSON decode, clock reads); a {e spec} arms
+    crash/delay/corrupt faults at those points.
     Disarmed — the default — every probe is a single [Atomic.get], the
     same zero-cost pattern as the [Qcr_obs] sink, so production code
     pays nothing for being injectable.

@@ -1,0 +1,245 @@
+module Json = Qcr_obs.Json
+module Digest64 = Qcr_util.Digest64
+module Fault = Qcr_fault.Fault
+
+(* Injection points on the disk path: [cache.load] probes every record
+   payload read back from a segment (corruption is then caught by the
+   digest check), [cache.flush] probes every record being written and
+   fires once between the segment rename and the index rename. *)
+let load_point = Fault.point "cache.load"
+
+let flush_point = Fault.point "cache.flush"
+
+let index_schema = "qcr-cache-store/v1"
+
+let index_file = "index.json"
+
+let magic = "QCRS"
+
+(* ---------- record encoding (pure, qcheck round-tripped) ---------- *)
+
+let u16be b v =
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let u32be b v =
+  for shift = 3 downto 0 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * shift)) land 0xff))
+  done
+
+let encode_record ~key body =
+  if String.length key > 0xffff then invalid_arg "Cache_store.encode_record: key too long";
+  let b = Buffer.create (String.length key + String.length body + 32) in
+  Buffer.add_string b magic;
+  u16be b (String.length key);
+  u32be b (String.length body);
+  Buffer.add_string b (Digest64.of_string body);
+  Buffer.add_string b key;
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let header_len = 4 + 2 + 4 + 16
+
+let read_u16be s pos = (Char.code s.[pos] lsl 8) lor Char.code s.[pos + 1]
+
+let read_u32be s pos =
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := (!v lsl 8) lor Char.code s.[pos + i]
+  done;
+  !v
+
+let decode_record s ~pos =
+  let len = String.length s in
+  if pos + header_len > len then Error "truncated record header"
+  else if String.sub s pos 4 <> magic then Error "bad record magic"
+  else begin
+    let key_len = read_u16be s (pos + 4) in
+    let body_len = read_u32be s (pos + 6) in
+    let digest = String.sub s (pos + 10) 16 in
+    let data = pos + header_len in
+    if data + key_len + body_len > len then Error "truncated record payload"
+    else begin
+      let key = String.sub s data key_len in
+      let body = String.sub s (data + key_len) body_len in
+      if Digest64.of_string body <> digest then Error "record digest mismatch"
+      else Ok (key, body, data + key_len + body_len)
+    end
+  end
+
+(* ---------- directory layout ---------- *)
+
+type t = {
+  dir : string;
+  mutable segments : string list; (* index order, oldest first *)
+  mutable next_seq : int;
+  persisted_keys : (string, unit) Hashtbl.t;
+  mutable loaded : (string * string) list; (* oldest first, duplicates resolved *)
+  mutable corrupt_skipped : int;
+}
+
+let dir t = t.dir
+
+let entries t = t.loaded
+
+let mem t key = Hashtbl.mem t.persisted_keys key
+
+let persisted t = Hashtbl.length t.persisted_keys
+
+let segment_count t = List.length t.segments
+
+let corrupt_skipped t = t.corrupt_skipped
+
+let segment_name seq = Printf.sprintf "seg-%06d.qcs" seq
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Write-to-temp + rename: the destination either keeps its old content
+   or atomically becomes the new content, never a partial write. *)
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc content;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp path
+
+let index_to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str index_schema);
+      ("next_seq", Json.Num (float_of_int t.next_seq));
+      ("segments", Json.Arr (List.map (fun s -> Json.Str s) t.segments));
+    ]
+
+(* A malformed index is treated as an empty store (counted as one skip),
+   not an error: the worst case is a cold start. *)
+let parse_index j =
+  match (Json.member "schema" j, Json.member "next_seq" j, Json.member "segments" j) with
+  | Some (Json.Str s), Some (Json.Num seq), Some (Json.Arr segs)
+    when s = index_schema && Float.is_integer seq ->
+      let rec names acc = function
+        | [] -> Some (List.rev acc)
+        | Json.Str n :: rest when Filename.basename n = n -> names (n :: acc) rest
+        | _ -> None
+      in
+      Option.map (fun segs -> (int_of_float seq, segs)) (names [] segs)
+  | _ -> None
+
+(* Scan one segment: records are validated (digest over the payload,
+   through the [cache.load] fault point) and accumulated newest-last.
+   The first bad record abandons the rest of the segment — record
+   boundaries cannot be trusted past a corruption — and any exception
+   (I/O, injected crash) counts the same way. *)
+let scan_segment t table order path =
+  match
+    let s = read_file path in
+    let len = String.length s in
+    let rec go pos =
+      if pos >= len then ()
+      else
+        match decode_record s ~pos with
+        | Error _ -> t.corrupt_skipped <- t.corrupt_skipped + 1
+        | Ok (key, body, next) ->
+            let body = Fault.corrupt load_point body in
+            (* decode already checked the digest, so only an injected
+               corruption can fail this re-check — and since decode
+               validated the record boundary, the scan can skip just
+               this record and continue *)
+            if Digest64.of_string body <> String.sub s (pos + 10) 16 then begin
+              t.corrupt_skipped <- t.corrupt_skipped + 1;
+              go next
+            end
+            else begin
+              if not (Hashtbl.mem table key) then order := key :: !order;
+              Hashtbl.replace table key body;
+              go next
+            end
+    in
+    go 0
+  with
+  | () -> ()
+  | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+  | exception _ -> t.corrupt_skipped <- t.corrupt_skipped + 1
+
+let open_dir path =
+  match
+    mkdir_p path;
+    if not (Sys.is_directory path) then Error (path ^ ": not a directory")
+    else begin
+      let t =
+        {
+          dir = path;
+          segments = [];
+          next_seq = 1;
+          persisted_keys = Hashtbl.create 64;
+          loaded = [];
+          corrupt_skipped = 0;
+        }
+      in
+      let index_path = Filename.concat path index_file in
+      if Sys.file_exists index_path then begin
+        (match Json.of_file index_path with
+        | Ok j -> (
+            match parse_index j with
+            | Some (next_seq, segments) ->
+                t.next_seq <- next_seq;
+                t.segments <- segments
+            | None -> t.corrupt_skipped <- t.corrupt_skipped + 1)
+        | Error _ -> t.corrupt_skipped <- t.corrupt_skipped + 1);
+        let table = Hashtbl.create 64 in
+        let order = ref [] in
+        List.iter
+          (fun seg ->
+            let seg_path = Filename.concat path seg in
+            if Sys.file_exists seg_path then scan_segment t table order seg_path
+            else t.corrupt_skipped <- t.corrupt_skipped + 1)
+          t.segments;
+        t.loaded <-
+          List.rev_map (fun key -> (key, Hashtbl.find table key)) !order;
+        List.iter (fun (key, _) -> Hashtbl.replace t.persisted_keys key ()) t.loaded
+      end;
+      Ok t
+    end
+  with
+  | r -> r
+  | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+  | exception e -> Error (path ^ ": " ^ Printexc.to_string e)
+
+let append t records =
+  let fresh = List.filter (fun (key, _) -> not (mem t key)) records in
+  if fresh = [] then Ok 0
+  else
+    match
+      let encoded =
+        List.map (fun (key, body) -> Fault.corrupt flush_point (encode_record ~key body)) fresh
+      in
+      let seg = segment_name t.next_seq in
+      write_atomic (Filename.concat t.dir seg) (String.concat "" encoded);
+      (* the kill-between-flush-and-rename window: the segment is in
+         place but the index does not reference it yet *)
+      Fault.fire flush_point;
+      let next = { t with segments = t.segments @ [ seg ]; next_seq = t.next_seq + 1 } in
+      write_atomic (Filename.concat t.dir index_file) (Json.to_string (index_to_json next) ^ "\n");
+      t.segments <- next.segments;
+      t.next_seq <- next.next_seq;
+      List.iter (fun (key, _) -> Hashtbl.replace t.persisted_keys key ()) fresh;
+      List.length fresh
+    with
+    | n -> Ok n
+    | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+    | exception e -> Error (Printexc.to_string e)

@@ -1,0 +1,94 @@
+(** Disk-backed content-addressed store for compile-cache entries.
+
+    A store is a directory of {e append-only segment files} plus one
+    JSON {e index} naming the live segments in order:
+
+    {v
+    cache-dir/
+      index.json          {"schema": "qcr-cache-store/v1",
+                           "next_seq": 3,
+                           "segments": ["seg-000001.qcs", "seg-000002.qcs"]}
+      seg-000001.qcs      binary records, appended by one flush each
+      seg-000002.qcs
+    v}
+
+    Each record carries its own {!Qcr_util.Digest64} over the payload
+    bytes (see {!encode_record}); {!open_dir} re-validates every record
+    and silently skips — never serves, never raises on — anything that
+    fails: a flipped byte, a truncated tail, a bad magic, a malformed
+    index.  Skips are counted in {!corrupt_skipped} so the service can
+    surface them as cache corruption.
+
+    {b Crash safety.}  {!append} writes the new segment to a temp file
+    and renames it into place, then rewrites the index the same way.  A
+    crash before the segment rename loses only the new entries; a crash
+    between the two renames leaves an orphan segment that the (old)
+    index never references — the next flush with the same sequence
+    number simply overwrites it.  On-disk state referenced by the index
+    is never mutated in place.
+
+    {b Content addressing.}  Keys are assumed content-addressed (the
+    service uses {!Compile_request.cache_key}): the same key always maps
+    to the same payload, so a key already persisted is never rewritten
+    and duplicate records across segments are harmless (the latest
+    wins on load, and all validate to the same bytes).
+
+    {b Fault points.}  [cache.load] probes each record's payload during
+    {!open_dir} (a [corrupt] fault flips a byte, which digest validation
+    then catches; a [crash] aborts that segment's scan, counted as one
+    skip).  [cache.flush] probes each record while {!append} encodes it
+    and fires once between the segment rename and the index rename — the
+    kill-between-flush-and-rename window that crash-safety tests arm. *)
+
+type t
+
+val open_dir : string -> (t, string) result
+(** Open (creating the directory if needed) and load the store:
+    validated entries are available via {!entries}.  [Error] only on
+    hard I/O failures (the directory cannot be created or read);
+    malformed or corrupt {e content} is skipped and counted instead. *)
+
+val dir : t -> string
+
+val entries : t -> (string * string) list
+(** The validated [(key, payload)] pairs found at {!open_dir}, oldest
+    first; for duplicate keys the latest record wins. *)
+
+val mem : t -> string -> bool
+(** Whether a validated record for this key is on disk (or was appended
+    through this handle). *)
+
+val persisted : t -> int
+(** Number of distinct keys on disk via this handle. *)
+
+val segment_count : t -> int
+
+val corrupt_skipped : t -> int
+(** Records (or whole malformed segments/indexes) rejected during
+    {!open_dir} — each adds at least one. *)
+
+val append : t -> (string * string) list -> (int, string) result
+(** Persist the [(key, payload)] pairs not already {!mem}: one new
+    segment file plus an index rewrite, both write-to-temp + rename.
+    Returns the number of records written ([Ok 0] writes nothing).
+    [Error] on I/O failure or an injected [cache.flush] crash; the
+    in-memory handle and the on-disk index are unchanged on error, so a
+    failed flush can simply be retried. *)
+
+(** {1 Record encoding}
+
+    Exposed for property tests: [decode_record s ~pos] inverts
+    [encode_record] for every key up to 65535 bytes and any payload.
+
+    {v
+    record := "QCRS" keylen:u16be bodylen:u32be digest:16 key body
+    v}
+
+    [digest] is {!Qcr_util.Digest64.of_string} of [body]. *)
+
+val encode_record : key:string -> string -> string
+(** @raise Invalid_argument if the key exceeds 65535 bytes. *)
+
+val decode_record : string -> pos:int -> (string * string * int, string) result
+(** [Ok (key, body, next_pos)], or [Error reason] on truncation, bad
+    magic, or digest mismatch. *)

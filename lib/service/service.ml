@@ -2,7 +2,7 @@ module Pipeline = Qcr_core.Pipeline
 module Clock = Qcr_obs.Clock
 module Obs = Qcr_obs.Obs
 module Json = Qcr_obs.Json
-module Lru = Qcr_util.Lru
+module Sharded_cache = Qcr_util.Sharded_cache
 module Prng = Qcr_util.Prng
 module Digest64 = Qcr_util.Digest64
 module Pool = Qcr_par.Pool
@@ -84,7 +84,7 @@ let stats_sub a b =
     breaker_trips = a.breaker_trips - b.breaker_trips;
   }
 
-let stats_to_json ?breakers s =
+let stats_to_json ?breakers ?cache s =
   let int_field n v = (n, Json.Num (float_of_int v)) in
   Json.Obj
     ([
@@ -99,6 +99,10 @@ let stats_to_json ?breakers s =
        int_field "retries" s.retries;
        int_field "breaker_trips" s.breaker_trips;
      ]
+    @ (match cache with
+      | None -> []
+      | Some (shards, cache_bytes) ->
+          [ int_field "shards" shards; int_field "cache_bytes" cache_bytes ])
     @
     match breakers with
     | None -> []
@@ -137,10 +141,13 @@ type entry = {
 }
 
 type t = {
-  cache : entry Lru.t;
-  lock : Mutex.t;  (* guards [cache], [costs], [breakers] and
-                      [retry_rng]; stats mutate on the driver domain
-                      only, except [retries_total] (atomic) *)
+  cache : entry Sharded_cache.t;  (* per-shard locks of its own: cache
+                                     traffic never touches [lock] *)
+  store : Cache_store.t option;  (* disk-backed warm-restart store *)
+  lock : Mutex.t;  (* guards [costs], [breakers] and [retry_rng] only;
+                      stats mutate on the driver domain only, except
+                      [retries_total] (atomic) and the cache counters
+                      (per-shard, merged at read time) *)
   clock : Clock.t;
   astar_budget : int;
   on_attempt : Request.mode -> unit;
@@ -156,12 +163,60 @@ type t = {
   mutable st : stats;
 }
 
-let create ?(cache_capacity = 512) ?(clock = Clock.wall) ?(astar_budget = 30_000)
-    ?(on_attempt = fun _ -> ()) ?(retries = 2) ?(backoff_s = 0.005) ?(breaker_threshold = 5)
-    ?(breaker_cooldown_s = 30.0) ?(retry_seed = 0x51ee7)
+(* A full-quality reply is the only thing worth caching: degraded and
+   failed replies depend on the deadline, not just the content key. *)
+let cacheable (r : Reply.t) =
+  match r.Reply.outcome with
+  | Reply.Compiled { mode; _ } -> mode = r.Reply.requested_mode
+  | Reply.Failed _ -> false
+
+(* The digested canonical bytes: content only — no id, no timing, no
+   cache flag — so every hit can be checked against the digest computed
+   at insertion. *)
+let canonical_body (r : Reply.t) =
+  Json.to_string
+    (Reply.strip_volatile (Reply.to_json { r with Reply.id = ""; cached = false }))
+
+let entry_of_reply r =
+  let canon = canonical_body r in
+  { e_reply = r; canon; digest = Digest64.of_string canon }
+
+let entry_weight e = String.length e.canon + String.length e.digest
+
+(* What a persisted record stores: the full reply JSON with volatile
+   fields zeroed, so [Reply.of_json] reconstructs it on a warm restart
+   (the canonical digested bytes strip [compile_ms] and cannot be parsed
+   back on their own). *)
+let persist_body (r : Reply.t) =
+  Json.to_string (Reply.to_json { r with Reply.id = ""; cached = false; compile_ms = 0.0 })
+
+(* Warm-start the cache from a store: each validated record must parse
+   back into a full-quality reply whose own cache key matches the record
+   key; anything else counts as a corrupt entry and is left behind (the
+   next flush rewrites it from a fresh compile). *)
+let load_store cache store =
+  List.iter
+    (fun (key, body) ->
+      match Json.of_string body with
+      | Ok j -> (
+          match Reply.of_json j with
+          | Ok r when cacheable r && r.Reply.key = key ->
+              Sharded_cache.add cache key (entry_of_reply r)
+          | _ -> Sharded_cache.note_corrupt cache key)
+      | Error _ -> Sharded_cache.note_corrupt cache key)
+    (Cache_store.entries store)
+
+let create ?(cache_capacity = 512) ?(cache_shards = 16) ?store ?(clock = Clock.wall)
+    ?(astar_budget = 30_000) ?(on_attempt = fun _ -> ()) ?(retries = 2) ?(backoff_s = 0.005)
+    ?(breaker_threshold = 5) ?(breaker_cooldown_s = 30.0) ?(retry_seed = 0x51ee7)
     ?(sleep = fun s -> if s > 0.0 then Unix.sleepf s) () =
+  let cache =
+    Sharded_cache.create ~shards:cache_shards ~weight:entry_weight ~capacity:cache_capacity ()
+  in
+  Option.iter (load_store cache) store;
   {
-    cache = Lru.create ~capacity:cache_capacity;
+    cache;
+    store;
     lock = Mutex.create ();
     clock;
     astar_budget;
@@ -185,8 +240,41 @@ let locked t f =
 let breaker_trips t =
   locked t (fun () -> Array.fold_left (fun acc b -> acc + b.trips) 0 t.breakers)
 
+(* Cache counters merge per-shard (each mutated only under its shard
+   lock) plus the store's load-time skips, so they are exact under
+   sharding instead of racing one shared record. *)
 let stats t =
-  { t.st with retries = Atomic.get t.retries_total; breaker_trips = breaker_trips t }
+  let c = Sharded_cache.stats t.cache in
+  let store_corrupt =
+    match t.store with Some s -> Cache_store.corrupt_skipped s | None -> 0
+  in
+  {
+    t.st with
+    cache_hits = c.Sharded_cache.hits;
+    cache_misses = c.Sharded_cache.misses;
+    cache_corrupt = c.Sharded_cache.corrupt + store_corrupt;
+    retries = Atomic.get t.retries_total;
+    breaker_trips = breaker_trips t;
+  }
+
+let cache_info t = (Sharded_cache.shard_count t.cache, Sharded_cache.bytes t.cache)
+
+let cache_entries t = Sharded_cache.length t.cache
+
+(* Persist every cached entry the store does not hold yet.  Content
+   addressing makes this idempotent: a key, once written, is never
+   rewritten, so repeated flushes append only what changed. *)
+let flush t =
+  match t.store with
+  | None -> Ok 0
+  | Some store ->
+      let fresh =
+        Sharded_cache.fold
+          (fun key e acc ->
+            if Cache_store.mem store key then acc else (key, persist_body e.e_reply) :: acc)
+          t.cache []
+      in
+      Cache_store.append store fresh
 
 let state_name = function Closed -> "closed" | Open _ -> "open" | Half_open -> "half_open"
 
@@ -351,24 +439,6 @@ let compile_cold t (req : Request.t) key =
   in
   attempt None (ladder req.Request.mode)
 
-(* A full-quality reply is the only thing worth caching: degraded and
-   failed replies depend on the deadline, not just the content key. *)
-let cacheable (r : Reply.t) =
-  match r.Reply.outcome with
-  | Reply.Compiled { mode; _ } -> mode = r.Reply.requested_mode
-  | Reply.Failed _ -> false
-
-(* The digested canonical bytes: content only — no id, no timing, no
-   cache flag — so every hit can be checked against the digest computed
-   at insertion. *)
-let canonical_body (r : Reply.t) =
-  Json.to_string
-    (Reply.strip_volatile (Reply.to_json { r with Reply.id = ""; cached = false }))
-
-let entry_of_reply r =
-  let canon = canonical_body r in
-  { e_reply = r; canon; digest = Digest64.of_string canon }
-
 (* Insert through the [cache.put] fault point: a corruption mangles the
    stored bytes so the digest check catches it on the next hit; a crash
    skips caching but never loses the freshly compiled reply. *)
@@ -377,7 +447,7 @@ let cache_put t key r =
     try
       let entry = entry_of_reply r in
       let entry = { entry with canon = Fault.corrupt cache_put_point entry.canon } in
-      locked t (fun () -> Lru.add t.cache key entry)
+      Sharded_cache.add t.cache key entry
     with
     | (Out_of_memory | Stack_overflow) as e -> raise e
     | _ -> ()
@@ -385,17 +455,17 @@ let cache_put t key r =
 (* Look up through the [cache.get] fault point and validate: an entry
    whose bytes no longer match their digest is evicted and the request
    falls through to a fresh compile — a corrupted entry is never
-   served. *)
+   served.  [evict_corrupt] reclassifies the shard's hit as a miss, so
+   the merged hit count stays "replies actually served from cache". *)
 let cache_get t key =
-  match locked t (fun () -> Lru.find t.cache key) with
+  match Sharded_cache.find t.cache key with
   | None -> None
   | Some entry ->
       let canon = Fault.corrupt cache_get_point entry.canon in
       if Digest64.of_string canon = entry.digest then Some entry.e_reply
       else begin
-        locked t (fun () -> Lru.remove t.cache key);
+        Sharded_cache.evict_corrupt t.cache key;
         Obs.incr c_corrupt;
-        t.st <- { t.st with cache_corrupt = t.st.cache_corrupt + 1 };
         None
       end
 
@@ -449,11 +519,9 @@ let serve_exn t (req : Request.t) ~compiled =
       match cache_get t key with
       | Some cached ->
           Obs.incr c_hit;
-          t.st <- { t.st with cache_hits = t.st.cache_hits + 1 };
           hit_reply req cached t0 t.clock
       | None ->
           Obs.incr c_miss;
-          t.st <- { t.st with cache_misses = t.st.cache_misses + 1 };
           let reply =
             match compiled key with
             | Some r -> { r with Reply.id = req.Request.id }
@@ -507,7 +575,7 @@ let run_batch t reqs =
         | Error _ -> None
         | Ok () ->
             let key = Request.cache_key req in
-            if Hashtbl.mem seen key || locked t (fun () -> Lru.mem t.cache key) then None
+            if Hashtbl.mem seen key || Sharded_cache.mem t.cache key then None
             else begin
               Hashtbl.add seen key ();
               Some (key, req)

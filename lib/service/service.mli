@@ -12,15 +12,28 @@
     [Stack_overflow] re-raise.
 
     {b Caching.}  Requests are canonicalized into a content-addressed
-    {!Compile_request.cache_key}; a repeat is served from the LRU cache
-    (hit/miss counts surface both in {!stats} and through the
-    [service.cache.hit]/[service.cache.miss] [Qcr_obs] counters).  Only
-    full-quality replies — compiled at the requested tier, not degraded —
-    are cached, so a cache hit is always bit-identical to what a cold
-    deadline-free compile would have produced.  Entries carry a digest of
-    their canonical bytes, validated on every hit: a corrupted entry
-    (e.g. via the [cache.get]/[cache.put] {!Qcr_fault.Fault} points) is
-    evicted and recompiled, never served.
+    {!Compile_request.cache_key}; a repeat is served from a
+    {!Qcr_util.Sharded_cache} — [cache_shards] independent LRU shards,
+    each behind its own mutex, selected by digest bits — so cache
+    traffic contends per shard, never with the cost-model/breaker lock
+    (hit/miss counts merge per-shard counters exactly and surface both
+    in {!stats} and through the [service.cache.hit]/[service.cache.miss]
+    [Qcr_obs] counters).  Only full-quality replies — compiled at the
+    requested tier, not degraded — are cached, so a cache hit is always
+    bit-identical to what a cold deadline-free compile would have
+    produced.  Entries carry a digest of their canonical bytes,
+    validated on every hit: a corrupted entry (e.g. via the
+    [cache.get]/[cache.put] {!Qcr_fault.Fault} points) is evicted and
+    recompiled, never served.
+
+    {b Persistence.}  Passing [store] (a {!Cache_store.t} opened on a
+    cache directory) warm-starts the cache from disk at {!create} —
+    every persisted record is digest-validated and must parse back into
+    a full-quality reply whose cache key matches, or it is skipped and
+    counted under [cache_corrupt] — and {!flush} appends the entries
+    compiled since the last flush as a new crash-safe segment.  A
+    restarted service with the same directory answers warm traffic
+    immediately, bit-identically to the run that filled the cache.
 
     {b Batching.}  {!run_batch} fans the distinct cold keys of a batch
     over the default {!Qcr_par.Pool} and assembles replies sequentially
@@ -74,12 +87,17 @@ val zero_stats : stats
 val stats_sub : stats -> stats -> stats
 (** Fieldwise [after - before]: the delta of one pass. *)
 
-val stats_to_json : ?breakers:(string * string) list -> stats -> Qcr_obs.Json.t
+val stats_to_json :
+  ?breakers:(string * string) list -> ?cache:int * int -> stats -> Qcr_obs.Json.t
 (** [breakers] (as produced by {!breaker_states}) adds a ["breakers"]
-    object mapping tier name to ["closed"]/["open"]/["half_open"]. *)
+    object mapping tier name to ["closed"]/["open"]/["half_open"];
+    [cache] (as produced by {!cache_info}) adds the ["shards"] and
+    ["cache_bytes"] gauges. *)
 
 val create :
   ?cache_capacity:int ->
+  ?cache_shards:int ->
+  ?store:Cache_store.t ->
   ?clock:Qcr_obs.Clock.t ->
   ?astar_budget:int ->
   ?on_attempt:(Compile_request.mode -> unit) ->
@@ -91,9 +109,12 @@ val create :
   ?sleep:(float -> unit) ->
   unit ->
   t
-(** Defaults: 512 cached replies, {!Qcr_obs.Clock.wall}, 30000 A* node
-    expansions for the portfolio arm, 2 retries with a 5 ms backoff
-    base, breakers opening after 5 consecutive failures for 30 s.
+(** Defaults: 512 cached replies over 16 shards (clamped down when the
+    capacity is smaller), no persistent store, {!Qcr_obs.Clock.wall},
+    30000 A* node expansions for the portfolio arm, 2 retries with a
+    5 ms backoff base, breakers opening after 5 consecutive failures for
+    30 s.  With [store], the cache warm-starts from the store's
+    validated entries (capacity permitting) before the first request.
     [on_attempt] runs immediately before each tier attempt (after
     admission), including retries — an instrumentation seam that deadline
     tests use to advance a fake clock by a simulated per-tier cost.
@@ -110,7 +131,24 @@ val run_batch : t -> Compile_request.t list -> Compile_reply.t list
     the submitting domain — a lost pool never loses a batch. *)
 
 val stats : t -> stats
-(** Cumulative over the service's lifetime. *)
+(** Cumulative over the service's lifetime.  Cache counters are merged
+    from the per-shard counters (plus the store's load-time skips under
+    [cache_corrupt]) at read time, so they are exact under sharding. *)
+
+val cache_info : t -> int * int
+(** [(shards, bytes)]: the shard count and the total canonical bytes
+    held by the compile cache — the gauges {!stats_to_json}'s [?cache]
+    argument exports. *)
+
+val cache_entries : t -> int
+(** Live entries in the compile cache. *)
+
+val flush : t -> (int, string) result
+(** Persist every cached entry the store does not hold yet as one new
+    crash-safe segment; [Ok n] is the number written ([Ok 0] without a
+    [store] or when nothing is new).  On [Error] nothing is lost: the
+    cache and the on-disk index are unchanged, and the flush can be
+    retried. *)
 
 val breaker_states : t -> (string * string) list
 (** Current breaker state per tier, [(tier, "closed"|"open"|"half_open")],

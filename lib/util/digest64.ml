@@ -40,4 +40,6 @@ let add_pairs h pairs =
 
 let to_hex h = Printf.sprintf "%016Lx" h
 
+let to_int h = Int64.to_int h land max_int
+
 let of_string s = to_hex (add_string empty s)

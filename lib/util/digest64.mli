@@ -32,5 +32,9 @@ val add_pairs : t -> (int * int) list -> t
 val to_hex : t -> string
 (** 16 lowercase hex characters. *)
 
+val to_int : t -> int
+(** The low 62 bits as a non-negative OCaml [int] — a well-mixed hash
+    for bucket selection (shard indices, hash tables). *)
+
 val of_string : string -> string
 (** One-shot convenience: [to_hex (add_string empty s)]. *)

@@ -17,8 +17,8 @@ type 'a t = {
 }
 
 let create ~capacity =
-  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
-  { cap = capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None }
+  if capacity < 0 then invalid_arg "Lru.create: capacity must be non-negative";
+  { cap = capacity; table = Hashtbl.create (max 1 (2 * capacity)); head = None; tail = None }
 
 let capacity t = t.cap
 
@@ -53,12 +53,15 @@ let peek t key = Option.map (fun n -> n.value) (Hashtbl.find_opt t.table key)
 
 let mem t key = Hashtbl.mem t.table key
 
-let evict_lru t =
+let pop_lru t =
   match t.tail with
-  | None -> ()
+  | None -> None
   | Some node ->
       unlink t node;
-      Hashtbl.remove t.table node.key
+      Hashtbl.remove t.table node.key;
+      Some (node.key, node.value)
+
+let evict_lru t = ignore (pop_lru t)
 
 let add t key value =
   match Hashtbl.find_opt t.table key with
@@ -66,10 +69,13 @@ let add t key value =
       node.value <- value;
       promote t node
   | None ->
-      if Hashtbl.length t.table >= t.cap then evict_lru t;
-      let node = { key; value; prev = None; next = None } in
-      Hashtbl.replace t.table key node;
-      push_front t node
+      if t.cap = 0 then ()
+      else begin
+        if Hashtbl.length t.table >= t.cap then evict_lru t;
+        let node = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.table key node;
+        push_front t node
+      end
 
 let remove t key =
   match Hashtbl.find_opt t.table key with

@@ -3,7 +3,9 @@
     [find] and [add] are O(1): a hash table holds the entries and an
     intrusive doubly-linked list tracks recency.  When an [add] would
     exceed the capacity the least-recently-used entry is evicted.
-    [find] counts as a use; [mem] and [peek] do not.
+    [find] counts as a use; [mem] and [peek] do not.  Capacity 0 is a
+    degenerate cache that stores nothing (every [add] is a no-op), which
+    lets callers disable caching without a separate code path.
 
     Not thread-safe: callers that share a cache across domains must
     serialize access (the compile service holds a mutex around it). *)
@@ -11,7 +13,7 @@
 type 'a t
 
 val create : capacity:int -> 'a t
-(** @raise Invalid_argument if [capacity <= 0]. *)
+(** @raise Invalid_argument if [capacity < 0]. *)
 
 val capacity : 'a t -> int
 
@@ -31,6 +33,11 @@ val add : 'a t -> string -> 'a -> unit
 
 val remove : 'a t -> string -> unit
 (** No-op if absent. *)
+
+val pop_lru : 'a t -> (string * 'a) option
+(** Remove and return the least-recently-used entry; [None] when empty.
+    Gives callers that track derived totals (entry bytes, eviction
+    counts) a handle on what eviction discards. *)
 
 val clear : 'a t -> unit
 

@@ -1,0 +1,145 @@
+(* N independent LRUs, each behind its own mutex; the shard for a key is
+   a Digest64 hash of the key modulo the shard count.  All counters are
+   per-shard and mutated only under the shard lock, so merged totals are
+   exact under any interleaving. *)
+
+type 'a shard = {
+  lock : Mutex.t;
+  lru : 'a Lru.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable corrupt : int;
+  mutable evictions : int;
+  mutable bytes : int;
+}
+
+type 'a t = {
+  shards : 'a shard array;
+  weight : 'a -> int;
+  total_capacity : int;
+}
+
+type counters = {
+  hits : int;
+  misses : int;
+  corrupt : int;
+  evictions : int;
+}
+
+let create ?(shards = 16) ?(weight = fun _ -> 0) ~capacity () =
+  if capacity < 0 then invalid_arg "Sharded_cache.create: capacity must be non-negative";
+  if shards < 1 then invalid_arg "Sharded_cache.create: shards must be positive";
+  (* Clamping to [capacity] keeps tiny caches exactly LRU: a capacity-1
+     cache must hold one entry total, not one per shard. *)
+  let shards = if capacity > 0 && capacity < shards then capacity else shards in
+  let per_shard = if capacity = 0 then 0 else (capacity + shards - 1) / shards in
+  {
+    shards =
+      Array.init shards (fun _ ->
+          {
+            lock = Mutex.create ();
+            lru = Lru.create ~capacity:per_shard;
+            hits = 0;
+            misses = 0;
+            corrupt = 0;
+            evictions = 0;
+            bytes = 0;
+          });
+    weight;
+    total_capacity = per_shard * shards;
+  }
+
+let shard_count t = Array.length t.shards
+
+let capacity t = t.total_capacity
+
+let shard_of t key =
+  t.shards.(Digest64.(to_int (add_string empty key)) mod Array.length t.shards)
+
+let locked sh f =
+  Mutex.lock sh.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.lock) f
+
+let find t key =
+  let sh = shard_of t key in
+  locked sh (fun () ->
+      match Lru.find sh.lru key with
+      | Some v ->
+          sh.hits <- sh.hits + 1;
+          Some v
+      | None ->
+          sh.misses <- sh.misses + 1;
+          None)
+
+let mem t key =
+  let sh = shard_of t key in
+  locked sh (fun () -> Lru.mem sh.lru key)
+
+let add t key value =
+  let sh = shard_of t key in
+  locked sh (fun () ->
+      (match Lru.peek sh.lru key with
+      | Some old -> sh.bytes <- sh.bytes - t.weight old
+      | None ->
+          if Lru.capacity sh.lru > 0 && Lru.length sh.lru >= Lru.capacity sh.lru then (
+            match Lru.pop_lru sh.lru with
+            | Some (_, old) ->
+                sh.bytes <- sh.bytes - t.weight old;
+                sh.evictions <- sh.evictions + 1
+            | None -> ()));
+      Lru.add sh.lru key value;
+      if Lru.mem sh.lru key then sh.bytes <- sh.bytes + t.weight value)
+
+let remove_under_lock t sh key =
+  match Lru.peek sh.lru key with
+  | None -> false
+  | Some old ->
+      Lru.remove sh.lru key;
+      sh.bytes <- sh.bytes - t.weight old;
+      true
+
+let remove t key =
+  let sh = shard_of t key in
+  locked sh (fun () -> ignore (remove_under_lock t sh key))
+
+let evict_corrupt t key =
+  let sh = shard_of t key in
+  locked sh (fun () ->
+      if remove_under_lock t sh key then begin
+        sh.corrupt <- sh.corrupt + 1;
+        sh.hits <- sh.hits - 1;
+        sh.misses <- sh.misses + 1
+      end)
+
+let note_corrupt t key =
+  let sh = shard_of t key in
+  locked sh (fun () -> sh.corrupt <- sh.corrupt + 1)
+
+let stats t =
+  Array.fold_left
+    (fun acc sh ->
+      locked sh (fun () ->
+          {
+            hits = acc.hits + sh.hits;
+            misses = acc.misses + sh.misses;
+            corrupt = acc.corrupt + sh.corrupt;
+            evictions = acc.evictions + sh.evictions;
+          }))
+    { hits = 0; misses = 0; corrupt = 0; evictions = 0 }
+    t.shards
+
+let length t =
+  Array.fold_left (fun acc sh -> acc + locked sh (fun () -> Lru.length sh.lru)) 0 t.shards
+
+let bytes t = Array.fold_left (fun acc sh -> acc + locked sh (fun () -> sh.bytes)) 0 t.shards
+
+let clear t =
+  Array.iter
+    (fun sh ->
+      locked sh (fun () ->
+          Lru.clear sh.lru;
+          sh.bytes <- 0))
+    t.shards
+
+let fold f t init =
+  Array.fold_left (fun acc sh -> locked sh (fun () -> Lru.fold f sh.lru acc)) init t.shards

@@ -1,0 +1,85 @@
+(** Digest-sharded, thread-safe LRU cache.
+
+    A cache is split into [shards] independent {!Lru} maps, each behind
+    its own mutex; the shard for a key is chosen by hashing the key
+    ({!Digest64} bits), so concurrent lookups of distinct keys almost
+    never contend.  This is the serving-path replacement for a single
+    LRU behind one global lock: at high request rates every domain used
+    to serialize on that lock, while here contention drops roughly by
+    the shard count.
+
+    {b Counters.}  Each shard owns its hit/miss/corrupt/eviction and
+    byte counters, mutated only under that shard's lock; {!stats},
+    {!length} and {!bytes} merge them at read time.  Totals are
+    therefore exact under any interleaving: every {!find} counts exactly
+    one hit or one miss, and {!evict_corrupt} reclassifies the lookup
+    that found the bad entry (hit becomes miss + corrupt), keeping
+    [hits + misses] equal to the number of validated lookups.
+
+    {b Capacity.}  [capacity] is the total entry budget, split evenly
+    across shards (rounded up, so a shard never gets capacity 0 unless
+    the whole cache has capacity 0).  When [capacity < shards] the shard
+    count is clamped down to [capacity], preserving exact global LRU
+    behaviour for tiny caches; capacity 0 disables storage entirely. *)
+
+type 'a t
+
+type counters = {
+  hits : int;  (** lookups served (after any corruption reclassify) *)
+  misses : int;  (** lookups that found nothing servable *)
+  corrupt : int;  (** entries evicted by {!evict_corrupt} *)
+  evictions : int;  (** entries displaced by capacity pressure *)
+}
+
+val create : ?shards:int -> ?weight:('a -> int) -> capacity:int -> unit -> 'a t
+(** Defaults: 16 shards (clamped to [capacity] when smaller), weight 0.
+    [weight] sizes each value for the {!bytes} gauge — pass e.g. the
+    payload length; it is called once per insertion and once per
+    removal, so it must be pure.
+    @raise Invalid_argument if [capacity < 0] or [shards < 1]. *)
+
+val shard_count : 'a t -> int
+
+val capacity : 'a t -> int
+(** The effective total capacity (per-shard capacity times shard count —
+    at least the requested capacity, never more than one extra entry per
+    shard). *)
+
+val length : 'a t -> int
+
+val bytes : 'a t -> int
+(** Sum of [weight v] over all live entries. *)
+
+val find : 'a t -> string -> 'a option
+(** Promotes the entry in its shard and counts one hit or one miss. *)
+
+val mem : 'a t -> string -> bool
+(** No promotion, no counters. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace; evicts that shard's LRU entry when the shard is
+    full (counted under [evictions]). *)
+
+val remove : 'a t -> string -> unit
+(** No-op if absent; not counted as an eviction. *)
+
+val evict_corrupt : 'a t -> string -> unit
+(** Remove a just-found entry that failed validation, and reclassify the
+    lookup: the shard's [corrupt] and [misses] counters gain one and
+    [hits] loses one.  No-op (no reclassify) if the key is absent. *)
+
+val note_corrupt : 'a t -> string -> unit
+(** Count one corrupt entry that never made it into the cache (e.g. a
+    record rejected while loading a persisted store); hit/miss counters
+    are untouched. *)
+
+val stats : 'a t -> counters
+(** Counters merged across shards at read time. *)
+
+val clear : 'a t -> unit
+(** Drop all entries; counters are preserved. *)
+
+val fold : (string -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+(** Fold over all entries, shard by shard (most- to least-recently-used
+    within each shard).  Takes each shard's lock in turn; do not call
+    cache operations from [f]. *)

@@ -25,6 +25,7 @@ let () =
       ("qasm", Test_qasm_extra.suite);
       ("lower", Test_lower.suite);
       ("service", Test_service.suite);
+      ("persist", Test_persist.suite);
       ("fault", Test_fault.suite);
       ("integration", Test_integration.suite);
       ("properties", Test_properties.suite);
