@@ -25,6 +25,7 @@ let experiments =
     ("hotpaths", Hotpaths.run);
     ("service", Service_bench.run);
     ("chaos", Chaos.run);
+    ("obs", Obs_bench.run);
   ]
 
 let scale_term =

@@ -245,6 +245,8 @@ module Cache_store = Qcr_service.Cache_store
 module Compile_request = Qcr_service.Compile_request
 module Compile_reply = Qcr_service.Compile_reply
 module Json = Qcr_obs.Json
+module Registry = Qcr_obs.Registry
+module Eventlog = Qcr_obs.Eventlog
 
 (* Exit-code discipline (documented under EXIT STATUS in --help): 1 for
    runtime failures, 2 for usage and command-line parse errors. *)
@@ -259,6 +261,51 @@ let load_batch file =
       match Service.requests_of_json j with
       | Error e -> die "%s: %s" file e
       | Ok reqs -> reqs)
+
+(* Observability flags shared by batch and serve: --metrics-out keeps a
+   registry snapshot file fresh (rewritten atomically after each pass /
+   request), --eventlog captures the bounded slow-request and error
+   channels as JSONL at exit. *)
+let metrics_out_arg =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+         ~doc:"Keep a JSON metrics snapshot (schema $(b,qcr-metrics/v1): counters, \
+               gauges, per-tier latency quantiles) in $(docv), rewritten atomically \
+               after every batch pass / served request and once more at exit.  \
+               Implies the telemetry sink is enabled.")
+
+let eventlog_arg =
+  Arg.(value & opt (some string) None & info [ "eventlog" ] ~docv:"FILE"
+         ~doc:"Write the bounded structured event log (schema $(b,qcr-eventlog/v1), \
+               JSON lines: slow requests over the $(b,--slow-ms) threshold plus \
+               sampled errors) to $(docv) at exit.")
+
+let slow_ms_arg =
+  Arg.(value & opt float Qcr_obs.Eventlog.default_slow_threshold_ms
+       & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"Slow-request threshold for $(b,--eventlog): requests slower than \
+                 $(docv) milliseconds enter the slow channel.")
+
+let make_eventlog eventlog slow_ms =
+  match eventlog with
+  | None -> None
+  | Some _ -> Some (Eventlog.create ~slow_threshold_ms:slow_ms ())
+
+(* Snapshot writes are best-effort: losing one periodic snapshot should
+   never kill a serving loop, so failures are warnings on stderr. *)
+let write_metrics_out = function
+  | None -> ()
+  | Some path -> (
+      match Registry.write_snapshot_file path with
+      | Ok () -> ()
+      | Error e -> Printf.eprintf "qcr: warning: cannot write %s: %s\n%!" path e)
+
+let write_eventlog log path =
+  match (log, path) with
+  | Some log, Some path -> (
+      match Eventlog.write log path with
+      | Ok n -> Printf.printf "wrote %s (%d events)\n%!" path n
+      | Error e -> Printf.eprintf "qcr: warning: cannot write %s: %s\n%!" path e)
+  | _ -> ()
 
 let cache_dir_arg =
   Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
@@ -305,10 +352,13 @@ let batch_cmd =
            ~doc:"Run the batch $(docv) times through the same service; later passes \
                  exercise the compile cache.")
   in
-  let run file out repeat cache_dir trace metrics domains inject =
+  let run file out repeat cache_dir metrics_out eventlog slow_ms trace metrics domains
+      inject =
     with_telemetry ~cmd:"batch" trace metrics domains inject @@ fun () ->
+    if metrics_out <> None then Qcr_obs.Obs.enable ();
     let reqs = load_batch file in
-    let service = Service.create ?store:(open_store cache_dir) () in
+    let log = make_eventlog eventlog slow_ms in
+    let service = Service.create ?store:(open_store cache_dir) ?eventlog:log () in
     let passes = ref [] in
     let last_replies = ref [] in
     for pass = 1 to max 1 repeat do
@@ -316,9 +366,12 @@ let batch_cmd =
       last_replies := Service.run_batch service reqs;
       let delta = Service.stats_sub (Service.stats service) before in
       passes := delta :: !passes;
-      pass_summary (Printf.sprintf "pass %d" pass) delta
+      pass_summary (Printf.sprintf "pass %d" pass) delta;
+      write_metrics_out metrics_out
     done;
     flush_store ~on_error:(fun e -> die "cache flush failed: %s" e) service;
+    write_metrics_out metrics_out;
+    write_eventlog log eventlog;
     let json =
       Service.replies_to_json ~passes:(List.rev !passes)
         ~breakers:(Service.breaker_states service)
@@ -334,8 +387,8 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch" ~doc:"Run a batch job file through the compilation service.")
     Term.(
-      const run $ file_arg $ out_arg $ repeat_arg $ cache_dir_arg $ trace_arg $ metrics_arg
-      $ domains_arg $ inject_arg)
+      const run $ file_arg $ out_arg $ repeat_arg $ cache_dir_arg $ metrics_out_arg
+      $ eventlog_arg $ slow_ms_arg $ trace_arg $ metrics_arg $ domains_arg $ inject_arg)
 
 let serve_cmd =
   let batch_arg =
@@ -343,9 +396,13 @@ let serve_cmd =
            ~doc:"Process this batch file first (replies on stdout, one JSON per line), \
                  warming the compile cache, then serve stdin.")
   in
-  let run batch cache_dir trace metrics domains inject =
+  let run batch cache_dir metrics_out eventlog slow_ms trace metrics domains inject =
     with_telemetry ~cmd:"serve" trace metrics domains inject @@ fun () ->
-    let service = Service.create ?store:(open_store cache_dir) () in
+    (* A server always runs with the sink on: the {"op":"metrics"} line
+       and --metrics-out must see live meters, whatever the CLI flags. *)
+    Qcr_obs.Obs.enable ();
+    let log = make_eventlog eventlog slow_ms in
+    let service = Service.create ?store:(open_store cache_dir) ?eventlog:log () in
     let emit j =
       print_endline (Json.to_string j);
       flush stdout
@@ -383,6 +440,14 @@ let serve_cmd =
                          ~cache:(Service.cache_info service)
                          (Service.stats service) );
                    ])
+          | Some (Json.Str "metrics") ->
+              emit
+                (Json.Obj
+                   [
+                     ("status", Json.Str "ok");
+                     ("metrics", Service.metrics_json service);
+                     ("prometheus", Json.Str (Registry.prometheus (Registry.snapshot ())));
+                   ])
           | Some (Json.Str "flush") -> (
               match Service.flush service with
               | Ok n ->
@@ -400,16 +465,23 @@ let serve_cmd =
     (try
        while true do
          let line = input_line stdin in
-         if String.trim line <> "" then
-           try handle_line line
-           with
-           | (Out_of_memory | Stack_overflow) as e -> raise e
-           | e -> error_line ("uncaught exception: " ^ Printexc.to_string e)
+         if String.trim line <> "" then begin
+           (try handle_line line
+            with
+            | (Out_of_memory | Stack_overflow) as e -> raise e
+            | e -> error_line ("uncaught exception: " ^ Printexc.to_string e));
+           (* span buffers are per-request; counters, histograms and
+              meters keep accumulating across the loop *)
+           Qcr_obs.Obs.clear_spans ();
+           write_metrics_out metrics_out
+         end
        done
      with End_of_file -> ());
     flush_store
       ~on_error:(fun e -> Printf.eprintf "qcr: warning: cache flush failed: %s\n%!" e)
       service;
+    write_metrics_out metrics_out;
+    write_eventlog log eventlog;
     pass_summary "served" (Service.stats service)
   in
   Cmd.v
@@ -417,10 +489,12 @@ let serve_cmd =
        ~doc:"Serve compile requests over stdio (JSON lines), with a persistent compile \
              cache. {\"op\":\"health\"} and {\"op\":\"stats\"} lines return service \
              health and cumulative statistics (including circuit-breaker states); \
-             {\"op\":\"flush\"} persists the cache to $(b,--cache-dir) immediately \
-             (it is also flushed at EOF).")
-    Term.(const run $ batch_arg $ cache_dir_arg $ trace_arg $ metrics_arg $ domains_arg
-          $ inject_arg)
+             {\"op\":\"metrics\"} returns the full metrics-registry snapshot (per-tier \
+             compile-latency quantiles, cache and pool gauges, breaker states) as JSON \
+             plus a Prometheus-style text rendering; {\"op\":\"flush\"} persists the \
+             cache to $(b,--cache-dir) immediately (it is also flushed at EOF).")
+    Term.(const run $ batch_arg $ cache_dir_arg $ metrics_out_arg $ eventlog_arg
+          $ slow_ms_arg $ trace_arg $ metrics_arg $ domains_arg $ inject_arg)
 
 let () =
   (* QCR_FAULTS arms process-wide fault injection before any command

@@ -400,6 +400,7 @@ module Request = struct
     | Portfolio of { astar_budget : int }
 
   type t = {
+    id : string; (* request id propagated into spans; "" when anonymous *)
     arch : Arch.t;
     program : Program.t;
     config : Config.t;
@@ -408,8 +409,8 @@ module Request = struct
     mode : mode;
   }
 
-  let make ?(config = Config.default) ?noise ?init ?(mode = Ours) arch program =
-    { arch; program; config; noise; init; mode }
+  let make ?(id = "") ?(config = Config.default) ?noise ?init ?(mode = Ours) arch program =
+    { id; arch; program; config; noise; init; mode }
 
   let mode_name = function
     | Ours -> "ours"
@@ -458,7 +459,12 @@ let run (req : Request.t) =
   match validate req with
   | Error _ as e -> e
   | Ok () -> (
-      let { Request.arch; program; config; noise; init; mode } = req in
+      let { Request.id; arch; program; config; noise; init; mode } = req in
+      let args =
+        let mode_arg = ("mode", Request.mode_name mode) in
+        if id = "" then [ mode_arg ] else [ ("req", id); mode_arg ]
+      in
+      Obs.with_span ~cat:"pipeline" ~args "pipeline.run" @@ fun () ->
       try
         Ok
           (match mode with

@@ -57,6 +57,10 @@ module Request : sig
             arms-exposing variant *)
 
   type t = {
+    id : string;
+        (** request id propagated into the ["pipeline.run"] span (arg
+            ["req"]) so traces can be sliced per request; [""] when
+            anonymous *)
     arch : Qcr_arch.Arch.t;
     program : Qcr_circuit.Program.t;
     config : Config.t;
@@ -66,6 +70,7 @@ module Request : sig
   }
 
   val make :
+    ?id:string ->
     ?config:Config.t ->
     ?noise:Qcr_arch.Noise.t ->
     ?init:Qcr_circuit.Mapping.t ->
@@ -73,8 +78,8 @@ module Request : sig
     Qcr_arch.Arch.t ->
     Qcr_circuit.Program.t ->
     t
-  (** Defaults: [Config.default], no noise model, automatic placement,
-      mode [Ours]. *)
+  (** Defaults: [id ""], [Config.default], no noise model, automatic
+      placement, mode [Ours]. *)
 
   val mode_name : mode -> string
   (** ["ours"], ["greedy"], ["ata"] or ["portfolio"]. *)

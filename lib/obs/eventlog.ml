@@ -1,0 +1,169 @@
+(* Bounded structured event log: a drop-oldest ring of slow-request
+   events plus an adaptively sampled error channel, serialized as JSONL
+   with the same temp+rename crash-safety as Cache_store. *)
+
+type event = {
+  ev_kind : string;
+  ev_ts : float;
+  ev_id : string;
+  ev_fields : (string * Json.t) list;
+}
+
+type channel = {
+  cap : int;
+  buf : event option array; (* ring for slow; compacting array for errors *)
+  mutable len : int;
+  mutable head : int; (* ring head (slow channel only) *)
+}
+
+type t = {
+  slow : channel;
+  errors : channel;
+  threshold_ms : float;
+  mutable slow_dropped : int;
+  mutable errors_seen : int;
+  mutable stride : int; (* keep every stride-th error *)
+  lock : Mutex.t;
+}
+
+let default_slow_capacity = 64
+
+let default_error_capacity = 64
+
+let default_slow_threshold_ms = 100.0
+
+let create ?(slow_capacity = default_slow_capacity) ?(error_capacity = default_error_capacity)
+    ?(slow_threshold_ms = default_slow_threshold_ms) () =
+  if slow_capacity < 1 then invalid_arg "Qcr_obs.Eventlog.create: slow_capacity must be >= 1";
+  if error_capacity < 1 then invalid_arg "Qcr_obs.Eventlog.create: error_capacity must be >= 1";
+  {
+    slow = { cap = slow_capacity; buf = Array.make slow_capacity None; len = 0; head = 0 };
+    errors = { cap = error_capacity; buf = Array.make error_capacity None; len = 0; head = 0 };
+    threshold_ms = slow_threshold_ms;
+    slow_dropped = 0;
+    errors_seen = 0;
+    stride = 1;
+    lock = Mutex.create ();
+  }
+
+let slow_threshold_ms t = t.threshold_ms
+
+let record_slow t ~id ~ms fields =
+  if ms > t.threshold_ms then begin
+    Mutex.lock t.lock;
+    let c = t.slow in
+    let ev =
+      { ev_kind = "slow"; ev_ts = Obs.now (); ev_id = id; ev_fields = ("ms", Json.Num ms) :: fields }
+    in
+    if c.len < c.cap then begin
+      c.buf.((c.head + c.len) mod c.cap) <- Some ev;
+      c.len <- c.len + 1
+    end
+    else begin
+      (* full: overwrite the oldest *)
+      c.buf.(c.head) <- Some ev;
+      c.head <- (c.head + 1) mod c.cap;
+      t.slow_dropped <- t.slow_dropped + 1
+    end;
+    Mutex.unlock t.lock
+  end
+
+let record_error t ~id fields =
+  Mutex.lock t.lock;
+  t.errors_seen <- t.errors_seen + 1;
+  (* Adaptive stride sampling: keep every stride-th error; when the
+     buffer fills, compact by dropping every other kept event and double
+     the stride, so the channel stays bounded with roughly uniform
+     coverage of the whole run. *)
+  if (t.errors_seen - 1) mod t.stride = 0 then begin
+    let c = t.errors in
+    if c.len = c.cap then begin
+      let kept = ref 0 in
+      for i = 0 to c.len - 1 do
+        if i mod 2 = 0 then begin
+          c.buf.(!kept) <- c.buf.(i);
+          incr kept
+        end
+      done;
+      for i = !kept to c.cap - 1 do
+        c.buf.(i) <- None
+      done;
+      c.len <- !kept;
+      t.stride <- t.stride * 2
+    end;
+    c.buf.(c.len) <-
+      Some { ev_kind = "error"; ev_ts = Obs.now (); ev_id = id; ev_fields = fields };
+    c.len <- c.len + 1
+  end;
+  Mutex.unlock t.lock
+
+let slow_events t =
+  Mutex.lock t.lock;
+  let c = t.slow in
+  let out = ref [] in
+  for i = c.len - 1 downto 0 do
+    match c.buf.((c.head + i) mod c.cap) with Some ev -> out := ev :: !out | None -> ()
+  done;
+  Mutex.unlock t.lock;
+  !out
+
+let error_events t =
+  Mutex.lock t.lock;
+  let c = t.errors in
+  let out = ref [] in
+  for i = c.len - 1 downto 0 do
+    match c.buf.(i) with Some ev -> out := ev :: !out | None -> ()
+  done;
+  Mutex.unlock t.lock;
+  !out
+
+let slow_dropped t =
+  Mutex.lock t.lock;
+  let n = t.slow_dropped in
+  Mutex.unlock t.lock;
+  n
+
+let errors_seen t =
+  Mutex.lock t.lock;
+  let n = t.errors_seen in
+  Mutex.unlock t.lock;
+  n
+
+(* ---------- JSONL serialization ---------- *)
+
+let schema = "qcr-eventlog/v1"
+
+let event_json ev =
+  Json.Obj
+    ([ ("kind", Json.Str ev.ev_kind); ("ts", Json.Num ev.ev_ts); ("id", Json.Str ev.ev_id) ]
+    @ ev.ev_fields)
+
+let write t path =
+  let slow = slow_events t in
+  let errors = error_events t in
+  Mutex.lock t.lock;
+  let header =
+    Json.Obj
+      [
+        ("schema", Json.Str schema);
+        ("slow_threshold_ms", Json.Num t.threshold_ms);
+        ("slow_kept", Json.Num (float_of_int t.slow.len));
+        ("slow_dropped", Json.Num (float_of_int t.slow_dropped));
+        ("errors_seen", Json.Num (float_of_int t.errors_seen));
+        ("errors_kept", Json.Num (float_of_int t.errors.len));
+      ]
+  in
+  Mutex.unlock t.lock;
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Json.to_string header);
+  Buffer.add_char b '\n';
+  let n = ref 0 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string b (Json.to_string (event_json ev));
+      Buffer.add_char b '\n';
+      incr n)
+    (slow @ errors);
+  match Registry.write_atomic path (Buffer.contents b) with
+  | Ok () -> Ok !n
+  | Error e -> Error e

@@ -1,0 +1,66 @@
+(** Bounded structured event log for operational forensics: which
+    requests were slow, which errored, without unbounded memory or a
+    write on the hot path.
+
+    Two channels:
+
+    - {b slow} — a fixed-capacity drop-oldest ring.  {!record_slow}
+      keeps the event only when its duration exceeds the threshold; once
+      the ring is full each new event overwrites the oldest (counted in
+      {!slow_dropped}).
+    - {b errors} — adaptive stride sampling.  Every error is counted;
+      every [stride]-th is kept.  When the buffer fills, every other
+      kept event is dropped and the stride doubles, so the channel stays
+      bounded with roughly uniform coverage of the whole run.
+
+    Timestamps come from {!Obs.now}, so a fake clock makes event times
+    deterministic in tests.  All entry points are mutex-guarded.
+
+    {!write} serializes both channels as JSONL — a header line (schema
+    ["qcr-eventlog/v1"], threshold, kept/dropped/seen counts) followed
+    by one event per line — written crash-safe via temp+rename, the same
+    pattern as [Cache_store]. *)
+
+type event = {
+  ev_kind : string;  (** ["slow"] or ["error"] *)
+  ev_ts : float;
+  ev_id : string;  (** request id; [""] when unknown *)
+  ev_fields : (string * Json.t) list;
+}
+
+type t
+
+val default_slow_capacity : int
+
+val default_error_capacity : int
+
+val default_slow_threshold_ms : float
+(** 100.0 *)
+
+val create :
+  ?slow_capacity:int -> ?error_capacity:int -> ?slow_threshold_ms:float -> unit -> t
+(** Raises [Invalid_argument] when either capacity is < 1. *)
+
+val slow_threshold_ms : t -> float
+
+val record_slow : t -> id:string -> ms:float -> (string * Json.t) list -> unit
+(** No-op unless [ms] exceeds the threshold.  The duration is stored as
+    an ["ms"] field ahead of the caller's fields. *)
+
+val record_error : t -> id:string -> (string * Json.t) list -> unit
+
+val slow_events : t -> event list
+(** Oldest first. *)
+
+val error_events : t -> event list
+(** Oldest first. *)
+
+val slow_dropped : t -> int
+
+val errors_seen : t -> int
+
+val schema : string
+
+val write : t -> string -> (int, string) result
+(** Write both channels as JSONL to a file (temp+rename).  Returns the
+    number of event lines written (excluding the header). *)

@@ -123,19 +123,45 @@ let histograms : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
 
 let enabled () = Atomic.get on
 
-let set_clock c = clock := c
+(* Sink control is only legal from the driver domain, outside parallel
+   regions.  The guard itself lives here, but the knowledge of "am I
+   inside a parallel region?" belongs to [Qcr_par.Pool], which installs
+   a predicate at module initialization (obs cannot depend on par). *)
+let parallel_guard : (unit -> bool) ref = ref (fun () -> false)
+
+let set_parallel_guard f = parallel_guard := f
+
+let guard_control fn =
+  if !parallel_guard () then
+    invalid_arg
+      (Printf.sprintf "Qcr_obs.Obs.%s: sink control inside a parallel region" fn)
+
+let reset_hooks : (unit -> unit) list ref = ref []
+
+let add_reset_hook f =
+  Mutex.lock intern_lock;
+  reset_hooks := f :: !reset_hooks;
+  Mutex.unlock intern_lock
+
+let set_clock c =
+  guard_control "set_clock";
+  clock := c
 
 let current_clock () = !clock
 
 let now () = Clock.now !clock
 
 let enable ?clock:c () =
-  Option.iter set_clock c;
+  guard_control "enable";
+  Option.iter (fun c -> clock := c) c;
   Atomic.set on true
 
-let disable () = Atomic.set on false
+let disable () =
+  guard_control "disable";
+  Atomic.set on false
 
-let reset () =
+let clear_spans () =
+  guard_control "clear_spans";
   Mutex.lock intern_lock;
   let bufs = !buffers in
   Mutex.unlock intern_lock;
@@ -145,7 +171,11 @@ let reset () =
       b.sb_spans <- [];
       b.sb_depth <- 0;
       Mutex.unlock b.sb_lock)
-    bufs;
+    bufs
+
+let reset () =
+  guard_control "reset";
+  clear_spans ();
   Mutex.lock intern_lock;
   Hashtbl.iter (fun _ c -> Atomic.set c.Counter.c_value 0) counters;
   Hashtbl.iter
@@ -158,7 +188,9 @@ let reset () =
       Array.fill h.Histogram.h_buckets 0 Histogram.bucket_count 0;
       Mutex.unlock h.Histogram.h_lock)
     histograms;
-  Mutex.unlock intern_lock
+  let hooks = !reset_hooks in
+  Mutex.unlock intern_lock;
+  List.iter (fun f -> f ()) hooks
 
 (* ---------- instrumentation ---------- *)
 

@@ -69,7 +69,14 @@ module Histogram : sig
   (** [sum /. count], 0.0 when empty. *)
 end
 
-(** {1 Sink control} *)
+(** {1 Sink control}
+
+    All control entry points ([enable], [disable], [reset],
+    [clear_spans], [set_clock]) belong to the driver domain.  Calling
+    one inside a parallel region (a pool worker, or a task submitted to
+    the pool) raises [Invalid_argument] — the check is installed by
+    [Qcr_par.Pool] via {!set_parallel_guard} and defaults to permissive
+    when no pool is linked. *)
 
 val enabled : unit -> bool
 
@@ -80,10 +87,27 @@ val enable : ?clock:Clock.t -> unit -> unit
 val disable : unit -> unit
 
 val reset : unit -> unit
-(** Drop all recorded spans and zero every counter and histogram.
-    Handles stay valid (they are interned, not cleared). *)
+(** Drop all recorded spans, zero every counter and histogram, and run
+    the registered reset hooks ({!add_reset_hook}).  Handles stay valid
+    (they are interned, not cleared). *)
+
+val clear_spans : unit -> unit
+(** Drop recorded spans only, leaving counters and histograms intact.
+    Long-running loops (e.g. [qcr serve]) call this per request so span
+    buffers stay bounded while cumulative metrics keep accumulating. *)
 
 val set_clock : Clock.t -> unit
+
+val set_parallel_guard : (unit -> bool) -> unit
+(** Install the predicate consulted by every sink-control entry point;
+    when it returns [true] the call raises [Invalid_argument].
+    Installed once by [Qcr_par.Pool] ("am I on a worker domain or
+    inside a submitted task?").  Not for application use. *)
+
+val add_reset_hook : (unit -> unit) -> unit
+(** Register a callback run at the end of every {!reset}.  Used by
+    layers that keep derived state (e.g. [Registry] meters) so a sink
+    reset clears them too.  Hooks never unregister. *)
 
 val current_clock : unit -> Clock.t
 

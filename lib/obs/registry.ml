@@ -1,0 +1,463 @@
+(* Typed metrics registry layered on the Obs sink: meters (histogram +
+   streaming top-k sketch + sliding-window rate), settable gauges, and
+   callback probes, with JSON and Prometheus-style exposition.  See
+   registry.mli for the quantile error-bound contract. *)
+
+(* ---------- streaming top-k sketch ---------- *)
+
+module Sketch = struct
+  let default_cap = 128
+
+  type t = {
+    cap : int;
+    mutable count : int;
+    mutable len : int;
+    vals : float array; (* sorted descending prefix of length [len] *)
+  }
+
+  type summary = { s_count : int; s_cap : int; s_tail : float array }
+
+  let create ?(cap = default_cap) () =
+    if cap < 1 then invalid_arg "Qcr_obs.Registry.Sketch.create: cap must be >= 1";
+    { cap; count = 0; len = 0; vals = Array.make cap 0.0 }
+
+  let clear t =
+    t.count <- 0;
+    t.len <- 0
+
+  let observe t v =
+    if not (Float.is_nan v) then begin
+      t.count <- t.count + 1;
+      if t.len < t.cap then begin
+        let i = ref t.len in
+        while !i > 0 && t.vals.(!i - 1) < v do
+          t.vals.(!i) <- t.vals.(!i - 1);
+          decr i
+        done;
+        t.vals.(!i) <- v;
+        t.len <- t.len + 1
+      end
+      else if v > t.vals.(t.len - 1) then begin
+        let i = ref (t.len - 1) in
+        while !i > 0 && t.vals.(!i - 1) < v do
+          t.vals.(!i) <- t.vals.(!i - 1);
+          decr i
+        done;
+        t.vals.(!i) <- v
+      end
+    end
+
+  let summary t = { s_count = t.count; s_cap = t.cap; s_tail = Array.sub t.vals 0 t.len }
+
+  let empty_summary ?(cap = default_cap) () = { s_count = 0; s_cap = cap; s_tail = [||] }
+
+  let merge a b =
+    let cap = Stdlib.min a.s_cap b.s_cap in
+    let all = Array.append a.s_tail b.s_tail in
+    Array.sort (fun x y -> compare (y : float) x) all;
+    let keep = Stdlib.min cap (Array.length all) in
+    { s_count = a.s_count + b.s_count; s_cap = cap; s_tail = Array.sub all 0 keep }
+
+  let rank_of q n = Stdlib.max 1 (Stdlib.min n (int_of_float (Float.ceil (q *. float_of_int n))))
+
+  let quantile s q =
+    if s.s_count = 0 then None
+    else begin
+      let n = s.s_count in
+      let from_top = n - rank_of q n + 1 in
+      if from_top <= Array.length s.s_tail then Some s.s_tail.(from_top - 1) else None
+    end
+end
+
+(* ---------- quantile estimation from power-of-two buckets ---------- *)
+
+let quantile_relative_error = 0.5
+
+let quantile (s : Obs.Histogram.summary) q =
+  if s.Obs.Histogram.count = 0 then None
+  else begin
+    let n = s.Obs.Histogram.count in
+    let rank = Sketch.rank_of q n in
+    let buckets = s.Obs.Histogram.buckets in
+    let cum = ref 0 in
+    let found = ref (Array.length buckets - 1) in
+    (try
+       for i = 0 to Array.length buckets - 1 do
+         cum := !cum + buckets.(i);
+         if !cum >= rank then begin
+           found := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let b = !found in
+    (* Bucket b >= 1 covers [2^(b-33), 2^(b-32)); use the midpoint of the
+       lower half (1.5 * 2^(b-33)) and clamp into [min, max].  The true
+       rank-th value lies in the same interval, so projecting the
+       estimate onto [min, max] never increases the error. *)
+    let est = if b = 0 then 0.0 else Float.ldexp 1.5 (b - 33) in
+    Some (Float.max s.Obs.Histogram.min (Float.min s.Obs.Histogram.max est))
+  end
+
+(* ---------- sliding-window rate ---------- *)
+
+let window_slots = 60
+
+(* ---------- meters, gauges, probes ---------- *)
+
+type meter = {
+  mt_name : string;
+  mt_labels : (string * string) list;
+  mt_hist : Obs.Histogram.t;
+  mt_sketch : Sketch.t;
+  mt_window_secs : int array; (* which absolute second each slot holds *)
+  mt_window_counts : int array;
+  mt_lock : Mutex.t;
+}
+
+type gauge = { gg_name : string; gg_labels : (string * string) list; gg_value : float Atomic.t }
+
+type probe = { pr_name : string; pr_labels : (string * string) list; pr_fn : unit -> float }
+
+let reg_lock = Mutex.create ()
+
+let meters : (string, meter) Hashtbl.t = Hashtbl.create 32
+
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let probes : (string, probe) Hashtbl.t = Hashtbl.create 16
+
+let full_name name labels =
+  match labels with
+  | [] -> name
+  | ls ->
+      name ^ "{"
+      ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) ls)
+      ^ "}"
+
+let sort_labels labels = List.sort compare labels
+
+let meter ?(labels = []) name =
+  let labels = sort_labels labels in
+  let full = full_name name labels in
+  Mutex.lock reg_lock;
+  let m =
+    match Hashtbl.find_opt meters full with
+    | Some m -> m
+    | None ->
+        let m =
+          {
+            mt_name = name;
+            mt_labels = labels;
+            mt_hist = Obs.histogram full;
+            mt_sketch = Sketch.create ();
+            mt_window_secs = Array.make window_slots min_int;
+            mt_window_counts = Array.make window_slots 0;
+            mt_lock = Mutex.create ();
+          }
+        in
+        Hashtbl.add meters full m;
+        m
+  in
+  Mutex.unlock reg_lock;
+  m
+
+let observe m v =
+  Obs.observe m.mt_hist v;
+  if Obs.enabled () then begin
+    Mutex.lock m.mt_lock;
+    Sketch.observe m.mt_sketch v;
+    let sec = int_of_float (Float.floor (Obs.now ())) in
+    let slot = ((sec mod window_slots) + window_slots) mod window_slots in
+    if m.mt_window_secs.(slot) <> sec then begin
+      m.mt_window_secs.(slot) <- sec;
+      m.mt_window_counts.(slot) <- 0
+    end;
+    m.mt_window_counts.(slot) <- m.mt_window_counts.(slot) + 1;
+    Mutex.unlock m.mt_lock
+  end
+
+let window_total m =
+  let now_sec = int_of_float (Float.floor (Obs.now ())) in
+  let total = ref 0 in
+  for i = 0 to window_slots - 1 do
+    let sec = m.mt_window_secs.(i) in
+    if sec > now_sec - window_slots && sec <= now_sec then total := !total + m.mt_window_counts.(i)
+  done;
+  !total
+
+let gauge ?(labels = []) name =
+  let labels = sort_labels labels in
+  let full = full_name name labels in
+  Mutex.lock reg_lock;
+  let g =
+    match Hashtbl.find_opt gauges full with
+    | Some g -> g
+    | None ->
+        let g = { gg_name = name; gg_labels = labels; gg_value = Atomic.make 0.0 } in
+        Hashtbl.add gauges full g;
+        g
+  in
+  Mutex.unlock reg_lock;
+  g
+
+let set_gauge g v = Atomic.set g.gg_value v
+
+let register_probe ?(labels = []) name fn =
+  let labels = sort_labels labels in
+  let full = full_name name labels in
+  Mutex.lock reg_lock;
+  Hashtbl.replace probes full { pr_name = name; pr_labels = labels; pr_fn = fn };
+  Mutex.unlock reg_lock
+
+(* ---------- snapshot ---------- *)
+
+type meter_stat = {
+  ms_name : string;
+  ms_labels : (string * string) list;
+  ms_summary : Obs.Histogram.summary;
+  ms_p50 : float option;
+  ms_p90 : float option;
+  ms_p99 : float option;
+  ms_rate_1m : float option; (* events/s over the trailing 60 s; None for plain histograms *)
+}
+
+type gauge_stat = { gs_name : string; gs_labels : (string * string) list; gs_value : float }
+
+type snapshot = {
+  sn_counters : (string * int) list;
+  sn_gauges : gauge_stat list;
+  sn_meters : meter_stat list;
+}
+
+let best_quantile summary sketch q =
+  match Sketch.quantile sketch q with Some v -> Some v | None -> quantile summary q
+
+let meter_stat m =
+  Mutex.lock m.mt_lock;
+  let sk = Sketch.summary m.mt_sketch in
+  let wt = window_total m in
+  Mutex.unlock m.mt_lock;
+  let s = Obs.Histogram.summary m.mt_hist in
+  {
+    ms_name = m.mt_name;
+    ms_labels = m.mt_labels;
+    ms_summary = s;
+    ms_p50 = best_quantile s sk 0.5;
+    ms_p90 = best_quantile s sk 0.9;
+    ms_p99 = best_quantile s sk 0.99;
+    ms_rate_1m = Some (float_of_int wt /. float_of_int window_slots);
+  }
+
+let by_name_labels a b =
+  match compare a.ms_name b.ms_name with 0 -> compare a.ms_labels b.ms_labels | c -> c
+
+let snapshot () =
+  Mutex.lock reg_lock;
+  let meter_handles = Hashtbl.fold (fun full m acc -> (full, m) :: acc) meters [] in
+  let gauge_handles = Hashtbl.fold (fun _ g acc -> g :: acc) gauges [] in
+  let probe_handles = Hashtbl.fold (fun _ p acc -> p :: acc) probes [] in
+  Mutex.unlock reg_lock;
+  let obs = Obs.snapshot () in
+  let claimed = List.map fst meter_handles in
+  let meter_stats = List.map (fun (_, m) -> meter_stat m) meter_handles in
+  (* Plain Obs histograms (recorded outside the registry) fold in as
+     bucket-only meters: quantile estimates still work, rate does not. *)
+  let plain =
+    List.filter_map
+      (fun (name, s) ->
+        if List.mem name claimed then None
+        else
+          Some
+            {
+              ms_name = name;
+              ms_labels = [];
+              ms_summary = s;
+              ms_p50 = quantile s 0.5;
+              ms_p90 = quantile s 0.9;
+              ms_p99 = quantile s 0.99;
+              ms_rate_1m = None;
+            })
+      obs.Obs.snap_histograms
+  in
+  let gauge_stats =
+    List.map
+      (fun g -> { gs_name = g.gg_name; gs_labels = g.gg_labels; gs_value = Atomic.get g.gg_value })
+      gauge_handles
+    @ List.filter_map
+        (fun p ->
+          match p.pr_fn () with
+          | v -> Some { gs_name = p.pr_name; gs_labels = p.pr_labels; gs_value = v }
+          | exception _ -> None)
+        probe_handles
+  in
+  let by_gauge a b =
+    match compare a.gs_name b.gs_name with 0 -> compare a.gs_labels b.gs_labels | c -> c
+  in
+  {
+    sn_counters = obs.Obs.snap_counters;
+    sn_gauges = List.sort by_gauge gauge_stats;
+    sn_meters = List.sort by_name_labels (meter_stats @ plain);
+  }
+
+(* ---------- JSON exposition ---------- *)
+
+let schema = "qcr-metrics/v1"
+
+let num_or_null f = if Float.is_finite f then Json.Num f else Json.Null
+
+let opt_num = function Some f when Float.is_finite f -> Json.Num f | _ -> Json.Null
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let to_json snap =
+  let meter_json m =
+    let s = m.ms_summary in
+    Json.Obj
+      [
+        ("name", Json.Str m.ms_name);
+        ("labels", labels_json m.ms_labels);
+        ("count", Json.Num (float_of_int s.Obs.Histogram.count));
+        ("sum", num_or_null s.Obs.Histogram.sum);
+        ("mean", num_or_null (Obs.Histogram.mean s));
+        ("min", if s.Obs.Histogram.count = 0 then Json.Null else num_or_null s.Obs.Histogram.min);
+        ("max", if s.Obs.Histogram.count = 0 then Json.Null else num_or_null s.Obs.Histogram.max);
+        ("p50", opt_num m.ms_p50);
+        ("p90", opt_num m.ms_p90);
+        ("p99", opt_num m.ms_p99);
+        ("rate_1m", opt_num m.ms_rate_1m);
+      ]
+  in
+  let gauge_json g =
+    Json.Obj
+      [
+        ("name", Json.Str g.gs_name);
+        ("labels", labels_json g.gs_labels);
+        ("value", num_or_null g.gs_value);
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ( "counters",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Num (float_of_int v))) snap.sn_counters) );
+      ("gauges", Json.Arr (List.map gauge_json snap.sn_gauges));
+      ("meters", Json.Arr (List.map meter_json snap.sn_meters));
+    ]
+
+(* ---------- Prometheus-style text exposition ---------- *)
+
+let prom_name name =
+  let mangled =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      name
+  in
+  "qcr_" ^ mangled
+
+let prom_escape v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let prom_labels = function
+  | [] -> ""
+  | ls ->
+      "{"
+      ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v)) ls)
+      ^ "}"
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let prometheus snap =
+  let b = Buffer.create 2048 in
+  let typed = Hashtbl.create 32 in
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.add typed name ();
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun (n, v) ->
+      let pn = prom_name n in
+      type_line pn "counter";
+      Buffer.add_string b (Printf.sprintf "%s %d\n" pn v))
+    snap.sn_counters;
+  List.iter
+    (fun g ->
+      let pn = prom_name g.gs_name in
+      type_line pn "gauge";
+      Buffer.add_string b
+        (Printf.sprintf "%s%s %s\n" pn (prom_labels g.gs_labels) (prom_float g.gs_value)))
+    snap.sn_gauges;
+  List.iter
+    (fun m ->
+      let pn = prom_name m.ms_name in
+      type_line pn "summary";
+      let q_line q v =
+        match v with
+        | None -> ()
+        | Some v ->
+            let labels = m.ms_labels @ [ ("quantile", q) ] in
+            Buffer.add_string b (Printf.sprintf "%s%s %s\n" pn (prom_labels labels) (prom_float v))
+      in
+      q_line "0.5" m.ms_p50;
+      q_line "0.9" m.ms_p90;
+      q_line "0.99" m.ms_p99;
+      let ls = prom_labels m.ms_labels in
+      Buffer.add_string b
+        (Printf.sprintf "%s_sum%s %s\n" pn ls (prom_float m.ms_summary.Obs.Histogram.sum));
+      Buffer.add_string b
+        (Printf.sprintf "%s_count%s %d\n" pn ls m.ms_summary.Obs.Histogram.count))
+    snap.sn_meters;
+  Buffer.contents b
+
+(* ---------- crash-safe snapshot files ---------- *)
+
+let write_atomic path content =
+  try
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc content);
+    Sys.rename tmp path;
+    Ok ()
+  with Sys_error e -> Error e
+
+let write_snapshot_file path =
+  let snap = snapshot () in
+  write_atomic path (Json.to_string (to_json snap) ^ "\n")
+
+(* ---------- reset integration ---------- *)
+
+let clear_derived () =
+  Mutex.lock reg_lock;
+  let ms = Hashtbl.fold (fun _ m acc -> m :: acc) meters [] in
+  let gs = Hashtbl.fold (fun _ g acc -> g :: acc) gauges [] in
+  Mutex.unlock reg_lock;
+  List.iter
+    (fun m ->
+      Mutex.lock m.mt_lock;
+      Sketch.clear m.mt_sketch;
+      Array.fill m.mt_window_secs 0 window_slots min_int;
+      Array.fill m.mt_window_counts 0 window_slots 0;
+      Mutex.unlock m.mt_lock)
+    ms;
+  List.iter (fun g -> Atomic.set g.gg_value 0.0) gs
+
+let () = Obs.add_reset_hook clear_derived

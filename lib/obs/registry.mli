@@ -1,0 +1,152 @@
+(** Typed metrics registry on top of the {!Obs} sink.
+
+    Three instrument kinds, all interned by (name, sorted labels):
+
+    - {b meters} — latency/size distributions.  Each meter combines the
+      existing power-of-two {!Obs.Histogram} (cheap, mergeable, coarse),
+      a fixed-size streaming top-k {!Sketch} (exact tail quantiles while
+      the tail fits), and a 60-slot one-second sliding window (trailing
+      per-second event rate).  Observation is gated on {!Obs.enabled}
+      like every other instrumentation path.
+    - {b gauges} — instantaneous values set by the application
+      ({!set_gauge}).
+    - {b probes} — gauges read on demand from a callback at snapshot
+      time ({!register_probe}); registering again under the same name
+      and labels replaces the previous probe, so per-instance services
+      can re-register freely.  A probe that raises is omitted from the
+      snapshot.
+
+    {b Quantile error bound.}  Bucket-derived quantiles ({!quantile})
+    use the rank [clamp(ceil(q*count), 1, count)], locate the
+    power-of-two bucket containing that rank, and return the midpoint of
+    the bucket's lower half clamped into [[min, max]].  For positive
+    samples within the table range ([2^-32, 2^32)) the estimate's
+    relative error is at most {!quantile_relative_error} (= 0.5): a
+    value [x] in bucket [[2^(b-33), 2^(b-32))] is estimated as
+    [1.5 * 2^(b-33)], worst off by a factor 0.5 of [x] at the lower
+    edge.  Meter snapshots prefer the sketch's exact quantile whenever
+    the requested rank falls inside the retained tail and fall back to
+    the bucket estimate otherwise.
+
+    {!Obs.reset} clears registry state too (sketches, windows, gauge
+    values) via a reset hook installed at module initialization. *)
+
+(** Bounded streaming sketch of the k largest observations.  [merge] is
+    associative and commutative (with the empty summary as identity at
+    equal capacity): merging keeps the top [min cap_a cap_b] values of
+    the union, and [top_k (top_j xs @ ys) = top_k (xs @ ys)] whenever
+    [j >= k].  Quantiles are exact whenever the rank-from-the-top
+    [n - ceil(q*n) + 1] lands inside the retained tail — for the default
+    capacity 128 that keeps p99 exact up to roughly 12 800 observations
+    and every quantile exact while [n <= cap]. *)
+module Sketch : sig
+  type t
+
+  type summary = {
+    s_count : int;  (** observations seen, not retained *)
+    s_cap : int;
+    s_tail : float array;  (** largest values, sorted descending *)
+  }
+
+  val default_cap : int
+  (** 128 *)
+
+  val create : ?cap:int -> unit -> t
+  (** Raises [Invalid_argument] when [cap < 1].  Not thread-safe on its
+      own — meters serialize access under their lock. *)
+
+  val observe : t -> float -> unit
+  (** NaN observations are counted nowhere and retained nowhere. *)
+
+  val clear : t -> unit
+
+  val summary : t -> summary
+
+  val empty_summary : ?cap:int -> unit -> summary
+
+  val merge : summary -> summary -> summary
+
+  val quantile : summary -> float -> float option
+  (** [None] when empty or when the requested rank falls outside the
+      retained tail (caller should fall back to {!quantile} on the
+      bucket summary). *)
+end
+
+val quantile : Obs.Histogram.summary -> float -> float option
+(** Bucket-derived quantile estimate; [None] when the summary is empty.
+    See the module preamble for the error bound. *)
+
+val quantile_relative_error : float
+(** 0.5 — documented worst-case relative error of {!quantile} for
+    positive samples within the bucket table range. *)
+
+(** {1 Instruments} *)
+
+type meter
+
+val meter : ?labels:(string * string) list -> string -> meter
+(** Intern a meter; same name and label set yields the same handle.
+    The backing histogram is interned in the Obs sink under
+    [name{k="v",...}] with labels sorted by key. *)
+
+val observe : meter -> float -> unit
+(** No-op when the sink is disabled. *)
+
+type gauge
+
+val gauge : ?labels:(string * string) list -> string -> gauge
+
+val set_gauge : gauge -> float -> unit
+(** Gauges record instantaneous state, so they are settable whether or
+    not the sink is enabled. *)
+
+val register_probe : ?labels:(string * string) list -> string -> (unit -> float) -> unit
+
+(** {1 Snapshot and exposition} *)
+
+type meter_stat = {
+  ms_name : string;
+  ms_labels : (string * string) list;
+  ms_summary : Obs.Histogram.summary;
+  ms_p50 : float option;
+  ms_p90 : float option;
+  ms_p99 : float option;
+  ms_rate_1m : float option;
+      (** events per second over the trailing 60 s window; [None] for
+          plain Obs histograms folded into the snapshot *)
+}
+
+type gauge_stat = { gs_name : string; gs_labels : (string * string) list; gs_value : float }
+
+type snapshot = {
+  sn_counters : (string * int) list;  (** from {!Obs.snapshot}, zeros omitted *)
+  sn_gauges : gauge_stat list;  (** gauges then probes, sorted by (name, labels) *)
+  sn_meters : meter_stat list;
+      (** every registered meter (empties included, so exposition
+          families are stable), plus plain Obs histograms not claimed by
+          any meter; sorted by (name, labels) *)
+}
+
+val snapshot : unit -> snapshot
+
+val schema : string
+(** ["qcr-metrics/v1"] *)
+
+val to_json : snapshot -> Json.t
+(** Registry snapshot as JSON (schema {!schema}).  Empty-meter [min] and
+    [max] and unavailable quantiles/rates serialize as [null] — never as
+    non-finite numbers. *)
+
+val prometheus : snapshot -> string
+(** Prometheus-style text: counters, gauges (with labels), and meters as
+    summary families ([name{labels,quantile="0.5"}], [_sum], [_count]).
+    Metric names are prefixed [qcr_] with non-alphanumerics mapped to
+    [_]. *)
+
+val write_snapshot_file : string -> (unit, string) result
+(** Serialize the current snapshot as JSON to a file, crash-safe via
+    write-to-temp-then-rename. *)
+
+val write_atomic : string -> string -> (unit, string) result
+(** [write_atomic path content] — the underlying temp+rename write,
+    exposed for other exposition writers. *)

@@ -53,13 +53,18 @@ let counter_table counters =
   List.iter (fun (name, v) -> Tablefmt.add_row t [ name; Tablefmt.cell_int v ]) counters;
   (t, counters <> [])
 
+(* An empty histogram carries min = infinity / max = neg_infinity; print
+   those as "-" instead of a garbage column. *)
+let fmt_bound count v = if count = 0 then "-" else Printf.sprintf "%.3f" v
+
 let histogram_section (name, summary) =
   let b = Buffer.create 256 in
+  let count = summary.Obs.Histogram.count in
   Buffer.add_string b
-    (Printf.sprintf "histogram %s: count=%d mean=%.3f min=%.3f max=%.3f\n" name
-       summary.Obs.Histogram.count
+    (Printf.sprintf "histogram %s: count=%d mean=%.3f min=%s max=%s\n" name count
        (Obs.Histogram.mean summary)
-       summary.Obs.Histogram.min summary.Obs.Histogram.max);
+       (fmt_bound count summary.Obs.Histogram.min)
+       (fmt_bound count summary.Obs.Histogram.max));
   (* only the populated buckets, labelled by upper bound exponent (bucket
      0 also catches non-positive values) *)
   let buckets = summary.Obs.Histogram.buckets in
@@ -93,6 +98,64 @@ let render_of ~spans ~snapshot =
   if Buffer.length b = 0 then Buffer.add_string b "(no telemetry recorded)\n";
   Buffer.contents b
 
-let render () = render_of ~spans:(Obs.spans ()) ~snapshot:(Obs.snapshot ())
+(* Registry gauges and meters (quantiles + trailing rate); meters that
+   merely mirror plain Obs histograms already rendered above are shown
+   with their quantile estimates, which the bucket bars cannot give. *)
+let render_registry_of (snap : Registry.snapshot) =
+  let b = Buffer.create 512 in
+  if snap.Registry.sn_gauges <> [] then begin
+    let t = Tablefmt.create [ "gauge"; "value" ] in
+    List.iter
+      (fun g ->
+        Tablefmt.add_row t
+          [
+            g.Registry.gs_name
+            ^ (match g.Registry.gs_labels with
+              | [] -> ""
+              | ls ->
+                  "{"
+                  ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+                  ^ "}");
+            Tablefmt.cell_float ~decimals:3 g.Registry.gs_value;
+          ])
+      snap.Registry.sn_gauges;
+    Buffer.add_string b "-- gauges --\n";
+    Buffer.add_string b (Tablefmt.render t);
+    Buffer.add_char b '\n'
+  end;
+  let metered = List.filter (fun m -> m.Registry.ms_rate_1m <> None) snap.Registry.sn_meters in
+  if metered <> [] then begin
+    let t = Tablefmt.create [ "meter"; "count"; "p50"; "p90"; "p99"; "rate/s" ] in
+    let q = function None -> "-" | Some v -> Printf.sprintf "%.3f" v in
+    List.iter
+      (fun m ->
+        Tablefmt.add_row t
+          [
+            m.Registry.ms_name
+            ^ (match m.Registry.ms_labels with
+              | [] -> ""
+              | ls ->
+                  "{"
+                  ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+                  ^ "}");
+            Tablefmt.cell_int m.Registry.ms_summary.Obs.Histogram.count;
+            q m.Registry.ms_p50;
+            q m.Registry.ms_p90;
+            q m.Registry.ms_p99;
+            q m.Registry.ms_rate_1m;
+          ])
+      metered;
+    Buffer.add_string b "-- meters --\n";
+    Buffer.add_string b (Tablefmt.render t);
+    Buffer.add_char b '\n'
+  end;
+  Buffer.contents b
+
+let render () =
+  let base = render_of ~spans:(Obs.spans ()) ~snapshot:(Obs.snapshot ()) in
+  (* registered-but-idle probes and empty meter families are exposition
+     detail; a sink that recorded nothing still reports exactly that *)
+  if base = "(no telemetry recorded)\n" then base
+  else base ^ render_registry_of (Registry.snapshot ())
 
 let print () = print_string (render ())

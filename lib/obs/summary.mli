@@ -4,9 +4,17 @@
     [qcr_cli --metrics] prints after a run. *)
 
 val render_of : spans:Obs.span list -> snapshot:Obs.snapshot -> string
-(** Pure renderer, for tests. *)
+(** Pure renderer, for tests.  Empty histograms print [min=- max=-]
+    rather than the raw infinities. *)
+
+val render_registry_of : Registry.snapshot -> string
+(** Pure renderer for the registry sections (gauges table, meters with
+    p50/p90/p99 and trailing rate); empty string when the registry has
+    nothing to show. *)
 
 val render : unit -> string
-(** [render_of] applied to the current global sink state. *)
+(** [render_of] applied to the current global sink state, followed by
+    {!render_registry_of} on the current registry snapshot; just the
+    placeholder line when the sink recorded nothing at all. *)
 
 val print : unit -> unit

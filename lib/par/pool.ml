@@ -397,3 +397,33 @@ let set_default_domains n =
   Mutex.lock global_lock;
   if !global = None then global := Some (create ~domains:n);
   Mutex.unlock global_lock
+
+(* ---------- telemetry integration ----------
+
+   The pool owns the "am I inside a parallel region?" answer, so it
+   installs the sink-control guard (Qcr_obs cannot depend on this
+   library).  Pool gauges are registered as probes reading the shared
+   default pool; they report 0 until the pool first exists rather than
+   forcing its creation. *)
+
+let () =
+  Qcr_obs.Obs.set_parallel_guard (fun () ->
+      !(Domain.DLS.get in_task) || !(Domain.DLS.get is_worker));
+  let with_default f =
+    Mutex.lock global_lock;
+    let p = !global in
+    Mutex.unlock global_lock;
+    match p with None -> 0.0 | Some p -> f p
+  in
+  Qcr_obs.Registry.register_probe "pool.domains"
+    (fun () -> with_default (fun p -> float_of_int p.domains));
+  Qcr_obs.Registry.register_probe "pool.worker_deaths"
+    (fun () -> with_default (fun p -> float_of_int (worker_deaths p)));
+  Qcr_obs.Registry.register_probe "pool.respawns"
+    (fun () -> with_default (fun p -> float_of_int (respawns p)));
+  Qcr_obs.Registry.register_probe "pool.task_in_flight" (fun () ->
+      with_default (fun p ->
+          Mutex.lock p.lock;
+          let busy = not (Option.is_none p.current) in
+          Mutex.unlock p.lock;
+          if busy then 1.0 else 0.0))

@@ -17,6 +17,14 @@ type outcome =
   | Compiled of { mode : Compile_request.mode; metrics : metrics }
   | Failed of Pipeline.error
 
+type phase = {
+  p_phase : string;
+  p_detail : string;
+  p_outcome : string;
+  p_retries : int;
+  p_ms : float;
+}
+
 type t = {
   id : string;
   key : string;
@@ -24,6 +32,7 @@ type t = {
   outcome : outcome;
   cached : bool;
   compile_ms : float;
+  trace : phase list option;
 }
 
 let degraded t =
@@ -89,8 +98,25 @@ let to_json t =
         ]
     | Failed e -> [ ("error", error_to_json e) ]
   in
+  let phase_json p =
+    Json.Obj
+      [
+        ("phase", Json.Str p.p_phase);
+        ("detail", Json.Str p.p_detail);
+        ("outcome", Json.Str p.p_outcome);
+        ("retries", Json.Num (float_of_int p.p_retries));
+        ("ms", Json.Num p.p_ms);
+      ]
+  in
+  let trace =
+    match t.trace with
+    | None -> []
+    | Some ps -> [ ("trace", Json.Arr (List.map phase_json ps)) ]
+  in
   Json.Obj
-    (base @ body @ [ ("cached", Json.Bool t.cached); ("compile_ms", Json.Num t.compile_ms) ])
+    (base @ body
+    @ [ ("cached", Json.Bool t.cached); ("compile_ms", Json.Num t.compile_ms) ]
+    @ trace)
 
 let ( let* ) r f = Result.bind r f
 
@@ -159,13 +185,35 @@ let of_json j =
   in
   let* cached = Result.bind (field "cached" j) (as_bool "cached") in
   let* compile_ms = num_field "compile_ms" j in
-  Ok { id; key; requested_mode; outcome; cached; compile_ms }
+  let* trace =
+    match Json.member "trace" j with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.Arr items) ->
+        let rec go acc = function
+          | [] -> Ok (Some (List.rev acc))
+          | item :: rest ->
+              let* p_phase = str_field "phase" item in
+              let* p_detail = str_field "detail" item in
+              let* p_outcome = str_field "outcome" item in
+              let* p_retries = int_field "retries" item in
+              let* p_ms = num_field "ms" item in
+              go ({ p_phase; p_detail; p_outcome; p_retries; p_ms } :: acc) rest
+        in
+        go [] items
+    | Some _ -> Error "field \"trace\" must be an array"
+  in
+  Ok { id; key; requested_mode; outcome; cached; compile_ms; trace }
 
+(* Volatile fields are the timing ones: the reply's own [compile_ms] and
+   each trace phase's [ms].  Everything else — including the phase
+   sequence itself — is deterministic for a given seed and batch, which
+   is what the cross-pool-size bit-identity tests check. *)
 let rec strip_volatile = function
   | Json.Obj fields ->
       Json.Obj
         (List.filter_map
-           (fun (k, v) -> if k = "compile_ms" then None else Some (k, strip_volatile v))
+           (fun (k, v) ->
+             if k = "compile_ms" || k = "ms" then None else Some (k, strip_volatile v))
            fields)
   | Json.Arr items -> Json.Arr (List.map strip_volatile items)
   | j -> j

@@ -15,7 +15,12 @@
       "log_fidelity": -0.31, "strategy": "hybrid@4",
       "circuit_digest": "5f21...",
       "error": { "kind": "timeout", "deadline_s": 0.5 },   // status=error
-      "cached": true, "compile_ms": 12.25 }
+      "cached": true, "compile_ms": 12.25,
+      "trace": [ { "phase": "cache", "detail": "miss",     // request had
+                   "outcome": "ok", "retries": 0,          // "trace": true
+                   "ms": 0.01 },
+                 { "phase": "compile", "detail": "ours",
+                   "outcome": "ok", "retries": 1, "ms": 12.2 } ] }
     v} *)
 
 type metrics = {
@@ -33,6 +38,18 @@ type outcome =
           below the requested mode when the deadline forced degradation *)
   | Failed of Qcr_core.Pipeline.error
 
+type phase = {
+  p_phase : string;  (** ["validate"], ["cache"] or ["compile"] *)
+  p_detail : string;  (** tier name, or ["hit"]/["miss"] for the cache *)
+  p_outcome : string;
+      (** ["ok"], ["miss"], ["hit"], ["discarded"] (finished past the
+          deadline), ["breaker_open"], ["not_admitted"] (cost model says
+          it cannot fit the budget), ["timeout"], ["invalid_request"] or
+          ["internal"] *)
+  p_retries : int;  (** retries consumed within this phase *)
+  p_ms : float;  (** volatile; see {!strip_volatile} *)
+}
+
 type t = {
   id : string;
   key : string;  (** the request's cache key *)
@@ -41,6 +58,9 @@ type t = {
   cached : bool;  (** served from the compile cache *)
   compile_ms : float;  (** service-side latency (volatile; see
                            {!strip_volatile}) *)
+  trace : phase list option;
+      (** per-request phase breakdown, present when the request opted in
+          with [Compile_request.trace]; never cached or persisted *)
 }
 
 val degraded : t -> bool
@@ -60,6 +80,6 @@ val of_json : Qcr_obs.Json.t -> (t, string) result
     reply's floats are finite. *)
 
 val strip_volatile : Qcr_obs.Json.t -> Qcr_obs.Json.t
-(** Recursively drop timing fields (["compile_ms"]) so replies can be
-    compared for semantic equality across runs, machines and pool
-    sizes. *)
+(** Recursively drop timing fields (["compile_ms"], trace-phase ["ms"])
+    so replies — including their phase breakdowns — can be compared for
+    semantic equality across runs, machines and pool sizes. *)

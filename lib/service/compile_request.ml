@@ -24,12 +24,13 @@ type t = {
   alpha : float option;
   noise_seed : int option;
   deadline_s : float option;
+  trace : bool; (* opt-in per-request phase breakdown on the reply *)
 }
 
 let default_interaction = Program.Qaoa_maxcut { gamma = 0.4; beta = 0.35 }
 
 let make ?(id = "") ?arch_size ?(interaction = default_interaction) ?(mode = Ours) ?alpha
-    ?noise_seed ?deadline_s ~arch_kind ~qubits ~edges () =
+    ?noise_seed ?deadline_s ?(trace = false) ~arch_kind ~qubits ~edges () =
   {
     id;
     arch_kind;
@@ -41,6 +42,7 @@ let make ?(id = "") ?arch_size ?(interaction = default_interaction) ?(mode = Our
     alpha;
     noise_seed;
     deadline_s;
+    trace;
   }
 
 (* ---------- names ---------- *)
@@ -131,6 +133,9 @@ let add_opt add d = function
   | None -> Digest64.add_bool d false
   | Some x -> add (Digest64.add_bool d true) x
 
+(* Content only: [id], [deadline_s] and [trace] are excluded — the same
+   content compiles identically regardless of who asked, how urgently,
+   or whether they want a phase breakdown. *)
 let cache_key t =
   let d = Digest64.add_string Digest64.empty "qcr-service/v1" in
   let d = Digest64.add_string d (kind_name t.arch_kind) in
@@ -202,7 +207,8 @@ let to_json t =
      ]
     @ opt "alpha" (fun a -> Json.Num a) t.alpha
     @ opt "noise_seed" (fun s -> Json.Num (float_of_int s)) t.noise_seed
-    @ opt "deadline_s" (fun d -> Json.Num d) t.deadline_s)
+    @ opt "deadline_s" (fun d -> Json.Num d) t.deadline_s
+    @ if t.trace then [ ("trace", Json.Bool true) ] else [])
 
 (* Small decoding helpers over the Json AST; every failure carries the
    field path so batch files are debuggable. *)
@@ -293,4 +299,23 @@ let of_json j =
   let* alpha = opt_num "alpha" j in
   let* noise_seed = opt_int "noise_seed" j in
   let* deadline_s = opt_num "deadline_s" j in
-  Ok { id; arch_kind; arch_size; qubits; edges; interaction; mode; alpha; noise_seed; deadline_s }
+  let* trace =
+    match opt_field "trace" j with
+    | None | Some Json.Null -> Ok false
+    | Some (Json.Bool b) -> Ok b
+    | Some _ -> Error "field \"trace\" must be a boolean"
+  in
+  Ok
+    {
+      id;
+      arch_kind;
+      arch_size;
+      qubits;
+      edges;
+      interaction;
+      mode;
+      alpha;
+      noise_seed;
+      deadline_s;
+      trace;
+    }

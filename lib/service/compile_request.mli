@@ -19,7 +19,8 @@
       "mode": "ours",
       "alpha": 0.5,            // optional, selector depth weight
       "noise_seed": 7,         // optional, omit for a noiseless device
-      "deadline_s": 1.5 }      // optional compute budget, seconds
+      "deadline_s": 1.5,       // optional compute budget, seconds
+      "trace": true }          // optional, phase breakdown on the reply
     v} *)
 
 type mode =
@@ -40,6 +41,9 @@ type t = {
   alpha : float option;  (** selector depth weight; [None] = default *)
   noise_seed : int option;  (** [Noise.sampled ~seed]; [None] = noiseless *)
   deadline_s : float option;  (** compute budget (excludes queueing) *)
+  trace : bool;
+      (** request a per-request phase breakdown on the reply
+          ([Compile_reply.trace]); excluded from the cache key *)
 }
 
 val make :
@@ -50,6 +54,7 @@ val make :
   ?alpha:float ->
   ?noise_seed:int ->
   ?deadline_s:float ->
+  ?trace:bool ->
   arch_kind:Qcr_arch.Arch.kind ->
   qubits:int ->
   edges:(int * int) list ->
@@ -57,7 +62,7 @@ val make :
   t
 (** Defaults: empty id, [arch_size = qubits], QAOA-MaxCut interaction
     with the gamma 0.4 / beta 0.35 angles used across the benchmarks,
-    mode [Ours], no alpha override, noiseless, no deadline. *)
+    mode [Ours], no alpha override, noiseless, no deadline, no trace. *)
 
 val validate : t -> (unit, string) result
 (** Structural checks only (vertex bounds, no self-loops, positive sizes,
@@ -72,8 +77,8 @@ val cache_key : t -> string
 (** Content-addressed key: a {!Qcr_util.Digest64} over the arch family
     and size, the canonical program (qubit count, canonical edges,
     interaction with exact float bits), the mode, the config fingerprint
-    (alpha) and the noise fingerprint (seed or noiseless).  [id] and
-    [deadline_s] do not contribute. *)
+    (alpha) and the noise fingerprint (seed or noiseless).  [id],
+    [deadline_s] and [trace] do not contribute. *)
 
 (** {1 Realization} *)
 

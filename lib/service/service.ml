@@ -1,6 +1,8 @@
 module Pipeline = Qcr_core.Pipeline
 module Clock = Qcr_obs.Clock
 module Obs = Qcr_obs.Obs
+module Registry = Qcr_obs.Registry
+module Eventlog = Qcr_obs.Eventlog
 module Json = Qcr_obs.Json
 module Sharded_cache = Qcr_util.Sharded_cache
 module Prng = Qcr_util.Prng
@@ -118,6 +120,14 @@ let tier_index = function
 
 let tier_names = [| "portfolio"; "ours"; "greedy"; "ata" |]
 
+(* Registry meters, registered once at module initialization so the
+   metric families exist (empty) before the first request — an idle
+   server still exposes stable family names. *)
+let m_request_ms = Registry.meter "service.request_ms"
+
+let tier_meters =
+  Array.map (fun name -> Registry.meter ~labels:[ ("tier", name) ] "service.compile_ms") tier_names
+
 (* Per-tier circuit breaker.  Closed counts the consecutive-failure
    streak; at [threshold] it opens for [cooldown_s] seconds of the
    service clock, during which the tier is skipped (the ladder moves on
@@ -160,6 +170,7 @@ type t = {
   sleep : float -> unit;
   retry_rng : Prng.t; (* jitter stream, seeded: backoff is reproducible *)
   retries_total : int Atomic.t;
+  eventlog : Eventlog.t option;
   mutable st : stats;
 }
 
@@ -171,11 +182,11 @@ let cacheable (r : Reply.t) =
   | Reply.Failed _ -> false
 
 (* The digested canonical bytes: content only — no id, no timing, no
-   cache flag — so every hit can be checked against the digest computed
-   at insertion. *)
+   cache flag, no per-request trace — so every hit can be checked
+   against the digest computed at insertion. *)
 let canonical_body (r : Reply.t) =
   Json.to_string
-    (Reply.strip_volatile (Reply.to_json { r with Reply.id = ""; cached = false }))
+    (Reply.strip_volatile (Reply.to_json { r with Reply.id = ""; cached = false; trace = None }))
 
 let entry_of_reply r =
   let canon = canonical_body r in
@@ -188,7 +199,8 @@ let entry_weight e = String.length e.canon + String.length e.digest
    (the canonical digested bytes strip [compile_ms] and cannot be parsed
    back on their own). *)
 let persist_body (r : Reply.t) =
-  Json.to_string (Reply.to_json { r with Reply.id = ""; cached = false; compile_ms = 0.0 })
+  Json.to_string
+    (Reply.to_json { r with Reply.id = ""; cached = false; compile_ms = 0.0; trace = None })
 
 (* Warm-start the cache from a store: each validated record must parse
    back into a full-quality reply whose own cache key matches the record
@@ -206,32 +218,59 @@ let load_store cache store =
       | Error _ -> Sharded_cache.note_corrupt cache key)
     (Cache_store.entries store)
 
+(* Registry probes for this instance's gauges.  Probes replace by (name,
+   labels), so creating a new service re-points them at the newest
+   instance instead of growing the probe table — tests that build many
+   services stay bounded. *)
+let register_probes t =
+  Registry.register_probe "service.cache_bytes" (fun () ->
+      float_of_int (Sharded_cache.bytes t.cache));
+  Registry.register_probe "service.cache_shards" (fun () ->
+      float_of_int (Sharded_cache.shard_count t.cache));
+  Registry.register_probe "service.cache_entries" (fun () ->
+      float_of_int (Sharded_cache.length t.cache));
+  Array.iteri
+    (fun i name ->
+      Registry.register_probe ~labels:[ ("tier", name) ] "service.breaker_state" (fun () ->
+          Mutex.lock t.lock;
+          let v =
+            match t.breakers.(i).b_state with Closed -> 0.0 | Half_open -> 1.0 | Open _ -> 2.0
+          in
+          Mutex.unlock t.lock;
+          v))
+    tier_names
+
 let create ?(cache_capacity = 512) ?(cache_shards = 16) ?store ?(clock = Clock.wall)
     ?(astar_budget = 30_000) ?(on_attempt = fun _ -> ()) ?(retries = 2) ?(backoff_s = 0.005)
     ?(breaker_threshold = 5) ?(breaker_cooldown_s = 30.0) ?(retry_seed = 0x51ee7)
-    ?(sleep = fun s -> if s > 0.0 then Unix.sleepf s) () =
+    ?(sleep = fun s -> if s > 0.0 then Unix.sleepf s) ?eventlog () =
   let cache =
     Sharded_cache.create ~shards:cache_shards ~weight:entry_weight ~capacity:cache_capacity ()
   in
   Option.iter (load_store cache) store;
-  {
-    cache;
-    store;
-    lock = Mutex.create ();
-    clock;
-    astar_budget;
-    on_attempt;
-    costs = Array.make 4 0.0;
-    breakers = Array.init 4 (fun _ -> { b_state = Closed; streak = 0; trips = 0 });
-    retries = max 0 retries;
-    backoff_s = Float.max 0.0 backoff_s;
-    breaker_threshold = max 1 breaker_threshold;
-    breaker_cooldown_s = Float.max 0.0 breaker_cooldown_s;
-    sleep;
-    retry_rng = Prng.create retry_seed;
-    retries_total = Atomic.make 0;
-    st = zero_stats;
-  }
+  let t =
+    {
+      cache;
+      store;
+      lock = Mutex.create ();
+      clock;
+      astar_budget;
+      on_attempt;
+      costs = Array.make 4 0.0;
+      breakers = Array.init 4 (fun _ -> { b_state = Closed; streak = 0; trips = 0 });
+      retries = max 0 retries;
+      backoff_s = Float.max 0.0 backoff_s;
+      breaker_threshold = max 1 breaker_threshold;
+      breaker_cooldown_s = Float.max 0.0 breaker_cooldown_s;
+      sleep;
+      retry_rng = Prng.create retry_seed;
+      retries_total = Atomic.make 0;
+      eventlog;
+      st = zero_stats;
+    }
+  in
+  register_probes t;
+  t
 
 let locked t f =
   Mutex.lock t.lock;
@@ -360,10 +399,35 @@ let backoff_delay t k =
    discarded: its timing feeds the model, and the walk continues with
    the cheaper tiers.  Transient ([Internal]) failures retry with
    backoff, feed the breaker, and fall through to the next tier. *)
+let error_kind = function
+  | Pipeline.Timeout _ -> "timeout"
+  | Pipeline.Invalid_request _ -> "invalid_request"
+  | Pipeline.Internal _ -> "internal"
+
 let compile_cold t (req : Request.t) key =
+  let span_args =
+    if req.Request.id = "" then [] else [ ("req", req.Request.id) ]
+  in
+  Obs.with_span ~cat:"service" ~args:span_args "service.compile_cold" @@ fun () ->
   let t0 = Clock.now t.clock in
   let deadline = Option.map (fun d -> t0 +. d) req.Request.deadline_s in
   let edges = float_of_int (max 1 (List.length (Request.canonical_edges req))) in
+  (* Phase breakdown, collected in reverse.  The phase sequence and
+     every non-timing field are deterministic for a given seed; only the
+     [ms] readings vary (and are stripped by [Reply.strip_volatile]). *)
+  let phases = ref [] in
+  let push ~tier ~outcome ~retries ~ms =
+    if req.Request.trace then
+      phases :=
+        {
+          Reply.p_phase = "compile";
+          p_detail = tier_names.(tier_index tier);
+          p_outcome = outcome;
+          p_retries = retries;
+          p_ms = ms;
+        }
+        :: !phases
+  in
   let reply outcome =
     {
       Reply.id = req.Request.id;
@@ -372,6 +436,7 @@ let compile_cold t (req : Request.t) key =
       outcome;
       cached = false;
       compile_ms = (Clock.now t.clock -. t0) *. 1000.0;
+      trace = (if req.Request.trace then Some (List.rev !phases) else None);
     }
   in
   let exhausted last_err =
@@ -390,6 +455,7 @@ let compile_cold t (req : Request.t) key =
         let now = Clock.now t.clock in
         if not (breaker_admits t tier now) then begin
           Obs.incr c_breaker_skip;
+          push ~tier ~outcome:"breaker_open" ~retries:0 ~ms:0.0;
           attempt last_err rest
         end
         else
@@ -398,15 +464,19 @@ let compile_cold t (req : Request.t) key =
             | None -> true
             | Some d -> now < d && now +. predicted_cost t tier ~edges <= d
           in
-          if not admitted then attempt last_err rest
+          if not admitted then begin
+            push ~tier ~outcome:"not_admitted" ~retries:0 ~ms:0.0;
+            attempt last_err rest
+          end
           else begin
             let arch = Request.arch_of req in
             let pipeline_req =
-              Pipeline.Request.make ~config:(Request.config_of req)
+              Pipeline.Request.make ~id:req.Request.id ~config:(Request.config_of req)
                 ?noise:(Request.noise_of req arch)
                 ~mode:(Request.pipeline_mode ~astar_budget:t.astar_budget { req with Request.mode = tier })
                 arch (Request.program_of req)
             in
+            let tier_start = Clock.now t.clock in
             let rec try_tier k =
               t.on_attempt tier;
               Obs.incr c_attempt;
@@ -414,27 +484,35 @@ let compile_cold t (req : Request.t) key =
               let outcome = attempt_once pipeline_req in
               let t_end = Clock.now t.clock in
               observe_cost t tier ~edges (t_end -. t_start);
+              Registry.observe tier_meters.(tier_index tier) ((t_end -. t_start) *. 1000.0);
               match outcome with
               | Error (Pipeline.Internal _) when k < t.retries ->
                   Obs.incr c_retry;
                   Atomic.incr t.retries_total;
                   t.sleep (backoff_delay t k);
                   try_tier (k + 1)
-              | outcome -> (outcome, t_end)
+              | outcome -> (outcome, t_end, k)
             in
+            let tier_ms t_end = (t_end -. tier_start) *. 1000.0 in
             match try_tier 0 with
-            | Error (Pipeline.Invalid_request _ as e), _ ->
+            | Error (Pipeline.Invalid_request _ as e), t_end, k ->
                 (* deterministic rejection: no cheaper tier can fix it,
                    and it says nothing about the tier's health *)
+                push ~tier ~outcome:(error_kind e) ~retries:k ~ms:(tier_ms t_end);
                 reply (Reply.Failed e)
-            | Error e, t_end ->
+            | Error e, t_end, k ->
                 breaker_failure t tier t_end;
+                push ~tier ~outcome:(error_kind e) ~retries:k ~ms:(tier_ms t_end);
                 attempt (Some e) rest
-            | Ok res, t_end -> (
+            | Ok res, t_end, k -> (
                 breaker_success t tier;
                 match deadline with
-                | Some d when t_end > d -> attempt last_err rest
-                | _ -> reply (Reply.Compiled { mode = tier; metrics = Reply.metrics_of_result res }))
+                | Some d when t_end > d ->
+                    push ~tier ~outcome:"discarded" ~retries:k ~ms:(tier_ms t_end);
+                    attempt last_err rest
+                | _ ->
+                    push ~tier ~outcome:"ok" ~retries:k ~ms:(tier_ms t_end);
+                    reply (Reply.Compiled { mode = tier; metrics = Reply.metrics_of_result res }))
           end)
   in
   attempt None (ladder req.Request.mode)
@@ -445,7 +523,9 @@ let compile_cold t (req : Request.t) key =
 let cache_put t key r =
   if cacheable r then
     try
-      let entry = entry_of_reply r in
+      (* never cache a trace: it describes one request's journey, not
+         the content-addressed circuit *)
+      let entry = entry_of_reply { r with Reply.trace = None } in
       let entry = { entry with canon = Fault.corrupt cache_put_point entry.canon } in
       Sharded_cache.add t.cache key entry
     with
@@ -484,24 +564,54 @@ let count_outcome t (r : Reply.t) =
         Obs.incr c_error;
         { st with errors = st.errors + 1 })
 
+let trace_phase phase detail outcome ms =
+  { Reply.p_phase = phase; p_detail = detail; p_outcome = outcome; p_retries = 0; p_ms = ms }
+
 let invalid_reply (req : Request.t) key msg started =
   fun clock ->
+  let ms = (Clock.now clock -. started) *. 1000.0 in
   {
     Reply.id = req.Request.id;
     key;
     requested_mode = req.Request.mode;
     outcome = Reply.Failed (Pipeline.Invalid_request msg);
     cached = false;
-    compile_ms = (Clock.now clock -. started) *. 1000.0;
+    compile_ms = ms;
+    trace =
+      (if req.Request.trace then Some [ trace_phase "validate" "request" "invalid_request" ms ]
+       else None);
   }
 
 let hit_reply (req : Request.t) (cached : Reply.t) started clock =
+  let ms = (Clock.now clock -. started) *. 1000.0 in
   {
     cached with
     Reply.id = req.Request.id;
     cached = true;
-    compile_ms = (Clock.now clock -. started) *. 1000.0;
+    compile_ms = ms;
+    trace = (if req.Request.trace then Some [ trace_phase "cache" "hit" "hit" ms ] else None);
   }
+
+(* Slow/error events for the bounded event log; a no-op unless the
+   service was created with one. *)
+let record_events t (req : Request.t) (reply : Reply.t) =
+  match t.eventlog with
+  | None -> ()
+  | Some log ->
+      let fields =
+        [
+          ("key", Json.Str reply.Reply.key);
+          ("status", Json.Str (Reply.status_name reply));
+          ("mode", Json.Str (Request.mode_name req.Request.mode));
+          ("cached", Json.Bool reply.Reply.cached);
+        ]
+      in
+      (match reply.Reply.outcome with
+      | Reply.Failed e ->
+          Eventlog.record_error log ~id:reply.Reply.id
+            (("error_kind", Json.Str (error_kind e)) :: fields)
+      | Reply.Compiled _ -> ());
+      Eventlog.record_slow log ~id:reply.Reply.id ~ms:reply.Reply.compile_ms fields
 
 (* Serve one request against the cache; [compiled] optionally supplies a
    pre-computed cold reply (the parallel batch path). *)
@@ -509,17 +619,22 @@ let serve_exn t (req : Request.t) ~compiled =
   t.st <- { t.st with requests = t.st.requests + 1 };
   Obs.incr c_requests;
   let t0 = Clock.now t.clock in
+  let finish reply =
+    Registry.observe m_request_ms reply.Reply.compile_ms;
+    record_events t req reply;
+    reply
+  in
   match Request.validate req with
   | Error msg ->
       Obs.incr c_error;
       t.st <- { t.st with errors = t.st.errors + 1 };
-      invalid_reply req "" msg t0 t.clock
+      finish (invalid_reply req "" msg t0 t.clock)
   | Ok () -> (
       let key = Request.cache_key req in
       match cache_get t key with
       | Some cached ->
           Obs.incr c_hit;
-          hit_reply req cached t0 t.clock
+          finish (hit_reply req cached t0 t.clock)
       | None ->
           Obs.incr c_miss;
           let reply =
@@ -527,9 +642,20 @@ let serve_exn t (req : Request.t) ~compiled =
             | Some r -> { r with Reply.id = req.Request.id }
             | None -> compile_cold t req key
           in
+          let reply =
+            if req.Request.trace then
+              {
+                reply with
+                Reply.trace =
+                  Some
+                    (trace_phase "cache" "miss" "miss" 0.0
+                    :: Option.value reply.Reply.trace ~default:[]);
+              }
+            else reply
+          in
           cache_put t key reply;
           count_outcome t reply;
-          reply)
+          finish reply)
 
 (* The catch-all boundary: whatever slips past the typed paths (an
    injected clock crash, a bug) becomes an [Internal] reply carrying the
@@ -547,6 +673,7 @@ let boundary_reply (req : Request.t) e =
               (backtrace_suffix bt)));
     cached = false;
     compile_ms = 0.0;
+    trace = None;
   }
 
 let serve t req ~compiled =
@@ -558,6 +685,7 @@ let serve t req ~compiled =
       Obs.incr c_boundary;
       Obs.incr c_error;
       t.st <- { t.st with errors = t.st.errors + 1 };
+      record_events t req reply;
       reply
 
 let submit t req = serve t req ~compiled:(fun _ -> None)
@@ -649,6 +777,17 @@ let requests_to_json reqs =
       ("schema", Json.Str batch_schema);
       ("requests", Json.Arr (List.map Request.to_json reqs));
     ]
+
+(* The metrics op: the full registry exposition (counters, gauges and
+   probes — pool, cache, breakers — and meters with quantiles) plus this
+   instance's wire-stats block, in one object. *)
+let metrics_json t =
+  match Registry.to_json (Registry.snapshot ()) with
+  | Json.Obj fields ->
+      Json.Obj
+        (fields
+        @ [ ("stats", stats_to_json ~breakers:(breaker_states t) ~cache:(cache_info t) (stats t)) ])
+  | j -> j
 
 let replies_to_json ?passes ?breakers ~domains ~stats replies =
   Json.Obj

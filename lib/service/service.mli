@@ -107,6 +107,7 @@ val create :
   ?breaker_cooldown_s:float ->
   ?retry_seed:int ->
   ?sleep:(float -> unit) ->
+  ?eventlog:Qcr_obs.Eventlog.t ->
   unit ->
   t
 (** Defaults: 512 cached replies over 16 shards (clamped down when the
@@ -120,7 +121,13 @@ val create :
     tests use to advance a fake clock by a simulated per-tier cost.
     [sleep] (default [Unix.sleepf]) performs the backoff wait, so tests
     can run retry schedules instantly; [retry_seed] seeds the jitter
-    stream. *)
+    stream.  With [eventlog], every served reply feeds the bounded
+    slow-request and error channels ({!Qcr_obs.Eventlog}).
+
+    Creation also (re-)registers the instance's registry probes —
+    [service.cache_bytes], [service.cache_shards],
+    [service.cache_entries], and [service.breaker_state{tier=...}]
+    (0 closed, 1 half-open, 2 open) — pointing at the newest instance. *)
 
 val submit : t -> Compile_request.t -> Compile_reply.t
 
@@ -153,6 +160,14 @@ val flush : t -> (int, string) result
 val breaker_states : t -> (string * string) list
 (** Current breaker state per tier, [(tier, "closed"|"open"|"half_open")],
     in ladder order portfolio, ours, greedy, ata. *)
+
+val metrics_json : t -> Qcr_obs.Json.t
+(** The full {!Qcr_obs.Registry} exposition (schema [qcr-metrics/v1]:
+    counters, gauges and probes — pool, cache, breaker states — and
+    meters with p50/p90/p99 and trailing rate, including the per-tier
+    [service.compile_ms{tier=...}] families) with this instance's
+    {!stats_to_json} block appended under ["stats"].  This is what
+    [qcr serve]'s [{"op":"metrics"}] control line returns. *)
 
 (** {1 Wire format}
 

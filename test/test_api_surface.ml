@@ -145,10 +145,11 @@ let request_gen =
     oneofl [ Request.Ours; Request.Greedy; Request.Ata; Request.Portfolio ] >>= fun mode ->
     opt (float_range 0.0 2.0) >>= fun alpha ->
     opt (int_range 0 1000) >>= fun noise_seed ->
+    bool >>= fun trace ->
     map
       (fun deadline_s ->
-        Request.make ~id ~arch_size ~interaction ~mode ?alpha ?noise_seed ?deadline_s ~arch_kind
-          ~qubits ~edges ())
+        Request.make ~id ~arch_size ~interaction ~mode ?alpha ?noise_seed ?deadline_s ~trace
+          ~arch_kind ~qubits ~edges ())
       (opt (float_range 0.001 60.0)))
 
 let request_arb =
@@ -188,8 +189,19 @@ let reply_gen =
       ]
     >>= fun outcome ->
     bool >>= fun cached ->
+    (let phase_gen =
+       oneofl [ "cache"; "compile"; "validate" ] >>= fun p_phase ->
+       oneofl [ "hit"; "miss"; "ours"; "greedy"; "portfolio" ] >>= fun p_detail ->
+       oneofl [ "ok"; "discarded"; "breaker_open"; "internal" ] >>= fun p_outcome ->
+       int_range 0 3 >>= fun p_retries ->
+       map
+         (fun p_ms -> { Reply.p_phase; p_detail; p_outcome; p_retries; p_ms })
+         (float_range 0.0 100.0)
+     in
+     opt (list_size (int_range 0 4) phase_gen))
+    >>= fun trace ->
     map
-      (fun compile_ms -> { Reply.id; key; requested_mode; outcome; cached; compile_ms })
+      (fun compile_ms -> { Reply.id; key; requested_mode; outcome; cached; compile_ms; trace })
       (float_range 0.0 10000.0))
 
 let reply_arb = QCheck.make reply_gen ~print:(fun r -> Qcr_obs.Json.to_string (Reply.to_json r))

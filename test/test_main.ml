@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("par", Test_par.suite);
       ("obs", Test_obs.suite);
+      ("registry", Test_registry.suite);
       ("asciiplot", Test_asciiplot.suite);
       ("api-surface", Test_api_surface.suite);
       ("graph", Test_graph.suite);

@@ -332,6 +332,30 @@ let test_summary_render () =
       Alcotest.(check bool) "histogram line" true (mem "histogram test.render_h"));
   Alcotest.(check string) "empty sink" "(no telemetry recorded)\n" (Summary.render ())
 
+let test_summary_empty_histogram_bounds () =
+  (* an empty histogram carries min = infinity / max = neg_infinity;
+     the report must print "-" for both, never the raw infinities *)
+  let text =
+    Summary.render_of ~spans:[]
+      ~snapshot:
+        { Obs.snap_counters = []; snap_histograms = [ ("empty.h", Obs.Histogram.empty_summary) ] }
+  in
+  let mem needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec scan i = i + nl <= tl && (String.sub text i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "bounds render as dashes" true (mem "min=- max=-");
+  Alcotest.(check bool) "no inf leaks" false (mem "inf")
+
+let test_clear_spans () =
+  with_sink (fun () ->
+      let c = Obs.counter "test.clear_spans" in
+      Obs.with_span "short-lived" (fun () -> Obs.incr c);
+      Obs.clear_spans ();
+      Alcotest.(check int) "spans dropped" 0 (List.length (Obs.spans ()));
+      Alcotest.(check int) "counters survive" 1 (Obs.Counter.value c))
+
 (* ---------- deterministic A* budget cut ---------- *)
 
 let test_astar_budget_cut () =
@@ -423,6 +447,40 @@ let test_parallel_spans_merge () =
         (fun s -> Alcotest.(check bool) "depth >= 0" true (s.Obs.span_depth >= 0))
         spans)
 
+let test_sink_control_guarded_in_parallel () =
+  (* Sink control belongs to the driver domain: flipping the sink (or the
+     clock) from inside a parallel region would race every worker's
+     fast-path check.  Each control entry point must raise a clear
+     Invalid_argument when called from a pool task. *)
+  with_sink (fun () ->
+      let pool = Qcr_par.Pool.create ~domains:2 in
+      Fun.protect
+        ~finally:(fun () -> Qcr_par.Pool.shutdown pool)
+        (fun () ->
+          let raised = Atomic.make 0 in
+          let message = Atomic.make "" in
+          Qcr_par.Pool.parallel_for pool ~lo:0 ~hi:4 (fun _ ->
+              List.iter
+                (fun control ->
+                  try control ()
+                  with Invalid_argument msg ->
+                    Atomic.incr raised;
+                    Atomic.set message msg)
+                [
+                  (fun () -> Obs.enable ());
+                  (fun () -> Obs.disable ());
+                  (fun () -> Obs.reset ());
+                  (fun () -> Obs.clear_spans ());
+                  (fun () -> Obs.set_clock Clock.wall);
+                ]);
+          Alcotest.(check int) "every control call raised" 20 (Atomic.get raised);
+          Alcotest.(check string) "clear diagnostic"
+            "Qcr_obs.Obs.set_clock: sink control inside a parallel region"
+            (Atomic.get message));
+      (* back on the driver domain, control works again *)
+      Obs.reset ();
+      Alcotest.(check bool) "driver control unaffected" true (Obs.enabled ()))
+
 let suite =
   [
     Alcotest.test_case "fake clock" `Quick test_fake_clock;
@@ -444,9 +502,14 @@ let suite =
     Alcotest.test_case "chrome trace export" `Quick test_trace_json;
     Alcotest.test_case "trace write_file" `Quick test_trace_write_file;
     Alcotest.test_case "summary render" `Quick test_summary_render;
+    Alcotest.test_case "summary renders empty bounds as dashes" `Quick
+      test_summary_empty_histogram_bounds;
+    Alcotest.test_case "clear_spans keeps metrics" `Quick test_clear_spans;
     Alcotest.test_case "astar budget cut (fake clock)" `Quick test_astar_budget_cut;
     Alcotest.test_case "astar counters" `Quick test_astar_counters;
     Alcotest.test_case "parallel counter increments merge" `Quick
       test_parallel_counter_increments;
     Alcotest.test_case "parallel spans merge at flush" `Quick test_parallel_spans_merge;
+    Alcotest.test_case "sink control raises inside parallel regions" `Quick
+      test_sink_control_guarded_in_parallel;
   ]

@@ -1,0 +1,383 @@
+(* Tests for the metrics registry and the event log: bucket-quantile
+   error bound (qcheck property against exact quantiles), sketch merge
+   laws mirroring Histogram.merge, meter/gauge/probe snapshots, JSON and
+   Prometheus exposition, and the bounded slow/error channels. *)
+
+module Obs = Qcr_obs.Obs
+module Clock = Qcr_obs.Clock
+module Registry = Qcr_obs.Registry
+module Sketch = Qcr_obs.Registry.Sketch
+module Eventlog = Qcr_obs.Eventlog
+module Json = Qcr_obs.Json
+
+(* Same discipline as test_obs: the sink (and the registry's derived
+   state, cleared by Obs.reset via its hook) is global — always leave it
+   disabled and empty. *)
+let with_sink ?clock f =
+  Obs.enable ?clock ();
+  Obs.reset ();
+  Fun.protect f ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ();
+      Obs.set_clock Clock.wall)
+
+(* Build a histogram summary directly (the record is public), bypassing
+   the global sink so qcheck properties need no enable/reset churn. *)
+let summary_of values =
+  let buckets = Array.make Obs.Histogram.bucket_count 0 in
+  List.iter
+    (fun v ->
+      let b = Obs.Histogram.bucket_of v in
+      buckets.(b) <- buckets.(b) + 1)
+    values;
+  {
+    Obs.Histogram.count = List.length values;
+    sum = List.fold_left ( +. ) 0.0 values;
+    min = List.fold_left Float.min infinity values;
+    max = List.fold_left Float.max neg_infinity values;
+    buckets;
+  }
+
+(* The documented rank: clamp(ceil(q*n), 1, n), 1-indexed into the
+   sorted sample — the same definition Registry.quantile uses. *)
+let exact_quantile values q =
+  let a = Array.of_list values in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = max 1 (min n (int_of_float (Float.ceil (q *. float_of_int n)))) in
+  a.(rank - 1)
+
+(* ---------- bucket quantiles: documented error bound ---------- *)
+
+let test_quantile_empty () =
+  Alcotest.(check bool) "empty is None" true
+    (Registry.quantile Obs.Histogram.empty_summary 0.5 = None)
+
+let test_quantile_exact_cases () =
+  (* all values in one bucket: the estimate is clamped into [min, max] *)
+  let s = summary_of [ 1.0; 1.0; 1.0 ] in
+  (match Registry.quantile s 0.5 with
+  | Some v -> Alcotest.(check (float 1e-9)) "single bucket clamps to min/max" 1.0 v
+  | None -> Alcotest.fail "expected Some");
+  let s2 = summary_of [ 1.0; 1000.0 ] in
+  (match Registry.quantile s2 0.99 with
+  | Some v ->
+      Alcotest.(check bool) "p99 lands in the top bucket" true (v > 500.0 && v <= 1000.0)
+  | None -> Alcotest.fail "expected Some")
+
+(* positive samples spanning the table range, far from the clamp edges *)
+let gen_positive_samples =
+  let open QCheck.Gen in
+  let gen_v =
+    map2 (fun m e -> Float.ldexp (1.0 +. m) e) (float_bound_exclusive 1.0) (int_range (-20) 20)
+  in
+  list_size (int_range 1 100) gen_v
+
+let prop_bucket_quantile_error =
+  QCheck.Test.make ~name:"bucket quantile within documented relative error" ~count:300
+    (QCheck.make
+       ~print:(fun (vs, q) ->
+         Printf.sprintf "q=%g [%s]" q (String.concat ";" (List.map string_of_float vs)))
+       QCheck.Gen.(pair gen_positive_samples (float_range 0.001 1.0)))
+    (fun (values, q) ->
+      let s = summary_of values in
+      match Registry.quantile s q with
+      | None -> false
+      | Some est ->
+          let exact = exact_quantile values q in
+          abs_float (est -. exact) /. exact <= Registry.quantile_relative_error +. 1e-9)
+
+(* ---------- sketch: merge laws and tail exactness ---------- *)
+
+let sketch_summary ?cap values =
+  let t = Sketch.create ?cap () in
+  List.iter (Sketch.observe t) values;
+  Sketch.summary t
+
+let sketch_eq a b =
+  a.Sketch.s_count = b.Sketch.s_count
+  && a.Sketch.s_cap = b.Sketch.s_cap
+  && a.Sketch.s_tail = b.Sketch.s_tail
+
+(* floats with exact binary representations, so sorting ties are stable
+   under structural equality *)
+let gen_values =
+  QCheck.Gen.(list_size (int_bound 20) (map (fun a -> float_of_int a /. 8.0) (int_range (-800) 800)))
+
+let prop_sketch_merge_laws =
+  QCheck.Test.make ~name:"sketch merge is associative/commutative with identity" ~count:300
+    (QCheck.make
+       ~print:(fun (a, b, c) ->
+         let show l = "[" ^ String.concat ";" (List.map string_of_float l) ^ "]" in
+         show a ^ " " ^ show b ^ " " ^ show c)
+       QCheck.Gen.(triple gen_values gen_values gen_values))
+    (fun (la, lb, lc) ->
+      let cap = 4 in
+      let a = sketch_summary ~cap la
+      and b = sketch_summary ~cap lb
+      and c = sketch_summary ~cap lc in
+      let open Sketch in
+      sketch_eq (merge (merge a b) c) (merge a (merge b c))
+      && sketch_eq (merge a b) (merge b a)
+      && sketch_eq (merge (empty_summary ~cap ()) a) a
+      && sketch_eq (merge a (empty_summary ~cap ())) a
+      (* merging a partition reproduces observing everything at once *)
+      && sketch_eq (merge a b) (sketch_summary ~cap (la @ lb)))
+
+let prop_sketch_tail_exact =
+  QCheck.Test.make ~name:"sketch quantiles exact while n <= cap" ~count:300
+    (QCheck.make
+       ~print:(fun (vs, q) ->
+         Printf.sprintf "q=%g [%s]" q (String.concat ";" (List.map string_of_float vs)))
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 1 20) (map (fun a -> float_of_int a /. 8.0) (int_range 0 800)))
+           (float_range 0.001 1.0)))
+    (fun (values, q) ->
+      (* default cap 128 > 20, so the whole sample is retained *)
+      let s = sketch_summary values in
+      Sketch.quantile s q = Some (exact_quantile values q))
+
+let test_sketch_truncation () =
+  let s = sketch_summary ~cap:3 [ 1.0; 5.0; 3.0; 9.0; 7.0 ] in
+  Alcotest.(check int) "count sees everything" 5 s.Sketch.s_count;
+  Alcotest.(check (array (float 0.0))) "tail keeps the top 3" [| 9.0; 7.0; 5.0 |] s.Sketch.s_tail;
+  (* p99 rank 5 from-top 1 is exact; p50 rank 3 from-top 3 is exact;
+     p20 rank 1 from-top 5 falls off the tail *)
+  Alcotest.(check bool) "p99 exact" true (Sketch.quantile s 0.99 = Some 9.0);
+  Alcotest.(check bool) "p50 exact" true (Sketch.quantile s 0.5 = Some 5.0);
+  Alcotest.(check bool) "p20 falls back" true (Sketch.quantile s 0.2 = None);
+  Alcotest.(check bool) "NaN ignored" true
+    ((sketch_summary [ nan; 2.0 ]).Sketch.s_count = 1)
+
+(* ---------- meters, gauges, probes ---------- *)
+
+let test_meter_snapshot () =
+  let _, clock = Clock.fake ~start:1000.0 () in
+  with_sink ~clock (fun () ->
+      let m = Registry.meter ~labels:[ ("tier", "t0") ] "t.reg.lat" in
+      Alcotest.(check bool) "interned" true (m == Registry.meter ~labels:[ ("tier", "t0") ] "t.reg.lat");
+      for i = 1 to 100 do
+        Registry.observe m (float_of_int i)
+      done;
+      let snap = Registry.snapshot () in
+      let st =
+        List.find
+          (fun st -> st.Registry.ms_name = "t.reg.lat" && st.Registry.ms_labels = [ ("tier", "t0") ])
+          snap.Registry.sn_meters
+      in
+      Alcotest.(check int) "count" 100 st.Registry.ms_summary.Obs.Histogram.count;
+      (* 100 <= sketch cap, so the quantiles are exact *)
+      Alcotest.(check bool) "p50" true (st.Registry.ms_p50 = Some 50.0);
+      Alcotest.(check bool) "p90" true (st.Registry.ms_p90 = Some 90.0);
+      Alcotest.(check bool) "p99" true (st.Registry.ms_p99 = Some 99.0);
+      (* all observations land in one fake-clock second of the window *)
+      match st.Registry.ms_rate_1m with
+      | Some r -> Alcotest.(check (float 1e-9)) "rate" (100.0 /. 60.0) r
+      | None -> Alcotest.fail "meter rate must be Some")
+
+let test_meter_disabled_sink () =
+  Obs.disable ();
+  Obs.reset ();
+  let m = Registry.meter "t.reg.off" in
+  Registry.observe m 5.0;
+  let snap = Registry.snapshot () in
+  let st = List.find (fun st -> st.Registry.ms_name = "t.reg.off") snap.Registry.sn_meters in
+  Alcotest.(check int) "nothing recorded" 0 st.Registry.ms_summary.Obs.Histogram.count;
+  Obs.reset ()
+
+let test_gauges_and_probes () =
+  with_sink (fun () ->
+      let g = Registry.gauge ~labels:[ ("k", "v") ] "t.reg.gauge" in
+      Registry.set_gauge g 42.0;
+      Registry.register_probe "t.reg.probe" (fun () -> 7.0);
+      (* re-registering replaces, so per-instance services can re-register *)
+      Registry.register_probe "t.reg.probe" (fun () -> 8.0);
+      Registry.register_probe "t.reg.raising" (fun () -> failwith "boom");
+      let snap = Registry.snapshot () in
+      let find name =
+        List.find_opt (fun gs -> gs.Registry.gs_name = name) snap.Registry.sn_gauges
+      in
+      (match find "t.reg.gauge" with
+      | Some gs -> Alcotest.(check (float 0.0)) "gauge value" 42.0 gs.Registry.gs_value
+      | None -> Alcotest.fail "gauge missing");
+      (match find "t.reg.probe" with
+      | Some gs -> Alcotest.(check (float 0.0)) "probe replaced" 8.0 gs.Registry.gs_value
+      | None -> Alcotest.fail "probe missing");
+      Alcotest.(check bool) "raising probe omitted" true (find "t.reg.raising" = None);
+      (* Obs.reset clears derived registry state through its hook *)
+      Obs.reset ();
+      match
+        List.find_opt (fun gs -> gs.Registry.gs_name = "t.reg.gauge")
+          (Registry.snapshot ()).Registry.sn_gauges
+      with
+      | Some gs -> Alcotest.(check (float 0.0)) "gauge zeroed by reset" 0.0 gs.Registry.gs_value
+      | None -> Alcotest.fail "gauge missing after reset")
+
+(* ---------- exposition ---------- *)
+
+let test_json_exposition () =
+  with_sink (fun () ->
+      ignore (Registry.meter "t.reg.emptymeter");
+      Obs.incr (Obs.counter "t.reg.counter");
+      let s = Json.to_string (Registry.to_json (Registry.snapshot ())) in
+      (* empty meters must serialize their infinities as null, never as
+         tokens our strict parser rejects *)
+      (match Json.of_string s with
+      | Ok j -> (
+          Alcotest.(check bool) "schema" true
+            (Json.member "schema" j = Some (Json.Str Registry.schema));
+          let meters = match Json.member "meters" j with Some (Json.Arr l) -> l | _ -> [] in
+          match
+            List.find_opt (fun m -> Json.member "name" m = Some (Json.Str "t.reg.emptymeter")) meters
+          with
+          | Some m ->
+              Alcotest.(check bool) "empty min is null" true (Json.member "min" m = Some Json.Null);
+              Alcotest.(check bool) "empty max is null" true (Json.member "max" m = Some Json.Null);
+              Alcotest.(check bool) "empty p50 is null" true (Json.member "p50" m = Some Json.Null)
+          | None -> Alcotest.fail "empty meter missing from exposition")
+      | Error e -> Alcotest.failf "exposition does not reparse: %s" e))
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_prometheus_exposition () =
+  with_sink (fun () ->
+      let m = Registry.meter ~labels:[ ("tier", "ours") ] "t.reg.prom_ms" in
+      List.iter (Registry.observe m) [ 1.0; 2.0; 3.0; 4.0 ];
+      Obs.add (Obs.counter "t.reg.prom_counter") 3;
+      Registry.set_gauge (Registry.gauge "t.reg.prom_gauge") 1.5;
+      let text = Registry.prometheus (Registry.snapshot ()) in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true (contains text needle))
+        [
+          "# TYPE qcr_t_reg_prom_counter counter";
+          "qcr_t_reg_prom_counter 3\n";
+          "# TYPE qcr_t_reg_prom_gauge gauge";
+          "qcr_t_reg_prom_gauge 1.5\n";
+          "# TYPE qcr_t_reg_prom_ms summary";
+          "qcr_t_reg_prom_ms{tier=\"ours\",quantile=\"0.5\"} 2\n";
+          "qcr_t_reg_prom_ms{tier=\"ours\",quantile=\"0.99\"} 4\n";
+          "qcr_t_reg_prom_ms_sum{tier=\"ours\"} 10\n";
+          "qcr_t_reg_prom_ms_count{tier=\"ours\"} 4\n";
+        ])
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_write_snapshot_file () =
+  with_sink (fun () ->
+      Obs.incr (Obs.counter "t.reg.filecounter");
+      let path = Filename.temp_file "qcr_metrics" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          (match Registry.write_snapshot_file path with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "write failed: %s" e);
+          match Json.of_string (String.trim (read_file path)) with
+          | Ok j ->
+              Alcotest.(check bool) "schema present" true
+                (Json.member "schema" j = Some (Json.Str Registry.schema))
+          | Error e -> Alcotest.failf "snapshot file invalid: %s" e);
+      match Registry.write_atomic "/nonexistent-dir/x.json" "{}" with
+      | Ok () -> Alcotest.fail "write into missing dir must fail"
+      | Error _ -> ())
+
+(* ---------- event log ---------- *)
+
+let test_eventlog_slow_ring () =
+  let _, clock = Clock.fake ~auto_advance:1.0 () in
+  with_sink ~clock (fun () ->
+      let log = Eventlog.create ~slow_capacity:3 ~slow_threshold_ms:10.0 () in
+      Eventlog.record_slow log ~id:"fast" ~ms:10.0 [];
+      Alcotest.(check int) "at-threshold not recorded" 0 (List.length (Eventlog.slow_events log));
+      for i = 11 to 15 do
+        Eventlog.record_slow log ~id:(Printf.sprintf "r%d" i) ~ms:(float_of_int i) []
+      done;
+      let ids = List.map (fun ev -> ev.Eventlog.ev_id) (Eventlog.slow_events log) in
+      Alcotest.(check (list string)) "drop-oldest, oldest first" [ "r13"; "r14"; "r15" ] ids;
+      Alcotest.(check int) "dropped count" 2 (Eventlog.slow_dropped log);
+      (match Eventlog.slow_events log with
+      | ev :: _ ->
+          Alcotest.(check bool) "ms stored as first field" true
+            (List.assoc_opt "ms" ev.Eventlog.ev_fields = Some (Json.Num 13.0))
+      | [] -> Alcotest.fail "expected events");
+      Alcotest.check_raises "capacity validated"
+        (Invalid_argument "Qcr_obs.Eventlog.create: slow_capacity must be >= 1") (fun () ->
+          ignore (Eventlog.create ~slow_capacity:0 ())))
+
+let test_eventlog_error_sampling () =
+  with_sink (fun () ->
+      let log = Eventlog.create ~error_capacity:4 () in
+      for i = 1 to 100 do
+        Eventlog.record_error log ~id:(Printf.sprintf "e%d" i) []
+      done;
+      Alcotest.(check int) "every error counted" 100 (Eventlog.errors_seen log);
+      let kept = Eventlog.error_events log in
+      Alcotest.(check bool) "bounded" true (List.length kept <= 4 && List.length kept >= 1);
+      (* the first error is always kept: strides only ever start there *)
+      (match kept with
+      | ev :: _ -> Alcotest.(check string) "first error retained" "e1" ev.Eventlog.ev_id
+      | [] -> Alcotest.fail "expected kept errors");
+      (* samples stay in arrival order *)
+      let nums =
+        List.map
+          (fun ev -> int_of_string (String.sub ev.Eventlog.ev_id 1 (String.length ev.Eventlog.ev_id - 1)))
+          kept
+      in
+      Alcotest.(check bool) "monotone sample" true (List.sort compare nums = nums))
+
+let test_eventlog_write () =
+  let _, clock = Clock.fake ~auto_advance:0.5 () in
+  with_sink ~clock (fun () ->
+      let log = Eventlog.create ~slow_threshold_ms:1.0 () in
+      Eventlog.record_slow log ~id:"s1" ~ms:5.0 [ ("status", Json.Str "ok") ];
+      Eventlog.record_error log ~id:"x1" [ ("error_kind", Json.Str "internal") ];
+      let path = Filename.temp_file "qcr_eventlog" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          (match Eventlog.write log path with
+          | Ok n -> Alcotest.(check int) "event lines written" 2 n
+          | Error e -> Alcotest.failf "write failed: %s" e);
+          let lines =
+            String.split_on_char '\n' (String.trim (read_file path))
+          in
+          Alcotest.(check int) "header + 2 events" 3 (List.length lines);
+          List.iteri
+            (fun i line ->
+              match Json.of_string line with
+              | Ok j ->
+                  if i = 0 then
+                    Alcotest.(check bool) "header schema" true
+                      (Json.member "schema" j = Some (Json.Str Eventlog.schema))
+                  else
+                    Alcotest.(check bool) "event has kind" true (Json.member "kind" j <> None)
+              | Error e -> Alcotest.failf "line %d invalid: %s" i e)
+            lines))
+
+let suite =
+  [
+    Alcotest.test_case "quantile of empty summary" `Quick test_quantile_empty;
+    Alcotest.test_case "quantile exact cases" `Quick test_quantile_exact_cases;
+    QCheck_alcotest.to_alcotest prop_bucket_quantile_error;
+    QCheck_alcotest.to_alcotest prop_sketch_merge_laws;
+    QCheck_alcotest.to_alcotest prop_sketch_tail_exact;
+    Alcotest.test_case "sketch truncation keeps the top" `Quick test_sketch_truncation;
+    Alcotest.test_case "meter snapshot quantiles and rate" `Quick test_meter_snapshot;
+    Alcotest.test_case "meter under disabled sink" `Quick test_meter_disabled_sink;
+    Alcotest.test_case "gauges and probes" `Quick test_gauges_and_probes;
+    Alcotest.test_case "json exposition" `Quick test_json_exposition;
+    Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+    Alcotest.test_case "snapshot file write" `Quick test_write_snapshot_file;
+    Alcotest.test_case "eventlog slow ring" `Quick test_eventlog_slow_ring;
+    Alcotest.test_case "eventlog error sampling" `Quick test_eventlog_error_sampling;
+    Alcotest.test_case "eventlog jsonl write" `Quick test_eventlog_write;
+  ]

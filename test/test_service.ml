@@ -14,8 +14,8 @@ module Service = Qcr_service.Service
 let triangle = [ (0, 1); (1, 2); (0, 2) ]
 
 (* Distinct [gamma] values give distinct cache keys over the same shape. *)
-let req ?mode ?deadline_s ?id gamma =
-  Request.make ?id ?mode ?deadline_s
+let req ?mode ?deadline_s ?id ?trace gamma =
+  Request.make ?id ?mode ?deadline_s ?trace
     ~interaction:(Program.Qaoa_maxcut { gamma; beta = 0.25 })
     ~arch_kind:Qcr_arch.Arch.Line ~qubits:4 ~edges:triangle ()
 
@@ -183,6 +183,82 @@ let test_batch_stable_across_pool_sizes () =
   Alcotest.(check (list string)) "replies (including cache flags) identical at 1 and 4 domains"
     (run_at 1) (run_at 4)
 
+(* ---------- per-request tracing ---------- *)
+
+let phase_triple p = (p.Reply.p_phase, p.Reply.p_detail, p.Reply.p_outcome)
+
+let test_trace_phase_breakdown () =
+  let s = Service.create () in
+  (* tracing is opt-in: the default reply carries no trace at all *)
+  let plain = Service.submit s (req 0.4 ~id:"plain") in
+  Alcotest.(check bool) "no trace unless requested" true (plain.Reply.trace = None);
+  (* a traced miss records the cache probe and the winning compile tier *)
+  let miss = Service.submit s (req 0.5 ~id:"cold" ~trace:true) in
+  (match miss.Reply.trace with
+  | Some phases ->
+      Alcotest.(check (list (triple string string string))) "miss phases"
+        [ ("cache", "miss", "miss"); ("compile", "ours", "ok") ]
+        (List.map phase_triple phases);
+      List.iter
+        (fun p -> Alcotest.(check int) "no retries" 0 p.Reply.p_retries)
+        phases
+  | None -> Alcotest.fail "traced request must carry a trace");
+  (* a traced hit is a single cache phase *)
+  let hit = Service.submit s (req 0.5 ~id:"warm" ~trace:true) in
+  (match hit.Reply.trace with
+  | Some phases ->
+      Alcotest.(check (list (triple string string string))) "hit phases"
+        [ ("cache", "hit", "hit") ]
+        (List.map phase_triple phases)
+  | None -> Alcotest.fail "traced hit must carry a trace");
+  (* validation failures trace too *)
+  let bad =
+    { (req 0.6 ~trace:true) with Request.edges = [ (0, 9) ] }
+  in
+  (match (Service.submit s bad).Reply.trace with
+  | Some phases ->
+      Alcotest.(check (list (triple string string string))) "invalid phases"
+        [ ("validate", "request", "invalid_request") ]
+        (List.map phase_triple phases)
+  | None -> Alcotest.fail "traced invalid request must carry a trace");
+  (* the trace survives the wire format *)
+  match Reply.of_json (Reply.to_json miss) with
+  | Ok back -> Alcotest.(check bool) "trace round-trips" true (back.Reply.trace = miss.Reply.trace)
+  | Error e -> Alcotest.fail e
+
+let test_trace_stable_across_pool_sizes () =
+  (* phase sequences are part of the reply contract: with the volatile
+     ms fields stripped, traced batches are bit-identical whatever the
+     pool size *)
+  let batch =
+    [
+      req 0.1 ~id:"a" ~trace:true;
+      req 0.2 ~id:"b" ~mode:Request.Greedy ~trace:true;
+      req 0.3 ~id:"c" ~mode:Request.Ata ~trace:true;
+      req 0.1 ~id:"d" ~trace:true;
+    ]
+  in
+  let run_at domains =
+    let old = Pool.default_domain_count () in
+    Pool.set_default_domains domains;
+    Fun.protect
+      ~finally:(fun () -> Pool.set_default_domains old)
+      (fun () ->
+        List.map
+          (fun r -> Json.to_string (Reply.strip_volatile (Reply.to_json r)))
+          (Service.run_batch (Service.create ()) batch))
+  in
+  let at1 = run_at 1 in
+  Alcotest.(check (list string)) "traced replies identical at 1 and 4 domains" at1 (run_at 4);
+  (* the stripped wire form must not leak any per-run timing *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "no ms fields survive stripping" false
+        (let nl = String.length "\"ms\"" and tl = String.length s in
+         let rec scan i = i + nl <= tl && (String.sub s i nl = "\"ms\"" || scan (i + 1)) in
+         scan 0))
+    at1
+
 let suite =
   [
     Alcotest.test_case "submit caches repeats" `Quick test_submit_caches;
@@ -193,4 +269,7 @@ let suite =
     Alcotest.test_case "deadline degradation" `Quick test_deadline_degradation;
     Alcotest.test_case "wire round-trip" `Quick test_wire_roundtrip;
     Alcotest.test_case "batch stable across pool sizes" `Quick test_batch_stable_across_pool_sizes;
+    Alcotest.test_case "trace phase breakdown" `Quick test_trace_phase_breakdown;
+    Alcotest.test_case "traced batch stable across pool sizes" `Quick
+      test_trace_stable_across_pool_sizes;
   ]
