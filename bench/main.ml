@@ -70,7 +70,21 @@ let bechamel_cmd =
     (Cmd.info "bechamel" ~doc:"Run only the bechamel timing suite.")
     Term.(const (fun () -> Bechamel_suite.run ()) $ const ())
 
+(* scale gets its own command (not the experiments table) because it
+   carries an extra flag: --check gates on the committed baseline. *)
+let scale_cmd =
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Compare against bench/baselines/BENCH_scale.json; exit 1 on regression.")
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:"Compile-time scaling matrix at 100-1024 qubits (BENCH_scale.json).")
+    Term.(const (fun scale check -> Scale.run ~check scale) $ scale_term $ check)
+
 let () =
   let default = Term.(const (fun scale -> run_all scale ~with_bechamel:true) $ scale_term) in
   let info = Cmd.info "qcr-bench" ~doc:"Reproduce the paper's tables and figures." in
-  exit (Cmd.eval (Cmd.group ~default info (all_cmd :: bechamel_cmd :: single_cmds)))
+  exit (Cmd.eval (Cmd.group ~default info (all_cmd :: bechamel_cmd :: scale_cmd :: single_cmds)))

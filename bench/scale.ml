@@ -1,0 +1,567 @@
+(* Thousand-qubit compile-time scaling benchmark (`bench scale`).
+
+   Compiles the scale suite (the Qcr_workloads.Suite scale functions)
+   across the
+   cross-size matrix — arms {greedy, swapnet, ours} x devices {grid,
+   heavy-hex, Sycamore} x sizes {27, 100, 256, (576,) 1024} — with the
+   telemetry sink ON, so every case records its per-phase span breakdown
+   (placement / routing / finalize) alongside wall time.  Per
+   (arm, device, workload) series it fits the growth exponent of wall
+   time against device size by log-log least squares, and for the
+   output-bound swapnet arm also against emitted CX count (a rigid swap
+   network emits Theta(n^2) gates on a grid, so linearity in output size,
+   not in n, is the meaningful no-quadratic-overhead statement).
+
+   The 1024-qubit dense-ER grid QAOA case — the slowest case of the
+   pre-optimization tree — is included as a dedicated showcase row, and
+   its compiled circuit is scored with the analytic Qcr_sim.Lightcone
+   evaluator (fidelity-weighted p=1 energy under a sampled noise model),
+   which no statevector could do at this width.
+
+   Emits BENCH_scale.json (schema qcr-bench-scale/v1).  With [--check]
+   the run is compared against the committed baseline in
+   bench/baselines/BENCH_scale.json: circuit structure (depth/cx/swaps)
+   must match exactly (the compiler is deterministic), wall time may not
+   exceed max(5x baseline, 1 s) per case, and fitted exponents may not
+   exceed the baseline by more than 0.3; any violation exits nonzero, so
+   CI can gate on quadratic regressions. *)
+
+module Arch = Qcr_arch.Arch
+module Noise = Qcr_arch.Noise
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Program = Qcr_circuit.Program
+module Pipeline = Qcr_core.Pipeline
+module Suite = Qcr_workloads.Suite
+module Lightcone = Qcr_sim.Lightcone
+module Prng = Qcr_util.Prng
+module Obs = Qcr_obs.Obs
+
+(* ---------- minimal JSON emitter + parser (no external dependency) ---------- *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Int of int
+  | Bool of bool
+
+let rec emit b = function
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "%S:" k);
+          emit b v)
+        fields;
+      Buffer.add_char b '}'
+  | Arr items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b v)
+        items;
+      Buffer.add_char b ']'
+  | Str s -> Buffer.add_string b (Printf.sprintf "%S" s)
+  | Num f -> Buffer.add_string b (Printf.sprintf "%.6g" f)
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+
+let write_json path json =
+  let b = Buffer.create 4096 in
+  emit b json;
+  Buffer.add_char b '\n';
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+(* Recursive-descent parser for the subset this benchmark itself emits
+   (escaped quote and backslash only, numbers via float_of_string).
+   Only used by [--check] to read the committed baseline back. *)
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < len then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < len then
+      match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then fail (Printf.sprintf "expected %c" c);
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | c -> Buffer.add_char b c);
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin advance (); Obj [] end
+        else begin
+          let rec fields acc =
+            let k = parse_string () in
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); skip_ws (); fields ((k, v) :: acc)
+            | '}' -> advance (); List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or } in object"
+          in
+          Obj (fields [])
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin advance (); Arr [] end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); items (v :: acc)
+            | ']' -> advance (); List.rev (v :: acc)
+            | _ -> fail "expected , or ] in array"
+          in
+          Arr (items [])
+        end
+    | '"' -> Str (parse_string ())
+    | 't' -> pos := !pos + 4; Bool true
+    | 'f' -> pos := !pos + 5; Bool false
+    | _ ->
+        let start = !pos in
+        let is_num c = (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E' in
+        while !pos < len && is_num s.[!pos] do advance () done;
+        if !pos = start then fail "unexpected character";
+        let tok = String.sub s start (!pos - start) in
+        (try
+           if String.contains tok '.' || String.contains tok 'e' || String.contains tok 'E'
+           then Num (float_of_string tok)
+           else Int (int_of_string tok)
+         with _ -> fail "bad number")
+  in
+  let v = parse_value () in
+  skip_ws ();
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function
+  | Some (Num f) -> f
+  | Some (Int i) -> float_of_int i
+  | _ -> nan
+
+let to_int = function Some (Int i) -> i | Some (Num f) -> int_of_float f | _ -> min_int
+
+let to_string_opt = function Some (Str s) -> Some s | _ -> None
+
+let to_list = function Some (Arr l) -> l | _ -> []
+
+(* ---------- the case matrix ---------- *)
+
+type case_row = {
+  arm : string;
+  device : string;
+  workload : string; (* workload family: qaoa3 / ising / lattice / qaoa-dense *)
+  n : int; (* requested size (the matrix column) *)
+  n_phys : int;
+  n_log : int;
+  edges : int;
+  wall_ms : float;
+  cpu_ms : float;
+  depth : int;
+  cx : int;
+  swaps : int;
+  phases : (string * float) list; (* span name -> total ms *)
+  counters : (string * int) list;
+}
+
+let kind_of_device = function
+  | "grid" -> Arch.Grid
+  | "heavyhex" -> Arch.Heavy_hex
+  | "sycamore" -> Arch.Sycamore
+  | d -> invalid_arg ("Scale: unknown device " ^ d)
+
+let instance_of_workload ~n = function
+  | "qaoa3" -> Suite.scale_qaoa ~n
+  | "ising" -> Suite.scale_ising ~n
+  | "lattice" -> Suite.scale_lattice ~n
+  | "qaoa-dense" ->
+      (* the pre-optimization tree's worst case: dense Erdos-Renyi *)
+      {
+        Suite.label = Printf.sprintf "qaoa-dense-%d" n;
+        seed = 42;
+        graph = Generate.erdos_renyi (Prng.create 42) ~n ~density:0.3;
+      }
+  | w -> invalid_arg ("Scale: unknown workload " ^ w)
+
+let compile_of_arm = function
+  | "greedy" -> fun arch program -> Pipeline.compile_greedy arch program
+  | "swapnet" -> fun arch program -> Pipeline.compile_ata arch program
+  | "ours" -> fun arch program -> Pipeline.compile arch program
+  | a -> invalid_arg ("Scale: unknown arm " ^ a)
+
+(* Per-phase wall attribution: root pipeline sub-spans summed by name.
+   The sink stays ON during the timed run — that is the point of this
+   benchmark (per-phase numbers for the timed case), and the span count
+   is O(1) per compile so the overhead is noise. *)
+let phase_totals () =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun sp ->
+      let name = sp.Obs.span_name in
+      if
+        String.length name >= 9
+        && (String.sub name 0 9 = "pipeline." || String.sub name 0 8 = "swapnet.")
+      then
+        Hashtbl.replace tbl name
+          ((try Hashtbl.find tbl name with Not_found -> 0.0) +. (sp.Obs.span_dur *. 1000.0)))
+    (Obs.spans ());
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let run_case ~arm ~device ~workload ~n =
+  let arch = Arch.smallest_for (kind_of_device device) n in
+  let inst = instance_of_workload ~n workload in
+  let n_log = Graph.vertex_count inst.Suite.graph in
+  if n_log > Arch.qubit_count arch then None
+  else begin
+    let program = Suite.scale_program_of inst in
+    let compile = compile_of_arm arm in
+    Obs.enable ();
+    Obs.reset ();
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let c0 = Sys.time () in
+    let r = compile arch program in
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let cpu_ms = (Sys.time () -. c0) *. 1000.0 in
+    let phases = phase_totals () in
+    let counters = (Obs.snapshot ()).Obs.snap_counters in
+    Obs.reset ();
+    Printf.printf
+      "  %-7s %-8s %-11s n=%-5d phys=%-5d wall %8.1f ms  depth %6d  cx %8d\n%!" arm device
+      workload n (Arch.qubit_count arch) wall_ms r.Pipeline.depth r.Pipeline.cx;
+    Some
+      {
+        arm;
+        device;
+        workload;
+        n;
+        n_phys = Arch.qubit_count arch;
+        n_log;
+        edges = Graph.edge_count inst.Suite.graph;
+        wall_ms;
+        cpu_ms;
+        depth = r.Pipeline.depth;
+        cx = r.Pipeline.cx;
+        swaps = r.Pipeline.swap_count;
+        phases;
+        counters;
+      }
+  end
+
+(* ---------- growth-exponent fitting ---------- *)
+
+(* Least-squares slope of ln(y) against ln(x): y ~ C * x^slope. *)
+let loglog_slope pts =
+  let pts = List.filter (fun (x, y) -> x > 0.0 && y > 0.0) pts in
+  let k = float_of_int (List.length pts) in
+  if List.length pts < 2 then nan
+  else begin
+    let lx = List.map (fun (x, _) -> log x) pts and ly = List.map (fun (_, y) -> log y) pts in
+    let sx = List.fold_left ( +. ) 0.0 lx and sy = List.fold_left ( +. ) 0.0 ly in
+    let sxx = List.fold_left (fun a x -> a +. (x *. x)) 0.0 lx in
+    let sxy = List.fold_left2 (fun a x y -> a +. (x *. y)) 0.0 lx ly in
+    ((k *. sxy) -. (sx *. sy)) /. ((k *. sxx) -. (sx *. sx))
+  end
+
+type fit_row = {
+  fit_arm : string;
+  fit_device : string;
+  fit_workload : string;
+  fit_sizes : int list;
+  exponent : float; (* wall vs device size *)
+  output_exponent : float; (* wall vs emitted CX count (output size) *)
+}
+
+let fit_exponents rows =
+  let keys =
+    List.sort_uniq compare (List.map (fun r -> (r.arm, r.device, r.workload)) rows)
+  in
+  List.filter_map
+    (fun (arm, device, workload) ->
+      let series =
+        List.filter (fun r -> r.arm = arm && r.device = device && r.workload = workload) rows
+      in
+      if List.length series < 2 then None
+      else
+        Some
+          {
+            fit_arm = arm;
+            fit_device = device;
+            fit_workload = workload;
+            fit_sizes = List.map (fun r -> r.n) series;
+            exponent =
+              loglog_slope (List.map (fun r -> (float_of_int r.n_phys, r.wall_ms)) series);
+            output_exponent =
+              loglog_slope (List.map (fun r -> (float_of_int r.cx, r.wall_ms)) series);
+          })
+    keys
+
+(* ---------- lightcone showcase ---------- *)
+
+let lightcone_report ~n =
+  let arch = Arch.smallest_for Arch.Grid n in
+  let inst = Suite.scale_qaoa ~n in
+  let program = Suite.scale_program_of inst in
+  let noise = Noise.sampled ~seed:9 arch in
+  let r = Pipeline.compile_greedy ~noise arch program in
+  let e = Lightcone.evaluate ~noise ~graph:inst.Suite.graph ~compiled:r.Pipeline.circuit () in
+  let gamma, beta = Qcr_sim.Qaoa.angles_of_compiled r.Pipeline.circuit in
+  Printf.printf
+    "  lightcone n=%d: ideal %.4f  fidelity %.3e  noisy %.4f  (gamma %.2f beta %.2f)\n%!" n
+    e.Lightcone.ideal_energy e.Lightcone.fidelity e.Lightcone.energy gamma beta;
+  Obj
+    [
+      ("device", Str "grid");
+      ("workload", Str inst.Suite.label);
+      ("n", Int n);
+      ("edges", Int (Graph.edge_count inst.Suite.graph));
+      ("gamma", Num gamma);
+      ("beta", Num beta);
+      ("ideal_energy", Num e.Lightcone.ideal_energy);
+      ("energy", Num e.Lightcone.energy);
+      ("fidelity", Num e.Lightcone.fidelity);
+      ("depth", Int r.Pipeline.depth);
+      ("cx", Int r.Pipeline.cx);
+    ]
+
+(* ---------- JSON assembly ---------- *)
+
+let case_json r =
+  Obj
+    [
+      ("arm", Str r.arm);
+      ("device", Str r.device);
+      ("workload", Str r.workload);
+      ("n", Int r.n);
+      ("n_phys", Int r.n_phys);
+      ("n_log", Int r.n_log);
+      ("edges", Int r.edges);
+      ("wall_ms", Num r.wall_ms);
+      ("cpu_ms", Num r.cpu_ms);
+      ("depth", Int r.depth);
+      ("cx", Int r.cx);
+      ("swaps", Int r.swaps);
+      ("phases", Obj (List.map (fun (k, v) -> (k, Num v)) r.phases));
+      ("counters", Obj (List.map (fun (k, v) -> (k, Int v)) r.counters));
+    ]
+
+let fit_json f =
+  Obj
+    [
+      ("arm", Str f.fit_arm);
+      ("device", Str f.fit_device);
+      ("workload", Str f.fit_workload);
+      ("sizes", Arr (List.map (fun n -> Int n) f.fit_sizes));
+      ("exponent", Num f.exponent);
+      ("output_exponent", Num f.output_exponent);
+    ]
+
+let output_file = "BENCH_scale.json"
+
+let baseline_file = Filename.concat (Filename.concat "bench" "baselines") "BENCH_scale.json"
+
+(* ---------- baseline comparison (--check) ---------- *)
+
+let case_key j =
+  match
+    ( to_string_opt (member "arm" j),
+      to_string_opt (member "device" j),
+      to_string_opt (member "workload" j),
+      to_int (member "n" j) )
+  with
+  | Some a, Some d, Some w, n when n > min_int -> Some (a, d, w, n)
+  | _ -> None
+
+let check_against_baseline current =
+  if not (Sys.file_exists baseline_file) then begin
+    Printf.printf "  check: no baseline at %s (skipping)\n%!" baseline_file;
+    true
+  end
+  else begin
+    let baseline = parse_json (Common.read_file baseline_file) in
+    let failures = ref [] in
+    let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+    let base_cases =
+      List.filter_map (fun j -> Option.map (fun k -> (k, j)) (case_key j))
+        (to_list (member "cases" baseline))
+    in
+    List.iter
+      (fun j ->
+        match case_key j with
+        | None -> ()
+        | Some ((arm, device, workload, n) as key) -> (
+            match List.assoc_opt key base_cases with
+            | None -> () (* new case: nothing to compare *)
+            | Some b ->
+                let label = Printf.sprintf "%s/%s/%s/%d" arm device workload n in
+                List.iter
+                  (fun field ->
+                    let cur = to_int (member field j) and ref_ = to_int (member field b) in
+                    if cur <> ref_ then
+                      fail "%s: %s changed %d -> %d (compiler output must be deterministic)"
+                        label field ref_ cur)
+                  [ "depth"; "cx"; "swaps" ];
+                let cur_wall = to_float (member "wall_ms" j)
+                and base_wall = to_float (member "wall_ms" b) in
+                let ceiling = Float.max (5.0 *. base_wall) 1000.0 in
+                if cur_wall > ceiling then
+                  fail "%s: wall %.1f ms exceeds ceiling %.1f ms (baseline %.1f ms)" label
+                    cur_wall ceiling base_wall))
+      (to_list (member "cases" current));
+    let base_fits =
+      List.filter_map
+        (fun j ->
+          match
+            ( to_string_opt (member "arm" j),
+              to_string_opt (member "device" j),
+              to_string_opt (member "workload" j) )
+          with
+          | Some a, Some d, Some w -> Some ((a, d, w), j)
+          | _ -> None)
+        (to_list (member "exponents" baseline))
+    in
+    List.iter
+      (fun j ->
+        match
+          ( to_string_opt (member "arm" j),
+            to_string_opt (member "device" j),
+            to_string_opt (member "workload" j) )
+        with
+        | Some a, Some d, Some w -> (
+            match List.assoc_opt (a, d, w) base_fits with
+            | None -> ()
+            | Some b ->
+                (* the swapnet arm emits Theta(n^2) gates by construction;
+                   its meaningful exponent is wall vs output size *)
+                let field = if a = "swapnet" then "output_exponent" else "exponent" in
+                let cur = to_float (member field j) and ref_ = to_float (member field b) in
+                if Float.is_nan cur || cur > ref_ +. 0.3 then
+                  fail "%s/%s/%s: %s %.2f exceeds baseline %.2f + 0.3" a d w field cur ref_)
+        | _ -> ())
+      (to_list (member "exponents" current));
+    List.iter (fun f -> Printf.printf "  CHECK FAILED: %s\n%!" f) (List.rev !failures);
+    if !failures = [] then Printf.printf "  check: OK against %s\n%!" baseline_file;
+    !failures = []
+  end
+
+(* ---------- driver ---------- *)
+
+let run ?(check = false) scale =
+  Common.heading "Compile-time scaling: arms x devices x sizes (BENCH_scale.json)";
+  let sizes, devices, workloads, arms, with_dense, lightcone_n =
+    match scale with
+    | Common.Quick ->
+        ([ 27; 100; 256 ], [ "grid" ], [ "qaoa3" ], [ "greedy"; "swapnet" ], false, 256)
+    | Common.Default ->
+        ( [ 27; 100; 256; 1024 ],
+          [ "grid"; "heavyhex"; "sycamore" ],
+          [ "qaoa3"; "ising" ],
+          [ "greedy"; "swapnet"; "ours" ],
+          true,
+          1024 )
+    | Common.Full ->
+        ( [ 27; 100; 256; 576; 1024 ],
+          [ "grid"; "heavyhex"; "sycamore" ],
+          [ "qaoa3"; "ising"; "lattice" ],
+          [ "greedy"; "swapnet"; "ours" ],
+          true,
+          1024 )
+  in
+  let was_enabled = Obs.enabled () in
+  let rows =
+    List.concat_map
+      (fun arm ->
+        List.concat_map
+          (fun device ->
+            List.concat_map
+              (fun workload ->
+                List.filter_map (fun n -> run_case ~arm ~device ~workload ~n) sizes)
+              workloads)
+          devices)
+      arms
+  in
+  (* dense showcase: the pre-optimization tree's 14.6 s worst case *)
+  let dense_rows =
+    if with_dense then
+      List.filter_map (fun n -> run_case ~arm:"greedy" ~device:"grid" ~workload:"qaoa-dense" ~n)
+        [ 1024 ]
+    else []
+  in
+  let rows = rows @ dense_rows in
+  let fits = fit_exponents rows in
+  List.iter
+    (fun f ->
+      Printf.printf "  exponent %-7s %-8s %-11s wall~n^%.2f  wall~cx^%.2f\n%!" f.fit_arm
+        f.fit_device f.fit_workload f.exponent f.output_exponent)
+    fits;
+  let lightcone = lightcone_report ~n:lightcone_n in
+  if not was_enabled then Obs.disable ();
+  let scale_name =
+    match scale with Common.Quick -> "quick" | Common.Default -> "default" | Common.Full -> "full"
+  in
+  let doc =
+    Obj
+      [
+        ("schema", Str "qcr-bench-scale/v1");
+        ("generated_by", Str "dune exec bench/main.exe -- scale");
+        ("scale", Str scale_name);
+        ("domains", Int (Qcr_par.Pool.default_domain_count ()));
+        ("cases", Arr (List.map case_json rows));
+        ("exponents", Arr (List.map fit_json fits));
+        ("lightcone", lightcone);
+      ]
+  in
+  write_json output_file doc;
+  Printf.printf "  wrote %s\n%!" output_file;
+  if check then
+    if not (check_against_baseline doc) then begin
+      Printf.eprintf "scale: baseline check failed\n%!";
+      exit 1
+    end

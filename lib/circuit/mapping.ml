@@ -41,6 +41,8 @@ let copy t = { logical = t.logical; p_of_l = Array.copy t.p_of_l; l_of_p = Array
 
 let phys_array t = Array.copy t.p_of_l
 
+let phys_backing t = t.p_of_l
+
 let random rng ~logical ~physical =
   let a = Array.init physical (fun i -> i) in
   Qcr_util.Prng.shuffle rng a;

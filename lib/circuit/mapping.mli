@@ -37,6 +37,11 @@ val copy : t -> t
 val phys_array : t -> int array
 (** Fresh copy of the [phys_of_log] array (including dummies). *)
 
+val phys_backing : t -> int array
+(** The live [phys_of_log] backing store, NOT a copy: [apply_swap] updates
+    it in place and the array identity is stable for the mapping's
+    lifetime, so hot loops can hoist it once.  Callers must not mutate. *)
+
 val random : Qcr_util.Prng.t -> logical:int -> physical:int -> t
 
 val equal : t -> t -> bool

@@ -8,6 +8,7 @@ module Circuit = Qcr_circuit.Circuit
 module Program = Qcr_circuit.Program
 module Gate = Qcr_circuit.Gate
 module Obs = Qcr_obs.Obs
+module Bitset = Qcr_util.Bitset
 
 let c_cycles = Obs.counter "greedy.cycles"
 
@@ -30,43 +31,134 @@ type t = {
   mapping : Mapping.t;
   circuit : Circuit.t;
   dists : Paths.distances;
+  (* Distances repacked as uint16 (2 bytes/entry instead of a boxed-word
+     int): the partner scans hit this table ~100M times on dense
+     1024-qubit inputs, and the 4x smaller footprint keeps whole rows in
+     L1.  [None] when some pair is unreachable or a distance overflows
+     16 bits (pathological devices); [dist] then falls back to the exact
+     matrix. *)
+  dist16 : (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t option;
+  n_phys : int;
+  cgraph : Graph.t; (* device coupling graph *)
   coupling_edges : (int * int) array;
+  (* Incremental frontier: bit [i] is set iff coupling edge [i] currently
+     hosts an executable gate (both endpoints carry logical tokens with a
+     remaining program edge between them).  Maintained by [commit_gate]
+     (the host edge deactivates — a logical pair occupies exactly one
+     physical edge) and [commit_swap] (only edges incident to the two
+     moved vertices can change).  [executable_gates] then walks the set
+     members in increasing index order, which is exactly the coupling-edge
+     scan order of the full rescan it replaces. *)
+  active : Bitset.t;
+  incident : int array array; (* physical vertex -> coupling edge indices *)
+  edge_u : int array; (* flat coupling edge endpoints, edge_u.(i) < edge_v.(i) *)
+  edge_v : int array;
   n_log : int;
   mutable cycle : int;
   mutable swaps : int;
   mutable remaining_gates : int;
   mutable stalled : int; (* consecutive cycles without a gate execution *)
-  last_swap_cycle : (int, int) Hashtbl.t; (* physical-edge key -> cycle *)
+  last_swap : int array; (* coupling edge index -> cycle of last swap there *)
   partner_cache : int array; (* logical -> cached closest remaining partner *)
   partner_age : int array; (* cycle at which the cache entry was computed *)
-  gain : float array; (* scratch: per-physical-edge swap gain, cleared per cycle *)
+  swap_used : bool array; (* scratch: matching's per-cycle used-vertex set *)
+  gain : float array; (* scratch: per-coupling-edge swap gain, cleared per cycle *)
+  wgt : float array; (* scratch: final (noise-scaled) weight of kept candidates *)
 }
 
-let edge_key t p q =
-  let n = Arch.qubit_count t.arch in
-  (min p q * n) + max p q
+(* Index of the coupling edge (p, q), by scanning the (bounded-degree)
+   incidence row of [p] — no hashing.  The edge must exist. *)
+let edge_idx t p q =
+  let lo = min p q and hi = max p q in
+  let row = t.incident.(lo) in
+  let rec find i =
+    let e = row.(i) in
+    if t.edge_u.(e) = lo && t.edge_v.(e) = hi then e else find (i + 1)
+  in
+  find 0
 
 let create ?(config = Config.default) ?noise ~arch ~program ~init () =
   let remaining = Graph.copy (Program.graph program) in
+  let cgraph = Arch.graph arch in
+  let coupling_edges = Array.of_list (Graph.edges cgraph) in
+  let n_phys = Arch.qubit_count arch in
+  let n_log = Program.qubit_count program in
+  let mapping = Mapping.copy init in
+  let m = Array.length coupling_edges in
+  let incident = Array.make n_phys [||] in
+  let fill = Array.make n_phys 0 in
+  Array.iter
+    (fun (p, q) ->
+      fill.(p) <- fill.(p) + 1;
+      fill.(q) <- fill.(q) + 1)
+    coupling_edges;
+  Array.iteri (fun v c -> incident.(v) <- Array.make c 0) fill;
+  Array.fill fill 0 n_phys 0;
+  Array.iteri
+    (fun i (p, q) ->
+      incident.(p).(fill.(p)) <- i;
+      fill.(p) <- fill.(p) + 1;
+      incident.(q).(fill.(q)) <- i;
+      fill.(q) <- fill.(q) + 1)
+    coupling_edges;
+  let edge_u = Array.make (max m 1) 0 and edge_v = Array.make (max m 1) 0 in
+  Array.iteri
+    (fun i (p, q) ->
+      edge_u.(i) <- p;
+      edge_v.(i) <- q)
+    coupling_edges;
+  let active = Bitset.create (max m 1) in
+  Array.iteri
+    (fun i (p, q) ->
+      let a = Mapping.log_of_phys mapping p and b = Mapping.log_of_phys mapping q in
+      if a < n_log && b < n_log && Graph.has_edge remaining a b then Bitset.add active i)
+    coupling_edges;
+  let dists = Arch.distances arch in
+  let dist16 =
+    let size = n_phys * n_phys in
+    let t16 =
+      Bigarray.Array1.create Bigarray.int16_unsigned Bigarray.c_layout (max size 1)
+    in
+    let ok = ref true in
+    (try
+       for p = 0 to n_phys - 1 do
+         for q = 0 to n_phys - 1 do
+           let d = Paths.distance dists p q in
+           if d < 0 || d >= 65536 then raise Exit;
+           Bigarray.Array1.unsafe_set t16 ((p * n_phys) + q) d
+         done
+       done
+     with Exit -> ok := false);
+    if !ok then Some t16 else None
+  in
   {
     arch;
     config;
     noise;
     program;
     remaining;
-    mapping = Mapping.copy init;
-    circuit = Circuit.create (Arch.qubit_count arch);
-    dists = Arch.distances arch;
-    coupling_edges = Array.of_list (Graph.edges (Arch.graph arch));
-    n_log = Program.qubit_count program;
+    mapping;
+    circuit = Circuit.create n_phys;
+    dists;
+    dist16;
+    n_phys;
+    cgraph;
+    coupling_edges;
+    active;
+    incident;
+    edge_u;
+    edge_v;
+    n_log;
     cycle = 0;
     swaps = 0;
     remaining_gates = Graph.edge_count remaining;
     stalled = 0;
-    last_swap_cycle = Hashtbl.create 256;
-    partner_cache = Array.make (max (Program.qubit_count program) 1) (-1);
-    partner_age = Array.make (max (Program.qubit_count program) 1) min_int;
-    gain = Array.make (Arch.qubit_count arch * Arch.qubit_count arch) 0.0;
+    last_swap = Array.make (max m 1) (min_int / 2);
+    partner_cache = Array.make (max n_log 1) (-1);
+    partner_age = Array.make (max n_log 1) min_int;
+    swap_used = Array.make n_phys false;
+    gain = Array.make (max m 1) 0.0;
+    wgt = Array.make (max m 1) 0.0;
   }
 
 let finished t = t.remaining_gates = 0
@@ -83,22 +175,37 @@ let mapping t = t.mapping
 
 let circuit t = t.circuit
 
-let dist t p q = Paths.distance t.dists p q
+let dist t p q =
+  match t.dist16 with
+  | Some t16 -> Bigarray.Array1.unsafe_get t16 ((p * t.n_phys) + q)
+  | None -> Paths.distance t.dists p q
 
-(* Hardware-compliant gates this cycle: scan the coupling edges once
-   (O(device edges), independent of the program size). *)
+(* Hardware-compliant gates this cycle: walk the incrementally maintained
+   active-edge set (O(executable gates), independent of both the program
+   size and the device size).  Members come out in increasing edge index,
+   the same order as a full coupling scan. *)
 let executable_gates t =
-  Array.to_list t.coupling_edges
-  |> List.filter_map (fun (p, q) ->
-         let a = Mapping.log_of_phys t.mapping p and b = Mapping.log_of_phys t.mapping q in
-         if a < t.n_log && b < t.n_log && Graph.has_edge t.remaining a b then
-           Some ((a, b), (p, q))
-         else None)
+  let acc = ref [] in
+  Bitset.iter
+    (fun i ->
+      let p = t.edge_u.(i) and q = t.edge_v.(i) in
+      let a = Mapping.log_of_phys t.mapping p and b = Mapping.log_of_phys t.mapping q in
+      acc := ((a, b), (p, q)) :: !acc)
+    t.active;
+  List.rev !acc
+
+(* Re-derive the activity bit of coupling edge [i] from the mapping and
+   the remaining program edges. *)
+let refresh_edge t i =
+  let p = t.edge_u.(i) and q = t.edge_v.(i) in
+  let a = Mapping.log_of_phys t.mapping p and b = Mapping.log_of_phys t.mapping q in
+  if a < t.n_log && b < t.n_log && Graph.has_edge t.remaining a b then Bitset.add t.active i
+  else Bitset.remove t.active i
 
 (* Crosstalk conflict: two parallel 2q gates whose sites are adjacent on
    the device (§5.3). *)
 let crosstalk_conflict t (p1, q1) (p2, q2) =
-  let g = Arch.graph t.arch in
+  let g = t.cgraph in
   Graph.has_edge g p1 p2 || Graph.has_edge g p1 q2 || Graph.has_edge g q1 p2
   || Graph.has_edge g q1 q2
 
@@ -165,8 +272,10 @@ let choose_gates t candidates =
       done;
       List.rev_map (fun i -> arr.(i)) !chosen
 
-let commit_gate t ((a, b), (_p, _q)) =
+let commit_gate t ((a, b), (p, q)) =
   Graph.remove_edge t.remaining a b;
+  (* the consumed pair occupied exactly this physical edge *)
+  Bitset.remove t.active (edge_idx t p q);
   if t.partner_cache.(a) = b then t.partner_cache.(a) <- -1;
   if t.partner_cache.(b) = a then t.partner_cache.(b) <- -1;
   t.remaining_gates <- t.remaining_gates - 1;
@@ -189,22 +298,48 @@ let commit_gate t ((a, b), (_p, _q)) =
    measurable quality change. *)
 let cache_ttl = 4
 
+(* Allocation-free argmin over the remaining neighbors (increasing vertex
+   order, first minimum wins — same choice as a left-to-right scan).  This
+   runs for every token whose cache was invalidated, i.e. after every
+   move, so it is the single hottest loop on dense thousand-qubit inputs:
+   it iterates the adjacency row and the mapping backing store directly,
+   with no closure call per neighbor. *)
 let recompute_partner t a =
-  let pa = Mapping.phys_of_log t.mapping a in
-  let best = ref None in
-  List.iter
-    (fun v ->
-      let d = dist t pa (Mapping.phys_of_log t.mapping v) in
-      match !best with
-      | Some (_, d') when d' <= d -> ()
-      | _ -> best := Some (v, d))
-    (Graph.neighbors t.remaining a);
-  (match !best with
-  | Some (v, _) ->
-      t.partner_cache.(a) <- v;
-      t.partner_age.(a) <- t.cycle
-  | None -> t.partner_cache.(a) <- -1);
-  !best
+  let pol = Mapping.phys_backing t.mapping in
+  let pa = pol.(a) in
+  let row, deg = Graph.adj_row t.remaining a in
+  let best_v = ref (-1) and best_d = ref max_int in
+  (match t.dist16 with
+  | Some t16 ->
+      let base = pa * t.n_phys in
+      for i = 0 to deg - 1 do
+        let v = Array.unsafe_get row i in
+        let d =
+          Bigarray.Array1.unsafe_get t16 (base + Array.unsafe_get pol v)
+        in
+        if d < !best_d then begin
+          best_v := v;
+          best_d := d
+        end
+      done
+  | None ->
+      for i = 0 to deg - 1 do
+        let v = Array.unsafe_get row i in
+        let d = Paths.distance t.dists pa pol.(v) in
+        if d < !best_d then begin
+          best_v := v;
+          best_d := d
+        end
+      done);
+  if !best_v >= 0 then begin
+    t.partner_cache.(a) <- !best_v;
+    t.partner_age.(a) <- t.cycle;
+    Some (!best_v, !best_d)
+  end
+  else begin
+    t.partner_cache.(a) <- -1;
+    None
+  end
 
 let closest_partner t a =
   let cached = t.partner_cache.(a) in
@@ -220,7 +355,7 @@ let closest_partner t a =
 
 let candidate_swaps t ~busy =
   let gain = t.gain in
-  let touched = ref [] in
+  let touched = ref [] in (* coupling edge indices with positive raw gain *)
   (* per logical token with remaining gates, reward coupling moves that
      reduce the distance to its closest partner *)
   for a = 0 to t.n_log - 1 do
@@ -231,46 +366,45 @@ let candidate_swaps t ~busy =
           let pa = Mapping.phys_of_log t.mapping a in
           let pv = Mapping.phys_of_log t.mapping v in
           if not busy.(pa) then
-            List.iter
-              (fun w ->
+            Graph.iter_neighbors t.cgraph pa (fun w ->
                 if not busy.(w) then begin
                   let d' = dist t w pv in
                   if d' < d then begin
-                    let key = edge_key t pa w in
-                    if gain.(key) = 0.0 then touched := (min pa w, max pa w) :: !touched;
-                    gain.(key) <- gain.(key) +. float_of_int (d - d')
+                    let e = edge_idx t pa w in
+                    if gain.(e) = 0.0 then touched := e :: !touched;
+                    gain.(e) <- gain.(e) +. float_of_int (d - d')
                   end
                 end)
-              (Graph.neighbors (Arch.graph t.arch) pa)
     end
   done;
-  let result = List.filter_map
-    (fun (p, q) ->
-      let base = gain.(edge_key t p q) in
-      if base <= 0.0 then None
-      else begin
-        (* discourage immediate ping-pong on the same link *)
-        let recent =
-          match Hashtbl.find_opt t.last_swap_cycle (edge_key t p q) with
-          | Some c -> t.cycle - c <= 1
-          | None -> false
-        in
-        if recent then None
+  (* Keep candidates as bare coupling-edge indices with the final
+     (noise-scaled) weight parked in [t.wgt]: no per-candidate record, so
+     the per-cycle sort in [choose_swaps] compares unboxed floats. *)
+  let result =
+    List.filter_map
+      (fun e ->
+        let base = gain.(e) in
+        if base <= 0.0 then None
         else begin
-          let weight =
-            match (t.config.Config.noise_aware, t.noise) with
-            | true, Some noise ->
-                (* low-error links preferred: scale gain by link quality *)
-                base *. (1.0 -. Noise.cx_error noise p q) ** 3.0
-            | _ -> base
-          in
-          Some { Matching.u = p; v = q; weight }
-        end
-      end)
-    !touched
+          (* discourage immediate ping-pong on the same link *)
+          if t.cycle - t.last_swap.(e) <= 1 then None
+          else begin
+            let weight =
+              match (t.config.Config.noise_aware, t.noise) with
+              | true, Some noise ->
+                  (* low-error links preferred: scale gain by link quality *)
+                  base
+                  *. (1.0 -. Noise.cx_error noise t.edge_u.(e) t.edge_v.(e)) ** 3.0
+              | _ -> base
+            in
+            t.wgt.(e) <- weight;
+            Some e
+          end
+        end)
+      !touched
   in
   (* clear only the entries written this cycle *)
-  List.iter (fun (p, q) -> gain.(edge_key t p q) <- 0.0) !touched;
+  List.iter (fun e -> gain.(e) <- 0.0) !touched;
   result
 
 (* With matching on, a qubit-disjoint set of simultaneous SWAPs is chosen
@@ -280,28 +414,42 @@ let candidate_swaps t ~busy =
    matching).  With matching off only the single heaviest candidate SWAP
    commits per cycle, the per-gate style of the simpler baselines. *)
 let choose_swaps t candidates =
-  let sorted =
-    List.sort
-      (fun a b ->
-        match compare b.Matching.weight a.Matching.weight with
-        | 0 -> compare (a.Matching.u, a.Matching.v) (b.Matching.u, b.Matching.v)
-        | c -> c)
-      candidates
-  in
-  match sorted with
-  | [] -> []
-  | first :: _ when not t.config.Config.use_matching -> [ first ]
-  | _ ->
-      let used = Hashtbl.create 16 in
-      List.filter
-        (fun { Matching.u; v; _ } ->
-          if Hashtbl.mem used u || Hashtbl.mem used v then false
-          else begin
-            Hashtbl.replace used u ();
-            Hashtbl.replace used v ();
-            true
-          end)
-        sorted
+  (* Candidates are distinct coupling-edge indices, and edge indices are
+     allocated in (u, v)-lexicographic order, so sorting by (weight desc,
+     index asc) reproduces the (weight desc, u asc, v asc) order exactly —
+     the order is strict, making the unstable array sort safe.  Comparing
+     ints keyed by a flat float array avoids both boxed-float field reads
+     and merge-run allocation every cycle. *)
+  let w = t.wgt in
+  let arr = Array.of_list candidates in
+  Array.sort
+    (fun e1 e2 ->
+      let w1 = Array.unsafe_get w e1 and w2 = Array.unsafe_get w e2 in
+      if w1 > w2 then -1 else if w1 < w2 then 1 else Stdlib.compare (e1 : int) e2)
+    arr;
+  let pair e = (t.edge_u.(e), t.edge_v.(e)) in
+  if Array.length arr = 0 then []
+  else if not t.config.Config.use_matching then [ pair arr.(0) ]
+  else begin
+    let used = t.swap_used in
+    let picked = ref [] in
+    Array.iter
+      (fun e ->
+        let u = t.edge_u.(e) and v = t.edge_v.(e) in
+        if not (used.(u) || used.(v)) then begin
+          used.(u) <- true;
+          used.(v) <- true;
+          picked := (u, v) :: !picked
+        end)
+      arr;
+    let result = List.rev !picked in
+    List.iter
+      (fun (u, v) ->
+        used.(u) <- false;
+        used.(v) <- false)
+      result;
+    result
+  end
 
 let commit_swap t p q =
   (* moving a token invalidates its cached direction *)
@@ -309,7 +457,10 @@ let commit_swap t p q =
   if a < t.n_log then t.partner_cache.(a) <- -1;
   if b < t.n_log then t.partner_cache.(b) <- -1;
   Mapping.apply_swap t.mapping p q;
-  Hashtbl.replace t.last_swap_cycle (edge_key t p q) t.cycle;
+  (* only edges touching the two moved vertices can change activity *)
+  Array.iter (fun i -> refresh_edge t i) t.incident.(p);
+  Array.iter (fun i -> refresh_edge t i) t.incident.(q);
+  t.last_swap.(edge_idx t p q) <- t.cycle;
   t.swaps <- t.swaps + 1;
   Obs.incr c_swaps;
   Circuit.add t.circuit (Gate.Swap (p, q))
@@ -369,7 +520,7 @@ let step t =
     end
     else begin
       let swaps = choose_swaps t (candidate_swaps t ~busy) in
-      List.iter (fun { Matching.u; v; _ } -> commit_swap t u v) swaps;
+      List.iter (fun (u, v) -> commit_swap t u v) swaps;
       if gates = [] && swaps = [] && not (finished t) then ignore (force_progress t)
     end;
     t.swaps > swaps_before

@@ -21,6 +21,13 @@ let c_strategy_ata = Obs.counter "pipeline.strategy.ata"
 
 let c_strategy_hybrid = Obs.counter "pipeline.strategy.hybrid"
 
+(* Scale gauges: last-compile device size and throughput, exposed through
+   Qcr_obs.Registry so {"op":"metrics"} reports compiler throughput at
+   1000-qubit scale without any extra plumbing. *)
+let g_device_qubits = Qcr_obs.Registry.gauge "pipeline.device_qubits"
+
+let g_gates_per_second = Qcr_obs.Registry.gauge "pipeline.gates_per_second"
+
 type strategy =
   | Pure_greedy
   | Pure_ata
@@ -62,6 +69,10 @@ let finalize ~arch ~program ~noise ~initial ~final ~strategy ~seconds body =
   List.iter (Circuit.add circuit) (Circuit.gates body);
   List.iter (fun g -> Circuit.add circuit (place final g)) (Program.epilogue program);
   let circuit = Circuit.merge_swaps circuit in
+  Qcr_obs.Registry.set_gauge g_device_qubits (float_of_int n_phys);
+  if seconds > 0.0 then
+    Qcr_obs.Registry.set_gauge g_gates_per_second
+      (float_of_int (List.length (Circuit.gates circuit)) /. seconds);
   {
     circuit;
     initial;

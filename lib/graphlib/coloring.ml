@@ -6,9 +6,8 @@ let greedy g =
   let forbidden = Array.make (n + 1) (-1) in
   Array.iter
     (fun v ->
-      List.iter
-        (fun u -> if color.(u) >= 0 then forbidden.(color.(u)) <- v)
-        (Graph.neighbors g v);
+      Graph.iter_neighbors g v (fun u ->
+          if color.(u) >= 0 then forbidden.(color.(u)) <- v);
       let c = ref 0 in
       while forbidden.(!c) = v do
         incr c

@@ -80,3 +80,15 @@ let star n =
     Graph.add_edge g 0 v
   done;
   g
+
+let lattice ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generate.lattice: empty lattice";
+  let g = Graph.create (rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let v = (r * cols) + c in
+      if c < cols - 1 then Graph.add_edge g v (v + 1);
+      if r < rows - 1 then Graph.add_edge g v (v + cols)
+    done
+  done;
+  g

@@ -21,3 +21,9 @@ val path : int -> Graph.t
 val cycle : int -> Graph.t
 
 val star : int -> Graph.t
+
+val lattice : rows:int -> cols:int -> Graph.t
+(** Nearest-neighbor 2D lattice problem graph; vertex (r, c) is
+    [r * cols + c].  The hardware-native workload for grid devices: the
+    interaction graph matches the coupling graph, so routing cost isolates
+    compiler overhead from topological mismatch at scale. *)

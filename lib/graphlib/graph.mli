@@ -25,7 +25,23 @@ val has_edge : t -> int -> int -> bool
 val neighbors : t -> int -> int list
 (** Neighbors in increasing order. *)
 
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** [iter_neighbors t v f] applies [f] to each neighbor of [v] in
+    increasing order, without allocating a list. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+(** [fold_neighbors t v f init] folds [f] over the neighbors of [v] in
+    increasing order, without allocating a list. *)
+
+val adj_row : t -> int -> int array * int
+(** [adj_row t v] is the sorted neighbor backing row of [v] and its live
+    length (entries beyond it are stale capacity).  Zero-copy escape hatch
+    for hot loops that cannot afford a closure per neighbor; the row is
+    invalidated by the next [add_edge]/[remove_edge] touching [v].
+    Callers must not mutate. *)
+
 val degree : t -> int -> int
+(** O(1): degrees are cached and maintained by [add_edge]/[remove_edge]. *)
 
 val edges : t -> (int * int) list
 (** All edges with [u < v], lexicographically ordered. *)
@@ -52,3 +68,32 @@ val complete : int -> t
 (** The [n]-clique (the paper's special "clique-circuit" input, Def. 1). *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Immutable compressed-sparse-row snapshot of a graph: one flat offsets
+    array plus one flat adjacency array.  Read-only hot loops (all-pairs
+    BFS, router coupling scans) iterate it cache-linearly with zero
+    allocation.  Neighbor order is identical to [neighbors] (increasing). *)
+module Csr : sig
+  type graph := t
+
+  type t
+
+  val of_graph : graph -> t
+  (** Snapshot; later mutation of the source graph is not reflected. *)
+
+  val vertex_count : t -> int
+
+  val edge_count : t -> int
+
+  val degree : t -> int -> int
+
+  val neighbors : t -> int -> int list
+  (** Neighbors in increasing order — same as [Graph.neighbors]. *)
+
+  val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+  val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+end
+
+val csr : t -> Csr.t
+(** [csr t] is [Csr.of_graph t]. *)

@@ -8,26 +8,45 @@ let bfs g source =
   Queue.push source queue;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    List.iter
-      (fun v ->
+    Graph.iter_neighbors g u (fun v ->
         if dist.(v) = max_int then begin
           dist.(v) <- dist.(u) + 1;
           Queue.push v queue
         end)
-      (Graph.neighbors g u)
   done;
   dist
 
+(* All-pairs BFS over a CSR snapshot with a flat int-array queue: no
+   per-visit allocation, so 1000+-vertex coupling graphs stay cheap. *)
 let all_pairs g =
   let n = Graph.vertex_count g in
+  let csr = Graph.csr g in
   let matrix = Array.make (n * n) max_int in
+  let queue = Array.make (max n 1) 0 in
   for source = 0 to n - 1 do
-    let dist = bfs g source in
-    Array.blit dist 0 matrix (source * n) n
+    let base = source * n in
+    matrix.(base + source) <- 0;
+    queue.(0) <- source;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      let du = matrix.(base + u) in
+      Graph.Csr.iter_neighbors csr u (fun v ->
+          if matrix.(base + v) = max_int then begin
+            matrix.(base + v) <- du + 1;
+            queue.(!tail) <- v;
+            incr tail
+          end)
+    done
   done;
   { n; matrix }
 
 let distance d u v = d.matrix.((u * d.n) + v)
+
+let matrix d = d.matrix
+
+let order d = d.n
 
 let shortest_path g source target =
   let n = Graph.vertex_count g in
@@ -38,14 +57,12 @@ let shortest_path g source target =
   Queue.push source queue;
   while not (Queue.is_empty queue) && dist.(target) = max_int do
     let u = Queue.pop queue in
-    List.iter
-      (fun v ->
+    Graph.iter_neighbors g u (fun v ->
         if dist.(v) = max_int then begin
           dist.(v) <- dist.(u) + 1;
           parent.(v) <- u;
           Queue.push v queue
         end)
-      (Graph.neighbors g u)
   done;
   if dist.(target) = max_int then raise Not_found;
   let rec build v acc = if v = source then source :: acc else build parent.(v) (v :: acc) in

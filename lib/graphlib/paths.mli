@@ -14,6 +14,14 @@ val all_pairs : Graph.t -> distances
 
 val distance : distances -> int -> int -> int
 
+val matrix : distances -> int array
+(** Row-major backing store: [distance d u v] is [(matrix d).(u * order d + v)].
+    Exposed so hot loops can hoist the row base; unreachable pairs hold
+    [max_int].  Do not mutate. *)
+
+val order : distances -> int
+(** Number of vertices the matrix covers (its row length). *)
+
 val shortest_path : Graph.t -> int -> int -> int list
 (** One shortest path including both endpoints.
     @raise Not_found if disconnected. *)

@@ -1,0 +1,92 @@
+module Graph = Qcr_graph.Graph
+module Circuit = Qcr_circuit.Circuit
+module Noise = Qcr_arch.Noise
+module Obs = Qcr_obs.Obs
+
+let c_evaluations = Obs.counter "lightcone.evaluations"
+
+(* Number of triangles through edge (u, v) = |N(u) ∩ N(v)|, by merging the
+   two sorted adjacency rows.  O(deg u + deg v) per edge, so the whole
+   energy sum is O(sum of endpoint degrees) — independent of 2^n. *)
+let triangles_through g u v =
+  let ru, du = Graph.adj_row g u and rv, dv = Graph.adj_row g v in
+  let i = ref 0 and j = ref 0 and count = ref 0 in
+  while !i < du && !j < dv do
+    let a = Array.unsafe_get ru !i and b = Array.unsafe_get rv !j in
+    if a = b then begin
+      incr count;
+      incr i;
+      incr j
+    end
+    else if a < b then incr i
+    else incr j
+  done;
+  !count
+
+(* Closed-form p=1 expected cut of one edge (Wang, Hadfield, Jiang &
+   Rieffel, PRA 97 022304 (2018), Thm 1): for the state
+   e^{-i beta B} e^{-i gamma C} |+>^n with C = sum (1 - Z_u Z_v)/2,
+
+     <C_uv> = 1/2
+            + (1/4) sin(4 beta) sin(gamma) (cos^d gamma + cos^e gamma)
+            - (1/4) sin^2(2 beta) cos^{d+e-2f}(gamma) (1 - cos^f(2 gamma))
+
+   with d = deg(u)-1, e = deg(v)-1, and f the triangle count through the
+   edge.  Everything outside the edge's one-hop lightcone commutes out of
+   the expectation, which is why the cost is per-edge-local.  The repo's
+   separator applies phase exp(i gamma (|E| - cut(b))) — equal to
+   e^{-i gamma C} up to a global phase — and its mixer Rx(2 beta) is
+   exactly e^{-i beta X}, so the formula transfers unchanged. *)
+let edge_cut_expectation ~gamma ~beta ~deg_u ~deg_v ~triangles =
+  let d = deg_u - 1 and e = deg_v - 1 and f = triangles in
+  let cg = cos gamma in
+  0.5
+  +. (0.25 *. sin (4.0 *. beta) *. sin gamma
+     *. ((cg ** float_of_int d) +. (cg ** float_of_int e)))
+  -. 0.25
+     *. (sin (2.0 *. beta) ** 2.0)
+     *. (cg ** float_of_int ((d + e) - (2 * f)))
+     *. (1.0 -. (cos (2.0 *. gamma) ** float_of_int f))
+
+let expected_cut graph ~gamma ~beta =
+  let total = ref 0.0 in
+  Graph.iter_edges
+    (fun u v ->
+      total :=
+        !total
+        +. edge_cut_expectation ~gamma ~beta ~deg_u:(Graph.degree graph u)
+             ~deg_v:(Graph.degree graph v)
+             ~triangles:(triangles_through graph u v))
+    graph;
+  !total
+
+let energy graph ~gamma ~beta = -.expected_cut graph ~gamma ~beta
+
+type evaluation = { energy : float; ideal_energy : float; fidelity : float }
+
+(* Mirrors Qaoa.evaluate's noise treatment without the 2^n distribution:
+   the depolarizing channel mixes the ideal state with the maximally mixed
+   one, under which every edge is cut with probability 1/2, so the noisy
+   expected cut is fid * ideal + (1 - fid) * |E| / 2.  Readout error is
+   not modeled (it has no per-edge-local closed form). *)
+let evaluate ?noise ~graph ~compiled () =
+  Obs.incr c_evaluations;
+  let gamma, beta = Qaoa.angles_of_compiled compiled in
+  let ideal = energy graph ~gamma ~beta in
+  let fidelity =
+    match noise with
+    | Some model ->
+        let gate_log = Circuit.log_fidelity model compiled in
+        let idle_log =
+          Noise.decoherence_log_fidelity ~depth:(Circuit.depth2q compiled)
+            ~qubits:(Graph.vertex_count graph)
+        in
+        exp (gate_log +. idle_log)
+    | None -> 1.0
+  in
+  let mixed = -.(float_of_int (Graph.edge_count graph) /. 2.0) in
+  {
+    energy = (fidelity *. ideal) +. ((1.0 -. fidelity) *. mixed);
+    ideal_energy = ideal;
+    fidelity;
+  }

@@ -47,3 +47,36 @@ let regular_by_degree ?(cases = 10) ~n ~degree () =
 let program_of instance =
   Program.make ~name:instance.label instance.graph
     (Program.Qaoa_maxcut { gamma = 0.4; beta = 0.35 })
+
+(* ---------- thousand-qubit scale suite (bench scale) ---------- *)
+
+let scale_sizes = [ 100; 256; 576; 1024 ]
+
+let scale_qaoa ~n =
+  (* random_regular needs n * degree even; round odd sizes down so the
+     27-qubit column of the cross-size matrix still gets an instance *)
+  let n = if n * 3 mod 2 = 0 then n else n - 1 in
+  let seed = seed_of ~tag:4 ~n ~case:0 in
+  {
+    label = Printf.sprintf "qaoa3-%d" n;
+    seed;
+    graph = Generate.random_regular (Prng.create seed) ~n ~degree:3;
+  }
+
+let scale_ising ~n =
+  { label = Printf.sprintf "ising-%d" n; seed = 0; graph = Hamiltonian.nnn_1d_ising n }
+
+let scale_lattice ~n =
+  let rows = int_of_float (sqrt (float_of_int n)) in
+  let rows = max 1 rows in
+  let cols = (n + rows - 1) / rows in
+  {
+    label = Printf.sprintf "lattice-%d" (rows * cols);
+    seed = 0;
+    graph = Generate.lattice ~rows ~cols;
+  }
+
+let scale_program_of instance =
+  if String.length instance.label >= 5 && String.sub instance.label 0 5 = "ising" then
+    Hamiltonian.trotter_step instance.graph
+  else program_of instance

@@ -21,3 +21,29 @@ val regular_by_degree :
 
 val program_of : instance -> Qcr_circuit.Program.t
 (** QAOA interaction block at reference angles. *)
+
+(** {1 Thousand-qubit scale suite}
+
+    Deterministic single instances per size for [bench scale] (the
+    cross-size compile-time matrix): a random 3-regular Max-Cut QAOA
+    problem, a next-nearest-neighbor Ising chain, and a hardware-native
+    2D lattice. *)
+
+val scale_sizes : int list
+(** [[100; 256; 576; 1024]] — the device sizes of the scale matrix (the
+    27-qubit column reuses the existing small suite). *)
+
+val scale_qaoa : n:int -> instance
+(** Random 3-regular graph on [n] vertices (rounded down to even when
+    [3 n] is odd), fixed seed per size. *)
+
+val scale_ising : n:int -> instance
+(** NNN 1D Ising chain on [n] spins ({!Hamiltonian.nnn_1d_ising}). *)
+
+val scale_lattice : n:int -> instance
+(** Near-square 2D lattice with at least [n] vertices
+    ({!Generate.lattice}): interaction graph = grid coupling graph. *)
+
+val scale_program_of : instance -> Qcr_circuit.Program.t
+(** {!program_of} for QAOA-style instances; a Trotter step
+    ({!Hamiltonian.trotter_step}) for Ising instances. *)

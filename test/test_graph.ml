@@ -206,6 +206,79 @@ let test_is_connected () =
   Graph.add_edge g 0 1;
   Alcotest.(check bool) "isolated vertex disconnects" false (Graph.is_connected g)
 
+
+(* Satellite regression: repeated add/remove keeps the cached degree
+   array and edge count exactly in sync with the adjacency rows. *)
+let test_add_remove_degree_exact () =
+  let n = 10 in
+  let g = Graph.create n in
+  let rng = Prng.create 77 in
+  let present = Hashtbl.create 32 in
+  for _ = 1 to 400 do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v then begin
+      let key = (min u v, max u v) in
+      if Hashtbl.mem present key then begin
+        Graph.remove_edge g u v;
+        Hashtbl.remove present key
+      end
+      else begin
+        Graph.add_edge g u v;
+        Hashtbl.replace present key ()
+      end;
+      for w = 0 to n - 1 do
+        let nbrs = Graph.neighbors g w in
+        Alcotest.(check int)
+          (Printf.sprintf "degree of %d" w)
+          (List.length nbrs) (Graph.degree g w);
+        Alcotest.(check (list int))
+          (Printf.sprintf "neighbors of %d sorted" w)
+          (List.sort_uniq compare nbrs) nbrs
+      done;
+      Alcotest.(check int) "edge count" (Hashtbl.length present) (Graph.edge_count g)
+    end
+  done;
+  (* removing an absent edge is a no-op, including on degrees *)
+  Graph.remove_edge g 0 1;
+  let deg_before = List.init n (Graph.degree g) in
+  Graph.remove_edge g 0 1;
+  Graph.remove_edge g 0 1;
+  let _ = Graph.has_edge g 0 1 in
+  Graph.remove_edge g 2 2;
+  Alcotest.(check (list int)) "no-op removes" deg_before
+    (List.init n (Graph.degree g))
+
+(* Satellite property: the CSR snapshot is permutation-identical to the
+   mutable adjacency view — same vertex/edge counts, same degrees, and
+   the same (increasing) neighbor order for neighbors/iter/fold — even
+   after a mix of removals. *)
+let prop_csr_matches_graph =
+  QCheck.Test.make ~name:"CSR snapshot identical to adjacency view" ~count:50
+    QCheck.(pair (int_bound 10_000) (int_range 1 40))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = Generate.erdos_renyi rng ~n ~density:0.3 in
+      List.iteri
+        (fun i (u, v) -> if i mod 3 = 0 then Graph.remove_edge g u v)
+        (Graph.edges g);
+      let c = Graph.csr g in
+      Graph.Csr.vertex_count c = n
+      && Graph.Csr.edge_count c = Graph.edge_count g
+      && List.for_all
+           (fun v ->
+             let nbrs = Graph.neighbors g v in
+             let iter_order =
+               let acc = ref [] in
+               Graph.Csr.iter_neighbors c v (fun w -> acc := w :: !acc);
+               List.rev !acc
+             in
+             Graph.Csr.degree c v = Graph.degree g v
+             && Graph.Csr.neighbors c v = nbrs
+             && iter_order = nbrs
+             && Graph.Csr.fold_neighbors c v (fun a w -> w :: a) [] = List.rev nbrs
+             && Graph.fold_neighbors g v (fun a w -> w :: a) [] = List.rev nbrs)
+           (List.init n Fun.id))
+
 let suite =
   [
     Alcotest.test_case "graph basic" `Quick test_graph_basic;
@@ -231,4 +304,6 @@ let suite =
     Alcotest.test_case "matching improvement" `Quick test_matching_improvement;
     Alcotest.test_case "components" `Quick test_components;
     Alcotest.test_case "is_connected" `Quick test_is_connected;
+    Alcotest.test_case "add/remove keeps degrees exact" `Quick test_add_remove_degree_exact;
+    QCheck_alcotest.to_alcotest prop_csr_matches_graph;
   ]

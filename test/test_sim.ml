@@ -3,6 +3,7 @@ module Channel = Qcr_sim.Channel
 module Maxcut = Qcr_sim.Maxcut
 module Optimizer = Qcr_sim.Optimizer
 module Qaoa = Qcr_sim.Qaoa
+module Lightcone = Qcr_sim.Lightcone
 module Gate = Qcr_circuit.Gate
 module Circuit = Qcr_circuit.Circuit
 module Mapping = Qcr_circuit.Mapping
@@ -262,8 +263,43 @@ let test_qaoa_evaluate_fidelity_effect () =
   Alcotest.(check bool) "noise hurts energy" true (eval_noisy.Qaoa.energy > eval_ideal.Qaoa.energy);
   Alcotest.(check bool) "fidelity < 1" true (eval_noisy.Qaoa.fidelity < 1.0)
 
+
+(* Lightcone analytic evaluator vs the exact statevector path. *)
+let test_lightcone_triangles () =
+  let g = Graph.of_edges 4 [ (0, 1); (0, 2); (1, 2); (1, 3) ] in
+  Alcotest.(check int) "edge (0,1) has one triangle" 1 (Lightcone.triangles_through g 0 1);
+  Alcotest.(check int) "edge (1,3) has none" 0 (Lightcone.triangles_through g 1 3)
+
+let test_lightcone_noise_mixes_to_half () =
+  (* as fidelity -> 0 the evaluation must approach -|E|/2 *)
+  let g = Generate.erdos_renyi (Prng.create 3) ~n:8 ~density:0.4 in
+  let e = Lightcone.energy g ~gamma:0.4 ~beta:0.35 in
+  let m = float_of_int (Graph.edge_count g) in
+  let mix fid = (fid *. e) +. ((1.0 -. fid) *. (-.m /. 2.0)) in
+  Alcotest.(check (float 1e-12)) "fid 1 is ideal" e (mix 1.0);
+  Alcotest.(check (float 1e-12)) "fid 0 is maximally mixed" (-.m /. 2.0) (mix 0.0)
+
+(* Satellite property: closed-form p=1 energy equals the statevector
+   energy (fused cost layer path) to 1e-9 on random graphs up to 12
+   qubits, at random angles across the full period. *)
+let prop_lightcone_matches_statevector =
+  QCheck.Test.make ~name:"lightcone energy matches statevector within 1e-9" ~count:40
+    QCheck.(pair (int_bound 100_000) (int_range 2 12))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = Generate.erdos_renyi rng ~n ~density:(0.15 +. Prng.float rng 0.7) in
+      let gamma = -3.2 +. Prng.float rng 6.4 in
+      let beta = -3.2 +. Prng.float rng 6.4 in
+      let layer = Qaoa.cost_layer g in
+      let sv = Qaoa.fused_state layer ~gamma ~beta in
+      let e_sv = Maxcut.expectation_value_of_table layer.Qaoa.cut (Sv.probabilities sv) in
+      abs_float (e_sv -. Lightcone.energy g ~gamma ~beta) < 1e-9)
+
 let suite =
   [
+    Alcotest.test_case "lightcone triangles" `Quick test_lightcone_triangles;
+    Alcotest.test_case "lightcone noise mix" `Quick test_lightcone_noise_mixes_to_half;
+    QCheck_alcotest.to_alcotest prop_lightcone_matches_statevector;
     Alcotest.test_case "initial state" `Quick test_initial_state;
     Alcotest.test_case "H uniform" `Quick test_h_uniform;
     Alcotest.test_case "bell state" `Quick test_bell_state;
