@@ -29,28 +29,28 @@ let tests () =
   [
     (* Fig 17: the three arms *)
     compile_test "fig17/greedy-hh64" Arch.Heavy_hex 64 0.3 (fun a p ->
-        Pipeline.compile_greedy a p);
+        Pipeline.run_exn (Pipeline.Request.make ~mode:Pipeline.Request.Greedy a p));
     compile_test "fig17/solver-hh64" Arch.Heavy_hex 64 0.3 (fun a p ->
-        Pipeline.compile_ata a p);
-    compile_test "fig17/ours-hh64" Arch.Heavy_hex 64 0.3 (fun a p -> Pipeline.compile a p);
+        Pipeline.run_exn (Pipeline.Request.make ~mode:Pipeline.Request.Ata a p));
+    compile_test "fig17/ours-hh64" Arch.Heavy_hex 64 0.3 (fun a p -> Pipeline.run_exn (Pipeline.Request.make a p));
     (* Figs 20-21: heavy-hex vs baselines *)
-    compile_test "fig20_21/ours-hh64" Arch.Heavy_hex 64 0.5 (fun a p -> Pipeline.compile a p);
+    compile_test "fig20_21/ours-hh64" Arch.Heavy_hex 64 0.5 (fun a p -> Pipeline.run_exn (Pipeline.Request.make a p));
     compile_test "fig20_21/qaim-hh64" Arch.Heavy_hex 64 0.5 (fun a p ->
         Qcr_baselines.Qaim_like.compile a p);
     (* Figs 22-23: Sycamore *)
-    compile_test "fig22_23/ours-syc64" Arch.Sycamore 64 0.3 (fun a p -> Pipeline.compile a p);
+    compile_test "fig22_23/ours-syc64" Arch.Sycamore 64 0.3 (fun a p -> Pipeline.run_exn (Pipeline.Request.make a p));
     compile_test "fig22_23/pauli-syc64" Arch.Sycamore 64 0.3 (fun a p ->
         Qcr_baselines.Paulihedral_like.compile a p);
     (* Table 1: 2QAN arm *)
     compile_test "tab1/2qan-hh64" Arch.Heavy_hex 64 0.3 (fun a p ->
         Qcr_baselines.Twoqan_like.compile ~anneal_moves:3000 a p);
     (* Table 2 slice: a denser instance *)
-    compile_test "tab2/ours-hh128" Arch.Heavy_hex 128 0.5 (fun a p -> Pipeline.compile a p);
+    compile_test "tab2/ours-hh128" Arch.Heavy_hex 128 0.5 (fun a p -> Pipeline.run_exn (Pipeline.Request.make a p));
     (* Table 3: a 2-local Trotter step *)
     Test.make ~name:"tab3/ours-ising64"
       (Staged.stage (fun () ->
            let arch = Arch.smallest_for Arch.Heavy_hex 64 in
-           ignore (Pipeline.compile arch (Hamiltonian.trotter_step (Hamiltonian.nnn_1d_ising 64)))));
+           ignore (Pipeline.run_exn (Pipeline.Request.make arch (Hamiltonian.trotter_step (Hamiltonian.nnn_1d_ising 64))))));
     (* Table 4: the optimal solver on a tiny instance *)
     Test.make ~name:"tab4/astar-line5"
       (Staged.stage (fun () ->
@@ -64,11 +64,11 @@ let tests () =
            let graph = Generate.erdos_renyi (Prng.create 41) ~n:10 ~density:0.3 in
            let arch = Arch.mumbai_like () in
            let program = Program.make graph (Program.Qaoa_maxcut { gamma = 0.4; beta = 0.35 }) in
-           let r = Pipeline.compile arch program in
+           let r = Pipeline.run_exn (Pipeline.Request.make arch program) in
            ignore
              (Qcr_sim.Qaoa.evaluate ~graph ~compiled:r.Pipeline.circuit ~final:r.Pipeline.final ())));
     (* Fig 26: the compile-time curve's smallest point *)
-    compile_test "fig26/ours-hh128" Arch.Heavy_hex 128 0.3 (fun a p -> Pipeline.compile a p);
+    compile_test "fig26/ours-hh128" Arch.Heavy_hex 128 0.3 (fun a p -> Pipeline.run_exn (Pipeline.Request.make a p));
   ]
 
 let run () =

@@ -30,6 +30,7 @@ module Json = Qcr_obs.Json
 module Fault = Qcr_fault.Fault
 module Pool = Qcr_par.Pool
 module Service = Qcr_service.Service
+module Protocol = Qcr_service.Protocol
 module Cache_store = Qcr_service.Cache_store
 module Compile_request = Qcr_service.Compile_request
 module Compile_reply = Qcr_service.Compile_reply
@@ -216,6 +217,195 @@ let persist_soak ~rounds batch expected =
         ("flush_errors", Json.Num (float_of_int !flush_errors));
       ] )
 
+(* ---------- serve soak: the TCP front-end under socket faults ----------
+
+   A real [Qcr_net.Server] on a loopback port, with faults armed at the
+   socket injection points: reads corrupt (mangled request bytes arrive
+   as typed malformed replies, or as broken frames), the write path
+   hard-closes mid-frame once (a disconnect exactly as a client sees
+   one), accepts are delayed, and the compile tiers behind the service
+   keep crashing.  Clients follow the contract the README documents:
+   reconnect on any transport error and resubmit, treat typed error
+   replies as retriable.  Invariants:
+
+     - the server never dies: it answers a clean health check after the
+       soak, and its drain exits without an escaped exception,
+     - starvation-freedom (the fairness the round-robin scheduler
+       promises): every client finishes its whole workload within a
+       bounded number of attempts even while faults keep firing,
+     - every full-quality reply stays bit-identical to the fault-free
+       reference. *)
+
+let serve_spec =
+  "seed=23,net.read:corrupt:p=0.05,net.write:crash:nth=7,net.accept:delay=0.001:every=3,service.tier:crash:p=0.1"
+
+let strip_v = function
+  | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> "v") fields)
+  | j -> j
+
+let serve_soak ~rounds batch expected =
+  Fault.disarm ();
+  (* portfolio compiles fan out over the default domain pool, whose
+     single-driver contract belongs to this driver domain — the server
+     domain serves the pool-free tiers *)
+  let batch =
+    List.filter
+      (fun (r : Compile_request.t) -> r.Compile_request.mode <> Compile_request.Portfolio)
+      batch
+  in
+  let service =
+    Service.create ~retries:2 ~backoff_s:0.0 ~breaker_threshold:3 ~breaker_cooldown_s:0.01 ()
+  in
+  let port = Atomic.make 0 in
+  let stopping = Atomic.make false in
+  let config = { Qcr_net.Server.default_config with port = 0; tick_s = 0.002 } in
+  let dom =
+    Domain.spawn (fun () ->
+        Qcr_net.Server.serve ~config
+          ~on_listen:(fun p -> Atomic.set port p)
+          ~stop:(fun () -> Atomic.get stopping)
+          service)
+  in
+  while Atomic.get port = 0 do
+    Unix.sleepf 0.001
+  done;
+  let port = Atomic.get port in
+  let n_clients = 4 in
+  let reconnects = ref 0 and resubmits = ref 0 and gave_up = ref 0 in
+  let mismatches = ref 0 and ok_compared = ref 0 and completed = ref 0 in
+  let conns = Array.make n_clients None in
+  let conn i =
+    match conns.(i) with
+    | Some c -> c
+    | None ->
+        let c = Qcr_net.Client.connect ~port () in
+        conns.(i) <- Some c;
+        c
+  in
+  let drop i =
+    (match conns.(i) with Some c -> Qcr_net.Client.close c | None -> ());
+    conns.(i) <- None
+  in
+  (* [true] iff this reply settles [req].  Corruption on the read path
+     can mangle a request into a different — still valid — one, so a
+     compiled reply only counts when its content-addressed key matches
+     the key computed from the request we actually sent; an
+     [Invalid_request] can only be a mangled frame (the batch is
+     well-formed) and is likewise retried. *)
+  let settles (req : Compile_request.t) j =
+    match Compile_reply.of_json (strip_v j) with
+    | Error _ -> false
+    | Ok r ->
+        if r.Compile_reply.id <> req.Compile_request.id then false
+        else (
+          match r.Compile_reply.outcome with
+          | Compile_reply.Compiled _
+            when r.Compile_reply.key = Compile_request.cache_key req ->
+              incr completed;
+              if full_quality r then begin
+                incr ok_compared;
+                match Hashtbl.find_opt expected r.Compile_reply.key with
+                | Some d when d = reply_digest r -> ()
+                | _ -> incr mismatches
+              end;
+              true
+          | Compile_reply.Compiled _ -> false
+          | Compile_reply.Failed (Qcr_core.Pipeline.Invalid_request _) -> false
+          | Compile_reply.Failed _ ->
+              (* a genuine typed failure (tier crashes exhausted the
+                 retries or tripped a breaker): served, not comparable *)
+              incr completed;
+              true)
+  in
+  (* One request, at-least-once: resubmit until a reply settles it.
+     Every retry reconnects — a corrupted frame can smuggle extra reply
+     lines into the stream, and a fresh connection is the only way to
+     guarantee the next reply answers the next request.  The attempt
+     bound turns a starved client into a failed invariant instead of a
+     hung soak. *)
+  let do_request i req =
+    let rec attempt n =
+      if n > 100 then incr gave_up
+      else
+        let retry () =
+          drop i;
+          incr reconnects;
+          incr resubmits;
+          attempt (n + 1)
+        in
+        match
+          Qcr_net.Client.request ~timeout_s:10.0 (conn i)
+            (Protocol.encode (Protocol.Op.Compile req))
+        with
+        | exception _ -> retry ()
+        | Error _ -> retry ()
+        | Ok j -> if settles req j then () else retry ()
+    in
+    attempt 1
+  in
+  let work = Array.of_list batch in
+  let t0 = Unix.gettimeofday () in
+  let spec =
+    match Fault.spec_of_string serve_spec with
+    | Ok s -> s
+    | Error e -> failwith ("serve soak spec: " ^ e)
+  in
+  for _round = 1 to rounds do
+    (* re-arming each round resets the nth=1-style counters, so the
+       mid-frame write crash fires every round *)
+    Fault.arm spec;
+    (* interleave clients request-by-request so the round-robin
+       scheduler sees competing connections *)
+    Array.iteri (fun k req -> do_request (k mod n_clients) req) work
+  done;
+  Fault.disarm ();
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  (* the server must still answer a clean op after the soak *)
+  Array.iteri (fun i _ -> drop i) conns;
+  let alive =
+    match
+      Qcr_net.Client.request ~timeout_s:10.0 (conn 0) (Protocol.encode Protocol.Op.Health)
+    with
+    | Ok j -> ( match Json.member "status" j with Some (Json.Str "ok") -> true | _ -> false)
+    | Error _ | (exception _) -> false
+  in
+  Array.iteri (fun i _ -> drop i) conns;
+  Atomic.set stopping true;
+  let drained = match Domain.join dom with () -> true | exception _ -> false in
+  let expected_total = rounds * Array.length work in
+  let all_served = !gave_up = 0 && !completed = expected_total in
+  let bit_identical = !mismatches = 0 in
+  let ok = alive && drained && all_served && bit_identical in
+  Printf.printf
+    "  serve: %d rounds x %d requests x %d clients in %.1f ms | reconnects=%d resubmits=%d \
+     served=%d/%d mismatches=%d alive=%b\n\
+     %!"
+    rounds (Array.length work) n_clients wall_ms !reconnects !resubmits !completed expected_total
+    !mismatches alive;
+  ( ok,
+    Json.Obj
+      [
+        ("spec", Json.Str serve_spec);
+        ("rounds", Json.Num (float_of_int rounds));
+        ("clients", Json.Num (float_of_int n_clients));
+        ("requests_per_round", Json.Num (float_of_int (Array.length work)));
+        ("wall_ms", Json.Num wall_ms);
+        ( "invariants",
+          Json.Obj
+            [
+              ("server_alive_after_soak", Json.Bool alive);
+              ("drain_clean", Json.Bool drained);
+              ("every_client_served", Json.Bool all_served);
+              ("ok_replies_bit_identical", Json.Bool bit_identical);
+            ] );
+        ("reconnects", Json.Num (float_of_int !reconnects));
+        ("resubmits", Json.Num (float_of_int !resubmits));
+        ("served", Json.Num (float_of_int !completed));
+        ("gave_up", Json.Num (float_of_int !gave_up));
+        ("ok_replies_compared", Json.Num (float_of_int !ok_compared));
+        ("mismatches", Json.Num (float_of_int !mismatches));
+      ] )
+
 let run scale =
   Common.heading "Chaos soak: batch service under injected faults (BENCH_chaos.json)";
   let unique, dup_factor, rounds =
@@ -262,6 +452,8 @@ let run scale =
       | Compile_reply.Failed (Qcr_core.Pipeline.Timeout _) -> "timeout"
       | Compile_reply.Failed (Qcr_core.Pipeline.Invalid_request _) -> "invalid"
       | Compile_reply.Failed (Qcr_core.Pipeline.Internal _) -> "internal"
+      | Compile_reply.Failed (Qcr_core.Pipeline.Overloaded _) -> "overloaded"
+      | Compile_reply.Failed Qcr_core.Pipeline.Canceled -> "canceled"
     in
     Hashtbl.replace outcomes cls (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes cls))
   in
@@ -298,7 +490,8 @@ let run scale =
   let no_escape = !escaped = [] in
   let bit_identical = !mismatches = 0 in
   let persist_ok, persist_row = persist_soak ~rounds batch expected in
-  let ok = no_escape && !order_ok && bit_identical && persist_ok in
+  let serve_ok, serve_row = serve_soak ~rounds batch expected in
+  let ok = no_escape && !order_ok && bit_identical && persist_ok && serve_ok in
   Printf.printf
     "  %d rounds x %d requests in %.1f ms | escapes=%d order_ok=%b ok-replies=%d mismatches=%d\n%!"
     rounds n_requests wall_ms (List.length !escaped) !order_ok !ok_compared !mismatches;
@@ -310,7 +503,7 @@ let run scale =
   Json.to_file output_file
     (Json.Obj
        [
-         ("schema", Json.Str "qcr-bench-chaos/v2");
+         ("schema", Json.Str "qcr-bench-chaos/v3");
          ("generated_by", Json.Str "dune exec bench/main.exe -- chaos");
          ( "scale",
            Json.Str
@@ -355,6 +548,7 @@ let run scale =
                ("respawns", Json.Num (float_of_int respawns));
              ] );
          ("persist", persist_row);
+         ("serve", serve_row);
        ]);
   Printf.printf "  wrote %s\n%!" output_file;
   if not ok then begin

@@ -38,11 +38,11 @@ type arm = {
   compile : Arch.t -> Program.t -> Pipeline.result;
 }
 
-let ours = { arm_name = "Ours"; compile = (fun a p -> Pipeline.compile a p) }
+let ours = { arm_name = "Ours"; compile = (fun a p -> Pipeline.run_exn (Pipeline.Request.make a p)) }
 
-let greedy_arm = { arm_name = "greedy"; compile = (fun a p -> Pipeline.compile_greedy a p) }
+let greedy_arm = { arm_name = "greedy"; compile = (fun a p -> Pipeline.run_exn (Pipeline.Request.make ~mode:Pipeline.Request.Greedy a p)) }
 
-let ata_arm = { arm_name = "solver"; compile = (fun a p -> Pipeline.compile_ata a p) }
+let ata_arm = { arm_name = "solver"; compile = (fun a p -> Pipeline.run_exn (Pipeline.Request.make ~mode:Pipeline.Request.Ata a p)) }
 
 let qaim = { arm_name = "QAIM_IC"; compile = (fun a p -> Qcr_baselines.Qaim_like.compile a p) }
 

@@ -200,7 +200,7 @@ let tab3 _scale =
   in
   let run name graph =
     let program = Hamiltonian.trotter_step graph in
-    let o = Pipeline.compile arch program in
+    let o = Pipeline.run_exn (Pipeline.Request.make arch program) in
     let t = Qcr_baselines.Twoqan_like.compile arch program in
     Tablefmt.add_row table
       [
@@ -233,7 +233,7 @@ let tab4 scale =
       let graph = Generate.erdos_renyi rng ~n ~density in
       let program = Program.make graph Program.Bare_cz in
       let arch = Arch.smallest_for Arch.Grid n in
-      let o = Pipeline.compile arch program in
+      let o = Pipeline.run_exn (Pipeline.Request.make arch program) in
       let n_phys = Arch.qubit_count arch in
       let init = Mapping.identity ~logical:n ~physical:n_phys in
       let t0 = Unix.gettimeofday () in
@@ -280,7 +280,7 @@ let qaoa_figure ~n ~rounds =
   let arch = Arch.mumbai_like () in
   let noise = Noise.sampled ~seed:9 arch in
   let compile_ours p =
-    let r = Pipeline.compile ~noise arch p in
+    let r = Pipeline.run_exn (Pipeline.Request.make ~noise arch p) in
     (r.Pipeline.circuit, r.Pipeline.final)
   in
   let compile_baseline p =
@@ -331,7 +331,7 @@ let tvd scale =
         let e = Qaoa.evaluate ~noise ~graph ~compiled ~final () in
         Channel.tvd e.Qaoa.distribution ideal
       in
-      let o = Pipeline.compile ~noise arch program in
+      let o = Pipeline.run_exn (Pipeline.Request.make ~noise arch program) in
       let b = Qcr_baselines.Twoqan_like.compile ~noise ~anneal_moves:3000 arch program in
       Tablefmt.add_row table
         [
@@ -359,7 +359,7 @@ let fig26 scale =
       let inst = List.hd (Suite.random_instances ~cases:1 ~n ~density:0.3 ()) in
       let program = Suite.program_of inst in
       let arch = Arch.smallest_for Arch.Heavy_hex n in
-      let r = Pipeline.compile arch program in
+      let r = Pipeline.run_exn (Pipeline.Request.make arch program) in
       times := r.Pipeline.compile_seconds :: !times;
       Tablefmt.add_row table
         [
@@ -399,7 +399,7 @@ let ablation scale =
       List.iter
         (fun (name, config) ->
           let arm =
-            { arm_name = name; compile = (fun a p -> Pipeline.compile ~config a p) }
+            { arm_name = name; compile = (fun a p -> Pipeline.run_exn (Pipeline.Request.make ~config a p)) }
           in
           let m = measure arm Arch.Heavy_hex instances in
           Tablefmt.add_row table

@@ -226,7 +226,7 @@ let trajectory_case ~reps ~n ~seed ~trajectories =
   let program = Program.make graph (Program.Qaoa_maxcut { gamma = 0.4; beta = 0.35 }) in
   let arch = Arch.smallest_for Arch.Line n in
   let noise = Qcr_arch.Noise.sampled ~seed:9 arch in
-  let r = Qcr_core.Pipeline.compile ~noise arch program in
+  let r = Qcr_core.Pipeline.run_exn (Qcr_core.Pipeline.Request.make ~noise arch program) in
   let sample () =
     Qcr_sim.Trajectory.distribution ~seed:(seed + 1) ~trajectories ~noise
       ~compiled:r.Qcr_core.Pipeline.circuit ~final:r.Qcr_core.Pipeline.final ()

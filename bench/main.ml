@@ -24,6 +24,7 @@ let experiments =
     ("ablation", Experiments.ablation);
     ("hotpaths", Hotpaths.run);
     ("service", Service_bench.run);
+    ("serve", Serve_bench.run);
     ("chaos", Chaos.run);
     ("obs", Obs_bench.run);
   ]

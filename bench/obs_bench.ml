@@ -132,7 +132,7 @@ let run scale =
   let program = Program.make graph (Program.Qaoa_maxcut { gamma = 0.4; beta = 0.35 }) in
   let arch = Arch.smallest_for Arch.Heavy_hex n in
   let compile_row, compile_ok =
-    macro_case ~attempts ~reps ~name:"compile" (fun () -> Pipeline.compile arch program)
+    macro_case ~attempts ~reps ~name:"compile" (fun () -> Pipeline.run_exn (Pipeline.Request.make arch program))
   in
 
   (* macro: warm service batch — cache-hit path with request meters,

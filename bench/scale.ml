@@ -231,9 +231,9 @@ let instance_of_workload ~n = function
   | w -> invalid_arg ("Scale: unknown workload " ^ w)
 
 let compile_of_arm = function
-  | "greedy" -> fun arch program -> Pipeline.compile_greedy arch program
-  | "swapnet" -> fun arch program -> Pipeline.compile_ata arch program
-  | "ours" -> fun arch program -> Pipeline.compile arch program
+  | "greedy" -> fun arch program -> Pipeline.run_exn (Pipeline.Request.make ~mode:Pipeline.Request.Greedy arch program)
+  | "swapnet" -> fun arch program -> Pipeline.run_exn (Pipeline.Request.make ~mode:Pipeline.Request.Ata arch program)
+  | "ours" -> fun arch program -> Pipeline.run_exn (Pipeline.Request.make arch program)
   | a -> invalid_arg ("Scale: unknown arm " ^ a)
 
 (* Per-phase wall attribution: root pipeline sub-spans summed by name.
@@ -350,7 +350,7 @@ let lightcone_report ~n =
   let inst = Suite.scale_qaoa ~n in
   let program = Suite.scale_program_of inst in
   let noise = Noise.sampled ~seed:9 arch in
-  let r = Pipeline.compile_greedy ~noise arch program in
+  let r = Pipeline.run_exn (Pipeline.Request.make ~noise ~mode:Pipeline.Request.Greedy arch program) in
   let e = Lightcone.evaluate ~noise ~graph:inst.Suite.graph ~compiled:r.Pipeline.circuit () in
   let gamma, beta = Qcr_sim.Qaoa.angles_of_compiled r.Pipeline.circuit in
   Printf.printf

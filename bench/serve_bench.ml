@@ -1,0 +1,307 @@
+(* TCP serving benchmark, into BENCH_serve.json: a real [Qcr_net.Server]
+   on a loopback ephemeral port, hammered by 8 concurrent clients
+   multiplexed over [Unix.select] from the driver domain (the server
+   event loop runs in its own domain and owns the service).
+
+   Three passes over the same per-client request schedule:
+
+   - cold-sync: every client keeps one synchronous [compile] op in
+     flight; all keys are distinct, so every reply is a cache miss.
+     Per-request latency is measured client-side, send to reply.
+   - warm-sync: the same schedule again — now served from the compile
+     cache, which is where the p50/p99 gap shows the cache paying off.
+   - async: every client fires its whole schedule as one [submit] burst,
+     then collects terminal replies with pipelined [wait]s — the
+     throughput shape of the job API.
+
+   Every reply (sync and embedded async) is compared bit-for-bit against
+   a private in-process [Service] fed the same requests, so the report's
+   [bit_identical] flag witnesses that the network front-end adds no
+   semantic noise.  The committed baseline lives in
+   bench/baselines/BENCH_serve.json and is generated with
+   [QCR_DOMAINS=1].
+
+   The schedule avoids [Portfolio] mode deliberately: portfolio compiles
+   fan out over the default domain pool, whose single-driver contract
+   belongs to the benchmark driver, not the server domain. *)
+
+module Arch = Qcr_arch.Arch
+module Graph = Qcr_graph.Graph
+module Generate = Qcr_graph.Generate
+module Prng = Qcr_util.Prng
+module Digest64 = Qcr_util.Digest64
+module Json = Qcr_obs.Json
+module Service = Qcr_service.Service
+module Protocol = Qcr_service.Protocol
+module Request = Qcr_service.Compile_request
+module Reply = Qcr_service.Compile_reply
+module Server = Qcr_net.Server
+module Client = Qcr_net.Client
+
+let output_file = "BENCH_serve.json"
+let n_clients = 8
+
+(* Mixed shapes and modes over the three pool-free compile paths. *)
+let request i =
+  let n = 8 + (i mod 5) in
+  let kinds = [| Arch.Line; Arch.Grid; Arch.Heavy_hex; Arch.Hexagon |] in
+  let modes = [| Request.Ours; Request.Greedy; Request.Ata |] in
+  let graph =
+    Generate.erdos_renyi (Prng.create (300 + i)) ~n ~density:(min 1.0 (3.0 /. float_of_int (n - 1)))
+  in
+  Request.make
+    ~id:(Printf.sprintf "serve-%d" i)
+    ~mode:modes.(i mod Array.length modes)
+    ?noise_seed:(if i mod 3 = 0 then Some (7 + i) else None)
+    ~arch_kind:kinds.(i mod Array.length kinds)
+    ~qubits:n ~edges:(Graph.edges graph) ()
+
+(* Reply content modulo transport: no version stamp, no volatile
+   timings, no cache flag. *)
+let normalize j =
+  match Reply.strip_volatile j with
+  | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> "v" && k <> "cached") fields)
+  | other -> other
+
+let digest_of_bodies bodies =
+  Array.fold_left (fun d body -> Digest64.add_string d body) Digest64.empty bodies
+  |> Digest64.to_hex
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let fail_fmt fmt = Printf.ksprintf failwith fmt
+
+let recv_or_fail client =
+  match Client.recv ~timeout_s:60.0 client with
+  | Ok j -> j
+  | Error e -> fail_fmt "serve bench: recv failed: %s" e
+
+let str_field j k =
+  match Json.member k j with
+  | Some (Json.Str s) -> s
+  | _ -> fail_fmt "serve bench: missing field %S in %s" k (Json.to_string j)
+
+(* Drive all clients concurrently: each keeps one sync compile in
+   flight; [select] wakes the driver whenever any reply lands.  Bodies
+   are recorded under the request's global index so the digest is
+   schedule-order, not completion-order. *)
+let sync_pass ~label ~port ~schedule bodies =
+  let per_client = Array.length schedule.(0) in
+  let clients = Array.init n_clients (fun _ -> Client.connect ~port ()) in
+  Fun.protect
+    ~finally:(fun () -> Array.iter Client.close clients)
+    (fun () ->
+      let next = Array.make n_clients 0 in
+      let sent_at = Array.make n_clients 0.0 in
+      let latencies = ref [] in
+      let outstanding = ref 0 in
+      let send_next i =
+        let k = next.(i) in
+        if k < per_client then begin
+          next.(i) <- k + 1;
+          sent_at.(i) <- Unix.gettimeofday ();
+          incr outstanding;
+          Client.send clients.(i) (Protocol.encode (Protocol.Op.Compile (snd schedule.(i).(k))))
+        end
+      in
+      let t0 = Unix.gettimeofday () in
+      Array.iteri (fun i _ -> send_next i) clients;
+      while !outstanding > 0 do
+        let fds = Array.to_list (Array.map Client.fd clients) in
+        (match Unix.select fds [] [] 10.0 with
+        | [], _, _ -> fail_fmt "serve bench: no reply within 10s (%s pass)" label
+        | _ -> ());
+        Array.iteri
+          (fun i c ->
+            match Client.try_recv_line c with
+            | None -> ()
+            | Some line ->
+                let j =
+                  match Json.of_string line with
+                  | Ok j -> j
+                  | Error e -> fail_fmt "serve bench: bad reply line: %s" e
+                in
+                latencies := ((Unix.gettimeofday () -. sent_at.(i)) *. 1000.0) :: !latencies;
+                decr outstanding;
+                let idx, _ = schedule.(i).(next.(i) - 1) in
+                bodies.(idx) <- Json.to_string (normalize j);
+                send_next i)
+          clients
+      done;
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let samples = Array.of_list !latencies in
+      Array.sort compare samples;
+      let total = Array.length samples in
+      let p50 = percentile samples 0.50 and p99 = percentile samples 0.99 in
+      let req_per_s = float_of_int total /. (wall_ms /. 1000.0) in
+      Printf.printf
+        "  %-9s %3d requests x %d clients in %8.2f ms  %8.1f req/s  p50 %7.3f ms  p99 %7.3f ms\n%!"
+        label total n_clients wall_ms req_per_s p50 p99;
+      Json.Obj
+        [
+          ("label", Json.Str label);
+          ("requests", Json.Num (float_of_int total));
+          ("wall_ms", Json.Num wall_ms);
+          ("req_per_s", Json.Num req_per_s);
+          ("p50_ms", Json.Num p50);
+          ("p99_ms", Json.Num p99);
+        ])
+
+(* The async shape: burst all submits per client in one write, then
+   pipeline a wait per job and collect terminal replies. *)
+let async_pass ~port ~schedule bodies =
+  let per_client = Array.length schedule.(0) in
+  let clients = Array.init n_clients (fun _ -> Client.connect ~port ()) in
+  Fun.protect
+    ~finally:(fun () -> Array.iter Client.close clients)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      Array.iteri
+        (fun i c ->
+          Array.to_list schedule.(i)
+          |> List.map (fun (_, r) -> Json.to_string (Protocol.encode (Protocol.Op.Submit r)))
+          |> String.concat "\n" |> Client.send_line c)
+        clients;
+      let ids =
+        Array.map
+          (fun c ->
+            Array.init per_client (fun _ ->
+                let j = recv_or_fail c in
+                if str_field j "state" <> "queued" then
+                  fail_fmt "serve bench: submit not admitted: %s" (Json.to_string j);
+                str_field j "job"))
+          clients
+      in
+      Array.iteri
+        (fun i c ->
+          Array.to_list ids.(i)
+          |> List.map (fun id -> Json.to_string (Protocol.encode (Protocol.Op.Wait id)))
+          |> String.concat "\n" |> Client.send_line c)
+        clients;
+      let total = n_clients * per_client in
+      Array.iteri
+        (fun i c ->
+          (* terminal replies arrive in completion order; route each by
+             the request id embedded in the reply *)
+          let index_of_rid = Hashtbl.create per_client in
+          Array.iter
+            (fun (idx, (r : Request.t)) -> Hashtbl.replace index_of_rid r.Request.id idx)
+            schedule.(i);
+          for _ = 1 to per_client do
+            let j = recv_or_fail c in
+            if str_field j "state" <> "done" then
+              fail_fmt "serve bench: job did not complete: %s" (Json.to_string j);
+            match Json.member "reply" j with
+            | Some reply ->
+                let idx = Hashtbl.find index_of_rid (str_field reply "id") in
+                bodies.(idx) <- Json.to_string (normalize reply)
+            | None -> fail_fmt "serve bench: terminal wait without a reply: %s" (Json.to_string j)
+          done)
+        clients;
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let req_per_s = float_of_int total /. (wall_ms /. 1000.0) in
+      Printf.printf "  %-9s %3d jobs     x %d clients in %8.2f ms  %8.1f req/s  (submit+wait)\n%!"
+        "async" total n_clients wall_ms req_per_s;
+      Json.Obj
+        [
+          ("label", Json.Str "async");
+          ("requests", Json.Num (float_of_int total));
+          ("wall_ms", Json.Num wall_ms);
+          ("req_per_s", Json.Num req_per_s);
+        ])
+
+let run scale =
+  Common.heading "TCP serving: concurrent clients against Qcr_net.Server (BENCH_serve.json)";
+  let per_client =
+    match scale with Common.Quick -> 4 | Common.Default -> 12 | Common.Full -> 24
+  in
+  let total = n_clients * per_client in
+  (* schedule.(i).(k) = (global index, request) for client i, slot k *)
+  let schedule =
+    Array.init n_clients (fun i ->
+        Array.init per_client (fun k ->
+            let idx = (i * per_client) + k in
+            (idx, request idx)))
+  in
+  (* the in-process reference the wire replies must match bit-for-bit *)
+  let reference =
+    let direct = Service.create () in
+    Array.init total (fun idx ->
+        Json.to_string (normalize (Reply.to_json (Service.submit direct (request idx)))))
+  in
+  let reference_digest = digest_of_bodies reference in
+  let service = Service.create () in
+  let port = Atomic.make 0 in
+  let stopping = Atomic.make false in
+  let config = { Server.default_config with port = 0; tick_s = 0.002; max_queue = total } in
+  let dom =
+    Domain.spawn (fun () ->
+        Server.serve ~config
+          ~on_listen:(fun p -> Atomic.set port p)
+          ~stop:(fun () -> Atomic.get stopping)
+          service)
+  in
+  while Atomic.get port = 0 do
+    Unix.sleepf 0.001
+  done;
+  let port = Atomic.get port in
+  let pass_digest name pass_fn =
+    let bodies = Array.make total "" in
+    let row = pass_fn bodies in
+    let d = digest_of_bodies bodies in
+    if d <> reference_digest then
+      Printf.printf "  WARNING: %s replies differ from the in-process service\n%!" name;
+    (row, d = reference_digest)
+  in
+  let cold_row, cold_ok = pass_digest "cold-sync" (sync_pass ~label:"cold-sync" ~port ~schedule) in
+  let warm_row, warm_ok = pass_digest "warm-sync" (sync_pass ~label:"warm-sync" ~port ~schedule) in
+  let async_row, async_ok = pass_digest "async" (async_pass ~port ~schedule) in
+  (* server-side verdicts over the wire, then stop: drain must hold the
+     final stats *)
+  let stats =
+    let c = Client.connect ~port () in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        match Client.request ~timeout_s:30.0 c (Protocol.encode Protocol.Op.Stats) with
+        | Ok j -> j
+        | Error e -> fail_fmt "serve bench: stats failed: %s" e)
+  in
+  Atomic.set stopping true;
+  Domain.join dom;
+  let jobs_row = Option.value ~default:Json.Null (Json.member "jobs" stats) in
+  let svc = Service.stats service in
+  (* warm-sync and async passes replay cold-sync's keys *)
+  let hit_rate = float_of_int svc.Service.cache_hits /. float_of_int (max 1 (2 * total)) in
+  let bit_identical = cold_ok && warm_ok && async_ok in
+  Printf.printf "  cache: %d hits %d misses (warm+async hit rate %.0f%%) | bit_identical=%b\n%!"
+    svc.Service.cache_hits svc.Service.cache_misses (100.0 *. hit_rate) bit_identical;
+  Json.to_file output_file
+    (Json.Obj
+       [
+         ("schema", Json.Str "qcr-bench-serve/v1");
+         ("generated_by", Json.Str "dune exec bench/main.exe -- serve");
+         ( "scale",
+           Json.Str
+             (match scale with
+             | Common.Quick -> "quick"
+             | Common.Default -> "default"
+             | Common.Full -> "full") );
+         ("domains", Json.Num (float_of_int (Qcr_par.Pool.default_domain_count ())));
+         ("protocol_version", Json.Num (float_of_int Protocol.version));
+         ("clients", Json.Num (float_of_int n_clients));
+         ("requests_per_client", Json.Num (float_of_int per_client));
+         ("total_requests", Json.Num (float_of_int total));
+         ("passes", Json.Arr [ cold_row; warm_row; async_row ]);
+         ("warm_hit_rate", Json.Num hit_rate);
+         ("bit_identical", Json.Bool bit_identical);
+         ("replies_digest", Json.Str reference_digest);
+         ("jobs", jobs_row);
+       ]);
+  Printf.printf "  wrote %s\n%!" output_file;
+  if not bit_identical then begin
+    Printf.eprintf "  SERVE BENCH: wire replies diverged from the in-process service\n%!";
+    exit 1
+  end

@@ -5,7 +5,7 @@
    qcr_cli solve   --line 5
    qcr_cli qaoa    --n 10 --rounds 20
    qcr_cli batch   jobs.json --out replies.json --repeat 2
-   qcr_cli serve   [--batch jobs.json]   # JSON-lines request/reply on stdio *)
+   qcr_cli serve   [--batch jobs.json] [--listen HOST:PORT]   # JSONL protocol on stdio/TCP *)
 
 open Cmdliner
 module Arch = Qcr_arch.Arch
@@ -140,7 +140,7 @@ let compile_cmd =
       (Arch.qubit_count arch) n (Graph.edge_count graph);
     let r =
       if portfolio then begin
-        let p = Pipeline.compile_portfolio ?noise arch program in
+        let p = Pipeline.run_portfolio_exn (Pipeline.Request.make ?noise arch program) in
         List.iter
           (fun (name, r) ->
             Printf.printf "arm %-6s depth=%d cx=%d swaps=%d\n" name r.Pipeline.depth
@@ -149,7 +149,7 @@ let compile_cmd =
         Printf.printf "winner=%s\n" p.Pipeline.winner_arm;
         p.Pipeline.winner
       end
-      else Pipeline.compile ?noise arch program
+      else Pipeline.run_exn (Pipeline.Request.make ?noise arch program)
     in
     Printf.printf "depth=%d cx=%d swaps=%d compile=%.3fs strategy=%s\n" r.Pipeline.depth
       r.Pipeline.cx r.Pipeline.swap_count r.Pipeline.compile_seconds (strategy_name r);
@@ -224,7 +224,7 @@ let qaoa_cmd =
     let arch = Arch.mumbai_like () in
     let noise = Noise.sampled ~seed:9 arch in
     let compile p =
-      let r = Pipeline.compile ~noise arch p in
+      let r = Pipeline.run_exn (Pipeline.Request.make ~noise arch p) in
       (r.Pipeline.circuit, r.Pipeline.final)
     in
     let d = Qcr_sim.Qaoa.run_driver ~rounds ~noise ~graph ~compile () in
@@ -244,6 +244,7 @@ module Service = Qcr_service.Service
 module Cache_store = Qcr_service.Cache_store
 module Compile_request = Qcr_service.Compile_request
 module Compile_reply = Qcr_service.Compile_reply
+module Protocol = Qcr_service.Protocol
 module Json = Qcr_obs.Json
 module Registry = Qcr_obs.Registry
 module Eventlog = Qcr_obs.Eventlog
@@ -291,13 +292,19 @@ let make_eventlog eventlog slow_ms =
   | Some _ -> Some (Eventlog.create ~slow_threshold_ms:slow_ms ())
 
 (* Snapshot writes are best-effort: losing one periodic snapshot should
-   never kill a serving loop, so failures are warnings on stderr. *)
+   never kill a serving loop, so failures are warnings on stderr — but
+   counted, so a wedged snapshot path shows up in the metrics and the
+   stats op instead of only scrolling by. *)
+let c_metrics_out_failed = Qcr_obs.Obs.counter "cli.metrics_out_failed"
+
 let write_metrics_out = function
   | None -> ()
   | Some path -> (
       match Registry.write_snapshot_file path with
       | Ok () -> ()
-      | Error e -> Printf.eprintf "qcr: warning: cannot write %s: %s\n%!" path e)
+      | Error e ->
+          Qcr_obs.Obs.incr c_metrics_out_failed;
+          Printf.eprintf "qcr: warning: cannot write %s: %s\n%!" path e)
 
 let write_eventlog log path =
   match (log, path) with
@@ -394,9 +401,24 @@ let serve_cmd =
   let batch_arg =
     Arg.(value & opt (some file) None & info [ "batch" ] ~docv:"FILE"
            ~doc:"Process this batch file first (replies on stdout, one JSON per line), \
-                 warming the compile cache, then serve stdin.")
+                 warming the compile cache, then serve.")
   in
-  let run batch cache_dir metrics_out eventlog slow_ms trace metrics domains inject =
+  let listen_arg =
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT"
+           ~doc:"Serve the same wire protocol over TCP instead of stdio: concurrent \
+                 connections, one JSONL request/reply stream each, async job ops \
+                 included.  PORT 0 binds an ephemeral port (printed on startup).  \
+                 SIGTERM/SIGINT drain gracefully: queued jobs finish, waiters are \
+                 notified, buffers flush, then the cache is persisted.")
+  in
+  let max_queue_arg =
+    Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Admission control for the async job API: at most $(docv) jobs queued \
+                 at once; beyond that, $(b,submit) answers with a typed overloaded \
+                 error instead of queueing unbounded work.")
+  in
+  let run batch listen max_queue cache_dir metrics_out eventlog slow_ms trace metrics
+      domains inject =
     with_telemetry ~cmd:"serve" trace metrics domains inject @@ fun () ->
     (* A server always runs with the sink on: the {"op":"metrics"} line
        and --metrics-out must see live meters, whatever the CLI flags. *)
@@ -407,94 +429,103 @@ let serve_cmd =
       print_endline (Json.to_string j);
       flush stdout
     in
-    let reply_line r = emit (Compile_reply.to_json r) in
-    let error_line msg = emit (Json.Obj [ ("status", Json.Str "error"); ("error", Json.Str msg) ]) in
     Option.iter
-      (fun file -> List.iter reply_line (Service.run_batch service (load_batch file)))
+      (fun file ->
+        List.iter
+          (fun r -> emit (Protocol.with_version (Compile_reply.to_json r)))
+          (Service.run_batch service (load_batch file)))
       batch;
-    (* One request per line on stdin, one reply per line on stdout.  A
-       malformed line yields an error reply; {"op":"health"} and
-       {"op":"stats"} are control lines; anything that still escapes the
-       service boundary is caught here — the loop keeps serving no matter
-       what a line does. *)
-    let handle_line line =
-      match Json.of_string line with
-      | Error e -> error_line ("bad request: " ^ e)
-      | Ok j -> (
-          match Json.member "op" j with
-          | Some (Json.Str "health") ->
-              emit
-                (Json.Obj
-                   [
-                     ("status", Json.Str "ok");
-                     ("requests", Json.Num (float_of_int (Service.stats service).Service.requests));
-                   ])
-          | Some (Json.Str "stats") ->
-              emit
-                (Json.Obj
-                   [
-                     ("status", Json.Str "ok");
-                     ( "stats",
-                       Service.stats_to_json
-                         ~breakers:(Service.breaker_states service)
-                         ~cache:(Service.cache_info service)
-                         (Service.stats service) );
-                   ])
-          | Some (Json.Str "metrics") ->
-              emit
-                (Json.Obj
-                   [
-                     ("status", Json.Str "ok");
-                     ("metrics", Service.metrics_json service);
-                     ("prometheus", Json.Str (Registry.prometheus (Registry.snapshot ())));
-                   ])
-          | Some (Json.Str "flush") -> (
-              match Service.flush service with
-              | Ok n ->
-                  emit
-                    (Json.Obj
-                       [ ("status", Json.Str "ok"); ("persisted", Json.Num (float_of_int n)) ])
-              | Error e -> error_line ("cache flush failed: " ^ e))
-          | Some (Json.Str op) -> error_line (Printf.sprintf "unknown op %S" op)
-          | Some _ -> error_line "\"op\" must be a string"
-          | None -> (
-              match Compile_request.of_json j with
-              | Ok req -> reply_line (Service.submit service req)
-              | Error e -> error_line ("bad request: " ^ e)))
+    (* The EOF/shutdown path persists the cache with the same
+       fatal-on-failure policy as batch: losing the flush is data loss,
+       not a warning. *)
+    let finish () =
+      flush_store ~on_error:(fun e -> die "cache flush failed: %s" e) service;
+      write_metrics_out metrics_out;
+      write_eventlog log eventlog;
+      pass_summary "served" (Service.stats service)
     in
-    (try
-       while true do
-         let line = input_line stdin in
-         if String.trim line <> "" then begin
-           (try handle_line line
-            with
-            | (Out_of_memory | Stack_overflow) as e -> raise e
-            | e -> error_line ("uncaught exception: " ^ Printexc.to_string e));
-           (* span buffers are per-request; counters, histograms and
-              meters keep accumulating across the loop *)
-           Qcr_obs.Obs.clear_spans ();
-           write_metrics_out metrics_out
-         end
-       done
-     with End_of_file -> ());
-    flush_store
-      ~on_error:(fun e -> Printf.eprintf "qcr: warning: cache flush failed: %s\n%!" e)
-      service;
-    write_metrics_out metrics_out;
-    write_eventlog log eventlog;
-    pass_summary "served" (Service.stats service)
+    match listen with
+    | Some hostport ->
+        let host, port =
+          match Qcr_net.Server.parse_listen hostport with
+          | Ok hp -> hp
+          | Error e -> die_usage "--listen: %s" e
+        in
+        let config = { Qcr_net.Server.default_config with host; port; max_queue } in
+        let stop_flag = ref false in
+        let on_stop_signal = Sys.Signal_handle (fun _ -> stop_flag := true) in
+        (try Sys.set_signal Sys.sigterm on_stop_signal with Invalid_argument _ -> ());
+        (try Sys.set_signal Sys.sigint on_stop_signal with Invalid_argument _ -> ());
+        (* [stop] is polled once per loop pass — piggyback the periodic
+           metrics snapshot on it (throttled to ~1s). *)
+        let last_snapshot = ref 0.0 in
+        let stop () =
+          if metrics_out <> None && Unix.gettimeofday () -. !last_snapshot > 1.0 then begin
+            last_snapshot := Unix.gettimeofday ();
+            write_metrics_out metrics_out
+          end;
+          !stop_flag
+        in
+        Qcr_net.Server.serve ~config
+          ~on_listen:(fun p -> Printf.printf "listening on %s:%d\n%!" host p)
+          ~stop service;
+        finish ()
+    | None ->
+        (* stdio: one implicit client on stdin/stdout, same protocol.
+           The job queue drains between lines, so a submit is running by
+           the time the next poll arrives, and wait drives the queue
+           inline until its job is terminal. *)
+        let jobs = Qcr_net.Jobs.create ~max_queue ~submit:(Service.submit service) () in
+        let session = Qcr_net.Session.create ~service ~jobs () in
+        let emit_reaction = function
+          | Qcr_net.Session.Reply j -> emit j
+          | Qcr_net.Session.Wait_for id ->
+              let rec drive () =
+                match Qcr_net.Jobs.find jobs id with
+                | Some st when Qcr_net.Jobs.is_terminal st ->
+                    emit (Qcr_net.Session.job_state_reply id st)
+                | Some _ ->
+                    ignore (Qcr_net.Jobs.run_next jobs);
+                    drive ()
+                | None ->
+                    emit
+                      (Protocol.job_error_reply ~kind:"unknown_job" ~job:id
+                         ~message:(Printf.sprintf "job %S vanished while waiting" id))
+              in
+              drive ()
+        in
+        (try
+           while true do
+             let line = input_line stdin in
+             if String.trim line <> "" then begin
+               emit_reaction (Qcr_net.Session.handle session ~client:0 line);
+               while Qcr_net.Jobs.run_next jobs <> None do
+                 ()
+               done;
+               (* span buffers are per-request; counters, histograms and
+                  meters keep accumulating across the loop *)
+               Qcr_obs.Obs.clear_spans ();
+               write_metrics_out metrics_out
+             end
+           done
+         with End_of_file -> ());
+        finish ()
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve compile requests over stdio (JSON lines), with a persistent compile \
-             cache. {\"op\":\"health\"} and {\"op\":\"stats\"} lines return service \
-             health and cumulative statistics (including circuit-breaker states); \
-             {\"op\":\"metrics\"} returns the full metrics-registry snapshot (per-tier \
-             compile-latency quantiles, cache and pool gauges, breaker states) as JSON \
-             plus a Prometheus-style text rendering; {\"op\":\"flush\"} persists the \
-             cache to $(b,--cache-dir) immediately (it is also flushed at EOF).")
-    Term.(const run $ batch_arg $ cache_dir_arg $ metrics_out_arg $ eventlog_arg
-          $ slow_ms_arg $ trace_arg $ metrics_arg $ domains_arg $ inject_arg)
+       ~doc:"Serve compile requests as JSON lines — version-2 typed wire protocol \
+             (README \"Serving\" has the spec) — over stdio, or over TCP with \
+             $(b,--listen).  Synchronous ops: bare request objects or \
+             {\"op\":\"compile\"}; async job ops: {\"op\":\"submit\"} answers with a \
+             job id immediately and $(b,poll)/$(b,wait)/$(b,cancel)/$(b,result) \
+             retrieve status and replies; control ops $(b,health), $(b,stats), \
+             $(b,metrics) (registry snapshot as JSON plus Prometheus text) and \
+             $(b,flush) (persist the cache to $(b,--cache-dir) immediately; it is \
+             also flushed at EOF/shutdown).  Version-1 lines (no \"v\" field) are \
+             still accepted; every reply is stamped with \"v\":2.")
+    Term.(const run $ batch_arg $ listen_arg $ max_queue_arg $ cache_dir_arg
+          $ metrics_out_arg $ eventlog_arg $ slow_ms_arg $ trace_arg $ metrics_arg
+          $ domains_arg $ inject_arg)
 
 let () =
   (* QCR_FAULTS arms process-wide fault injection before any command

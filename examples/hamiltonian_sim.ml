@@ -18,7 +18,7 @@ let () =
   in
   let run name graph =
     let program = Hamiltonian.trotter_step graph in
-    let ours = Pipeline.compile arch program in
+    let ours = Pipeline.run_exn (Pipeline.Request.make arch program) in
     let twoqan = Twoqan.compile ~anneal_moves:20000 arch program in
     Tablefmt.add_row table
       [

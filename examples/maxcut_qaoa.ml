@@ -25,7 +25,7 @@ let () =
   Printf.printf "QAOA Max-Cut, %d-qubit random graph (density 0.3) on %s\n\n" n (Arch.name arch);
 
   let compile_ours p =
-    let r = Pipeline.compile ~noise arch p in
+    let r = Pipeline.run_exn (Pipeline.Request.make ~noise arch p) in
     (r.Pipeline.circuit, r.Pipeline.final)
   in
   let compile_baseline p =

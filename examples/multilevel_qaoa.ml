@@ -52,7 +52,7 @@ let () =
     Qcr_circuit.Program.make graph
       (Qcr_circuit.Program.Qaoa_maxcut { gamma = 0.45; beta = 0.35 })
   in
-  let r = Pipeline.compile arch program in
+  let r = Pipeline.run_exn (Pipeline.Request.make arch program) in
   (match Qcr_core.Checker.certify ~arch ~program r with
   | Ok () -> print_endline "certificate: compilation verified (coupling, mapping, edge set, metrics)"
   | Error vs -> List.iter print_endline vs);

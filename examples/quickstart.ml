@@ -30,7 +30,7 @@ let () =
   Printf.printf "target: %s (%d physical qubits)\n" (Arch.name arch) (Arch.qubit_count arch);
 
   (* 4. Compile with the full hybrid pipeline ("ours"). *)
-  let r = Pipeline.compile ~noise arch program in
+  let r = Pipeline.run_exn (Pipeline.Request.make ~noise arch program) in
   Printf.printf "compiled: depth=%d  cx=%d  swaps=%d  est. success=%.3f  (%.3fs)\n"
     r.Pipeline.depth r.Pipeline.cx r.Pipeline.swap_count
     (exp r.Pipeline.log_fidelity) r.Pipeline.compile_seconds;
@@ -41,8 +41,8 @@ let () =
 
   (* 5. Compare against rigidly following the clique pattern and against
      pure greedy (paper Fig 17). *)
-  let ata = Pipeline.compile_ata ~noise arch program in
-  let greedy = Pipeline.compile_greedy ~noise arch program in
+  let ata = Pipeline.run_exn (Pipeline.Request.make ~noise ~mode:Pipeline.Request.Ata arch program) in
+  let greedy = Pipeline.run_exn (Pipeline.Request.make ~noise ~mode:Pipeline.Request.Greedy arch program) in
   Printf.printf "for reference:  ata depth=%d cx=%d | greedy depth=%d cx=%d\n"
     ata.Pipeline.depth ata.Pipeline.cx greedy.Pipeline.depth greedy.Pipeline.cx;
 

@@ -38,7 +38,7 @@ let () =
       let inst = List.hd (Suite.random_instances ~cases:1 ~n ~density:0.3 ()) in
       let program = Suite.program_of inst in
       let arch = Arch.smallest_for Arch.Heavy_hex n in
-      let r = Pipeline.compile arch program in
+      let r = Pipeline.run_exn (Pipeline.Request.make arch program) in
       ignore (Program.qubit_count program);
       Tablefmt.add_row table
         [

@@ -36,5 +36,6 @@ let compile ?seed ?anneal_moves ?noise arch program =
       use_coloring = false;
     }
   in
-  let r = Pipeline.compile_greedy ~config ?noise ~init arch program in
+  let r = Pipeline.run_exn
+    (Pipeline.Request.make ~config ?noise ~init ~mode:Pipeline.Request.Greedy arch program) in
   { r with Pipeline.compile_seconds = Sys.time () -. t0 }

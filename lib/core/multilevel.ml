@@ -36,7 +36,7 @@ let compile ?config ?noise ?init ?(restore = false) arch graph ~angles =
         Qcr_obs.Obs.with_span ~cat:"pipeline"
           ~args:[ ("level", string_of_int level) ]
           "multilevel.level"
-          (fun () -> Pipeline.compile ?config ?noise ?init:!current_init arch program)
+          (fun () -> Pipeline.run_exn (Pipeline.Request.make ?config ?noise ?init:!current_init arch program))
       in
       current_init := Some r.Pipeline.final;
       results := r :: !results)

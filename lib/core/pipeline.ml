@@ -434,11 +434,16 @@ type error =
   | Timeout of { deadline_s : float }
   | Invalid_request of string
   | Internal of string
+  | Overloaded of { queued : int; limit : int }
+  | Canceled
 
 let error_to_string = function
   | Timeout { deadline_s } -> Printf.sprintf "deadline of %gs expired" deadline_s
   | Invalid_request msg -> "invalid request: " ^ msg
   | Internal msg -> "internal error: " ^ msg
+  | Overloaded { queued; limit } ->
+      Printf.sprintf "overloaded: %d jobs queued (limit %d)" queued limit
+  | Canceled -> "canceled"
 
 let validate (req : Request.t) =
   let n_log = Program.qubit_count req.Request.program in
@@ -488,25 +493,31 @@ let run (req : Request.t) =
       | (Out_of_memory | Stack_overflow) as e -> raise e
       | e -> Error (Internal (Printexc.to_string e)))
 
-(* Legacy entry points, re-expressed over [run].  They keep the original
-   exception-based contract: a typed error surfaces as [Invalid_argument]
-   or [Failure]. *)
+(* Exception-raising conveniences over [run]: a typed error surfaces as
+   [Invalid_argument] or [Failure].  Callers that care about the error
+   constructor use [run] / [run_portfolio] directly. *)
 
 let unwrap = function
   | Ok r -> r
   | Error (Invalid_request msg) -> invalid_arg ("Pipeline: " ^ msg)
   | Error e -> failwith ("Pipeline: " ^ error_to_string e)
 
-let compile ?config ?noise ?init arch program =
-  unwrap (run (Request.make ?config ?noise ?init ~mode:Request.Ours arch program))
+let run_exn req = unwrap (run req)
 
-let compile_greedy ?(config = Config.pure_greedy) ?noise ?init arch program =
-  unwrap (run (Request.make ~config ?noise ?init ~mode:Request.Greedy arch program))
+let run_portfolio (req : Request.t) =
+  match validate req with
+  | Error _ as e -> e
+  | Ok () -> (
+      let { Request.arch; program; config; noise; init; mode; _ } = req in
+      let astar_budget =
+        match mode with Request.Portfolio { astar_budget } -> astar_budget | _ -> 30_000
+      in
+      try Ok (portfolio_impl ~config ?noise ?init ~astar_budget arch program) with
+      | (Out_of_memory | Stack_overflow) as e -> raise e
+      | e -> Error (Internal (Printexc.to_string e)))
 
-let compile_ata ?noise ?init arch program =
-  unwrap (run (Request.make ?noise ?init ~mode:Request.Ata arch program))
-
-let compile_portfolio ?config ?noise ?init ?(astar_budget = 30_000) arch program =
-  match validate (Request.make ?config ?noise ?init arch program) with
-  | Error e -> invalid_arg ("Pipeline: " ^ error_to_string e)
-  | Ok () -> portfolio_impl ?config ?noise ?init ~astar_budget arch program
+let run_portfolio_exn req =
+  match run_portfolio req with
+  | Ok p -> p
+  | Error (Invalid_request msg) -> invalid_arg ("Pipeline: " ^ msg)
+  | Error e -> failwith ("Pipeline: " ^ error_to_string e)

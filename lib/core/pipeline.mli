@@ -91,6 +91,12 @@ type error =
           [Qcr_service] compile server; {!run} itself never times out *)
   | Invalid_request of string  (** the request fails validation *)
   | Internal of string  (** an unexpected exception, captured *)
+  | Overloaded of { queued : int; limit : int }
+      (** produced by admission-controlled front-ends ([Qcr_net]) when
+          the bounded job queue is full; {!run} itself never sheds load *)
+  | Canceled
+      (** produced by the async job API when a queued job is canceled
+          (explicitly or by its client disconnecting) before it ran *)
 
 val error_to_string : error -> string
 
@@ -100,40 +106,10 @@ val run : Request.t -> (result, error) Stdlib.result
     exception as [Internal] — the only exceptions that escape are
     [Out_of_memory] and [Stack_overflow]. *)
 
-(** {1 Legacy entry points}
-
-    Thin wrappers over {!run} that keep the original exception-based
-    contract: a typed error surfaces as [Invalid_argument] or
-    [Failure]. *)
-
-val compile :
-  ?config:Config.t ->
-  ?noise:Qcr_arch.Noise.t ->
-  ?init:Qcr_circuit.Mapping.t ->
-  Qcr_arch.Arch.t ->
-  Qcr_circuit.Program.t ->
-  result
-(** The full system ("ours").
-    @deprecated Use {!run} with mode {!Request.Ours}. *)
-
-val compile_greedy :
-  ?config:Config.t ->
-  ?noise:Qcr_arch.Noise.t ->
-  ?init:Qcr_circuit.Mapping.t ->
-  Qcr_arch.Arch.t ->
-  Qcr_circuit.Program.t ->
-  result
-(** Pure greedy arm (Fig 17 "greedy").
-    @deprecated Use {!run} with mode {!Request.Greedy}. *)
-
-val compile_ata :
-  ?noise:Qcr_arch.Noise.t ->
-  ?init:Qcr_circuit.Mapping.t ->
-  Qcr_arch.Arch.t ->
-  Qcr_circuit.Program.t ->
-  result
-(** Rigid solver-guided pattern (Fig 17 "solver").
-    @deprecated Use {!run} with mode {!Request.Ata}. *)
+val run_exn : Request.t -> result
+(** [run] with the exception-based contract: [Invalid_request] raises
+    [Invalid_argument], every other error raises [Failure].  Convenience
+    for tests, benches and examples that treat errors as fatal. *)
 
 val finalize_body :
   arch:Qcr_arch.Arch.t ->
@@ -158,21 +134,17 @@ type portfolio = {
       (** every arm that completed, in fixed arm order *)
 }
 
-val compile_portfolio :
-  ?config:Config.t ->
-  ?noise:Qcr_arch.Noise.t ->
-  ?init:Qcr_circuit.Mapping.t ->
-  ?astar_budget:int ->
-  Qcr_arch.Arch.t ->
-  Qcr_circuit.Program.t ->
-  portfolio
+val run_portfolio : Request.t -> (portfolio, error) Stdlib.result
 (** The arms-exposing sibling of [run ~mode:(Portfolio _)]: race the full
     system, pure greedy, rigid ATA, and (on devices of at most 16 qubits)
-    an anytime weighted-A* arm with [astar_budget] node expansions
-    (default 30000) across the default [Qcr_par.Pool], and keep the
-    circuit with the best {!Selector.score} normalized to the greedy arm
-    (ties favor the earlier arm).  Arms that cannot complete (the A* arm
-    on large devices or with an exhausted budget) are dropped.  Every arm
-    is deterministic, so the winner is identical for any [QCR_DOMAINS]
-    value.  [winner.compile_seconds] is the whole portfolio's CPU time.
-    @raise Invalid_argument on a request that fails validation. *)
+    an anytime weighted-A* arm with the request's [astar_budget] node
+    expansions (30000 when the request mode is not [Portfolio]) across
+    the default [Qcr_par.Pool], and keep the circuit with the best
+    {!Selector.score} normalized to the greedy arm (ties favor the
+    earlier arm).  Arms that cannot complete (the A* arm on large devices
+    or with an exhausted budget) are dropped.  Every arm is
+    deterministic, so the winner is identical for any [QCR_DOMAINS]
+    value.  [winner.compile_seconds] is the whole portfolio's CPU time. *)
+
+val run_portfolio_exn : Request.t -> portfolio
+(** {!run_portfolio} with the exception-based contract of {!run_exn}. *)

@@ -1,0 +1,84 @@
+module Json = Qcr_obs.Json
+
+type t = { fd : Unix.file_descr; buf : Buffer.t; scratch : Bytes.t }
+
+let connect ?(host = "127.0.0.1") ~port () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; buf = Buffer.create 256; scratch = Bytes.create 65536 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let fd t = t.fd
+
+let send_line t line =
+  let payload = line ^ "\n" in
+  let len = String.length payload in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write_substring t.fd payload !written (len - !written)
+  done
+
+let send t j = send_line t (Json.to_string j)
+
+(* Pop one full line off the buffer, if present. *)
+let take_line t =
+  let s = Buffer.contents t.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      let line = String.sub s 0 i in
+      Buffer.clear t.buf;
+      Buffer.add_substring t.buf s (i + 1) (String.length s - i - 1);
+      Some (if line <> "" && line.[String.length line - 1] = '\r' then
+              String.sub line 0 (String.length line - 1)
+            else line)
+
+let recv_line ?(timeout_s = 30.0) t =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    match take_line t with
+    | Some line -> Ok line
+    | None -> (
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0.0 then Error "timeout"
+        else
+          match Unix.select [ t.fd ] [] [] remaining with
+          | [], _, _ -> go ()
+          | _ -> (
+              match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
+              | 0 -> if Buffer.length t.buf = 0 then Error "eof" else Error "eof mid-line"
+              | n ->
+                  Buffer.add_subbytes t.buf t.scratch 0 n;
+                  go ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+              | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)))
+  in
+  go ()
+
+let recv ?timeout_s t =
+  match recv_line ?timeout_s t with
+  | Error _ as e -> e
+  | Ok line -> Json.of_string line
+
+let request ?timeout_s t j =
+  send t j;
+  recv ?timeout_s t
+
+let try_recv_line t =
+  match take_line t with
+  | Some line -> Some line
+  | None -> (
+      match Unix.select [ t.fd ] [] [] 0.0 with
+      | [], _, _ -> None
+      | _ -> (
+          match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
+          | 0 -> raise End_of_file
+          | n ->
+              Buffer.add_subbytes t.buf t.scratch 0 n;
+              take_line t
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> None))

@@ -1,0 +1,32 @@
+(** Minimal blocking JSONL client for the TCP front-end — the test,
+    bench and chaos harnesses drive servers through this.  One line out,
+    one line back; [recv*] take a deadline so a dead server fails the
+    caller instead of hanging it. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** @raise Unix.Unix_error when the server is not listening. *)
+
+val close : t -> unit
+
+val fd : t -> Unix.file_descr
+(** For callers multiplexing several clients over [Unix.select]. *)
+
+val send_line : t -> string -> unit
+val send : t -> Qcr_obs.Json.t -> unit
+
+val recv_line : ?timeout_s:float -> t -> (string, string) result
+(** Next full line (LF-terminated, terminator stripped).  [Error "eof"]
+    when the server closed the connection, [Error "timeout"] after
+    [timeout_s] (default 30s) without a full line. *)
+
+val recv : ?timeout_s:float -> t -> (Qcr_obs.Json.t, string) result
+
+val request : ?timeout_s:float -> t -> Qcr_obs.Json.t -> (Qcr_obs.Json.t, string) result
+(** [send] then [recv]. *)
+
+val try_recv_line : t -> string option
+(** Non-blocking: a buffered or immediately readable full line, else
+    [None].  @raise End_of_file when the server closed the
+    connection. *)

@@ -1,0 +1,201 @@
+module Request = Qcr_service.Compile_request
+module Reply = Qcr_service.Compile_reply
+module Pipeline = Qcr_core.Pipeline
+module Json = Qcr_obs.Json
+module Obs = Qcr_obs.Obs
+
+let c_submitted = Obs.counter "jobs.submitted"
+let c_completed = Obs.counter "jobs.completed"
+let c_canceled = Obs.counter "jobs.canceled"
+let c_shed = Obs.counter "jobs.shed"
+
+type state =
+  | Queued
+  | Running
+  | Done of Reply.t
+  | Canceled of Reply.t
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done _ -> "done"
+  | Canceled _ -> "canceled"
+
+let is_terminal = function Done _ | Canceled _ -> true | Queued | Running -> false
+
+type job = {
+  j_id : string;
+  j_client : int;
+  j_request : Request.t;
+  mutable j_state : state;
+}
+
+type t = {
+  submit_fn : Request.t -> Reply.t;
+  max_queue : int;
+  retain_done : int;
+  jobs : (string, job) Hashtbl.t;
+  queues : (int, job Queue.t) Hashtbl.t;  (* per-client FIFO of queued jobs *)
+  rr : int Queue.t;  (* clients with a physically non-empty queue, dequeue order *)
+  finished : string Queue.t;  (* terminal ids in completion order, for eviction *)
+  mutable n_queued : int;  (* live [Queued] jobs only *)
+  mutable n_finished : int;
+  mutable next_id : int;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable canceled : int;
+  mutable shed : int;
+}
+
+let create ?(max_queue = 64) ?(retain_done = 256) ~submit () =
+  {
+    submit_fn = submit;
+    max_queue = max 1 max_queue;
+    retain_done = max 1 retain_done;
+    jobs = Hashtbl.create 64;
+    queues = Hashtbl.create 16;
+    rr = Queue.create ();
+    finished = Queue.create ();
+    n_queued = 0;
+    n_finished = 0;
+    next_id = 0;
+    submitted = 0;
+    completed = 0;
+    canceled = 0;
+    shed = 0;
+  }
+
+let failed_reply (req : Request.t) error =
+  {
+    Reply.id = req.Request.id;
+    key = "";
+    requested_mode = req.Request.mode;
+    outcome = Reply.Failed error;
+    cached = false;
+    compile_ms = 0.0;
+    trace = None;
+  }
+
+(* A terminal job enters the bounded retention window; the oldest fall
+   out so a server that never sees a [result] op cannot grow without
+   bound.  Ids already [take]n are simply absent. *)
+let finish t (j : job) =
+  Queue.push j.j_id t.finished;
+  t.n_finished <- t.n_finished + 1;
+  while t.n_finished > t.retain_done do
+    let id = Queue.pop t.finished in
+    t.n_finished <- t.n_finished - 1;
+    Hashtbl.remove t.jobs id
+  done
+
+let submit t ~client (req : Request.t) =
+  if t.n_queued >= t.max_queue then begin
+    t.shed <- t.shed + 1;
+    Obs.incr c_shed;
+    Error (failed_reply req (Pipeline.Overloaded { queued = t.n_queued; limit = t.max_queue }))
+  end
+  else begin
+    t.next_id <- t.next_id + 1;
+    let id = Printf.sprintf "j-%d" t.next_id in
+    let j = { j_id = id; j_client = client; j_request = req; j_state = Queued } in
+    Hashtbl.add t.jobs id j;
+    let q =
+      match Hashtbl.find_opt t.queues client with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.add t.queues client q;
+          q
+    in
+    if Queue.is_empty q then Queue.push client t.rr;
+    Queue.push j q;
+    t.n_queued <- t.n_queued + 1;
+    t.submitted <- t.submitted + 1;
+    Obs.incr c_submitted;
+    Ok id
+  end
+
+let find t id = Option.map (fun j -> j.j_state) (Hashtbl.find_opt t.jobs id)
+
+let cancel t id =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> None
+  | Some j ->
+      (match j.j_state with
+      | Queued ->
+          (* lazily: the job stays in its client queue and is skipped at
+             dequeue time *)
+          j.j_state <- Canceled (failed_reply j.j_request Pipeline.Canceled);
+          t.n_queued <- t.n_queued - 1;
+          t.canceled <- t.canceled + 1;
+          Obs.incr c_canceled;
+          finish t j
+      | Running | Done _ | Canceled _ -> ());
+      Some j.j_state
+
+let take t id =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> None
+  | Some j ->
+      if is_terminal j.j_state then Hashtbl.remove t.jobs id;
+      Some j.j_state
+
+(* Round-robin across clients, FIFO within a client.  The [rr] invariant:
+   a client id is enqueued exactly once iff its queue is physically
+   non-empty (canceled entries included), so each iteration below removes
+   at least one queue or rr entry and the recursion terminates. *)
+let rec run_next t =
+  match Queue.take_opt t.rr with
+  | None -> None
+  | Some c -> (
+      match Hashtbl.find_opt t.queues c with
+      | None -> run_next t (* client dropped; stale rr entry *)
+      | Some q ->
+          let rec next_live () =
+            match Queue.take_opt q with
+            | None -> None
+            | Some j -> if j.j_state = Queued then Some j else next_live ()
+          in
+          let found = next_live () in
+          if not (Queue.is_empty q) then Queue.push c t.rr;
+          (match found with
+          | None -> run_next t
+          | Some j ->
+              j.j_state <- Running;
+              t.n_queued <- t.n_queued - 1;
+              let reply = t.submit_fn j.j_request in
+              j.j_state <- Done reply;
+              t.completed <- t.completed + 1;
+              Obs.incr c_completed;
+              finish t j;
+              Some (j.j_id, j.j_client, reply)))
+
+let drop_client t client =
+  let dropped = ref 0 in
+  (match Hashtbl.find_opt t.queues client with
+  | None -> ()
+  | Some q ->
+      Queue.iter
+        (fun j ->
+          if j.j_state = Queued then begin
+            ignore (cancel t j.j_id);
+            incr dropped
+          end)
+        q;
+      Hashtbl.remove t.queues client);
+  !dropped
+
+let queued t = t.n_queued
+
+let pending t = t.n_queued > 0
+
+let stats_json t =
+  Json.Obj
+    [
+      ("submitted", Json.Num (float_of_int t.submitted));
+      ("completed", Json.Num (float_of_int t.completed));
+      ("canceled", Json.Num (float_of_int t.canceled));
+      ("shed", Json.Num (float_of_int t.shed));
+      ("queued", Json.Num (float_of_int t.n_queued));
+      ("limit", Json.Num (float_of_int t.max_queue));
+    ]

@@ -1,0 +1,69 @@
+(** Transport-independent async job table.
+
+    [submit] admits a compile request into a bounded queue and returns a
+    job id immediately; {!run_next} executes exactly one queued job
+    (round-robin across clients, FIFO within a client) through the
+    function the table was created with — the single-threaded event loop
+    calls it between I/O rounds, so replies stay bit-identical to the
+    synchronous path.
+
+    Admission control: when [max_queue] jobs are already queued, [submit]
+    refuses with a ready-made [Overloaded] error reply instead of
+    queueing — bounded latency beats unbounded memory.  Terminal jobs
+    (done or canceled) are retained for [retain_done] ids so late
+    [poll]/[result] calls can find them, then evicted oldest-first. *)
+
+type state =
+  | Queued
+  | Running
+  | Done of Qcr_service.Compile_reply.t
+  | Canceled of Qcr_service.Compile_reply.t
+      (** the reply is a [Failed Canceled] built at cancel time *)
+
+val state_name : state -> string
+(** ["queued"], ["running"], ["done"] or ["canceled"]. *)
+
+val is_terminal : state -> bool
+
+type t
+
+val create :
+  ?max_queue:int ->
+  ?retain_done:int ->
+  submit:(Qcr_service.Compile_request.t -> Qcr_service.Compile_reply.t) ->
+  unit ->
+  t
+(** Defaults: [max_queue 64], [retain_done 256]. *)
+
+val submit :
+  t -> client:int -> Qcr_service.Compile_request.t -> (string, Qcr_service.Compile_reply.t) result
+(** [Ok id] (ids are ["j-1"], ["j-2"], ... in admission order) or
+    [Error reply] where [reply] is a typed [Overloaded] failure carrying
+    the queue depth and limit. *)
+
+val find : t -> string -> state option
+
+val cancel : t -> string -> state option
+(** Cancel a [Queued] job (running or terminal jobs are unaffected);
+    returns the state after the attempt, [None] for unknown ids. *)
+
+val take : t -> string -> state option
+(** Like {!find}, but a terminal job is evicted from the table — the
+    [result] op's fetch-and-forget. *)
+
+val run_next : t -> (string * int * Qcr_service.Compile_reply.t) option
+(** Execute the next queued job (fair order); [None] when idle.  Returns
+    the job id, owning client, and reply. *)
+
+val drop_client : t -> int -> int
+(** Cancel every queued job owned by a disconnected client; returns how
+    many were canceled.  Its terminal jobs stay retained. *)
+
+val queued : t -> int
+(** Live queued jobs — the admission-control gauge. *)
+
+val pending : t -> bool
+
+val stats_json : t -> Qcr_obs.Json.t
+(** [{"submitted":..,"completed":..,"canceled":..,"shed":..,"queued":..,
+    "limit":..}] — cumulative counts for the [stats] op. *)

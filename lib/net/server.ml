@@ -1,0 +1,309 @@
+module Service = Qcr_service.Service
+module Json = Qcr_obs.Json
+module Obs = Qcr_obs.Obs
+module Registry = Qcr_obs.Registry
+module Fault = Qcr_fault.Fault
+
+let fp_accept = Fault.point "net.accept"
+let fp_read = Fault.point "net.read"
+let fp_write = Fault.point "net.write"
+
+let c_accepted = Obs.counter "net.accepted"
+let c_closed = Obs.counter "net.closed"
+let c_lines = Obs.counter "net.lines"
+let c_idle_closed = Obs.counter "net.idle_closed"
+let c_oversize = Obs.counter "net.oversize_lines"
+let c_read_faults = Obs.counter "net.read_faults"
+let c_write_faults = Obs.counter "net.write_faults"
+let c_accept_faults = Obs.counter "net.accept_faults"
+let m_request_ms = Registry.meter "net.request_ms"
+
+type config = {
+  host : string;
+  port : int;
+  backlog : int;
+  max_queue : int;
+  max_line_bytes : int;
+  idle_timeout_s : float;
+  tick_s : float;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7117;
+    backlog = 64;
+    max_queue = 64;
+    max_line_bytes = 8 * 1024 * 1024;
+    idle_timeout_s = 300.0;
+    tick_s = 0.05;
+  }
+
+let parse_listen s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "bad listen address %S: expected HOST:PORT" s)
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port_s with
+      | Some port when port >= 0 && port <= 65535 ->
+          Ok ((if host = "" then "0.0.0.0" else host), port)
+      | _ -> Error (Printf.sprintf "bad listen port %S" port_s))
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+      | h -> h.Unix.h_addr_list.(0))
+
+type conn = {
+  fd : Unix.file_descr;
+  client : int;
+  rbuf : Buffer.t;
+  mutable out : string;  (* bytes accepted for write, not yet written *)
+  mutable last_activity : float;
+  mutable waits : string list;  (* job ids parked by the wait op *)
+}
+
+let serve ?(config = default_config) ?on_listen ?(stop = fun () -> false) service =
+  (* a peer closing mid-write must surface as EPIPE, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.bind lfd (Unix.ADDR_INET (resolve_host config.host, config.port));
+  Unix.listen lfd config.backlog;
+  let bound_port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  Option.iter (fun f -> f bound_port) on_listen;
+  let jobs = Jobs.create ~max_queue:config.max_queue ~submit:(Service.submit service) () in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let session =
+    Session.create ~service ~jobs
+      ~extra_stats:(fun () ->
+        [ ("connections", Json.Num (float_of_int (Hashtbl.length conns))) ])
+      ()
+  in
+  Registry.register_probe "net.connections" (fun () -> float_of_int (Hashtbl.length conns));
+  Registry.register_probe "net.queue_depth" (fun () -> float_of_int (Jobs.queued jobs));
+  let next_client = ref 0 in
+  let close_conn ?(drop = true) conn =
+    if Hashtbl.mem conns conn.fd then begin
+      Hashtbl.remove conns conn.fd;
+      if drop then ignore (Jobs.drop_client jobs conn.client);
+      Obs.incr c_closed;
+      try Unix.close conn.fd with Unix.Unix_error _ -> ()
+    end
+  in
+  let enqueue_reply conn j =
+    conn.out <- conn.out ^ Json.to_string j ^ "\n";
+    conn.last_activity <- Unix.gettimeofday ()
+  in
+  (* Writes are opportunistic (every loop pass, not only on select
+     writability) — at this request rate the buffer is almost always
+     writable, and the select watch below covers the rare full one.  A
+     [Crash] rule on net.write ships half the pending bytes and then
+     hard-closes: a mid-frame disconnect as the client sees it. *)
+  let flush_out conn =
+    if conn.out <> "" then begin
+      match Fault.fire fp_write with
+      | exception Fault.Injected _ ->
+          Obs.incr c_write_faults;
+          let half = String.length conn.out / 2 in
+          (try ignore (Unix.write_substring conn.fd conn.out 0 half)
+           with Unix.Unix_error _ -> ());
+          close_conn conn
+      | () -> (
+          match Unix.write_substring conn.fd conn.out 0 (String.length conn.out) with
+          | n -> conn.out <- String.sub conn.out n (String.length conn.out - n)
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+            -> ()
+          | exception Unix.Unix_error _ -> close_conn conn)
+    end
+  in
+  let handle_line conn line =
+    if String.trim line <> "" then begin
+      Obs.incr c_lines;
+      let t0 = Unix.gettimeofday () in
+      (match Session.handle session ~client:conn.client line with
+      | Session.Reply j -> enqueue_reply conn j
+      | Session.Wait_for id -> conn.waits <- conn.waits @ [ id ]);
+      Registry.observe m_request_ms ((Unix.gettimeofday () -. t0) *. 1000.0);
+      (* span buffers are per-request; counters and meters accumulate *)
+      Obs.clear_spans ()
+    end
+  in
+  let drain_lines conn =
+    let continue = ref true in
+    while !continue do
+      let s = Buffer.contents conn.rbuf in
+      match String.index_opt s '\n' with
+      | None ->
+          if Buffer.length conn.rbuf > config.max_line_bytes then begin
+            Obs.incr c_oversize;
+            enqueue_reply conn
+              (Qcr_service.Protocol.error_reply
+                 (Qcr_service.Protocol.Malformed
+                    (Printf.sprintf "line exceeds %d bytes" config.max_line_bytes)));
+            flush_out conn;
+            close_conn conn
+          end;
+          continue := false
+      | Some i ->
+          let line = String.sub s 0 i in
+          let line =
+            if line <> "" && line.[String.length line - 1] = '\r' then
+              String.sub line 0 (String.length line - 1)
+            else line
+          in
+          Buffer.clear conn.rbuf;
+          Buffer.add_substring conn.rbuf s (i + 1) (String.length s - i - 1);
+          handle_line conn line;
+          if not (Hashtbl.mem conns conn.fd) then continue := false
+    done
+  in
+  let read_chunk = Bytes.create 65536 in
+  let handle_readable conn =
+    match Fault.fire fp_read with
+    | exception Fault.Injected _ ->
+        Obs.incr c_read_faults;
+        close_conn conn (* injected connection reset *)
+    | () -> (
+        match Unix.read conn.fd read_chunk 0 (Bytes.length read_chunk) with
+        | 0 -> close_conn conn (* EOF: client is gone; queued jobs cancel *)
+        | n ->
+            let chunk = Fault.corrupt fp_read (Bytes.sub_string read_chunk 0 n) in
+            Buffer.add_string conn.rbuf chunk;
+            conn.last_activity <- Unix.gettimeofday ();
+            drain_lines conn
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            ()
+        | exception Unix.Unix_error _ -> close_conn conn)
+  in
+  let accept_ready () =
+    match Unix.accept lfd with
+    | fd, _addr -> (
+        match Fault.fire fp_accept with
+        | exception Fault.Injected _ ->
+            Obs.incr c_accept_faults;
+            (try Unix.close fd with Unix.Unix_error _ -> ())
+        | () ->
+            Unix.set_nonblock fd;
+            incr next_client;
+            Obs.incr c_accepted;
+            Hashtbl.replace conns fd
+              {
+                fd;
+                client = !next_client;
+                rbuf = Buffer.create 256;
+                out = "";
+                last_activity = Unix.gettimeofday ();
+                waits = [];
+              })
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  in
+  let run_one_job () = ignore (Jobs.run_next jobs) in
+  (* Wake parked waits whose job turned terminal — by completing, by a
+     cancel op, or by the submitting client disconnecting.  An id that
+     vanished (evicted, or bogus) unparks with unknown_job rather than
+     hanging the connection forever. *)
+  let check_waits () =
+    Hashtbl.iter
+      (fun _ conn ->
+        if conn.waits <> [] then
+          let still_parked =
+            List.filter
+              (fun id ->
+                match Jobs.find jobs id with
+                | Some st when Jobs.is_terminal st ->
+                    enqueue_reply conn (Session.job_state_reply id st);
+                    false
+                | Some _ -> true
+                | None ->
+                    enqueue_reply conn
+                      (Qcr_service.Protocol.job_error_reply ~kind:"unknown_job" ~job:id
+                         ~message:(Printf.sprintf "job %S vanished while waiting" id));
+                    false)
+              conn.waits
+          in
+          conn.waits <- still_parked)
+      conns
+  in
+  let sweep_idle now =
+    if config.idle_timeout_s > 0.0 then
+      Hashtbl.fold (fun _ c acc -> c :: acc) conns []
+      |> List.iter (fun conn ->
+             (* a connection with parked waits or pending output is not idle *)
+             if
+               conn.waits = [] && conn.out = ""
+               && now -. conn.last_activity > config.idle_timeout_s
+             then begin
+               Obs.incr c_idle_closed;
+               close_conn conn
+             end)
+  in
+  let conn_list () = Hashtbl.fold (fun _ c acc -> c :: acc) conns [] in
+  (* main loop *)
+  (try
+     while not (stop ()) do
+       let rfds = lfd :: List.map (fun c -> c.fd) (conn_list ()) in
+       let wfds =
+         List.filter_map (fun c -> if c.out <> "" then Some c.fd else None) (conn_list ())
+       in
+       let timeout = if Jobs.pending jobs then 0.0 else config.tick_s in
+       let readable, writable, _ =
+         try Unix.select rfds wfds [] timeout
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+       in
+       if List.mem lfd readable then accept_ready ();
+       List.iter
+         (fun fd ->
+           if fd <> lfd then
+             match Hashtbl.find_opt conns fd with
+             | Some conn -> handle_readable conn
+             | None -> ())
+         readable;
+       run_one_job ();
+       check_waits ();
+       List.iter
+         (fun fd ->
+           match Hashtbl.find_opt conns fd with
+           | Some conn -> flush_out conn
+           | None -> ())
+         writable;
+       (* opportunistic flush for replies enqueued this pass *)
+       List.iter (fun c -> flush_out c) (conn_list ());
+       sweep_idle (Unix.gettimeofday ())
+     done
+   with
+  | (Out_of_memory | Stack_overflow) as e -> raise e
+  | Fault.Injected _ -> ());
+  (* graceful drain: no new connections, run what was admitted, notify
+     waiters, flush buffers (bounded), close everything *)
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  while Jobs.pending jobs do
+    run_one_job ()
+  done;
+  check_waits ();
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec flush_all () =
+    let dirty = List.filter (fun c -> c.out <> "") (conn_list ()) in
+    if dirty <> [] && Unix.gettimeofday () < deadline then begin
+      (match Unix.select [] (List.map (fun c -> c.fd) dirty) [] 0.05 with
+      | _, writable, _ ->
+          List.iter
+            (fun fd ->
+              match Hashtbl.find_opt conns fd with
+              | Some conn -> flush_out conn
+              | None -> ())
+            writable
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      flush_all ()
+    end
+  in
+  flush_all ();
+  List.iter (fun c -> close_conn ~drop:false c) (conn_list ())

@@ -1,0 +1,59 @@
+(** Dependency-free TCP front-end: a single-domain [Unix.select] event
+    loop speaking the JSONL wire protocol ({!Qcr_service.Protocol}) over
+    concurrent connections.
+
+    Concurrency model: all I/O is multiplexed in one domain, and queued
+    jobs run one per loop tick through {!Jobs.run_next} — requests hit
+    the underlying {!Qcr_service.Service.t} strictly sequentially, so
+    every reply is bit-identical to the stdio loop serving the same
+    lines.  (Parallelism lives below, in the service's portfolio arms
+    over [Qcr_par.Pool]; the transport adds none of its own.)
+
+    Robustness:
+    - admission control: a full job queue answers with a typed
+      [Overloaded] reply (see {!Jobs});
+    - per-client fairness: round-robin dequeue across connections;
+    - a client disconnect (EOF, reset, or broken write) cancels that
+      client's queued jobs;
+    - idle connections are closed after [idle_timeout_s];
+    - oversized lines (beyond [max_line_bytes] without a newline) get an
+      error reply and the connection is closed — framing cannot resync;
+    - graceful drain: when [stop] turns true (e.g. from a SIGTERM
+      handler) the server stops accepting, runs the jobs already
+      queued, notifies waiters, flushes write buffers and exits.
+
+    Fault points (chaos drills): [net.accept] fires per accepted
+    connection, [net.read] per read with the payload corruptible
+    (malformed lines), [net.write] per write burst — a [Crash] rule on
+    read or write closes that connection mid-stream, which is exactly
+    the mid-frame disconnect a real peer produces.  Faults never escape
+    the loop. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 binds an ephemeral port, reported via [on_listen] *)
+  backlog : int;
+  max_queue : int;  (** admission-control bound on queued jobs *)
+  max_line_bytes : int;
+  idle_timeout_s : float;
+  tick_s : float;  (** select timeout when idle; bounds stop latency *)
+}
+
+val default_config : config
+(** [{host = "127.0.0.1"; port = 7117; backlog = 64; max_queue = 64;
+    max_line_bytes = 8 MiB; idle_timeout_s = 300.; tick_s = 0.05}] *)
+
+val parse_listen : string -> (string * int, string) result
+(** Parse a ["HOST:PORT"] option value ([":PORT"] means all
+    interfaces). *)
+
+val serve :
+  ?config:config ->
+  ?on_listen:(int -> unit) ->
+  ?stop:(unit -> bool) ->
+  Qcr_service.Service.t ->
+  unit
+(** Run the accept loop until [stop] returns true.  [on_listen] is
+    called once with the bound port (useful with [port = 0]).  Exports
+    [net.connections] and [net.queue_depth] registry probes plus
+    [net.*] counters and a [net.request_ms] meter while running. *)

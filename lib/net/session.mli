@@ -1,0 +1,37 @@
+(** One protocol dispatcher for every transport.
+
+    A session binds a {!Qcr_service.Service.t} and a {!Jobs.t} and turns
+    raw wire lines into reply JSON via {!Qcr_service.Protocol} — the
+    stdio loop and the TCP server share this code verbatim, which is
+    what makes their replies bit-identical.
+
+    The only op a transport must interpret itself is [wait]: a
+    {!Wait_for} reaction means the job is not terminal yet, and the
+    transport decides whether to park the connection (TCP) or drive the
+    job queue inline (stdio). *)
+
+type t
+
+val create :
+  ?extra_stats:(unit -> (string * Qcr_obs.Json.t) list) ->
+  service:Qcr_service.Service.t ->
+  jobs:Jobs.t ->
+  unit ->
+  t
+(** [extra_stats] lets a transport append fields (e.g. connection
+    counts) to the [stats] reply. *)
+
+val jobs : t -> Jobs.t
+val service : t -> Qcr_service.Service.t
+
+type reaction =
+  | Reply of Qcr_obs.Json.t  (** emit this line *)
+  | Wait_for of string  (** park: answer with {!job_state_reply} once terminal *)
+
+val handle : t -> client:int -> string -> reaction
+(** Decode and execute one wire line.  Never raises (the service
+    boundary catches; wire errors become typed error replies). *)
+
+val job_state_reply : string -> Jobs.state -> Qcr_obs.Json.t
+(** The reply for [poll]/[wait]/[cancel]/[result]: job id, state, and —
+    when terminal — the full compile reply under ["reply"]. *)

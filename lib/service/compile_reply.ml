@@ -74,6 +74,14 @@ let error_to_json = function
       Json.Obj [ ("kind", Json.Str "invalid_request"); ("message", Json.Str msg) ]
   | Pipeline.Internal msg ->
       Json.Obj [ ("kind", Json.Str "internal"); ("message", Json.Str msg) ]
+  | Pipeline.Overloaded { queued; limit } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "overloaded");
+          ("queued", Json.Num (float_of_int queued));
+          ("limit", Json.Num (float_of_int limit));
+        ]
+  | Pipeline.Canceled -> Json.Obj [ ("kind", Json.Str "canceled") ]
 
 let to_json t =
   let base =
@@ -160,6 +168,11 @@ let error_of_json j =
   | "internal" ->
       let* msg = str_field "message" j in
       Ok (Pipeline.Internal msg)
+  | "overloaded" ->
+      let* queued = int_field "queued" j in
+      let* limit = int_field "limit" j in
+      Ok (Pipeline.Overloaded { queued; limit })
+  | "canceled" -> Ok Pipeline.Canceled
   | s -> Error (Printf.sprintf "unknown error kind %S" s)
 
 let of_json j =

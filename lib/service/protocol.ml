@@ -1,0 +1,152 @@
+module Json = Qcr_obs.Json
+
+let version = 2
+
+module Op = struct
+  type t =
+    | Compile of Compile_request.t
+    | Submit of Compile_request.t
+    | Poll of string
+    | Wait of string
+    | Cancel of string
+    | Result of string
+    | Health
+    | Stats
+    | Metrics
+    | Flush
+
+  let name = function
+    | Compile _ -> "compile"
+    | Submit _ -> "submit"
+    | Poll _ -> "poll"
+    | Wait _ -> "wait"
+    | Cancel _ -> "cancel"
+    | Result _ -> "result"
+    | Health -> "health"
+    | Stats -> "stats"
+    | Metrics -> "metrics"
+    | Flush -> "flush"
+
+  let equal a b =
+    match (a, b) with
+    | Compile ra, Compile rb | Submit ra, Submit rb -> ra = rb
+    | Poll a, Poll b | Wait a, Wait b | Cancel a, Cancel b | Result a, Result b ->
+        String.equal a b
+    | Health, Health | Stats, Stats | Metrics, Metrics | Flush, Flush -> true
+    | _ -> false
+end
+
+type wire_error =
+  | Malformed of string
+  | Unknown_op of string
+  | Bad_version of int
+
+let wire_error_kind = function
+  | Malformed _ -> "malformed"
+  | Unknown_op _ -> "unknown_op"
+  | Bad_version _ -> "bad_version"
+
+let ( let* ) r f = Result.bind r f
+
+(* Absent "v" is version 1 — the wire format before the version field
+   existed.  Both live versions decode identically today; the field earns
+   its keep when v3 changes shapes. *)
+let version_of j =
+  match Json.member "v" j with
+  | None -> Ok 1
+  | Some (Json.Num f) when Float.is_integer f ->
+      let v = int_of_float f in
+      if v = 1 || v = 2 then Ok v else Error (Bad_version v)
+  | Some _ -> Error (Malformed "field \"v\" must be an integer protocol version")
+
+let decode_json j =
+  match j with
+  | Json.Obj _ -> (
+      let* _v = version_of j in
+      match Json.member "op" j with
+      | None -> (
+          (* v1 shape: the line is the compile request itself. *)
+          match Compile_request.of_json j with
+          | Ok r -> Ok (Op.Compile r)
+          | Error e -> Error (Malformed e))
+      | Some (Json.Str op) -> (
+          let request () =
+            match Json.member "request" j with
+            | Some rj -> (
+                match Compile_request.of_json rj with
+                | Ok r -> Ok r
+                | Error e -> Error (Malformed e))
+            | None -> Error (Malformed (Printf.sprintf "op %S needs a \"request\" object" op))
+          in
+          let job () =
+            match Json.member "job" j with
+            | Some (Json.Str id) -> Ok id
+            | Some _ -> Error (Malformed "field \"job\" must be a string")
+            | None -> Error (Malformed (Printf.sprintf "op %S needs a \"job\" id" op))
+          in
+          match op with
+          | "compile" ->
+              let* r = request () in
+              Ok (Op.Compile r)
+          | "submit" ->
+              let* r = request () in
+              Ok (Op.Submit r)
+          | "poll" ->
+              let* id = job () in
+              Ok (Op.Poll id)
+          | "wait" ->
+              let* id = job () in
+              Ok (Op.Wait id)
+          | "cancel" ->
+              let* id = job () in
+              Ok (Op.Cancel id)
+          | "result" ->
+              let* id = job () in
+              Ok (Op.Result id)
+          | "health" -> Ok Op.Health
+          | "stats" -> Ok Op.Stats
+          | "metrics" -> Ok Op.Metrics
+          | "flush" -> Ok Op.Flush
+          | op -> Error (Unknown_op op))
+      | Some _ -> Error (Malformed "field \"op\" must be a string"))
+  | _ -> Error (Malformed "request must be a JSON object")
+
+let decode line =
+  match Json.of_string line with
+  | Error e -> Error (Malformed ("bad request: " ^ e))
+  | Ok j -> decode_json j
+
+let v_field = ("v", Json.Num (float_of_int version))
+
+let encode op =
+  let tag extra = Json.Obj (v_field :: ("op", Json.Str (Op.name op)) :: extra) in
+  match op with
+  | Op.Compile r | Op.Submit r -> tag [ ("request", Compile_request.to_json r) ]
+  | Op.Poll id | Op.Wait id | Op.Cancel id | Op.Result id -> tag [ ("job", Json.Str id) ]
+  | Op.Health | Op.Stats | Op.Metrics | Op.Flush -> tag []
+
+let with_version = function
+  | Json.Obj fields when not (List.mem_assoc "v" fields) -> Json.Obj (v_field :: fields)
+  | j -> j
+
+let ok_reply fields = Json.Obj (v_field :: ("status", Json.Str "ok") :: fields)
+
+let error_body kind fields =
+  Json.Obj
+    [
+      v_field;
+      ("status", Json.Str "error");
+      ("error", Json.Obj (("kind", Json.Str kind) :: fields));
+    ]
+
+let error_reply e =
+  let message =
+    match e with
+    | Malformed msg -> msg
+    | Unknown_op op -> Printf.sprintf "unknown op %S" op
+    | Bad_version v -> Printf.sprintf "unsupported protocol version %d (this server speaks 1-%d)" v version
+  in
+  error_body (wire_error_kind e) [ ("message", Json.Str message) ]
+
+let job_error_reply ~kind ~job ~message =
+  error_body kind [ ("message", Json.Str message); ("job", Json.Str job) ]

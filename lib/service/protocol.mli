@@ -1,0 +1,80 @@
+(** The versioned, typed wire protocol shared by every front-end.
+
+    One JSONL line is one operation; one line comes back per operation.
+    The protocol is version 2: requests may carry a ["v"] field (absent
+    means version 1, which is still accepted in full), and every reply is
+    stamped with [("v", 2)].
+
+    Request grammar (v2 canonical form):
+
+    {v
+      {"v":2, "op":"compile", "request":{...Compile_request...}}
+      {"v":2, "op":"submit",  "request":{...Compile_request...}}
+      {"v":2, "op":"poll",    "job":"j-1"}
+      {"v":2, "op":"wait",    "job":"j-1"}
+      {"v":2, "op":"cancel",  "job":"j-1"}
+      {"v":2, "op":"result",  "job":"j-1"}
+      {"v":2, "op":"health" | "stats" | "metrics" | "flush"}
+    v}
+
+    v1 compatibility: a bare request object (no ["op"]) decodes as
+    [Compile], and [{"op":"health"}] and friends without ["v"] are
+    accepted — exactly the lines the pre-v2 stdio loop understood.
+
+    Decoding never raises: a bad line yields a typed {!wire_error},
+    which {!error_reply} renders as a [{"status":"error"}] JSON line so
+    transports can answer without killing the connection. *)
+
+module Op : sig
+  type t =
+    | Compile of Compile_request.t  (** synchronous: reply when compiled *)
+    | Submit of Compile_request.t  (** async: immediate [{"job": id}] reply *)
+    | Poll of string  (** job status without blocking *)
+    | Wait of string  (** reply deferred until the job is terminal *)
+    | Cancel of string  (** cancel a queued job (running/done: no-op) *)
+    | Result of string  (** fetch and evict a terminal job's reply *)
+    | Health
+    | Stats
+    | Metrics
+    | Flush
+
+  val name : t -> string
+  (** The wire ["op"] string. *)
+
+  val equal : t -> t -> bool
+end
+
+val version : int
+(** Current protocol version: [2]. *)
+
+type wire_error =
+  | Malformed of string  (** not JSON, or JSON of the wrong shape *)
+  | Unknown_op of string
+  | Bad_version of int  (** a ["v"] other than 1 or 2 *)
+
+val wire_error_kind : wire_error -> string
+(** ["malformed"], ["unknown_op"] or ["bad_version"]. *)
+
+val decode : string -> (Op.t, wire_error) result
+(** Decode one wire line (v1 or v2). *)
+
+val decode_json : Qcr_obs.Json.t -> (Op.t, wire_error) result
+
+val encode : Op.t -> Qcr_obs.Json.t
+(** Encode in v2 canonical form; [decode (Json.to_string (encode op))]
+    returns [Ok op]. *)
+
+val with_version : Qcr_obs.Json.t -> Qcr_obs.Json.t
+(** Stamp [("v", 2)] onto a reply object (idempotent; non-objects are
+    returned unchanged).  Every reply emitted by a front-end goes
+    through this. *)
+
+val ok_reply : (string * Qcr_obs.Json.t) list -> Qcr_obs.Json.t
+(** [{"v":2, "status":"ok", ...fields}]. *)
+
+val error_reply : wire_error -> Qcr_obs.Json.t
+(** [{"v":2, "status":"error", "error":{"kind":..., "message":...}}]. *)
+
+val job_error_reply : kind:string -> job:string -> message:string -> Qcr_obs.Json.t
+(** Typed job-level error reply, e.g. [kind = "unknown_job"] or
+    ["not_finished"], same envelope as {!error_reply}. *)

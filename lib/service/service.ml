@@ -403,6 +403,8 @@ let error_kind = function
   | Pipeline.Timeout _ -> "timeout"
   | Pipeline.Invalid_request _ -> "invalid_request"
   | Pipeline.Internal _ -> "internal"
+  | Pipeline.Overloaded _ -> "overloaded"
+  | Pipeline.Canceled -> "canceled"
 
 let compile_cold t (req : Request.t) key =
   let span_args =

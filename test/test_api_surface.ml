@@ -186,6 +186,10 @@ let reply_gen =
         map (fun d -> Reply.Failed (Pipeline.Timeout { deadline_s = d })) (float_range 0.001 60.0);
         map (fun m -> Reply.Failed (Pipeline.Invalid_request m)) id_gen;
         map (fun m -> Reply.Failed (Pipeline.Internal m)) id_gen;
+        map2
+          (fun queued limit -> Reply.Failed (Pipeline.Overloaded { queued; limit }))
+          (int_range 0 256) (int_range 1 256);
+        return (Reply.Failed Pipeline.Canceled);
       ]
     >>= fun outcome ->
     bool >>= fun cached ->

@@ -70,7 +70,7 @@ let test_sabre_depth_worse_than_ours () =
   let g = Generate.erdos_renyi rng ~n:32 ~density:0.3 in
   let arch = Arch.smallest_for Arch.Heavy_hex 32 in
   let program = Program.make g Program.Bare_cz in
-  let ours = Pipeline.compile arch program in
+  let ours = Pipeline.run_exn (Pipeline.Request.make arch program) in
   let sabre = Sabre.compile arch program in
   Alcotest.(check bool) "ours shallower" true (ours.Pipeline.depth <= sabre.Pipeline.depth)
 
@@ -94,7 +94,7 @@ let test_ours_beats_baselines_on_dense () =
   let g = Generate.erdos_renyi rng ~n:16 ~density:0.5 in
   let arch = Arch.grid ~rows:4 ~cols:4 in
   let program = Program.make g Program.Bare_cz in
-  let ours = Pipeline.compile arch program in
+  let ours = Pipeline.run_exn (Pipeline.Request.make arch program) in
   let pauli = Paulihedral.compile arch program in
   Alcotest.(check bool) "depth no worse" true (ours.Pipeline.depth <= pauli.Pipeline.depth);
   Alcotest.(check bool) "cx no worse" true (ours.Pipeline.cx <= pauli.Pipeline.cx)

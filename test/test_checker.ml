@@ -25,9 +25,9 @@ let test_certifies_all_compilers () =
           | Error vs ->
               Alcotest.failf "%s not certified: %s" name (String.concat "; " vs))
         [
-          ("ours", Pipeline.compile arch program);
-          ("ata", Pipeline.compile_ata arch program);
-          ("greedy", Pipeline.compile_greedy arch program);
+          ("ours", Pipeline.run_exn (Pipeline.Request.make arch program));
+          ("ata", Pipeline.run_exn (Pipeline.Request.make ~mode:Pipeline.Request.Ata arch program));
+          ("greedy", Pipeline.run_exn (Pipeline.Request.make ~mode:Pipeline.Request.Greedy arch program));
           ("qaim", Qcr_baselines.Qaim_like.compile arch program);
           ("paulihedral", Qcr_baselines.Paulihedral_like.compile arch program);
           ("2qan", Qcr_baselines.Twoqan_like.compile ~anneal_moves:1000 arch program);
@@ -46,14 +46,14 @@ let test_certifies_large_compilation () =
   let g = Generate.erdos_renyi rng ~n:128 ~density:0.3 in
   let program = Program.make g Program.Bare_cz in
   let arch = Arch.smallest_for Arch.Heavy_hex 128 in
-  let r = Pipeline.compile arch program in
+  let r = Pipeline.run_exn (Pipeline.Request.make arch program) in
   Checker.certify_exn ~arch ~program r
 
 let test_detects_missing_gate () =
   let g = Generate.cycle 6 in
   let program = Program.make g Program.Bare_cz in
   let arch = Arch.grid ~rows:2 ~cols:3 in
-  let r = Pipeline.compile arch program in
+  let r = Pipeline.run_exn (Pipeline.Request.make arch program) in
   (* drop one interaction gate *)
   let tampered = Circuit.create (Circuit.qubit_count r.Pipeline.circuit) in
   let dropped = ref false in
@@ -71,7 +71,7 @@ let test_detects_wrong_final_mapping () =
   let g = Generate.cycle 6 in
   let program = Program.make g Program.Bare_cz in
   let arch = Arch.grid ~rows:2 ~cols:3 in
-  let r = Pipeline.compile arch program in
+  let r = Pipeline.run_exn (Pipeline.Request.make arch program) in
   let wrong = Mapping.copy r.Pipeline.final in
   Mapping.apply_swap wrong 0 5;
   let bad = { r with Pipeline.final = wrong } in

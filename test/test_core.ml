@@ -48,7 +48,7 @@ let equivalence_cases () =
 let test_compile_equivalence () =
   List.iter
     (fun (name, arch, program) ->
-      let r = Pipeline.compile arch program in
+      let r = Pipeline.run_exn (Pipeline.Request.make arch program) in
       Alcotest.(check bool) (name ^ " compiles") true (r.Pipeline.cx >= 0);
       check_equivalent arch r program)
     (equivalence_cases ())
@@ -56,7 +56,7 @@ let test_compile_equivalence () =
 let test_compile_ata_equivalence () =
   List.iter
     (fun (name, arch, program) ->
-      let r = Pipeline.compile_ata arch program in
+      let r = Pipeline.run_exn (Pipeline.Request.make ~mode:Pipeline.Request.Ata arch program) in
       Alcotest.(check bool) (name ^ " ata compiles") true (r.Pipeline.cx >= 0);
       check_equivalent arch r program)
     (equivalence_cases ())
@@ -64,7 +64,7 @@ let test_compile_ata_equivalence () =
 let test_compile_greedy_equivalence () =
   List.iter
     (fun (name, arch, program) ->
-      let r = Pipeline.compile_greedy arch program in
+      let r = Pipeline.run_exn (Pipeline.Request.make ~mode:Pipeline.Request.Greedy arch program) in
       Alcotest.(check bool) (name ^ " greedy compiles") true (r.Pipeline.cx >= 0);
       check_equivalent arch r program)
     (equivalence_cases ())
@@ -76,7 +76,7 @@ let test_all_gates_emitted () =
   let g = Generate.erdos_renyi rng ~n:16 ~density:0.4 in
   let arch = Arch.grid ~rows:4 ~cols:4 in
   let program = Program.make g Program.Bare_cz in
-  let r = Pipeline.compile arch program in
+  let r = Pipeline.run_exn (Pipeline.Request.make arch program) in
   let interactions =
     List.length
       (List.filter
@@ -89,7 +89,7 @@ let test_all_gates_emitted () =
 let test_cx_accounting () =
   let g = Generate.cycle 9 in
   let arch = Arch.grid ~rows:3 ~cols:3 in
-  let r = Pipeline.compile arch (qaoa_program g) in
+  let r = Pipeline.run_exn (Pipeline.Request.make arch (qaoa_program g)) in
   let manual = Circuit.cx_count r.Pipeline.circuit in
   Alcotest.(check int) "result.cx = circuit cx" manual r.Pipeline.cx;
   Alcotest.(check int) "depth agrees" (Circuit.depth2q r.Pipeline.circuit) r.Pipeline.depth
@@ -102,8 +102,8 @@ let test_selector_never_worse_than_ata () =
       let g = Generate.erdos_renyi rng ~n:16 ~density in
       let arch = Arch.grid ~rows:4 ~cols:4 in
       let program = Program.make g Program.Bare_cz in
-      let ours = Pipeline.compile arch program in
-      let ata = Pipeline.compile_ata arch program in
+      let ours = Pipeline.run_exn (Pipeline.Request.make arch program) in
+      let ata = Pipeline.run_exn (Pipeline.Request.make ~mode:Pipeline.Request.Ata arch program) in
       let alpha = Config.default.Config.alpha in
       let f_of (r : Pipeline.result) =
         Selector.score ~alpha ~ref_depth:(max ata.Pipeline.depth 1)
@@ -183,7 +183,7 @@ let test_greedy_dense_terminates () =
   let arch = Arch.grid ~rows:4 ~cols:4 in
   let noise = Noise.sampled ~seed:2 arch in
   let program = Program.make (Graph.complete 16) Program.Bare_cz in
-  let r = Pipeline.compile_greedy ~noise arch program in
+  let r = Pipeline.run_exn (Pipeline.Request.make ~noise ~mode:Pipeline.Request.Greedy arch program) in
   Alcotest.(check bool) "terminates with all gates" true (r.Pipeline.cx > 0)
 
 let test_config_ablations_run () =
@@ -193,7 +193,7 @@ let test_config_ablations_run () =
   let program = Program.make g Program.Bare_cz in
   List.iter
     (fun config ->
-      let r = Pipeline.compile ~config arch program in
+      let r = Pipeline.run_exn (Pipeline.Request.make ~config arch program) in
       check_equivalent arch r program)
     [
       { Config.default with Config.use_coloring = false };
@@ -209,7 +209,7 @@ let test_initial_mapping_respected () =
   let program = qaoa_program g in
   let rng = Prng.create 4 in
   let init = Mapping.random rng ~logical:4 ~physical:6 in
-  let r = Pipeline.compile ~init arch program in
+  let r = Pipeline.run_exn (Pipeline.Request.make ~init arch program) in
   Alcotest.(check bool) "initial stored" true (Mapping.equal r.Pipeline.initial init);
   check_equivalent arch r program
 
@@ -218,8 +218,8 @@ let test_compile_deterministic () =
   let g = Generate.erdos_renyi rng ~n:16 ~density:0.4 in
   let arch = Arch.smallest_for Arch.Heavy_hex 16 in
   let program = Program.make g Program.Bare_cz in
-  let a = Pipeline.compile arch program in
-  let b = Pipeline.compile arch program in
+  let a = Pipeline.run_exn (Pipeline.Request.make arch program) in
+  let b = Pipeline.run_exn (Pipeline.Request.make arch program) in
   Alcotest.(check int) "same depth" a.Pipeline.depth b.Pipeline.depth;
   Alcotest.(check int) "same cx" a.Pipeline.cx b.Pipeline.cx
 
@@ -243,7 +243,7 @@ let test_portfolio_certified () =
   let g = Generate.erdos_renyi rng ~n:8 ~density:0.4 in
   let arch = Arch.smallest_for Arch.Line 8 in
   let program = Program.make g Program.Bare_cz in
-  let p = Pipeline.compile_portfolio arch program in
+  let p = Pipeline.run_portfolio_exn (Pipeline.Request.make arch program) in
   Alcotest.(check bool) "has at least the three always-on arms" true
     (List.length p.Pipeline.arms >= 3);
   Alcotest.(check bool) "astar arm joins on small devices" true
@@ -262,7 +262,7 @@ let test_portfolio_certified () =
   Alcotest.(check int) "winner depth matches its arm" winner_by_name.Pipeline.depth
     p.Pipeline.winner.Pipeline.depth;
   (* the portfolio is deterministic: same input, same winner *)
-  let p' = Pipeline.compile_portfolio arch program in
+  let p' = Pipeline.run_portfolio_exn (Pipeline.Request.make arch program) in
   Alcotest.(check string) "deterministic winner" p.Pipeline.winner_arm p'.Pipeline.winner_arm;
   Alcotest.(check int) "deterministic depth" p.Pipeline.winner.Pipeline.depth
     p'.Pipeline.winner.Pipeline.depth
@@ -272,7 +272,7 @@ let test_portfolio_skips_astar_on_large_devices () =
   let g = Generate.erdos_renyi rng ~n:24 ~density:0.2 in
   let arch = Arch.smallest_for Arch.Heavy_hex 24 in
   let program = Program.make g Program.Bare_cz in
-  let p = Pipeline.compile_portfolio arch program in
+  let p = Pipeline.run_portfolio_exn (Pipeline.Request.make arch program) in
   Alcotest.(check bool) "astar arm absent beyond 16 qubits" false
     (List.mem_assoc "astar" p.Pipeline.arms);
   Alcotest.(check bool) "winner still certifies" true

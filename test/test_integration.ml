@@ -39,8 +39,8 @@ let prop_compiles_are_complete =
         (fun r ->
           count_interactions r.Pipeline.circuit = Graph.edge_count g
           && Circuit.validate_coupling arch r.Pipeline.circuit = Ok ())
-        [ Pipeline.compile arch program; Pipeline.compile_ata arch program;
-          Pipeline.compile_greedy arch program ])
+        [ Pipeline.run_exn (Pipeline.Request.make arch program); Pipeline.run_exn (Pipeline.Request.make ~mode:Pipeline.Request.Ata arch program);
+          Pipeline.run_exn (Pipeline.Request.make ~mode:Pipeline.Request.Greedy arch program) ])
 
 (* Full QAOA loop on an ideal device converges to an energy strictly
    better than random guessing. *)
@@ -48,7 +48,7 @@ let test_qaoa_loop_beats_random () =
   let graph = Generate.cycle 8 in
   let arch = Arch.smallest_for Arch.Grid 8 in
   let compile p =
-    let r = Pipeline.compile arch p in
+    let r = Pipeline.run_exn (Pipeline.Request.make arch p) in
     (r.Pipeline.circuit, r.Pipeline.final)
   in
   let d = Qaoa.run_driver ~rounds:12 ~graph ~compile () in
@@ -61,7 +61,7 @@ let test_noise_monotonicity () =
   let graph = Generate.cycle 6 in
   let arch = Arch.smallest_for Arch.Grid 6 in
   let program = Program.make graph (Program.Qaoa_maxcut { gamma = 0.5; beta = 0.3 }) in
-  let ideal_r = Pipeline.compile arch program in
+  let ideal_r = Pipeline.run_exn (Pipeline.Request.make arch program) in
   let ideal = Sv.probabilities (Sv.run (Program.logical_circuit program)) in
   let tvd_at error =
     let noise = Noise.uniform arch ~cx_error:error in
@@ -80,7 +80,7 @@ let test_merged_gates_roundtrip_sim () =
   let graph = Graph.complete 5 in
   let arch = Arch.line 5 in
   let program = Program.make graph (Program.Qaoa_maxcut { gamma = 0.23; beta = 0.71 }) in
-  let r = Pipeline.compile_ata arch program in
+  let r = Pipeline.run_exn (Pipeline.Request.make ~mode:Pipeline.Request.Ata arch program) in
   let has_merged =
     List.exists
       (function Gate.Swap_interact _ -> true | _ -> false)
@@ -113,7 +113,7 @@ let test_cli_style_workflow () =
   let program = Program.make graph (Program.Qaoa_maxcut { gamma = 0.4; beta = 0.35 }) in
   let arch = Arch.smallest_for Arch.Heavy_hex 14 in
   let noise = Noise.sampled arch in
-  let r = Pipeline.compile ~noise arch program in
+  let r = Pipeline.run_exn (Pipeline.Request.make ~noise arch program) in
   Alcotest.(check bool) "fidelity in (0,1]" true
     (exp r.Pipeline.log_fidelity > 0.0 && exp r.Pipeline.log_fidelity <= 1.0);
   let qasm = Qcr_circuit.Qasm.to_string r.Pipeline.circuit in

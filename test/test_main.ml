@@ -27,6 +27,7 @@ let () =
       ("lower", Test_lower.suite);
       ("service", Test_service.suite);
       ("persist", Test_persist.suite);
+      ("net", Test_net.suite);
       ("fault", Test_fault.suite);
       ("integration", Test_integration.suite);
       ("properties", Test_properties.suite);

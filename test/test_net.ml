@@ -1,0 +1,580 @@
+(* The network front-end: the async job table, the versioned wire
+   protocol, and loopback TCP servers checked bit-for-bit against the
+   in-process service.  Each integration test spawns a real [Server] on
+   an ephemeral port in its own domain (the event loop owns the service;
+   the test domain only drives sockets), and stops it through the [stop]
+   callback so graceful drain runs on every shutdown path. *)
+
+module Json = Qcr_obs.Json
+module Program = Qcr_circuit.Program
+module Pipeline = Qcr_core.Pipeline
+module Request = Qcr_service.Compile_request
+module Reply = Qcr_service.Compile_reply
+module Service = Qcr_service.Service
+module Protocol = Qcr_service.Protocol
+module Jobs = Qcr_net.Jobs
+module Server = Qcr_net.Server
+module Client = Qcr_net.Client
+
+let triangle = [ (0, 1); (1, 2); (0, 2) ]
+
+(* Distinct [gamma] values give distinct cache keys over the same shape. *)
+let req ?mode ?id gamma =
+  Request.make ?id ?mode
+    ~interaction:(Program.Qaoa_maxcut { gamma; beta = 0.25 })
+    ~arch_kind:Qcr_arch.Arch.Line ~qubits:4 ~edges:triangle ()
+
+let ok_or_fail = function Ok v -> v | Error e -> Alcotest.fail ("recv: " ^ e)
+
+let str_field j k =
+  match Json.member k j with
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.fail (Printf.sprintf "missing string field %S in %s" k (Json.to_string j))
+
+let num_field j k =
+  match Json.member k j with
+  | Some (Json.Num n) -> n
+  | _ -> Alcotest.fail (Printf.sprintf "missing numeric field %S in %s" k (Json.to_string j))
+
+let check_stamped j = Alcotest.(check (float 1e-9)) "reply stamped v2" 2.0 (num_field j "v")
+
+(* Reply bodies comparable across transports: drop the version stamp,
+   the volatile timings, and the cache flag (hit/miss depends on arrival
+   order, not content — the bytes behind it are checked equal). *)
+let normalize j =
+  match Reply.strip_volatile j with
+  | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> "v" && k <> "cached") fields)
+  | other -> other
+
+let submit_ok jobs ~client r =
+  match Jobs.submit jobs ~client r with
+  | Ok id -> id
+  | Error _ -> Alcotest.fail "unexpected admission refusal"
+
+(* ---------- Jobs: the transport-independent job table ---------- *)
+
+let test_jobs_fair_order () =
+  let s = Service.create () in
+  let jobs = Jobs.create ~submit:(Service.submit s) () in
+  let names = Hashtbl.create 8 in
+  let sub client gamma name = Hashtbl.add names (submit_ok jobs ~client (req gamma ~id:name)) name in
+  sub 1 0.01 "a";
+  sub 1 0.02 "b";
+  sub 1 0.03 "c";
+  sub 2 0.04 "d";
+  sub 3 0.05 "e";
+  sub 3 0.06 "f";
+  let order = ref [] in
+  let rec drain () =
+    match Jobs.run_next jobs with
+    | Some (id, _, reply) ->
+        Alcotest.(check string) "reply id follows the request" (Hashtbl.find names id)
+          reply.Reply.id;
+        order := Hashtbl.find names id :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "round-robin across clients, FIFO within"
+    [ "a"; "d"; "e"; "b"; "f"; "c" ] (List.rev !order);
+  Alcotest.(check bool) "idle after drain" false (Jobs.pending jobs)
+
+let test_jobs_overload () =
+  let s = Service.create () in
+  let jobs = Jobs.create ~max_queue:2 ~submit:(Service.submit s) () in
+  ignore (submit_ok jobs ~client:1 (req 0.11));
+  ignore (submit_ok jobs ~client:1 (req 0.12));
+  (match Jobs.submit jobs ~client:1 (req 0.13 ~id:"third") with
+  | Ok _ -> Alcotest.fail "expected admission refusal at the queue limit"
+  | Error r -> (
+      Alcotest.(check string) "request id echoed" "third" r.Reply.id;
+      match r.Reply.outcome with
+      | Reply.Failed (Pipeline.Overloaded { queued; limit }) ->
+          Alcotest.(check int) "queue depth" 2 queued;
+          Alcotest.(check int) "limit" 2 limit
+      | _ -> Alcotest.fail "expected a typed Overloaded reply"));
+  (* a shed job is refused, not queued: running one frees one slot *)
+  ignore (Jobs.run_next jobs);
+  ignore (submit_ok jobs ~client:1 (req 0.14));
+  Alcotest.(check (float 1e-9)) "shed counted once" 1.0
+    (num_field (Jobs.stats_json jobs) "shed")
+
+let test_jobs_cancel () =
+  let s = Service.create () in
+  let jobs = Jobs.create ~submit:(Service.submit s) () in
+  let id1 = submit_ok jobs ~client:1 (req 0.21) in
+  let id2 = submit_ok jobs ~client:1 (req 0.22) in
+  (match Jobs.cancel jobs id2 with
+  | Some (Jobs.Canceled r) -> (
+      match r.Reply.outcome with
+      | Reply.Failed Pipeline.Canceled -> ()
+      | _ -> Alcotest.fail "canceled reply must carry the Canceled error")
+  | _ -> Alcotest.fail "cancel of a queued job must land in Canceled");
+  Alcotest.(check int) "cancel frees the queue slot" 1 (Jobs.queued jobs);
+  (match Jobs.run_next jobs with
+  | Some (id, client, _) ->
+      Alcotest.(check string) "survivor runs" id1 id;
+      Alcotest.(check int) "owned by its client" 1 client
+  | None -> Alcotest.fail "the uncanceled job must run");
+  (match Jobs.run_next jobs with
+  | None -> ()
+  | Some _ -> Alcotest.fail "a canceled job must never execute");
+  (* terminal states are sticky: cancel after completion is a no-op *)
+  (match Jobs.cancel jobs id1 with
+  | Some (Jobs.Done _) -> ()
+  | _ -> Alcotest.fail "cancel of a done job must leave it done");
+  (* [take] is fetch-and-forget *)
+  (match Jobs.take jobs id1 with
+  | Some (Jobs.Done _) -> ()
+  | _ -> Alcotest.fail "take must return the terminal state");
+  Alcotest.(check bool) "taken job evicted" true (Jobs.find jobs id1 = None);
+  Alcotest.(check bool) "unknown ids stay unknown" true (Jobs.cancel jobs "j-999" = None)
+
+let test_jobs_drop_client () =
+  let s = Service.create () in
+  let jobs = Jobs.create ~submit:(Service.submit s) () in
+  let a = submit_ok jobs ~client:1 (req 0.31) in
+  let b = submit_ok jobs ~client:1 (req 0.32) in
+  let c = submit_ok jobs ~client:2 (req 0.33) in
+  Alcotest.(check int) "both queued jobs canceled" 2 (Jobs.drop_client jobs 1);
+  Alcotest.(check int) "survivor still queued" 1 (Jobs.queued jobs);
+  (match Jobs.run_next jobs with
+  | Some (id, 2, _) -> Alcotest.(check string) "other client's job runs" c id
+  | _ -> Alcotest.fail "client 2's job must survive the drop");
+  (* the dropped client's jobs stay retained as canceled, for late polls *)
+  List.iter
+    (fun id ->
+      match Jobs.find jobs id with
+      | Some (Jobs.Canceled _) -> ()
+      | _ -> Alcotest.fail "dropped job must be retained as canceled")
+    [ a; b ]
+
+let test_jobs_retention () =
+  let s = Service.create () in
+  let jobs = Jobs.create ~retain_done:1 ~submit:(Service.submit s) () in
+  let a = submit_ok jobs ~client:1 (req 0.41) in
+  let b = submit_ok jobs ~client:1 (req 0.42) in
+  ignore (Jobs.run_next jobs);
+  ignore (Jobs.run_next jobs);
+  Alcotest.(check bool) "oldest terminal evicted" true (Jobs.find jobs a = None);
+  (match Jobs.find jobs b with
+  | Some (Jobs.Done _) -> ()
+  | _ -> Alcotest.fail "newest terminal retained")
+
+(* ---------- Protocol: the versioned typed wire format ---------- *)
+
+let op_gen =
+  QCheck.Gen.(
+    float_range 0.0 1.0 >>= fun gamma ->
+    oneofl [ Request.Ours; Request.Greedy; Request.Ata ] >>= fun mode ->
+    oneofl [ "q1"; "q2"; "" ] >>= fun id ->
+    let r = req gamma ~mode ~id in
+    oneofl [ "j-1"; "j-42"; "stale" ] >>= fun job ->
+    oneofl
+      [
+        Protocol.Op.Compile r;
+        Protocol.Op.Submit r;
+        Protocol.Op.Poll job;
+        Protocol.Op.Wait job;
+        Protocol.Op.Cancel job;
+        Protocol.Op.Result job;
+        Protocol.Op.Health;
+        Protocol.Op.Stats;
+        Protocol.Op.Metrics;
+        Protocol.Op.Flush;
+      ])
+
+let op_arb = QCheck.make op_gen ~print:(fun op -> Json.to_string (Protocol.encode op))
+
+let prop_op_roundtrip =
+  QCheck.Test.make ~name:"Protocol decode (encode op) = op" ~count:300 op_arb (fun op ->
+      match Protocol.decode (Json.to_string (Protocol.encode op)) with
+      | Ok op' -> Protocol.Op.equal op op'
+      | Error _ -> false)
+
+let test_protocol_v1_compat () =
+  let r = req 0.51 ~id:"v1" in
+  (match Protocol.decode (Json.to_string (Request.to_json r)) with
+  | Ok (Protocol.Op.Compile r') ->
+      Alcotest.(check bool) "bare request object decodes as v1 compile" true (r' = r)
+  | _ -> Alcotest.fail "v1 bare request must decode");
+  (match Protocol.decode {|{"op":"health"}|} with
+  | Ok Protocol.Op.Health -> ()
+  | _ -> Alcotest.fail "unversioned op line must decode as v1");
+  match Protocol.decode {|{"v":1,"op":"stats"}|} with
+  | Ok Protocol.Op.Stats -> ()
+  | _ -> Alcotest.fail "explicit v1 must decode"
+
+let test_protocol_typed_errors () =
+  let kind line =
+    match Protocol.decode line with
+    | Error e -> Protocol.wire_error_kind e
+    | Ok _ -> "ok"
+  in
+  Alcotest.(check string) "broken JSON" "malformed" (kind "{nope");
+  Alcotest.(check string) "non-object line" "malformed" (kind "42");
+  Alcotest.(check string) "op of wrong type" "malformed" (kind {|{"v":2,"op":7}|});
+  Alcotest.(check string) "job op without id" "malformed" (kind {|{"v":2,"op":"poll"}|});
+  Alcotest.(check string) "unknown op" "unknown_op" (kind {|{"v":2,"op":"frobnicate"}|});
+  Alcotest.(check string) "future version" "bad_version" (kind {|{"v":3,"op":"health"}|});
+  Alcotest.(check string) "fractional version" "malformed" (kind {|{"v":1.5,"op":"health"}|})
+
+let test_protocol_reply_stamping () =
+  check_stamped (Protocol.ok_reply []);
+  let e = Protocol.error_reply (Protocol.Unknown_op "zap") in
+  check_stamped e;
+  Alcotest.(check string) "error status" "error" (str_field e "status");
+  (match Json.member "error" e with
+  | Some err ->
+      Alcotest.(check string) "typed kind" "unknown_op" (str_field err "kind")
+  | None -> Alcotest.fail "error reply needs an error object");
+  let je = Protocol.job_error_reply ~kind:"unknown_job" ~job:"j-9" ~message:"gone" in
+  check_stamped je;
+  (match Json.member "error" je with
+  | Some err ->
+      Alcotest.(check string) "job error kind" "unknown_job" (str_field err "kind");
+      Alcotest.(check string) "job id echoed" "j-9" (str_field err "job")
+  | None -> Alcotest.fail "job error reply needs an error object");
+  (* stamping is idempotent *)
+  Alcotest.(check bool) "with_version idempotent" true
+    (Json.equal (Protocol.with_version (Protocol.ok_reply [])) (Protocol.ok_reply []))
+
+(* ---------- Loopback TCP integration ---------- *)
+
+(* The server event loop owns the service; it runs in its own domain and
+   is stopped through the [stop] callback, so every test exercises the
+   graceful-drain path on the way out. *)
+let with_server ?(max_queue = 64) ?(idle_timeout_s = 300.0) f =
+  let service = Service.create () in
+  let port = Atomic.make 0 in
+  let stopping = Atomic.make false in
+  let config =
+    { Server.default_config with port = 0; tick_s = 0.002; max_queue; idle_timeout_s }
+  in
+  let dom =
+    Domain.spawn (fun () ->
+        Server.serve ~config
+          ~on_listen:(fun p -> Atomic.set port p)
+          ~stop:(fun () -> Atomic.get stopping)
+          service)
+  in
+  let stop () =
+    Atomic.set stopping true;
+    Domain.join dom
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  if Atomic.get port = 0 then begin
+    stop ();
+    Alcotest.fail "server never started listening"
+  end;
+  Fun.protect ~finally:stop (fun () -> f service (Atomic.get port))
+
+let with_client port f =
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let test_tcp_compile_matches_direct () =
+  with_server (fun _ port ->
+      with_client port (fun c ->
+          let direct = Service.create () in
+          List.iter
+            (fun gamma ->
+              let r = req gamma ~id:"probe" in
+              let wire = ok_or_fail (Client.request c (Protocol.encode (Protocol.Op.Compile r))) in
+              check_stamped wire;
+              let expect = Reply.to_json (Service.submit direct r) in
+              Alcotest.(check string) "wire reply bit-identical to in-process service"
+                (Json.to_string (normalize expect))
+                (Json.to_string (normalize wire)))
+            (* repeat 0.61: one side of the comparison is a cache hit *)
+            [ 0.61; 0.62; 0.61 ]))
+
+let test_tcp_job_lifecycle () =
+  with_server (fun _ port ->
+      with_client port (fun c ->
+          let sub = ok_or_fail (Client.request c (Protocol.encode (Protocol.Op.Submit (req 0.63)))) in
+          check_stamped sub;
+          let id = str_field sub "job" in
+          Alcotest.(check string) "admitted as queued" "queued" (str_field sub "state");
+          let w = ok_or_fail (Client.request c (Protocol.encode (Protocol.Op.Wait id))) in
+          Alcotest.(check string) "wait returns the terminal state" "done" (str_field w "state");
+          (match Json.member "reply" w with
+          | Some r ->
+              check_stamped r;
+              Alcotest.(check string) "compiled ok" "ok" (str_field r "status")
+          | None -> Alcotest.fail "terminal reply embeds the compile reply");
+          let res = ok_or_fail (Client.request c (Protocol.encode (Protocol.Op.Result id))) in
+          Alcotest.(check string) "result fetches the reply" "done" (str_field res "state");
+          let again = ok_or_fail (Client.request c (Protocol.encode (Protocol.Op.Result id))) in
+          (match Json.member "error" again with
+          | Some err ->
+              Alcotest.(check string) "result is fetch-and-forget" "unknown_job"
+                (str_field err "kind")
+          | None -> Alcotest.fail "second result must be a typed unknown_job");
+          let p = ok_or_fail (Client.request c (Protocol.encode (Protocol.Op.Poll "j-77"))) in
+          match Json.member "error" p with
+          | Some err ->
+              Alcotest.(check string) "unknown id is typed" "unknown_job" (str_field err "kind")
+          | None -> Alcotest.fail "poll of an unknown id must be a typed error"))
+
+(* Batching submit+cancel lines in one write makes the ordering exact:
+   the event loop drains every line of a read before running a job, so
+   j-2 is canceled while still queued. *)
+let test_tcp_cancel_before_run () =
+  with_server (fun _ port ->
+      with_client port (fun c ->
+          let lines =
+            [
+              Json.to_string (Protocol.encode (Protocol.Op.Submit (req 0.64 ~id:"keep")));
+              Json.to_string (Protocol.encode (Protocol.Op.Submit (req 0.65 ~id:"kill")));
+              Json.to_string (Protocol.encode (Protocol.Op.Cancel "j-2"));
+            ]
+          in
+          Client.send_line c (String.concat "\n" lines);
+          let r1 = ok_or_fail (Client.recv c) in
+          let r2 = ok_or_fail (Client.recv c) in
+          let rc = ok_or_fail (Client.recv c) in
+          Alcotest.(check string) "first admitted" "queued" (str_field r1 "state");
+          Alcotest.(check string) "second admitted" "queued" (str_field r2 "state");
+          Alcotest.(check string) "canceled while queued" "canceled" (str_field rc "state");
+          (match Json.member "reply" rc with
+          | Some r -> (
+              Alcotest.(check string) "request id echoed" "kill" (str_field r "id");
+              match Json.member "error" r with
+              | Some err -> Alcotest.(check string) "typed error" "canceled" (str_field err "kind")
+              | None -> Alcotest.fail "canceled reply carries the typed error")
+          | None -> Alcotest.fail "cancel reply embeds the canceled compile reply");
+          (* the survivor still completes *)
+          let w = ok_or_fail (Client.request c (Protocol.encode (Protocol.Op.Wait "j-1"))) in
+          Alcotest.(check string) "survivor done" "done" (str_field w "state")))
+
+let test_tcp_overload_sheds () =
+  with_server ~max_queue:2 (fun _ port ->
+      with_client port (fun c ->
+          let lines =
+            List.init 4 (fun k ->
+                Json.to_string
+                  (Protocol.encode
+                     (Protocol.Op.Submit (req (0.66 +. (0.01 *. float_of_int k))))))
+          in
+          (* one write: all four admissions happen before any job runs *)
+          Client.send_line c (String.concat "\n" lines);
+          let state_of j =
+            match Json.member "job" j with
+            | Some _ -> str_field j "state"
+            | None -> (
+                match Json.member "error" j with
+                | Some err -> str_field err "kind"
+                | None -> Alcotest.fail ("unexpected reply " ^ Json.to_string j))
+          in
+          let states = List.init 4 (fun _ -> state_of (ok_or_fail (Client.recv c))) in
+          Alcotest.(check (list string)) "beyond the limit, typed Overloaded"
+            [ "queued"; "queued"; "overloaded"; "overloaded" ]
+            states;
+          (* admitted work still completes; shed work left no ghost jobs *)
+          let w = ok_or_fail (Client.request c (Protocol.encode (Protocol.Op.Wait "j-2"))) in
+          Alcotest.(check string) "admitted jobs complete" "done" (str_field w "state");
+          let stats = ok_or_fail (Client.request c (Protocol.encode Protocol.Op.Stats)) in
+          match Json.member "jobs" stats with
+          | Some jstats ->
+              Alcotest.(check (float 1e-9)) "shed count" 2.0 (num_field jstats "shed");
+              Alcotest.(check (float 1e-9)) "submitted count" 2.0 (num_field jstats "submitted")
+          | None -> Alcotest.fail "stats reply must carry the jobs block"))
+
+(* Several connections with interleaved async traffic: every reply must
+   be bit-identical to what a private in-process service produces for
+   the same request. *)
+let test_tcp_concurrent_clients_bit_identical () =
+  with_server (fun _ port ->
+      let n_clients = 5 and per_client = 3 in
+      let gamma i k = 0.1 +. (0.01 *. float_of_int ((i * per_client) + k)) in
+      let rid i k = Printf.sprintf "c%d-%d" i k in
+      let clients = Array.init n_clients (fun _ -> Client.connect ~port ()) in
+      Fun.protect
+        ~finally:(fun () -> Array.iter Client.close clients)
+        (fun () ->
+          (* every client fires its whole burst before anyone reads *)
+          Array.iteri
+            (fun i c ->
+              let lines =
+                List.init per_client (fun k ->
+                    Json.to_string
+                      (Protocol.encode (Protocol.Op.Submit (req (gamma i k) ~id:(rid i k)))))
+              in
+              Client.send_line c (String.concat "\n" lines))
+            clients;
+          let ids =
+            Array.map
+              (fun c ->
+                List.init per_client (fun _ ->
+                    let j = ok_or_fail (Client.recv c) in
+                    Alcotest.(check string) "admitted" "queued" (str_field j "state");
+                    str_field j "job"))
+              clients
+          in
+          let direct = Service.create () in
+          Array.iteri
+            (fun i c ->
+              List.iteri
+                (fun k id ->
+                  let w = ok_or_fail (Client.request c (Protocol.encode (Protocol.Op.Wait id))) in
+                  Alcotest.(check string) "job done" "done" (str_field w "state");
+                  let wire =
+                    match Json.member "reply" w with
+                    | Some r -> r
+                    | None -> Alcotest.fail "terminal wait embeds the reply"
+                  in
+                  let expect = Reply.to_json (Service.submit direct (req (gamma i k) ~id:(rid i k))) in
+                  Alcotest.(check string)
+                    (Printf.sprintf "client %d job %d bit-identical to direct service" i k)
+                    (Json.to_string (normalize expect))
+                    (Json.to_string (normalize wire)))
+                ids.(i))
+            clients))
+
+let test_tcp_disconnect_cancels () =
+  with_server (fun _ port ->
+      let c = Client.connect ~port () in
+      let lines =
+        List.init 3 (fun k ->
+            Json.to_string
+              (Protocol.encode (Protocol.Op.Submit (req (0.71 +. (0.01 *. float_of_int k))))))
+      in
+      Client.send_line c (String.concat "\n" lines);
+      (* vanish without reading a single reply: the server must cancel
+         whatever it had not started for this client *)
+      Client.close c;
+      with_client port (fun c2 ->
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          let rec settle () =
+            let stats = ok_or_fail (Client.request c2 (Protocol.encode Protocol.Op.Stats)) in
+            let jstats =
+              match Json.member "jobs" stats with
+              | Some j -> j
+              | None -> Alcotest.fail "stats reply must carry the jobs block"
+            in
+            let completed = num_field jstats "completed" and canceled = num_field jstats "canceled" in
+            if completed +. canceled >= 3.0 then (jstats, completed, canceled)
+            else if Unix.gettimeofday () > deadline then
+              Alcotest.fail "orphaned jobs never settled after disconnect"
+            else begin
+              Unix.sleepf 0.005;
+              settle ()
+            end
+          in
+          let jstats, completed, canceled = settle () in
+          Alcotest.(check (float 1e-9)) "every job accounted for" 3.0 (completed +. canceled);
+          Alcotest.(check bool) "at least one canceled by the disconnect" true (canceled >= 1.0);
+          Alcotest.(check (float 1e-9)) "nothing left queued" 0.0 (num_field jstats "queued")))
+
+let test_tcp_v1_lines () =
+  with_server (fun _ port ->
+      with_client port (fun c ->
+          (* a pre-v2 client: bare request object, unversioned op lines *)
+          Client.send_line c (Json.to_string (Request.to_json (req 0.74 ~id:"legacy")));
+          let r = ok_or_fail (Client.recv c) in
+          check_stamped r;
+          Alcotest.(check string) "v1 compile served" "ok" (str_field r "status");
+          Alcotest.(check string) "id echoed" "legacy" (str_field r "id");
+          Client.send_line c {|{"op":"health"}|};
+          let h = ok_or_fail (Client.recv c) in
+          check_stamped h;
+          Alcotest.(check string) "v1 health ok" "ok" (str_field h "status")))
+
+let test_tcp_bad_lines_keep_connection () =
+  with_server (fun _ port ->
+      with_client port (fun c ->
+          let error_kind line =
+            Client.send_line c line;
+            let j = ok_or_fail (Client.recv c) in
+            check_stamped j;
+            match Json.member "error" j with
+            | Some err -> str_field err "kind"
+            | None -> Alcotest.fail ("expected an error reply, got " ^ Json.to_string j)
+          in
+          Alcotest.(check string) "garbage line" "malformed" (error_kind "}{ not json");
+          Alcotest.(check string) "unknown op" "unknown_op" (error_kind {|{"v":2,"op":"zap"}|});
+          Alcotest.(check string) "future version" "bad_version"
+            (error_kind {|{"v":9,"op":"health"}|});
+          (* the connection survived all three *)
+          let h = ok_or_fail (Client.request c (Protocol.encode Protocol.Op.Health)) in
+          Alcotest.(check string) "still serving" "ok" (str_field h "status")))
+
+let test_tcp_idle_timeout () =
+  with_server ~idle_timeout_s:0.05 (fun _ port ->
+      with_client port (fun c ->
+          match Client.recv_line ~timeout_s:10.0 c with
+          | Error "eof" -> ()
+          | Error e -> Alcotest.fail ("expected idle close, got error " ^ e)
+          | Ok l -> Alcotest.fail ("expected idle close, got line " ^ l)))
+
+(* Stop the server while jobs are queued and a wait is parked: graceful
+   drain must run the admitted jobs, answer the wait, and flush before
+   closing. *)
+let test_tcp_graceful_drain () =
+  let service = Service.create () in
+  let port = Atomic.make 0 in
+  let stopping = Atomic.make false in
+  let config = { Server.default_config with port = 0; tick_s = 0.002 } in
+  let dom =
+    Domain.spawn (fun () ->
+        Server.serve ~config
+          ~on_listen:(fun p -> Atomic.set port p)
+          ~stop:(fun () -> Atomic.get stopping)
+          service)
+  in
+  while Atomic.get port = 0 do
+    Unix.sleepf 0.001
+  done;
+  let c = Client.connect ~port:(Atomic.get port) () in
+  let lines =
+    List.init 3 (fun k ->
+        Json.to_string (Protocol.encode (Protocol.Op.Submit (req (0.81 +. (0.01 *. float_of_int k))))))
+    @ [ Json.to_string (Protocol.encode (Protocol.Op.Wait "j-3")) ]
+  in
+  Client.send_line c (String.concat "\n" lines);
+  (* wait for the admissions so stop cannot beat the reads, then pull the
+     rug: the drain owes us the parked wait and any still-queued jobs *)
+  List.iter
+    (fun _ ->
+      let j = ok_or_fail (Client.recv c) in
+      Alcotest.(check string) "admission reply delivered" "queued" (str_field j "state"))
+    [ 1; 2; 3 ];
+  Atomic.set stopping true;
+  Domain.join dom;
+  let w = ok_or_fail (Client.recv c) in
+  Alcotest.(check string) "parked wait answered during drain" "done" (str_field w "state");
+  (match Client.recv_line c with
+  | Error ("eof" | "eof mid-line") -> ()
+  | Error e -> Alcotest.fail ("expected close after drain, got error " ^ e)
+  | Ok l -> Alcotest.fail ("unexpected extra line " ^ l));
+  Client.close c;
+  Alcotest.(check int) "all admitted jobs compiled during drain" 3
+    (Service.stats service).Service.requests
+
+let suite =
+  [
+    Alcotest.test_case "jobs fair order" `Quick test_jobs_fair_order;
+    Alcotest.test_case "jobs overload" `Quick test_jobs_overload;
+    Alcotest.test_case "jobs cancel" `Quick test_jobs_cancel;
+    Alcotest.test_case "jobs drop client" `Quick test_jobs_drop_client;
+    Alcotest.test_case "jobs retention" `Quick test_jobs_retention;
+    QCheck_alcotest.to_alcotest prop_op_roundtrip;
+    Alcotest.test_case "protocol v1 compat" `Quick test_protocol_v1_compat;
+    Alcotest.test_case "protocol typed errors" `Quick test_protocol_typed_errors;
+    Alcotest.test_case "protocol reply stamping" `Quick test_protocol_reply_stamping;
+    Alcotest.test_case "tcp compile matches direct" `Quick test_tcp_compile_matches_direct;
+    Alcotest.test_case "tcp job lifecycle" `Quick test_tcp_job_lifecycle;
+    Alcotest.test_case "tcp cancel before run" `Quick test_tcp_cancel_before_run;
+    Alcotest.test_case "tcp overload sheds" `Quick test_tcp_overload_sheds;
+    Alcotest.test_case "tcp concurrent clients bit-identical" `Quick
+      test_tcp_concurrent_clients_bit_identical;
+    Alcotest.test_case "tcp disconnect cancels" `Quick test_tcp_disconnect_cancels;
+    Alcotest.test_case "tcp v1 lines" `Quick test_tcp_v1_lines;
+    Alcotest.test_case "tcp bad lines keep connection" `Quick test_tcp_bad_lines_keep_connection;
+    Alcotest.test_case "tcp idle timeout" `Quick test_tcp_idle_timeout;
+    Alcotest.test_case "tcp graceful drain" `Quick test_tcp_graceful_drain;
+  ]

@@ -108,7 +108,7 @@ let prop_compile_deterministic =
       let g = Generate.erdos_renyi rng ~n ~density:0.3 in
       let arch = Arch.smallest_for Arch.Heavy_hex n in
       let program = Program.make g Program.Bare_cz in
-      let a = Pipeline.compile arch program and b = Pipeline.compile arch program in
+      let a = Pipeline.run_exn (Pipeline.Request.make arch program) and b = Pipeline.run_exn (Pipeline.Request.make arch program) in
       a.Pipeline.depth = b.Pipeline.depth && a.Pipeline.cx = b.Pipeline.cx)
 
 (* ---- Parallel execution equivalence ------------------------------- *)
@@ -199,7 +199,7 @@ let prop_trajectory_domains_bit_identical =
       let arch = Arch.smallest_for Arch.Line n in
       let noise = Noise.sampled ~seed:5 arch in
       let program = Program.make g Program.Bare_cz in
-      let r = Pipeline.compile ~noise arch program in
+      let r = Pipeline.run_exn (Pipeline.Request.make ~noise arch program) in
       let sample () =
         Trajectory.distribution ~seed:(seed + 1) ~trajectories:18 ~noise
           ~compiled:r.Pipeline.circuit ~final:r.Pipeline.final ()

@@ -89,7 +89,7 @@ let test_parse_compiled_output () =
     Qcr_circuit.Program.make g
       (Qcr_circuit.Program.Qaoa_maxcut { gamma = 0.4; beta = 0.35 })
   in
-  let r = Qcr_core.Pipeline.compile arch program in
+  let r = Qcr_core.Pipeline.run_exn (Qcr_core.Pipeline.Request.make arch program) in
   match Qasm.of_string (Qasm.to_string r.Qcr_core.Pipeline.circuit) with
   | Error e -> Alcotest.failf "parse failed: %s" e
   | Ok parsed ->

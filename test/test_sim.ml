@@ -251,7 +251,7 @@ let test_qaoa_evaluate_fidelity_effect () =
   let program =
     Qcr_circuit.Program.make g (Qcr_circuit.Program.Qaoa_maxcut { gamma = 0.6; beta = 0.4 })
   in
-  let r = Qcr_core.Pipeline.compile ~noise arch program in
+  let r = Qcr_core.Pipeline.run_exn (Qcr_core.Pipeline.Request.make ~noise arch program) in
   let eval_noisy =
     Qaoa.evaluate ~noise ~graph:g ~compiled:r.Qcr_core.Pipeline.circuit
       ~final:r.Qcr_core.Pipeline.final ()

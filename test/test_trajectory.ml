@@ -13,7 +13,7 @@ let setup ~n ~density =
   let graph = Generate.erdos_renyi (Qcr_util.Prng.create (70 + n)) ~n ~density in
   let arch = Arch.smallest_for Arch.Heavy_hex n in
   let program = Program.make graph (Program.Qaoa_maxcut { gamma = 0.5; beta = 0.3 }) in
-  let r = Pipeline.compile arch program in
+  let r = Pipeline.run_exn (Pipeline.Request.make arch program) in
   (graph, arch, program, r)
 
 let test_zero_noise_matches_ideal () =
