@@ -15,6 +15,12 @@
    asserting damaged records are evicted and recompiled — never served,
    never fatal — and that flushes self-heal the directory.
 
+   A final phase certifies crash recovery for real: the CLI binary runs
+   as a child process with a job journal, is SIGKILLed at seeded
+   instants mid-burst, and is restarted over the same directories —
+   every acked admission must be served bit-identically after the
+   restart, deduped to its original job id by its idempotency key.
+
    The report goes to BENCH_chaos.json: invariant verdicts, outcome
    counts, service resilience stats (retries, breaker trips, corrupt
    evictions), the per-point fault table, pool supervision counts and
@@ -406,6 +412,193 @@ let serve_soak ~rounds batch expected =
         ("mismatches", Json.Num (float_of_int !mismatches));
       ] )
 
+(* ---------- recovery soak: kill -9 against the journaled CLI ----------
+
+   The real binary as a child process: [qcr serve --listen 127.0.0.1:0
+   --journal-dir J --cache-dir C], SIGKILLed at a seeded instant
+   mid-burst, restarted over the same directories.  Every job whose
+   admission was acked before the kill must be served after the restart
+   — deduped to its original job id by its idempotency key, its reply
+   bit-identical to the fault-free reference — and admitted-but-
+   unfinished jobs must be recomputed.  This is the crash the
+   in-process soaks cannot model: the process is gone mid-write, and
+   only the journal and the cache directory survive. *)
+
+let find_cli () =
+  match Sys.getenv_opt "QCR_CLI" with
+  | Some p when Sys.file_exists p -> Some p
+  | _ ->
+      let p =
+        List.fold_left Filename.concat
+          (Filename.dirname Sys.executable_name)
+          [ Filename.parent_dir_name; "bin"; "qcr_cli.exe" ]
+      in
+      if Sys.file_exists p then Some p else None
+
+type incarnation = { pid : int; port : int; out : Unix.file_descr }
+
+let start_server ~cli ~journal_dir ~cache_dir =
+  let out_r, out_w = Unix.pipe () in
+  let argv =
+    [|
+      cli; "serve"; "--listen"; "127.0.0.1:0"; "--journal-dir"; journal_dir; "--cache-dir";
+      cache_dir;
+    |]
+  in
+  let pid = Unix.create_process cli argv Unix.stdin out_w Unix.stderr in
+  Unix.close out_w;
+  (* the child prints "listening on 127.0.0.1:PORT" once bound *)
+  let buf = Buffer.create 128 in
+  let scratch = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let parse_port () =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.find_map (fun line ->
+           if String.length line > 13 && String.sub line 0 13 = "listening on " then
+             Option.bind (String.rindex_opt line ':') (fun i ->
+                 int_of_string_opt (String.sub line (i + 1) (String.length line - i - 1)))
+           else None)
+  in
+  let rec wait_port () =
+    match parse_port () with
+    | Some p -> p
+    | None ->
+        if Unix.gettimeofday () > deadline then failwith "recovery: server never listened";
+        (match Unix.select [ out_r ] [] [] 1.0 with
+        | [], _, _ -> ()
+        | _ -> (
+            match Unix.read out_r scratch 0 (Bytes.length scratch) with
+            | 0 -> failwith "recovery: server exited before listening"
+            | n -> Buffer.add_subbytes buf scratch 0 n));
+        wait_port ()
+  in
+  let port = wait_port () in
+  { pid; port; out = out_r }
+
+let stop_server ~signal inc =
+  (try Unix.kill inc.pid signal with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] inc.pid);
+  try Unix.close inc.out with Unix.Unix_error _ -> ()
+
+let recovery_soak ~rounds batch expected =
+  Fault.disarm ();
+  match find_cli () with
+  | None ->
+      Printf.printf "  recovery: bin/qcr_cli.exe not built — skipped (run dune build first)\n%!";
+      (true, Json.Obj [ ("skipped", Json.Bool true); ("invariants", Json.Obj []) ])
+  | Some cli ->
+      Common.with_temp_dir "qcr-chaos-recovery" @@ fun root ->
+      let journal_dir = Filename.concat root "journal" in
+      let cache_dir = Filename.concat root "cache" in
+      let work = Array.of_list batch in
+      let n = Array.length work in
+      let rng = Prng.create 4242 in
+      let mismatches = ref 0 and unserved = ref 0 and unstable_ids = ref 0 in
+      let acked_total = ref 0 and recovered_total = ref 0 and ids_checked = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      for round = 1 to rounds do
+        (* incarnation A: burst every submit in one write, read a seeded
+           number of acks, then kill -9 with the rest in flight *)
+        let inc = start_server ~cli ~journal_dir ~cache_dir in
+        let idem i = Printf.sprintf "rec-%d-%d" round i in
+        let acks = Hashtbl.create 16 in
+        let c = Qcr_net.Client.connect ~port:inc.port () in
+        Array.to_list work
+        |> List.mapi (fun i r ->
+               Json.to_string (Protocol.encode (Protocol.Op.Submit (r, Some (idem i)))))
+        |> String.concat "\n"
+        |> Qcr_net.Client.send_line c;
+        let k = 1 + Prng.int rng n in
+        (try
+           for i = 0 to k - 1 do
+             match Qcr_net.Client.recv ~timeout_s:10.0 c with
+             | Ok j -> (
+                 match Json.member "job" j with
+                 | Some (Json.Str id) -> Hashtbl.replace acks i id
+                 | _ -> ())
+             | Error _ -> ()
+           done
+         with _ -> ());
+        (* even rounds linger briefly so some outcomes reach the journal
+           and the restored-as-done path is exercised too *)
+        if round mod 2 = 0 then Unix.sleepf (0.002 *. float_of_int (Prng.int rng 8));
+        stop_server ~signal:Sys.sigkill inc;
+        Qcr_net.Client.close c;
+        acked_total := !acked_total + Hashtbl.length acks;
+        (* incarnation B: replay the journal over the same directories,
+           then re-drive every request through the idempotent client *)
+        let inc2 = start_server ~cli ~journal_dir ~cache_dir in
+        (match
+           let c2 = Qcr_net.Client.connect ~port:inc2.port () in
+           Fun.protect
+             ~finally:(fun () -> Qcr_net.Client.close c2)
+             (fun () ->
+               Qcr_net.Client.request ~timeout_s:10.0 c2 (Protocol.encode Protocol.Op.Jobs))
+         with
+        | Ok j -> (
+            match Option.bind (Json.member "counts" j) (Json.member "recovered") with
+            | Some (Json.Num r) -> recovered_total := !recovered_total + int_of_float r
+            | _ -> ())
+        | Error _ | (exception _) -> ());
+        Array.iteri
+          (fun i r ->
+            match Qcr_net.Client.submit_idempotent ~port:inc2.port ~idem:(idem i) r with
+            | Error _ -> incr unserved
+            | Ok fin ->
+                (* an acked admission is durable: the resubmit must land
+                   on the id the dead incarnation acked *)
+                (match (Hashtbl.find_opt acks i, Json.member "job" fin) with
+                | Some id, Some (Json.Str id') ->
+                    incr ids_checked;
+                    if id <> id' then incr unstable_ids
+                | _ -> ());
+                (match Option.bind (Json.member "reply" fin) (fun rj ->
+                         Result.to_option (Compile_reply.of_json (strip_v rj)))
+                 with
+                | Some rep -> (
+                    match Hashtbl.find_opt expected rep.Compile_reply.key with
+                    | Some d when d = reply_digest rep -> ()
+                    | _ -> incr mismatches)
+                | None -> incr mismatches))
+          work;
+        (* the last incarnation drains cleanly; the others die hard so
+           the next round replays them too *)
+        stop_server ~signal:(if round = rounds then Sys.sigterm else Sys.sigkill) inc2
+      done;
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let served_ok = !unserved = 0 in
+      let bit_identical = !mismatches = 0 in
+      let ids_stable = !unstable_ids = 0 in
+      let recovered_obs = !recovered_total > 0 in
+      let ok = served_ok && bit_identical && ids_stable && recovered_obs in
+      Printf.printf
+        "  recovery: %d rounds x %d jobs, kill -9 each | acked=%d ids-stable=%d/%d recovered=%d \
+         unserved=%d mismatches=%d\n\
+         %!"
+        rounds n !acked_total
+        (!ids_checked - !unstable_ids)
+        !ids_checked !recovered_total !unserved !mismatches;
+      ( ok,
+        Json.Obj
+          [
+            ("rounds", Json.Num (float_of_int rounds));
+            ("jobs_per_round", Json.Num (float_of_int n));
+            ("wall_ms", Json.Num wall_ms);
+            ( "invariants",
+              Json.Obj
+                [
+                  ("every_job_served_after_kill", Json.Bool served_ok);
+                  ("replies_bit_identical", Json.Bool bit_identical);
+                  ("acked_ids_stable_across_restart", Json.Bool ids_stable);
+                  ("recovery_observed", Json.Bool recovered_obs);
+                ] );
+            ("acked", Json.Num (float_of_int !acked_total));
+            ("acked_ids_checked", Json.Num (float_of_int !ids_checked));
+            ("recovered", Json.Num (float_of_int !recovered_total));
+            ("unserved", Json.Num (float_of_int !unserved));
+            ("mismatches", Json.Num (float_of_int !mismatches));
+          ] )
+
 let run scale =
   Common.heading "Chaos soak: batch service under injected faults (BENCH_chaos.json)";
   let unique, dup_factor, rounds =
@@ -491,7 +684,8 @@ let run scale =
   let bit_identical = !mismatches = 0 in
   let persist_ok, persist_row = persist_soak ~rounds batch expected in
   let serve_ok, serve_row = serve_soak ~rounds batch expected in
-  let ok = no_escape && !order_ok && bit_identical && persist_ok && serve_ok in
+  let recovery_ok, recovery_row = recovery_soak ~rounds batch expected in
+  let ok = no_escape && !order_ok && bit_identical && persist_ok && serve_ok && recovery_ok in
   Printf.printf
     "  %d rounds x %d requests in %.1f ms | escapes=%d order_ok=%b ok-replies=%d mismatches=%d\n%!"
     rounds n_requests wall_ms (List.length !escaped) !order_ok !ok_compared !mismatches;
@@ -503,7 +697,7 @@ let run scale =
   Json.to_file output_file
     (Json.Obj
        [
-         ("schema", Json.Str "qcr-bench-chaos/v3");
+         ("schema", Json.Str "qcr-bench-chaos/v4");
          ("generated_by", Json.Str "dune exec bench/main.exe -- chaos");
          ( "scale",
            Json.Str
@@ -549,6 +743,7 @@ let run scale =
              ] );
          ("persist", persist_row);
          ("serve", serve_row);
+         ("recovery", recovery_row);
        ]);
   Printf.printf "  wrote %s\n%!" output_file;
   if not ok then begin

@@ -13,6 +13,10 @@
    - async: every client fires its whole schedule as one [submit] burst,
      then collects terminal replies with pipelined [wait]s — the
      throughput shape of the job API.
+   - journaled: the async pass again, against a second server over the
+     same warm service with a job journal attached — every admission now
+     also costs one durable append, and the report carries the
+     throughput delta ([journal_overhead_pct], budgeted at 5%).
 
    Every reply (sync and embedded async) is compared bit-for-bit against
    a private in-process [Service] fed the same requests, so the report's
@@ -151,7 +155,7 @@ let sync_pass ~label ~port ~schedule bodies =
 
 (* The async shape: burst all submits per client in one write, then
    pipeline a wait per job and collect terminal replies. *)
-let async_pass ~port ~schedule bodies =
+let async_pass ?(label = "async") ~port ~schedule bodies =
   let per_client = Array.length schedule.(0) in
   let clients = Array.init n_clients (fun _ -> Client.connect ~port ()) in
   Fun.protect
@@ -161,7 +165,7 @@ let async_pass ~port ~schedule bodies =
       Array.iteri
         (fun i c ->
           Array.to_list schedule.(i)
-          |> List.map (fun (_, r) -> Json.to_string (Protocol.encode (Protocol.Op.Submit r)))
+          |> List.map (fun (_, r) -> Json.to_string (Protocol.encode (Protocol.Op.Submit (r, None))))
           |> String.concat "\n" |> Client.send_line c)
         clients;
       let ids =
@@ -203,10 +207,10 @@ let async_pass ~port ~schedule bodies =
       let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
       let req_per_s = float_of_int total /. (wall_ms /. 1000.0) in
       Printf.printf "  %-9s %3d jobs     x %d clients in %8.2f ms  %8.1f req/s  (submit+wait)\n%!"
-        "async" total n_clients wall_ms req_per_s;
+        label total n_clients wall_ms req_per_s;
       Json.Obj
         [
-          ("label", Json.Str "async");
+          ("label", Json.Str label);
           ("requests", Json.Num (float_of_int total));
           ("wall_ms", Json.Num wall_ms);
           ("req_per_s", Json.Num req_per_s);
@@ -271,17 +275,61 @@ let run scale =
   in
   Atomic.set stopping true;
   Domain.join dom;
+  (* fourth pass: the same warm service behind a journaled server, so
+     every admission now also costs one durable append.  The delta
+     against the unjournaled async pass is the price of durability. *)
+  let num_of row k =
+    match Json.member k row with Some (Json.Num n) -> n | _ -> fail_fmt "missing %s" k
+  in
+  let journal_row, journal_ok, journal_appends =
+    Common.with_temp_dir "qcr-bench-serve-journal" (fun dir ->
+        let journal =
+          match Qcr_net.Journal.open_dir dir with
+          | Ok j -> j
+          | Error e -> fail_fmt "serve bench: journal: %s" e
+        in
+        let port = Atomic.make 0 in
+        let stopping = Atomic.make false in
+        let dom =
+          Domain.spawn (fun () ->
+              Server.serve ~config ~journal
+                ~on_listen:(fun p -> Atomic.set port p)
+                ~stop:(fun () -> Atomic.get stopping)
+                service)
+        in
+        while Atomic.get port = 0 do
+          Unix.sleepf 0.001
+        done;
+        let bodies = Array.make total "" in
+        let row = async_pass ~label:"journaled" ~port:(Atomic.get port) ~schedule bodies in
+        Atomic.set stopping true;
+        Domain.join dom;
+        let appends = Qcr_net.Journal.appends journal in
+        Qcr_net.Journal.close journal;
+        let d = digest_of_bodies bodies in
+        if d <> reference_digest then
+          Printf.printf "  WARNING: journaled replies differ from the in-process service\n%!";
+        (row, d = reference_digest, appends))
+  in
+  let journal_overhead_pct =
+    100.0 *. (1.0 -. (num_of journal_row "req_per_s" /. num_of async_row "req_per_s"))
+  in
+  if journal_appends < 2 * total then
+    fail_fmt "serve bench: journal recorded %d appends for %d jobs" journal_appends total;
+  Printf.printf "  journal: %d appends, throughput overhead %+.1f%% vs async%s\n%!"
+    journal_appends journal_overhead_pct
+    (if journal_overhead_pct > 5.0 then "  (WARNING: above the 5%% budget)" else "");
   let jobs_row = Option.value ~default:Json.Null (Json.member "jobs" stats) in
   let svc = Service.stats service in
-  (* warm-sync and async passes replay cold-sync's keys *)
-  let hit_rate = float_of_int svc.Service.cache_hits /. float_of_int (max 1 (2 * total)) in
-  let bit_identical = cold_ok && warm_ok && async_ok in
+  (* warm-sync, async and journaled passes replay cold-sync's keys *)
+  let hit_rate = float_of_int svc.Service.cache_hits /. float_of_int (max 1 (3 * total)) in
+  let bit_identical = cold_ok && warm_ok && async_ok && journal_ok in
   Printf.printf "  cache: %d hits %d misses (warm+async hit rate %.0f%%) | bit_identical=%b\n%!"
     svc.Service.cache_hits svc.Service.cache_misses (100.0 *. hit_rate) bit_identical;
   Json.to_file output_file
     (Json.Obj
        [
-         ("schema", Json.Str "qcr-bench-serve/v1");
+         ("schema", Json.Str "qcr-bench-serve/v2");
          ("generated_by", Json.Str "dune exec bench/main.exe -- serve");
          ( "scale",
            Json.Str
@@ -294,7 +342,9 @@ let run scale =
          ("clients", Json.Num (float_of_int n_clients));
          ("requests_per_client", Json.Num (float_of_int per_client));
          ("total_requests", Json.Num (float_of_int total));
-         ("passes", Json.Arr [ cold_row; warm_row; async_row ]);
+         ("passes", Json.Arr [ cold_row; warm_row; async_row; journal_row ]);
+         ("journal_appends", Json.Num (float_of_int journal_appends));
+         ("journal_overhead_pct", Json.Num journal_overhead_pct);
          ("warm_hit_rate", Json.Num hit_rate);
          ("bit_identical", Json.Bool bit_identical);
          ("replies_digest", Json.Str reference_digest);

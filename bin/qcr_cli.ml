@@ -417,14 +417,32 @@ let serve_cmd =
                  at once; beyond that, $(b,submit) answers with a typed overloaded \
                  error instead of queueing unbounded work.")
   in
-  let run batch listen max_queue cache_dir metrics_out eventlog slow_ms trace metrics
-      domains inject =
+  let journal_dir_arg =
+    Arg.(value & opt (some string) None & info [ "journal-dir" ] ~docv:"DIR"
+           ~doc:"Write-ahead job journal: every admitted $(b,submit) is recorded in \
+                 $(docv) before its ack, and its terminal outcome after.  On startup \
+                 the journal is replayed — finished jobs are restored as done, \
+                 admitted-but-unfinished jobs are re-enqueued and recomputed (warm \
+                 via $(b,--cache-dir)), so acked work survives even $(b,kill -9).  \
+                 Resubmits carrying the same \"idem\" key dedupe to the original \
+                 job across restarts.")
+  in
+  let run batch listen max_queue journal_dir cache_dir metrics_out eventlog slow_ms trace
+      metrics domains inject =
     with_telemetry ~cmd:"serve" trace metrics domains inject @@ fun () ->
     (* A server always runs with the sink on: the {"op":"metrics"} line
        and --metrics-out must see live meters, whatever the CLI flags. *)
     Qcr_obs.Obs.enable ();
     let log = make_eventlog eventlog slow_ms in
     let service = Service.create ?store:(open_store cache_dir) ?eventlog:log () in
+    let journal =
+      Option.map
+        (fun dir ->
+          match Qcr_net.Journal.open_dir dir with
+          | Ok j -> j
+          | Error e -> die "cannot open job journal: %s" e)
+        journal_dir
+    in
     let emit j =
       print_endline (Json.to_string j);
       flush stdout
@@ -439,6 +457,7 @@ let serve_cmd =
        fatal-on-failure policy as batch: losing the flush is data loss,
        not a warning. *)
     let finish () =
+      Option.iter Qcr_net.Journal.close journal;
       flush_store ~on_error:(fun e -> die "cache flush failed: %s" e) service;
       write_metrics_out metrics_out;
       write_eventlog log eventlog;
@@ -466,7 +485,7 @@ let serve_cmd =
           end;
           !stop_flag
         in
-        Qcr_net.Server.serve ~config
+        Qcr_net.Server.serve ~config ?journal
           ~on_listen:(fun p -> Printf.printf "listening on %s:%d\n%!" host p)
           ~stop service;
         finish ()
@@ -475,8 +494,12 @@ let serve_cmd =
            The job queue drains between lines, so a submit is running by
            the time the next poll arrives, and wait drives the queue
            inline until its job is terminal. *)
-        let jobs = Qcr_net.Jobs.create ~max_queue ~submit:(Service.submit service) () in
+        let jobs = Qcr_net.Jobs.create ~max_queue ?journal ~submit:(Service.submit service) () in
         let session = Qcr_net.Session.create ~service ~jobs () in
+        (* recovered jobs run before the first input line is read *)
+        while Qcr_net.Jobs.run_next jobs <> None do
+          ()
+        done;
         let emit_reaction = function
           | Qcr_net.Session.Reply j -> emit j
           | Qcr_net.Session.Wait_for id ->
@@ -521,11 +544,15 @@ let serve_cmd =
              retrieve status and replies; control ops $(b,health), $(b,stats), \
              $(b,metrics) (registry snapshot as JSON plus Prometheus text) and \
              $(b,flush) (persist the cache to $(b,--cache-dir) immediately; it is \
-             also flushed at EOF/shutdown).  Version-1 lines (no \"v\" field) are \
-             still accepted; every reply is stamped with \"v\":2.")
-    Term.(const run $ batch_arg $ listen_arg $ max_queue_arg $ cache_dir_arg
-          $ metrics_out_arg $ eventlog_arg $ slow_ms_arg $ trace_arg $ metrics_arg
-          $ domains_arg $ inject_arg)
+             also flushed at EOF/shutdown).  $(b,--journal-dir) adds a write-ahead \
+             job journal: admitted submits survive crashes — even $(b,kill -9) — \
+             and are restored or recomputed on restart, with \"idem\" keys deduping \
+             resubmits to the original job ({\"op\":\"jobs\"} lists the live table). \
+             Version-1 lines (no \"v\" field) are still accepted; every reply is \
+             stamped with \"v\":2.")
+    Term.(const run $ batch_arg $ listen_arg $ max_queue_arg $ journal_dir_arg
+          $ cache_dir_arg $ metrics_out_arg $ eventlog_arg $ slow_ms_arg $ trace_arg
+          $ metrics_arg $ domains_arg $ inject_arg)
 
 let () =
   (* QCR_FAULTS arms process-wide fault injection before any command

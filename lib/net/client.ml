@@ -69,6 +69,62 @@ let request ?timeout_s t j =
   send t j;
   recv ?timeout_s t
 
+(* ---------- idempotent retry ---------- *)
+
+let member k = function Json.Obj fields -> List.assoc_opt k fields | _ -> None
+
+let submit_line ~idem req =
+  Json.to_string
+    (Qcr_service.Protocol.encode (Qcr_service.Protocol.Op.Submit (req, Some idem)))
+
+(* One attempt of the retry contract: (re)connect, submit with the
+   idempotency key, then wait the acked job to terminal.  Every failure
+   mode — refused connect, mid-stream disconnect, timeout, an error
+   reply such as Overloaded — surfaces as [Error] so the caller can
+   retry; the server dedupes the resubmit to the original job, so a job
+   that was admitted before a crash is waited on, not duplicated. *)
+let attempt ~host ~port ~timeout_s ~idem req =
+  match connect ~host ~port () with
+  | exception e -> Error ("connect: " ^ Printexc.to_string e)
+  | c ->
+      Fun.protect
+        ~finally:(fun () -> close c)
+        (fun () ->
+          match
+            send_line c (submit_line ~idem req);
+            recv ~timeout_s c
+          with
+          | exception e -> Error ("submit: " ^ Printexc.to_string e)
+          | Error e -> Error ("submit: " ^ e)
+          | Ok ack -> (
+              match (member "status" ack, member "job" ack) with
+              | Some (Json.Str "ok"), Some (Json.Str id) -> (
+                  match
+                    send c (Json.Obj [ ("v", Json.Num 2.0); ("op", Json.Str "wait");
+                                       ("job", Json.Str id) ]);
+                    recv ~timeout_s c
+                  with
+                  | exception e -> Error ("wait: " ^ Printexc.to_string e)
+                  | Error e -> Error ("wait: " ^ e)
+                  | Ok fin -> (
+                      match (member "status" fin, member "state" fin) with
+                      | Some (Json.Str "ok"), Some (Json.Str ("done" | "canceled")) -> Ok fin
+                      | _ -> Error ("wait: unexpected reply " ^ Json.to_string fin)))
+              | _ -> Error ("submit refused: " ^ Json.to_string ack)))
+
+let submit_idempotent ?(host = "127.0.0.1") ~port ?(attempts = 8) ?(timeout_s = 30.0) ~idem req
+    =
+  let rec go n last_err =
+    if n >= attempts then Error (Printf.sprintf "gave up after %d attempts: %s" attempts last_err)
+    else begin
+      if n > 0 then Unix.sleepf (Float.min 0.5 (0.02 *. float_of_int (1 lsl n)));
+      match attempt ~host ~port ~timeout_s ~idem req with
+      | Ok fin -> Ok fin
+      | Error e -> go (n + 1) e
+    end
+  in
+  go 0 "no attempts made"
+
 let try_recv_line t =
   match take_line t with
   | Some line -> Some line

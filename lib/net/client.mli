@@ -30,3 +30,24 @@ val try_recv_line : t -> string option
 (** Non-blocking: a buffered or immediately readable full line, else
     [None].  @raise End_of_file when the server closed the
     connection. *)
+
+val submit_idempotent :
+  ?host:string ->
+  port:int ->
+  ?attempts:int ->
+  ?timeout_s:float ->
+  idem:string ->
+  Qcr_service.Compile_request.t ->
+  (Qcr_obs.Json.t, string) result
+(** The reconnect-and-resubmit half of the idempotent retry contract:
+    (re)connect, [submit] the request with the idempotency key [idem],
+    and [wait] the acked job to terminal; on {e any} failure — refused
+    connect, mid-stream disconnect (e.g. the server was killed), a
+    timeout, or an [Overloaded] refusal — reconnect with exponential
+    backoff and resubmit with the {e same} key, which the server (with a
+    journal, even across restarts) dedupes to the original job instead
+    of duplicating it.  Submitting at least once plus server-side
+    dedupe yields an exactly-once {e outcome}.  [Ok] carries the
+    terminal job-state reply ([{"job":..,"state":"done"|"canceled",
+    "reply":{...}}]); [Error] only after [attempts] (default 8) rounds
+    all failed. *)

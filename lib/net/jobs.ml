@@ -8,6 +8,8 @@ let c_submitted = Obs.counter "jobs.submitted"
 let c_completed = Obs.counter "jobs.completed"
 let c_canceled = Obs.counter "jobs.canceled"
 let c_shed = Obs.counter "jobs.shed"
+let c_deduped = Obs.counter "jobs.deduped"
+let c_recovered = Obs.counter "jobs.recovered"
 
 type state =
   | Queued
@@ -23,47 +25,48 @@ let state_name = function
 
 let is_terminal = function Done _ | Canceled _ -> true | Queued | Running -> false
 
+type admission =
+  | Admitted of string
+  | Deduped of string
+
 type job = {
   j_id : string;
   j_client : int;
   j_request : Request.t;
+  j_idem : string option;
   mutable j_state : state;
+  mutable j_weight : int;  (* serialized reply bytes once terminal *)
 }
 
 type t = {
   submit_fn : Request.t -> Reply.t;
+  journal : Journal.t option;
   max_queue : int;
   retain_done : int;
+  retain_bytes : int;
   jobs : (string, job) Hashtbl.t;
   queues : (int, job Queue.t) Hashtbl.t;  (* per-client FIFO of queued jobs *)
   rr : int Queue.t;  (* clients with a physically non-empty queue, dequeue order *)
   finished : string Queue.t;  (* terminal ids in completion order, for eviction *)
+  idem_tbl : (string, string) Hashtbl.t;  (* idempotency key -> job id *)
+  active : (int, int) Hashtbl.t;  (* client -> queued + running jobs *)
   mutable n_queued : int;  (* live [Queued] jobs only *)
   mutable n_finished : int;
+  mutable finished_bytes : int;  (* reply bytes of retained terminal jobs *)
   mutable next_id : int;
   mutable submitted : int;
   mutable completed : int;
   mutable canceled : int;
   mutable shed : int;
+  mutable deduped : int;
+  mutable recovered : int;  (* admitted-but-unfinished jobs re-enqueued at replay *)
 }
 
-let create ?(max_queue = 64) ?(retain_done = 256) ~submit () =
-  {
-    submit_fn = submit;
-    max_queue = max 1 max_queue;
-    retain_done = max 1 retain_done;
-    jobs = Hashtbl.create 64;
-    queues = Hashtbl.create 16;
-    rr = Queue.create ();
-    finished = Queue.create ();
-    n_queued = 0;
-    n_finished = 0;
-    next_id = 0;
-    submitted = 0;
-    completed = 0;
-    canceled = 0;
-    shed = 0;
-  }
+let seq_of_id id =
+  match String.index_opt id '-' with
+  | Some 1 when id.[0] = 'j' ->
+      int_of_string_opt (String.sub id 2 (String.length id - 2)) |> Option.value ~default:0
+  | _ -> 0
 
 let failed_reply (req : Request.t) error =
   {
@@ -76,44 +79,163 @@ let failed_reply (req : Request.t) error =
     trace = None;
   }
 
-(* A terminal job enters the bounded retention window; the oldest fall
-   out so a server that never sees a [result] op cannot grow without
-   bound.  Ids already [take]n are simply absent. *)
+let bump_active t client d =
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.active client) + d in
+  if n <= 0 then Hashtbl.remove t.active client else Hashtbl.replace t.active client n
+
+let client_active t client = Hashtbl.mem t.active client
+
+(* A terminal job enters the retention window, bounded both by count and
+   by total serialized-reply bytes — one giant reply cannot be hidden
+   behind a generous count.  The oldest fall out first, so a server that
+   never sees a [result] op cannot grow without bound.  Ids already
+   [take]n are simply absent. *)
 let finish t (j : job) =
+  (match j.j_state with
+  | Done r | Canceled r -> j.j_weight <- String.length (Json.to_string (Reply.to_json r))
+  | Queued | Running -> ());
   Queue.push j.j_id t.finished;
   t.n_finished <- t.n_finished + 1;
-  while t.n_finished > t.retain_done do
+  t.finished_bytes <- t.finished_bytes + j.j_weight;
+  while
+    (t.n_finished > t.retain_done || t.finished_bytes > t.retain_bytes) && t.n_finished > 0
+  do
     let id = Queue.pop t.finished in
     t.n_finished <- t.n_finished - 1;
-    Hashtbl.remove t.jobs id
+    match Hashtbl.find_opt t.jobs id with
+    | None -> ()
+    | Some evicted ->
+        t.finished_bytes <- t.finished_bytes - evicted.j_weight;
+        Hashtbl.remove t.jobs id
   done
 
-let submit t ~client (req : Request.t) =
-  if t.n_queued >= t.max_queue then begin
-    t.shed <- t.shed + 1;
-    Obs.incr c_shed;
-    Error (failed_reply req (Pipeline.Overloaded { queued = t.n_queued; limit = t.max_queue }))
+let enqueue t (j : job) =
+  Hashtbl.add t.jobs j.j_id j;
+  let q =
+    match Hashtbl.find_opt t.queues j.j_client with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.add t.queues j.j_client q;
+        q
+  in
+  if Queue.is_empty q then Queue.push j.j_client t.rr;
+  Queue.push j q;
+  t.n_queued <- t.n_queued + 1;
+  bump_active t j.j_client 1
+
+(* Journal replay: completed jobs come back terminal (and retained, so
+   late polls and idempotent resubmits find them); admitted-but-
+   unfinished jobs re-enqueue under the reserved recovery client 0 and
+   recompute — warm via the persistent compile cache.  Job numbering
+   resumes above the highest replayed sequence. *)
+let restore t (e : Journal.entry) =
+  let id = Printf.sprintf "j-%d" e.Journal.e_seq in
+  if not (Hashtbl.mem t.jobs id) then begin
+    (match e.Journal.e_outcome with
+    | Some (state, reply) ->
+        let st = if state = "canceled" then Canceled reply else Done reply in
+        let j =
+          { j_id = id; j_client = 0; j_request = e.Journal.e_request; j_idem = e.Journal.e_idem;
+            j_state = st; j_weight = 0 }
+        in
+        Hashtbl.add t.jobs id j;
+        finish t j
+    | None ->
+        let j =
+          { j_id = id; j_client = 0; j_request = e.Journal.e_request; j_idem = e.Journal.e_idem;
+            j_state = Queued; j_weight = 0 }
+        in
+        enqueue t j;
+        t.recovered <- t.recovered + 1;
+        Obs.incr c_recovered);
+    Option.iter (fun k -> Hashtbl.replace t.idem_tbl k id) e.Journal.e_idem;
+    t.next_id <- max t.next_id e.Journal.e_seq
   end
-  else begin
-    t.next_id <- t.next_id + 1;
-    let id = Printf.sprintf "j-%d" t.next_id in
-    let j = { j_id = id; j_client = client; j_request = req; j_state = Queued } in
-    Hashtbl.add t.jobs id j;
-    let q =
-      match Hashtbl.find_opt t.queues client with
-      | Some q -> q
-      | None ->
-          let q = Queue.create () in
-          Hashtbl.add t.queues client q;
-          q
-    in
-    if Queue.is_empty q then Queue.push client t.rr;
-    Queue.push j q;
-    t.n_queued <- t.n_queued + 1;
-    t.submitted <- t.submitted + 1;
-    Obs.incr c_submitted;
-    Ok id
-  end
+
+let create ?(max_queue = 64) ?(retain_done = 256) ?(retain_bytes = 64 * 1024 * 1024) ?journal
+    ~submit () =
+  let t =
+    {
+      submit_fn = submit;
+      journal;
+      max_queue = max 1 max_queue;
+      retain_done = max 1 retain_done;
+      retain_bytes = max 1 retain_bytes;
+      jobs = Hashtbl.create 64;
+      queues = Hashtbl.create 16;
+      rr = Queue.create ();
+      finished = Queue.create ();
+      idem_tbl = Hashtbl.create 16;
+      active = Hashtbl.create 16;
+      n_queued = 0;
+      n_finished = 0;
+      finished_bytes = 0;
+      next_id = 0;
+      submitted = 0;
+      completed = 0;
+      canceled = 0;
+      shed = 0;
+      deduped = 0;
+      recovered = 0;
+    }
+  in
+  Option.iter (fun jl -> List.iter (restore t) (Journal.entries jl)) journal;
+  t
+
+let journal_outcome t (j : job) =
+  match (t.journal, j.j_state) with
+  | Some jl, (Done r | Canceled r) ->
+      (* non-fatal: the reply exists in memory; on the next replay the
+         job merely recomputes, warm via the compile cache *)
+      ignore (Journal.outcome jl ~seq:(seq_of_id j.j_id) ~state:(state_name j.j_state) r)
+  | _ -> ()
+
+let submit t ~client ?idem (req : Request.t) =
+  let dedup =
+    match idem with
+    | None -> None
+    | Some k -> (
+        match Hashtbl.find_opt t.idem_tbl k with
+        | Some id when Hashtbl.mem t.jobs id -> Some id
+        | _ -> None (* never seen, or evicted from retention: admit afresh *))
+  in
+  match dedup with
+  | Some id ->
+      t.deduped <- t.deduped + 1;
+      Obs.incr c_deduped;
+      Ok (Deduped id)
+  | None ->
+      if t.n_queued >= t.max_queue then begin
+        t.shed <- t.shed + 1;
+        Obs.incr c_shed;
+        Error (failed_reply req (Pipeline.Overloaded { queued = t.n_queued; limit = t.max_queue }))
+      end
+      else begin
+        let seq = t.next_id + 1 in
+        let journaled =
+          match t.journal with
+          | None -> Ok ()
+          | Some jl -> Journal.admit jl ~seq ?idem req
+        in
+        match journaled with
+        | Error e ->
+            (* the ack would promise durability the journal cannot
+               deliver, so the job is refused instead *)
+            Error (failed_reply req (Pipeline.Internal ("journal append failed: " ^ e)))
+        | Ok () ->
+            t.next_id <- seq;
+            let id = Printf.sprintf "j-%d" seq in
+            let j =
+              { j_id = id; j_client = client; j_request = req; j_idem = idem; j_state = Queued;
+                j_weight = 0 }
+            in
+            enqueue t j;
+            Option.iter (fun k -> Hashtbl.replace t.idem_tbl k id) idem;
+            t.submitted <- t.submitted + 1;
+            Obs.incr c_submitted;
+            Ok (Admitted id)
+      end
 
 let find t id = Option.map (fun j -> j.j_state) (Hashtbl.find_opt t.jobs id)
 
@@ -128,7 +250,9 @@ let cancel t id =
           j.j_state <- Canceled (failed_reply j.j_request Pipeline.Canceled);
           t.n_queued <- t.n_queued - 1;
           t.canceled <- t.canceled + 1;
+          bump_active t j.j_client (-1);
           Obs.incr c_canceled;
+          journal_outcome t j;
           finish t j
       | Running | Done _ | Canceled _ -> ());
       Some j.j_state
@@ -137,7 +261,10 @@ let take t id =
   match Hashtbl.find_opt t.jobs id with
   | None -> None
   | Some j ->
-      if is_terminal j.j_state then Hashtbl.remove t.jobs id;
+      if is_terminal j.j_state then begin
+        Hashtbl.remove t.jobs id;
+        t.finished_bytes <- t.finished_bytes - j.j_weight
+      end;
       Some j.j_state
 
 (* Round-robin across clients, FIFO within a client.  The [rr] invariant:
@@ -166,7 +293,9 @@ let rec run_next t =
               let reply = t.submit_fn j.j_request in
               j.j_state <- Done reply;
               t.completed <- t.completed + 1;
+              bump_active t j.j_client (-1);
               Obs.incr c_completed;
+              journal_outcome t j;
               finish t j;
               Some (j.j_id, j.j_client, reply)))
 
@@ -189,6 +318,23 @@ let queued t = t.n_queued
 
 let pending t = t.n_queued > 0
 
+let recovered t = t.recovered
+
+let retained_bytes t = t.finished_bytes
+
+let list_json t =
+  Hashtbl.fold (fun _ j acc -> j :: acc) t.jobs []
+  |> List.sort (fun a b -> compare (seq_of_id a.j_id) (seq_of_id b.j_id))
+  |> List.map (fun j ->
+         Json.Obj
+           ([
+              ("job", Json.Str j.j_id);
+              ("state", Json.Str (state_name j.j_state));
+              ("id", Json.Str j.j_request.Request.id);
+            ]
+           @ match j.j_idem with None -> [] | Some k -> [ ("idem", Json.Str k) ]))
+  |> fun l -> Json.Arr l
+
 let stats_json t =
   Json.Obj
     [
@@ -196,6 +342,9 @@ let stats_json t =
       ("completed", Json.Num (float_of_int t.completed));
       ("canceled", Json.Num (float_of_int t.canceled));
       ("shed", Json.Num (float_of_int t.shed));
+      ("deduped", Json.Num (float_of_int t.deduped));
+      ("recovered", Json.Num (float_of_int t.recovered));
       ("queued", Json.Num (float_of_int t.n_queued));
       ("limit", Json.Num (float_of_int t.max_queue));
+      ("retained_bytes", Json.Num (float_of_int t.finished_bytes));
     ]

@@ -10,8 +10,23 @@
     Admission control: when [max_queue] jobs are already queued, [submit]
     refuses with a ready-made [Overloaded] error reply instead of
     queueing — bounded latency beats unbounded memory.  Terminal jobs
-    (done or canceled) are retained for [retain_done] ids so late
-    [poll]/[result] calls can find them, then evicted oldest-first. *)
+    (done or canceled) are retained for [retain_done] ids {e and} at most
+    [retain_bytes] serialized-reply bytes so late [poll]/[result] calls
+    can find them, then evicted oldest-first.
+
+    {b Durability} (optional): with a {!Journal}, every admission is
+    journaled {e before} its ack (a failed append refuses the job with a
+    typed [Internal] error) and every terminal outcome after; at
+    {!create} the journal's replayed entries are restored — terminal
+    jobs come back retained under their original ids, unfinished ones
+    re-enqueue under the reserved recovery client [0] and recompute.
+    Job numbering resumes above the highest replayed sequence.
+
+    {b Idempotency}: a [submit] carrying an idempotency key dedupes to
+    the existing job with that key (fresh or replayed) instead of
+    admitting a duplicate — the server half of the reconnect-and-
+    resubmit contract ({!Client.submit_idempotent}).  A key whose job
+    was already evicted from retention admits afresh. *)
 
 type state =
   | Queued
@@ -25,21 +40,36 @@ val state_name : state -> string
 
 val is_terminal : state -> bool
 
+type admission =
+  | Admitted of string  (** fresh job id, queued *)
+  | Deduped of string
+      (** an idempotency key matched this existing (possibly already
+          terminal) job — nothing was admitted *)
+
 type t
 
 val create :
   ?max_queue:int ->
   ?retain_done:int ->
+  ?retain_bytes:int ->
+  ?journal:Journal.t ->
   submit:(Qcr_service.Compile_request.t -> Qcr_service.Compile_reply.t) ->
   unit ->
   t
-(** Defaults: [max_queue 64], [retain_done 256]. *)
+(** Defaults: [max_queue 64], [retain_done 256], [retain_bytes 64 MiB].
+    With [?journal], replays it (see above); the journal must have been
+    opened by the caller, who keeps ownership of {!Journal.close}. *)
 
 val submit :
-  t -> client:int -> Qcr_service.Compile_request.t -> (string, Qcr_service.Compile_reply.t) result
-(** [Ok id] (ids are ["j-1"], ["j-2"], ... in admission order) or
-    [Error reply] where [reply] is a typed [Overloaded] failure carrying
-    the queue depth and limit. *)
+  t ->
+  client:int ->
+  ?idem:string ->
+  Qcr_service.Compile_request.t ->
+  (admission, Qcr_service.Compile_reply.t) result
+(** [Ok (Admitted id)] (ids are ["j-1"], ["j-2"], ... in admission
+    order), [Ok (Deduped id)] for a known idempotency key, or
+    [Error reply] — a typed [Overloaded] failure when the queue is full,
+    or a typed [Internal] failure when the journal append failed. *)
 
 val find : t -> string -> state option
 
@@ -64,6 +94,24 @@ val queued : t -> int
 
 val pending : t -> bool
 
+val client_active : t -> int -> bool
+(** Whether this client owns any queued or running job — such clients
+    are exempt from the server's idle-timeout disconnect (closing them
+    would cancel admitted work). *)
+
+val recovered : t -> int
+(** Admitted-but-unfinished jobs re-enqueued from the journal at
+    {!create}. *)
+
+val retained_bytes : t -> int
+(** Serialized-reply bytes currently held by retained terminal jobs —
+    the [net.retained_bytes] gauge. *)
+
+val list_json : t -> Qcr_obs.Json.t
+(** The [{"op":"jobs"}] introspection payload: every live job as
+    [{"job","state","id","idem"?}], in admission order. *)
+
 val stats_json : t -> Qcr_obs.Json.t
-(** [{"submitted":..,"completed":..,"canceled":..,"shed":..,"queued":..,
-    "limit":..}] — cumulative counts for the [stats] op. *)
+(** [{"submitted":..,"completed":..,"canceled":..,"shed":..,"deduped":..,
+    "recovered":..,"queued":..,"limit":..,"retained_bytes":..}] —
+    cumulative counts for the [stats] op. *)

@@ -1,0 +1,304 @@
+module Json = Qcr_obs.Json
+module Obs = Qcr_obs.Obs
+module Registry = Qcr_obs.Registry
+module Request = Qcr_service.Compile_request
+module Reply = Qcr_service.Compile_reply
+module Store = Qcr_service.Cache_store
+module Fault = Qcr_fault.Fault
+
+(* Injection points mirroring the cache store's: [journal.append] probes
+   every record as it is written (a corrupt rule flips a byte that lands
+   on disk and is skipped at the next replay; a crash rule fails the
+   append), [journal.replay] probes every record read back. *)
+let append_point = Fault.point "journal.append"
+
+let replay_point = Fault.point "journal.replay"
+
+let c_appends = Obs.counter "net.journal_appends"
+let c_append_failed = Obs.counter "net.journal_append_failed"
+let c_replayed = Obs.counter "net.journal_replayed"
+let c_skipped = Obs.counter "net.journal_skipped"
+let g_bytes = Registry.gauge "net.journal_bytes"
+
+let index_schema = "qcr-journal/v1"
+
+let index_file = "index.json"
+
+let segment_name gen = Printf.sprintf "jrn-%06d.qcj" gen
+
+type entry = {
+  e_seq : int;
+  e_idem : string option;
+  e_request : Request.t;
+  mutable e_outcome : (string * Reply.t) option;
+}
+
+type t = {
+  dir : string;
+  mutable fd : Unix.file_descr option;  (* live segment of this incarnation *)
+  mutable entries : entry list;  (* replayed, admission order *)
+  mutable max_seq : int;
+  mutable bytes : int;  (* validated bytes on disk via this handle *)
+  mutable corrupt_skipped : int;
+  mutable appends : int;
+  mutable append_failed : int;
+}
+
+let dir t = t.dir
+
+let entries t = t.entries
+
+let max_seq t = t.max_seq
+
+let bytes t = t.bytes
+
+let corrupt_skipped t = t.corrupt_skipped
+
+let appends t = t.appends
+
+let append_failed t = t.append_failed
+
+(* ---------- record bodies (JSON inside a Cache_store record) ---------- *)
+
+let admit_key = "a"
+
+let outcome_key = "o"
+
+let admit_body ~seq ?idem req =
+  let idem_field = match idem with None -> [] | Some k -> [ ("idem", Json.Str k) ] in
+  Json.to_string
+    (Json.Obj
+       (( "seq", Json.Num (float_of_int seq) )
+        :: (idem_field @ [ ("request", Request.to_json req) ])))
+
+let outcome_body ~seq ~state reply =
+  Json.to_string
+    (Json.Obj
+       [
+         ("seq", Json.Num (float_of_int seq));
+         ("state", Json.Str state);
+         ("reply", Reply.to_json reply);
+       ])
+
+let seq_of j =
+  match Json.member "seq" j with
+  | Some (Json.Num f) when Float.is_integer f && f >= 1.0 -> Some (int_of_float f)
+  | _ -> None
+
+let parse_admit j =
+  match (seq_of j, Json.member "request" j) with
+  | Some seq, Some rj -> (
+      match Request.of_json rj with
+      | Error _ -> None
+      | Ok req ->
+          let idem = match Json.member "idem" j with Some (Json.Str k) -> Some k | _ -> None in
+          Some (seq, idem, req))
+  | _ -> None
+
+let parse_outcome j =
+  match (seq_of j, Json.member "state" j, Json.member "reply" j) with
+  | Some seq, Some (Json.Str state), Some rj when state = "done" || state = "canceled" -> (
+      match Reply.of_json rj with Error _ -> None | Ok r -> Some (seq, state, r))
+  | _ -> None
+
+(* ---------- replay ---------- *)
+
+let skip t =
+  t.corrupt_skipped <- t.corrupt_skipped + 1;
+  Obs.incr c_skipped
+
+(* One segment: same discipline as [Cache_store.scan_segment] — the
+   first undecodable record abandons the segment's tail (boundaries
+   cannot be trusted past a corruption), an injected corruption fails
+   the digest re-check and skips just that record, and any exception
+   (I/O, injected crash) abandons the segment too.  Returns validated
+   bytes so truncated tails are not counted as durable. *)
+let scan_segment t by_seq order path =
+  match
+    let s = Store.read_file path in
+    let len = String.length s in
+    let ok_bytes = ref 0 in
+    let rec go pos =
+      if pos >= len then ()
+      else
+        match Store.decode_record s ~pos with
+        | Error _ -> skip t
+        | Ok (key, body, next) ->
+            let body' = Fault.corrupt replay_point body in
+            if body' <> body then begin
+              skip t;
+              go next
+            end
+            else begin
+              (match () with
+              | () when key = admit_key -> (
+                  match Option.bind (Result.to_option (Json.of_string body)) parse_admit with
+                  | None -> skip t
+                  | Some (seq, idem, req) ->
+                      if not (Hashtbl.mem by_seq seq) then begin
+                        let e = { e_seq = seq; e_idem = idem; e_request = req; e_outcome = None } in
+                        Hashtbl.add by_seq seq e;
+                        order := seq :: !order;
+                        Obs.incr c_replayed
+                      end)
+              | () when key = outcome_key -> (
+                  match Option.bind (Result.to_option (Json.of_string body)) parse_outcome with
+                  | None -> skip t
+                  | Some (seq, state, reply) -> (
+                      (* an outcome whose admit record was lost is an
+                         orphan: without the request there is nothing to
+                         restore, so it is skipped, not trusted *)
+                      match Hashtbl.find_opt by_seq seq with
+                      | None -> skip t
+                      | Some e -> e.e_outcome <- Some (state, reply)))
+              | () -> skip t);
+              ok_bytes := next - pos + !ok_bytes;
+              go next
+            end
+    in
+    go 0;
+    !ok_bytes
+  with
+  | n -> n
+  | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+  | exception _ ->
+      skip t;
+      0
+
+let index_json ~next_gen ~segments =
+  Json.Obj
+    [
+      ("schema", Json.Str index_schema);
+      ("next_seq", Json.Num (float_of_int next_gen));
+      ("segments", Json.Arr (List.map (fun s -> Json.Str s) segments));
+    ]
+
+let parse_index j =
+  match (Json.member "schema" j, Json.member "next_seq" j, Json.member "segments" j) with
+  | Some (Json.Str s), Some (Json.Num seq), Some (Json.Arr segs)
+    when s = index_schema && Float.is_integer seq ->
+      let rec names acc = function
+        | [] -> Some (List.rev acc)
+        | Json.Str n :: rest when Filename.basename n = n -> names (n :: acc) rest
+        | _ -> None
+      in
+      Option.map (fun segs -> (int_of_float seq, segs)) (names [] segs)
+  | _ -> None
+
+let open_dir path =
+  match
+    Store.mkdir_p path;
+    if not (Sys.is_directory path) then Error (path ^ ": not a directory")
+    else begin
+      let t =
+        {
+          dir = path;
+          fd = None;
+          entries = [];
+          max_seq = 0;
+          bytes = 0;
+          corrupt_skipped = 0;
+          appends = 0;
+          append_failed = 0;
+        }
+      in
+      let index_path = Filename.concat path index_file in
+      let next_gen = ref 1 in
+      let segments = ref [] in
+      if Sys.file_exists index_path then begin
+        match Option.bind (Result.to_option (Json.of_file index_path)) parse_index with
+        | Some (gen, segs) ->
+            next_gen := gen;
+            segments := segs
+        | None -> skip t
+      end;
+      let by_seq = Hashtbl.create 64 in
+      let order = ref [] in
+      let live =
+        List.filter
+          (fun seg ->
+            let seg_path = Filename.concat path seg in
+            match Unix.stat seg_path with
+            | exception Unix.Unix_error _ ->
+                skip t;
+                false
+            | st when st.Unix.st_size = 0 ->
+                (* an incarnation that never admitted anything: prune *)
+                (try Sys.remove seg_path with Sys_error _ -> ());
+                false
+            | _ ->
+                t.bytes <- t.bytes + scan_segment t by_seq order seg_path;
+                true)
+          !segments
+      in
+      t.entries <-
+        List.rev_map (fun seq -> Hashtbl.find by_seq seq) !order
+        |> List.sort (fun a b -> compare a.e_seq b.e_seq);
+      t.max_seq <- List.fold_left (fun acc e -> max acc e.e_seq) 0 t.entries;
+      (* Open this incarnation's live segment: create it empty and
+         atomically, publish it in the index (temp + rename), then
+         append records to the open fd.  A crash between the two writes
+         leaves an unreferenced file the next incarnation overwrites —
+         the same window [Cache_store.append] has. *)
+      let seg = segment_name !next_gen in
+      let seg_path = Filename.concat path seg in
+      Store.write_atomic seg_path "";
+      Store.write_atomic index_path
+        (Json.to_string (index_json ~next_gen:(!next_gen + 1) ~segments:(live @ [ seg ])) ^ "\n");
+      t.fd <- Some (Unix.openfile seg_path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644);
+      Registry.set_gauge g_bytes (float_of_int t.bytes);
+      Ok t
+    end
+  with
+  | r -> r
+  | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+  | exception e -> Error (path ^ ": " ^ Printexc.to_string e)
+
+let close t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+      t.fd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* ---------- append ---------- *)
+
+(* A record is durable once the single [Unix.write] returns: the bytes
+   are in the kernel regardless of what the process does next, which is
+   exactly the kill -9 window the chaos soak certifies.  (Media-level
+   durability would need fsync; that trade is documented in the
+   README.) *)
+let append_record t ~key body =
+  match t.fd with
+  | None -> Error "journal is closed"
+  | Some fd -> (
+      match
+        let record = Fault.corrupt append_point (Store.encode_record ~key body) in
+        let len = String.length record in
+        let written = ref 0 in
+        while !written < len do
+          written := !written + Unix.write_substring fd record !written (len - !written)
+        done;
+        t.bytes <- t.bytes + len;
+        t.appends <- t.appends + 1;
+        Obs.incr c_appends;
+        Registry.set_gauge g_bytes (float_of_int t.bytes)
+      with
+      | () -> Ok ()
+      | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+      | exception e ->
+          t.append_failed <- t.append_failed + 1;
+          Obs.incr c_append_failed;
+          Error (Printexc.to_string e))
+
+let admit t ~seq ?idem req =
+  if seq <= t.max_seq then Error (Printf.sprintf "journal sequence %d not monotone" seq)
+  else
+    match append_record t ~key:admit_key (admit_body ~seq ?idem req) with
+    | Error _ as e -> e
+    | Ok () ->
+        t.max_seq <- seq;
+        Ok ()
+
+let outcome t ~seq ~state reply =
+  append_record t ~key:outcome_key (outcome_body ~seq ~state reply)

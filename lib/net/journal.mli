@@ -1,0 +1,97 @@
+(** Write-ahead job journal: every admitted async job and its terminal
+    outcome, durable across [kill -9].
+
+    A journal is a directory of append-only segment files (one per
+    server incarnation) plus the same temp+rename JSON index the cache
+    store uses:
+
+    {v
+    journal-dir/
+      index.json          {"schema": "qcr-journal/v1",
+                           "next_seq": 3,
+                           "segments": ["jrn-000001.qcj", "jrn-000002.qcj"]}
+      jrn-000001.qcj      Cache_store records, appended one per event
+      jrn-000002.qcj
+    v}
+
+    Records reuse {!Qcr_service.Cache_store.encode_record} (magic,
+    lengths, {!Qcr_util.Digest64} over the body) with two keys:
+    key ["a"] is an {e admission} — body
+    [{"seq":N, "idem":KEY?, "request":{...}}] — and key ["o"] is a
+    {e terminal outcome} — body
+    [{"seq":N, "state":"done"|"canceled", "reply":{...}}].  [seq] is the
+    monotone admission sequence; job ["j-N"] on the wire is sequence
+    [N] in the journal.
+
+    {b Durability.}  {!admit} is called before the submit ack leaves the
+    server, and an append is durable once its [write(2)] returns: the
+    record survives any subsequent process death (the kill -9 window the
+    chaos soak certifies).  No fsync is issued, so an OS/power crash can
+    still lose the page cache — the same trade the cache store makes.
+
+    {b Replay.}  {!open_dir} validates every record; a flipped byte, a
+    truncated tail, a bad magic or a malformed body is skipped (counted
+    in {!corrupt_skipped}) and never replayed.  The first undecodable
+    record abandons that segment's tail, because record boundaries
+    cannot be trusted past a corruption.  An outcome without its
+    admission is an orphan and is skipped too.
+
+    {b Fault points.}  [journal.append] probes each record as written (a
+    [corrupt] rule flips a byte that lands on disk and is rejected at
+    the next replay; a [crash] rule fails the append so admission is
+    refused), [journal.replay] probes each record read back.
+
+    {b Metrics.}  [net.journal_appends], [net.journal_append_failed],
+    [net.journal_replayed], [net.journal_skipped] counters and the
+    [net.journal_bytes] registry gauge. *)
+
+type t
+
+type entry = {
+  e_seq : int;  (** admission sequence; wire job id is ["j-<seq>"] *)
+  e_idem : string option;  (** client-supplied idempotency key *)
+  e_request : Qcr_service.Compile_request.t;
+  mutable e_outcome : (string * Qcr_service.Compile_reply.t) option;
+      (** [Some (state, reply)] with [state] ["done"] or ["canceled"]
+          once terminal; [None] for admitted-but-unfinished jobs, which
+          recovery re-enqueues *)
+}
+
+val open_dir : string -> (t, string) result
+(** Open (creating the directory if needed), replay existing segments,
+    and start this incarnation's live segment.  [Error] only on hard I/O
+    failures; corrupt {e content} is skipped and counted instead. *)
+
+val close : t -> unit
+(** Close the live segment fd; further appends fail.  Idempotent. *)
+
+val dir : t -> string
+
+val entries : t -> entry list
+(** Validated entries replayed by {!open_dir}, in sequence order.
+    Appends through this handle are {e not} reflected here. *)
+
+val max_seq : t -> int
+(** Highest sequence replayed or admitted; 0 for a fresh journal.  Job
+    numbering resumes above this. *)
+
+val admit : t -> seq:int -> ?idem:string -> Qcr_service.Compile_request.t -> (unit, string) result
+(** Append an admission record.  Must be called {e before} the submit
+    ack is sent: [Error] (I/O failure, injected [journal.append] crash,
+    or non-monotone [seq]) means the job must be refused, because its
+    durability cannot be promised. *)
+
+val outcome : t -> seq:int -> state:string -> Qcr_service.Compile_reply.t -> (unit, string) result
+(** Append a terminal-outcome record.  A failure here is non-fatal for
+    serving (the in-memory reply still exists); the job merely
+    recomputes — warm via the compile cache — on the next replay. *)
+
+val bytes : t -> int
+(** Validated bytes replayed plus bytes appended — the
+    [net.journal_bytes] gauge. *)
+
+val corrupt_skipped : t -> int
+
+val appends : t -> int
+
+val append_failed : t -> int

@@ -67,7 +67,7 @@ type conn = {
   mutable waits : string list;  (* job ids parked by the wait op *)
 }
 
-let serve ?(config = default_config) ?on_listen ?(stop = fun () -> false) service =
+let serve ?(config = default_config) ?journal ?on_listen ?(stop = fun () -> false) service =
   (* a peer closing mid-write must surface as EPIPE, not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -80,7 +80,7 @@ let serve ?(config = default_config) ?on_listen ?(stop = fun () -> false) servic
     | _ -> config.port
   in
   Option.iter (fun f -> f bound_port) on_listen;
-  let jobs = Jobs.create ~max_queue:config.max_queue ~submit:(Service.submit service) () in
+  let jobs = Jobs.create ~max_queue:config.max_queue ?journal ~submit:(Service.submit service) () in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let session =
     Session.create ~service ~jobs
@@ -90,6 +90,10 @@ let serve ?(config = default_config) ?on_listen ?(stop = fun () -> false) servic
   in
   Registry.register_probe "net.connections" (fun () -> float_of_int (Hashtbl.length conns));
   Registry.register_probe "net.queue_depth" (fun () -> float_of_int (Jobs.queued jobs));
+  Registry.register_probe "net.retained_bytes" (fun () ->
+      float_of_int (Jobs.retained_bytes jobs));
+  Registry.set_gauge (Registry.gauge "net.recovered_jobs")
+    (float_of_int (Jobs.recovered jobs));
   let next_client = ref 0 in
   let close_conn ?(drop = true) conn =
     if Hashtbl.mem conns conn.fd then begin
@@ -237,9 +241,12 @@ let serve ?(config = default_config) ?on_listen ?(stop = fun () -> false) servic
     if config.idle_timeout_s > 0.0 then
       Hashtbl.fold (fun _ c acc -> c :: acc) conns []
       |> List.iter (fun conn ->
-             (* a connection with parked waits or pending output is not idle *)
+             (* a connection with parked waits, pending output, or
+                admitted work (queued/running jobs) is not idle — closing
+                the latter would cancel jobs the server already acked *)
              if
                conn.waits = [] && conn.out = ""
+               && (not (Jobs.client_active jobs conn.client))
                && now -. conn.last_activity > config.idle_timeout_s
              then begin
                Obs.incr c_idle_closed;

@@ -15,7 +15,13 @@
     - per-client fairness: round-robin dequeue across connections;
     - a client disconnect (EOF, reset, or broken write) cancels that
       client's queued jobs;
-    - idle connections are closed after [idle_timeout_s];
+    - idle connections are closed after [idle_timeout_s] — but a
+      connection with parked waits, pending output, or queued/running
+      jobs is never idle-closed (closing it would cancel admitted
+      work);
+    - durability (optional): with [?journal], every admission is
+      journaled before its ack and replayed at startup — see
+      {!Journal} and {!Jobs};
     - oversized lines (beyond [max_line_bytes] without a newline) get an
       error reply and the connection is closed — framing cannot resync;
     - graceful drain: when [stop] turns true (e.g. from a SIGTERM
@@ -49,11 +55,15 @@ val parse_listen : string -> (string * int, string) result
 
 val serve :
   ?config:config ->
+  ?journal:Journal.t ->
   ?on_listen:(int -> unit) ->
   ?stop:(unit -> bool) ->
   Qcr_service.Service.t ->
   unit
 (** Run the accept loop until [stop] returns true.  [on_listen] is
-    called once with the bound port (useful with [port = 0]).  Exports
-    [net.connections] and [net.queue_depth] registry probes plus
-    [net.*] counters and a [net.request_ms] meter while running. *)
+    called once with the bound port (useful with [port = 0]).
+    [?journal] makes the job table durable (the caller keeps ownership
+    of {!Journal.close}).  Exports [net.connections], [net.queue_depth]
+    and [net.retained_bytes] registry probes, the [net.recovered_jobs]
+    gauge, plus [net.*] counters and a [net.request_ms] meter while
+    running. *)

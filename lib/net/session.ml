@@ -37,12 +37,25 @@ let handle_op t ~client op =
   match op with
   | Protocol.Op.Compile req ->
       Reply (Protocol.with_version (Reply.to_json (Service.submit t.service req)))
-  | Protocol.Op.Submit req -> (
-      match Jobs.submit t.jobs ~client req with
-      | Ok id -> Reply (Protocol.ok_reply [ ("job", Json.Str id); ("state", Json.Str "queued") ])
+  | Protocol.Op.Submit (req, idem) -> (
+      match Jobs.submit t.jobs ~client ?idem req with
+      | Ok (Jobs.Admitted id) ->
+          Reply (Protocol.ok_reply [ ("job", Json.Str id); ("state", Json.Str "queued") ])
+      | Ok (Jobs.Deduped id) ->
+          (* the idempotency key matched an existing job: answer with
+             that job's id and current state, flagged so the client can
+             tell a dedupe from a fresh admission *)
+          let state =
+            match Jobs.find t.jobs id with
+            | Some st -> Jobs.state_name st
+            | None -> "queued" (* unreachable: dedupe checks liveness *)
+          in
+          Reply
+            (Protocol.ok_reply
+               [ ("job", Json.Str id); ("state", Json.Str state); ("dedup", Json.Bool true) ])
       | Error reply ->
-          (* the typed Overloaded refusal — same envelope as any failed
-             compile reply *)
+          (* the typed Overloaded / journal-failure refusal — same
+             envelope as any failed compile reply *)
           Reply (Protocol.with_version (Reply.to_json reply)))
   | Protocol.Op.Poll id -> (
       match Jobs.find t.jobs id with
@@ -65,6 +78,10 @@ let handle_op t ~client op =
           Reply
             (Protocol.job_error_reply ~kind:"not_finished" ~job:id
                ~message:(Printf.sprintf "job %s is still %s" id (Jobs.state_name st))))
+  | Protocol.Op.Jobs ->
+      Reply
+        (Protocol.ok_reply
+           [ ("jobs", Jobs.list_json t.jobs); ("counts", Jobs.stats_json t.jobs) ])
   | Protocol.Op.Health ->
       Reply
         (Protocol.ok_reply

@@ -92,3 +92,19 @@ val encode_record : key:string -> string -> string
 val decode_record : string -> pos:int -> (string * string * int, string) result
 (** [Ok (key, body, next_pos)], or [Error reason] on truncation, bad
     magic, or digest mismatch. *)
+
+(** {1 Filesystem discipline}
+
+    The crash-safety primitives behind the store, exposed so other
+    durable surfaces (the {!Qcr_net} job journal) keep the exact same
+    on-disk discipline instead of reinventing it. *)
+
+val mkdir_p : string -> unit
+
+val read_file : string -> string
+(** Whole file as bytes.  @raise Sys_error / [Unix.Unix_error] on I/O
+    failure. *)
+
+val write_atomic : string -> string -> unit
+(** Write-to-temp + rename: the destination either keeps its old content
+    or atomically becomes the new content, never a partial write. *)

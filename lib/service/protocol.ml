@@ -5,11 +5,12 @@ let version = 2
 module Op = struct
   type t =
     | Compile of Compile_request.t
-    | Submit of Compile_request.t
+    | Submit of Compile_request.t * string option
     | Poll of string
     | Wait of string
     | Cancel of string
     | Result of string
+    | Jobs
     | Health
     | Stats
     | Metrics
@@ -22,6 +23,7 @@ module Op = struct
     | Wait _ -> "wait"
     | Cancel _ -> "cancel"
     | Result _ -> "result"
+    | Jobs -> "jobs"
     | Health -> "health"
     | Stats -> "stats"
     | Metrics -> "metrics"
@@ -29,10 +31,11 @@ module Op = struct
 
   let equal a b =
     match (a, b) with
-    | Compile ra, Compile rb | Submit ra, Submit rb -> ra = rb
+    | Compile ra, Compile rb -> ra = rb
+    | Submit (ra, ia), Submit (rb, ib) -> ra = rb && Option.equal String.equal ia ib
     | Poll a, Poll b | Wait a, Wait b | Cancel a, Cancel b | Result a, Result b ->
         String.equal a b
-    | Health, Health | Stats, Stats | Metrics, Metrics | Flush, Flush -> true
+    | Jobs, Jobs | Health, Health | Stats, Stats | Metrics, Metrics | Flush, Flush -> true
     | _ -> false
 end
 
@@ -90,7 +93,14 @@ let decode_json j =
               Ok (Op.Compile r)
           | "submit" ->
               let* r = request () in
-              Ok (Op.Submit r)
+              let* idem =
+                match Json.member "idem" j with
+                | None -> Ok None
+                | Some (Json.Str k) when k <> "" -> Ok (Some k)
+                | Some _ ->
+                    Error (Malformed "field \"idem\" must be a non-empty string")
+              in
+              Ok (Op.Submit (r, idem))
           | "poll" ->
               let* id = job () in
               Ok (Op.Poll id)
@@ -103,6 +113,7 @@ let decode_json j =
           | "result" ->
               let* id = job () in
               Ok (Op.Result id)
+          | "jobs" -> Ok Op.Jobs
           | "health" -> Ok Op.Health
           | "stats" -> Ok Op.Stats
           | "metrics" -> Ok Op.Metrics
@@ -121,9 +132,13 @@ let v_field = ("v", Json.Num (float_of_int version))
 let encode op =
   let tag extra = Json.Obj (v_field :: ("op", Json.Str (Op.name op)) :: extra) in
   match op with
-  | Op.Compile r | Op.Submit r -> tag [ ("request", Compile_request.to_json r) ]
+  | Op.Compile r -> tag [ ("request", Compile_request.to_json r) ]
+  | Op.Submit (r, idem) ->
+      tag
+        (("request", Compile_request.to_json r)
+        :: (match idem with None -> [] | Some k -> [ ("idem", Json.Str k) ]))
   | Op.Poll id | Op.Wait id | Op.Cancel id | Op.Result id -> tag [ ("job", Json.Str id) ]
-  | Op.Health | Op.Stats | Op.Metrics | Op.Flush -> tag []
+  | Op.Jobs | Op.Health | Op.Stats | Op.Metrics | Op.Flush -> tag []
 
 let with_version = function
   | Json.Obj fields when not (List.mem_assoc "v" fields) -> Json.Obj (v_field :: fields)

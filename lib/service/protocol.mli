@@ -9,13 +9,19 @@
 
     {v
       {"v":2, "op":"compile", "request":{...Compile_request...}}
-      {"v":2, "op":"submit",  "request":{...Compile_request...}}
+      {"v":2, "op":"submit",  "request":{...}, "idem":"KEY"?}
       {"v":2, "op":"poll",    "job":"j-1"}
       {"v":2, "op":"wait",    "job":"j-1"}
       {"v":2, "op":"cancel",  "job":"j-1"}
       {"v":2, "op":"result",  "job":"j-1"}
-      {"v":2, "op":"health" | "stats" | "metrics" | "flush"}
+      {"v":2, "op":"jobs" | "health" | "stats" | "metrics" | "flush"}
     v}
+
+    ["idem"] is an optional client-chosen idempotency key: resubmitting
+    with the same key dedupes to the original job instead of admitting a
+    duplicate (the reconnect-and-resubmit retry contract).  ["jobs"]
+    lists every live job — the durability introspection op.  Both are
+    additive, so the version stays 2.
 
     v1 compatibility: a bare request object (no ["op"]) decodes as
     [Compile], and [{"op":"health"}] and friends without ["v"] are
@@ -28,11 +34,14 @@
 module Op : sig
   type t =
     | Compile of Compile_request.t  (** synchronous: reply when compiled *)
-    | Submit of Compile_request.t  (** async: immediate [{"job": id}] reply *)
+    | Submit of Compile_request.t * string option
+        (** async: immediate [{"job": id}] reply; the optional
+            idempotency key dedupes resubmits *)
     | Poll of string  (** job status without blocking *)
     | Wait of string  (** reply deferred until the job is terminal *)
     | Cancel of string  (** cancel a queued job (running/done: no-op) *)
     | Result of string  (** fetch and evict a terminal job's reply *)
+    | Jobs  (** list live jobs (queued, running, retained terminal) *)
     | Health
     | Stats
     | Metrics

@@ -46,9 +46,10 @@ let normalize j =
   | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> "v" && k <> "cached") fields)
   | other -> other
 
-let submit_ok jobs ~client r =
-  match Jobs.submit jobs ~client r with
-  | Ok id -> id
+let submit_ok jobs ~client ?idem r =
+  match Jobs.submit jobs ~client ?idem r with
+  | Ok (Jobs.Admitted id) -> id
+  | Ok (Jobs.Deduped id) -> Alcotest.fail ("unexpected dedupe to " ^ id)
   | Error _ -> Alcotest.fail "unexpected admission refusal"
 
 (* ---------- Jobs: the transport-independent job table ---------- *)
@@ -170,14 +171,16 @@ let op_gen =
     oneofl [ "q1"; "q2"; "" ] >>= fun id ->
     let r = req gamma ~mode ~id in
     oneofl [ "j-1"; "j-42"; "stale" ] >>= fun job ->
+    oneofl [ None; Some "retry-1"; Some "idem/with specials:=,"; Some "k" ] >>= fun idem ->
     oneofl
       [
         Protocol.Op.Compile r;
-        Protocol.Op.Submit r;
+        Protocol.Op.Submit (r, idem);
         Protocol.Op.Poll job;
         Protocol.Op.Wait job;
         Protocol.Op.Cancel job;
         Protocol.Op.Result job;
+        Protocol.Op.Jobs;
         Protocol.Op.Health;
         Protocol.Op.Stats;
         Protocol.Op.Metrics;
@@ -239,6 +242,329 @@ let test_protocol_reply_stamping () =
   Alcotest.(check bool) "with_version idempotent" true
     (Json.equal (Protocol.with_version (Protocol.ok_reply [])) (Protocol.ok_reply []))
 
+let test_protocol_idem_and_jobs () =
+  let r = req 0.91 ~id:"idem" in
+  let rj = Json.to_string (Request.to_json r) in
+  (match Protocol.decode (Json.to_string (Protocol.encode (Protocol.Op.Submit (r, Some "retry-9")))) with
+  | Ok (Protocol.Op.Submit (r', Some k)) ->
+      Alcotest.(check bool) "request round-trips next to idem" true (r' = r);
+      Alcotest.(check string) "idem round-trips" "retry-9" k
+  | _ -> Alcotest.fail "submit with idem must decode");
+  (* the idem field is additive: v1 (unversioned) lines carry it too *)
+  (match Protocol.decode (Printf.sprintf {|{"op":"submit","request":%s,"idem":"k1"}|} rj) with
+  | Ok (Protocol.Op.Submit (_, Some "k1")) -> ()
+  | _ -> Alcotest.fail "unversioned submit with idem must decode");
+  (match Protocol.decode (Printf.sprintf {|{"v":2,"op":"submit","request":%s}|} rj) with
+  | Ok (Protocol.Op.Submit (_, None)) -> ()
+  | _ -> Alcotest.fail "submit without idem must decode to None");
+  let kind line =
+    match Protocol.decode line with
+    | Error e -> Protocol.wire_error_kind e
+    | Ok _ -> "ok"
+  in
+  Alcotest.(check string) "numeric idem" "malformed"
+    (kind (Printf.sprintf {|{"v":2,"op":"submit","request":%s,"idem":7}|} rj));
+  Alcotest.(check string) "empty idem" "malformed"
+    (kind (Printf.sprintf {|{"v":2,"op":"submit","request":%s,"idem":""}|} rj));
+  (* the jobs introspection op, in both wire versions *)
+  (match Protocol.decode {|{"op":"jobs"}|} with
+  | Ok Protocol.Op.Jobs -> ()
+  | _ -> Alcotest.fail "unversioned jobs op must decode");
+  (match Protocol.decode {|{"v":2,"op":"jobs"}|} with
+  | Ok Protocol.Op.Jobs -> ()
+  | _ -> Alcotest.fail "v2 jobs op must decode");
+  match Protocol.decode (Json.to_string (Protocol.encode Protocol.Op.Jobs)) with
+  | Ok Protocol.Op.Jobs -> ()
+  | _ -> Alcotest.fail "jobs op must round-trip"
+
+(* ---------- Journal: durable admissions, recovery, idempotency ---------- *)
+
+module Journal = Qcr_net.Journal
+module Fault = Qcr_fault.Fault
+
+let dir_counter = ref 0
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let with_dir f =
+  incr dir_counter;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qcr-test-journal-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  rm_rf dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disarm ();
+      rm_rf dir)
+    (fun () -> f dir)
+
+let open_journal dir =
+  match Journal.open_dir dir with Ok j -> j | Error e -> Alcotest.fail ("Journal.open_dir: " ^ e)
+
+(* A synthetic terminal reply — journal round-trips need content, not a
+   real compile. *)
+let fake_reply (r : Request.t) =
+  {
+    Reply.id = r.Request.id;
+    key = "";
+    requested_mode = r.Request.mode;
+    outcome = Reply.Failed (Pipeline.Invalid_request "synthetic");
+    cached = false;
+    compile_ms = 0.0;
+    trace = None;
+  }
+
+(* What one journal case writes: per job, an optional idempotency key
+   and an optional terminal outcome; then the segment is optionally
+   truncated or bit-flipped before replay. *)
+type journal_mutation = Keep | Truncate of float | Flip of float
+
+let journal_case_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 6)
+      (triple (float_range 0.0 1.0)
+         (oneofl [ None; Some "k1"; Some "retry-x" ])
+         (oneofl [ None; Some "done"; Some "canceled" ]))
+    >>= fun jobs ->
+    oneof
+      [
+        return Keep;
+        map (fun f -> Truncate f) (float_range 0.0 1.0);
+        map (fun f -> Flip f) (float_range 0.0 1.0);
+      ]
+    >>= fun mutation -> return (jobs, mutation))
+
+let journal_case_print (jobs, mutation) =
+  Printf.sprintf "%d jobs, %s" (List.length jobs)
+    (match mutation with
+    | Keep -> "kept intact"
+    | Truncate f -> Printf.sprintf "truncated at %.2f" f
+    | Flip f -> Printf.sprintf "bit-flipped at %.2f" f)
+
+(* Replay returns exactly what was durably and validly written: with no
+   mutation, everything; with a truncated or flipped segment, a subset —
+   and never a record that differs from what was written. *)
+let prop_journal_roundtrip =
+  QCheck.Test.make ~name:"Journal replay = valid written records, corruption never replayed"
+    ~count:40
+    (QCheck.make journal_case_gen ~print:journal_case_print)
+    (fun (jobs, mutation) ->
+      with_dir @@ fun dir ->
+      let written =
+        List.mapi
+          (fun i (gamma, idem, outcome) ->
+            let r = req gamma ~id:(Printf.sprintf "r%d" i) in
+            (i + 1, idem, r, Option.map (fun st -> (st, fake_reply r)) outcome))
+          jobs
+      in
+      let jl = open_journal dir in
+      List.iter
+        (fun (seq, idem, r, outcome) ->
+          (match Journal.admit jl ~seq ?idem r with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail ("admit: " ^ e));
+          Option.iter
+            (fun (state, reply) ->
+              match Journal.outcome jl ~seq ~state reply with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail ("outcome: " ^ e))
+            outcome)
+        written;
+      Journal.close jl;
+      let seg = Filename.concat dir "jrn-000001.qcj" in
+      let bytes =
+        let ic = open_in_bin seg in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let mutated =
+        let at frac = min (String.length bytes - 1) (int_of_float (frac *. float_of_int (String.length bytes))) in
+        match mutation with
+        | Keep -> bytes
+        | Truncate frac -> String.sub bytes 0 (at frac)
+        | Flip frac ->
+            let b = Bytes.of_string bytes in
+            let i = at frac in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+            Bytes.to_string b
+      in
+      let oc = open_out_bin seg in
+      output_string oc mutated;
+      close_out oc;
+      let jl2 = open_journal dir in
+      let replayed = Journal.entries jl2 in
+      Journal.close jl2;
+      let matches_written (e : Journal.entry) =
+        match List.find_opt (fun (seq, _, _, _) -> seq = e.Journal.e_seq) written with
+        | None -> false
+        | Some (_, idem, r, outcome) ->
+            e.Journal.e_idem = idem
+            && e.Journal.e_request = r
+            && (match (e.Journal.e_outcome, outcome) with
+               | None, _ -> true (* a lost outcome re-enqueues: safe *)
+               | Some _, None -> false (* an invented outcome: never *)
+               | Some (st, reply), Some (st', reply') ->
+                   st = st'
+                   && Json.to_string (Reply.to_json reply) = Json.to_string (Reply.to_json reply'))
+      in
+      List.for_all matches_written replayed
+      && (mutation <> Keep
+         || List.length replayed = List.length written
+            && List.for_all
+                 (fun (e : Journal.entry) ->
+                   Option.is_some e.Journal.e_outcome
+                   = List.exists
+                       (fun (seq, _, _, o) -> seq = e.Journal.e_seq && Option.is_some o)
+                       written)
+                 replayed))
+
+let test_jobs_idem_dedupe () =
+  let s = Service.create () in
+  let jobs = Jobs.create ~submit:(Service.submit s) () in
+  let id = submit_ok jobs ~client:1 ~idem:"k1" (req 0.92) in
+  (match Jobs.submit jobs ~client:2 ~idem:"k1" (req 0.92) with
+  | Ok (Jobs.Deduped id') -> Alcotest.(check string) "dedupes to the original job" id id'
+  | _ -> Alcotest.fail "resubmit with the same key must dedupe");
+  Alcotest.(check int) "the dedupe admitted nothing" 1 (Jobs.queued jobs);
+  ignore (Jobs.run_next jobs);
+  (* still dedupes after completion, to the terminal job *)
+  (match Jobs.submit jobs ~client:1 ~idem:"k1" (req 0.92) with
+  | Ok (Jobs.Deduped id') -> (
+      match Jobs.find jobs id' with
+      | Some (Jobs.Done _) -> ()
+      | _ -> Alcotest.fail "dedupe must land on the terminal job")
+  | _ -> Alcotest.fail "a done job's key must still dedupe");
+  let id2 = submit_ok jobs ~client:1 ~idem:"k2" (req 0.93) in
+  Alcotest.(check bool) "a fresh key admits a fresh job" true (id2 <> id);
+  (* a key whose job fell out of retention readmits instead of failing *)
+  ignore (Jobs.take jobs id);
+  (match Jobs.submit jobs ~client:1 ~idem:"k1" (req 0.92) with
+  | Ok (Jobs.Admitted id3) -> Alcotest.(check bool) "evicted key readmits" true (id3 <> id)
+  | _ -> Alcotest.fail "an evicted key must admit afresh");
+  Alcotest.(check (float 1e-9)) "dedupes counted" 2.0 (num_field (Jobs.stats_json jobs) "deduped")
+
+let test_jobs_retain_bytes () =
+  let s = Service.create () in
+  (* measure one terminal reply's serialized weight first *)
+  let probe = Jobs.create ~submit:(Service.submit s) () in
+  ignore (submit_ok probe ~client:1 (req 0.95));
+  ignore (Jobs.run_next probe);
+  let w = Jobs.retained_bytes probe in
+  Alcotest.(check bool) "a terminal reply has weight" true (w > 0);
+  (* byte bound of ~2.5 replies, count bound far away: bytes must evict *)
+  let jobs =
+    Jobs.create ~retain_done:100 ~retain_bytes:((5 * w) / 2) ~submit:(Service.submit s) ()
+  in
+  let ids =
+    List.init 4 (fun k -> submit_ok jobs ~client:1 (req (0.95 +. (0.001 *. float_of_int k))))
+  in
+  List.iter (fun _ -> ignore (Jobs.run_next jobs)) ids;
+  let retained id = Jobs.find jobs id <> None in
+  (match ids with
+  | [ a; b; c; d ] ->
+      Alcotest.(check bool) "oldest evicted by the byte bound" false (retained a);
+      Alcotest.(check bool) "second-oldest evicted by the byte bound" false (retained b);
+      Alcotest.(check bool) "newest two fit the budget" true (retained c && retained d)
+  | _ -> Alcotest.fail "expected four jobs");
+  Alcotest.(check bool) "gauge within the bound" true
+    (Jobs.retained_bytes jobs <= (5 * w) / 2);
+  Alcotest.(check (float 1e-9)) "stats export the gauge"
+    (float_of_int (Jobs.retained_bytes jobs))
+    (num_field (Jobs.stats_json jobs) "retained_bytes")
+
+let test_journal_recovery () =
+  with_dir @@ fun dir ->
+  let s = Service.create () in
+  let j1 = open_journal dir in
+  let jobs1 = Jobs.create ~journal:j1 ~submit:(Service.submit s) () in
+  let a = submit_ok jobs1 ~client:1 ~idem:"ka" (req 0.96 ~id:"ra") in
+  let b = submit_ok jobs1 ~client:1 (req 0.97 ~id:"rb") in
+  let c = submit_ok jobs1 ~client:1 ~idem:"kc" (req 0.98 ~id:"rc") in
+  let d = submit_ok jobs1 ~client:2 (req 0.99 ~id:"rd") in
+  (* cancel while queued, then drain two: round-robin runs a then b *)
+  ignore (Jobs.cancel jobs1 d);
+  ignore (Jobs.run_next jobs1);
+  ignore (Jobs.run_next jobs1);
+  let reply_of jobs id =
+    match Jobs.find jobs id with
+    | Some (Jobs.Done r) | Some (Jobs.Canceled r) -> Json.to_string (Reply.to_json r)
+    | _ -> Alcotest.fail ("job not terminal: " ^ id)
+  in
+  let done_a = reply_of jobs1 a and done_b = reply_of jobs1 b in
+  (* kill -9 at the OCaml level: abandon both handles without any
+     close/flush — appends were single write(2)s, so they are durable *)
+  let j2 = open_journal dir in
+  Alcotest.(check int) "clean journal replays with no skips" 0 (Journal.corrupt_skipped j2);
+  let s2 = Service.create () in
+  let jobs2 = Jobs.create ~journal:j2 ~submit:(Service.submit s2) () in
+  Alcotest.(check int) "exactly the unfinished job recovered" 1 (Jobs.recovered jobs2);
+  Alcotest.(check string) "done job restored bit-identically" done_a (reply_of jobs2 a);
+  Alcotest.(check string) "second done job restored bit-identically" done_b (reply_of jobs2 b);
+  (match Jobs.find jobs2 d with
+  | Some (Jobs.Canceled _) -> ()
+  | _ -> Alcotest.fail "canceled outcome must be restored as canceled");
+  (match Jobs.find jobs2 c with
+  | Some Jobs.Queued -> ()
+  | _ -> Alcotest.fail "admitted-but-unfinished job must be re-enqueued");
+  (match Jobs.run_next jobs2 with
+  | Some (id, client, reply) ->
+      Alcotest.(check string) "recovered job recomputes under the recovery client" c id;
+      Alcotest.(check int) "recovered jobs belong to client 0" 0 client;
+      Alcotest.(check string) "recomputed reply carries the request id" "rc" reply.Reply.id
+  | None -> Alcotest.fail "the recovered job must run");
+  (* numbering resumes above every replayed sequence *)
+  Alcotest.(check string) "numbering resumes after replay" "j-5"
+    (submit_ok jobs2 ~client:1 (req 0.995));
+  (* idempotency keys survive the restart *)
+  (match Jobs.submit jobs2 ~client:5 ~idem:"ka" (req 0.96 ~id:"ra") with
+  | Ok (Jobs.Deduped id) -> Alcotest.(check string) "done key dedupes across restart" a id
+  | _ -> Alcotest.fail "a restored done job's key must dedupe");
+  (match Jobs.submit jobs2 ~client:5 ~idem:"kc" (req 0.98 ~id:"rc") with
+  | Ok (Jobs.Deduped id) -> Alcotest.(check string) "recovered key dedupes across restart" c id
+  | _ -> Alcotest.fail "a recovered job's key must dedupe");
+  Journal.close j2
+
+let test_journal_append_fault_refuses () =
+  with_dir @@ fun dir ->
+  let s = Service.create () in
+  let j = open_journal dir in
+  let jobs = Jobs.create ~journal:j ~submit:(Service.submit s) () in
+  (match Fault.spec_of_string "seed=7,journal.append:crash:nth=2" with
+  | Ok spec -> Fault.arm spec
+  | Error e -> Alcotest.fail ("fault spec: " ^ e));
+  let a = submit_ok jobs ~client:1 (req 0.961) in
+  (* the second admission hits the injected crash: the job must be
+     refused with a typed error, not acked without durability *)
+  (match Jobs.submit jobs ~client:1 (req 0.962 ~id:"lost") with
+  | Error r -> (
+      Alcotest.(check string) "request id echoed" "lost" r.Reply.id;
+      match r.Reply.outcome with
+      | Reply.Failed (Pipeline.Internal msg) ->
+          Alcotest.(check bool) "journal failure named" true
+            (String.length msg >= 7 && String.sub msg 0 7 = "journal")
+      | _ -> Alcotest.fail "expected a typed Internal failure")
+  | Ok _ -> Alcotest.fail "an unjournaled admission must be refused");
+  Fault.disarm ();
+  (* the refused admission left no ghost: numbering continues densely *)
+  let b = submit_ok jobs ~client:1 (req 0.963) in
+  Alcotest.(check string) "refused admission reserved no id" "j-2" b;
+  ignore (Jobs.run_next jobs);
+  ignore (Jobs.run_next jobs);
+  Journal.close j;
+  let j2 = open_journal dir in
+  let seqs = List.map (fun (e : Journal.entry) -> e.Journal.e_seq) (Journal.entries j2) in
+  Alcotest.(check (list int)) "journal holds exactly the admitted jobs" [ 1; 2 ] seqs;
+  Journal.close j2;
+  ignore a
+
 (* ---------- Loopback TCP integration ---------- *)
 
 (* The server event loop owns the service; it runs in its own domain and
@@ -295,7 +621,7 @@ let test_tcp_compile_matches_direct () =
 let test_tcp_job_lifecycle () =
   with_server (fun _ port ->
       with_client port (fun c ->
-          let sub = ok_or_fail (Client.request c (Protocol.encode (Protocol.Op.Submit (req 0.63)))) in
+          let sub = ok_or_fail (Client.request c (Protocol.encode (Protocol.Op.Submit (req 0.63, None)))) in
           check_stamped sub;
           let id = str_field sub "job" in
           Alcotest.(check string) "admitted as queued" "queued" (str_field sub "state");
@@ -328,8 +654,8 @@ let test_tcp_cancel_before_run () =
       with_client port (fun c ->
           let lines =
             [
-              Json.to_string (Protocol.encode (Protocol.Op.Submit (req 0.64 ~id:"keep")));
-              Json.to_string (Protocol.encode (Protocol.Op.Submit (req 0.65 ~id:"kill")));
+              Json.to_string (Protocol.encode (Protocol.Op.Submit (req 0.64 ~id:"keep", None)));
+              Json.to_string (Protocol.encode (Protocol.Op.Submit (req 0.65 ~id:"kill", None)));
               Json.to_string (Protocol.encode (Protocol.Op.Cancel "j-2"));
             ]
           in
@@ -358,7 +684,7 @@ let test_tcp_overload_sheds () =
             List.init 4 (fun k ->
                 Json.to_string
                   (Protocol.encode
-                     (Protocol.Op.Submit (req (0.66 +. (0.01 *. float_of_int k))))))
+                     (Protocol.Op.Submit (req (0.66 +. (0.01 *. float_of_int k)), None))))
           in
           (* one write: all four admissions happen before any job runs *)
           Client.send_line c (String.concat "\n" lines);
@@ -402,7 +728,7 @@ let test_tcp_concurrent_clients_bit_identical () =
               let lines =
                 List.init per_client (fun k ->
                     Json.to_string
-                      (Protocol.encode (Protocol.Op.Submit (req (gamma i k) ~id:(rid i k)))))
+                      (Protocol.encode (Protocol.Op.Submit (req (gamma i k) ~id:(rid i k), None))))
               in
               Client.send_line c (String.concat "\n" lines))
             clients;
@@ -441,7 +767,7 @@ let test_tcp_disconnect_cancels () =
       let lines =
         List.init 3 (fun k ->
             Json.to_string
-              (Protocol.encode (Protocol.Op.Submit (req (0.71 +. (0.01 *. float_of_int k))))))
+              (Protocol.encode (Protocol.Op.Submit (req (0.71 +. (0.01 *. float_of_int k)), None))))
       in
       Client.send_line c (String.concat "\n" lines);
       (* vanish without reading a single reply: the server must cancel
@@ -532,7 +858,7 @@ let test_tcp_graceful_drain () =
   let c = Client.connect ~port:(Atomic.get port) () in
   let lines =
     List.init 3 (fun k ->
-        Json.to_string (Protocol.encode (Protocol.Op.Submit (req (0.81 +. (0.01 *. float_of_int k))))))
+        Json.to_string (Protocol.encode (Protocol.Op.Submit (req (0.81 +. (0.01 *. float_of_int k)), None))))
     @ [ Json.to_string (Protocol.encode (Protocol.Op.Wait "j-3")) ]
   in
   Client.send_line c (String.concat "\n" lines);
@@ -555,6 +881,201 @@ let test_tcp_graceful_drain () =
   Alcotest.(check int) "all admitted jobs compiled during drain" 3
     (Service.stats service).Service.requests
 
+(* Regression: a client whose jobs are still queued or running must not
+   be idle-closed (the close would cancel its queue).  The timeout is
+   far shorter than the burst's drain time, so without the exemption the
+   sweep fires mid-drain and cancels admitted work.  Progress is watched
+   through short-lived polling connections that cannot themselves go
+   idle. *)
+let test_tcp_idle_exemption () =
+  let n = 60 in
+  with_server ~idle_timeout_s:0.02 (fun _ port ->
+      with_client port (fun c ->
+          let lines =
+            List.init n (fun k ->
+                Json.to_string
+                  (Protocol.encode
+                     (Protocol.Op.Submit (req (0.3 +. (0.001 *. float_of_int k)), None))))
+          in
+          Client.send_line c (String.concat "\n" lines);
+          List.iter
+            (fun _ ->
+              let j = ok_or_fail (Client.recv c) in
+              Alcotest.(check string) "admitted" "queued" (str_field j "state"))
+            (List.init n Fun.id);
+          (* now go silent and let the drain outlive the idle timeout *)
+          let deadline = Unix.gettimeofday () +. 20.0 in
+          let rec settle () =
+            let jstats =
+              with_client port (fun c2 ->
+                  let stats = ok_or_fail (Client.request c2 (Protocol.encode Protocol.Op.Stats)) in
+                  match Json.member "jobs" stats with
+                  | Some j -> j
+                  | None -> Alcotest.fail "stats reply must carry the jobs block")
+            in
+            let completed = num_field jstats "completed" and canceled = num_field jstats "canceled" in
+            if completed +. canceled >= float_of_int n then (completed, canceled)
+            else if Unix.gettimeofday () > deadline then Alcotest.fail "burst never settled"
+            else begin
+              Unix.sleepf 0.005;
+              settle ()
+            end
+          in
+          let completed, canceled = settle () in
+          Alcotest.(check (float 1e-9))
+            "no job of the silent-but-busy client was canceled by the idle sweep" 0.0 canceled;
+          Alcotest.(check (float 1e-9)) "every admitted job compiled" (float_of_int n) completed))
+
+let test_tcp_jobs_op_and_dedup () =
+  with_server (fun _ port ->
+      with_client port (fun c ->
+          let sub =
+            ok_or_fail
+              (Client.request c
+                 (Protocol.encode (Protocol.Op.Submit (req 0.85 ~id:"idem-int", Some "net-k1"))))
+          in
+          let id = str_field sub "job" in
+          let w = ok_or_fail (Client.request c (Protocol.encode (Protocol.Op.Wait id))) in
+          Alcotest.(check string) "job done" "done" (str_field w "state");
+          (* resubmit under the same key: same job, flagged, terminal *)
+          let again =
+            ok_or_fail
+              (Client.request c
+                 (Protocol.encode (Protocol.Op.Submit (req 0.85 ~id:"idem-int", Some "net-k1"))))
+          in
+          check_stamped again;
+          Alcotest.(check string) "dedupes to the original job" id (str_field again "job");
+          Alcotest.(check string) "reports the terminal state" "done" (str_field again "state");
+          (match Json.member "dedup" again with
+          | Some (Json.Bool true) -> ()
+          | _ -> Alcotest.fail "dedupe replies carry the dedup flag");
+          (* jobs introspection lists the job with its key *)
+          let jl = ok_or_fail (Client.request c (Protocol.encode Protocol.Op.Jobs)) in
+          check_stamped jl;
+          (match Json.member "jobs" jl with
+          | Some (Json.Arr l) ->
+              let found =
+                List.exists
+                  (fun e ->
+                    str_field e "job" = id
+                    && str_field e "state" = "done"
+                    && Json.member "idem" e = Some (Json.Str "net-k1"))
+                  l
+              in
+              Alcotest.(check bool) "jobs op lists the job with state and key" true found
+          | _ -> Alcotest.fail "jobs reply must carry the jobs array");
+          match Json.member "counts" jl with
+          | Some counts ->
+              Alcotest.(check (float 1e-9)) "dedupe counted" 1.0 (num_field counts "deduped")
+          | None -> Alcotest.fail "jobs reply must carry the counts block"))
+
+let test_client_submit_idempotent () =
+  with_server (fun _ port ->
+      let r = req 0.87 ~id:"retry" in
+      let fin1 =
+        match Client.submit_idempotent ~port ~idem:"cli-k" r with
+        | Ok j -> j
+        | Error e -> Alcotest.fail ("submit_idempotent: " ^ e)
+      in
+      Alcotest.(check string) "terminal state" "done" (str_field fin1 "state");
+      let fin2 =
+        match Client.submit_idempotent ~port ~idem:"cli-k" r with
+        | Ok j -> j
+        | Error e -> Alcotest.fail ("resubmit: " ^ e)
+      in
+      Alcotest.(check string) "the retry lands on the same job" (str_field fin1 "job")
+        (str_field fin2 "job");
+      (* a dead port exhausts its attempts as a typed error *)
+      match Client.submit_idempotent ~port:1 ~attempts:2 ~timeout_s:0.2 ~idem:"k" r with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "a dead port cannot succeed")
+
+(* One journaled server incarnation; the caller owns the directory so a
+   later incarnation can replay it. *)
+let with_journal_server ~dir f =
+  let service = Service.create () in
+  let journal = open_journal dir in
+  let port = Atomic.make 0 in
+  let stopping = Atomic.make false in
+  let config = { Server.default_config with port = 0; tick_s = 0.002 } in
+  let dom =
+    Domain.spawn (fun () ->
+        Server.serve ~config ~journal
+          ~on_listen:(fun p -> Atomic.set port p)
+          ~stop:(fun () -> Atomic.get stopping)
+          service)
+  in
+  let stop () =
+    Atomic.set stopping true;
+    Domain.join dom;
+    Journal.close journal
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  if Atomic.get port = 0 then begin
+    stop ();
+    Alcotest.fail "journaled server never started listening"
+  end;
+  Fun.protect ~finally:stop (fun () -> f service (Atomic.get port))
+
+(* Two server incarnations over one journal directory: the second must
+   restore finished jobs bit-identically from the journal (its service
+   never compiled them), recompute an admission whose outcome was never
+   written, and dedupe idempotent resubmits to the original job ids. *)
+let test_tcp_journal_restart () =
+  with_dir @@ fun dir ->
+  let expect = ref "" in
+  with_journal_server ~dir (fun _ port ->
+      with_client port (fun c ->
+          let sub =
+            ok_or_fail
+              (Client.request c
+                 (Protocol.encode (Protocol.Op.Submit (req 0.41 ~id:"ra", Some "ka"))))
+          in
+          Alcotest.(check string) "first incarnation admits j-1" "j-1" (str_field sub "job");
+          let w = ok_or_fail (Client.request c (Protocol.encode (Protocol.Op.Wait "j-1"))) in
+          Alcotest.(check string) "done before the restart" "done" (str_field w "state");
+          match Json.member "reply" w with
+          | Some r -> expect := Json.to_string (normalize r)
+          | None -> Alcotest.fail "terminal wait embeds the reply"));
+  (* model a crash after an admission but before its outcome: append the
+     admit record directly, as a server killed mid-job would have left it *)
+  let j = open_journal dir in
+  let seq_b = Journal.max_seq j + 1 in
+  (match Journal.admit j ~seq:seq_b ~idem:"kb" (req 0.42 ~id:"rb") with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("admit: " ^ e));
+  Journal.close j;
+  with_journal_server ~dir (fun _ port ->
+      with_client port (fun c ->
+          (* pre-crash keys dedupe across the restart *)
+          let again =
+            ok_or_fail
+              (Client.request c
+                 (Protocol.encode (Protocol.Op.Submit (req 0.41 ~id:"ra", Some "ka"))))
+          in
+          Alcotest.(check string) "idempotent resubmit lands on the original job" "j-1"
+            (str_field again "job");
+          Alcotest.(check string) "restored as done" "done" (str_field again "state");
+          (* the orphaned admission recomputes to terminal *)
+          let idb = Printf.sprintf "j-%d" seq_b in
+          let w = ok_or_fail (Client.request c (Protocol.encode (Protocol.Op.Wait idb))) in
+          Alcotest.(check string) "recovered job recomputed" "done" (str_field w "state");
+          (match Json.member "reply" w with
+          | Some r ->
+              Alcotest.(check string) "request id survived the crash" "rb" (str_field r "id")
+          | None -> Alcotest.fail "terminal wait embeds the reply");
+          (* and the finished job's reply is the journaled bytes *)
+          let res = ok_or_fail (Client.request c (Protocol.encode (Protocol.Op.Result "j-1"))) in
+          match Json.member "reply" res with
+          | Some r ->
+              Alcotest.(check string) "restored reply bit-identical to the pre-crash reply"
+                !expect
+                (Json.to_string (normalize r))
+          | None -> Alcotest.fail "result embeds the reply"))
+
 let suite =
   [
     Alcotest.test_case "jobs fair order" `Quick test_jobs_fair_order;
@@ -566,6 +1087,12 @@ let suite =
     Alcotest.test_case "protocol v1 compat" `Quick test_protocol_v1_compat;
     Alcotest.test_case "protocol typed errors" `Quick test_protocol_typed_errors;
     Alcotest.test_case "protocol reply stamping" `Quick test_protocol_reply_stamping;
+    Alcotest.test_case "protocol idem and jobs ops" `Quick test_protocol_idem_and_jobs;
+    QCheck_alcotest.to_alcotest prop_journal_roundtrip;
+    Alcotest.test_case "jobs idem dedupe" `Quick test_jobs_idem_dedupe;
+    Alcotest.test_case "jobs retain bytes" `Quick test_jobs_retain_bytes;
+    Alcotest.test_case "journal recovery" `Quick test_journal_recovery;
+    Alcotest.test_case "journal append fault refuses" `Quick test_journal_append_fault_refuses;
     Alcotest.test_case "tcp compile matches direct" `Quick test_tcp_compile_matches_direct;
     Alcotest.test_case "tcp job lifecycle" `Quick test_tcp_job_lifecycle;
     Alcotest.test_case "tcp cancel before run" `Quick test_tcp_cancel_before_run;
@@ -576,5 +1103,9 @@ let suite =
     Alcotest.test_case "tcp v1 lines" `Quick test_tcp_v1_lines;
     Alcotest.test_case "tcp bad lines keep connection" `Quick test_tcp_bad_lines_keep_connection;
     Alcotest.test_case "tcp idle timeout" `Quick test_tcp_idle_timeout;
+    Alcotest.test_case "tcp idle exemption for busy clients" `Quick test_tcp_idle_exemption;
+    Alcotest.test_case "tcp jobs op and dedup" `Quick test_tcp_jobs_op_and_dedup;
+    Alcotest.test_case "client submit idempotent" `Quick test_client_submit_idempotent;
+    Alcotest.test_case "tcp journal restart" `Quick test_tcp_journal_restart;
     Alcotest.test_case "tcp graceful drain" `Quick test_tcp_graceful_drain;
   ]
